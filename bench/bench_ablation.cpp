@@ -1,0 +1,123 @@
+//===--- bench_ablation.cpp - Ablations of the design choices ------------------===//
+//
+// Part of the lockin project: lock inference for atomic sections.
+//
+//===----------------------------------------------------------------------===//
+///
+/// google-benchmark microbenchmarks for the design choices DESIGN.md
+/// calls out:
+///
+///  - the cost of one multi-grain acquireAll/releaseAll round trip as the
+///    lock set grows (the paper's "overhead in the multi-grain locking
+///    protocol" that makes fine locks a loss on genome);
+///  - mode acquire/release on a single node per mode;
+///  - TL2 read/write instrumentation per access;
+///  - lock inference cost as k grows (the Table 1 column pair);
+///  - the effect of the paper's summary optimization (write-region
+///    filtering) is visible as near-flat inference cost over call-heavy
+///    programs.
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/Compiler.h"
+#include "runtime/LockRuntime.h"
+#include "stm/Tl2.h"
+#include "workloads/ToyPrograms.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace lockin;
+
+static void BM_LockNodeAcquireRelease(benchmark::State &State) {
+  rt::LockNode Node;
+  rt::Mode M = static_cast<rt::Mode>(State.range(0));
+  for (auto _ : State) {
+    Node.acquire(M);
+    Node.release(M);
+  }
+  State.SetLabel(rt::modeName(M));
+}
+BENCHMARK(BM_LockNodeAcquireRelease)->DenseRange(0, 4);
+
+static void BM_AcquireAllFineLocks(benchmark::State &State) {
+  rt::LockRuntime RT(8);
+  rt::ThreadLockContext Ctx(RT);
+  unsigned NumLocks = static_cast<unsigned>(State.range(0));
+  for (auto _ : State) {
+    for (unsigned I = 0; I < NumLocks; ++I)
+      Ctx.toAcquire(rt::LockDescriptor::fine(I % 8, 100 + I, I % 2 == 0));
+    Ctx.acquireAll();
+    Ctx.releaseAll();
+  }
+  State.SetItemsProcessed(State.iterations() * NumLocks);
+}
+BENCHMARK(BM_AcquireAllFineLocks)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+static void BM_AcquireAllCoarse(benchmark::State &State) {
+  rt::LockRuntime RT(8);
+  rt::ThreadLockContext Ctx(RT);
+  for (auto _ : State) {
+    Ctx.toAcquire(rt::LockDescriptor::coarse(3, true));
+    Ctx.acquireAll();
+    Ctx.releaseAll();
+  }
+}
+BENCHMARK(BM_AcquireAllCoarse);
+
+static void BM_GlobalLockSection(benchmark::State &State) {
+  rt::LockRuntime RT(1);
+  rt::ThreadLockContext Ctx(RT);
+  for (auto _ : State) {
+    Ctx.toAcquire(rt::LockDescriptor::global());
+    Ctx.acquireAll();
+    Ctx.releaseAll();
+  }
+}
+BENCHMARK(BM_GlobalLockSection);
+
+static void BM_StmReadWrite(benchmark::State &State) {
+  stm::Stm S;
+  int64_t Cells[64] = {};
+  unsigned Accesses = static_cast<unsigned>(State.range(0));
+  for (auto _ : State) {
+    S.atomically([&](stm::Transaction &Tx) {
+      for (unsigned I = 0; I < Accesses; ++I) {
+        int64_t V = Tx.read(&Cells[I % 64]);
+        Tx.write(&Cells[I % 64], V + 1);
+      }
+    });
+  }
+  State.SetItemsProcessed(State.iterations() * Accesses);
+}
+BENCHMARK(BM_StmReadWrite)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+
+static void BM_InferenceByK(benchmark::State &State) {
+  const std::string &Source =
+      workloads::toyProgram("hashtable-2").Source;
+  unsigned K = static_cast<unsigned>(State.range(0));
+  for (auto _ : State) {
+    CompileOptions Options;
+    Options.K = K;
+    auto C = compile(Source, Options);
+    benchmark::DoNotOptimize(C->ok());
+  }
+}
+BENCHMARK(BM_InferenceByK)->Arg(0)->Arg(3)->Arg(6)->Arg(9);
+
+static void BM_InferenceCallHeavy(benchmark::State &State) {
+  // Call-deep synthetic program: exercises summaries + the write-region
+  // pass-through filter.
+  std::string Source = workloads::generateSyntheticSpec(
+      static_cast<unsigned>(State.range(0)), 99);
+  for (auto _ : State) {
+    CompileOptions Options;
+    Options.K = 3;
+    auto C = compile(Source, Options);
+    benchmark::DoNotOptimize(C->ok());
+  }
+  State.SetLabel(std::to_string(State.range(0)) + " KLoC");
+}
+BENCHMARK(BM_InferenceCallHeavy)->Arg(1)->Arg(2)->Unit(
+    benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,48 @@
+//===--- bench_figure7.cpp - Figure 7: lock distribution over k ----------------===//
+//
+// Part of the lockin project: lock inference for atomic sections.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Reproduces Figure 7: for each k in 0..9, the combined number of
+/// inferred locks over all atomic sections of every benchmark program,
+/// split into the four categories fine/coarse × ro/rw.
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/Compiler.h"
+#include "workloads/ToyPrograms.h"
+
+#include <cstdio>
+
+using namespace lockin;
+using namespace lockin::workloads;
+
+int main() {
+  std::printf("Figure 7: combined lock census over all benchmark "
+              "programs\n\n");
+  std::printf("%4s %10s %10s %10s %10s %8s\n", "k", "fine-ro", "fine-rw",
+              "coarse-ro", "coarse-rw", "total");
+  for (unsigned K = 0; K <= 9; ++K) {
+    LockCensus Total;
+    for (const ToyProgram &P : concurrentToyPrograms()) {
+      CompileOptions Options;
+      Options.K = K;
+      std::unique_ptr<Compilation> C = compile(P.Source, Options);
+      if (!C->ok()) {
+        std::fprintf(stderr, "internal error compiling %s:\n%s\n",
+                     P.Name.c_str(), C->diagnostics().str().c_str());
+        return 1;
+      }
+      Total += C->inference().census();
+    }
+    std::printf("%4u %10u %10u %10u %10u %8u\n", K, Total.FineRO,
+                Total.FineRW, Total.CoarseRO, Total.CoarseRW,
+                Total.total());
+  }
+  std::printf("\nExpected shape (paper): k=0 is all coarse; small k trades"
+              " coarse locks\nfor several fine locks; larger k removes "
+              "locks on section-local allocations;\nno benefit beyond "
+              "k≈6.\n");
+  return 0;
+}

@@ -1,0 +1,121 @@
+//===--- bench_table1.cpp - Table 1: program size and analysis time ------------===//
+//
+// Part of the lockin project: lock inference for atomic sections.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Reproduces Table 1 of the paper: program size (KLoC), number of atomic
+/// sections, and whole-program analysis time at k = 0 and k = 9. The
+/// SPECint2000 rows are reproduced with deterministic synthetic programs
+/// of the same size (see DESIGN.md); the STAMP-like and micro rows use
+/// the toy-language benchmark implementations.
+///
+/// Set LOCKIN_TABLE1_SCALE (e.g. 0.2) to shrink the synthetic programs
+/// for a quick run.
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/Compiler.h"
+#include "ir/Lowering.h"
+#include "lang/Parser.h"
+#include "lang/Sema.h"
+#include "workloads/ToyPrograms.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+using namespace lockin;
+using namespace lockin::workloads;
+
+namespace {
+
+double kloc(const std::string &Source) {
+  size_t Lines = 1;
+  for (char C : Source)
+    if (C == '\n')
+      ++Lines;
+  return static_cast<double>(Lines) / 1000.0;
+}
+
+/// Parse+sema+lower once, then time points-to + inference at \p K
+/// (matching the paper's "analysis time", which excludes parsing).
+double analysisSeconds(const std::string &Source, unsigned K,
+                       unsigned &SectionsOut) {
+  DiagnosticEngine Diags;
+  Parser P(Source, Diags);
+  auto Prog = P.parseProgram();
+  if (!Prog || !runSema(*Prog, Diags)) {
+    std::fprintf(stderr, "internal error: benchmark program invalid:\n%s\n",
+                 Diags.str().c_str());
+    std::exit(1);
+  }
+  auto Module = lowerProgram(*Prog, Diags);
+  SectionsOut = Module->numAtomicSections();
+
+  auto Start = std::chrono::steady_clock::now();
+  PointsToAnalysis PT(*Module);
+  InferenceOptions Options;
+  Options.K = K;
+  LockInference Inference(*Module, PT, Options);
+  InferenceResult Result = Inference.run();
+  auto End = std::chrono::steady_clock::now();
+  (void)Result;
+  return std::chrono::duration<double>(End - Start).count();
+}
+
+struct Row {
+  std::string Name;
+  std::string Source;
+};
+
+} // namespace
+
+int main() {
+  double Scale = 1.0;
+  if (const char *Env = std::getenv("LOCKIN_TABLE1_SCALE"))
+    Scale = std::atof(Env);
+  if (Scale <= 0)
+    Scale = 1.0;
+
+  // The SPEC rows: paper sizes in KLoC.
+  struct SpecRow {
+    const char *Name;
+    double Kloc;
+  };
+  const SpecRow SpecRows[] = {
+      {"gzip", 10.3},   {"parser", 14.2}, {"vpr", 20.4}, {"crafty", 21.2},
+      {"twolf", 23.1},  {"gap", 71.4},    {"vortex", 71.5},
+  };
+
+  std::vector<Row> Rows;
+  uint64_t Seed = 1;
+  for (const SpecRow &S : SpecRows) {
+    unsigned Target =
+        static_cast<unsigned>(S.Kloc * Scale + 0.5);
+    if (Target == 0)
+      Target = 1;
+    Rows.push_back({S.Name, generateSyntheticSpec(Target, Seed++)});
+  }
+  for (const ToyProgram &P : concurrentToyPrograms())
+    Rows.push_back({P.Name, P.Source});
+
+  std::printf("Table 1: program size and analysis time (seconds)\n");
+  std::printf("(SPEC rows are synthetic stand-ins at %.0f%% scale; see "
+              "DESIGN.md)\n\n",
+              Scale * 100.0);
+  std::printf("%-12s %8s %8s %12s %12s\n", "Program", "Size", "Atomic",
+              "k=0 (s)", "k=9 (s)");
+  std::printf("%-12s %8s %8s %12s %12s\n", "", "(Kloc)", "sections", "",
+              "");
+  for (const Row &R : Rows) {
+    unsigned Sections = 0;
+    double T0 = analysisSeconds(R.Source, 0, Sections);
+    double T9 = analysisSeconds(R.Source, 9, Sections);
+    std::printf("%-12s %8.1f %8u %12.3f %12.3f\n", R.Name.c_str(),
+                kloc(R.Source), Sections, T0, T9);
+    std::fflush(stdout);
+  }
+  return 0;
+}

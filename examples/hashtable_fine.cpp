@@ -1,0 +1,123 @@
+//===--- hashtable_fine.cpp - Fine-grain bucket locks (hashtable-2) ------------===//
+//
+// Part of the lockin project: lock inference for atomic sections.
+//
+//===----------------------------------------------------------------------===//
+///
+/// The paper's hashtable-2 story (§6.3): a put that performs a single
+/// shared store gets one fine-grain lock on the bucket cell at k = 9 —
+/// including the computed index expression key % 16 traced back to the
+/// section entry — while the chain-traversing get keeps coarse read
+/// locks. The example then uses the multi-grain runtime library directly
+/// (as the compiled program would) to show two puts on different buckets
+/// overlapping while a coarse reader excludes them.
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/Compiler.h"
+#include "runtime/LockRuntime.h"
+
+#include <cstdio>
+#include <thread>
+
+using namespace lockin;
+
+static const char *SourceText = R"(
+struct node { node* next; int key; int val; };
+struct tab { node** buckets; };
+
+tab* t;
+
+void put(tab* h, int key, int val) {
+  atomic {
+    node* n = new node;
+    n->key = key;
+    n->val = val;
+    int slot = key % 16;
+    n->next = h->buckets[slot];
+    h->buckets[slot] = n;
+  }
+}
+
+int get(tab* h, int key) {
+  int r = 0 - 1;
+  atomic {
+    int slot = key % 16;
+    node* c = h->buckets[slot];
+    while (c != null) {
+      if (c->key == key) { r = c->val; c = null; }
+      else { c = c->next; }
+    }
+  }
+  return r;
+}
+
+void writer(int base) {
+  int i = 0;
+  while (i < 100) { put(t, base + i, i); i = i + 1; }
+}
+
+int main() {
+  t = new tab;
+  t->buckets = new node*[16];
+  spawn writer(0);
+  spawn writer(1000);
+  int probe = get(t, 3);
+  return 0;
+}
+)";
+
+int main() {
+  std::printf("== hashtable-2: one fine-grain lock for put ==\n\n");
+
+  CompileOptions Options;
+  Options.K = 9;
+  std::unique_ptr<Compilation> C = compile(SourceText, Options);
+  if (!C->ok()) {
+    std::fprintf(stderr, "%s", C->diagnostics().str().c_str());
+    return 1;
+  }
+  for (const auto &Section : C->inference().sections())
+    std::printf("section #%u (%s): %s\n", Section.SectionId,
+                Section.Function->name().c_str(),
+                Section.Locks.str().c_str());
+
+  std::printf("\nput's write is protected by the single fine lock\n"
+              "  (*((h).buckets))[(key %% 16)]\n"
+              "whose index expression is evaluated at section entry — "
+              "exactly the paper's\nresult that halves hashtable-2-high "
+              "in Fig. 8.\n\n");
+
+  InterpOptions RunOptions;
+  RunOptions.Mode = AtomicMode::Inferred;
+  InterpResult R = C->run(RunOptions);
+  std::printf("checked run: %s\n\n", R.Ok ? "ok" : R.Error.c_str());
+
+  // The runtime library directly (what compiled code links against):
+  // puts on different buckets hold region IX + distinct leaf X locks and
+  // overlap; a coarse reader takes the region in S and excludes writers.
+  std::printf("-- runtime library demo (intention modes) --\n");
+  rt::LockRuntime RT(/*NumRegions=*/2);
+  rt::ThreadLockContext Put1(RT), Put2(RT), Reader(RT);
+
+  Put1.toAcquire(rt::LockDescriptor::fine(0, /*bucket*/ 3, true));
+  Put1.acquireAll(); // root IX, region IX, leaf-3 X
+  Put2.toAcquire(rt::LockDescriptor::fine(0, /*bucket*/ 7, true));
+  Put2.acquireAll(); // compatible: IX + IX, different leaves
+  std::printf("two puts on buckets 3 and 7 hold their locks "
+              "concurrently: OK\n");
+
+  std::thread ReaderThread([&] {
+    Reader.toAcquire(rt::LockDescriptor::coarse(0, false));
+    Reader.acquireAll(); // region S: must wait for both IX holders
+    std::printf("coarse reader entered after both puts released\n");
+    Reader.releaseAll();
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  std::printf("coarse reader is blocked while puts are in flight "
+              "(S vs IX)\n");
+  Put1.releaseAll();
+  Put2.releaseAll();
+  ReaderThread.join();
+  return 0;
+}

@@ -1,0 +1,111 @@
+//===--- list_move.cpp - The paper's Figure 1 end to end -----------------------===//
+//
+// Part of the lockin project: lock inference for atomic sections.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Reproduces Figure 1 of the paper: the `move` function that splices one
+/// list onto another. Shows how the analysis finds the multi-grain lock
+/// set {&(to->head), &(from->head), E} — two fine locks plus the coarse
+/// element-region lock E for the unbounded traversal — and demonstrates
+/// that concurrent move(l1,l2) / move(l2,l1) runs without the deadlock
+/// that per-access fine locking (Fig. 1b) would exhibit.
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/Compiler.h"
+
+#include <cstdio>
+
+using namespace lockin;
+
+static const char *SourceText = R"(
+struct elem { elem* next; int* data; };
+struct list { elem* head; };
+
+list* l1;
+list* l2;
+
+// Figure 1(a): the input program.
+void move(list* from, list* to) {
+  atomic {
+    elem* x = to->head;
+    elem* y = from->head;
+    from->head = null;
+    if (x == null) {
+      to->head = y;
+    } else {
+      while (x->next != null)
+        x = x->next;
+      x->next = y;
+    }
+  }
+}
+
+int length(list* l) {
+  int n = 0;
+  atomic {
+    elem* e = l->head;
+    while (e != null) { n = n + 1; e = e->next; }
+  }
+  return n;
+}
+
+void pusher(list* l, int count) {
+  int i = 0;
+  while (i < count) {
+    elem* e = new elem;
+    atomic { e->next = l->head; l->head = e; }
+    i = i + 1;
+  }
+}
+
+void mover1() { int i = 0; while (i < 100) { move(l1, l2); i = i + 1; } }
+void mover2() { int i = 0; while (i < 100) { move(l2, l1); i = i + 1; } }
+
+int main() {
+  l1 = new list;
+  l2 = new list;
+  pusher(l1, 20);
+  pusher(l2, 20);
+  spawn mover1();
+  spawn mover2();
+  return 0;
+}
+)";
+
+int main() {
+  std::printf("== Figure 1: inferring multi-grain locks for move() ==\n\n");
+
+  std::unique_ptr<Compilation> C = compile(SourceText);
+  if (!C->ok()) {
+    std::fprintf(stderr, "%s", C->diagnostics().str().c_str());
+    return 1;
+  }
+
+  const auto &Sections = C->inference().sections();
+  std::printf("locks inferred for move()'s atomic section:\n  %s\n\n",
+              Sections[0].Locks.str().c_str());
+  std::printf("reading: (to).head / (from).head are the fine-grain locks "
+              "&(to->head) and\n&(from->head) of Fig. 1(c); the coarse "
+              "region lock is E, protecting every\nlist element reached "
+              "by the unbounded x = x->next traversal (the expression\n"
+              "exceeds the k-limit and collapses into the points-to "
+              "region lock).\n\n");
+
+  std::printf("running move(l1,l2) concurrently with move(l2,l1) — the "
+              "interleaving that\ndeadlocks Fig. 1(b)'s per-access "
+              "locking...\n");
+  InterpOptions Options;
+  Options.Mode = AtomicMode::Inferred;
+  InterpResult R = C->run(Options);
+  if (!R.Ok) {
+    std::printf("FAILED: %s\n", R.Error.c_str());
+    return 1;
+  }
+  std::printf("ok: completed %llu steps with every access covered "
+              "(%llu checks), no deadlock.\n",
+              static_cast<unsigned long long>(R.TotalSteps),
+              static_cast<unsigned long long>(R.ProtectionChecks));
+  return 0;
+}

@@ -1,0 +1,94 @@
+//===--- quickstart.cpp - Five-minute tour of the public API -------------------===//
+//
+// Part of the lockin project: lock inference for atomic sections.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Quickstart: compile a program with atomic sections, inspect the locks
+/// the analysis infers at two precisions (k = 0 and k = 9), print the
+/// transformed program, and execute it in the checking interpreter.
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/Compiler.h"
+
+#include <cstdio>
+
+using namespace lockin;
+
+static const char *SourceText = R"(
+struct account { int balance; };
+
+account* a;
+account* b;
+
+void transfer(account* from, account* to, int amount) {
+  atomic {
+    if (from->balance >= amount) {
+      from->balance = from->balance - amount;
+      to->balance = to->balance + amount;
+    }
+  }
+}
+
+void worker1() {
+  int i = 0;
+  while (i < 200) { transfer(a, b, 1); i = i + 1; }
+}
+
+void worker2() {
+  int i = 0;
+  while (i < 200) { transfer(b, a, 1); i = i + 1; }
+}
+
+int main() {
+  a = new account;
+  b = new account;
+  a->balance = 1000;
+  b->balance = 1000;
+  spawn worker1();
+  spawn worker2();
+  return 0;
+}
+)";
+
+int main() {
+  std::printf("== lockin quickstart ==\n\n");
+
+  for (unsigned K : {0u, 9u}) {
+    CompileOptions Options;
+    Options.K = K;
+    std::unique_ptr<Compilation> C = compile(SourceText, Options);
+    if (!C->ok()) {
+      std::fprintf(stderr, "%s", C->diagnostics().str().c_str());
+      return 1;
+    }
+    std::printf("--- inferred locks at k = %u ---\n", K);
+    for (const auto &Section : C->inference().sections())
+      std::printf("  section #%u in %s:\n    %s\n", Section.SectionId,
+                  Section.Function->name().c_str(),
+                  Section.Locks.str().c_str());
+    std::printf("\n");
+  }
+
+  std::unique_ptr<Compilation> C = compile(SourceText);
+  std::printf("--- transformed program (k = 3) ---\n%s\n",
+              C->transformedText().c_str());
+
+  // Execute with the inferred locks under the checking semantics: two
+  // threads transferring in opposite directions — the classic deadlock
+  // scenario the acquireAll protocol avoids.
+  InterpOptions Options;
+  Options.Mode = AtomicMode::Inferred;
+  InterpResult R = C->run(Options);
+  std::printf("--- execution ---\n");
+  if (!R.Ok) {
+    std::printf("run FAILED: %s\n", R.Error.c_str());
+    return 1;
+  }
+  std::printf("ok: %llu interpreter steps, %llu protection checks, "
+              "no violations, no deadlock\n",
+              static_cast<unsigned long long>(R.TotalSteps),
+              static_cast<unsigned long long>(R.ProtectionChecks));
+  return 0;
+}

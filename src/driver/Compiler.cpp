@@ -1,0 +1,55 @@
+//===--- Compiler.cpp - End-to-end pipeline facade ------------------------------===//
+//
+// Part of the lockin project: lock inference for atomic sections.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Compiler.h"
+
+#include "ir/IrPrinter.h"
+#include "ir/Lowering.h"
+#include "lang/Parser.h"
+#include "lang/Sema.h"
+
+using namespace lockin;
+
+std::string Compilation::transformedText() const {
+  const InferenceResult *Result = Inference.get();
+  return ir::printIrModule(*Module, [Result](uint32_t SectionId) {
+    return Result ? Result->annotate(SectionId) : std::string();
+  });
+}
+
+InterpResult Compilation::run(const InterpOptions &Options,
+                              const std::string &MainFunction) const {
+  return interpret(*Module, *PT, Inference.get(), Options, MainFunction);
+}
+
+std::unique_ptr<Compilation> lockin::compile(std::string_view Source,
+                                             const CompileOptions &Options) {
+  auto C = std::make_unique<Compilation>();
+
+  Parser P(Source, C->Diags);
+  C->Ast = P.parseProgram();
+  if (!C->Ast || C->Diags.hasErrors())
+    return C;
+
+  if (!runSema(*C->Ast, C->Diags))
+    return C;
+
+  C->Module = lowerProgram(*C->Ast, C->Diags);
+  if (!C->Module || C->Diags.hasErrors())
+    return C;
+
+  C->PT = std::make_unique<PointsToAnalysis>(*C->Module);
+
+  if (Options.InferLocks) {
+    InferenceOptions InferOpts;
+    InferOpts.K = Options.K;
+    LockInference Inference(*C->Module, *C->PT, InferOpts);
+    C->Inference = std::make_unique<InferenceResult>(Inference.run());
+  }
+
+  C->Ok = true;
+  return C;
+}

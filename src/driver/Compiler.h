@@ -1,0 +1,75 @@
+//===--- Compiler.h - End-to-end pipeline facade ----------------*- C++ -*-===//
+//
+// Part of the lockin project: lock inference for atomic sections.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One-call façade over the whole pipeline: parse → sema → lower →
+/// points-to → lock inference. This is the public entry point examples,
+/// tools, tests, and benchmarks use.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LOCKIN_DRIVER_COMPILER_H
+#define LOCKIN_DRIVER_COMPILER_H
+
+#include "infer/Inference.h"
+#include "interp/Interp.h"
+#include "ir/Ir.h"
+#include "lang/Ast.h"
+#include "pointsto/Steensgaard.h"
+#include "support/Diagnostics.h"
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+namespace lockin {
+
+struct CompileOptions {
+  /// k of the k-limited expression locks (paper: 0..9).
+  unsigned K = 3;
+  /// Skip the lock inference (parse/lower/points-to only).
+  bool InferLocks = true;
+};
+
+/// The result of compiling one program. Owns every phase's output; check
+/// ok() before using anything beyond diagnostics().
+class Compilation {
+public:
+  bool ok() const { return Ok; }
+  const DiagnosticEngine &diagnostics() const { return Diags; }
+
+  Program &ast() { return *Ast; }
+  ir::IrModule &module() { return *Module; }
+  const PointsToAnalysis &pointsTo() const { return *PT; }
+  const InferenceResult &inference() const { return *Inference; }
+
+  /// The transformed output program: atomic sections shown as
+  /// acquireAll({...}) / releaseAll() pairs.
+  std::string transformedText() const;
+
+  /// Runs the program in the concurrent interpreter.
+  InterpResult run(const InterpOptions &Options,
+                   const std::string &MainFunction = "main") const;
+
+private:
+  friend std::unique_ptr<Compilation> compile(std::string_view,
+                                              const CompileOptions &);
+  bool Ok = false;
+  DiagnosticEngine Diags;
+  std::unique_ptr<Program> Ast;
+  std::unique_ptr<ir::IrModule> Module;
+  std::unique_ptr<PointsToAnalysis> PT;
+  std::unique_ptr<InferenceResult> Inference;
+};
+
+/// Compiles \p Source; never returns null. On failure the result's
+/// diagnostics explain why.
+std::unique_ptr<Compilation> compile(std::string_view Source,
+                                     const CompileOptions &Options = {});
+
+} // namespace lockin
+
+#endif // LOCKIN_DRIVER_COMPILER_H

@@ -1,0 +1,460 @@
+//===--- Inference.cpp - Lock inference for atomic sections -------------------===//
+//
+// Part of the lockin project: lock inference for atomic sections.
+//
+//===----------------------------------------------------------------------===//
+
+#include "infer/Inference.h"
+
+#include <cassert>
+
+using namespace lockin;
+using namespace lockin::ir;
+
+LockCensus InferenceResult::census() const {
+  LockCensus Census;
+  for (const Section &S : Sections) {
+    for (const LockName &L : S.Locks) {
+      bool RW = L.effect() == Effect::RW || L.isTop();
+      if (L.isFine()) {
+        if (RW)
+          ++Census.FineRW;
+        else
+          ++Census.FineRO;
+      } else {
+        if (RW)
+          ++Census.CoarseRW;
+        else
+          ++Census.CoarseRO;
+      }
+    }
+  }
+  return Census;
+}
+
+LockInference::LockInference(const IrModule &Module,
+                             const PointsToAnalysis &PT,
+                             InferenceOptions Options)
+    : Module(Module), Ctx{Module, PT, Options.K}, Options(Options) {}
+
+namespace {
+
+/// Regions of the cells read while evaluating \p Path (deref positions and
+/// index variables). Returns false (via \p Ok) if some region is unknown;
+/// callers then treat the path as potentially affected.
+bool collectPathCellRegions(const LockExpr &Path, const PointsToAnalysis &PT,
+                            std::set<RegionId> &Out) {
+  RegionId Cur = PT.regionOfVarCell(Path.base());
+  for (const LockOp &Op : Path.ops()) {
+    switch (Op.K) {
+    case LockOp::Kind::Deref:
+      if (Cur == InvalidRegion)
+        return false;
+      Out.insert(Cur);
+      Cur = PT.derefRegion(Cur);
+      break;
+    case LockOp::Kind::Field:
+      break;
+    case LockOp::Kind::Index: {
+      std::vector<const IdxExpr *> Work = {Op.Idx.get()};
+      while (!Work.empty()) {
+        const IdxExpr *E = Work.back();
+        Work.pop_back();
+        switch (E->kind()) {
+        case IdxExpr::Kind::Const:
+          break;
+        case IdxExpr::Kind::VarVal: {
+          RegionId R = PT.regionOfVarCell(E->var());
+          if (R == InvalidRegion)
+            return false;
+          Out.insert(R);
+          break;
+        }
+        case IdxExpr::Kind::Bin:
+          Work.push_back(E->lhs().get());
+          Work.push_back(E->rhs().get());
+          break;
+        }
+      }
+      break;
+    }
+    }
+  }
+  return true;
+}
+
+/// True if \p Path mentions \p V as its base or inside an index component.
+bool pathMentionsVar(const LockExpr &Path, const Variable *V) {
+  if (Path.base() == V)
+    return true;
+  for (const LockOp &Op : Path.ops())
+    if (Op.K == LockOp::Kind::Index && Op.Idx->mentionsVar(V))
+      return true;
+  return false;
+}
+
+/// True if \p Path is rooted in (or indexes through) a variable owned by
+/// \p F; such paths are not expressible in the caller.
+bool pathRootedIn(const LockExpr &Path, const IrFunction *F) {
+  if (Path.base()->owner() == F)
+    return true;
+  for (const LockOp &Op : Path.ops()) {
+    if (Op.K != LockOp::Kind::Index)
+      continue;
+    std::vector<const IdxExpr *> Work = {Op.Idx.get()};
+    while (!Work.empty()) {
+      const IdxExpr *E = Work.back();
+      Work.pop_back();
+      if (E->kind() == IdxExpr::Kind::VarVal && E->var()->owner() == F)
+        return true;
+      if (E->kind() == IdxExpr::Kind::Bin) {
+        Work.push_back(E->lhs().get());
+        Work.push_back(E->rhs().get());
+      }
+    }
+  }
+  return false;
+}
+
+/// Collects the regions directly written by statements of \p S into
+/// \p Writes and the direct callees into \p Callees.
+void collectDirectWrites(const IrStmt *S, const PointsToAnalysis &PT,
+                         std::set<RegionId> &Writes,
+                         std::set<const IrFunction *> &Callees) {
+  switch (S->kind()) {
+  case IrStmt::Kind::Store: {
+    const auto *St = cast<StoreStmt>(S);
+    RegionId R = PT.derefRegion(PT.regionOfVarCell(St->addr()));
+    if (R != InvalidRegion)
+      Writes.insert(R);
+    return;
+  }
+  case IrStmt::Kind::Call:
+    Callees.insert(cast<CallStmt>(S)->callee());
+    break;
+  case IrStmt::Kind::Seq:
+    for (const IrStmtPtr &Child : cast<SeqStmt>(S)->stmts())
+      collectDirectWrites(Child.get(), PT, Writes, Callees);
+    return;
+  case IrStmt::Kind::If: {
+    const auto *I = cast<IfIrStmt>(S);
+    collectDirectWrites(I->thenStmt(), PT, Writes, Callees);
+    if (I->elseStmt())
+      collectDirectWrites(I->elseStmt(), PT, Writes, Callees);
+    return;
+  }
+  case IrStmt::Kind::While: {
+    const auto *W = cast<WhileIrStmt>(S);
+    collectDirectWrites(W->prelude(), PT, Writes, Callees);
+    collectDirectWrites(W->body(), PT, Writes, Callees);
+    return;
+  }
+  case IrStmt::Kind::Atomic:
+    collectDirectWrites(cast<AtomicIrStmt>(S)->body(), PT, Writes, Callees);
+    return;
+  default:
+    break;
+  }
+  // Definitions of shared variables write their cells.
+  if (const auto *Inst = dyn_cast<InstStmt>(S)) {
+    const Variable *Def = Inst->def();
+    if (Def && (Def->isGlobal() || Def->isAddressTaken())) {
+      RegionId R = PT.regionOfVarCell(Def);
+      if (R != InvalidRegion)
+        Writes.insert(R);
+    }
+  }
+}
+
+} // namespace
+
+const std::set<RegionId> &
+LockInference::writeRegions(const IrFunction *F) {
+  if (!WriteRegionsCache.empty())
+    return WriteRegionsCache[F];
+
+  // Compute for all functions at once: direct writes, then transitive
+  // closure over the call graph.
+  std::unordered_map<const IrFunction *, std::set<const IrFunction *>>
+      Callees;
+  for (const auto &Fn : Module.functions()) {
+    std::set<RegionId> Writes;
+    std::set<const IrFunction *> Direct;
+    if (Fn->body())
+      collectDirectWrites(Fn->body(), Ctx.PT, Writes, Direct);
+    WriteRegionsCache[Fn.get()] = std::move(Writes);
+    Callees[Fn.get()] = std::move(Direct);
+  }
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (const auto &Fn : Module.functions()) {
+      std::set<RegionId> &Mine = WriteRegionsCache[Fn.get()];
+      size_t Before = Mine.size();
+      for (const IrFunction *Callee : Callees[Fn.get()]) {
+        const std::set<RegionId> &Theirs = WriteRegionsCache[Callee];
+        Mine.insert(Theirs.begin(), Theirs.end());
+      }
+      Changed |= Mine.size() != Before;
+    }
+  }
+  return WriteRegionsCache[F];
+}
+
+void LockInference::unmapLock(const LockName &L, const CallStmt *Call,
+                              LockSet &Out) {
+  const IrFunction *F = Call->callee();
+  LockSet Cur;
+  Cur.insert(L);
+  // Reverse of the parameter bindings p_i = a_i.
+  for (size_t I = Call->args().size(); I-- > 0;) {
+    CopyStmt Binding(F->param(static_cast<unsigned>(I)), Call->args()[I],
+                     Call->loc());
+    LockSet Next;
+    for (const LockName &Lock : Cur)
+      transferLock(Lock, &Binding, Ctx, Next);
+    Cur = std::move(Next);
+  }
+  for (const LockName &Lock : Cur) {
+    if (Lock.isFine() && pathRootedIn(Lock.path(), F))
+      Out.insert(Ctx.coarsen(Lock));
+    else
+      Out.insert(Lock);
+  }
+}
+
+LockSet LockInference::transferCall(const CallStmt *St,
+                                    const LockSet &After) {
+  const IrFunction *F = St->callee();
+  LockSet Result;
+  for (const Variable *Arg : St->args())
+    genVarRead(Arg, Ctx, Result);
+  if (St->def() && Ctx.isLockableVar(St->def()))
+    Result.insert(LockName::fine(LockExpr(St->def()),
+                                 Ctx.PT.regionOfVarCell(St->def()),
+                                 Effect::RW));
+
+  // The locks for the callee's own (transitive) accesses, expressed at
+  // the call site: copy because unmapLock may recurse into summaries and
+  // grow the cache under us.
+  {
+    LockSet CalleeOwn = ownLocks(F);
+    for (const LockName &E : CalleeOwn)
+      unmapLock(E, St, Result);
+  }
+
+  const std::set<RegionId> &Writes = writeRegions(F);
+  auto Unaffected = [&](const LockName &L) {
+    if (pathMentionsVar(L.path(), St->def()))
+      return false;
+    std::set<RegionId> Cells;
+    if (!collectPathCellRegions(L.path(), Ctx.PT, Cells))
+      return false;
+    for (RegionId R : Cells)
+      if (Writes.count(R))
+        return false;
+    return true;
+  };
+
+  for (const LockName &L : After) {
+    if (!L.isFine()) {
+      Result.insert(L);
+      continue;
+    }
+    if (Unaffected(L)) {
+      Result.insert(L);
+      continue;
+    }
+    // Map the lock into the callee's frame via def = ret_f.
+    LockSet Mapped;
+    if (St->def() && F->retVar()) {
+      CopyStmt RetCopy(St->def(), F->retVar(), St->loc());
+      transferLock(L, &RetCopy, Ctx, Mapped);
+    } else {
+      Mapped.insert(L);
+    }
+    for (const LockName &M : Mapped) {
+      if (!M.isFine()) {
+        Result.insert(M);
+        continue;
+      }
+      // A mapped lock that is unaffected by the body and not rooted in the
+      // callee skips the summary entirely.
+      if (!pathRootedIn(M.path(), F) && Unaffected(M)) {
+        Result.insert(M);
+        continue;
+      }
+      const LockSet &EntryLocks = summary(F, M);
+      for (const LockName &E : EntryLocks)
+        unmapLock(E, St, Result);
+    }
+  }
+  return Result;
+}
+
+const LockSet &LockInference::ownLocks(const IrFunction *F) {
+  SummaryEntry &E = OwnLocksCache[F];
+  if (E.InProgress || E.Round == CurrentRound)
+    return E.Entry;
+  E.Round = CurrentRound;
+  E.InProgress = true;
+
+  LockSet Empty;
+  const IrFunction *PrevFn = CurFn;
+  CurFn = F;
+  LockSet Before = analyze(F->body(), Empty, Empty);
+  CurFn = PrevFn;
+
+  E.InProgress = false;
+  if (E.Entry.merge(Before))
+    SummariesChanged = true;
+  return E.Entry;
+}
+
+const LockSet &LockInference::summary(const IrFunction *F,
+                                      const LockName &L) {
+  SummaryKey Key{F, L};
+  SummaryEntry &E = Summaries[Key];
+  if (E.InProgress || E.Round == CurrentRound)
+    return E.Entry;
+  E.Round = CurrentRound;
+  E.InProgress = true;
+
+  LockSet ExitSet;
+  ExitSet.insert(L);
+  const IrFunction *PrevFn = CurFn;
+  CurFn = F;
+  LockSet Before = analyze(F->body(), ExitSet, ExitSet);
+  CurFn = PrevFn;
+
+  // References into std::unordered_map are stable across inserts done by
+  // recursive summary queries, so E is still valid here.
+  E.InProgress = false;
+  if (E.Entry.merge(Before))
+    SummariesChanged = true;
+  return E.Entry;
+}
+
+LockSet LockInference::transferInst(const InstStmt *St,
+                                    const LockSet &After) {
+  LockSet Out;
+  genLocks(St, Ctx, Out);
+  for (const LockName &L : After)
+    transferLock(L, St, Ctx, Out);
+  return Out;
+}
+
+LockSet LockInference::analyze(const IrStmt *S, const LockSet &After,
+                               const LockSet &ExitSet) {
+  switch (S->kind()) {
+  case IrStmt::Kind::Call:
+    return transferCall(cast<CallStmt>(S), After);
+  case IrStmt::Kind::Copy:
+  case IrStmt::Kind::ConstInt:
+  case IrStmt::Kind::ConstNull:
+  case IrStmt::Kind::AddrOf:
+  case IrStmt::Kind::FieldAddr:
+  case IrStmt::Kind::IndexAddr:
+  case IrStmt::Kind::Load:
+  case IrStmt::Kind::Store:
+  case IrStmt::Kind::Alloc:
+  case IrStmt::Kind::IntBin:
+  case IrStmt::Kind::Cmp:
+    return transferInst(cast<InstStmt>(S), After);
+  case IrStmt::Kind::Seq: {
+    const auto &Stmts = cast<SeqStmt>(S)->stmts();
+    LockSet Cur = After;
+    for (size_t I = Stmts.size(); I-- > 0;)
+      Cur = analyze(Stmts[I].get(), Cur, ExitSet);
+    return Cur;
+  }
+  case IrStmt::Kind::If: {
+    const auto *I = cast<IfIrStmt>(S);
+    LockSet Merged = analyze(I->thenStmt(), After, ExitSet);
+    if (I->elseStmt())
+      Merged.merge(analyze(I->elseStmt(), After, ExitSet));
+    else
+      Merged.merge(After);
+    genVarRead(I->condVar(), Ctx, Merged);
+    return Merged;
+  }
+  case IrStmt::Kind::While: {
+    const auto *W = cast<WhileIrStmt>(S);
+    // Exit edge: locks needed after the loop plus the condition read.
+    LockSet Base = After;
+    genVarRead(W->condVar(), Ctx, Base);
+    // Backward fixpoint: X approximates the locks at the loop head.
+    LockSet X = analyze(W->prelude(), Base, ExitSet);
+    for (unsigned Iter = 0;; ++Iter) {
+      if (Iter >= Options.MaxLoopIterations) {
+        // Sound fallback; with a bounded k this should be unreachable.
+        X.insert(LockName::top());
+        break;
+      }
+      LockSet AfterPrelude = Base;
+      AfterPrelude.merge(analyze(W->body(), X, ExitSet));
+      LockSet NewX = analyze(W->prelude(), AfterPrelude, ExitSet);
+      if (!X.merge(NewX))
+        break;
+    }
+    return X;
+  }
+  case IrStmt::Kind::Atomic:
+    // Nested sections acquire nothing at runtime (§5.3); the outer
+    // section's locks must cover the body, so locks flow through.
+    return analyze(cast<AtomicIrStmt>(S)->body(), After, ExitSet);
+  case IrStmt::Kind::Return: {
+    const auto *R = cast<ReturnIrStmt>(S);
+    // Control leaves the function: the incoming After is unreachable;
+    // the exit set flows through ret_f = value.
+    LockSet Out;
+    if (R->value() && CurFn && CurFn->retVar()) {
+      CopyStmt RetCopy(CurFn->retVar(), R->value(), R->loc());
+      for (const LockName &L : ExitSet)
+        transferLock(L, &RetCopy, Ctx, Out);
+    } else {
+      Out = ExitSet;
+    }
+    if (R->value())
+      genVarRead(R->value(), Ctx, Out);
+    return Out;
+  }
+  case IrStmt::Kind::Spawn: {
+    LockSet Out = After;
+    for (const Variable *Arg : cast<SpawnIrStmt>(S)->args())
+      genVarRead(Arg, Ctx, Out);
+    return Out;
+  }
+  case IrStmt::Kind::Assert: {
+    LockSet Out = After;
+    genVarRead(cast<AssertIrStmt>(S)->condVar(), Ctx, Out);
+    return Out;
+  }
+  }
+  assert(false && "unhandled statement kind");
+  return After;
+}
+
+InferenceResult LockInference::run() {
+  InferenceResult Result;
+  Result.Sections.resize(Module.numAtomicSections());
+
+  for (unsigned Round = 1; Round <= Options.MaxSummaryRounds; ++Round) {
+    CurrentRound = Round;
+    SummariesChanged = false;
+    for (const auto &F : Module.functions()) {
+      CurFn = F.get();
+      for (const AtomicIrStmt *A : F->atomicSections()) {
+        LockSet Empty;
+        InferenceResult::Section &Section =
+            Result.Sections[A->sectionId()];
+        Section.SectionId = A->sectionId();
+        Section.Function = F.get();
+        Section.Locks = analyze(A->body(), Empty, Empty);
+      }
+    }
+    if (!SummariesChanged)
+      break;
+  }
+  return Result;
+}

@@ -1,0 +1,164 @@
+//===--- Inference.h - Lock inference for atomic sections -------*- C++ -*-===//
+//
+// Part of the lockin project: lock inference for atomic sections.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's primary contribution (§4): a whole-program backward
+/// dataflow analysis that computes, for every atomic section, a set of
+/// locks N such that acquiring N at the entry of the section protects
+/// every shared location the section may access (Theorem 1).
+///
+/// The analysis runs structurally over the IR: sequences compose transfer
+/// functions right to left, branches merge with ⊔, loops iterate to a
+/// fixpoint (the k-limited lock domain is finite), and calls are handled
+/// with function summaries using the map/unmap discipline of §4.3.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LOCKIN_INFER_INFERENCE_H
+#define LOCKIN_INFER_INFERENCE_H
+
+#include "infer/LockSet.h"
+#include "infer/Transfer.h"
+#include "ir/Ir.h"
+#include "pointsto/Steensgaard.h"
+
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+namespace lockin {
+
+struct InferenceOptions {
+  /// The k of the Σ_k expression-lock component; k = 0 disables fine
+  /// tracing entirely (every lock is a region lock), matching the paper's
+  /// "Only Coarse" configuration.
+  unsigned K = 3;
+  /// Safety caps; on overflow the analysis falls back to ⊤ (sound).
+  unsigned MaxLoopIterations = 64;
+  unsigned MaxSummaryRounds = 16;
+};
+
+/// Census of inferred locks in the four categories of Figure 7. ⊤ counts
+/// as a coarse rw lock.
+struct LockCensus {
+  unsigned FineRO = 0;
+  unsigned FineRW = 0;
+  unsigned CoarseRO = 0;
+  unsigned CoarseRW = 0;
+
+  unsigned total() const { return FineRO + FineRW + CoarseRO + CoarseRW; }
+  LockCensus &operator+=(const LockCensus &Other) {
+    FineRO += Other.FineRO;
+    FineRW += Other.FineRW;
+    CoarseRO += Other.CoarseRO;
+    CoarseRW += Other.CoarseRW;
+    return *this;
+  }
+};
+
+/// The per-program analysis output: one lock set per atomic section.
+class InferenceResult {
+public:
+  struct Section {
+    uint32_t SectionId = 0;
+    const ir::IrFunction *Function = nullptr;
+    LockSet Locks;
+  };
+
+  const LockSet &sectionLocks(uint32_t SectionId) const {
+    return Sections.at(SectionId).Locks;
+  }
+  const std::vector<Section> &sections() const { return Sections; }
+
+  /// Figure 7 census over all sections.
+  LockCensus census() const;
+
+  /// Annotation string for the transformed-program printer
+  /// (ir::SectionAnnotator).
+  std::string annotate(uint32_t SectionId) const {
+    return Sections.at(SectionId).Locks.str();
+  }
+
+private:
+  friend class LockInference;
+  std::vector<Section> Sections;
+};
+
+class LockInference {
+public:
+  LockInference(const ir::IrModule &Module, const PointsToAnalysis &PT,
+                InferenceOptions Options = {});
+
+  /// Runs the analysis for every atomic section in the module.
+  InferenceResult run();
+
+  /// Exposed for unit tests: locks needed before \p S given locks \p After
+  /// needed after it, with an empty exit set.
+  LockSet analyzeForTest(const ir::IrStmt *S, const LockSet &After) {
+    LockSet Exit;
+    return analyze(S, After, Exit);
+  }
+
+private:
+  LockSet analyze(const ir::IrStmt *S, const LockSet &After,
+                  const LockSet &ExitSet);
+  LockSet transferInst(const ir::InstStmt *St, const LockSet &After);
+  LockSet transferCall(const ir::CallStmt *St, const LockSet &After);
+
+  /// Pushes one lock through the body of \p F: result is the locks needed
+  /// at F's entry (in F's naming) to cover L at F's exit. Cached; grows
+  /// monotonically across rounds until the global fixpoint.
+  const LockSet &summary(const ir::IrFunction *F, const LockName &L);
+
+  /// Locks needed at F's entry to protect every access F (and its
+  /// callees) perform — the G-set part of the call transfer, cached like
+  /// summaries.
+  const LockSet &ownLocks(const ir::IrFunction *F);
+
+  /// Regions possibly written by stores in \p F or its (transitive)
+  /// callees; used to skip the summary push-through for unaffected locks.
+  const std::set<RegionId> &writeRegions(const ir::IrFunction *F);
+
+  /// Rewrites \p L backward through the parameter bindings p_i = a_i and
+  /// coarsens locks still rooted in callee-local state.
+  void unmapLock(const LockName &L, const ir::CallStmt *Call, LockSet &Out);
+
+  struct SummaryKey {
+    const ir::IrFunction *F;
+    LockName L;
+    bool operator==(const SummaryKey &Other) const {
+      return F == Other.F && L == Other.L;
+    }
+  };
+  struct SummaryKeyHash {
+    size_t operator()(const SummaryKey &Key) const {
+      return reinterpret_cast<size_t>(Key.F) ^ Key.L.hash();
+    }
+  };
+  struct SummaryEntry {
+    LockSet Entry;
+    uint32_t Round = ~0u;
+    bool InProgress = false;
+  };
+
+  const ir::IrModule &Module;
+  TransferContext Ctx;
+  InferenceOptions Options;
+  /// Function whose body is currently being analyzed (for ret_f rewriting
+  /// at Return statements).
+  const ir::IrFunction *CurFn = nullptr;
+
+  std::unordered_map<SummaryKey, SummaryEntry, SummaryKeyHash> Summaries;
+  std::unordered_map<const ir::IrFunction *, SummaryEntry> OwnLocksCache;
+  std::unordered_map<const ir::IrFunction *, std::set<RegionId>>
+      WriteRegionsCache;
+  uint32_t CurrentRound = 0;
+  bool SummariesChanged = false;
+};
+
+} // namespace lockin
+
+#endif // LOCKIN_INFER_INFERENCE_H

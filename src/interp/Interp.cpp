@@ -1,0 +1,815 @@
+//===--- Interp.cpp - Concurrent interpreter with checking --------------------===//
+//
+// Part of the lockin project: lock inference for atomic sections.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Interp.h"
+
+#include "support/Rng.h"
+
+#include <atomic>
+#include <cassert>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+using namespace lockin;
+using namespace lockin::ir;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Values, locations, heap
+//===----------------------------------------------------------------------===//
+
+/// A runtime location: a cell within a heap/frame/global object.
+struct Loc {
+  uint32_t Object = 0;
+  uint32_t Offset = 0;
+
+  uint64_t packed() const {
+    return (static_cast<uint64_t>(Object) << 32) | Offset;
+  }
+  bool operator==(const Loc &Other) const = default;
+};
+
+struct Value {
+  enum class Kind : uint8_t { Null, Int, Location };
+  Kind K = Kind::Null;
+  int64_t Int = 0;
+  Loc L;
+
+  static Value null() { return {}; }
+  static Value ofInt(int64_t I) {
+    Value V;
+    V.K = Kind::Int;
+    V.Int = I;
+    return V;
+  }
+  static Value ofLoc(Loc L) {
+    Value V;
+    V.K = Kind::Location;
+    V.L = L;
+    return V;
+  }
+};
+
+/// One allocation: a heap object, a call frame, or the globals block.
+struct HeapObject {
+  std::vector<Value> Cells;
+  /// Region per cell for frames/globals; heap objects use one region.
+  std::vector<RegionId> CellRegions;
+  RegionId UniformRegion = InvalidRegion;
+  /// For frames: which cells correspond to shared (checkable) variables.
+  std::vector<bool> CheckableCell;
+  bool IsFrame = false;
+
+  RegionId regionOf(uint32_t Offset) const {
+    if (!CellRegions.empty() && Offset < CellRegions.size())
+      return CellRegions[Offset];
+    return UniformRegion;
+  }
+  bool checkable(uint32_t Offset) const {
+    if (CheckableCell.empty())
+      return true; // heap cells are always subject to checking
+    return Offset < CheckableCell.size() && CheckableCell[Offset];
+  }
+};
+
+struct Shared {
+  const IrModule &Module;
+  const PointsToAnalysis &PT;
+  const InferenceResult *Inference;
+  const InterpOptions &Options;
+
+  std::unique_ptr<rt::LockRuntime> LockRT;
+
+  // Object table. deque: stable references under push_back.
+  std::mutex HeapMu;
+  std::deque<HeapObject> Objects;
+
+  // First error wins; all threads stop.
+  std::atomic<bool> Stop{false};
+  std::mutex ErrorMu;
+  std::string Error;
+
+  std::atomic<uint64_t> TotalSteps{0};
+  std::atomic<uint64_t> ProtectionChecks{0};
+
+  // Spawned threads; joined when main finishes.
+  std::mutex ThreadsMu;
+  std::vector<std::thread> Threads;
+
+  void fail(const std::string &Message) {
+    {
+      std::lock_guard<std::mutex> Lock(ErrorMu);
+      if (Error.empty())
+        Error = Message;
+    }
+    Stop.store(true, std::memory_order_release);
+  }
+
+  uint32_t allocate(HeapObject Object) {
+    std::lock_guard<std::mutex> Lock(HeapMu);
+    Objects.push_back(std::move(Object));
+    return static_cast<uint32_t>(Objects.size() - 1);
+  }
+
+  HeapObject &object(uint32_t Id) { return Objects[Id]; }
+};
+
+//===----------------------------------------------------------------------===//
+// Thread execution
+//===----------------------------------------------------------------------===//
+
+/// Control-flow result of executing a statement.
+enum class Flow { Normal, Returned, Stopped };
+
+class ThreadExec {
+public:
+  ThreadExec(Shared &S, uint64_t YieldSeed)
+      : S(S), LockCtx(*S.LockRT), YieldRng(YieldSeed) {}
+
+  /// Runs \p F with \p Args; the return value (or null) in ReturnValue.
+  Flow callFunction(const IrFunction *F, const std::vector<Value> &Args);
+
+  Value returnValue() const { return ReturnValue; }
+
+private:
+  struct Frame {
+    const IrFunction *F;
+    uint32_t ObjectId;
+  };
+
+  bool step() {
+    if (S.Stop.load(std::memory_order_acquire))
+      return false;
+    if (++Steps > S.Options.MaxSteps) {
+      S.fail("step limit exceeded (runaway loop?)");
+      return false;
+    }
+    return true;
+  }
+
+  void maybeYield() {
+    if (S.Options.InjectYields && YieldRng.chance(1, 8))
+      std::this_thread::yield();
+  }
+
+  // Variable cells. Globals live in object 0.
+  Loc varCell(const Frame &Fr, const Variable *V) const {
+    if (V->isGlobal())
+      return Loc{0, V->id()};
+    return Loc{Fr.ObjectId, V->id()};
+  }
+
+  /// The §4.2 access check. \p Direct is true for direct variable
+  /// accesses (x = ..., ... = x), which are exempt when the variable is
+  /// provably thread-local (address never taken).
+  bool checkAccess(Loc L, bool IsWrite) {
+    if (!S.Options.Checked || !LockCtx.insideAtomic())
+      return true;
+    HeapObject &Obj = S.object(L.Object);
+    if (!Obj.checkable(L.Offset))
+      return true;
+    // Objects this thread allocated inside the current outermost section
+    // are unreachable by other threads at section entry.
+    for (uint32_t Id : SectionAllocs)
+      if (Id == L.Object)
+        return true;
+    S.ProtectionChecks.fetch_add(1, std::memory_order_relaxed);
+    if (LockCtx.coversAccess(L.packed(), Obj.regionOf(L.Offset), IsWrite))
+      return true;
+    S.fail("protection violation: unprotected " +
+           std::string(IsWrite ? "write" : "read") + " of object " +
+           std::to_string(L.Object) + " offset " +
+           std::to_string(L.Offset) + " in region " +
+           std::to_string(Obj.regionOf(L.Offset)));
+    return false;
+  }
+
+  std::optional<Value> readCell(Loc L, bool Check) {
+    HeapObject &Obj = S.object(L.Object);
+    if (L.Offset >= Obj.Cells.size()) {
+      S.fail("out-of-bounds read");
+      return std::nullopt;
+    }
+    if (Check && !checkAccess(L, /*IsWrite=*/false))
+      return std::nullopt;
+    maybeYield();
+    return Obj.Cells[L.Offset];
+  }
+
+  bool writeCell(Loc L, Value V, bool Check) {
+    HeapObject &Obj = S.object(L.Object);
+    if (L.Offset >= Obj.Cells.size()) {
+      S.fail("out-of-bounds write");
+      return false;
+    }
+    if (Check && !checkAccess(L, /*IsWrite=*/true))
+      return false;
+    maybeYield();
+    Obj.Cells[L.Offset] = V;
+    return true;
+  }
+
+  std::optional<Value> readVar(const Frame &Fr, const Variable *V) {
+    bool Check = V->isGlobal() || V->isAddressTaken();
+    return readCell(varCell(Fr, V), Check);
+  }
+
+  bool writeVar(const Frame &Fr, const Variable *V, Value Val) {
+    bool Check = V->isGlobal() || V->isAddressTaken();
+    return writeCell(varCell(Fr, V), Val, Check);
+  }
+
+  // Lock-expression evaluation at section entry (unchecked reads).
+  std::optional<int64_t> evalIdx(const Frame &Fr, const IdxExpr &E);
+  std::optional<Loc> evalLockPath(const Frame &Fr, const LockExpr &Path);
+  bool buildDescriptors(const Frame &Fr, const LockSet &Locks,
+                        std::vector<rt::LockDescriptor> &Out,
+                        std::vector<std::pair<const LockExpr *, Loc>>
+                            &FinePaths);
+  bool enterSection(const Frame &Fr, const AtomicIrStmt *A);
+
+  Flow execStmt(const Frame &Fr, const IrStmt *St);
+  Flow execInst(const Frame &Fr, const InstStmt *St);
+
+  Shared &S;
+  rt::ThreadLockContext LockCtx;
+  Rng YieldRng;
+  uint64_t Steps = 0;
+  uint64_t StepsAtLastCall = 0;
+  Value ReturnValue = Value::null();
+  /// Objects allocated by this thread inside the current outermost
+  /// section; cleared at releaseAll.
+  std::vector<uint32_t> SectionAllocs;
+};
+
+std::optional<int64_t> ThreadExec::evalIdx(const Frame &Fr,
+                                           const IdxExpr &E) {
+  switch (E.kind()) {
+  case IdxExpr::Kind::Const:
+    return E.constValue();
+  case IdxExpr::Kind::VarVal: {
+    std::optional<Value> V = readCell(varCell(Fr, E.var()), false);
+    if (!V || V->K != Value::Kind::Int)
+      return std::nullopt;
+    return V->Int;
+  }
+  case IdxExpr::Kind::Bin: {
+    std::optional<int64_t> L = evalIdx(Fr, *E.lhs());
+    std::optional<int64_t> R = evalIdx(Fr, *E.rhs());
+    if (!L || !R)
+      return std::nullopt;
+    switch (E.op()) {
+    case IntBinOp::Add:
+      return *L + *R;
+    case IntBinOp::Sub:
+      return *L - *R;
+    case IntBinOp::Mul:
+      return *L * *R;
+    case IntBinOp::Div:
+      return *R == 0 ? std::nullopt : std::optional<int64_t>(*L / *R);
+    case IntBinOp::Rem:
+      return *R == 0 ? std::nullopt : std::optional<int64_t>(*L % *R);
+    }
+    return std::nullopt;
+  }
+  }
+  return std::nullopt;
+}
+
+std::optional<Loc> ThreadExec::evalLockPath(const Frame &Fr,
+                                            const LockExpr &Path) {
+  // A lock path denotes an address: &base, then ops.
+  Loc Cur = varCell(Fr, Path.base());
+  for (const LockOp &Op : Path.ops()) {
+    switch (Op.K) {
+    case LockOp::Kind::Deref: {
+      std::optional<Value> V = readCell(Cur, false);
+      if (!V || V->K != Value::Kind::Location)
+        return std::nullopt; // null or non-pointer: lock unreachable
+      Cur = V->L;
+      break;
+    }
+    case LockOp::Kind::Field:
+      Cur.Offset += static_cast<uint32_t>(Op.FieldIdx);
+      break;
+    case LockOp::Kind::Index: {
+      std::optional<int64_t> I = evalIdx(Fr, *Op.Idx);
+      if (!I || *I < 0)
+        return std::nullopt;
+      Cur.Offset += static_cast<uint32_t>(*I);
+      break;
+    }
+    }
+    if (Cur.Offset >= S.object(Cur.Object).Cells.size())
+      return std::nullopt; // out of bounds: no such location
+  }
+  return Cur;
+}
+
+bool ThreadExec::buildDescriptors(
+    const Frame &Fr, const LockSet &Locks,
+    std::vector<rt::LockDescriptor> &Out,
+    std::vector<std::pair<const LockExpr *, Loc>> &FinePaths) {
+  Out.clear();
+  FinePaths.clear();
+  for (const LockName &L : Locks) {
+    switch (L.kind()) {
+    case LockName::Kind::Top:
+      Out.push_back(rt::LockDescriptor::global());
+      break;
+    case LockName::Kind::Coarse:
+      Out.push_back(rt::LockDescriptor::coarse(L.region(),
+                                               L.effect() == Effect::RW));
+      break;
+    case LockName::Kind::Fine: {
+      std::optional<Loc> Addr = evalLockPath(Fr, L.path());
+      if (!Addr)
+        break; // unreachable location: nothing to protect
+      RegionId Region = S.object(Addr->Object).regionOf(Addr->Offset);
+      Out.push_back(rt::LockDescriptor::fine(
+          Region == InvalidRegion ? 0 : Region, Addr->packed(),
+          L.effect() == Effect::RW));
+      FinePaths.emplace_back(&L.path(), *Addr);
+      break;
+    }
+    }
+  }
+  return true;
+}
+
+bool ThreadExec::enterSection(const Frame &Fr, const AtomicIrStmt *A) {
+  switch (S.Options.Mode) {
+  case AtomicMode::None:
+    LockCtx.acquireAll(); // tracks nesting; acquires nothing
+    return true;
+  case AtomicMode::GlobalLock:
+    LockCtx.toAcquire(rt::LockDescriptor::global());
+    LockCtx.acquireAll();
+    return true;
+  case AtomicMode::Inferred:
+    break;
+  }
+
+  assert(S.Inference && "Inferred mode requires an inference result");
+  const LockSet &Locks = S.Inference->sectionLocks(A->sectionId());
+
+  // Nested sections skip the protocol entirely.
+  if (LockCtx.insideAtomic()) {
+    LockCtx.acquireAll();
+    return true;
+  }
+
+  std::vector<rt::LockDescriptor> Descs;
+  std::vector<std::pair<const LockExpr *, Loc>> FinePaths;
+  for (unsigned Attempt = 0; Attempt < 128; ++Attempt) {
+    buildDescriptors(Fr, Locks, Descs, FinePaths);
+    for (const rt::LockDescriptor &D : Descs)
+      LockCtx.toAcquire(D);
+    LockCtx.acquireAll();
+    if (!S.Options.Revalidate)
+      return true;
+    // Re-evaluate fine paths under the locks; a change means another
+    // thread rewrote a cell between evaluation and acquisition.
+    bool Valid = true;
+    for (const auto &[Path, Addr] : FinePaths) {
+      std::optional<Loc> Now = evalLockPath(Fr, *Path);
+      if (!Now || !(*Now == Addr)) {
+        Valid = false;
+        break;
+      }
+    }
+    if (Valid)
+      return true;
+    LockCtx.releaseAll();
+  }
+  S.fail("lock descriptor revalidation livelock");
+  return false;
+}
+
+Flow ThreadExec::execInst(const Frame &Fr, const InstStmt *St) {
+  auto Get = [&](const Variable *V) { return readVar(Fr, V); };
+  auto Put = [&](const Variable *V, Value Val) {
+    return writeVar(Fr, V, Val);
+  };
+
+  switch (St->kind()) {
+  case IrStmt::Kind::Copy: {
+    const auto *C = cast<CopyStmt>(St);
+    std::optional<Value> V = Get(C->src());
+    if (!V || !Put(C->def(), *V))
+      return Flow::Stopped;
+    return Flow::Normal;
+  }
+  case IrStmt::Kind::ConstInt:
+    return Put(St->def(), Value::ofInt(cast<ConstIntStmt>(St)->value()))
+               ? Flow::Normal
+               : Flow::Stopped;
+  case IrStmt::Kind::ConstNull:
+    return Put(St->def(), Value::null()) ? Flow::Normal : Flow::Stopped;
+  case IrStmt::Kind::AddrOf: {
+    const auto *A = cast<AddrOfStmt>(St);
+    return Put(A->def(), Value::ofLoc(varCell(Fr, A->target())))
+               ? Flow::Normal
+               : Flow::Stopped;
+  }
+  case IrStmt::Kind::FieldAddr: {
+    const auto *F = cast<FieldAddrStmt>(St);
+    std::optional<Value> Base = Get(F->base());
+    if (!Base)
+      return Flow::Stopped;
+    if (Base->K != Value::Kind::Location) {
+      S.fail("null dereference (field of null)");
+      return Flow::Stopped;
+    }
+    Loc L = Base->L;
+    L.Offset += static_cast<uint32_t>(F->fieldIndex());
+    return Put(F->def(), Value::ofLoc(L)) ? Flow::Normal : Flow::Stopped;
+  }
+  case IrStmt::Kind::IndexAddr: {
+    const auto *Ix = cast<IndexAddrStmt>(St);
+    std::optional<Value> Base = Get(Ix->base());
+    std::optional<Value> Idx = Get(Ix->index());
+    if (!Base || !Idx)
+      return Flow::Stopped;
+    if (Base->K != Value::Kind::Location || Idx->K != Value::Kind::Int) {
+      S.fail("invalid array indexing");
+      return Flow::Stopped;
+    }
+    if (Idx->Int < 0) {
+      S.fail("negative array index");
+      return Flow::Stopped;
+    }
+    Loc L = Base->L;
+    L.Offset += static_cast<uint32_t>(Idx->Int);
+    return Put(Ix->def(), Value::ofLoc(L)) ? Flow::Normal : Flow::Stopped;
+  }
+  case IrStmt::Kind::Load: {
+    const auto *L = cast<LoadStmt>(St);
+    std::optional<Value> Addr = Get(L->addr());
+    if (!Addr)
+      return Flow::Stopped;
+    if (Addr->K != Value::Kind::Location) {
+      S.fail("null dereference (load)");
+      return Flow::Stopped;
+    }
+    std::optional<Value> V = readCell(Addr->L, /*Check=*/true);
+    if (!V || !Put(L->def(), *V))
+      return Flow::Stopped;
+    return Flow::Normal;
+  }
+  case IrStmt::Kind::Store: {
+    const auto *StS = cast<StoreStmt>(St);
+    std::optional<Value> Addr = Get(StS->addr());
+    std::optional<Value> V = Get(StS->value());
+    if (!Addr || !V)
+      return Flow::Stopped;
+    if (Addr->K != Value::Kind::Location) {
+      S.fail("null dereference (store)");
+      return Flow::Stopped;
+    }
+    return writeCell(Addr->L, *V, /*Check=*/true) ? Flow::Normal
+                                                  : Flow::Stopped;
+  }
+  case IrStmt::Kind::Alloc: {
+    const auto *A = cast<AllocStmt>(St);
+    const AllocSite &Site = S.Module.allocSites()[A->siteId()];
+    size_t Count = 1;
+    if (A->sizeVar()) {
+      std::optional<Value> Size = Get(A->sizeVar());
+      if (!Size)
+        return Flow::Stopped;
+      if (Size->K != Value::Kind::Int || Size->Int < 0 ||
+          Size->Int > (1 << 26)) {
+        S.fail("invalid allocation size");
+        return Flow::Stopped;
+      }
+      Count = static_cast<size_t>(Size->Int);
+    }
+    HeapObject Obj;
+    Obj.UniformRegion = S.PT.regionOfAllocSite(A->siteId());
+    size_t Cells = Count;
+    if (!Site.IsArray && Site.Elem)
+      Cells = Site.Elem->fields().size();
+    Obj.Cells.resize(Cells);
+    for (size_t I = 0; I < Cells; ++I) {
+      bool IntCell;
+      if (!Site.IsArray && Site.Elem)
+        IntCell = Site.Elem->fields()[I].Ty->isInt();
+      else
+        IntCell = Site.Elem == nullptr && Site.PtrDepth == 0;
+      Obj.Cells[I] = IntCell ? Value::ofInt(0) : Value::null();
+    }
+    uint32_t Id = S.allocate(std::move(Obj));
+    if (LockCtx.insideAtomic())
+      SectionAllocs.push_back(Id);
+    return Put(A->def(), Value::ofLoc(Loc{Id, 0})) ? Flow::Normal
+                                                   : Flow::Stopped;
+  }
+  case IrStmt::Kind::IntBin: {
+    const auto *B = cast<IntBinStmt>(St);
+    std::optional<Value> L = Get(B->lhs());
+    std::optional<Value> R = Get(B->rhs());
+    if (!L || !R)
+      return Flow::Stopped;
+    if (L->K != Value::Kind::Int || R->K != Value::Kind::Int) {
+      S.fail("arithmetic on non-integer");
+      return Flow::Stopped;
+    }
+    int64_t Result = 0;
+    switch (B->op()) {
+    case IntBinOp::Add:
+      Result = L->Int + R->Int;
+      break;
+    case IntBinOp::Sub:
+      Result = L->Int - R->Int;
+      break;
+    case IntBinOp::Mul:
+      Result = L->Int * R->Int;
+      break;
+    case IntBinOp::Div:
+    case IntBinOp::Rem:
+      if (R->Int == 0) {
+        S.fail("division by zero");
+        return Flow::Stopped;
+      }
+      Result = B->op() == IntBinOp::Div ? L->Int / R->Int : L->Int % R->Int;
+      break;
+    }
+    return Put(B->def(), Value::ofInt(Result)) ? Flow::Normal
+                                               : Flow::Stopped;
+  }
+  case IrStmt::Kind::Cmp: {
+    const auto *C = cast<CmpStmt>(St);
+    std::optional<Value> L = Get(C->lhs());
+    std::optional<Value> R = Get(C->rhs());
+    if (!L || !R)
+      return Flow::Stopped;
+    bool Result = false;
+    if (L->K == Value::Kind::Int && R->K == Value::Kind::Int) {
+      switch (C->op()) {
+      case CmpOp::Eq:
+        Result = L->Int == R->Int;
+        break;
+      case CmpOp::Ne:
+        Result = L->Int != R->Int;
+        break;
+      case CmpOp::Lt:
+        Result = L->Int < R->Int;
+        break;
+      case CmpOp::Le:
+        Result = L->Int <= R->Int;
+        break;
+      case CmpOp::Gt:
+        Result = L->Int > R->Int;
+        break;
+      case CmpOp::Ge:
+        Result = L->Int >= R->Int;
+        break;
+      }
+    } else {
+      // Pointer comparison (null counts as a distinct value).
+      bool Eq = (L->K == Value::Kind::Null && R->K == Value::Kind::Null) ||
+                (L->K == Value::Kind::Location &&
+                 R->K == Value::Kind::Location && L->L == R->L);
+      if (C->op() == CmpOp::Eq)
+        Result = Eq;
+      else if (C->op() == CmpOp::Ne)
+        Result = !Eq;
+      else {
+        S.fail("ordered comparison of pointers");
+        return Flow::Stopped;
+      }
+    }
+    return Put(C->def(), Value::ofInt(Result ? 1 : 0)) ? Flow::Normal
+                                                       : Flow::Stopped;
+  }
+  case IrStmt::Kind::Call: {
+    const auto *C = cast<CallStmt>(St);
+    std::vector<Value> Args;
+    Args.reserve(C->args().size());
+    for (const Variable *Arg : C->args()) {
+      std::optional<Value> V = Get(Arg);
+      if (!V)
+        return Flow::Stopped;
+      Args.push_back(*V);
+    }
+    Flow F = callFunction(C->callee(), Args);
+    if (F == Flow::Stopped)
+      return F;
+    if (C->def() && !Put(C->def(), ReturnValue))
+      return Flow::Stopped;
+    return Flow::Normal;
+  }
+  default:
+    assert(false && "not a primitive statement");
+    return Flow::Stopped;
+  }
+}
+
+Flow ThreadExec::execStmt(const Frame &Fr, const IrStmt *St) {
+  if (!step())
+    return Flow::Stopped;
+
+  switch (St->kind()) {
+  case IrStmt::Kind::Seq:
+    for (const IrStmtPtr &Child : cast<SeqStmt>(St)->stmts()) {
+      Flow F = execStmt(Fr, Child.get());
+      if (F != Flow::Normal)
+        return F;
+    }
+    return Flow::Normal;
+  case IrStmt::Kind::If: {
+    const auto *I = cast<IfIrStmt>(St);
+    std::optional<Value> Cond = readVar(Fr, I->condVar());
+    if (!Cond)
+      return Flow::Stopped;
+    if (Cond->K == Value::Kind::Int && Cond->Int != 0)
+      return execStmt(Fr, I->thenStmt());
+    if (I->elseStmt())
+      return execStmt(Fr, I->elseStmt());
+    return Flow::Normal;
+  }
+  case IrStmt::Kind::While: {
+    const auto *W = cast<WhileIrStmt>(St);
+    while (true) {
+      Flow F = execStmt(Fr, W->prelude());
+      if (F != Flow::Normal)
+        return F;
+      std::optional<Value> Cond = readVar(Fr, W->condVar());
+      if (!Cond)
+        return Flow::Stopped;
+      if (Cond->K != Value::Kind::Int || Cond->Int == 0)
+        return Flow::Normal;
+      F = execStmt(Fr, W->body());
+      if (F != Flow::Normal)
+        return F;
+      if (!step())
+        return Flow::Stopped;
+    }
+  }
+  case IrStmt::Kind::Atomic: {
+    const auto *A = cast<AtomicIrStmt>(St);
+    if (!enterSection(Fr, A))
+      return Flow::Stopped;
+    Flow F = execStmt(Fr, A->body());
+    // Release on both normal exit and return; a Stopped run aborts anyway.
+    LockCtx.releaseAll();
+    if (!LockCtx.insideAtomic())
+      SectionAllocs.clear();
+    return F;
+  }
+  case IrStmt::Kind::Return: {
+    const auto *R = cast<ReturnIrStmt>(St);
+    if (R->value()) {
+      std::optional<Value> V = readVar(Fr, R->value());
+      if (!V)
+        return Flow::Stopped;
+      ReturnValue = *V;
+    } else {
+      ReturnValue = Value::null();
+    }
+    return Flow::Returned;
+  }
+  case IrStmt::Kind::Spawn: {
+    const auto *Sp = cast<SpawnIrStmt>(St);
+    std::vector<Value> Args;
+    for (const Variable *Arg : Sp->args()) {
+      std::optional<Value> V = readVar(Fr, Arg);
+      if (!V)
+        return Flow::Stopped;
+      Args.push_back(*V);
+    }
+    const IrFunction *Callee = Sp->callee();
+    uint64_t Seed = YieldRng.next();
+    std::lock_guard<std::mutex> Lock(S.ThreadsMu);
+    S.Threads.emplace_back([&Shared = S, Callee, Args, Seed] {
+      ThreadExec Exec(Shared, Seed);
+      Exec.callFunction(Callee, Args);
+    });
+    return Flow::Normal;
+  }
+  case IrStmt::Kind::Assert: {
+    const auto *As = cast<AssertIrStmt>(St);
+    std::optional<Value> Cond = readVar(Fr, As->condVar());
+    if (!Cond)
+      return Flow::Stopped;
+    if (Cond->K != Value::Kind::Int || Cond->Int == 0) {
+      S.fail("assertion failed at " + As->loc().str());
+      return Flow::Stopped;
+    }
+    return Flow::Normal;
+  }
+  default:
+    return execInst(Fr, cast<InstStmt>(St));
+  }
+}
+
+Flow ThreadExec::callFunction(const IrFunction *F,
+                              const std::vector<Value> &Args) {
+  assert(Args.size() == F->numParams() && "arity mismatch");
+
+  HeapObject FrameObj;
+  FrameObj.IsFrame = true;
+  FrameObj.Cells.resize(F->variables().size());
+  FrameObj.CellRegions.resize(F->variables().size(), InvalidRegion);
+  FrameObj.CheckableCell.resize(F->variables().size(), false);
+  for (const auto &V : F->variables()) {
+    FrameObj.CellRegions[V->id()] = S.PT.regionOfVarCell(V.get());
+    FrameObj.CheckableCell[V->id()] = V->isAddressTaken();
+    FrameObj.Cells[V->id()] =
+        V->type()->isInt() ? Value::ofInt(0) : Value::null();
+  }
+  Frame Fr{F, S.allocate(std::move(FrameObj))};
+  for (size_t I = 0; I < Args.size(); ++I)
+    S.object(Fr.ObjectId).Cells[F->param(static_cast<unsigned>(I))->id()] =
+        Args[I];
+
+  ReturnValue = Value::null();
+  Flow Result = execStmt(Fr, F->body());
+  S.TotalSteps.fetch_add(Steps - StepsAtLastCall, std::memory_order_relaxed);
+  StepsAtLastCall = Steps;
+  if (Result == Flow::Returned)
+    return Flow::Normal; // the return was consumed by this frame
+  return Result;
+}
+
+} // namespace
+
+InterpResult lockin::interpret(const IrModule &Module,
+                               const PointsToAnalysis &PT,
+                               const InferenceResult *Inference,
+                               const InterpOptions &Options,
+                               const std::string &MainFunction) {
+  InterpResult Result;
+
+  const IrFunction *Main = Module.findFunction(MainFunction);
+  if (!Main) {
+    Result.Error = "no function named '" + MainFunction + "'";
+    return Result;
+  }
+  if (Main->numParams() != 0) {
+    Result.Error = "main must take no parameters";
+    return Result;
+  }
+
+  Shared S{Module, PT, Inference, Options};
+  S.LockRT = std::make_unique<rt::LockRuntime>(PT.numRegions());
+
+  // Object 0: the globals block.
+  HeapObject GlobalsObj;
+  GlobalsObj.Cells.resize(Module.globals().size());
+  GlobalsObj.CellRegions.resize(Module.globals().size(), InvalidRegion);
+  for (const auto &G : Module.globals()) {
+    GlobalsObj.CellRegions[G->id()] = PT.regionOfVarCell(G.get());
+    const IrModule::GlobalInit &Init = Module.GlobalInits[G->id()];
+    if (!Init.IsNull)
+      GlobalsObj.Cells[G->id()] = Value::ofInt(Init.IntValue);
+    else if (G->type()->isInt())
+      GlobalsObj.Cells[G->id()] = Value::ofInt(0);
+    else
+      GlobalsObj.Cells[G->id()] = Value::null();
+  }
+  S.Objects.push_back(std::move(GlobalsObj));
+
+  {
+    ThreadExec MainExec(S, Options.YieldSeed);
+    Flow F = MainExec.callFunction(Main, {});
+    if (F == Flow::Normal) {
+      // Propagate main's return value if it is an int.
+      // (callFunction stores it in ReturnValue.)
+      if (MainExec.returnValue().K == Value::Kind::Int)
+        Result.MainResult = MainExec.returnValue().Int;
+    }
+  }
+
+  // Join every spawned thread (spawn may race with joining: threads are
+  // only spawned by running threads, and main has finished, but spawned
+  // threads may spawn more; loop until quiescent).
+  while (true) {
+    std::vector<std::thread> ToJoin;
+    {
+      std::lock_guard<std::mutex> Lock(S.ThreadsMu);
+      ToJoin.swap(S.Threads);
+    }
+    if (ToJoin.empty())
+      break;
+    for (std::thread &T : ToJoin)
+      T.join();
+  }
+
+  Result.TotalSteps = S.TotalSteps.load();
+  Result.ProtectionChecks = S.ProtectionChecks.load();
+  {
+    std::lock_guard<std::mutex> Lock(S.ErrorMu);
+    Result.Error = S.Error;
+  }
+  Result.Ok = Result.Error.empty();
+  return Result;
+}

@@ -1,0 +1,80 @@
+//===--- Interp.h - Concurrent interpreter with checking --------*- C++ -*-===//
+//
+// Part of the lockin project: lock inference for atomic sections.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A concurrent interpreter for the (transformed) IR. Threads are real
+/// std::threads created by `spawn`; atomic sections acquire locks through
+/// the multi-granularity runtime according to the configured mode:
+///
+///  - None: sections acquire nothing (exposes the unprotected program).
+///  - GlobalLock: one global lock per section (the paper's baseline).
+///  - Inferred: the acquireAll(N) sets computed by the lock inference;
+///    fine lock expressions are evaluated to addresses at section entry
+///    and re-validated after acquisition (see DESIGN.md).
+///
+/// In checked mode the interpreter implements the instrumented operational
+/// semantics of §4.2: every shared-location access inside an atomic
+/// section must be covered by a held lock under the concrete lock
+/// semantics, otherwise the run stops with a protection violation — the
+/// "stuck state" of Theorem 1. The soundness property tests assert that
+/// transformed programs never get stuck.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LOCKIN_INTERP_INTERP_H
+#define LOCKIN_INTERP_INTERP_H
+
+#include "infer/Inference.h"
+#include "ir/Ir.h"
+#include "pointsto/Steensgaard.h"
+#include "runtime/LockRuntime.h"
+
+#include <memory>
+#include <string>
+
+namespace lockin {
+
+/// How atomic sections are protected during execution.
+enum class AtomicMode { None, GlobalLock, Inferred };
+
+struct InterpOptions {
+  AtomicMode Mode = AtomicMode::Inferred;
+  /// Enforce the checking semantics of §4.2.
+  bool Checked = true;
+  /// Re-evaluate fine lock descriptors after acquisition and retry on
+  /// mismatch (closes the evaluate-then-acquire window).
+  bool Revalidate = true;
+  /// Inject scheduler yields at shared accesses to diversify
+  /// interleavings in property tests (seeded, per thread).
+  bool InjectYields = false;
+  uint64_t YieldSeed = 1;
+  /// Per-thread step budget; exceeding it fails the run (runaway loop).
+  uint64_t MaxSteps = 50'000'000;
+};
+
+struct InterpResult {
+  bool Ok = false;
+  /// Failure description: "assert failed", "null dereference",
+  /// "protection violation: ...", "deadlock suspected", ...
+  std::string Error;
+  /// Return value of main when it returns an int; 0 otherwise.
+  int64_t MainResult = 0;
+  uint64_t TotalSteps = 0;
+  uint64_t ProtectionChecks = 0;
+};
+
+/// Executes \p Module starting at \p MainFunction ("main" by default).
+/// \p Inference is required for AtomicMode::Inferred and ignored
+/// otherwise; \p PT provides the region map shared with the analysis.
+InterpResult interpret(const ir::IrModule &Module,
+                       const PointsToAnalysis &PT,
+                       const InferenceResult *Inference,
+                       const InterpOptions &Options,
+                       const std::string &MainFunction = "main");
+
+} // namespace lockin
+
+#endif // LOCKIN_INTERP_INTERP_H

@@ -1,0 +1,196 @@
+//===--- IrPrinter.cpp - Textual IR dump --------------------------------------===//
+//
+// Part of the lockin project: lock inference for atomic sections.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IrPrinter.h"
+
+using namespace lockin;
+using namespace lockin::ir;
+
+static std::string pad(unsigned Indent) { return std::string(Indent * 2, ' '); }
+
+static const char *intBinOpSpelling(IntBinOp Op) {
+  switch (Op) {
+  case IntBinOp::Add:
+    return "+";
+  case IntBinOp::Sub:
+    return "-";
+  case IntBinOp::Mul:
+    return "*";
+  case IntBinOp::Div:
+    return "/";
+  case IntBinOp::Rem:
+    return "%";
+  }
+  return "?";
+}
+
+static const char *cmpOpSpelling(CmpOp Op) {
+  switch (Op) {
+  case CmpOp::Eq:
+    return "==";
+  case CmpOp::Ne:
+    return "!=";
+  case CmpOp::Lt:
+    return "<";
+  case CmpOp::Le:
+    return "<=";
+  case CmpOp::Gt:
+    return ">";
+  case CmpOp::Ge:
+    return ">=";
+  }
+  return "?";
+}
+
+std::string ir::printIrStmt(const IrStmt *S, unsigned Indent,
+                            const SectionAnnotator &Annotate) {
+  std::string P = pad(Indent);
+  switch (S->kind()) {
+  case IrStmt::Kind::Copy: {
+    const auto *C = cast<CopyStmt>(S);
+    return P + C->def()->name() + " = " + C->src()->name() + ";\n";
+  }
+  case IrStmt::Kind::ConstInt: {
+    const auto *C = cast<ConstIntStmt>(S);
+    return P + C->def()->name() + " = " + std::to_string(C->value()) + ";\n";
+  }
+  case IrStmt::Kind::ConstNull:
+    return P + cast<ConstNullStmt>(S)->def()->name() + " = null;\n";
+  case IrStmt::Kind::AddrOf: {
+    const auto *A = cast<AddrOfStmt>(S);
+    return P + A->def()->name() + " = &" + A->target()->name() + ";\n";
+  }
+  case IrStmt::Kind::FieldAddr: {
+    const auto *F = cast<FieldAddrStmt>(S);
+    return P + F->def()->name() + " = " + F->base()->name() + " + ." +
+           F->fieldName() + ";\n";
+  }
+  case IrStmt::Kind::IndexAddr: {
+    const auto *Ix = cast<IndexAddrStmt>(S);
+    return P + Ix->def()->name() + " = " + Ix->base()->name() + " @ " +
+           Ix->index()->name() + ";\n";
+  }
+  case IrStmt::Kind::Load: {
+    const auto *L = cast<LoadStmt>(S);
+    return P + L->def()->name() + " = *" + L->addr()->name() + ";\n";
+  }
+  case IrStmt::Kind::Store: {
+    const auto *St = cast<StoreStmt>(S);
+    return P + "*" + St->addr()->name() + " = " + St->value()->name() +
+           ";\n";
+  }
+  case IrStmt::Kind::Alloc: {
+    const auto *A = cast<AllocStmt>(S);
+    std::string Out = P + A->def()->name() + " = new#" +
+                      std::to_string(A->siteId());
+    if (A->sizeVar())
+      Out += "[" + A->sizeVar()->name() + "]";
+    return Out + ";\n";
+  }
+  case IrStmt::Kind::IntBin: {
+    const auto *B = cast<IntBinStmt>(S);
+    return P + B->def()->name() + " = " + B->lhs()->name() + " " +
+           intBinOpSpelling(B->op()) + " " + B->rhs()->name() + ";\n";
+  }
+  case IrStmt::Kind::Cmp: {
+    const auto *C = cast<CmpStmt>(S);
+    return P + C->def()->name() + " = " + C->lhs()->name() + " " +
+           cmpOpSpelling(C->op()) + " " + C->rhs()->name() + ";\n";
+  }
+  case IrStmt::Kind::Call: {
+    const auto *C = cast<CallStmt>(S);
+    std::string Out = P;
+    if (C->def())
+      Out += C->def()->name() + " = ";
+    Out += C->callee()->name() + "(";
+    for (size_t I = 0; I < C->args().size(); ++I) {
+      if (I != 0)
+        Out += ", ";
+      Out += C->args()[I]->name();
+    }
+    return Out + ");\n";
+  }
+  case IrStmt::Kind::Seq: {
+    std::string Out;
+    for (const IrStmtPtr &Child : cast<SeqStmt>(S)->stmts())
+      Out += printIrStmt(Child.get(), Indent, Annotate);
+    return Out;
+  }
+  case IrStmt::Kind::If: {
+    const auto *I = cast<IfIrStmt>(S);
+    std::string Out = P + "if (" + I->condVar()->name() + ") {\n" +
+                      printIrStmt(I->thenStmt(), Indent + 1, Annotate) + P +
+                      "}";
+    if (I->elseStmt())
+      Out += " else {\n" + printIrStmt(I->elseStmt(), Indent + 1, Annotate) +
+             P + "}";
+    return Out + "\n";
+  }
+  case IrStmt::Kind::While: {
+    const auto *W = cast<WhileIrStmt>(S);
+    return P + "loop {\n" + printIrStmt(W->prelude(), Indent + 1, Annotate) +
+           pad(Indent + 1) + "if (!" + W->condVar()->name() + ") break;\n" +
+           printIrStmt(W->body(), Indent + 1, Annotate) + P + "}\n";
+  }
+  case IrStmt::Kind::Atomic: {
+    const auto *A = cast<AtomicIrStmt>(S);
+    std::string Annotation = Annotate ? Annotate(A->sectionId()) : "";
+    if (Annotation.empty()) {
+      return P + "atomic #" + std::to_string(A->sectionId()) + " {\n" +
+             printIrStmt(A->body(), Indent + 1, Annotate) + P + "}\n";
+    }
+    return P + "acquireAll(" + Annotation + ");\n" +
+           printIrStmt(A->body(), Indent, Annotate) + P + "releaseAll();\n";
+  }
+  case IrStmt::Kind::Return: {
+    const auto *R = cast<ReturnIrStmt>(S);
+    if (!R->value())
+      return P + "return;\n";
+    return P + "return " + R->value()->name() + ";\n";
+  }
+  case IrStmt::Kind::Spawn: {
+    const auto *Sp = cast<SpawnIrStmt>(S);
+    std::string Out = P + "spawn " + Sp->callee()->name() + "(";
+    for (size_t I = 0; I < Sp->args().size(); ++I) {
+      if (I != 0)
+        Out += ", ";
+      Out += Sp->args()[I]->name();
+    }
+    return Out + ");\n";
+  }
+  case IrStmt::Kind::Assert:
+    return P + "assert(" + cast<AssertIrStmt>(S)->condVar()->name() + ");\n";
+  }
+  return P + "<?>;\n";
+}
+
+std::string ir::printIrFunction(const IrFunction &F,
+                                const SectionAnnotator &Annotate) {
+  std::string Out = F.returnType()->str() + " " + F.name() + "(";
+  for (unsigned I = 0; I < F.numParams(); ++I) {
+    if (I != 0)
+      Out += ", ";
+    Out += F.param(I)->type()->str() + " " + F.param(I)->name();
+  }
+  Out += ") {\n";
+  Out += printIrStmt(F.body(), 1, Annotate);
+  Out += "}\n";
+  return Out;
+}
+
+std::string ir::printIrModule(const IrModule &M,
+                              const SectionAnnotator &Annotate) {
+  std::string Out;
+  for (const auto &G : M.globals())
+    Out += G->type()->str() + " " + G->name() + ";\n";
+  if (!M.globals().empty())
+    Out += "\n";
+  for (const auto &F : M.functions()) {
+    Out += printIrFunction(*F, Annotate);
+    Out += "\n";
+  }
+  return Out;
+}

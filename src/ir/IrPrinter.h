@@ -1,0 +1,38 @@
+//===--- IrPrinter.h - Textual IR dump --------------------------*- C++ -*-===//
+//
+// Part of the lockin project: lock inference for atomic sections.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LOCKIN_IR_IRPRINTER_H
+#define LOCKIN_IR_IRPRINTER_H
+
+#include "ir/Ir.h"
+
+#include <functional>
+#include <string>
+
+namespace lockin {
+namespace ir {
+
+/// Maps an atomic section id to the text printed inside acquireAll(...).
+/// When absent (or returning ""), sections print as plain `atomic`.
+using SectionAnnotator = std::function<std::string(uint32_t SectionId)>;
+
+/// Renders \p S with the given indent.
+std::string printIrStmt(const IrStmt *S, unsigned Indent = 0,
+                        const SectionAnnotator &Annotate = {});
+
+/// Renders one function.
+std::string printIrFunction(const IrFunction &F,
+                            const SectionAnnotator &Annotate = {});
+
+/// Renders the whole module. With an annotator this shows the transformed
+/// output program: atomic sections become acquireAll(...)/releaseAll pairs.
+std::string printIrModule(const IrModule &M,
+                          const SectionAnnotator &Annotate = {});
+
+} // namespace ir
+} // namespace lockin
+
+#endif // LOCKIN_IR_IRPRINTER_H

@@ -1,0 +1,26 @@
+//===--- Lowering.h - AST to normalized IR ----------------------*- C++ -*-===//
+//
+// Part of the lockin project: lock inference for atomic sections.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LOCKIN_IR_LOWERING_H
+#define LOCKIN_IR_LOWERING_H
+
+#include "ir/Ir.h"
+#include "support/Diagnostics.h"
+
+#include <memory>
+
+namespace lockin {
+
+/// Lowers a sema-checked \p Prog to the normalized IR. Never fails on
+/// checked input; \p Diags is used only for internal-consistency reports.
+/// The returned module keeps pointers into \p Prog (types, structs), which
+/// must outlive it.
+std::unique_ptr<ir::IrModule> lowerProgram(Program &Prog,
+                                           DiagnosticEngine &Diags);
+
+} // namespace lockin
+
+#endif // LOCKIN_IR_LOWERING_H

@@ -1,0 +1,538 @@
+//===--- Ast.h - Abstract syntax of the input language ----------*- C++ -*-===//
+//
+// Part of the lockin project: lock inference for atomic sections.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// AST for the paper's input language (PLDI'08 Fig. 3) with the
+/// implementation extensions from DESIGN.md. The AST is produced by the
+/// Parser, annotated by Sema (types, declaration links), and lowered to the
+/// normalized IR by ir/Lowering.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LOCKIN_LANG_AST_H
+#define LOCKIN_LANG_AST_H
+
+#include "lang/Type.h"
+#include "support/Casting.h"
+#include "support/SourceLoc.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace lockin {
+
+class Expr;
+class Stmt;
+class FunctionDecl;
+using ExprPtr = std::unique_ptr<Expr>;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+//===----------------------------------------------------------------------===//
+// Declarations
+//===----------------------------------------------------------------------===//
+
+/// A variable: global, function parameter, or local. Locals are owned by
+/// their DeclStmt; parameters by their FunctionDecl; globals by the Program.
+class VarDecl {
+public:
+  VarDecl(std::string Name, Type *Ty, SourceLoc Loc, bool IsGlobal)
+      : Name(std::move(Name)), Ty(Ty), Loc(Loc), Global(IsGlobal) {}
+
+  const std::string &name() const { return Name; }
+  Type *type() const { return Ty; }
+  SourceLoc loc() const { return Loc; }
+  bool isGlobal() const { return Global; }
+
+private:
+  std::string Name;
+  Type *Ty;
+  SourceLoc Loc;
+  bool Global;
+};
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+enum class UnaryOp { Deref, AddrOf, Neg, Not };
+enum class BinaryOp {
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Rem,
+  Eq,
+  Ne,
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  And,
+  Or
+};
+
+/// Returns true for ==, !=, <, <=, >, >=.
+bool isComparisonOp(BinaryOp Op);
+/// Returns true for && and ||.
+bool isLogicalOp(BinaryOp Op);
+/// Source spelling of \p Op, e.g. "==".
+const char *binaryOpSpelling(BinaryOp Op);
+
+class Expr {
+public:
+  enum class Kind { IntLit, NullLit, VarRef, Unary, Binary, Arrow, Index,
+                    Call, New };
+
+  virtual ~Expr() = default;
+
+  Kind kind() const { return K; }
+  SourceLoc loc() const { return Loc; }
+
+  /// The expression's type; set by Sema, null before.
+  Type *type() const { return Ty; }
+  void setType(Type *T) { Ty = T; }
+
+protected:
+  Expr(Kind K, SourceLoc Loc) : K(K), Loc(Loc) {}
+
+private:
+  Kind K;
+  SourceLoc Loc;
+  Type *Ty = nullptr;
+};
+
+class IntLitExpr : public Expr {
+public:
+  IntLitExpr(int64_t Value, SourceLoc Loc)
+      : Expr(Kind::IntLit, Loc), Value(Value) {}
+
+  int64_t value() const { return Value; }
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::IntLit; }
+
+private:
+  int64_t Value;
+};
+
+class NullLitExpr : public Expr {
+public:
+  explicit NullLitExpr(SourceLoc Loc) : Expr(Kind::NullLit, Loc) {}
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::NullLit; }
+};
+
+class VarRefExpr : public Expr {
+public:
+  VarRefExpr(std::string Name, SourceLoc Loc)
+      : Expr(Kind::VarRef, Loc), Name(std::move(Name)) {}
+
+  const std::string &name() const { return Name; }
+
+  /// The resolved declaration; set by Sema.
+  VarDecl *decl() const { return Decl; }
+  void setDecl(VarDecl *D) { Decl = D; }
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::VarRef; }
+
+private:
+  std::string Name;
+  VarDecl *Decl = nullptr;
+};
+
+class UnaryExpr : public Expr {
+public:
+  UnaryExpr(UnaryOp Op, ExprPtr Sub, SourceLoc Loc)
+      : Expr(Kind::Unary, Loc), Op(Op), Sub(std::move(Sub)) {}
+
+  UnaryOp op() const { return Op; }
+  Expr *sub() const { return Sub.get(); }
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::Unary; }
+
+private:
+  UnaryOp Op;
+  ExprPtr Sub;
+};
+
+class BinaryExpr : public Expr {
+public:
+  BinaryExpr(BinaryOp Op, ExprPtr Lhs, ExprPtr Rhs, SourceLoc Loc)
+      : Expr(Kind::Binary, Loc), Op(Op), Lhs(std::move(Lhs)),
+        Rhs(std::move(Rhs)) {}
+
+  BinaryOp op() const { return Op; }
+  Expr *lhs() const { return Lhs.get(); }
+  Expr *rhs() const { return Rhs.get(); }
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::Binary; }
+
+private:
+  BinaryOp Op;
+  ExprPtr Lhs;
+  ExprPtr Rhs;
+};
+
+/// Field access through a pointer: base->field.
+class ArrowExpr : public Expr {
+public:
+  ArrowExpr(ExprPtr Base, std::string Field, SourceLoc Loc)
+      : Expr(Kind::Arrow, Loc), Base(std::move(Base)),
+        Field(std::move(Field)) {}
+
+  Expr *base() const { return Base.get(); }
+  const std::string &fieldName() const { return Field; }
+
+  /// Field index within the struct; set by Sema.
+  int fieldIndex() const { return FieldIdx; }
+  void setFieldIndex(int Idx) { FieldIdx = Idx; }
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::Arrow; }
+
+private:
+  ExprPtr Base;
+  std::string Field;
+  int FieldIdx = -1;
+};
+
+/// Array element access through a pointer: base[index].
+class IndexExpr : public Expr {
+public:
+  IndexExpr(ExprPtr Base, ExprPtr Index, SourceLoc Loc)
+      : Expr(Kind::Index, Loc), Base(std::move(Base)),
+        Index(std::move(Index)) {}
+
+  Expr *base() const { return Base.get(); }
+  Expr *index() const { return Index.get(); }
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::Index; }
+
+private:
+  ExprPtr Base;
+  ExprPtr Index;
+};
+
+class CallExpr : public Expr {
+public:
+  CallExpr(std::string Callee, std::vector<ExprPtr> Args, SourceLoc Loc)
+      : Expr(Kind::Call, Loc), Callee(std::move(Callee)),
+        Args(std::move(Args)) {}
+
+  const std::string &calleeName() const { return Callee; }
+  const std::vector<ExprPtr> &args() const { return Args; }
+
+  /// The resolved callee; set by Sema.
+  FunctionDecl *callee() const { return CalleeDecl; }
+  void setCallee(FunctionDecl *F) { CalleeDecl = F; }
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::Call; }
+
+private:
+  std::string Callee;
+  std::vector<ExprPtr> Args;
+  FunctionDecl *CalleeDecl = nullptr;
+};
+
+/// Heap allocation: `new T` for one struct, `new E[n]` for an array whose
+/// element type E is `int`, a struct, or a pointer (e.g. `new node*[16]`).
+/// The result type is a pointer to the element type.
+class NewExpr : public Expr {
+public:
+  NewExpr(std::string TypeName, bool IsIntElem, unsigned PtrDepth,
+          ExprPtr ArraySize, SourceLoc Loc)
+      : Expr(Kind::New, Loc), TypeName(std::move(TypeName)),
+        IntElem(IsIntElem), PtrDepth(PtrDepth),
+        ArraySize(std::move(ArraySize)) {}
+
+  /// Named struct element type; empty when the element type is int.
+  const std::string &typeName() const { return TypeName; }
+  bool isIntElem() const { return IntElem; }
+
+  /// Number of '*' after the element type name, e.g. 1 for `new node*[16]`.
+  unsigned ptrDepth() const { return PtrDepth; }
+
+  /// Null for single-object allocations.
+  Expr *arraySize() const { return ArraySize.get(); }
+
+  /// Element struct declaration; set by Sema (null for int arrays).
+  StructDecl *elemStruct() const { return ElemStruct; }
+  void setElemStruct(StructDecl *SD) { ElemStruct = SD; }
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::New; }
+
+private:
+  std::string TypeName;
+  bool IntElem;
+  unsigned PtrDepth;
+  ExprPtr ArraySize;
+  StructDecl *ElemStruct = nullptr;
+};
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+class Stmt {
+public:
+  enum class Kind { Block, Decl, Assign, ExprStmt, If, While, Return, Atomic,
+                    Spawn, Assert };
+
+  virtual ~Stmt() = default;
+
+  Kind kind() const { return K; }
+  SourceLoc loc() const { return Loc; }
+
+protected:
+  Stmt(Kind K, SourceLoc Loc) : K(K), Loc(Loc) {}
+
+private:
+  Kind K;
+  SourceLoc Loc;
+};
+
+class BlockStmt : public Stmt {
+public:
+  BlockStmt(std::vector<StmtPtr> Stmts, SourceLoc Loc)
+      : Stmt(Kind::Block, Loc), Stmts(std::move(Stmts)) {}
+
+  const std::vector<StmtPtr> &stmts() const { return Stmts; }
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Block; }
+
+private:
+  std::vector<StmtPtr> Stmts;
+};
+
+class DeclStmt : public Stmt {
+public:
+  DeclStmt(std::unique_ptr<VarDecl> Var, ExprPtr Init, SourceLoc Loc)
+      : Stmt(Kind::Decl, Loc), Var(std::move(Var)), Init(std::move(Init)) {}
+
+  VarDecl *var() const { return Var.get(); }
+  Expr *init() const { return Init.get(); }
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Decl; }
+
+private:
+  std::unique_ptr<VarDecl> Var;
+  ExprPtr Init;
+};
+
+class AssignStmt : public Stmt {
+public:
+  AssignStmt(ExprPtr Lhs, ExprPtr Rhs, SourceLoc Loc)
+      : Stmt(Kind::Assign, Loc), Lhs(std::move(Lhs)), Rhs(std::move(Rhs)) {}
+
+  Expr *lhs() const { return Lhs.get(); }
+  Expr *rhs() const { return Rhs.get(); }
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Assign; }
+
+private:
+  ExprPtr Lhs;
+  ExprPtr Rhs;
+};
+
+/// An expression evaluated for effect; Sema requires it to be a call.
+class ExprStmt : public Stmt {
+public:
+  ExprStmt(ExprPtr E, SourceLoc Loc) : Stmt(Kind::ExprStmt, Loc),
+                                       E(std::move(E)) {}
+
+  Expr *expr() const { return E.get(); }
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::ExprStmt; }
+
+private:
+  ExprPtr E;
+};
+
+class IfStmt : public Stmt {
+public:
+  IfStmt(ExprPtr Cond, StmtPtr Then, StmtPtr Else, SourceLoc Loc)
+      : Stmt(Kind::If, Loc), Cond(std::move(Cond)), Then(std::move(Then)),
+        Else(std::move(Else)) {}
+
+  Expr *cond() const { return Cond.get(); }
+  Stmt *thenStmt() const { return Then.get(); }
+  Stmt *elseStmt() const { return Else.get(); }
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::If; }
+
+private:
+  ExprPtr Cond;
+  StmtPtr Then;
+  StmtPtr Else;
+};
+
+class WhileStmt : public Stmt {
+public:
+  WhileStmt(ExprPtr Cond, StmtPtr Body, SourceLoc Loc)
+      : Stmt(Kind::While, Loc), Cond(std::move(Cond)), Body(std::move(Body)) {}
+
+  Expr *cond() const { return Cond.get(); }
+  Stmt *body() const { return Body.get(); }
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::While; }
+
+private:
+  ExprPtr Cond;
+  StmtPtr Body;
+};
+
+class ReturnStmt : public Stmt {
+public:
+  ReturnStmt(ExprPtr Value, SourceLoc Loc)
+      : Stmt(Kind::Return, Loc), Value(std::move(Value)) {}
+
+  /// Null for `return;` in void functions.
+  Expr *value() const { return Value.get(); }
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Return; }
+
+private:
+  ExprPtr Value;
+};
+
+class AtomicStmt : public Stmt {
+public:
+  AtomicStmt(StmtPtr Body, SourceLoc Loc)
+      : Stmt(Kind::Atomic, Loc), Body(std::move(Body)) {}
+
+  Stmt *body() const { return Body.get(); }
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Atomic; }
+
+private:
+  StmtPtr Body;
+};
+
+/// Creates a new thread running callee(args). Not allowed inside atomic
+/// sections; the callee must return void.
+class SpawnStmt : public Stmt {
+public:
+  SpawnStmt(std::string Callee, std::vector<ExprPtr> Args, SourceLoc Loc)
+      : Stmt(Kind::Spawn, Loc), Callee(std::move(Callee)),
+        Args(std::move(Args)) {}
+
+  const std::string &calleeName() const { return Callee; }
+  const std::vector<ExprPtr> &args() const { return Args; }
+
+  FunctionDecl *callee() const { return CalleeDecl; }
+  void setCallee(FunctionDecl *F) { CalleeDecl = F; }
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Spawn; }
+
+private:
+  std::string Callee;
+  std::vector<ExprPtr> Args;
+  FunctionDecl *CalleeDecl = nullptr;
+};
+
+class AssertStmt : public Stmt {
+public:
+  AssertStmt(ExprPtr Cond, SourceLoc Loc)
+      : Stmt(Kind::Assert, Loc), Cond(std::move(Cond)) {}
+
+  Expr *cond() const { return Cond.get(); }
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Assert; }
+
+private:
+  ExprPtr Cond;
+};
+
+//===----------------------------------------------------------------------===//
+// Functions and programs
+//===----------------------------------------------------------------------===//
+
+class FunctionDecl {
+public:
+  FunctionDecl(std::string Name, Type *ReturnTy,
+               std::vector<std::unique_ptr<VarDecl>> Params,
+               std::unique_ptr<BlockStmt> Body, SourceLoc Loc)
+      : Name(std::move(Name)), ReturnTy(ReturnTy), Params(std::move(Params)),
+        Body(std::move(Body)), Loc(Loc) {}
+
+  const std::string &name() const { return Name; }
+  Type *returnType() const { return ReturnTy; }
+  const std::vector<std::unique_ptr<VarDecl>> &params() const {
+    return Params;
+  }
+  BlockStmt *body() const { return Body.get(); }
+  SourceLoc loc() const { return Loc; }
+
+private:
+  std::string Name;
+  Type *ReturnTy;
+  std::vector<std::unique_ptr<VarDecl>> Params;
+  std::unique_ptr<BlockStmt> Body;
+  SourceLoc Loc;
+};
+
+/// A whole input program: struct declarations, globals, and functions.
+/// Owns the TypeContext used by every annotation.
+class Program {
+public:
+  TypeContext &types() { return Types; }
+
+  void addStruct(std::unique_ptr<StructDecl> SD) {
+    StructMap[SD->name()] = SD.get();
+    Structs.push_back(std::move(SD));
+  }
+
+  void addGlobal(std::unique_ptr<VarDecl> Var, ExprPtr Init) {
+    GlobalMap[Var->name()] = Var.get();
+    Globals.push_back(std::move(Var));
+    GlobalInits.push_back(std::move(Init));
+  }
+
+  void addFunction(std::unique_ptr<FunctionDecl> F) {
+    FunctionMap[F->name()] = F.get();
+    Functions.push_back(std::move(F));
+  }
+
+  StructDecl *findStruct(const std::string &Name) const {
+    auto It = StructMap.find(Name);
+    return It == StructMap.end() ? nullptr : It->second;
+  }
+
+  VarDecl *findGlobal(const std::string &Name) const {
+    auto It = GlobalMap.find(Name);
+    return It == GlobalMap.end() ? nullptr : It->second;
+  }
+
+  FunctionDecl *findFunction(const std::string &Name) const {
+    auto It = FunctionMap.find(Name);
+    return It == FunctionMap.end() ? nullptr : It->second;
+  }
+
+  const std::vector<std::unique_ptr<StructDecl>> &structs() const {
+    return Structs;
+  }
+  const std::vector<std::unique_ptr<VarDecl>> &globals() const {
+    return Globals;
+  }
+  /// Global initializers, parallel to globals(); entries may be null.
+  const std::vector<ExprPtr> &globalInits() const { return GlobalInits; }
+  const std::vector<std::unique_ptr<FunctionDecl>> &functions() const {
+    return Functions;
+  }
+
+private:
+  TypeContext Types;
+  std::vector<std::unique_ptr<StructDecl>> Structs;
+  std::vector<std::unique_ptr<VarDecl>> Globals;
+  std::vector<ExprPtr> GlobalInits;
+  std::vector<std::unique_ptr<FunctionDecl>> Functions;
+  std::unordered_map<std::string, StructDecl *> StructMap;
+  std::unordered_map<std::string, VarDecl *> GlobalMap;
+  std::unordered_map<std::string, FunctionDecl *> FunctionMap;
+};
+
+} // namespace lockin
+
+#endif // LOCKIN_LANG_AST_H

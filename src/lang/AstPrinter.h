@@ -1,0 +1,28 @@
+//===--- AstPrinter.h - Source pretty-printer -------------------*- C++ -*-===//
+//
+// Part of the lockin project: lock inference for atomic sections.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LOCKIN_LANG_ASTPRINTER_H
+#define LOCKIN_LANG_ASTPRINTER_H
+
+#include "lang/Ast.h"
+
+#include <string>
+
+namespace lockin {
+
+/// Renders \p E back to source syntax (fully parenthesized subterms where
+/// precedence would be ambiguous).
+std::string printExpr(const Expr *E);
+
+/// Renders \p S as an indented source block.
+std::string printStmt(const Stmt *S, unsigned Indent = 0);
+
+/// Renders the whole program; the result reparses to an equivalent AST.
+std::string printProgram(const Program &Prog);
+
+} // namespace lockin
+
+#endif // LOCKIN_LANG_ASTPRINTER_H

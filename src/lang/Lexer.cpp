@@ -1,0 +1,259 @@
+//===--- Lexer.cpp - Tokenizer for the input language ----------------------===//
+//
+// Part of the lockin project: lock inference for atomic sections.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Lexer.h"
+
+#include <cctype>
+#include <unordered_map>
+
+using namespace lockin;
+
+const char *lockin::tokenKindName(TokenKind Kind) {
+  switch (Kind) {
+  case TokenKind::Eof:
+    return "end of input";
+  case TokenKind::Invalid:
+    return "invalid token";
+  case TokenKind::Identifier:
+    return "identifier";
+  case TokenKind::IntLiteral:
+    return "integer literal";
+  case TokenKind::KwStruct:
+    return "'struct'";
+  case TokenKind::KwInt:
+    return "'int'";
+  case TokenKind::KwVoid:
+    return "'void'";
+  case TokenKind::KwIf:
+    return "'if'";
+  case TokenKind::KwElse:
+    return "'else'";
+  case TokenKind::KwWhile:
+    return "'while'";
+  case TokenKind::KwReturn:
+    return "'return'";
+  case TokenKind::KwAtomic:
+    return "'atomic'";
+  case TokenKind::KwNew:
+    return "'new'";
+  case TokenKind::KwNull:
+    return "'null'";
+  case TokenKind::KwSpawn:
+    return "'spawn'";
+  case TokenKind::KwAssert:
+    return "'assert'";
+  case TokenKind::LBrace:
+    return "'{'";
+  case TokenKind::RBrace:
+    return "'}'";
+  case TokenKind::LParen:
+    return "'('";
+  case TokenKind::RParen:
+    return "')'";
+  case TokenKind::LBracket:
+    return "'['";
+  case TokenKind::RBracket:
+    return "']'";
+  case TokenKind::Semi:
+    return "';'";
+  case TokenKind::Comma:
+    return "','";
+  case TokenKind::Assign:
+    return "'='";
+  case TokenKind::Star:
+    return "'*'";
+  case TokenKind::Amp:
+    return "'&'";
+  case TokenKind::Plus:
+    return "'+'";
+  case TokenKind::Minus:
+    return "'-'";
+  case TokenKind::Slash:
+    return "'/'";
+  case TokenKind::Percent:
+    return "'%'";
+  case TokenKind::Arrow:
+    return "'->'";
+  case TokenKind::EqEq:
+    return "'=='";
+  case TokenKind::NotEq:
+    return "'!='";
+  case TokenKind::Less:
+    return "'<'";
+  case TokenKind::LessEq:
+    return "'<='";
+  case TokenKind::Greater:
+    return "'>'";
+  case TokenKind::GreaterEq:
+    return "'>='";
+  case TokenKind::AmpAmp:
+    return "'&&'";
+  case TokenKind::PipePipe:
+    return "'||'";
+  case TokenKind::Bang:
+    return "'!'";
+  }
+  return "unknown";
+}
+
+char Lexer::advance() {
+  char C = Source[Pos++];
+  if (C == '\n') {
+    ++Line;
+    Col = 1;
+  } else {
+    ++Col;
+  }
+  return C;
+}
+
+void Lexer::skipTrivia() {
+  while (Pos < Source.size()) {
+    char C = peek();
+    if (std::isspace(static_cast<unsigned char>(C))) {
+      advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '/') {
+      while (Pos < Source.size() && peek() != '\n')
+        advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '*') {
+      SourceLoc Start = loc();
+      advance();
+      advance();
+      while (Pos < Source.size() && !(peek() == '*' && peek(1) == '/'))
+        advance();
+      if (Pos >= Source.size()) {
+        Diags.error(Start, "unterminated block comment");
+        return;
+      }
+      advance();
+      advance();
+      continue;
+    }
+    return;
+  }
+}
+
+static TokenKind keywordKind(const std::string &Text) {
+  static const std::unordered_map<std::string, TokenKind> Keywords = {
+      {"struct", TokenKind::KwStruct}, {"int", TokenKind::KwInt},
+      {"void", TokenKind::KwVoid},     {"if", TokenKind::KwIf},
+      {"else", TokenKind::KwElse},     {"while", TokenKind::KwWhile},
+      {"return", TokenKind::KwReturn}, {"atomic", TokenKind::KwAtomic},
+      {"new", TokenKind::KwNew},       {"null", TokenKind::KwNull},
+      {"spawn", TokenKind::KwSpawn},   {"assert", TokenKind::KwAssert},
+  };
+  auto It = Keywords.find(Text);
+  return It == Keywords.end() ? TokenKind::Identifier : It->second;
+}
+
+Token Lexer::lex() {
+  skipTrivia();
+  SourceLoc Start = loc();
+  if (Pos >= Source.size())
+    return makeSimple(TokenKind::Eof, Start);
+
+  char C = advance();
+
+  if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+    std::string Text(1, C);
+    while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_')
+      Text += advance();
+    Token Tok;
+    Tok.Kind = keywordKind(Text);
+    Tok.Loc = Start;
+    if (Tok.Kind == TokenKind::Identifier)
+      Tok.Text = std::move(Text);
+    return Tok;
+  }
+
+  if (std::isdigit(static_cast<unsigned char>(C))) {
+    int64_t Value = C - '0';
+    while (std::isdigit(static_cast<unsigned char>(peek())))
+      Value = Value * 10 + (advance() - '0');
+    Token Tok;
+    Tok.Kind = TokenKind::IntLiteral;
+    Tok.Loc = Start;
+    Tok.IntValue = Value;
+    return Tok;
+  }
+
+  switch (C) {
+  case '{':
+    return makeSimple(TokenKind::LBrace, Start);
+  case '}':
+    return makeSimple(TokenKind::RBrace, Start);
+  case '(':
+    return makeSimple(TokenKind::LParen, Start);
+  case ')':
+    return makeSimple(TokenKind::RParen, Start);
+  case '[':
+    return makeSimple(TokenKind::LBracket, Start);
+  case ']':
+    return makeSimple(TokenKind::RBracket, Start);
+  case ';':
+    return makeSimple(TokenKind::Semi, Start);
+  case ',':
+    return makeSimple(TokenKind::Comma, Start);
+  case '*':
+    return makeSimple(TokenKind::Star, Start);
+  case '+':
+    return makeSimple(TokenKind::Plus, Start);
+  case '/':
+    return makeSimple(TokenKind::Slash, Start);
+  case '%':
+    return makeSimple(TokenKind::Percent, Start);
+  case '-':
+    if (peek() == '>') {
+      advance();
+      return makeSimple(TokenKind::Arrow, Start);
+    }
+    return makeSimple(TokenKind::Minus, Start);
+  case '=':
+    if (peek() == '=') {
+      advance();
+      return makeSimple(TokenKind::EqEq, Start);
+    }
+    return makeSimple(TokenKind::Assign, Start);
+  case '!':
+    if (peek() == '=') {
+      advance();
+      return makeSimple(TokenKind::NotEq, Start);
+    }
+    return makeSimple(TokenKind::Bang, Start);
+  case '<':
+    if (peek() == '=') {
+      advance();
+      return makeSimple(TokenKind::LessEq, Start);
+    }
+    return makeSimple(TokenKind::Less, Start);
+  case '>':
+    if (peek() == '=') {
+      advance();
+      return makeSimple(TokenKind::GreaterEq, Start);
+    }
+    return makeSimple(TokenKind::Greater, Start);
+  case '&':
+    if (peek() == '&') {
+      advance();
+      return makeSimple(TokenKind::AmpAmp, Start);
+    }
+    return makeSimple(TokenKind::Amp, Start);
+  case '|':
+    if (peek() == '|') {
+      advance();
+      return makeSimple(TokenKind::PipePipe, Start);
+    }
+    Diags.error(Start, "expected '||'");
+    return makeSimple(TokenKind::Invalid, Start);
+  default:
+    Diags.error(Start, std::string("unexpected character '") + C + "'");
+    return makeSimple(TokenKind::Invalid, Start);
+  }
+}

@@ -1,0 +1,51 @@
+//===--- Lexer.h - Tokenizer for the input language -------------*- C++ -*-===//
+//
+// Part of the lockin project: lock inference for atomic sections.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LOCKIN_LANG_LEXER_H
+#define LOCKIN_LANG_LEXER_H
+
+#include "lang/Token.h"
+#include "support/Diagnostics.h"
+
+#include <string_view>
+
+namespace lockin {
+
+/// Hand-written scanner. Supports `//` line comments and `/* */` block
+/// comments. Produces an Eof token at end of input and keeps returning it.
+class Lexer {
+public:
+  Lexer(std::string_view Source, DiagnosticEngine &Diags)
+      : Source(Source), Diags(Diags) {}
+
+  /// Scans and returns the next token.
+  Token lex();
+
+private:
+  char peek(unsigned Ahead = 0) const {
+    return Pos + Ahead < Source.size() ? Source[Pos + Ahead] : '\0';
+  }
+  char advance();
+  void skipTrivia();
+  SourceLoc loc() const { return SourceLoc(Line, Col); }
+
+  Token makeSimple(TokenKind Kind, SourceLoc Loc) const {
+    Token Tok;
+    Tok.Kind = Kind;
+    Tok.Loc = Loc;
+    return Tok;
+  }
+
+  std::string_view Source;
+  DiagnosticEngine &Diags;
+  size_t Pos = 0;
+  uint32_t Line = 1;
+  uint32_t Col = 1;
+};
+
+} // namespace lockin
+
+#endif // LOCKIN_LANG_LEXER_H

@@ -1,0 +1,77 @@
+//===--- Parser.h - Recursive-descent parser --------------------*- C++ -*-===//
+//
+// Part of the lockin project: lock inference for atomic sections.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LOCKIN_LANG_PARSER_H
+#define LOCKIN_LANG_PARSER_H
+
+#include "lang/Ast.h"
+#include "lang/Lexer.h"
+#include "support/Diagnostics.h"
+
+#include <memory>
+#include <string_view>
+#include <unordered_set>
+
+namespace lockin {
+
+/// Parses one whole program. On syntax errors, reports diagnostics and
+/// returns null; there is no error recovery (inputs are machine-generated
+/// or small).
+class Parser {
+public:
+  Parser(std::string_view Source, DiagnosticEngine &Diags)
+      : Lex(Source, Diags), Diags(Diags) {
+    Tok = Lex.lex();
+  }
+
+  /// Parses the whole input; null on error.
+  std::unique_ptr<Program> parseProgram();
+
+private:
+  // Token helpers.
+  void consume() { Tok = Lex.lex(); }
+  bool expect(TokenKind Kind);
+  bool accept(TokenKind Kind) {
+    if (!Tok.is(Kind))
+      return false;
+    consume();
+    return true;
+  }
+  void errorHere(const std::string &Message) { Diags.error(Tok.Loc, Message); }
+
+  // Grammar productions. All return null (or false) after reporting an
+  // error; callers propagate.
+  bool parseStructDecl();
+  bool parseTopLevel();
+  Type *parseType();
+  bool startsType() const;
+  std::unique_ptr<FunctionDecl> parseFunctionRest(Type *ReturnTy,
+                                                  std::string Name,
+                                                  SourceLoc Loc);
+  StmtPtr parseStmt();
+  std::unique_ptr<BlockStmt> parseBlock();
+  StmtPtr parseDeclStmt();
+  ExprPtr parseExpr();
+  ExprPtr parseOr();
+  ExprPtr parseAnd();
+  ExprPtr parseComparison();
+  ExprPtr parseAdditive();
+  ExprPtr parseMultiplicative();
+  ExprPtr parseUnary();
+  ExprPtr parsePostfix();
+  ExprPtr parsePrimary();
+  bool parseCallArgs(std::vector<ExprPtr> &Args);
+
+  Lexer Lex;
+  DiagnosticEngine &Diags;
+  Token Tok;
+  std::unique_ptr<Program> Prog;
+  std::unordered_set<std::string> TypeNames;
+};
+
+} // namespace lockin
+
+#endif // LOCKIN_LANG_PARSER_H

@@ -1,0 +1,550 @@
+//===--- Sema.cpp - Semantic analysis ---------------------------------------===//
+//
+// Part of the lockin project: lock inference for atomic sections.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Sema.h"
+
+#include <unordered_map>
+#include <vector>
+
+using namespace lockin;
+
+bool lockin::isComparisonOp(BinaryOp Op) {
+  switch (Op) {
+  case BinaryOp::Eq:
+  case BinaryOp::Ne:
+  case BinaryOp::Lt:
+  case BinaryOp::Le:
+  case BinaryOp::Gt:
+  case BinaryOp::Ge:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool lockin::isLogicalOp(BinaryOp Op) {
+  return Op == BinaryOp::And || Op == BinaryOp::Or;
+}
+
+const char *lockin::binaryOpSpelling(BinaryOp Op) {
+  switch (Op) {
+  case BinaryOp::Add:
+    return "+";
+  case BinaryOp::Sub:
+    return "-";
+  case BinaryOp::Mul:
+    return "*";
+  case BinaryOp::Div:
+    return "/";
+  case BinaryOp::Rem:
+    return "%";
+  case BinaryOp::Eq:
+    return "==";
+  case BinaryOp::Ne:
+    return "!=";
+  case BinaryOp::Lt:
+    return "<";
+  case BinaryOp::Le:
+    return "<=";
+  case BinaryOp::Gt:
+    return ">";
+  case BinaryOp::Ge:
+    return ">=";
+  case BinaryOp::And:
+    return "&&";
+  case BinaryOp::Or:
+    return "||";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Lexically scoped symbol table plus the checking visitor.
+class SemaChecker {
+public:
+  SemaChecker(Program &Prog, DiagnosticEngine &Diags)
+      : Prog(Prog), Diags(Diags) {}
+
+  bool run();
+
+private:
+  // Scope management.
+  void pushScope() { Scopes.emplace_back(); }
+  void popScope() { Scopes.pop_back(); }
+  bool declare(VarDecl *Var);
+  VarDecl *lookup(const std::string &Name);
+
+  // The type used for `null`; compatible with every pointer.
+  Type *nullType() { return Prog.types().getPointer(Prog.types().getVoid()); }
+  bool isNullType(Type *Ty) {
+    return Ty->isPointer() && Ty->pointee()->isVoid();
+  }
+  /// True if a value of type \p Src can be stored into a location of type
+  /// \p Dst.
+  bool assignable(Type *Dst, Type *Src) {
+    return Dst == Src || (Dst->isPointer() && isNullType(Src));
+  }
+
+  bool isLvalue(const Expr *E) const {
+    switch (E->kind()) {
+    case Expr::Kind::VarRef:
+    case Expr::Kind::Arrow:
+    case Expr::Kind::Index:
+      return true;
+    case Expr::Kind::Unary:
+      return cast<UnaryExpr>(E)->op() == UnaryOp::Deref;
+    default:
+      return false;
+    }
+  }
+
+  // Checking; all return null/false after reporting an error.
+  Type *checkExpr(Expr *E);
+  bool checkStmt(Stmt *S);
+  bool checkFunction(FunctionDecl *F);
+  bool checkCallArgs(FunctionDecl *Callee, const std::vector<ExprPtr> &Args,
+                     SourceLoc Loc, const char *What);
+
+  Program &Prog;
+  DiagnosticEngine &Diags;
+  std::vector<std::unordered_map<std::string, VarDecl *>> Scopes;
+  FunctionDecl *CurFunction = nullptr;
+  unsigned AtomicDepth = 0;
+};
+
+} // namespace
+
+bool SemaChecker::declare(VarDecl *Var) {
+  auto &Top = Scopes.back();
+  if (Top.count(Var->name())) {
+    Diags.error(Var->loc(),
+                "redefinition of variable '" + Var->name() + "'");
+    return false;
+  }
+  Top[Var->name()] = Var;
+  return true;
+}
+
+VarDecl *SemaChecker::lookup(const std::string &Name) {
+  for (auto It = Scopes.rbegin(); It != Scopes.rend(); ++It) {
+    auto Found = It->find(Name);
+    if (Found != It->end())
+      return Found->second;
+  }
+  return Prog.findGlobal(Name);
+}
+
+bool SemaChecker::checkCallArgs(FunctionDecl *Callee,
+                                const std::vector<ExprPtr> &Args,
+                                SourceLoc Loc, const char *What) {
+  if (Args.size() != Callee->params().size()) {
+    Diags.error(Loc, std::string(What) + " to '" + Callee->name() +
+                         "' passes " + std::to_string(Args.size()) +
+                         " arguments; expected " +
+                         std::to_string(Callee->params().size()));
+    return false;
+  }
+  for (size_t I = 0; I < Args.size(); ++I) {
+    Type *ArgTy = checkExpr(Args[I].get());
+    if (!ArgTy)
+      return false;
+    Type *ParamTy = Callee->params()[I]->type();
+    if (!assignable(ParamTy, ArgTy)) {
+      Diags.error(Args[I]->loc(), "argument " + std::to_string(I + 1) +
+                                      " has type " + ArgTy->str() +
+                                      "; expected " + ParamTy->str());
+      return false;
+    }
+  }
+  return true;
+}
+
+Type *SemaChecker::checkExpr(Expr *E) {
+  Type *Result = nullptr;
+  switch (E->kind()) {
+  case Expr::Kind::IntLit:
+    Result = Prog.types().getInt();
+    break;
+  case Expr::Kind::NullLit:
+    Result = nullType();
+    break;
+  case Expr::Kind::VarRef: {
+    auto *VR = cast<VarRefExpr>(E);
+    VarDecl *Var = lookup(VR->name());
+    if (!Var) {
+      Diags.error(E->loc(), "use of undeclared variable '" + VR->name() +
+                                "'");
+      return nullptr;
+    }
+    VR->setDecl(Var);
+    Result = Var->type();
+    break;
+  }
+  case Expr::Kind::Unary: {
+    auto *U = cast<UnaryExpr>(E);
+    Type *SubTy = checkExpr(U->sub());
+    if (!SubTy)
+      return nullptr;
+    switch (U->op()) {
+    case UnaryOp::Deref:
+      if (!SubTy->isPointer() || SubTy->pointee()->isVoid()) {
+        Diags.error(E->loc(), "cannot dereference value of type " +
+                                  SubTy->str());
+        return nullptr;
+      }
+      if (SubTy->pointee()->isStruct()) {
+        Diags.error(E->loc(), "struct values cannot be used directly; "
+                              "access fields with '->'");
+        return nullptr;
+      }
+      Result = SubTy->pointee();
+      break;
+    case UnaryOp::AddrOf:
+      if (!isLvalue(U->sub())) {
+        Diags.error(E->loc(), "cannot take the address of this expression");
+        return nullptr;
+      }
+      Result = Prog.types().getPointer(SubTy);
+      break;
+    case UnaryOp::Neg:
+      if (!SubTy->isInt()) {
+        Diags.error(E->loc(), "operand of unary '-' must be int");
+        return nullptr;
+      }
+      Result = SubTy;
+      break;
+    case UnaryOp::Not:
+      if (!SubTy->isBool()) {
+        Diags.error(E->loc(), "operand of '!' must be a condition");
+        return nullptr;
+      }
+      Result = SubTy;
+      break;
+    }
+    break;
+  }
+  case Expr::Kind::Binary: {
+    auto *B = cast<BinaryExpr>(E);
+    Type *LhsTy = checkExpr(B->lhs());
+    Type *RhsTy = checkExpr(B->rhs());
+    if (!LhsTy || !RhsTy)
+      return nullptr;
+    if (isLogicalOp(B->op())) {
+      if (!LhsTy->isBool() || !RhsTy->isBool()) {
+        Diags.error(E->loc(), "operands of '" +
+                                  std::string(binaryOpSpelling(B->op())) +
+                                  "' must be conditions");
+        return nullptr;
+      }
+      Result = Prog.types().getBool();
+    } else if (isComparisonOp(B->op())) {
+      bool BothInt = LhsTy->isInt() && RhsTy->isInt();
+      bool PtrCompare =
+          (B->op() == BinaryOp::Eq || B->op() == BinaryOp::Ne) &&
+          LhsTy->isPointer() && RhsTy->isPointer() &&
+          (LhsTy == RhsTy || isNullType(LhsTy) || isNullType(RhsTy));
+      if (!BothInt && !PtrCompare) {
+        Diags.error(E->loc(), "cannot compare " + LhsTy->str() + " with " +
+                                  RhsTy->str());
+        return nullptr;
+      }
+      Result = Prog.types().getBool();
+    } else {
+      if (!LhsTy->isInt() || !RhsTy->isInt()) {
+        Diags.error(E->loc(), "operands of '" +
+                                  std::string(binaryOpSpelling(B->op())) +
+                                  "' must be int");
+        return nullptr;
+      }
+      Result = Prog.types().getInt();
+    }
+    break;
+  }
+  case Expr::Kind::Arrow: {
+    auto *A = cast<ArrowExpr>(E);
+    Type *BaseTy = checkExpr(A->base());
+    if (!BaseTy)
+      return nullptr;
+    if (!BaseTy->isPointer() || !BaseTy->pointee()->isStruct()) {
+      Diags.error(E->loc(), "'->' requires a pointer to struct; got " +
+                                BaseTy->str());
+      return nullptr;
+    }
+    StructDecl *SD = BaseTy->pointee()->structDecl();
+    int Idx = SD->fieldIndex(A->fieldName());
+    if (Idx < 0) {
+      Diags.error(E->loc(), "struct '" + SD->name() + "' has no field '" +
+                                A->fieldName() + "'");
+      return nullptr;
+    }
+    A->setFieldIndex(Idx);
+    Result = SD->fields()[Idx].Ty;
+    break;
+  }
+  case Expr::Kind::Index: {
+    auto *Ix = cast<IndexExpr>(E);
+    Type *BaseTy = checkExpr(Ix->base());
+    Type *IdxTy = checkExpr(Ix->index());
+    if (!BaseTy || !IdxTy)
+      return nullptr;
+    if (!BaseTy->isPointer() || BaseTy->pointee()->isVoid()) {
+      Diags.error(E->loc(), "subscript requires a pointer; got " +
+                                BaseTy->str());
+      return nullptr;
+    }
+    if (BaseTy->pointee()->isStruct()) {
+      Diags.error(E->loc(), "arrays of structs are accessed via pointer "
+                            "elements; use an array of pointers");
+      return nullptr;
+    }
+    if (!IdxTy->isInt()) {
+      Diags.error(Ix->index()->loc(), "array index must be int");
+      return nullptr;
+    }
+    Result = BaseTy->pointee();
+    break;
+  }
+  case Expr::Kind::Call: {
+    auto *C = cast<CallExpr>(E);
+    FunctionDecl *Callee = Prog.findFunction(C->calleeName());
+    if (!Callee) {
+      Diags.error(E->loc(), "call to undeclared function '" +
+                                C->calleeName() + "'");
+      return nullptr;
+    }
+    C->setCallee(Callee);
+    if (!checkCallArgs(Callee, C->args(), E->loc(), "call"))
+      return nullptr;
+    Result = Callee->returnType();
+    break;
+  }
+  case Expr::Kind::New: {
+    auto *N = cast<NewExpr>(E);
+    Type *ElemTy = nullptr;
+    if (N->isIntElem()) {
+      ElemTy = Prog.types().getInt();
+    } else {
+      StructDecl *SD = Prog.findStruct(N->typeName());
+      if (!SD) {
+        Diags.error(E->loc(), "unknown struct type '" + N->typeName() + "'");
+        return nullptr;
+      }
+      N->setElemStruct(SD);
+      ElemTy = Prog.types().getStruct(SD);
+    }
+    for (unsigned I = 0; I < N->ptrDepth(); ++I)
+      ElemTy = Prog.types().getPointer(ElemTy);
+    if (N->arraySize()) {
+      Type *SizeTy = checkExpr(N->arraySize());
+      if (!SizeTy)
+        return nullptr;
+      if (!SizeTy->isInt()) {
+        Diags.error(N->arraySize()->loc(), "array size must be int");
+        return nullptr;
+      }
+      if (ElemTy->isStruct()) {
+        Diags.error(E->loc(), "arrays of structs are not supported; "
+                              "allocate an array of pointers instead");
+        return nullptr;
+      }
+    }
+    Result = Prog.types().getPointer(ElemTy);
+    break;
+  }
+  }
+  E->setType(Result);
+  return Result;
+}
+
+bool SemaChecker::checkStmt(Stmt *S) {
+  switch (S->kind()) {
+  case Stmt::Kind::Block: {
+    auto *B = cast<BlockStmt>(S);
+    pushScope();
+    for (const StmtPtr &Child : B->stmts()) {
+      if (!checkStmt(Child.get())) {
+        popScope();
+        return false;
+      }
+    }
+    popScope();
+    return true;
+  }
+  case Stmt::Kind::Decl: {
+    auto *D = cast<DeclStmt>(S);
+    if (D->init()) {
+      Type *InitTy = checkExpr(D->init());
+      if (!InitTy)
+        return false;
+      if (!assignable(D->var()->type(), InitTy)) {
+        Diags.error(S->loc(), "cannot initialize " + D->var()->type()->str() +
+                                  " from " + InitTy->str());
+        return false;
+      }
+    }
+    return declare(D->var());
+  }
+  case Stmt::Kind::Assign: {
+    auto *A = cast<AssignStmt>(S);
+    Type *LhsTy = checkExpr(A->lhs());
+    Type *RhsTy = checkExpr(A->rhs());
+    if (!LhsTy || !RhsTy)
+      return false;
+    if (!isLvalue(A->lhs())) {
+      Diags.error(A->lhs()->loc(), "left side of '=' is not assignable");
+      return false;
+    }
+    if (!assignable(LhsTy, RhsTy)) {
+      Diags.error(S->loc(), "cannot assign " + RhsTy->str() + " to " +
+                                LhsTy->str());
+      return false;
+    }
+    return true;
+  }
+  case Stmt::Kind::ExprStmt: {
+    auto *ES = cast<ExprStmt>(S);
+    if (!isa<CallExpr>(ES->expr())) {
+      Diags.error(S->loc(), "expression statements must be calls");
+      return false;
+    }
+    return checkExpr(ES->expr()) != nullptr;
+  }
+  case Stmt::Kind::If: {
+    auto *I = cast<IfStmt>(S);
+    Type *CondTy = checkExpr(I->cond());
+    if (!CondTy)
+      return false;
+    if (!CondTy->isBool()) {
+      Diags.error(I->cond()->loc(), "if condition must be a comparison");
+      return false;
+    }
+    if (!checkStmt(I->thenStmt()))
+      return false;
+    return !I->elseStmt() || checkStmt(I->elseStmt());
+  }
+  case Stmt::Kind::While: {
+    auto *W = cast<WhileStmt>(S);
+    Type *CondTy = checkExpr(W->cond());
+    if (!CondTy)
+      return false;
+    if (!CondTy->isBool()) {
+      Diags.error(W->cond()->loc(), "while condition must be a comparison");
+      return false;
+    }
+    return checkStmt(W->body());
+  }
+  case Stmt::Kind::Return: {
+    auto *R = cast<ReturnStmt>(S);
+    Type *RetTy = CurFunction->returnType();
+    if (!R->value()) {
+      if (!RetTy->isVoid()) {
+        Diags.error(S->loc(), "non-void function must return a value");
+        return false;
+      }
+      return true;
+    }
+    if (RetTy->isVoid()) {
+      Diags.error(S->loc(), "void function cannot return a value");
+      return false;
+    }
+    Type *ValueTy = checkExpr(R->value());
+    if (!ValueTy)
+      return false;
+    if (!assignable(RetTy, ValueTy)) {
+      Diags.error(S->loc(), "cannot return " + ValueTy->str() + " from a "
+                            "function returning " + RetTy->str());
+      return false;
+    }
+    return true;
+  }
+  case Stmt::Kind::Atomic: {
+    auto *A = cast<AtomicStmt>(S);
+    ++AtomicDepth;
+    bool Ok = checkStmt(A->body());
+    --AtomicDepth;
+    return Ok;
+  }
+  case Stmt::Kind::Spawn: {
+    auto *Sp = cast<SpawnStmt>(S);
+    if (AtomicDepth != 0) {
+      Diags.error(S->loc(), "spawn is not allowed inside an atomic section");
+      return false;
+    }
+    FunctionDecl *Callee = Prog.findFunction(Sp->calleeName());
+    if (!Callee) {
+      Diags.error(S->loc(), "spawn of undeclared function '" +
+                                Sp->calleeName() + "'");
+      return false;
+    }
+    if (!Callee->returnType()->isVoid()) {
+      Diags.error(S->loc(), "spawned functions must return void");
+      return false;
+    }
+    Sp->setCallee(Callee);
+    return checkCallArgs(Callee, Sp->args(), S->loc(), "spawn");
+  }
+  case Stmt::Kind::Assert: {
+    auto *As = cast<AssertStmt>(S);
+    Type *CondTy = checkExpr(As->cond());
+    if (!CondTy)
+      return false;
+    if (!CondTy->isBool()) {
+      Diags.error(As->cond()->loc(), "assert condition must be a comparison");
+      return false;
+    }
+    return true;
+  }
+  }
+  return false;
+}
+
+bool SemaChecker::checkFunction(FunctionDecl *F) {
+  CurFunction = F;
+  AtomicDepth = 0;
+  pushScope();
+  bool Ok = true;
+  for (const auto &Param : F->params())
+    Ok = Ok && declare(Param.get());
+  Ok = Ok && checkStmt(F->body());
+  popScope();
+  CurFunction = nullptr;
+  return Ok;
+}
+
+bool SemaChecker::run() {
+  // Global initializers must be compile-time constants: the interpreter
+  // installs them before main runs.
+  for (size_t I = 0; I < Prog.globals().size(); ++I) {
+    const ExprPtr &Init = Prog.globalInits()[I];
+    if (!Init)
+      continue;
+    VarDecl *Var = Prog.globals()[I].get();
+    if (!isa<IntLitExpr>(Init.get()) && !isa<NullLitExpr>(Init.get())) {
+      Diags.error(Init->loc(), "global initializers must be integer "
+                               "literals or null");
+      return false;
+    }
+    Type *InitTy = checkExpr(Init.get());
+    if (!InitTy)
+      return false;
+    if (!assignable(Var->type(), InitTy)) {
+      Diags.error(Init->loc(), "cannot initialize " + Var->type()->str() +
+                                   " from " + InitTy->str());
+      return false;
+    }
+  }
+
+  for (const auto &F : Prog.functions())
+    if (!checkFunction(F.get()))
+      return false;
+  return true;
+}
+
+bool lockin::runSema(Program &Prog, DiagnosticEngine &Diags) {
+  SemaChecker Checker(Prog, Diags);
+  return Checker.run() && !Diags.hasErrors();
+}

@@ -1,0 +1,30 @@
+//===--- Sema.h - Semantic analysis -----------------------------*- C++ -*-===//
+//
+// Part of the lockin project: lock inference for atomic sections.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Name resolution and type checking for the input language. Annotates the
+/// AST in place (expression types, VarRef/Call declaration links, Arrow
+/// field indices) and enforces the language restrictions that the lock
+/// inference relies on (no spawn inside atomic sections, structs only
+/// behind pointers, conditions are boolean).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LOCKIN_LANG_SEMA_H
+#define LOCKIN_LANG_SEMA_H
+
+#include "lang/Ast.h"
+#include "support/Diagnostics.h"
+
+namespace lockin {
+
+/// Runs semantic analysis over \p Prog; returns true on success. Errors are
+/// reported to \p Diags.
+bool runSema(Program &Prog, DiagnosticEngine &Diags);
+
+} // namespace lockin
+
+#endif // LOCKIN_LANG_SEMA_H

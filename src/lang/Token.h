@@ -1,0 +1,92 @@
+//===--- Token.h - Lexical tokens -------------------------------*- C++ -*-===//
+//
+// Part of the lockin project: lock inference for atomic sections.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Token kinds and the Token value type produced by the Lexer. The language
+/// is the paper's input language (PLDI'08, Fig. 3) with a C-like concrete
+/// syntax plus the implementation extensions documented in DESIGN.md
+/// (integers, arithmetic, spawn, assert).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LOCKIN_LANG_TOKEN_H
+#define LOCKIN_LANG_TOKEN_H
+
+#include "support/SourceLoc.h"
+
+#include <cstdint>
+#include <string>
+
+namespace lockin {
+
+enum class TokenKind {
+  // Markers.
+  Eof,
+  Invalid,
+
+  // Literals and identifiers.
+  Identifier,
+  IntLiteral,
+
+  // Keywords.
+  KwStruct,
+  KwInt,
+  KwVoid,
+  KwIf,
+  KwElse,
+  KwWhile,
+  KwReturn,
+  KwAtomic,
+  KwNew,
+  KwNull,
+  KwSpawn,
+  KwAssert,
+
+  // Punctuation and operators.
+  LBrace,
+  RBrace,
+  LParen,
+  RParen,
+  LBracket,
+  RBracket,
+  Semi,
+  Comma,
+  Assign,    // =
+  Star,      // *
+  Amp,       // &
+  Plus,      // +
+  Minus,     // -
+  Slash,     // /
+  Percent,   // %
+  Arrow,     // ->
+  EqEq,      // ==
+  NotEq,     // !=
+  Less,      // <
+  LessEq,    // <=
+  Greater,   // >
+  GreaterEq, // >=
+  AmpAmp,    // &&
+  PipePipe,  // ||
+  Bang,      // !
+};
+
+/// Returns a human-readable name for \p Kind, used in parse diagnostics.
+const char *tokenKindName(TokenKind Kind);
+
+/// One lexed token. Text is only populated for identifiers; IntValue only
+/// for integer literals.
+struct Token {
+  TokenKind Kind = TokenKind::Invalid;
+  SourceLoc Loc;
+  std::string Text;
+  int64_t IntValue = 0;
+
+  bool is(TokenKind K) const { return Kind == K; }
+};
+
+} // namespace lockin
+
+#endif // LOCKIN_LANG_TOKEN_H

@@ -1,0 +1,49 @@
+//===--- Type.cpp - Types of the input language ----------------------------===//
+//
+// Part of the lockin project: lock inference for atomic sections.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Type.h"
+
+using namespace lockin;
+
+std::string Type::str() const {
+  switch (K) {
+  case Kind::Int:
+    return "int";
+  case Kind::Bool:
+    return "bool";
+  case Kind::Void:
+    return "void";
+  case Kind::Struct:
+    return SD->name();
+  case Kind::Pointer:
+    return Pointee->str() + "*";
+  }
+  return "<invalid>";
+}
+
+TypeContext::TypeContext() {
+  IntTy = create(Type::Kind::Int);
+  BoolTy = create(Type::Kind::Bool);
+  VoidTy = create(Type::Kind::Void);
+}
+
+Type *TypeContext::getStruct(StructDecl *SD) {
+  Type *&Slot = StructTypes[SD];
+  if (!Slot) {
+    Slot = create(Type::Kind::Struct);
+    Slot->SD = SD;
+  }
+  return Slot;
+}
+
+Type *TypeContext::getPointer(Type *Pointee) {
+  Type *&Slot = PointerTypes[Pointee];
+  if (!Slot) {
+    Slot = create(Type::Kind::Pointer);
+    Slot->Pointee = Pointee;
+  }
+  return Slot;
+}

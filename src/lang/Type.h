@@ -1,0 +1,128 @@
+//===--- Type.h - Types of the input language -------------------*- C++ -*-===//
+//
+// Part of the lockin project: lock inference for atomic sections.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The input language's type system: int, bool (the type of conditions,
+/// never stored), void (function returns), named structs (only used behind
+/// pointers), and pointers. Types are uniqued by a TypeContext so pointer
+/// equality is type equality.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LOCKIN_LANG_TYPE_H
+#define LOCKIN_LANG_TYPE_H
+
+#include "support/SourceLoc.h"
+
+#include <cassert>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace lockin {
+
+class Type;
+
+/// A named struct type declaration; fields give symbolic offsets, exactly
+/// the offset domain F of the paper's language (Fig. 3).
+class StructDecl {
+public:
+  struct Field {
+    std::string Name;
+    Type *Ty;
+  };
+
+  StructDecl(std::string Name, SourceLoc Loc)
+      : Name(std::move(Name)), Loc(Loc) {}
+
+  const std::string &name() const { return Name; }
+  SourceLoc loc() const { return Loc; }
+
+  void addField(std::string FieldName, Type *Ty) {
+    Fields.push_back({std::move(FieldName), Ty});
+  }
+
+  const std::vector<Field> &fields() const { return Fields; }
+
+  /// Returns the index of \p FieldName, or -1 if absent.
+  int fieldIndex(const std::string &FieldName) const {
+    for (size_t I = 0; I < Fields.size(); ++I)
+      if (Fields[I].Name == FieldName)
+        return static_cast<int>(I);
+    return -1;
+  }
+
+private:
+  std::string Name;
+  SourceLoc Loc;
+  std::vector<Field> Fields;
+};
+
+/// A uniqued type. Compare with ==; the context guarantees canonicity.
+class Type {
+public:
+  enum class Kind { Int, Bool, Void, Struct, Pointer };
+
+  Kind kind() const { return K; }
+  bool isInt() const { return K == Kind::Int; }
+  bool isBool() const { return K == Kind::Bool; }
+  bool isVoid() const { return K == Kind::Void; }
+  bool isStruct() const { return K == Kind::Struct; }
+  bool isPointer() const { return K == Kind::Pointer; }
+
+  /// The pointed-to type; only valid for pointers.
+  Type *pointee() const {
+    assert(isPointer() && "pointee() on non-pointer");
+    return Pointee;
+  }
+
+  /// The struct declaration; only valid for struct types.
+  StructDecl *structDecl() const {
+    assert(isStruct() && "structDecl() on non-struct");
+    return SD;
+  }
+
+  /// Renders the type in source syntax, e.g. "elem*" or "int**".
+  std::string str() const;
+
+private:
+  friend class TypeContext;
+  explicit Type(Kind K) : K(K) {}
+
+  Kind K;
+  StructDecl *SD = nullptr;
+  Type *Pointee = nullptr;
+};
+
+/// Owns and uniques all Type instances for one program.
+class TypeContext {
+public:
+  TypeContext();
+
+  Type *getInt() { return IntTy; }
+  Type *getBool() { return BoolTy; }
+  Type *getVoid() { return VoidTy; }
+  Type *getStruct(StructDecl *SD);
+  Type *getPointer(Type *Pointee);
+
+private:
+  Type *create(Type::Kind K) {
+    Owned.push_back(std::unique_ptr<Type>(new Type(K)));
+    return Owned.back().get();
+  }
+
+  std::vector<std::unique_ptr<Type>> Owned;
+  Type *IntTy;
+  Type *BoolTy;
+  Type *VoidTy;
+  std::unordered_map<StructDecl *, Type *> StructTypes;
+  std::unordered_map<Type *, Type *> PointerTypes;
+};
+
+} // namespace lockin
+
+#endif // LOCKIN_LANG_TYPE_H

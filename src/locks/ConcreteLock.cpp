@@ -1,0 +1,79 @@
+//===--- ConcreteLock.cpp - Denotational lock semantics -----------------------===//
+//
+// Part of the lockin project: lock inference for atomic sections.
+//
+//===----------------------------------------------------------------------===//
+
+#include "locks/ConcreteLock.h"
+
+#include <algorithm>
+
+using namespace lockin;
+
+ConcreteLock ConcreteLock::meet(const ConcreteLock &Other) const {
+  Effect E = (Eff == Effect::RO || Other.Eff == Effect::RO) ? Effect::RO
+                                                            : Effect::RW;
+  if (Universe && Other.Universe)
+    return ConcreteLock(true, {}, E);
+  if (Universe)
+    return ConcreteLock(false, Other.Locs, E);
+  if (Other.Universe)
+    return ConcreteLock(false, Locs, E);
+  std::set<Loc> Common;
+  std::set_intersection(Locs.begin(), Locs.end(), Other.Locs.begin(),
+                        Other.Locs.end(),
+                        std::inserter(Common, Common.begin()));
+  return ConcreteLock(false, std::move(Common), E);
+}
+
+ConcreteLock ConcreteLock::join(const ConcreteLock &Other) const {
+  Effect E = effectJoin(Eff, Other.Eff);
+  if (Universe || Other.Universe)
+    return ConcreteLock(true, {}, E);
+  std::set<Loc> All = Locs;
+  All.insert(Other.Locs.begin(), Other.Locs.end());
+  return ConcreteLock(false, std::move(All), E);
+}
+
+bool ConcreteLock::leq(const ConcreteLock &Other) const {
+  if (!effectLeq(Eff, Other.Eff))
+    return false;
+  if (Other.Universe)
+    return true;
+  if (Universe)
+    return false;
+  return std::includes(Other.Locs.begin(), Other.Locs.end(), Locs.begin(),
+                       Locs.end());
+}
+
+std::string ConcreteLock::str() const {
+  std::string Out = "(";
+  if (Universe) {
+    Out += "Loc";
+  } else {
+    Out += "{";
+    bool First = true;
+    for (Loc L : Locs) {
+      if (!First)
+        Out += ",";
+      First = false;
+      Out += std::to_string(L);
+    }
+    Out += "}";
+  }
+  Out += ", ";
+  Out += effectName(Eff);
+  return Out + ")";
+}
+
+bool lockin::locksConflict(const ConcreteLock &A, const ConcreteLock &B) {
+  // conflict(la, lb) <=> [[la]] ⊓ [[lb]] != (∅, _) ∧ [[la]] ⊔ [[lb]] != (_, ro)
+  ConcreteLock Meet = A.meet(B);
+  if (Meet.empty())
+    return false;
+  return effectJoin(A.effect(), B.effect()) != Effect::RO;
+}
+
+bool lockin::lockCoarserThan(const ConcreteLock &B, const ConcreteLock &A) {
+  return A.leq(B);
+}

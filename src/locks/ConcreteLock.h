@@ -1,0 +1,84 @@
+//===--- ConcreteLock.h - Denotational lock semantics -----------*- C++ -*-===//
+//
+// Part of the lockin project: lock inference for atomic sections.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executable model of the concrete lock semantics of §3.2:
+/// [[l]] : 2^Loc × Eff. Locations are abstract integers. This model backs
+/// the unit/property tests for conflict, coarser-than, lock pairs, and the
+/// soundness conditions that relate abstract schemes to concrete locks; the
+/// runtime uses the same definitions specialized to real addresses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LOCKIN_LOCKS_CONCRETELOCK_H
+#define LOCKIN_LOCKS_CONCRETELOCK_H
+
+#include "locks/Effect.h"
+
+#include <cstdint>
+#include <set>
+#include <string>
+
+namespace lockin {
+
+/// The denotation of one lock: a set of protected locations and the
+/// allowed effect. Universe encodes Loc (the set of all locations) without
+/// enumerating it.
+class ConcreteLock {
+public:
+  using Loc = uint64_t;
+
+  /// [[l_g]] = (Loc, rw): the global lock.
+  static ConcreteLock global() { return ConcreteLock(true, {}, Effect::RW); }
+  /// A lock protecting exactly \p Locs with effect \p Eff.
+  static ConcreteLock of(std::set<Loc> Locs, Effect Eff) {
+    return ConcreteLock(false, std::move(Locs), Eff);
+  }
+  /// A fine-grain lock: a single location.
+  static ConcreteLock fine(Loc L, Effect Eff) {
+    return ConcreteLock(false, {L}, Eff);
+  }
+  /// A read lock / write lock over all locations (§3.2 examples).
+  static ConcreteLock globalRead() {
+    return ConcreteLock(true, {}, Effect::RO);
+  }
+
+  bool isUniverse() const { return Universe; }
+  const std::set<Loc> &locations() const { return Locs; }
+  Effect effect() const { return Eff; }
+
+  bool protects(Loc L) const { return Universe || Locs.count(L) != 0; }
+  bool isFineGrain() const { return !Universe && Locs.size() == 1; }
+  bool empty() const { return !Universe && Locs.empty(); }
+
+  /// The lattice meet ([[l1]] ⊓ [[l2]]): used by lock pairs.
+  ConcreteLock meet(const ConcreteLock &Other) const;
+  /// The lattice join.
+  ConcreteLock join(const ConcreteLock &Other) const;
+  /// The lattice order [[this]] ⊑ [[Other]].
+  bool leq(const ConcreteLock &Other) const;
+
+  std::string str() const;
+
+private:
+  ConcreteLock(bool Universe, std::set<Loc> Locs, Effect Eff)
+      : Universe(Universe), Locs(std::move(Locs)), Eff(Eff) {}
+
+  bool Universe;
+  std::set<Loc> Locs;
+  Effect Eff;
+};
+
+/// §3.2: two locks conflict if they protect a common location and at least
+/// one allows writes.
+bool locksConflict(const ConcreteLock &A, const ConcreteLock &B);
+
+/// §3.2: B is coarser than A iff [[A]] ⊑ [[B]].
+bool lockCoarserThan(const ConcreteLock &B, const ConcreteLock &A);
+
+} // namespace lockin
+
+#endif // LOCKIN_LOCKS_CONCRETELOCK_H

@@ -1,0 +1,34 @@
+//===--- Effect.h - Access effects ------------------------------*- C++ -*-===//
+//
+// Part of the lockin project: lock inference for atomic sections.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The two-point effect lattice Eff = {ro, rw} of §3.2, with ro ⊑ rw.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LOCKIN_LOCKS_EFFECT_H
+#define LOCKIN_LOCKS_EFFECT_H
+
+namespace lockin {
+
+enum class Effect : unsigned char { RO = 0, RW = 1 };
+
+/// ro ⊑ rw; the lattice order of the effect component.
+inline bool effectLeq(Effect A, Effect B) {
+  return A == Effect::RO || B == Effect::RW;
+}
+
+inline Effect effectJoin(Effect A, Effect B) {
+  return (A == Effect::RW || B == Effect::RW) ? Effect::RW : Effect::RO;
+}
+
+inline const char *effectName(Effect E) {
+  return E == Effect::RO ? "ro" : "rw";
+}
+
+} // namespace lockin
+
+#endif // LOCKIN_LOCKS_EFFECT_H

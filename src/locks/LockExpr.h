@@ -1,0 +1,154 @@
+//===--- LockExpr.h - Expression locks (paths) ------------------*- C++ -*-===//
+//
+// Part of the lockin project: lock inference for atomic sections.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fine-grain expression locks. A LockExpr is the inductive lock
+/// construction of §3.3 applied to one expression: starting from the base
+/// lock x̄ (which protects the cell &x), each op applies *_p^ε or +_p^ε.
+/// Evaluating the path in a program state yields the single location the
+/// lock protects, so these are fine-grain locks in the formal sense.
+///
+/// Array offsets carry a small integer index expression (IdxExpr) over
+/// program variables and constants: these are the "computed offsets" a real
+/// compiler sees for t->buckets[key % n]. The index contributes to the
+/// k-limit size, and index variables are rewritten by the same backward
+/// transfer machinery as pointer components.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LOCKIN_LOCKS_LOCKEXPR_H
+#define LOCKIN_LOCKS_LOCKEXPR_H
+
+#include "ir/Ir.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace lockin {
+
+//===----------------------------------------------------------------------===//
+// Index expressions
+//===----------------------------------------------------------------------===//
+
+/// Immutable integer expression tree used in array-offset lock components.
+/// Shared by pointer; all combinators return shared nodes.
+class IdxExpr {
+public:
+  enum class Kind { Const, VarVal, Bin };
+  using Ptr = std::shared_ptr<const IdxExpr>;
+
+  static Ptr makeConst(int64_t Value);
+  /// The runtime value of \p Var (an int variable) at evaluation time.
+  static Ptr makeVar(const ir::Variable *Var);
+  static Ptr makeBin(ir::IntBinOp Op, Ptr Lhs, Ptr Rhs);
+
+  Kind kind() const { return K; }
+  int64_t constValue() const { return Value; }
+  const ir::Variable *var() const { return Var; }
+  ir::IntBinOp op() const { return Op; }
+  const Ptr &lhs() const { return Lhs; }
+  const Ptr &rhs() const { return Rhs; }
+
+  /// Number of nodes; contributes to the k-limit.
+  unsigned size() const;
+  bool equals(const IdxExpr &Other) const;
+  /// True if \p V appears as a VarVal leaf.
+  bool mentionsVar(const ir::Variable *V) const;
+  std::string str() const;
+  size_t hash() const;
+
+private:
+  Kind K;
+  int64_t Value = 0;
+  const ir::Variable *Var = nullptr;
+  ir::IntBinOp Op = ir::IntBinOp::Add;
+  Ptr Lhs;
+  Ptr Rhs;
+};
+
+//===----------------------------------------------------------------------===//
+// Lock path expressions
+//===----------------------------------------------------------------------===//
+
+/// One step of a lock path.
+struct LockOp {
+  enum class Kind { Deref, Field, Index };
+
+  Kind K;
+  // Field: the struct and field index (for printing and identity).
+  const StructDecl *Struct = nullptr;
+  int FieldIdx = -1;
+  // Index: the offset expression.
+  IdxExpr::Ptr Idx;
+
+  static LockOp deref() { return {Kind::Deref, nullptr, -1, nullptr}; }
+  static LockOp field(const StructDecl *SD, int Idx) {
+    return {Kind::Field, SD, Idx, nullptr};
+  }
+  static LockOp index(IdxExpr::Ptr Idx) {
+    return {Kind::Index, nullptr, -1, std::move(Idx)};
+  }
+
+  bool operator==(const LockOp &Other) const;
+};
+
+/// A lock path: base variable plus a sequence of ops. The empty path is the
+/// lock x̄ protecting the cell &base; each Deref moves to the pointed-to
+/// cell, each Field/Index moves within an object.
+class LockExpr {
+public:
+  explicit LockExpr(const ir::Variable *Base) : Base(Base) {}
+  LockExpr(const ir::Variable *Base, std::vector<LockOp> Ops)
+      : Base(Base), Ops(std::move(Ops)) {}
+
+  const ir::Variable *base() const { return Base; }
+  const std::vector<LockOp> &ops() const { return Ops; }
+
+  LockExpr plusDeref() const {
+    LockExpr E = *this;
+    E.Ops.push_back(LockOp::deref());
+    return E;
+  }
+  LockExpr plusField(const StructDecl *SD, int Idx) const {
+    LockExpr E = *this;
+    E.Ops.push_back(LockOp::field(SD, Idx));
+    return E;
+  }
+  LockExpr plusIndex(IdxExpr::Ptr Idx) const {
+    LockExpr E = *this;
+    E.Ops.push_back(LockOp::index(std::move(Idx)));
+    return E;
+  }
+
+  /// Builds a new path with the first \p PrefixLen ops replaced by
+  /// \p NewPrefix (base and ops); the remaining ops are appended.
+  LockExpr withPrefix(const LockExpr &NewPrefix, size_t PrefixLen) const;
+
+  /// Expression length for k-limiting: every Deref and Field counts 1;
+  /// Index ops count the size of their index expression.
+  unsigned size() const;
+
+  /// True if the first Op is a Deref (i.e. the path depends on the value of
+  /// the base variable rather than only its address).
+  bool startsWithDeref() const {
+    return !Ops.empty() && Ops.front().K == LockOp::Kind::Deref;
+  }
+
+  bool operator==(const LockExpr &Other) const;
+  size_t hash() const;
+
+  /// Source-ish rendering, e.g. "*((*t) + .buckets @ (key % 16))".
+  std::string str() const;
+
+private:
+  const ir::Variable *Base;
+  std::vector<LockOp> Ops;
+};
+
+} // namespace lockin
+
+#endif // LOCKIN_LOCKS_LOCKEXPR_H

@@ -1,0 +1,104 @@
+//===--- Scheme.h - Abstract lock schemes (§3.3) ----------------*- C++ -*-===//
+//
+// Part of the lockin project: lock inference for atomic sections.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The abstract lock scheme framework of §3.3: a scheme is a bounded
+/// join-semilattice (L, ≤, ⊤) with three operators
+///
+///   varLock   x̄_p^ε : V → L        lock protecting &x
+///   plusField +_p^ε : L × F → L    lock protecting an offset of a
+///                                  protected location
+///   starDeref *_p^ε : L → L        lock protecting the pointed-to location
+///
+/// All instances here are program-point independent (as are all examples in
+/// the paper), so the point argument is omitted. Locks are dense interned
+/// handles, which makes the Cartesian product construction uniform.
+///
+/// Instances: Σ_ε (read/write), Σ_i (field-based), Σ_k (k-limited
+/// expressions), Σ_≡ (Steensgaard regions), and Σ_1 × Σ_2 (products).
+///
+/// The production inference engine (infer/) uses the specialized
+/// LockName/LockExpr representation of the Σ_k × Σ_≡ × Σ_ε instance, as
+/// the paper's implementation does (§4.3); this module is the general
+/// framework it instantiates, and is exercised directly by the tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LOCKIN_LOCKS_SCHEME_H
+#define LOCKIN_LOCKS_SCHEME_H
+
+#include "locks/Effect.h"
+#include "locks/LockExpr.h"
+#include "pointsto/Steensgaard.h"
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace lockin {
+
+/// Interface for abstract lock schemes. Implementations intern lock values
+/// and return dense ids; handle 0 is always ⊤.
+class AbstractLockScheme {
+public:
+  using Lock = uint32_t;
+  static constexpr Lock TopLock = 0;
+
+  virtual ~AbstractLockScheme();
+
+  Lock top() const { return TopLock; }
+
+  /// The semilattice order; must be reflexive, transitive, antisymmetric,
+  /// with top() as greatest element. (Checked by property tests.)
+  virtual bool leq(Lock A, Lock B) = 0;
+
+  /// Least upper bound.
+  virtual Lock join(Lock A, Lock B) = 0;
+
+  /// The operator x̄^ε.
+  virtual Lock varLock(const ir::Variable *Var, Effect Eff) = 0;
+
+  /// The operator l +^ε i.
+  virtual Lock plusField(Lock L, int FieldIdx, Effect Eff) = 0;
+
+  /// The operator *^ε l.
+  virtual Lock starDeref(Lock L, Effect Eff) = 0;
+
+  /// Debug rendering.
+  virtual std::string str(Lock L) = 0;
+
+  /// Builds the lock ê^ε for an expression given as a LockExpr path, using
+  /// the inductive construction of §3.3 (subexpressions use ro).
+  Lock exprLock(const LockExpr &Path, Effect Eff);
+};
+
+/// Σ_ε: protects locations by the kind of access performed on them.
+/// L = Eff, ≤ = ⊑, ⊤ = rw, and every operator returns its effect argument.
+std::unique_ptr<AbstractLockScheme> makeEffectScheme();
+
+/// Σ_i: protects locations by the offset at which they are accessed.
+/// L = 2^F, x̄ = ⊤, l + i = {i}, *l = ⊤.
+std::unique_ptr<AbstractLockScheme> makeFieldScheme();
+
+/// Σ_k: k-limited expression locks. Expressions longer than k collapse to
+/// ⊤. Effects are ignored (all locks are rw), as in the paper's example.
+std::unique_ptr<AbstractLockScheme> makeKLimitScheme(unsigned K);
+
+/// Σ_≡: one lock per Steensgaard points-to region. x̄ = region of &x,
+/// l + i = l, *l = pointee region. The analysis must outlive the scheme.
+std::unique_ptr<AbstractLockScheme>
+makeRegionScheme(const PointsToAnalysis &PT);
+
+/// Σ_1 × Σ_2: the Cartesian product construction. Both components must
+/// outlive the product.
+std::unique_ptr<AbstractLockScheme>
+makeProductScheme(AbstractLockScheme &First, AbstractLockScheme &Second);
+
+} // namespace lockin
+
+#endif // LOCKIN_LOCKS_SCHEME_H

@@ -1,0 +1,310 @@
+//===--- Steensgaard.cpp - Unification-based points-to analysis ---------------===//
+//
+// Part of the lockin project: lock inference for atomic sections.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pointsto/Steensgaard.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace lockin;
+using namespace lockin::ir;
+
+static constexpr uint32_t NoCell = ~0u;
+
+PointsToAnalysis::Cell PointsToAnalysis::find(Cell C) const {
+  while (Parent[C] != C) {
+    Parent[C] = Parent[Parent[C]];
+    C = Parent[C];
+  }
+  return C;
+}
+
+void PointsToAnalysis::unify(Cell A, Cell B) {
+  A = find(A);
+  B = find(B);
+  if (A == B)
+    return;
+  // Deterministic root choice: the smaller index wins. Cells are created in
+  // a fixed order, so region numbering is reproducible.
+  if (B < A)
+    std::swap(A, B);
+  Cell PointeeA = Pointee[A];
+  Cell PointeeB = Pointee[B];
+  Parent[B] = A;
+  if (PointeeB == NoCell)
+    return;
+  if (PointeeA == NoCell) {
+    Pointee[A] = PointeeB;
+    return;
+  }
+  // Both classes point somewhere: their targets collapse too. This is the
+  // recursive step that makes Steensgaard's analysis almost linear.
+  unify(PointeeA, PointeeB);
+}
+
+PointsToAnalysis::Cell PointsToAnalysis::pointeeCell(Cell C) {
+  C = find(C);
+  if (Pointee[C] == NoCell) {
+    Cell Fresh = static_cast<Cell>(Parent.size());
+    Parent.push_back(Fresh);
+    Pointee.push_back(NoCell);
+    Pointee[C] = Fresh;
+  }
+  return find(Pointee[C]);
+}
+
+PointsToAnalysis::Cell
+PointsToAnalysis::cellOfVar(const ir::Variable *V) const {
+  auto It = VarCells.find(V);
+  assert(It != VarCells.end() && "variable has no cell");
+  return It->second;
+}
+
+void PointsToAnalysis::processStmt(const IrStmt *S) {
+  switch (S->kind()) {
+  case IrStmt::Kind::Copy: {
+    const auto *C = cast<CopyStmt>(S);
+    unify(pointeeCell(cellOfVar(C->def())), pointeeCell(cellOfVar(C->src())));
+    return;
+  }
+  case IrStmt::Kind::AddrOf: {
+    const auto *A = cast<AddrOfStmt>(S);
+    unify(pointeeCell(cellOfVar(A->def())), cellOfVar(A->target()));
+    return;
+  }
+  case IrStmt::Kind::FieldAddr: {
+    const auto *F = cast<FieldAddrStmt>(S);
+    unify(pointeeCell(cellOfVar(F->def())), pointeeCell(cellOfVar(F->base())));
+    return;
+  }
+  case IrStmt::Kind::IndexAddr: {
+    const auto *Ix = cast<IndexAddrStmt>(S);
+    unify(pointeeCell(cellOfVar(Ix->def())),
+          pointeeCell(cellOfVar(Ix->base())));
+    return;
+  }
+  case IrStmt::Kind::Load: {
+    const auto *L = cast<LoadStmt>(S);
+    unify(pointeeCell(cellOfVar(L->def())),
+          pointeeCell(pointeeCell(cellOfVar(L->addr()))));
+    return;
+  }
+  case IrStmt::Kind::Store: {
+    const auto *St = cast<StoreStmt>(S);
+    unify(pointeeCell(pointeeCell(cellOfVar(St->addr()))),
+          pointeeCell(cellOfVar(St->value())));
+    return;
+  }
+  case IrStmt::Kind::Alloc: {
+    const auto *A = cast<AllocStmt>(S);
+    unify(pointeeCell(cellOfVar(A->def())), AllocCells[A->siteId()]);
+    return;
+  }
+  case IrStmt::Kind::Call: {
+    const auto *C = cast<CallStmt>(S);
+    const IrFunction *Callee = C->callee();
+    for (size_t I = 0; I < C->args().size(); ++I)
+      unify(pointeeCell(cellOfVar(Callee->param(static_cast<unsigned>(I)))),
+            pointeeCell(cellOfVar(C->args()[I])));
+    if (C->def() && Callee->retVar())
+      unify(pointeeCell(cellOfVar(C->def())),
+            pointeeCell(cellOfVar(Callee->retVar())));
+    return;
+  }
+  case IrStmt::Kind::Spawn: {
+    const auto *Sp = cast<SpawnIrStmt>(S);
+    for (size_t I = 0; I < Sp->args().size(); ++I)
+      unify(pointeeCell(
+                cellOfVar(Sp->callee()->param(static_cast<unsigned>(I)))),
+            pointeeCell(cellOfVar(Sp->args()[I])));
+    return;
+  }
+  case IrStmt::Kind::Return: {
+    const auto *R = cast<ReturnIrStmt>(S);
+    // Handled per-function in the constructor (needs the enclosing
+    // function's ret var); nothing to do here.
+    (void)R;
+    return;
+  }
+  case IrStmt::Kind::ConstInt:
+  case IrStmt::Kind::ConstNull:
+  case IrStmt::Kind::IntBin:
+  case IrStmt::Kind::Cmp:
+  case IrStmt::Kind::Assert:
+    return;
+  case IrStmt::Kind::Seq:
+    for (const IrStmtPtr &Child : cast<SeqStmt>(S)->stmts())
+      processStmt(Child.get());
+    return;
+  case IrStmt::Kind::If: {
+    const auto *I = cast<IfIrStmt>(S);
+    processStmt(I->thenStmt());
+    if (I->elseStmt())
+      processStmt(I->elseStmt());
+    return;
+  }
+  case IrStmt::Kind::While: {
+    const auto *W = cast<WhileIrStmt>(S);
+    processStmt(W->prelude());
+    processStmt(W->body());
+    return;
+  }
+  case IrStmt::Kind::Atomic:
+    processStmt(cast<AtomicIrStmt>(S)->body());
+    return;
+  }
+}
+
+/// Unifies ret_f with every returned value in \p S.
+static void collectReturns(const IrStmt *S,
+                           std::vector<const ReturnIrStmt *> &Out) {
+  switch (S->kind()) {
+  case IrStmt::Kind::Return:
+    Out.push_back(cast<ReturnIrStmt>(S));
+    return;
+  case IrStmt::Kind::Seq:
+    for (const IrStmtPtr &Child : cast<SeqStmt>(S)->stmts())
+      collectReturns(Child.get(), Out);
+    return;
+  case IrStmt::Kind::If: {
+    const auto *I = cast<IfIrStmt>(S);
+    collectReturns(I->thenStmt(), Out);
+    if (I->elseStmt())
+      collectReturns(I->elseStmt(), Out);
+    return;
+  }
+  case IrStmt::Kind::While: {
+    const auto *W = cast<WhileIrStmt>(S);
+    collectReturns(W->prelude(), Out);
+    collectReturns(W->body(), Out);
+    return;
+  }
+  case IrStmt::Kind::Atomic:
+    collectReturns(cast<AtomicIrStmt>(S)->body(), Out);
+    return;
+  default:
+    return;
+  }
+}
+
+PointsToAnalysis::PointsToAnalysis(const IrModule &M) : Module(M) {
+  // Create cells in a canonical order: globals, alloc sites, then each
+  // function's variables.
+  auto NewCell = [&]() {
+    Cell C = static_cast<Cell>(Parent.size());
+    Parent.push_back(C);
+    Pointee.push_back(NoCell);
+    return C;
+  };
+
+  for (const auto &G : M.globals())
+    VarCells[G.get()] = NewCell();
+  AllocCells.reserve(M.allocSites().size());
+  for (size_t I = 0; I < M.allocSites().size(); ++I)
+    AllocCells.push_back(NewCell());
+  for (const auto &F : M.functions())
+    for (const auto &V : F->variables())
+      VarCells[V.get()] = NewCell();
+
+  // One pass over every statement; unification is order-insensitive.
+  for (const auto &F : M.functions()) {
+    if (F->body())
+      processStmt(F->body());
+    if (F->retVar()) {
+      std::vector<const ReturnIrStmt *> Returns;
+      collectReturns(F->body(), Returns);
+      for (const ReturnIrStmt *R : Returns)
+        if (R->value())
+          unify(pointeeCell(cellOfVar(F->retVar())),
+                pointeeCell(cellOfVar(R->value())));
+    }
+  }
+
+  // Number the regions: walk location cells in creation order; each root
+  // gets an id the first time it is seen. Pointee links are resolved after
+  // all ids exist.
+  auto AddRegion = [&](Cell Root, const std::string &MemberName) {
+    auto [It, Inserted] = RegionOfRoot.try_emplace(
+        Root, static_cast<RegionId>(RegionPointee.size()));
+    if (Inserted) {
+      RegionPointee.push_back(InvalidRegion);
+      RegionNames.emplace_back();
+    }
+    std::string &Name = RegionNames[It->second];
+    if (Name.size() < 80) {
+      if (!Name.empty())
+        Name += ",";
+      Name += MemberName;
+    }
+  };
+
+  for (const auto &G : M.globals())
+    AddRegion(find(VarCells[G.get()]), "&" + G->name());
+  for (size_t I = 0; I < M.allocSites().size(); ++I)
+    AddRegion(find(AllocCells[I]), "new#" + std::to_string(I));
+  for (const auto &F : M.functions())
+    for (const auto &V : F->variables())
+      AddRegion(find(VarCells[V.get()]), "&" + F->name() + "::" + V->name());
+
+  // A pointee class that contains no variable or allocation site can still
+  // be dereferenced through (e.g. chains built only from other pointees);
+  // give every reachable pointee a region as well. Iterate to closure.
+  size_t Before;
+  do {
+    Before = RegionOfRoot.size();
+    std::vector<std::pair<Cell, RegionId>> Roots(RegionOfRoot.begin(),
+                                                 RegionOfRoot.end());
+    std::sort(Roots.begin(), Roots.end(),
+              [](const auto &A, const auto &B) {
+                return A.second < B.second;
+              });
+    for (const auto &[Root, Id] : Roots) {
+      Cell P = Pointee[Root];
+      if (P == NoCell)
+        continue;
+      AddRegion(find(P), "*region" + std::to_string(Id));
+    }
+  } while (RegionOfRoot.size() != Before);
+
+  // Resolve deref links.
+  for (const auto &[Root, Id] : RegionOfRoot) {
+    Cell P = Pointee[Root];
+    if (P == NoCell)
+      continue;
+    auto It = RegionOfRoot.find(find(P));
+    if (It != RegionOfRoot.end())
+      RegionPointee[Id] = It->second;
+  }
+}
+
+RegionId PointsToAnalysis::regionOfVarCell(const ir::Variable *V) const {
+  auto It = VarCells.find(V);
+  if (It == VarCells.end())
+    return InvalidRegion;
+  auto RIt = RegionOfRoot.find(find(It->second));
+  return RIt == RegionOfRoot.end() ? InvalidRegion : RIt->second;
+}
+
+RegionId PointsToAnalysis::regionOfAllocSite(uint32_t SiteId) const {
+  if (SiteId >= AllocCells.size())
+    return InvalidRegion;
+  auto It = RegionOfRoot.find(find(AllocCells[SiteId]));
+  return It == RegionOfRoot.end() ? InvalidRegion : It->second;
+}
+
+RegionId PointsToAnalysis::derefRegion(RegionId R) const {
+  if (R == InvalidRegion || R >= RegionPointee.size())
+    return InvalidRegion;
+  return RegionPointee[R];
+}
+
+std::string PointsToAnalysis::describeRegion(RegionId R) const {
+  if (R == InvalidRegion)
+    return "<invalid>";
+  if (R >= RegionNames.size())
+    return "<out-of-range>";
+  return "{" + RegionNames[R] + "}";
+}

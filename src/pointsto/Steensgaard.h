@@ -1,0 +1,96 @@
+//===--- Steensgaard.h - Unification-based points-to analysis ---*- C++ -*-===//
+//
+// Part of the lockin project: lock inference for atomic sections.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Steensgaard's flow-insensitive, context-insensitive, unification-based
+/// pointer analysis [Steensgaard, POPL'96], the instance the paper uses for
+/// both the coarse lock scheme Σ_≡ and the mayAlias oracle (§4.3).
+///
+/// The abstraction is field-insensitive: every variable has one cell (the
+/// location &x), every allocation site has one cell covering the whole
+/// object, and each equivalence class of cells (ECR) has at most one
+/// pointee class. Pointed-to equivalence classes are the *regions* used as
+/// coarse-grain locks; two expressions may alias iff their locations fall
+/// in the same region.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LOCKIN_POINTSTO_STEENSGAARD_H
+#define LOCKIN_POINTSTO_STEENSGAARD_H
+
+#include "ir/Ir.h"
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace lockin {
+
+/// Identifies one points-to region (one pointed-to ECR). Region ids are
+/// dense, deterministic across runs, and shared with the lock runtime.
+using RegionId = uint32_t;
+constexpr RegionId InvalidRegion = ~0u;
+
+/// Runs on construction; all queries are O(alpha) afterwards.
+class PointsToAnalysis {
+public:
+  explicit PointsToAnalysis(const ir::IrModule &M);
+
+  /// Region containing the location &V (the cell that stores V's value).
+  RegionId regionOfVarCell(const ir::Variable *V) const;
+
+  /// Region containing every location of objects allocated at \p SiteId.
+  RegionId regionOfAllocSite(uint32_t SiteId) const;
+
+  /// Region reached by dereferencing a value stored in \p R, or
+  /// InvalidRegion if nothing in R was ever assigned a pointer.
+  RegionId derefRegion(RegionId R) const;
+
+  /// Field/array offsets stay within the same (field-insensitive) region.
+  RegionId offsetRegion(RegionId R) const { return R; }
+
+  /// Number of region ids handed out; ids are in [0, numRegions()).
+  unsigned numRegions() const {
+    return static_cast<unsigned>(RegionPointee.size());
+  }
+
+  /// Two locations may alias iff they are in the same region.
+  bool mayAlias(RegionId A, RegionId B) const {
+    return A != InvalidRegion && A == B;
+  }
+
+  /// Debug rendering: the variables and allocation sites in \p R.
+  std::string describeRegion(RegionId R) const;
+
+private:
+  using Cell = uint32_t;
+
+  Cell find(Cell C) const;
+  void unify(Cell A, Cell B);
+  Cell pointeeCell(Cell C);
+  Cell cellOfVar(const ir::Variable *V) const;
+
+  void processStmt(const ir::IrStmt *S);
+
+  // Union-find state. Parent/pointee are indexed by cell.
+  mutable std::vector<Cell> Parent;
+  std::vector<Cell> Pointee; // ~0u when absent; valid only at roots.
+
+  std::unordered_map<const ir::Variable *, Cell> VarCells;
+  std::vector<Cell> AllocCells; // indexed by alloc-site id
+
+  // Region numbering, assigned after unification completes.
+  std::unordered_map<Cell, RegionId> RegionOfRoot;
+  std::vector<RegionId> RegionPointee;   // region -> deref region
+  std::vector<std::string> RegionNames;  // region -> debug description
+
+  const ir::IrModule &Module;
+};
+
+} // namespace lockin
+
+#endif // LOCKIN_POINTSTO_STEENSGAARD_H

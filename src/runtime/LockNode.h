@@ -1,0 +1,88 @@
+//===--- LockNode.h - One node of the lock hierarchy ------------*- C++ -*-===//
+//
+// Part of the lockin project: lock inference for atomic sections.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LOCKIN_RUNTIME_LOCKNODE_H
+#define LOCKIN_RUNTIME_LOCKNODE_H
+
+#include "runtime/Mode.h"
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+
+namespace lockin {
+namespace rt {
+
+/// A blocking multi-mode lock: one node of the tree hierarchy
+/// (root ⊤ → region → address). Requests are granted FIFO — a request
+/// waits until it is at the head of the queue and compatible with every
+/// currently granted mode — which prevents writer starvation while still
+/// letting compatible holders (e.g. many S readers) overlap.
+class LockNode {
+public:
+  /// Blocks until the node is granted in \p M.
+  void acquire(Mode M) {
+    std::unique_lock<std::mutex> Lock(Mu);
+    uint64_t Ticket = NextTicket++;
+    Waiters.push_back({Ticket, M});
+    CV.wait(Lock, [&] {
+      return Waiters.front().Ticket == Ticket && compatibleWithGranted(M);
+    });
+    Waiters.pop_front();
+    ++Granted[static_cast<unsigned>(M)];
+    // The next waiter may also be compatible (e.g. another reader).
+    CV.notify_all();
+  }
+
+  /// Releases one grant of \p M.
+  void release(Mode M) {
+    {
+      std::lock_guard<std::mutex> Lock(Mu);
+      --Granted[static_cast<unsigned>(M)];
+    }
+    CV.notify_all();
+  }
+
+  /// Non-blocking variant; used by tests.
+  bool tryAcquire(Mode M) {
+    std::lock_guard<std::mutex> Lock(Mu);
+    if (!Waiters.empty() || !compatibleWithGranted(M))
+      return false;
+    ++Granted[static_cast<unsigned>(M)];
+    return true;
+  }
+
+  /// Number of current grants of \p M (diagnostics/tests only).
+  unsigned grantedCount(Mode M) {
+    std::lock_guard<std::mutex> Lock(Mu);
+    return Granted[static_cast<unsigned>(M)];
+  }
+
+private:
+  bool compatibleWithGranted(Mode M) const {
+    for (unsigned I = 0; I < NumModes; ++I)
+      if (Granted[I] != 0 && !modesCompatible(M, static_cast<Mode>(I)))
+        return false;
+    return true;
+  }
+
+  struct Waiter {
+    uint64_t Ticket;
+    Mode M;
+  };
+
+  std::mutex Mu;
+  std::condition_variable CV;
+  std::deque<Waiter> Waiters;
+  unsigned Granted[NumModes] = {0, 0, 0, 0, 0};
+  uint64_t NextTicket = 0;
+};
+
+} // namespace rt
+} // namespace lockin
+
+#endif // LOCKIN_RUNTIME_LOCKNODE_H

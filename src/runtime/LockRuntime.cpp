@@ -1,0 +1,127 @@
+//===--- LockRuntime.cpp - Multi-granularity lock runtime ----------------------===//
+//
+// Part of the lockin project: lock inference for atomic sections.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/LockRuntime.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+using namespace lockin;
+using namespace lockin::rt;
+
+LockRuntime::LockRuntime(unsigned NumRegions) {
+  Regions.reserve(NumRegions);
+  for (unsigned I = 0; I < NumRegions; ++I)
+    Regions.push_back(std::make_unique<LockNode>());
+}
+
+LockNode &LockRuntime::regionNode(uint32_t Region) {
+  assert(Region < Regions.size() && "region id out of range");
+  return *Regions[Region];
+}
+
+LockNode &LockRuntime::leafNode(uint32_t Region, uint64_t Address) {
+  Shard &S = Shards[(Address ^ Region) % NumShards];
+  std::lock_guard<std::mutex> Lock(S.Mu);
+  std::unique_ptr<LockNode> &Slot = S.Leaves[LeafKey{Region, Address}];
+  if (!Slot)
+    Slot = std::make_unique<LockNode>();
+  return *Slot;
+}
+
+ThreadLockContext::~ThreadLockContext() {
+  assert(HeldNodes.empty() && "thread exited while holding locks");
+}
+
+void ThreadLockContext::toAcquire(const LockDescriptor &D) {
+  if (NLevel > 0)
+    return; // inner section: the outer section's locks already protect it
+  Pending.push_back(D);
+}
+
+void ThreadLockContext::acquireAll() {
+  if (NLevel++ > 0) {
+    RT.stats().NestedSkips.fetch_add(1, std::memory_order_relaxed);
+    Pending.clear();
+    return;
+  }
+  RT.stats().AcquireAllCalls.fetch_add(1, std::memory_order_relaxed);
+
+  // Phase 1: fold the pending descriptors into the required mode at every
+  // node of the hierarchy.
+  bool NeedRootX = false;
+  Mode RootMode = Mode::IS;
+  bool RootUsed = false;
+  std::map<uint32_t, Mode> RegionModes;             // ascending region id
+  std::map<std::pair<uint32_t, uint64_t>, Mode> LeafModes; // (region, addr)
+
+  auto FoldRegion = [&](uint32_t Region, Mode M) {
+    auto [It, Inserted] = RegionModes.try_emplace(Region, M);
+    if (!Inserted)
+      It->second = combineModes(It->second, M);
+  };
+  auto FoldRoot = [&](Mode M) {
+    RootMode = RootUsed ? combineModes(RootMode, M) : M;
+    RootUsed = true;
+  };
+
+  for (const LockDescriptor &D : Pending) {
+    switch (D.K) {
+    case LockDescriptor::Kind::Global:
+      NeedRootX = true;
+      break;
+    case LockDescriptor::Kind::Coarse:
+      FoldRoot(D.Write ? Mode::IX : Mode::IS);
+      FoldRegion(D.Region, D.Write ? Mode::X : Mode::S);
+      break;
+    case LockDescriptor::Kind::Fine: {
+      FoldRoot(D.Write ? Mode::IX : Mode::IS);
+      FoldRegion(D.Region, D.Write ? Mode::IX : Mode::IS);
+      auto Key = std::make_pair(D.Region, D.Address);
+      Mode M = D.Write ? Mode::X : Mode::S;
+      auto [It, Inserted] = LeafModes.try_emplace(Key, M);
+      if (!Inserted)
+        It->second = combineModes(It->second, M);
+      break;
+    }
+    }
+  }
+  if (NeedRootX) {
+    RootMode = Mode::X;
+    RootUsed = true;
+    // Root X subsumes every descendant; no other node is needed.
+    RegionModes.clear();
+    LeafModes.clear();
+  }
+
+  // Phase 2: acquire top-down in the global total order.
+  auto Grab = [&](LockNode &Node, Mode M) {
+    Node.acquire(M);
+    HeldNodes.push_back({&Node, M});
+    RT.stats().NodeAcquisitions.fetch_add(1, std::memory_order_relaxed);
+  };
+  if (RootUsed)
+    Grab(RT.root(), RootMode);
+  for (const auto &[Region, M] : RegionModes)
+    Grab(RT.regionNode(Region), M);
+  for (const auto &[Key, M] : LeafModes)
+    Grab(RT.leafNode(Key.first, Key.second), M);
+
+  HeldDescriptors = std::move(Pending);
+  Pending.clear();
+}
+
+void ThreadLockContext::releaseAll() {
+  assert(NLevel > 0 && "releaseAll without matching acquireAll");
+  if (--NLevel > 0)
+    return;
+  // Bottom-up release: reverse acquisition order.
+  for (size_t I = HeldNodes.size(); I-- > 0;)
+    HeldNodes[I].Node->release(HeldNodes[I].M);
+  HeldNodes.clear();
+  HeldDescriptors.clear();
+}

@@ -1,0 +1,179 @@
+//===--- LockRuntime.h - Multi-granularity lock runtime ---------*- C++ -*-===//
+//
+// Part of the lockin project: lock inference for atomic sections.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The runtime library of §5: the lock hierarchy (root ⊤ → one node per
+/// points-to region → one leaf node per address) and the three-call API
+/// *to-acquire*, *acquire-all*, *release-all* on a per-thread context.
+///
+/// Deadlock freedom: acquire-all first computes the combined mode required
+/// at every node (fine ro → IS/S, fine rw → IX/X, coarse ro → S, coarse rw
+/// → X, with SIX when a region is both read coarsely and written finely),
+/// then acquires top-down — root, regions in ascending region id, leaves
+/// in ascending (region, address) — a total order shared by all threads.
+/// Locks are released bottom-up at release-all. Nested sections are
+/// handled with the per-thread nesting counter of §5.3.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LOCKIN_RUNTIME_LOCKRUNTIME_H
+#define LOCKIN_RUNTIME_LOCKRUNTIME_H
+
+#include "runtime/LockNode.h"
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+namespace lockin {
+namespace rt {
+
+/// A serialized lock as handed to the runtime (§5.2): an address for the
+/// Σ_k component, a region id for the Σ_≡ component, and the effect.
+struct LockDescriptor {
+  enum class Kind : uint8_t { Global, Coarse, Fine };
+
+  Kind K = Kind::Global;
+  uint32_t Region = 0;
+  uint64_t Address = 0;
+  bool Write = true;
+
+  static LockDescriptor global() { return {Kind::Global, 0, 0, true}; }
+  static LockDescriptor coarse(uint32_t Region, bool Write) {
+    return {Kind::Coarse, Region, 0, Write};
+  }
+  static LockDescriptor fine(uint32_t Region, uint64_t Address, bool Write) {
+    return {Kind::Fine, Region, Address, Write};
+  }
+
+  /// True if holding this descriptor permits the given access under the
+  /// concrete lock semantics of §3.2.
+  bool covers(uint64_t Addr, uint32_t AddrRegion, bool IsWrite) const {
+    if (IsWrite && !Write)
+      return false;
+    switch (K) {
+    case Kind::Global:
+      return true;
+    case Kind::Coarse:
+      return Region == AddrRegion;
+    case Kind::Fine:
+      return Address == Addr;
+    }
+    return false;
+  }
+};
+
+/// Aggregate protocol statistics (for the ablation benchmark).
+struct LockRuntimeStats {
+  std::atomic<uint64_t> AcquireAllCalls{0};
+  std::atomic<uint64_t> NodeAcquisitions{0};
+  std::atomic<uint64_t> NestedSkips{0};
+};
+
+/// Shared lock table for one program run. Threads interact through
+/// ThreadLockContext instances bound to this runtime.
+class LockRuntime {
+public:
+  /// \p NumRegions must cover every region id used in descriptors.
+  explicit LockRuntime(unsigned NumRegions);
+
+  LockNode &root() { return Root; }
+  LockNode &regionNode(uint32_t Region);
+  /// The leaf node for \p Address under \p Region, created on first use
+  /// (never freed; leaf count is bounded by the number of distinct locked
+  /// addresses). Leaves are children of their region node, so the pair is
+  /// the identity.
+  LockNode &leafNode(uint32_t Region, uint64_t Address);
+
+  unsigned numRegions() const {
+    return static_cast<unsigned>(Regions.size());
+  }
+
+  LockRuntimeStats &stats() { return Stats; }
+
+private:
+  LockNode Root;
+  std::vector<std::unique_ptr<LockNode>> Regions;
+
+  struct LeafKey {
+    uint32_t Region;
+    uint64_t Address;
+    bool operator==(const LeafKey &Other) const = default;
+  };
+  struct LeafKeyHash {
+    size_t operator()(const LeafKey &Key) const {
+      return (Key.Address * 0x9e3779b97f4a7c15ULL) ^ Key.Region;
+    }
+  };
+
+  static constexpr unsigned NumShards = 64;
+  struct Shard {
+    std::mutex Mu;
+    std::unordered_map<LeafKey, std::unique_ptr<LockNode>, LeafKeyHash>
+        Leaves;
+  };
+  Shard Shards[NumShards];
+
+  LockRuntimeStats Stats;
+};
+
+/// Per-thread façade implementing the §5.2 API. Not thread-safe; create
+/// one per thread.
+class ThreadLockContext {
+public:
+  explicit ThreadLockContext(LockRuntime &RT) : RT(RT) {}
+  ~ThreadLockContext();
+
+  ThreadLockContext(const ThreadLockContext &) = delete;
+  ThreadLockContext &operator=(const ThreadLockContext &) = delete;
+
+  /// Adds \p D to the pending list (the *to-acquire* call).
+  void toAcquire(const LockDescriptor &D);
+
+  /// Acquires every pending lock using the multi-grain protocol. Nested
+  /// calls (nesting level > 0) acquire nothing (§5.3).
+  void acquireAll();
+
+  /// Releases all locks held by this thread, bottom-up. Inner nested
+  /// sections only decrement the nesting counter.
+  void releaseAll();
+
+  /// Descriptors currently protected (outermost section), for the
+  /// checking interpreter.
+  const std::vector<LockDescriptor> &heldDescriptors() const {
+    return HeldDescriptors;
+  }
+
+  /// True if the held set permits the access (checking semantics, §4.2).
+  bool coversAccess(uint64_t Addr, uint32_t Region, bool IsWrite) const {
+    for (const LockDescriptor &D : HeldDescriptors)
+      if (D.covers(Addr, Region, IsWrite))
+        return true;
+    return false;
+  }
+
+  int nestingLevel() const { return NLevel; }
+  bool insideAtomic() const { return NLevel > 0; }
+
+private:
+  struct HeldNode {
+    LockNode *Node;
+    Mode M;
+  };
+
+  LockRuntime &RT;
+  std::vector<LockDescriptor> Pending;
+  std::vector<LockDescriptor> HeldDescriptors;
+  std::vector<HeldNode> HeldNodes; // in acquisition order
+  int NLevel = 0;
+};
+
+} // namespace rt
+} // namespace lockin
+
+#endif // LOCKIN_RUNTIME_LOCKRUNTIME_H

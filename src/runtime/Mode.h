@@ -1,0 +1,83 @@
+//===--- Mode.h - Multi-granularity access modes ----------------*- C++ -*-===//
+//
+// Part of the lockin project: lock inference for atomic sections.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The five access modes of the multi-granularity locking protocol
+/// (Gray et al., VLDB'75), with the compatibility matrix of the paper's
+/// Fig. 6(b):
+///
+///           IS   IX    S   SIX    X
+///     IS     ✓    ✓    ✓    ✓    ✗
+///     IX     ✓    ✓    ✗    ✗    ✗
+///     S      ✓    ✗    ✓    ✗    ✗
+///     SIX    ✓    ✗    ✗    ✗    ✗
+///     X      ✗    ✗    ✗    ✗    ✗
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LOCKIN_RUNTIME_MODE_H
+#define LOCKIN_RUNTIME_MODE_H
+
+#include <cstdint>
+
+namespace lockin {
+namespace rt {
+
+enum class Mode : uint8_t { IS = 0, IX = 1, S = 2, SIX = 3, X = 4 };
+constexpr unsigned NumModes = 5;
+
+/// True if two threads may hold the node in modes \p A and \p B
+/// concurrently (Fig. 6(b)).
+constexpr bool modesCompatible(Mode A, Mode B) {
+  constexpr bool Table[NumModes][NumModes] = {
+      //            IS     IX     S      SIX    X
+      /* IS  */ {true, true, true, true, false},
+      /* IX  */ {true, true, false, false, false},
+      /* S   */ {true, false, true, false, false},
+      /* SIX */ {true, false, false, false, false},
+      /* X   */ {false, false, false, false, false},
+  };
+  return Table[static_cast<unsigned>(A)][static_cast<unsigned>(B)];
+}
+
+/// The weakest mode granting the permissions of both \p A and \p B; this
+/// is the join in the mode lattice IS < {IX, S} < SIX < X. A thread that
+/// needs a region both shared (coarse read) and with intention-to-write
+/// children (fine writes below) holds it in SIX.
+constexpr Mode combineModes(Mode A, Mode B) {
+  if (A == B)
+    return A;
+  constexpr Mode Table[NumModes][NumModes] = {
+      //            IS         IX         S          SIX        X
+      /* IS  */ {Mode::IS, Mode::IX, Mode::S, Mode::SIX, Mode::X},
+      /* IX  */ {Mode::IX, Mode::IX, Mode::SIX, Mode::SIX, Mode::X},
+      /* S   */ {Mode::S, Mode::SIX, Mode::S, Mode::SIX, Mode::X},
+      /* SIX */ {Mode::SIX, Mode::SIX, Mode::SIX, Mode::SIX, Mode::X},
+      /* X   */ {Mode::X, Mode::X, Mode::X, Mode::X, Mode::X},
+  };
+  return Table[static_cast<unsigned>(A)][static_cast<unsigned>(B)];
+}
+
+constexpr const char *modeName(Mode M) {
+  switch (M) {
+  case Mode::IS:
+    return "IS";
+  case Mode::IX:
+    return "IX";
+  case Mode::S:
+    return "S";
+  case Mode::SIX:
+    return "SIX";
+  case Mode::X:
+    return "X";
+  }
+  return "?";
+}
+
+} // namespace rt
+} // namespace lockin
+
+#endif // LOCKIN_RUNTIME_MODE_H

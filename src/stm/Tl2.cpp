@@ -1,0 +1,88 @@
+//===--- Tl2.cpp - TL2-style software transactional memory --------------------===//
+//
+// Part of the lockin project: lock inference for atomic sections.
+//
+//===----------------------------------------------------------------------===//
+
+#include "stm/Tl2.h"
+
+#include <algorithm>
+
+using namespace lockin;
+using namespace lockin::stm;
+
+bool Transaction::commit() {
+  if (isReadOnly())
+    return true; // reads were validated individually against RV
+
+  // Lock the write set in a canonical order (deadlock-free without
+  // blocking: everyone locks in ascending lock-entry order, and a
+  // lock held by another committer aborts us instead of waiting).
+  std::vector<std::pair<std::atomic<uint64_t> *, uint64_t>> Locked;
+  std::vector<std::pair<uintptr_t, uint64_t>> Writes(WriteSet.begin(),
+                                                     WriteSet.end());
+  std::sort(Writes.begin(), Writes.end());
+
+  std::vector<std::atomic<uint64_t> *> Locks;
+  Locks.reserve(Writes.size());
+  for (const auto &[Addr, Word] : Writes) {
+    (void)Word;
+    Locks.push_back(&S.lockFor(reinterpret_cast<const void *>(Addr)));
+  }
+  std::sort(Locks.begin(), Locks.end());
+  Locks.erase(std::unique(Locks.begin(), Locks.end()), Locks.end());
+
+  auto ReleaseAll = [&] {
+    for (auto &[Lock, OldV] : Locked)
+      Lock->store(OldV, std::memory_order_release);
+  };
+
+  for (std::atomic<uint64_t> *LockPtr : Locks) {
+    std::atomic<uint64_t> &Lock = *LockPtr;
+    uint64_t V = Lock.load(std::memory_order_acquire);
+    if ((V & 1) != 0 || (V >> 1) > RV) {
+      ReleaseAll();
+      return false;
+    }
+    if (!Lock.compare_exchange_strong(V, V | 1,
+                                      std::memory_order_acq_rel)) {
+      ReleaseAll();
+      return false;
+    }
+    Locked.emplace_back(&Lock, V);
+  }
+
+  uint64_t WV = S.clock().fetch_add(1, std::memory_order_acq_rel) + 1;
+
+  // Validate the read set (skippable when RV + 1 == WV: nothing committed
+  // in between, the classic TL2 fast path).
+  if (RV + 1 != WV) {
+    for (std::atomic<uint64_t> *Lock : ReadSet) {
+      uint64_t V = Lock->load(std::memory_order_acquire);
+      bool LockedByMe = false;
+      if (V & 1) {
+        for (auto &[Mine, OldV] : Locked) {
+          (void)OldV;
+          if (Mine == Lock) {
+            LockedByMe = true;
+            break;
+          }
+        }
+      }
+      if ((V & 1 && !LockedByMe) || (V >> 1) > RV) {
+        ReleaseAll();
+        return false;
+      }
+    }
+  }
+
+  // Apply the writes, then release the versioned locks with WV.
+  for (const auto &[Addr, Word] : Writes)
+    std::atomic_ref<uint64_t>(*reinterpret_cast<uint64_t *>(Addr))
+        .store(Word, std::memory_order_release);
+  for (auto &[Lock, OldV] : Locked) {
+    (void)OldV;
+    Lock->store(WV << 1, std::memory_order_release);
+  }
+  return true;
+}

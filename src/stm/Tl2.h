@@ -1,0 +1,163 @@
+//===--- Tl2.h - TL2-style software transactional memory --------*- C++ -*-===//
+//
+// Part of the lockin project: lock inference for atomic sections.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A word-based software transactional memory in the style of TL2
+/// [Dice, Shalev, Shavit, DISC'06], the optimistic baseline the paper
+/// compares against (§6): a global version clock, a hashed table of
+/// versioned write-locks, invisible reads validated against the read
+/// version, commit-time locking of the write set, read-set validation,
+/// and release with the new write version.
+///
+/// Deviation from the project-wide no-exceptions rule (documented in
+/// DESIGN.md): aborts need a non-local exit out of user transaction code,
+/// and TL2's mid-transaction validation makes every read a potential abort
+/// point. One internal exception type (TxAbort) implements the retry; it
+/// never escapes Stm::atomically().
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LOCKIN_STM_TL2_H
+#define LOCKIN_STM_TL2_H
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <type_traits>
+#include <unordered_map>
+#include <vector>
+
+namespace lockin {
+namespace stm {
+
+/// Thrown on conflict; caught by atomically() which retries.
+struct TxAbort {};
+
+struct StmStats {
+  std::atomic<uint64_t> Commits{0};
+  std::atomic<uint64_t> Aborts{0};
+};
+
+/// The shared STM state: global clock and versioned-lock table.
+class Stm {
+public:
+  Stm() : Table(TableSize) {}
+
+  /// The versioned lock covering \p Addr. Entry layout: bit 0 = locked,
+  /// bits 63..1 = version.
+  std::atomic<uint64_t> &lockFor(const void *Addr) {
+    auto Key = reinterpret_cast<uintptr_t>(Addr) >> 3;
+    // Fibonacci hashing spreads adjacent words across the table.
+    return Table[(Key * 0x9e3779b97f4a7c15ULL) >> (64 - TableBits)].V;
+  }
+
+  std::atomic<uint64_t> &clock() { return GlobalClock; }
+  StmStats &stats() { return Stats; }
+
+  /// Runs \p Body transactionally until it commits. Body receives a
+  /// Transaction reference and must route every shared access through it.
+  template <typename F> void atomically(F &&Body);
+
+private:
+  static constexpr unsigned TableBits = 20;
+  static constexpr size_t TableSize = size_t(1) << TableBits;
+  struct alignas(64) Entry {
+    std::atomic<uint64_t> V{0};
+  };
+  std::vector<Entry> Table;
+  std::atomic<uint64_t> GlobalClock{0};
+  StmStats Stats;
+};
+
+/// One transaction attempt. Reads are invisible and validated; writes are
+/// buffered and applied at commit.
+class Transaction {
+public:
+  explicit Transaction(Stm &S)
+      : S(S), RV(S.clock().load(std::memory_order_acquire)) {}
+
+  /// Transactional load. T must be an 8-byte trivially copyable type
+  /// (pointers and int64_t in our workloads).
+  template <typename T> T read(T *Addr) {
+    static_assert(sizeof(T) == 8 && std::is_trivially_copyable_v<T>,
+                  "word-based STM");
+    auto Key = reinterpret_cast<uintptr_t>(Addr);
+    if (auto It = WriteSet.find(Key); It != WriteSet.end())
+      return fromWord<T>(It->second); // read-own-write
+    std::atomic<uint64_t> &Lock = S.lockFor(Addr);
+    uint64_t V1 = Lock.load(std::memory_order_acquire);
+    T Value = atomicLoad(Addr);
+    uint64_t V2 = Lock.load(std::memory_order_acquire);
+    if ((V1 & 1) != 0 || V1 != V2 || (V1 >> 1) > RV)
+      throw TxAbort{};
+    ReadSet.push_back(&Lock);
+    return Value;
+  }
+
+  /// Transactional store (buffered until commit).
+  template <typename T> void write(T *Addr, T Value) {
+    static_assert(sizeof(T) == 8 && std::is_trivially_copyable_v<T>,
+                  "word-based STM");
+    WriteSet[reinterpret_cast<uintptr_t>(Addr)] = toWord(Value);
+  }
+
+  /// Commit-time locking + validation. Returns true on success; on
+  /// failure the caller retries with a fresh transaction.
+  bool commit();
+
+  /// Read-only transactions commit trivially.
+  bool isReadOnly() const { return WriteSet.empty(); }
+
+private:
+  template <typename T> static uint64_t toWord(T V) {
+    uint64_t W;
+    __builtin_memcpy(&W, &V, 8);
+    return W;
+  }
+  template <typename T> static T fromWord(uint64_t W) {
+    T V;
+    __builtin_memcpy(&V, &W, 8);
+    return V;
+  }
+  template <typename T> static T atomicLoad(T *Addr) {
+    uint64_t W = std::atomic_ref<uint64_t>(
+                     *reinterpret_cast<uint64_t *>(Addr))
+                     .load(std::memory_order_acquire);
+    return fromWord<T>(W);
+  }
+
+  Stm &S;
+  uint64_t RV;
+  std::unordered_map<uintptr_t, uint64_t> WriteSet;
+  std::vector<std::atomic<uint64_t> *> ReadSet;
+};
+
+template <typename F> void Stm::atomically(F &&Body) {
+  for (unsigned Attempt = 0;; ++Attempt) {
+    Transaction Tx(*this);
+    bool Ok = false;
+    try {
+      Body(Tx);
+      Ok = Tx.commit();
+    } catch (TxAbort &) {
+      Ok = false;
+    }
+    if (Ok) {
+      Stats.Commits.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    Stats.Aborts.fetch_add(1, std::memory_order_relaxed);
+    // Brief exponential backoff bounds livelock under heavy conflicts.
+    for (unsigned Spin = 0; Spin < (1u << (Attempt > 10 ? 10 : Attempt));
+         ++Spin)
+      __builtin_ia32_pause();
+  }
+}
+
+} // namespace stm
+} // namespace lockin
+
+#endif // LOCKIN_STM_TL2_H

@@ -1,0 +1,46 @@
+//===--- Casting.h - isa/cast/dyn_cast helpers ------------------*- C++ -*-===//
+//
+// Part of the lockin project: lock inference for atomic sections.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimal LLVM-style RTTI helpers. Classes opt in by providing a static
+/// classof(const Base *) predicate (usually a kind-enum test); no compiler
+/// RTTI is used anywhere in the project.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LOCKIN_SUPPORT_CASTING_H
+#define LOCKIN_SUPPORT_CASTING_H
+
+#include <cassert>
+
+namespace lockin {
+
+template <typename To, typename From> bool isa(const From *Val) {
+  assert(Val && "isa<> on a null pointer");
+  return To::classof(Val);
+}
+
+template <typename To, typename From> To *cast(From *Val) {
+  assert(isa<To>(Val) && "cast<> argument of incompatible kind");
+  return static_cast<To *>(Val);
+}
+
+template <typename To, typename From> const To *cast(const From *Val) {
+  assert(isa<To>(Val) && "cast<> argument of incompatible kind");
+  return static_cast<const To *>(Val);
+}
+
+template <typename To, typename From> To *dyn_cast(From *Val) {
+  return isa<To>(Val) ? static_cast<To *>(Val) : nullptr;
+}
+
+template <typename To, typename From> const To *dyn_cast(const From *Val) {
+  return isa<To>(Val) ? static_cast<const To *>(Val) : nullptr;
+}
+
+} // namespace lockin
+
+#endif // LOCKIN_SUPPORT_CASTING_H

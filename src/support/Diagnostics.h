@@ -1,0 +1,76 @@
+//===--- Diagnostics.h - Diagnostic collection ------------------*- C++ -*-===//
+//
+// Part of the lockin project: lock inference for atomic sections.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small diagnostic engine. Library phases (lexer, parser, sema, lowering)
+/// report errors here instead of printing or aborting, so embedding tools and
+/// tests can inspect failures programmatically.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LOCKIN_SUPPORT_DIAGNOSTICS_H
+#define LOCKIN_SUPPORT_DIAGNOSTICS_H
+
+#include "support/SourceLoc.h"
+
+#include <string>
+#include <vector>
+
+namespace lockin {
+
+/// Severity of a reported diagnostic.
+enum class DiagKind { Error, Warning, Note };
+
+/// One reported problem, with its position in the input program.
+struct Diagnostic {
+  DiagKind Kind;
+  SourceLoc Loc;
+  std::string Message;
+
+  /// Renders as "line:col: error: message".
+  std::string str() const;
+};
+
+/// Collects diagnostics produced while processing one input program.
+///
+/// The engine never terminates the process; callers check hasErrors() after
+/// each phase and stop the pipeline on failure.
+class DiagnosticEngine {
+public:
+  void error(SourceLoc Loc, std::string Message) {
+    Diags.push_back({DiagKind::Error, Loc, std::move(Message)});
+    ++NumErrors;
+  }
+
+  void warning(SourceLoc Loc, std::string Message) {
+    Diags.push_back({DiagKind::Warning, Loc, std::move(Message)});
+  }
+
+  void note(SourceLoc Loc, std::string Message) {
+    Diags.push_back({DiagKind::Note, Loc, std::move(Message)});
+  }
+
+  bool hasErrors() const { return NumErrors != 0; }
+  unsigned errorCount() const { return NumErrors; }
+  const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+
+  /// All diagnostics joined with newlines; convenient for test failure
+  /// messages and CLI output.
+  std::string str() const;
+
+  void clear() {
+    Diags.clear();
+    NumErrors = 0;
+  }
+
+private:
+  std::vector<Diagnostic> Diags;
+  unsigned NumErrors = 0;
+};
+
+} // namespace lockin
+
+#endif // LOCKIN_SUPPORT_DIAGNOSTICS_H

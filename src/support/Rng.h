@@ -1,0 +1,55 @@
+//===--- Rng.h - Deterministic random number generation --------*- C++ -*-===//
+//
+// Part of the lockin project: lock inference for atomic sections.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small, fast, deterministic RNG (splitmix64). Used by the synthetic
+/// program generator, the random-program property tests, and the benchmark
+/// workload drivers, so every experiment is reproducible from a seed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LOCKIN_SUPPORT_RNG_H
+#define LOCKIN_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace lockin {
+
+/// splitmix64: passes BigCrush, two ops per draw, trivially seedable.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed) : State(Seed) {}
+
+  uint64_t next() {
+    uint64_t Z = (State += 0x9e3779b97f4a7c15ULL);
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Uniform value in [0, Bound). \p Bound must be nonzero.
+  uint64_t below(uint64_t Bound) {
+    assert(Bound != 0 && "empty range");
+    return next() % Bound;
+  }
+
+  /// Uniform value in [Lo, Hi] inclusive.
+  int64_t range(int64_t Lo, int64_t Hi) {
+    assert(Lo <= Hi && "inverted range");
+    return Lo + static_cast<int64_t>(below(static_cast<uint64_t>(Hi - Lo + 1)));
+  }
+
+  /// True with probability Num/Den.
+  bool chance(uint64_t Num, uint64_t Den) { return below(Den) < Num; }
+
+private:
+  uint64_t State;
+};
+
+} // namespace lockin
+
+#endif // LOCKIN_SUPPORT_RNG_H

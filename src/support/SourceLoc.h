@@ -1,0 +1,44 @@
+//===--- SourceLoc.h - Source locations for diagnostics --------*- C++ -*-===//
+//
+// Part of the lockin project: lock inference for atomic sections.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Defines SourceLoc, a lightweight (line, column) pair used to attach
+/// positions to tokens, AST nodes, and diagnostics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LOCKIN_SUPPORT_SOURCELOC_H
+#define LOCKIN_SUPPORT_SOURCELOC_H
+
+#include <cstdint>
+#include <string>
+
+namespace lockin {
+
+/// A position in an input buffer. Line and column are 1-based; a
+/// default-constructed SourceLoc is invalid and prints as "<unknown>".
+struct SourceLoc {
+  uint32_t Line = 0;
+  uint32_t Col = 0;
+
+  SourceLoc() = default;
+  SourceLoc(uint32_t Line, uint32_t Col) : Line(Line), Col(Col) {}
+
+  bool isValid() const { return Line != 0; }
+
+  bool operator==(const SourceLoc &Other) const = default;
+
+  /// Renders the location as "line:col" for diagnostics.
+  std::string str() const {
+    if (!isValid())
+      return "<unknown>";
+    return std::to_string(Line) + ":" + std::to_string(Col);
+  }
+};
+
+} // namespace lockin
+
+#endif // LOCKIN_SUPPORT_SOURCELOC_H

@@ -1,0 +1,116 @@
+//===--- Adapters.h - Concurrency-control adapters for workloads -*- C++ -*-===//
+//
+// Part of the lockin project: lock inference for atomic sections.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The four execution configurations of the paper's evaluation (§6):
+///
+///   Global        one global lock per atomic section
+///   Coarse        the k=0 inference result: per-region locks with
+///                 read/write effects
+///   Fine          the k=9 result: fine-grain address locks where the
+///                 inference finds them, coarse elsewhere
+///   Stm           the TL2-style optimistic baseline
+///
+/// The lock-based workload implementations mirror the compiler's manual
+/// transformation: each operation declares the lock set the inference
+/// computes for its atomic section (verified against the toy-language
+/// versions by the integration tests), then runs the body with plain
+/// memory accesses. The STM implementations route every shared access
+/// through a transaction instead.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LOCKIN_WORKLOADS_ADAPTERS_H
+#define LOCKIN_WORKLOADS_ADAPTERS_H
+
+#include "runtime/LockRuntime.h"
+#include "stm/Tl2.h"
+
+#include <cstdint>
+#include <memory>
+
+namespace lockin {
+namespace workloads {
+
+enum class LockConfig { Global, Coarse, Fine, Stm };
+
+inline const char *lockConfigName(LockConfig C) {
+  switch (C) {
+  case LockConfig::Global:
+    return "Global";
+  case LockConfig::Coarse:
+    return "Coarse (k=0)";
+  case LockConfig::Fine:
+    return "Fine+Coarse (k=9)";
+  case LockConfig::Stm:
+    return "STM (TL2)";
+  }
+  return "?";
+}
+
+/// Shared state for the lock-based configurations of one benchmark run.
+struct LockWorld {
+  explicit LockWorld(unsigned NumRegions, LockConfig Config)
+      : RT(NumRegions), Config(Config) {}
+
+  rt::LockRuntime RT;
+  LockConfig Config;
+};
+
+/// Per-thread handle used by the lock-based workloads.
+class LockThread {
+public:
+  explicit LockThread(LockWorld &World) : World(World), Ctx(World.RT) {}
+
+  LockConfig config() const { return World.Config; }
+
+  /// Declares a coarse lock on \p Region when the configuration uses
+  /// region locks, or folds into the global lock otherwise.
+  void wantCoarse(uint32_t Region, bool Write) {
+    if (World.Config == LockConfig::Global)
+      Ctx.toAcquire(rt::LockDescriptor::global());
+    else
+      Ctx.toAcquire(rt::LockDescriptor::coarse(Region, Write));
+  }
+
+  /// Declares a fine lock on \p Addr; coarsens to the region (or global)
+  /// lock in the configurations where the inference would not have it.
+  void wantFine(uint32_t Region, const void *Addr, bool Write) {
+    switch (World.Config) {
+    case LockConfig::Global:
+      Ctx.toAcquire(rt::LockDescriptor::global());
+      break;
+    case LockConfig::Coarse:
+      Ctx.toAcquire(rt::LockDescriptor::coarse(Region, Write));
+      break;
+    case LockConfig::Fine:
+      Ctx.toAcquire(rt::LockDescriptor::fine(
+          Region, reinterpret_cast<uint64_t>(Addr), Write));
+      break;
+    case LockConfig::Stm:
+      break; // unused
+    }
+  }
+
+  void acquireAll() { Ctx.acquireAll(); }
+  void releaseAll() { Ctx.releaseAll(); }
+
+private:
+  LockWorld &World;
+  rt::ThreadLockContext Ctx;
+};
+
+/// The nop loop the paper inserts inside atomic sections "to make the
+/// program spend more time inside the atomic sections" (§6.1).
+inline void sectionWork(unsigned Nops) {
+  for (unsigned I = 0; I < Nops; ++I)
+    asm volatile("" ::: "memory");
+}
+
+} // namespace workloads
+} // namespace lockin
+
+#endif // LOCKIN_WORKLOADS_ADAPTERS_H

@@ -1,0 +1,297 @@
+//===--- MicroBench.cpp - Micro-benchmark harness -------------------------------===//
+//
+// Part of the lockin project: lock inference for atomic sections.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/MicroBench.h"
+
+#include "support/Rng.h"
+#include "workloads/DataStructures.h"
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+using namespace lockin;
+using namespace lockin::workloads;
+
+const char *lockin::workloads::microKindName(MicroKind Kind) {
+  switch (Kind) {
+  case MicroKind::List:
+    return "list";
+  case MicroKind::Hashtable:
+    return "hashtable";
+  case MicroKind::Hashtable2:
+    return "hashtable-2";
+  case MicroKind::RbTree:
+    return "rbtree";
+  case MicroKind::TH:
+    return "TH";
+  }
+  return "?";
+}
+
+namespace {
+
+enum class Op { Put, Get, Remove };
+
+/// Operation mix of §6.1: high => puts 4x, low => gets 4x.
+Op pickOp(Rng &R, bool High) {
+  uint64_t Roll = R.below(6);
+  if (High)
+    return Roll < 4 ? Op::Put : (Roll == 4 ? Op::Get : Op::Remove);
+  return Roll < 4 ? Op::Get : (Roll == 4 ? Op::Put : Op::Remove);
+}
+
+/// Region numbering shared by all micro workloads. Mirrors the Steensgaard
+/// result on the toy-language versions: one region per container, one per
+/// element class.
+constexpr uint32_t RegionList = 0;
+constexpr uint32_t RegionTable = 1;      // hashtable (all of it)
+constexpr uint32_t RegionBuckets2 = 2;   // hashtable-2 bucket array cells
+constexpr uint32_t RegionNodes2 = 3;     // hashtable-2 chain nodes
+constexpr uint32_t RegionTree = 4;       // red-black tree nodes
+constexpr unsigned NumMicroRegions = 5;
+
+struct MicroState {
+  ListCore List;
+  HashtableCore Table;
+  Hashtable2Core Table2;
+  RbTreeCore Tree;
+  stm::Stm Stm;
+};
+
+/// One operation on one structure under the lock-based configurations.
+/// The lock sets below are the inference results for the toy-language
+/// versions of these operations (see tests/test_integration.cpp).
+void lockOp(MicroState &S, LockThread &T, MicroKind Kind, Op O,
+            int64_t Key, unsigned Nops) {
+  DirectMem M;
+  switch (Kind) {
+  case MicroKind::List:
+    T.wantCoarse(RegionList, O != Op::Get);
+    T.acquireAll();
+    sectionWork(Nops);
+    if (O == Op::Put)
+      S.List.insert(M, Key);
+    else if (O == Op::Get)
+      S.List.lookup(M, Key);
+    else
+      S.List.remove(M, Key);
+    T.releaseAll();
+    return;
+  case MicroKind::Hashtable: {
+    // put may rehash the entire table: always coarse.
+    T.wantCoarse(RegionTable, O != Op::Get);
+    T.acquireAll();
+    sectionWork(Nops);
+    int64_t Out;
+    if (O == Op::Put)
+      S.Table.put(M, Key, Key);
+    else if (O == Op::Get)
+      S.Table.get(M, Key, Out);
+    else
+      S.Table.remove(M, Key);
+    T.releaseAll();
+    return;
+  }
+  case MicroKind::Hashtable2: {
+    int64_t Out;
+    if (O == Op::Put) {
+      // The k=9 inference finds one fine lock: the bucket head cell.
+      T.wantFine(RegionBuckets2, S.Table2.bucketCell(Key), true);
+      T.acquireAll();
+      sectionWork(Nops);
+      S.Table2.put(M, Key, Key);
+      T.releaseAll();
+      return;
+    }
+    // get/remove traverse the chain: coarse on buckets + nodes.
+    T.wantCoarse(RegionBuckets2, O == Op::Remove);
+    T.wantCoarse(RegionNodes2, O == Op::Remove);
+    T.acquireAll();
+    sectionWork(Nops);
+    if (O == Op::Get)
+      S.Table2.get(M, Key, Out);
+    else
+      S.Table2.remove(M, Key);
+    T.releaseAll();
+    return;
+  }
+  case MicroKind::RbTree: {
+    T.wantCoarse(RegionTree, O != Op::Get);
+    T.acquireAll();
+    sectionWork(Nops);
+    int64_t Out;
+    if (O == Op::Put)
+      S.Tree.insert(M, Key, Key);
+    else if (O == Op::Get)
+      S.Tree.get(M, Key, Out);
+    else
+      S.Tree.remove(M, Key);
+    T.releaseAll();
+    return;
+  }
+  case MicroKind::TH:
+    // Half the operations per structure, selected by key parity (§6.1).
+    if (Key % 2 == 0)
+      lockOp(S, T, MicroKind::RbTree, O, Key, Nops);
+    else
+      lockOp(S, T, MicroKind::Hashtable, O, Key, Nops);
+    return;
+  }
+}
+
+void stmOp(MicroState &S, MicroKind Kind, Op O, int64_t Key,
+           unsigned Nops) {
+  switch (Kind) {
+  case MicroKind::List:
+    S.Stm.atomically([&](stm::Transaction &Tx) {
+      TxMem M{Tx};
+      sectionWork(Nops);
+      if (O == Op::Put)
+        S.List.insert(M, Key);
+      else if (O == Op::Get)
+        S.List.lookup(M, Key);
+      else
+        S.List.remove(M, Key);
+    });
+    return;
+  case MicroKind::Hashtable:
+    S.Stm.atomically([&](stm::Transaction &Tx) {
+      TxMem M{Tx};
+      sectionWork(Nops);
+      int64_t Out;
+      if (O == Op::Put)
+        S.Table.put(M, Key, Key);
+      else if (O == Op::Get)
+        S.Table.get(M, Key, Out);
+      else
+        S.Table.remove(M, Key);
+    });
+    return;
+  case MicroKind::Hashtable2:
+    S.Stm.atomically([&](stm::Transaction &Tx) {
+      TxMem M{Tx};
+      sectionWork(Nops);
+      int64_t Out;
+      if (O == Op::Put)
+        S.Table2.put(M, Key, Key);
+      else if (O == Op::Get)
+        S.Table2.get(M, Key, Out);
+      else
+        S.Table2.remove(M, Key);
+    });
+    return;
+  case MicroKind::RbTree:
+    S.Stm.atomically([&](stm::Transaction &Tx) {
+      TxMem M{Tx};
+      sectionWork(Nops);
+      int64_t Out;
+      if (O == Op::Put)
+        S.Tree.insert(M, Key, Key);
+      else if (O == Op::Get)
+        S.Tree.get(M, Key, Out);
+      else
+        S.Tree.remove(M, Key);
+    });
+    return;
+  case MicroKind::TH:
+    if (Key % 2 == 0)
+      stmOp(S, MicroKind::RbTree, O, Key, Nops);
+    else
+      stmOp(S, MicroKind::Hashtable, O, Key, Nops);
+    return;
+  }
+}
+
+int64_t checksum(MicroState &S, MicroKind Kind) {
+  DirectMem M;
+  switch (Kind) {
+  case MicroKind::List:
+    return S.List.size(M);
+  case MicroKind::Hashtable:
+    return S.Table.size(M);
+  case MicroKind::Hashtable2: {
+    int64_t Sum = 0, Out = 0;
+    for (int64_t K = 0; K < 64; ++K)
+      Sum += S.Table2.get(M, K, Out) ? 1 : 0;
+    return Sum;
+  }
+  case MicroKind::RbTree:
+    return S.Tree.liveCount();
+  case MicroKind::TH:
+    return S.Tree.liveCount() + S.Table.size(M);
+  }
+  return 0;
+}
+
+} // namespace
+
+MicroResult lockin::workloads::runMicro(const MicroParams &Params) {
+  MicroState State;
+  LockWorld World(NumMicroRegions, Params.Config);
+
+  // Pre-populate half of the key space so gets hit.
+  {
+    DirectMem M;
+    for (int64_t K = 0; K < Params.KeySpace; K += 2) {
+      switch (Params.Kind) {
+      case MicroKind::List:
+        State.List.insert(M, K);
+        break;
+      case MicroKind::Hashtable:
+        State.Table.put(M, K, K);
+        break;
+      case MicroKind::Hashtable2:
+        State.Table2.put(M, K, K);
+        break;
+      case MicroKind::RbTree:
+        State.Tree.insert(M, K, K);
+        break;
+      case MicroKind::TH:
+        if (K % 4 == 0)
+          State.Tree.insert(M, K, K);
+        else
+          State.Table.put(M, K, K);
+        break;
+      }
+    }
+  }
+
+  auto Start = std::chrono::steady_clock::now();
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T < Params.Threads; ++T) {
+    Threads.emplace_back([&, T] {
+      Rng R(Params.Seed * 1315423911u + T);
+      if (Params.Config == LockConfig::Stm) {
+        for (uint64_t I = 0; I < Params.OpsPerThread; ++I) {
+          Op O = pickOp(R, Params.High);
+          stmOp(State, Params.Kind, O,
+                static_cast<int64_t>(R.below(Params.KeySpace)),
+                Params.SectionNops);
+        }
+        return;
+      }
+      LockThread Ctx(World);
+      for (uint64_t I = 0; I < Params.OpsPerThread; ++I) {
+        Op O = pickOp(R, Params.High);
+        lockOp(State, Ctx, Params.Kind, O,
+               static_cast<int64_t>(R.below(Params.KeySpace)),
+               Params.SectionNops);
+      }
+    });
+  }
+  for (std::thread &T : Threads)
+    T.join();
+  auto End = std::chrono::steady_clock::now();
+
+  MicroResult Result;
+  Result.Seconds = std::chrono::duration<double>(End - Start).count();
+  Result.Ops = uint64_t(Params.Threads) * Params.OpsPerThread;
+  Result.StmCommits = State.Stm.stats().Commits.load();
+  Result.StmAborts = State.Stm.stats().Aborts.load();
+  Result.Checksum = checksum(State, Params.Kind);
+  return Result;
+}

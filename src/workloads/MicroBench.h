@@ -1,0 +1,62 @@
+//===--- MicroBench.h - Micro-benchmark harness ------------------*- C++ -*-===//
+//
+// Part of the lockin project: lock inference for atomic sections.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The harness of §6.1 for the micro-benchmarks: every operation (put/
+/// insert, get/lookup, remove) runs in its own atomic section containing
+/// an extra nop loop; the *low* setting makes gets four times more common,
+/// the *high* setting puts. `TH` mixes a red-black tree and a hashtable,
+/// half of the operations on each.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LOCKIN_WORKLOADS_MICROBENCH_H
+#define LOCKIN_WORKLOADS_MICROBENCH_H
+
+#include "workloads/Adapters.h"
+
+#include <cstdint>
+#include <string>
+
+namespace lockin {
+namespace workloads {
+
+enum class MicroKind { List, Hashtable, Hashtable2, RbTree, TH };
+
+const char *microKindName(MicroKind Kind);
+
+struct MicroParams {
+  MicroKind Kind = MicroKind::List;
+  LockConfig Config = LockConfig::Global;
+  unsigned Threads = 8;
+  uint64_t OpsPerThread = 20000;
+  /// false = low contention (4x gets), true = high contention (4x puts).
+  bool High = false;
+  /// Size of the nop loop inside each section.
+  unsigned SectionNops = 200;
+  /// Key range; smaller ranges mean more conflicts.
+  int64_t KeySpace = 2048;
+  uint64_t Seed = 42;
+};
+
+struct MicroResult {
+  double Seconds = 0;
+  uint64_t Ops = 0;
+  uint64_t StmCommits = 0;
+  uint64_t StmAborts = 0;
+  /// A structure-specific checksum used by the correctness tests (e.g.
+  /// final element count); identical workloads must agree across
+  /// configurations when run single-threaded.
+  int64_t Checksum = 0;
+};
+
+/// Runs one micro-benchmark configuration to completion.
+MicroResult runMicro(const MicroParams &Params);
+
+} // namespace workloads
+} // namespace lockin
+
+#endif // LOCKIN_WORKLOADS_MICROBENCH_H

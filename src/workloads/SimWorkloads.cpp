@@ -1,0 +1,332 @@
+//===--- SimWorkloads.cpp - Simulated benchmark op streams ---------------------===//
+//
+// Part of the lockin project: lock inference for atomic sections.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/SimWorkloads.h"
+
+#include "support/Rng.h"
+
+#include <memory>
+
+using namespace lockin;
+using namespace lockin::rt;
+using namespace lockin::workloads;
+using namespace lockin::workloads::sim;
+
+namespace {
+
+// Abstract address spaces per structure.
+constexpr uint64_t ListBase = 1ull << 20;
+constexpr uint64_t TableBase = 2ull << 20;
+constexpr uint64_t Buckets2Base = 3ull << 20;
+constexpr uint64_t Nodes2Base = 4ull << 20;
+constexpr uint64_t TreeBase = 5ull << 20;
+constexpr uint64_t StampBase = 6ull << 20;
+
+// Regions (shared with MicroBench.cpp's numbering).
+constexpr uint32_t RegionList = 0;
+constexpr uint32_t RegionTable = 1;
+constexpr uint32_t RegionBuckets2 = 2;
+constexpr uint32_t RegionNodes2 = 3;
+constexpr uint32_t RegionTree = 4;
+
+enum class Op { Put, Get, Remove };
+
+Op pickOp(Rng &R, bool High) {
+  uint64_t Roll = R.below(6);
+  if (High)
+    return Roll < 4 ? Op::Put : (Roll == 4 ? Op::Get : Op::Remove);
+  return Roll < 4 ? Op::Get : (Roll == 4 ? Op::Put : Op::Remove);
+}
+
+void coarse(SimOp &O, LockConfig Config, uint32_t Region, bool Write) {
+  if (Config == LockConfig::Global)
+    O.Locks.push_back(LockDescriptor::global());
+  else
+    O.Locks.push_back(LockDescriptor::coarse(Region, Write));
+}
+
+void fine(SimOp &O, LockConfig Config, uint32_t Region, uint64_t Addr,
+          bool Write) {
+  switch (Config) {
+  case LockConfig::Global:
+    O.Locks.push_back(LockDescriptor::global());
+    return;
+  case LockConfig::Coarse:
+    O.Locks.push_back(LockDescriptor::coarse(Region, Write));
+    return;
+  case LockConfig::Fine:
+    O.Locks.push_back(LockDescriptor::fine(Region, Addr, Write));
+    return;
+  case LockConfig::Stm:
+    return;
+  }
+}
+
+/// Fills one micro op: lock set + footprint + costs.
+void buildMicroOp(MicroKind Kind, LockConfig Config, Rng &R, bool High,
+                  SimOp &O) {
+  O = SimOp();
+  O.Duration = 300; // the nop loop of §6.1
+  O.Think = 120;
+  Op Kd = pickOp(R, High);
+  int64_t Key = static_cast<int64_t>(R.below(512));
+
+  switch (Kind) {
+  case MicroKind::List: {
+    coarse(O, Config, RegionList, Kd != Op::Get);
+    // Prefix traversal of the sorted list (~Key/4 populated nodes).
+    for (int64_t I = 0; I < Key; I += 4)
+      O.Footprint.push_back({ListBase + static_cast<uint64_t>(I), false});
+    O.Footprint.push_back(
+        {ListBase + static_cast<uint64_t>(Key), Kd != Op::Get});
+    O.Duration += O.Footprint.size() * 4;
+    return;
+  }
+  case MicroKind::Hashtable: {
+    coarse(O, Config, RegionTable, Kd != Op::Get);
+    uint64_t Slot = static_cast<uint64_t>(Key) % 64;
+    for (uint64_t J = 0; J < 4; ++J)
+      O.Footprint.push_back({TableBase + Slot * 8 + J, false});
+    if (Kd == Op::Put) {
+      O.Footprint.push_back({TableBase + Slot * 8 + 4, true});
+      // Occasional rehash touches every bucket head (§6.3's abort storm).
+      if (R.chance(1, 128))
+        for (uint64_t S = 0; S < 64; ++S)
+          O.Footprint.push_back({TableBase + S * 8, true});
+    } else if (Kd == Op::Remove) {
+      O.Footprint.push_back({TableBase + Slot * 8, true});
+    }
+    O.Duration += O.Footprint.size() * 4;
+    return;
+  }
+  case MicroKind::Hashtable2: {
+    uint64_t Slot = static_cast<uint64_t>(Key) % 256;
+    if (Kd == Op::Put) {
+      // One shared store: the fine lock the k=9 inference finds.
+      fine(O, Config, RegionBuckets2, Buckets2Base + Slot, true);
+      O.Footprint.push_back({Buckets2Base + Slot, true});
+      O.Duration += 8;
+      return;
+    }
+    coarse(O, Config, RegionBuckets2, Kd == Op::Remove);
+    coarse(O, Config, RegionNodes2, Kd == Op::Remove);
+    O.Footprint.push_back({Buckets2Base + Slot, Kd == Op::Remove});
+    for (uint64_t J = 0; J < 3; ++J)
+      O.Footprint.push_back({Nodes2Base + Slot * 4 + J, false});
+    O.Duration += O.Footprint.size() * 4;
+    return;
+  }
+  case MicroKind::RbTree: {
+    coarse(O, Config, RegionTree, Kd != Op::Get);
+    // Root-to-key path: ancestors of the key index.
+    uint64_t Node = static_cast<uint64_t>(Key) + 1;
+    while (Node > 0) {
+      O.Footprint.push_back({TreeBase + Node, false});
+      Node >>= 1;
+    }
+    if (Kd != Op::Get) {
+      // Insert/remove rewrites the path tail (rotations/recoloring).
+      O.Footprint.push_back(
+          {TreeBase + static_cast<uint64_t>(Key) + 1, true});
+      O.Footprint.push_back(
+          {TreeBase + ((static_cast<uint64_t>(Key) + 1) >> 1), true});
+    }
+    O.Duration += O.Footprint.size() * 4;
+    return;
+  }
+  case MicroKind::TH:
+    // Half of the accesses on each structure (§6.1).
+    if (Key % 2 == 0)
+      buildMicroOp(MicroKind::RbTree, Config, R, High, O);
+    else
+      buildMicroOp(MicroKind::Hashtable, Config, R, High, O);
+    return;
+  }
+}
+
+void buildStampOp(StampKind Kind, LockConfig Config, Rng &R, SimOp &O) {
+  O = SimOp();
+  switch (Kind) {
+  case StampKind::Genome: {
+    // Dedup insert into a shared segment table: short sections, little
+    // parallelism to recover — locks ≈ global (§6.3).
+    O.Duration = 180;
+    O.Think = 150;
+    coarse(O, Config, 0, true);
+    if (Config == LockConfig::Fine) {
+      // k=9 finds fine locks for one section: extra protocol nodes, no
+      // extra parallelism (the chain still conflicts).
+      O.Locks.clear();
+      uint64_t Slot = R.below(32);
+      O.Locks.push_back(LockDescriptor::coarse(0, true));
+      O.Locks.push_back(
+          LockDescriptor::fine(0, StampBase + Slot, true));
+      O.Locks.push_back(
+          LockDescriptor::fine(0, StampBase + 512 + Slot, false));
+    }
+    uint64_t Slot = R.below(32);
+    for (uint64_t J = 0; J < 3; ++J)
+      O.Footprint.push_back({StampBase + Slot * 8 + J, false});
+    // The dedup phase starts from an empty table, so nearly every
+    // operation is a fresh insert: prepend to the bucket and bump the
+    // shared segment counter — the hot word that makes the phase
+    // conflict under TL2 (§6.3 shows TL2 losing on genome).
+    O.Footprint.push_back({StampBase + Slot * 8, true});
+    O.Footprint.push_back({StampBase + 1023, true});
+    return;
+  }
+  case StampKind::Vacation: {
+    // Long reservation transaction over three relations plus the hot
+    // manager row every transaction updates.
+    O.Duration = 500;
+    O.Think = 200;
+    for (int J = 0; J < 4; ++J) {
+      uint32_t Rel = static_cast<uint32_t>(R.below(3));
+      coarse(O, Config, Rel, true);
+      uint64_t RelBase = StampBase + 4096 + Rel * 256;
+      // Availability scan.
+      for (uint64_t K = 0; K < 64; K += 4)
+        O.Footprint.push_back({RelBase + K, false});
+      O.Footprint.push_back({RelBase + R.below(64), true});
+    }
+    // The hot row: one word everyone writes.
+    O.Footprint.push_back({StampBase + 4095, true});
+    if (Config != LockConfig::Stm && Config != LockConfig::Global)
+      O.Locks.push_back(LockDescriptor::coarse(0, true));
+    return;
+  }
+  case StampKind::Kmeans: {
+    // Tiny accumulation sections; most time computes distances outside —
+    // but the distance phase reads every shared center, so the STM
+    // version must read them transactionally (a big read footprint),
+    // while the k=9 lock version keeps the coarse lock (the dimension
+    // loop exceeds any k) and merely adds fine-lock overhead.
+    O.Duration = 90;
+    O.Think = 700;
+    coarse(O, Config, 0, true);
+    uint64_t Cluster = R.below(16);
+    if (Config == LockConfig::Fine)
+      for (uint64_t D = 0; D < 3; ++D)
+        O.Locks.push_back(LockDescriptor::fine(
+            0, StampBase + 8192 + Cluster * 16 + D, true));
+    if (Config == LockConfig::Stm)
+      for (uint64_t C = 0; C < 16; ++C)
+        for (uint64_t D = 0; D < 8; D += 2)
+          O.Footprint.push_back({StampBase + 8192 + C * 16 + D, false});
+    for (uint64_t D = 0; D < 9; ++D)
+      O.Footprint.push_back({StampBase + 8192 + Cluster * 16 + D, true});
+    return;
+  }
+  case StampKind::Bayes: {
+    // Score a row (reads) and bump one counter.
+    O.Duration = 260;
+    O.Think = 260;
+    coarse(O, Config, 0, true);
+    uint64_t Row = R.below(24);
+    for (uint64_t J = 0; J < 24; J += 2)
+      O.Footprint.push_back({StampBase + 16384 + Row * 32 + J, false});
+    O.Footprint.push_back(
+        {StampBase + 16384 + Row * 32 + R.below(24), true});
+    // Accepted structure changes bump the shared network revision the
+    // scoring phase reads — the source of bayes' rollback time in §6.3.
+    O.Footprint.push_back({StampBase + 16383, true});
+    return;
+  }
+  case StampKind::Labyrinth: {
+    // Long routing sections over a big grid; disjoint routes are the
+    // common case — TL2's winning benchmark.
+    O.Duration = 2500;
+    O.Think = 150;
+    coarse(O, Config, 0, true);
+    uint64_t X = R.below(84);
+    uint64_t Y = R.below(84);
+    // The router privatizes a neighborhood of the grid: in the STM build
+    // that copy is a large transactional read footprint (the reason TL2's
+    // win is only ~2x in the paper despite near-perfect disjointness).
+    if (Config == LockConfig::Stm)
+      for (uint64_t DY = 0; DY < 24; DY += 2)
+        for (uint64_t DX = 0; DX < 24; DX += 2)
+          O.Footprint.push_back(
+              {StampBase + 32768 + (Y + DY) * 96 + X + DX, false});
+    for (uint64_t D = 0; D < 12; ++D)
+      O.Footprint.push_back({StampBase + 32768 + Y * 96 + X + D, true});
+    for (uint64_t D = 1; D < 12; ++D)
+      O.Footprint.push_back(
+          {StampBase + 32768 + (Y + D) * 96 + X + 11, true});
+    return;
+  }
+  }
+}
+
+OpSource makeSource(std::function<void(Rng &, SimOp &)> Build,
+                    uint64_t Seed, unsigned MaxThreads = 64) {
+  auto Rngs = std::make_shared<std::vector<Rng>>();
+  for (unsigned T = 0; T < MaxThreads; ++T)
+    Rngs->emplace_back(Seed * 2654435761u + T);
+  return [Rngs, Build](unsigned Thread, uint64_t, SimOp &Out) {
+    Build((*Rngs)[Thread], Out);
+    return true;
+  };
+}
+
+} // namespace
+
+OpSource sim::makeMicroSource(MicroKind Kind, LockConfig Config, bool High,
+                              uint64_t Seed) {
+  return makeSource(
+      [Kind, Config, High](Rng &R, SimOp &O) {
+        buildMicroOp(Kind, Config, R, High, O);
+      },
+      Seed);
+}
+
+OpSource sim::makeStampSource(StampKind Kind, LockConfig Config,
+                              uint64_t Seed) {
+  return makeSource(
+      [Kind, Config](Rng &R, SimOp &O) { buildStampOp(Kind, Config, R, O); },
+      Seed);
+}
+
+SimParams sim::microSimParams(MicroKind Kind, LockConfig Config,
+                              unsigned Threads) {
+  (void)Kind;
+  SimParams P;
+  P.Config = Config;
+  P.Threads = Threads;
+  P.OpsPerThread = 4000;
+  return P;
+}
+
+SimParams sim::stampSimParams(StampKind Kind, LockConfig Config,
+                              unsigned Threads) {
+  SimParams P;
+  P.Config = Config;
+  P.Threads = Threads;
+  switch (Kind) {
+  case StampKind::Labyrinth:
+    P.OpsPerThread = 600;
+    break;
+  case StampKind::Vacation:
+    P.OpsPerThread = 1200;
+    break;
+  default:
+    P.OpsPerThread = 3000;
+    break;
+  }
+  return P;
+}
+
+SimOutcome sim::runMicroSim(MicroKind Kind, LockConfig Config,
+                            unsigned Threads, bool High, uint64_t Seed) {
+  return simulate(microSimParams(Kind, Config, Threads),
+                  makeMicroSource(Kind, Config, High, Seed));
+}
+
+SimOutcome sim::runStampSim(StampKind Kind, LockConfig Config,
+                            unsigned Threads, uint64_t Seed) {
+  return simulate(stampSimParams(Kind, Config, Threads),
+                  makeStampSource(Kind, Config, Seed));
+}

@@ -1,0 +1,53 @@
+//===--- SimWorkloads.h - Simulated benchmark op streams ---------*- C++ -*-===//
+//
+// Part of the lockin project: lock inference for atomic sections.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Operation-stream generators feeding the simulated-parallelism executor
+/// (SimExec) for every benchmark of Table 2 and Figure 8. Each generator
+/// encodes, per operation: the lock set the inference produces for the
+/// corresponding atomic section (per configuration), the abstract memory
+/// footprint (for TL2 conflict detection), and the section/think-time
+/// cost split of the original program.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LOCKIN_WORKLOADS_SIMWORKLOADS_H
+#define LOCKIN_WORKLOADS_SIMWORKLOADS_H
+
+#include "workloads/MicroBench.h"
+#include "workloads/SimExec.h"
+#include "workloads/Stamp.h"
+
+namespace lockin {
+namespace workloads {
+namespace sim {
+
+/// Builds the op stream for one micro-benchmark (list, hashtable,
+/// hashtable-2, rbtree, TH) under \p Config. \p High selects the put-heavy
+/// mix.
+OpSource makeMicroSource(MicroKind Kind, LockConfig Config, bool High,
+                         uint64_t Seed);
+
+/// Builds the op stream for one STAMP-like benchmark.
+OpSource makeStampSource(StampKind Kind, LockConfig Config, uint64_t Seed);
+
+/// Simulation parameters tuned per benchmark (ops, costs).
+SimParams microSimParams(MicroKind Kind, LockConfig Config,
+                         unsigned Threads);
+SimParams stampSimParams(StampKind Kind, LockConfig Config,
+                         unsigned Threads);
+
+/// Convenience: run one simulated benchmark end to end.
+SimOutcome runMicroSim(MicroKind Kind, LockConfig Config, unsigned Threads,
+                       bool High, uint64_t Seed = 42);
+SimOutcome runStampSim(StampKind Kind, LockConfig Config, unsigned Threads,
+                       uint64_t Seed = 42);
+
+} // namespace sim
+} // namespace workloads
+} // namespace lockin
+
+#endif // LOCKIN_WORKLOADS_SIMWORKLOADS_H

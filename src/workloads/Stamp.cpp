@@ -1,0 +1,374 @@
+//===--- Stamp.cpp - STAMP-like benchmark miniatures ---------------------------===//
+//
+// Part of the lockin project: lock inference for atomic sections.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Stamp.h"
+
+#include "support/Rng.h"
+#include "workloads/DataStructures.h"
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+using namespace lockin;
+using namespace lockin::workloads;
+
+const char *lockin::workloads::stampKindName(StampKind Kind) {
+  switch (Kind) {
+  case StampKind::Genome:
+    return "genome";
+  case StampKind::Vacation:
+    return "vacation";
+  case StampKind::Kmeans:
+    return "kmeans";
+  case StampKind::Bayes:
+    return "bayes";
+  case StampKind::Labyrinth:
+    return "labyrinth";
+  }
+  return "?";
+}
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double secondsSince(Clock::time_point Start) {
+  return std::chrono::duration<double>(Clock::now() - Start).count();
+}
+
+//===----------------------------------------------------------------------===//
+// genome: segment dedup into a shared hashtable, coarse X sections
+//===----------------------------------------------------------------------===//
+
+StampResult runGenome(const StampParams &P) {
+  HashtableCore Segments(512);
+  stm::Stm Stm;
+  LockWorld World(1, P.Config);
+  uint64_t SegmentsPerThread = 8000ull * P.Scale;
+
+  auto Start = Clock::now();
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T < P.Threads; ++T) {
+    Threads.emplace_back([&, T] {
+      Rng R(P.Seed + T);
+      for (uint64_t I = 0; I < SegmentsPerThread; ++I) {
+        // Overlapping segment ids across threads: dedup needs atomicity.
+        int64_t Segment = static_cast<int64_t>(R.below(4096 * P.Scale));
+        if (P.Config == LockConfig::Stm) {
+          Stm.atomically([&](stm::Transaction &Tx) {
+            TxMem M{Tx};
+            int64_t Out;
+            if (!Segments.get(M, Segment, Out))
+              Segments.put(M, Segment, 1);
+          });
+          continue;
+        }
+        LockThread Ctx(World);
+        // The inference sees a table traversal with a possible insert:
+        // one coarse rw lock (the whole-table region), like a global lock.
+        Ctx.wantCoarse(0, true);
+        Ctx.acquireAll();
+        DirectMem M;
+        int64_t Out;
+        if (!Segments.get(M, Segment, Out))
+          Segments.put(M, Segment, 1);
+        Ctx.releaseAll();
+      }
+    });
+  }
+  for (std::thread &T : Threads)
+    T.join();
+
+  StampResult Result;
+  Result.Seconds = secondsSince(Start);
+  Result.StmCommits = Stm.stats().Commits.load();
+  Result.StmAborts = Stm.stats().Aborts.load();
+  DirectMem M;
+  Result.Checksum = Segments.size(M);
+  return Result;
+}
+
+//===----------------------------------------------------------------------===//
+// vacation: long reservation transactions over hot relation tables
+//===----------------------------------------------------------------------===//
+
+StampResult runVacation(const StampParams &P) {
+  // Three relations (cars/rooms/flights) plus a hot "manager" row the
+  // original updates on every reservation — the source of its abort storm.
+  constexpr int64_t RelationSize = 64;
+  struct Relation {
+    int64_t Stock[RelationSize] = {};
+  };
+  Relation Relations[3];
+  int64_t ManagerRevision = 0;
+  for (auto &Rel : Relations)
+    for (int64_t I = 0; I < RelationSize; ++I)
+      Rel.Stock[I] = 100;
+
+  stm::Stm Stm;
+  LockWorld World(3, P.Config);
+  uint64_t TxPerThread = 1500ull * P.Scale;
+
+  auto Start = Clock::now();
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T < P.Threads; ++T) {
+    Threads.emplace_back([&, T] {
+      Rng R(P.Seed * 31 + T);
+      for (uint64_t I = 0; I < TxPerThread; ++I) {
+        int64_t Items[4];
+        unsigned Kinds[4];
+        for (int J = 0; J < 4; ++J) {
+          Kinds[J] = static_cast<unsigned>(R.below(3));
+          Items[J] = static_cast<int64_t>(R.below(RelationSize));
+        }
+        if (P.Config == LockConfig::Stm) {
+          Stm.atomically([&](stm::Transaction &Tx) {
+            TxMem M{Tx};
+            // Long transaction: scan availability, then reserve.
+            for (int J = 0; J < 4; ++J) {
+              Relation &Rel = Relations[Kinds[J]];
+              int64_t Best = 0;
+              for (int64_t K = 0; K < RelationSize; ++K)
+                Best = Best + M.read(&Rel.Stock[K]);
+              (void)Best;
+              M.write(&Rel.Stock[Items[J]],
+                      M.read(&Rel.Stock[Items[J]]) - 1);
+            }
+            M.write(&ManagerRevision, M.read(&ManagerRevision) + 1);
+          });
+          continue;
+        }
+        LockThread Ctx(World);
+        // Locks: coarse rw on each touched relation (the manager row
+        // shares the first relation's region in the toy program).
+        for (int J = 0; J < 4; ++J)
+          Ctx.wantCoarse(Kinds[J], true);
+        Ctx.wantCoarse(0, true);
+        Ctx.acquireAll();
+        DirectMem M;
+        for (int J = 0; J < 4; ++J) {
+          Relation &Rel = Relations[Kinds[J]];
+          int64_t Best = 0;
+          for (int64_t K = 0; K < RelationSize; ++K)
+            Best = Best + M.read(&Rel.Stock[K]);
+          (void)Best;
+          M.write(&Rel.Stock[Items[J]], M.read(&Rel.Stock[Items[J]]) - 1);
+        }
+        M.write(&ManagerRevision, M.read(&ManagerRevision) + 1);
+        Ctx.releaseAll();
+      }
+    });
+  }
+  for (std::thread &T : Threads)
+    T.join();
+
+  StampResult Result;
+  Result.Seconds = secondsSince(Start);
+  Result.StmCommits = Stm.stats().Commits.load();
+  Result.StmAborts = Stm.stats().Aborts.load();
+  Result.Checksum = ManagerRevision;
+  return Result;
+}
+
+//===----------------------------------------------------------------------===//
+// kmeans: accumulate points into shared cluster centers
+//===----------------------------------------------------------------------===//
+
+StampResult runKmeans(const StampParams &P) {
+  constexpr unsigned NumClusters = 16;
+  constexpr unsigned Dims = 8;
+  struct Center {
+    int64_t Sum[Dims] = {};
+    int64_t Count = 0;
+  };
+  Center Centers[NumClusters];
+  stm::Stm Stm;
+  LockWorld World(1, P.Config);
+  uint64_t PointsPerThread = 20000ull * P.Scale;
+
+  auto Start = Clock::now();
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T < P.Threads; ++T) {
+    Threads.emplace_back([&, T] {
+      Rng R(P.Seed * 17 + T);
+      for (uint64_t I = 0; I < PointsPerThread; ++I) {
+        int64_t Point[Dims];
+        for (unsigned D = 0; D < Dims; ++D)
+          Point[D] = static_cast<int64_t>(R.below(1000));
+        Center &Target = Centers[R.below(NumClusters)];
+        if (P.Config == LockConfig::Stm) {
+          Stm.atomically([&](stm::Transaction &Tx) {
+            TxMem M{Tx};
+            for (unsigned D = 0; D < Dims; ++D)
+              M.write(&Target.Sum[D], M.read(&Target.Sum[D]) + Point[D]);
+            M.write(&Target.Count, M.read(&Target.Count) + 1);
+          });
+          continue;
+        }
+        LockThread Ctx(World);
+        // All centers live in one array region: coarse rw.
+        Ctx.wantCoarse(0, true);
+        Ctx.acquireAll();
+        DirectMem M;
+        for (unsigned D = 0; D < Dims; ++D)
+          M.write(&Target.Sum[D], M.read(&Target.Sum[D]) + Point[D]);
+        M.write(&Target.Count, M.read(&Target.Count) + 1);
+        Ctx.releaseAll();
+      }
+    });
+  }
+  for (std::thread &T : Threads)
+    T.join();
+
+  StampResult Result;
+  Result.Seconds = secondsSince(Start);
+  Result.StmCommits = Stm.stats().Commits.load();
+  Result.StmAborts = Stm.stats().Aborts.load();
+  for (const Center &C : Centers)
+    Result.Checksum += C.Count;
+  return Result;
+}
+
+//===----------------------------------------------------------------------===//
+// bayes: counter-graph updates (adtree-like), read-mostly with bursts
+//===----------------------------------------------------------------------===//
+
+StampResult runBayes(const StampParams &P) {
+  constexpr unsigned NumVars = 24;
+  int64_t Edges[NumVars][NumVars] = {};
+  stm::Stm Stm;
+  LockWorld World(1, P.Config);
+  uint64_t UpdatesPerThread = 12000ull * P.Scale;
+
+  auto Start = Clock::now();
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T < P.Threads; ++T) {
+    Threads.emplace_back([&, T] {
+      Rng R(P.Seed * 101 + T);
+      for (uint64_t I = 0; I < UpdatesPerThread; ++I) {
+        unsigned A = static_cast<unsigned>(R.below(NumVars));
+        unsigned B = static_cast<unsigned>(R.below(NumVars));
+        if (P.Config == LockConfig::Stm) {
+          Stm.atomically([&](stm::Transaction &Tx) {
+            TxMem M{Tx};
+            // Score a candidate edge: read a row, then update it.
+            int64_t Score = 0;
+            for (unsigned J = 0; J < NumVars; ++J)
+              Score += M.read(&Edges[A][J]);
+            M.write(&Edges[A][B], M.read(&Edges[A][B]) + (Score % 3) + 1);
+          });
+          continue;
+        }
+        LockThread Ctx(World);
+        Ctx.wantCoarse(0, true);
+        Ctx.acquireAll();
+        DirectMem M;
+        int64_t Score = 0;
+        for (unsigned J = 0; J < NumVars; ++J)
+          Score += M.read(&Edges[A][J]);
+        M.write(&Edges[A][B], M.read(&Edges[A][B]) + (Score % 3) + 1);
+        Ctx.releaseAll();
+      }
+    });
+  }
+  for (std::thread &T : Threads)
+    T.join();
+
+  StampResult Result;
+  Result.Seconds = secondsSince(Start);
+  Result.StmCommits = Stm.stats().Commits.load();
+  Result.StmAborts = Stm.stats().Aborts.load();
+  return Result;
+}
+
+//===----------------------------------------------------------------------===//
+// labyrinth: grid routing with privatized copies; TL2's winning case
+//===----------------------------------------------------------------------===//
+
+StampResult runLabyrinth(const StampParams &P) {
+  constexpr int64_t Side = 96;
+  static_assert(Side * Side < (1 << 20), "grid fits the lock table");
+  std::vector<int64_t> Grid(Side * Side, 0);
+  stm::Stm Stm;
+  LockWorld World(1, P.Config);
+  uint64_t RoutesPerThread = 400ull * P.Scale;
+
+  auto Start = Clock::now();
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T < P.Threads; ++T) {
+    Threads.emplace_back([&, T] {
+      Rng R(P.Seed * 1009 + T);
+      for (uint64_t I = 0; I < RoutesPerThread; ++I) {
+        // A short random Manhattan route.
+        int64_t X = static_cast<int64_t>(R.below(Side - 12));
+        int64_t Y = static_cast<int64_t>(R.below(Side - 12));
+        int64_t Cells[24];
+        unsigned Len = 0;
+        for (int64_t D = 0; D < 12; ++D)
+          Cells[Len++] = (Y * Side) + X + D;
+        for (int64_t D = 1; D < 12; ++D)
+          Cells[Len++] = ((Y + D) * Side) + X + 11;
+
+        if (P.Config == LockConfig::Stm) {
+          Stm.atomically([&](stm::Transaction &Tx) {
+            TxMem M{Tx};
+            // Validate the path is free, then claim it. Disjoint routes
+            // commit concurrently — the optimistic win.
+            bool Free = true;
+            for (unsigned J = 0; J < Len; ++J)
+              Free = Free && M.read(&Grid[Cells[J]]) == 0;
+            if (Free)
+              for (unsigned J = 0; J < Len; ++J)
+                M.write(&Grid[Cells[J]], int64_t(T + 1));
+          });
+          continue;
+        }
+        LockThread Ctx(World);
+        // The inference cannot bound the route cells: one coarse rw lock
+        // on the grid serializes all routers.
+        Ctx.wantCoarse(0, true);
+        Ctx.acquireAll();
+        DirectMem M;
+        bool Free = true;
+        for (unsigned J = 0; J < Len; ++J)
+          Free = Free && M.read(&Grid[Cells[J]]) == 0;
+        if (Free)
+          for (unsigned J = 0; J < Len; ++J)
+            M.write(&Grid[Cells[J]], int64_t(T + 1));
+        Ctx.releaseAll();
+      }
+    });
+  }
+  for (std::thread &T : Threads)
+    T.join();
+
+  StampResult Result;
+  Result.Seconds = secondsSince(Start);
+  Result.StmCommits = Stm.stats().Commits.load();
+  Result.StmAborts = Stm.stats().Aborts.load();
+  for (int64_t V : Grid)
+    Result.Checksum += V != 0 ? 1 : 0;
+  return Result;
+}
+
+} // namespace
+
+StampResult lockin::workloads::runStamp(const StampParams &Params) {
+  switch (Params.Kind) {
+  case StampKind::Genome:
+    return runGenome(Params);
+  case StampKind::Vacation:
+    return runVacation(Params);
+  case StampKind::Kmeans:
+    return runKmeans(Params);
+  case StampKind::Bayes:
+    return runBayes(Params);
+  case StampKind::Labyrinth:
+    return runLabyrinth(Params);
+  }
+  return {};
+}

@@ -1,0 +1,60 @@
+//===--- Stamp.h - STAMP-like benchmark miniatures ---------------*- C++ -*-===//
+//
+// Part of the lockin project: lock inference for atomic sections.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Faithful miniatures of the five STAMP programs the paper evaluates
+/// (§6.1, low-contention parameters), exercising the same concurrency
+/// structure; see DESIGN.md for the substitution rationale:
+///
+///   genome    shared hashtable deduplication of segments, then chaining —
+///             coarse write locks, equivalent to a global lock
+///   vacation  long reservation transactions touching hot relation tables —
+///             pessimistic locks commit once; TL2 aborts massively
+///   kmeans    per-cluster accumulator updates — coarse X on the centers
+///   bayes     adtree-like counter graph updates — coarse, global-like
+///   labyrinth grid routing with privatized copies — rare conflicts, the
+///             one benchmark where TL2 wins
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LOCKIN_WORKLOADS_STAMP_H
+#define LOCKIN_WORKLOADS_STAMP_H
+
+#include "workloads/Adapters.h"
+
+#include <cstdint>
+
+namespace lockin {
+namespace workloads {
+
+enum class StampKind { Genome, Vacation, Kmeans, Bayes, Labyrinth };
+
+const char *stampKindName(StampKind Kind);
+
+struct StampParams {
+  StampKind Kind = StampKind::Genome;
+  LockConfig Config = LockConfig::Global;
+  unsigned Threads = 8;
+  /// Work multiplier; 1 is the quick-test scale.
+  unsigned Scale = 1;
+  uint64_t Seed = 7;
+};
+
+struct StampResult {
+  double Seconds = 0;
+  uint64_t StmCommits = 0;
+  uint64_t StmAborts = 0;
+  /// Workload-defined invariant value; equal across configurations for
+  /// commutative workloads (kmeans/bayes sums), used by the tests.
+  int64_t Checksum = 0;
+};
+
+StampResult runStamp(const StampParams &Params);
+
+} // namespace workloads
+} // namespace lockin
+
+#endif // LOCKIN_WORKLOADS_STAMP_H

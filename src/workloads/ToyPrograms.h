@@ -1,0 +1,52 @@
+//===--- ToyPrograms.h - Input-language benchmark sources --------*- C++ -*-===//
+//
+// Part of the lockin project: lock inference for atomic sections.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The evaluation programs written in the input language: the
+/// micro-benchmarks and STAMP-like programs (analyzed for Table 1 and
+/// Figure 7, and executed in the checking interpreter by the integration
+/// tests), plus a deterministic generator of SPEC-scale synthetic
+/// programs standing in for the SPECint2000 rows of Table 1 (see
+/// DESIGN.md for the substitution rationale).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LOCKIN_WORKLOADS_TOYPROGRAMS_H
+#define LOCKIN_WORKLOADS_TOYPROGRAMS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lockin {
+namespace workloads {
+
+/// One analyzable program with its Table-1 identity.
+struct ToyProgram {
+  std::string Name;
+  std::string Source;
+  /// Paper row this program reproduces ("" = extra).
+  std::string PaperRow;
+};
+
+/// The concurrent benchmark programs (STAMP-like + micro), in the paper's
+/// Table 1 order: vacation, genome, kmeans, bayes, labyrinth, hashtable,
+/// rbtree, list, hashtable-2, TH.
+const std::vector<ToyProgram> &concurrentToyPrograms();
+
+/// Returns the named program; aborts if absent.
+const ToyProgram &toyProgram(const std::string &Name);
+
+/// Generates a synthetic whole program of roughly \p TargetKloc thousand
+/// lines: layered call graphs over linked structures, pointer-rich
+/// leaf functions, and `main` wrapped in one atomic section exactly as the
+/// paper treats the SPEC programs. Deterministic in (TargetKloc, Seed).
+std::string generateSyntheticSpec(unsigned TargetKloc, uint64_t Seed);
+
+} // namespace workloads
+} // namespace lockin
+
+#endif // LOCKIN_WORKLOADS_TOYPROGRAMS_H

@@ -1,0 +1,45 @@
+//===--- TestUtil.h - Shared helpers for the test suite ---------*- C++ -*-===//
+//
+// Part of the lockin project: lock inference for atomic sections.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LOCKIN_TESTS_TESTUTIL_H
+#define LOCKIN_TESTS_TESTUTIL_H
+
+#include "driver/Compiler.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+namespace lockin {
+namespace test {
+
+/// Compiles \p Source and fails the test on any diagnostic.
+inline std::unique_ptr<Compilation> compileOk(const std::string &Source,
+                                              unsigned K = 3) {
+  CompileOptions Options;
+  Options.K = K;
+  std::unique_ptr<Compilation> C = compile(Source, Options);
+  EXPECT_TRUE(C->ok()) << C->diagnostics().str();
+  return C;
+}
+
+/// Compiles \p Source expecting failure; returns the diagnostics text.
+inline std::string compileError(const std::string &Source) {
+  std::unique_ptr<Compilation> C = compile(Source);
+  EXPECT_FALSE(C->ok()) << "expected compilation to fail";
+  return C->diagnostics().str();
+}
+
+/// The lock set of section \p Id rendered as a string (sorted).
+inline std::string sectionLocks(Compilation &C, uint32_t Id) {
+  return C.inference().sectionLocks(Id).str();
+}
+
+} // namespace test
+} // namespace lockin
+
+#endif // LOCKIN_TESTS_TESTUTIL_H

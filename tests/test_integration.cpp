@@ -1,0 +1,162 @@
+//===--- test_integration.cpp - End-to-end pipeline tests ----------------------===//
+//
+// Part of the lockin project: lock inference for atomic sections.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Compiles every evaluation program (the toy-language versions of the
+/// paper's benchmarks), checks the inferred lock shapes, and executes the
+/// transformed programs in the checking interpreter: multi-threaded, with
+/// every shared access verified to be covered by a held lock.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "workloads/ToyPrograms.h"
+
+using namespace lockin;
+using namespace lockin::test;
+using namespace lockin::workloads;
+
+namespace {
+
+class ToyProgramTest : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(ToyProgramTest, CompilesAndInfersLocks) {
+  const ToyProgram &Program = toyProgram(GetParam());
+  std::unique_ptr<Compilation> C = compileOk(Program.Source, /*K=*/9);
+  EXPECT_GT(C->module().numAtomicSections(), 0u);
+  LockCensus Census = C->inference().census();
+  EXPECT_GT(Census.total(), 0u) << "no locks inferred for " << Program.Name;
+}
+
+TEST_P(ToyProgramTest, RunsCheckedWithInferredLocks) {
+  const ToyProgram &Program = toyProgram(GetParam());
+  std::unique_ptr<Compilation> C = compileOk(Program.Source, /*K=*/9);
+  InterpOptions Options;
+  Options.Mode = AtomicMode::Inferred;
+  InterpResult R = C->run(Options);
+  EXPECT_TRUE(R.Ok) << Program.Name << ": " << R.Error;
+  EXPECT_GT(R.ProtectionChecks, 0u);
+}
+
+TEST_P(ToyProgramTest, RunsCheckedWithGlobalLock) {
+  const ToyProgram &Program = toyProgram(GetParam());
+  std::unique_ptr<Compilation> C = compileOk(Program.Source);
+  InterpOptions Options;
+  Options.Mode = AtomicMode::GlobalLock;
+  InterpResult R = C->run(Options);
+  EXPECT_TRUE(R.Ok) << Program.Name << ": " << R.Error;
+}
+
+TEST_P(ToyProgramTest, RunsCheckedAtKZero) {
+  // k = 0: every lock is coarse; still sound.
+  const ToyProgram &Program = toyProgram(GetParam());
+  std::unique_ptr<Compilation> C = compileOk(Program.Source, /*K=*/0);
+  InterpOptions Options;
+  Options.Mode = AtomicMode::Inferred;
+  InterpResult R = C->run(Options);
+  EXPECT_TRUE(R.Ok) << Program.Name << ": " << R.Error;
+}
+
+TEST_P(ToyProgramTest, RunsUnderYieldInjection) {
+  const ToyProgram &Program = toyProgram(GetParam());
+  std::unique_ptr<Compilation> C = compileOk(Program.Source, /*K=*/9);
+  for (uint64_t Seed : {1, 17, 99}) {
+    InterpOptions Options;
+    Options.Mode = AtomicMode::Inferred;
+    Options.InjectYields = true;
+    Options.YieldSeed = Seed;
+    InterpResult R = C->run(Options);
+    EXPECT_TRUE(R.Ok) << Program.Name << " seed " << Seed << ": "
+                      << R.Error;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, ToyProgramTest,
+    ::testing::Values("list", "hashtable", "hashtable-2", "rbtree", "TH",
+                      "genome", "vacation", "kmeans", "bayes", "labyrinth"),
+    [](const ::testing::TestParamInfo<const char *> &Info) {
+      std::string Name = Info.param;
+      for (char &C : Name)
+        if (C == '-')
+          C = '_';
+      return Name;
+    });
+
+TEST(Integration, Hashtable2PutHasFineLockAtK9) {
+  // The headline fine-grain result of §6.3.
+  std::unique_ptr<Compilation> C =
+      compileOk(toyProgram("hashtable-2").Source, /*K=*/9);
+  bool FoundFineBucket = false;
+  for (const auto &Section : C->inference().sections()) {
+    for (const LockName &L : Section.Locks) {
+      if (L.isFine() && L.effect() == Effect::RW) {
+        for (const LockOp &Op : L.path().ops())
+          if (Op.K == LockOp::Kind::Index)
+            FoundFineBucket = true;
+      }
+    }
+  }
+  EXPECT_TRUE(FoundFineBucket)
+      << "hashtable-2 put should get a fine indexed bucket lock";
+}
+
+TEST(Integration, KSweepNeverIncreasesCoarseLocks) {
+  // Figure 7's trend: raising k can only turn coarse locks fine (or drop
+  // them), never the reverse.
+  for (const ToyProgram &Program : concurrentToyPrograms()) {
+    unsigned PrevCoarse = ~0u;
+    for (unsigned K : {0u, 1u, 3u, 6u, 9u}) {
+      std::unique_ptr<Compilation> C = compileOk(Program.Source, K);
+      LockCensus Census = C->inference().census();
+      unsigned Coarse = Census.CoarseRO + Census.CoarseRW;
+      EXPECT_LE(Coarse, PrevCoarse)
+          << Program.Name << " at k=" << K << " gained coarse locks";
+      PrevCoarse = Coarse;
+    }
+  }
+}
+
+TEST(Integration, SyntheticSpecProgramsCompileAndAnalyze) {
+  for (unsigned Kloc : {1u, 3u}) {
+    std::string Source = generateSyntheticSpec(Kloc, /*Seed=*/Kloc);
+    std::unique_ptr<Compilation> C = compileOk(Source, /*K=*/3);
+    EXPECT_EQ(C->module().numAtomicSections(), 1u);
+    EXPECT_FALSE(C->inference().sectionLocks(0).empty());
+  }
+}
+
+TEST(Integration, SyntheticSpecIsDeterministic) {
+  EXPECT_EQ(generateSyntheticSpec(1, 5), generateSyntheticSpec(1, 5));
+  EXPECT_NE(generateSyntheticSpec(1, 5), generateSyntheticSpec(1, 6));
+}
+
+TEST(Integration, TransformedTextShowsAcquireAll) {
+  std::unique_ptr<Compilation> C = compileOk(toyProgram("list").Source);
+  std::string Text = C->transformedText();
+  EXPECT_NE(Text.find("acquireAll("), std::string::npos);
+  EXPECT_NE(Text.find("releaseAll()"), std::string::npos);
+  EXPECT_EQ(Text.find("atomic #"), std::string::npos)
+      << "every section must be transformed";
+}
+
+TEST(Integration, MutationControlCheckerHasTeeth) {
+  // Running the same concurrent programs with sections stripped of locks
+  // must trip the checker: this validates that the soundness property
+  // tests are actually observing protection.
+  unsigned Violations = 0;
+  for (const char *Name : {"list", "hashtable", "kmeans"}) {
+    std::unique_ptr<Compilation> C = compileOk(toyProgram(Name).Source);
+    InterpOptions Options;
+    Options.Mode = AtomicMode::None;
+    InterpResult R = C->run(Options);
+    if (!R.Ok && R.Error.find("protection violation") != std::string::npos)
+      ++Violations;
+  }
+  EXPECT_EQ(Violations, 3u);
+}
+
+} // namespace

@@ -1,0 +1,130 @@
+//===--- test_lexer.cpp - Lexer unit tests -------------------------------------===//
+//
+// Part of the lockin project: lock inference for atomic sections.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Lexer.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+using namespace lockin;
+
+namespace {
+
+std::vector<Token> lexAll(const std::string &Source,
+                          DiagnosticEngine *DiagsOut = nullptr) {
+  DiagnosticEngine Diags;
+  Lexer Lex(Source, Diags);
+  std::vector<Token> Tokens;
+  while (true) {
+    Token Tok = Lex.lex();
+    Tokens.push_back(Tok);
+    if (Tok.is(TokenKind::Eof) || Tok.is(TokenKind::Invalid))
+      break;
+  }
+  if (DiagsOut)
+    *DiagsOut = Diags;
+  return Tokens;
+}
+
+std::vector<TokenKind> kindsOf(const std::string &Source) {
+  std::vector<TokenKind> Kinds;
+  for (const Token &Tok : lexAll(Source))
+    Kinds.push_back(Tok.Kind);
+  return Kinds;
+}
+
+TEST(Lexer, Keywords) {
+  EXPECT_EQ(kindsOf("struct int void if else while return atomic new null "
+                    "spawn assert"),
+            (std::vector<TokenKind>{
+                TokenKind::KwStruct, TokenKind::KwInt, TokenKind::KwVoid,
+                TokenKind::KwIf, TokenKind::KwElse, TokenKind::KwWhile,
+                TokenKind::KwReturn, TokenKind::KwAtomic, TokenKind::KwNew,
+                TokenKind::KwNull, TokenKind::KwSpawn, TokenKind::KwAssert,
+                TokenKind::Eof}));
+}
+
+TEST(Lexer, IdentifiersAndLiterals) {
+  std::vector<Token> Tokens = lexAll("foo _bar x42 12345");
+  ASSERT_EQ(Tokens.size(), 5u);
+  EXPECT_EQ(Tokens[0].Text, "foo");
+  EXPECT_EQ(Tokens[1].Text, "_bar");
+  EXPECT_EQ(Tokens[2].Text, "x42");
+  EXPECT_EQ(Tokens[3].Kind, TokenKind::IntLiteral);
+  EXPECT_EQ(Tokens[3].IntValue, 12345);
+}
+
+TEST(Lexer, Operators) {
+  EXPECT_EQ(kindsOf("-> - = == != < <= > >= && || ! & * + / %"),
+            (std::vector<TokenKind>{
+                TokenKind::Arrow, TokenKind::Minus, TokenKind::Assign,
+                TokenKind::EqEq, TokenKind::NotEq, TokenKind::Less,
+                TokenKind::LessEq, TokenKind::Greater, TokenKind::GreaterEq,
+                TokenKind::AmpAmp, TokenKind::PipePipe, TokenKind::Bang,
+                TokenKind::Amp, TokenKind::Star, TokenKind::Plus,
+                TokenKind::Slash, TokenKind::Percent, TokenKind::Eof}));
+}
+
+TEST(Lexer, Punctuation) {
+  EXPECT_EQ(kindsOf("{ } ( ) [ ] ; ,"),
+            (std::vector<TokenKind>{
+                TokenKind::LBrace, TokenKind::RBrace, TokenKind::LParen,
+                TokenKind::RParen, TokenKind::LBracket, TokenKind::RBracket,
+                TokenKind::Semi, TokenKind::Comma, TokenKind::Eof}));
+}
+
+TEST(Lexer, LineComments) {
+  EXPECT_EQ(kindsOf("x // all of this is skipped != ->\ny"),
+            (std::vector<TokenKind>{TokenKind::Identifier,
+                                    TokenKind::Identifier, TokenKind::Eof}));
+}
+
+TEST(Lexer, BlockComments) {
+  EXPECT_EQ(kindsOf("a /* b c \n d */ e"),
+            (std::vector<TokenKind>{TokenKind::Identifier,
+                                    TokenKind::Identifier, TokenKind::Eof}));
+}
+
+TEST(Lexer, UnterminatedBlockCommentReportsError) {
+  DiagnosticEngine Diags;
+  lexAll("a /* never closed", &Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(Lexer, SourceLocations) {
+  std::vector<Token> Tokens = lexAll("a\n  bb\n    c");
+  ASSERT_GE(Tokens.size(), 3u);
+  EXPECT_EQ(Tokens[0].Loc.Line, 1u);
+  EXPECT_EQ(Tokens[0].Loc.Col, 1u);
+  EXPECT_EQ(Tokens[1].Loc.Line, 2u);
+  EXPECT_EQ(Tokens[1].Loc.Col, 3u);
+  EXPECT_EQ(Tokens[2].Loc.Line, 3u);
+  EXPECT_EQ(Tokens[2].Loc.Col, 5u);
+}
+
+TEST(Lexer, UnexpectedCharacterReportsError) {
+  DiagnosticEngine Diags;
+  std::vector<Token> Tokens = lexAll("a $ b", &Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+  EXPECT_EQ(Tokens.back().Kind, TokenKind::Invalid);
+}
+
+TEST(Lexer, SinglePipeIsError) {
+  DiagnosticEngine Diags;
+  lexAll("a | b", &Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(Lexer, EofIsSticky) {
+  DiagnosticEngine Diags;
+  Lexer Lex("x", Diags);
+  EXPECT_EQ(Lex.lex().Kind, TokenKind::Identifier);
+  EXPECT_EQ(Lex.lex().Kind, TokenKind::Eof);
+  EXPECT_EQ(Lex.lex().Kind, TokenKind::Eof);
+}
+
+} // namespace

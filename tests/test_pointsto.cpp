@@ -1,0 +1,182 @@
+//===--- test_pointsto.cpp - Steensgaard analysis tests ------------------------===//
+//
+// Part of the lockin project: lock inference for atomic sections.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "pointsto/Steensgaard.h"
+
+using namespace lockin;
+using namespace lockin::ir;
+using namespace lockin::test;
+
+namespace {
+
+const Variable *findVar(Compilation &C, const char *Fn, const char *Name) {
+  const IrFunction *F = C.module().findFunction(Fn);
+  EXPECT_NE(F, nullptr);
+  for (const auto &V : F->variables())
+    if (V->name() == Name)
+      return V.get();
+  ADD_FAILURE() << "no variable " << Name << " in " << Fn;
+  return nullptr;
+}
+
+TEST(PointsTo, CopyUnifiesPointees) {
+  std::unique_ptr<Compilation> C = compileOk(
+      "struct s { int x; };\n"
+      "void f() { s* a = new s; s* b = new s; a = b; }");
+  const PointsToAnalysis &PT = C->pointsTo();
+  const Variable *A = findVar(*C, "f", "a");
+  const Variable *B = findVar(*C, "f", "b");
+  // a = b merges what a and b can point to, so both allocation sites land
+  // in one region.
+  EXPECT_EQ(PT.derefRegion(PT.regionOfVarCell(A)),
+            PT.derefRegion(PT.regionOfVarCell(B)));
+  EXPECT_EQ(PT.regionOfAllocSite(0), PT.regionOfAllocSite(1));
+}
+
+TEST(PointsTo, UnrelatedAllocationsStayDisjoint) {
+  std::unique_ptr<Compilation> C = compileOk(
+      "struct s { int x; };\n"
+      "void f() { s* a = new s; s* b = new s; a->x = 1; b->x = 2; }");
+  const PointsToAnalysis &PT = C->pointsTo();
+  EXPECT_NE(PT.regionOfAllocSite(0), PT.regionOfAllocSite(1));
+}
+
+TEST(PointsTo, AddressOfPointsAtVariableCell) {
+  std::unique_ptr<Compilation> C =
+      compileOk("void f() { int a; int* p = &a; *p = 3; }");
+  const PointsToAnalysis &PT = C->pointsTo();
+  const Variable *A = findVar(*C, "f", "a");
+  const Variable *P = findVar(*C, "f", "p");
+  EXPECT_EQ(PT.derefRegion(PT.regionOfVarCell(P)), PT.regionOfVarCell(A));
+}
+
+TEST(PointsTo, StoreUnifiesThroughHeap) {
+  std::unique_ptr<Compilation> C = compileOk(
+      "struct cell { int* v; };\n"
+      "void f() { cell* c = new cell; int* p = new int[1];\n"
+      "  c->v = p; int* q = c->v; *q = 1; }");
+  const PointsToAnalysis &PT = C->pointsTo();
+  const Variable *P = findVar(*C, "f", "p");
+  const Variable *Q = findVar(*C, "f", "q");
+  // q reads back what p stored, so their pointees collapse.
+  EXPECT_EQ(PT.derefRegion(PT.regionOfVarCell(P)),
+            PT.derefRegion(PT.regionOfVarCell(Q)));
+}
+
+TEST(PointsTo, ListExampleSeparatesContainersAndElements) {
+  // The regions of the paper's Fig. 1: list headers (L) and elements (E)
+  // must be distinct regions, with E the deref of the head field.
+  std::unique_ptr<Compilation> C = compileOk(
+      "struct elem { elem* next; int* data; };\n"
+      "struct list { elem* head; };\n"
+      "void push(list* l) { elem* e = new elem; e->next = l->head; "
+      "l->head = e; }\n"
+      "int main() { list* l = new list; push(l); return 0; }");
+  const PointsToAnalysis &PT = C->pointsTo();
+  const Variable *L = findVar(*C, "push", "l");
+  const Variable *E = findVar(*C, "push", "e");
+  RegionId Lists = PT.derefRegion(PT.regionOfVarCell(L));
+  RegionId Elems = PT.derefRegion(PT.regionOfVarCell(E));
+  ASSERT_NE(Lists, InvalidRegion);
+  ASSERT_NE(Elems, InvalidRegion);
+  EXPECT_NE(Lists, Elems);
+  // Dereferencing a list cell (reading head) reaches the element region.
+  EXPECT_EQ(PT.derefRegion(Lists), Elems);
+  // elem.next points back into the element region (recursive type).
+  EXPECT_EQ(PT.derefRegion(Elems), Elems)
+      << "next-field self-loop should collapse into the element region";
+}
+
+TEST(PointsTo, CallUnifiesArgsWithParams) {
+  std::unique_ptr<Compilation> C = compileOk(
+      "struct s { int x; };\n"
+      "void touch(s* p) { p->x = 1; }\n"
+      "void f() { s* a = new s; touch(a); }");
+  const PointsToAnalysis &PT = C->pointsTo();
+  const Variable *A = findVar(*C, "f", "a");
+  const Variable *P = findVar(*C, "touch", "p");
+  EXPECT_EQ(PT.derefRegion(PT.regionOfVarCell(A)),
+            PT.derefRegion(PT.regionOfVarCell(P)));
+}
+
+TEST(PointsTo, ReturnUnifiesWithCallResult) {
+  std::unique_ptr<Compilation> C = compileOk(
+      "struct s { int x; };\n"
+      "s* make() { return new s; }\n"
+      "void f() { s* a = make(); a->x = 2; }");
+  const PointsToAnalysis &PT = C->pointsTo();
+  const Variable *A = findVar(*C, "f", "a");
+  EXPECT_EQ(PT.derefRegion(PT.regionOfVarCell(A)), PT.regionOfAllocSite(0));
+}
+
+TEST(PointsTo, SpawnUnifiesArgsWithParams) {
+  std::unique_ptr<Compilation> C = compileOk(
+      "struct s { int x; };\n"
+      "void w(s* p) { p->x = 1; }\n"
+      "void f() { s* a = new s; spawn w(a); }");
+  const PointsToAnalysis &PT = C->pointsTo();
+  const Variable *A = findVar(*C, "f", "a");
+  const Variable *P = findVar(*C, "w", "p");
+  EXPECT_EQ(PT.derefRegion(PT.regionOfVarCell(A)),
+            PT.derefRegion(PT.regionOfVarCell(P)));
+}
+
+TEST(PointsTo, MayAliasIsRegionEquality) {
+  std::unique_ptr<Compilation> C = compileOk(
+      "struct s { int x; };\n"
+      "void f(s* a, s* b) { if (a == b) { } a->x = 1; }\n"
+      "void g() { s* p = new s; s* q = new s; f(p, p); q->x = 2; }");
+  const PointsToAnalysis &PT = C->pointsTo();
+  const Variable *A = findVar(*C, "f", "a");
+  const Variable *B = findVar(*C, "f", "b");
+  RegionId RA = PT.derefRegion(PT.regionOfVarCell(A));
+  RegionId RB = PT.derefRegion(PT.regionOfVarCell(B));
+  // Both params flow from p: one region.
+  EXPECT_TRUE(PT.mayAlias(RA, RB));
+  const Variable *Q = findVar(*C, "g", "q");
+  EXPECT_FALSE(PT.mayAlias(RA, PT.derefRegion(PT.regionOfVarCell(Q))));
+  EXPECT_FALSE(PT.mayAlias(InvalidRegion, InvalidRegion));
+}
+
+TEST(PointsTo, RegionIdsAreDenseAndStable) {
+  const char *Source = "struct s { int x; };\n"
+                       "void f() { s* a = new s; a->x = 1; }";
+  std::unique_ptr<Compilation> C1 = compileOk(Source);
+  std::unique_ptr<Compilation> C2 = compileOk(Source);
+  EXPECT_EQ(C1->pointsTo().numRegions(), C2->pointsTo().numRegions());
+  EXPECT_EQ(C1->pointsTo().regionOfAllocSite(0),
+            C2->pointsTo().regionOfAllocSite(0));
+  EXPECT_LT(C1->pointsTo().regionOfAllocSite(0),
+            C1->pointsTo().numRegions());
+}
+
+TEST(PointsTo, DescribeRegionNamesMembers) {
+  std::unique_ptr<Compilation> C = compileOk(
+      "int g;\nvoid f() { int* p = &g; *p = 1; }");
+  const PointsToAnalysis &PT = C->pointsTo();
+  RegionId R = PT.regionOfVarCell(C->module().findGlobal("g"));
+  EXPECT_NE(PT.describeRegion(R).find("&g"), std::string::npos);
+}
+
+TEST(PointsTo, DerefOfNeverAssignedPointerIsInvalid) {
+  std::unique_ptr<Compilation> C = compileOk("void f() { int* p; }");
+  const PointsToAnalysis &PT = C->pointsTo();
+  const Variable *P = findVar(*C, "f", "p");
+  EXPECT_EQ(PT.derefRegion(PT.regionOfVarCell(P)), InvalidRegion);
+}
+
+TEST(PointsTo, NullAssignedPointerGetsEmptyRegion) {
+  // p = null lowers through a Copy, which eagerly creates (empty) pointee
+  // classes; dereferencing reaches a valid region with no members.
+  std::unique_ptr<Compilation> C = compileOk("void f() { int* p = null; }");
+  const PointsToAnalysis &PT = C->pointsTo();
+  const Variable *P = findVar(*C, "f", "p");
+  EXPECT_NE(PT.regionOfVarCell(P), InvalidRegion);
+}
+
+} // namespace

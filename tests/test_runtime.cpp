@@ -1,0 +1,368 @@
+//===--- test_runtime.cpp - Multi-granularity lock runtime tests ---------------===//
+//
+// Part of the lockin project: lock inference for atomic sections.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/LockRuntime.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+using namespace lockin;
+using namespace lockin::rt;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Mode algebra (Fig. 6)
+//===----------------------------------------------------------------------===//
+
+TEST(Modes, CompatibilityMatrixMatchesFigure6) {
+  // Row by row, exactly the paper's table.
+  EXPECT_TRUE(modesCompatible(Mode::IS, Mode::IS));
+  EXPECT_TRUE(modesCompatible(Mode::IS, Mode::IX));
+  EXPECT_TRUE(modesCompatible(Mode::IS, Mode::S));
+  EXPECT_TRUE(modesCompatible(Mode::IS, Mode::SIX));
+  EXPECT_FALSE(modesCompatible(Mode::IS, Mode::X));
+
+  EXPECT_TRUE(modesCompatible(Mode::IX, Mode::IX));
+  EXPECT_FALSE(modesCompatible(Mode::IX, Mode::S));
+  EXPECT_FALSE(modesCompatible(Mode::IX, Mode::SIX));
+  EXPECT_FALSE(modesCompatible(Mode::IX, Mode::X));
+
+  EXPECT_TRUE(modesCompatible(Mode::S, Mode::S));
+  EXPECT_FALSE(modesCompatible(Mode::S, Mode::SIX));
+  EXPECT_FALSE(modesCompatible(Mode::S, Mode::X));
+
+  EXPECT_FALSE(modesCompatible(Mode::SIX, Mode::SIX));
+  EXPECT_FALSE(modesCompatible(Mode::SIX, Mode::X));
+  EXPECT_FALSE(modesCompatible(Mode::X, Mode::X));
+}
+
+TEST(Modes, CompatibilityIsSymmetric) {
+  for (unsigned A = 0; A < NumModes; ++A)
+    for (unsigned B = 0; B < NumModes; ++B)
+      EXPECT_EQ(modesCompatible(static_cast<Mode>(A), static_cast<Mode>(B)),
+                modesCompatible(static_cast<Mode>(B), static_cast<Mode>(A)));
+}
+
+TEST(Modes, CombineIsJoin) {
+  // combine(a,b) must grant both: everything incompatible with a or with
+  // b must be incompatible with the combination.
+  for (unsigned A = 0; A < NumModes; ++A) {
+    for (unsigned B = 0; B < NumModes; ++B) {
+      Mode C = combineModes(static_cast<Mode>(A), static_cast<Mode>(B));
+      for (unsigned O = 0; O < NumModes; ++O) {
+        Mode Other = static_cast<Mode>(O);
+        if (!modesCompatible(static_cast<Mode>(A), Other) ||
+            !modesCompatible(static_cast<Mode>(B), Other)) {
+          EXPECT_FALSE(modesCompatible(C, Other))
+              << modeName(static_cast<Mode>(A)) << "+"
+              << modeName(static_cast<Mode>(B)) << "="
+              << modeName(C) << " vs " << modeName(Other);
+        }
+      }
+      // Commutative and idempotent.
+      EXPECT_EQ(C, combineModes(static_cast<Mode>(B), static_cast<Mode>(A)));
+    }
+    EXPECT_EQ(combineModes(static_cast<Mode>(A), static_cast<Mode>(A)),
+              static_cast<Mode>(A));
+  }
+  // The classic case: shared + intention-exclusive = SIX.
+  EXPECT_EQ(combineModes(Mode::S, Mode::IX), Mode::SIX);
+}
+
+//===----------------------------------------------------------------------===//
+// LockNode
+//===----------------------------------------------------------------------===//
+
+TEST(LockNode, SharedHoldersOverlap) {
+  LockNode Node;
+  Node.acquire(Mode::S);
+  EXPECT_TRUE(Node.tryAcquire(Mode::S));
+  EXPECT_TRUE(Node.tryAcquire(Mode::IS));
+  EXPECT_FALSE(Node.tryAcquire(Mode::X));
+  EXPECT_FALSE(Node.tryAcquire(Mode::IX));
+  Node.release(Mode::S);
+  Node.release(Mode::S);
+  Node.release(Mode::IS);
+  EXPECT_TRUE(Node.tryAcquire(Mode::X));
+  Node.release(Mode::X);
+}
+
+TEST(LockNode, ExclusiveBlocksUntilReleased) {
+  LockNode Node;
+  Node.acquire(Mode::X);
+  std::atomic<bool> Acquired{false};
+  std::thread T([&] {
+    Node.acquire(Mode::S);
+    Acquired.store(true);
+    Node.release(Mode::S);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(Acquired.load());
+  Node.release(Mode::X);
+  T.join();
+  EXPECT_TRUE(Acquired.load());
+}
+
+TEST(LockNode, WriterNotStarvedByReaders) {
+  // FIFO granting: once a writer queues, later readers wait behind it.
+  LockNode Node;
+  Node.acquire(Mode::S);
+  std::atomic<bool> WriterDone{false};
+  std::thread Writer([&] {
+    Node.acquire(Mode::X);
+    WriterDone.store(true);
+    Node.release(Mode::X);
+  });
+  // Give the writer time to enqueue.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  // A new reader must now queue behind the writer.
+  EXPECT_FALSE(Node.tryAcquire(Mode::S));
+  Node.release(Mode::S);
+  Writer.join();
+  EXPECT_TRUE(WriterDone.load());
+  EXPECT_TRUE(Node.tryAcquire(Mode::S));
+  Node.release(Mode::S);
+}
+
+//===----------------------------------------------------------------------===//
+// Protocol
+//===----------------------------------------------------------------------===//
+
+TEST(Protocol, FineLocksInDifferentRegionsOverlap) {
+  LockRuntime RT(4);
+  ThreadLockContext T1(RT), T2(RT);
+  T1.toAcquire(LockDescriptor::fine(0, 100, true));
+  T1.acquireAll();
+  std::atomic<bool> Acquired{false};
+  std::thread Other([&] {
+    T2.toAcquire(LockDescriptor::fine(1, 200, true));
+    T2.acquireAll();
+    Acquired.store(true);
+    T2.releaseAll();
+  });
+  Other.join();
+  EXPECT_TRUE(Acquired.load());
+  T1.releaseAll();
+}
+
+TEST(Protocol, FineWritersOnDifferentAddressesOverlap) {
+  LockRuntime RT(2);
+  ThreadLockContext T1(RT), T2(RT);
+  T1.toAcquire(LockDescriptor::fine(0, 100, true));
+  T1.acquireAll();
+  std::thread Other([&] {
+    T2.toAcquire(LockDescriptor::fine(0, 101, true));
+    T2.acquireAll(); // IX + IX at the region: compatible
+    T2.releaseAll();
+  });
+  Other.join();
+  T1.releaseAll();
+}
+
+TEST(Protocol, CoarseWriteExcludesFineInSameRegion) {
+  LockRuntime RT(2);
+  ThreadLockContext T1(RT), T2(RT);
+  T1.toAcquire(LockDescriptor::coarse(0, true)); // region X
+  T1.acquireAll();
+  std::atomic<bool> Acquired{false};
+  std::thread Other([&] {
+    T2.toAcquire(LockDescriptor::fine(0, 100, false)); // region IS
+    T2.acquireAll();
+    Acquired.store(true);
+    T2.releaseAll();
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(Acquired.load()) << "IS must wait for X";
+  T1.releaseAll();
+  Other.join();
+  EXPECT_TRUE(Acquired.load());
+}
+
+TEST(Protocol, CoarseReadersShareARegion) {
+  LockRuntime RT(2);
+  ThreadLockContext T1(RT), T2(RT);
+  T1.toAcquire(LockDescriptor::coarse(0, false));
+  T1.acquireAll();
+  std::thread Other([&] {
+    T2.toAcquire(LockDescriptor::coarse(0, false));
+    T2.acquireAll(); // S + S
+    T2.releaseAll();
+  });
+  Other.join();
+  T1.releaseAll();
+}
+
+TEST(Protocol, CoarseReadPlusFineWriteCombinesToSIX) {
+  LockRuntime RT(2);
+  ThreadLockContext T1(RT), T2(RT);
+  // Same thread: coarse ro + fine rw in one region => region SIX.
+  T1.toAcquire(LockDescriptor::coarse(0, false));
+  T1.toAcquire(LockDescriptor::fine(0, 77, true));
+  T1.acquireAll();
+  EXPECT_EQ(RT.regionNode(0).grantedCount(Mode::SIX), 1u);
+  // Another coarse reader (S) is incompatible with SIX.
+  std::atomic<bool> Acquired{false};
+  std::thread Other([&] {
+    T2.toAcquire(LockDescriptor::coarse(0, false));
+    T2.acquireAll();
+    Acquired.store(true);
+    T2.releaseAll();
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(Acquired.load());
+  T1.releaseAll();
+  Other.join();
+}
+
+TEST(Protocol, GlobalLockExcludesEverything) {
+  LockRuntime RT(2);
+  ThreadLockContext T1(RT), T2(RT);
+  T1.toAcquire(LockDescriptor::global());
+  T1.acquireAll();
+  std::atomic<bool> Acquired{false};
+  std::thread Other([&] {
+    T2.toAcquire(LockDescriptor::fine(1, 5, false));
+    T2.acquireAll();
+    Acquired.store(true);
+    T2.releaseAll();
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(Acquired.load()) << "IS on root must wait for X";
+  T1.releaseAll();
+  Other.join();
+}
+
+TEST(Protocol, NestedSectionsAcquireNothing) {
+  LockRuntime RT(2);
+  ThreadLockContext T(RT);
+  T.toAcquire(LockDescriptor::coarse(0, true));
+  T.acquireAll();
+  EXPECT_EQ(T.nestingLevel(), 1);
+  uint64_t Before = RT.stats().NodeAcquisitions.load();
+  T.toAcquire(LockDescriptor::coarse(1, true)); // ignored: nested
+  T.acquireAll();
+  EXPECT_EQ(T.nestingLevel(), 2);
+  EXPECT_EQ(RT.stats().NodeAcquisitions.load(), Before);
+  EXPECT_EQ(RT.stats().NestedSkips.load(), 1u);
+  T.releaseAll();
+  EXPECT_EQ(T.nestingLevel(), 1);
+  // Still holding the outer locks.
+  EXPECT_TRUE(T.coversAccess(0, 0, true));
+  T.releaseAll();
+  EXPECT_EQ(T.nestingLevel(), 0);
+  EXPECT_FALSE(T.coversAccess(0, 0, true));
+}
+
+TEST(Protocol, CoversAccessSemantics) {
+  LockRuntime RT(3);
+  ThreadLockContext T(RT);
+  T.toAcquire(LockDescriptor::fine(0, 50, false));
+  T.toAcquire(LockDescriptor::coarse(1, true));
+  T.acquireAll();
+  // Fine ro: covers reads of that address only.
+  EXPECT_TRUE(T.coversAccess(50, 0, false));
+  EXPECT_FALSE(T.coversAccess(50, 0, true)) << "ro lock can't cover write";
+  EXPECT_FALSE(T.coversAccess(51, 0, false));
+  // Coarse rw: covers everything in region 1.
+  EXPECT_TRUE(T.coversAccess(999, 1, true));
+  EXPECT_FALSE(T.coversAccess(999, 2, false));
+  T.releaseAll();
+}
+
+TEST(Protocol, DeadlockFreedomStress) {
+  // Many threads acquiring random mixed-granularity lock sets; with the
+  // ordered top-down protocol this must always make progress.
+  constexpr unsigned NumThreads = 8;
+  constexpr unsigned Rounds = 300;
+  LockRuntime RT(6);
+  std::atomic<uint64_t> Done{0};
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T < NumThreads; ++T) {
+    Threads.emplace_back([&, T] {
+      Rng R(1000 + T);
+      ThreadLockContext Ctx(RT);
+      for (unsigned I = 0; I < Rounds; ++I) {
+        unsigned N = 1 + static_cast<unsigned>(R.below(4));
+        for (unsigned J = 0; J < N; ++J) {
+          uint32_t Region = static_cast<uint32_t>(R.below(6));
+          bool Write = R.chance(1, 2);
+          if (R.chance(1, 4))
+            Ctx.toAcquire(LockDescriptor::coarse(Region, Write));
+          else
+            Ctx.toAcquire(LockDescriptor::fine(Region, R.below(20), Write));
+        }
+        if (R.chance(1, 40))
+          Ctx.toAcquire(LockDescriptor::global());
+        Ctx.acquireAll();
+        Ctx.releaseAll();
+        Done.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread &T : Threads)
+    T.join();
+  EXPECT_EQ(Done.load(), NumThreads * Rounds);
+}
+
+TEST(Protocol, MutualExclusionProtectsCounter) {
+  // Two writers on the same fine address must serialize.
+  LockRuntime RT(1);
+  int64_t Counter = 0;
+  constexpr unsigned PerThread = 20000;
+  auto Work = [&] {
+    ThreadLockContext Ctx(RT);
+    for (unsigned I = 0; I < PerThread; ++I) {
+      Ctx.toAcquire(LockDescriptor::fine(0, 42, true));
+      Ctx.acquireAll();
+      Counter = Counter + 1;
+      Ctx.releaseAll();
+    }
+  };
+  std::thread A(Work), B(Work);
+  A.join();
+  B.join();
+  EXPECT_EQ(Counter, 2 * PerThread);
+}
+
+TEST(Protocol, ReadersWritersCounterWithCoarseLocks) {
+  LockRuntime RT(1);
+  int64_t Value = 0;
+  std::atomic<bool> Bad{false};
+  auto Writer = [&] {
+    ThreadLockContext Ctx(RT);
+    for (unsigned I = 0; I < 5000; ++I) {
+      Ctx.toAcquire(LockDescriptor::coarse(0, true));
+      Ctx.acquireAll();
+      Value = Value + 1; // torn only if exclusion fails
+      Value = Value + 1;
+      Ctx.releaseAll();
+    }
+  };
+  auto Reader = [&] {
+    ThreadLockContext Ctx(RT);
+    for (unsigned I = 0; I < 5000; ++I) {
+      Ctx.toAcquire(LockDescriptor::coarse(0, false));
+      Ctx.acquireAll();
+      if (Value % 2 != 0)
+        Bad.store(true);
+      Ctx.releaseAll();
+    }
+  };
+  std::thread W1(Writer), W2(Writer), R1(Reader), R2(Reader);
+  W1.join();
+  W2.join();
+  R1.join();
+  R2.join();
+  EXPECT_FALSE(Bad.load()) << "reader saw a torn update";
+  EXPECT_EQ(Value, 2 * 2 * 5000);
+}
+
+} // namespace

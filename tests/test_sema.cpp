@@ -1,0 +1,172 @@
+//===--- test_sema.cpp - Semantic analysis tests -------------------------------===//
+//
+// Part of the lockin project: lock inference for atomic sections.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+using namespace lockin;
+using namespace lockin::test;
+
+namespace {
+
+TEST(Sema, AcceptsWellTypedProgram) {
+  compileOk("struct s { int x; s* n; };\n"
+            "s* g;\n"
+            "int f(s* p) { return p->x; }\n"
+            "int main() { g = new s; g->x = 3; g->n = g; return f(g); }");
+}
+
+TEST(Sema, UndeclaredVariable) {
+  std::string Err = compileError("void f() { x = 1; }");
+  EXPECT_NE(Err.find("undeclared variable"), std::string::npos);
+}
+
+TEST(Sema, UndeclaredFunction) {
+  std::string Err = compileError("void f() { g(); }");
+  EXPECT_NE(Err.find("undeclared function"), std::string::npos);
+}
+
+TEST(Sema, TypeMismatchAssignment) {
+  compileError("struct s { int x; };\n"
+               "void f() { int a; s* p = new s; a = p; }");
+}
+
+TEST(Sema, NullAssignableToAnyPointer) {
+  compileOk("struct s { int x; };\n"
+            "void f() { s* p = null; int* q = null; p = null; q = null; }");
+}
+
+TEST(Sema, NullNotAssignableToInt) {
+  compileError("void f() { int a = null; }");
+}
+
+TEST(Sema, PointerComparisonRequiresSameType) {
+  compileError("struct s { int x; };\nstruct t { int y; };\n"
+               "void f(s* a, t* b) { if (a == b) { } }");
+}
+
+TEST(Sema, PointerComparedWithNull) {
+  compileOk("struct s { int x; };\nvoid f(s* a) { if (a != null) { } }");
+}
+
+TEST(Sema, OrderedPointerComparisonRejected) {
+  compileError("struct s { int x; };\nvoid f(s* a, s* b) "
+               "{ if (a < b) { } }");
+}
+
+TEST(Sema, ConditionMustBeBoolean) {
+  compileError("void f(int a) { if (a) { } }");
+  compileError("void f(int a) { while (a + 1) { } }");
+}
+
+TEST(Sema, BooleanNotStorable) {
+  compileError("void f(int a) { int b = a == 1; }");
+}
+
+TEST(Sema, ArrowOnNonStruct) {
+  compileError("void f(int* p) { p->x = 1; }");
+}
+
+TEST(Sema, UnknownField) {
+  compileError("struct s { int x; };\nvoid f(s* p) { p->y = 1; }");
+}
+
+TEST(Sema, IndexRequiresIntSubscript) {
+  compileError("struct s { int x; };\n"
+               "void f(int* a, s* p) { a[p] = 1; }");
+}
+
+TEST(Sema, DerefNonPointer) {
+  compileError("void f(int a) { *a = 1; }");
+}
+
+TEST(Sema, AddressOfNonLvalue) {
+  compileError("void f() { int* p = &(1 + 2); }");
+}
+
+TEST(Sema, AddressOfVariableOk) {
+  compileOk("void f() { int a; int* p = &a; *p = 4; }");
+}
+
+TEST(Sema, CallArityChecked) {
+  compileError("int f(int a) { return a; }\nvoid g() { f(1, 2); }");
+  compileError("int f(int a) { return a; }\nvoid g() { f(); }");
+}
+
+TEST(Sema, CallArgTypesChecked) {
+  compileError("struct s { int x; };\n"
+               "int f(int a) { return a; }\nvoid g(s* p) { f(p); }");
+}
+
+TEST(Sema, ReturnTypeChecked) {
+  compileError("int f() { return; }");
+  compileError("void f() { return 3; }");
+  compileError("struct s { int x; };\nint f(s* p) { return p; }");
+}
+
+TEST(Sema, SpawnRules) {
+  // Spawn target must return void.
+  compileError("int w() { return 1; }\nvoid f() { spawn w(); }");
+  // Spawn is rejected inside atomic sections.
+  std::string Err = compileError(
+      "void w() { }\nvoid f() { atomic { spawn w(); } }");
+  EXPECT_NE(Err.find("atomic"), std::string::npos);
+  // ... including lexically nested ones.
+  compileError("void w() { }\n"
+               "void f() { atomic { atomic { spawn w(); } } }");
+  // But fine outside.
+  compileOk("void w() { }\nvoid f() { atomic { } spawn w(); }");
+}
+
+TEST(Sema, RedefinitionInSameScope) {
+  compileError("void f() { int a; int a; }");
+}
+
+TEST(Sema, ShadowingInNestedScopeAllowed) {
+  compileOk("void f() { int a = 1; { int a = 2; a = 3; } a = 4; }");
+}
+
+TEST(Sema, LocalScopeEndsAtBlock) {
+  compileError("void f() { { int a = 1; } a = 2; }");
+}
+
+TEST(Sema, ExprStatementMustBeCall) {
+  compileError("void f(int a) { a + 1; }");
+}
+
+TEST(Sema, GlobalInitializersMustBeConstants) {
+  compileOk("int g = 5;\nint* p = null;");
+  compileError("int g = 1 + 2;");
+  compileError("struct s { int x; };\ns* g = new s;");
+}
+
+TEST(Sema, AssignToRValueRejected) {
+  compileError("void f(int a) { (a + 1) = 2; }");
+}
+
+TEST(Sema, StructValueVariablesRejected) {
+  compileError("struct s { int x; };\nvoid f() { s v; }");
+}
+
+TEST(Sema, ArraysOfStructsRejected) {
+  compileError("struct s { int x; };\nvoid f(int n) { s* a = new s[n]; }");
+}
+
+TEST(Sema, ArrayOfPointersOk) {
+  compileOk("struct s { int x; };\n"
+            "void f(int n) { s** a = new s*[n]; a[0] = new s; "
+            "a[0]->x = 1; }");
+}
+
+TEST(Sema, ExpressionTypesAnnotated) {
+  std::unique_ptr<Compilation> C = compileOk(
+      "struct s { int x; };\nint f(s* p) { return p->x + 1; }");
+  const FunctionDecl *F = C->ast().findFunction("f");
+  const auto *Ret = cast<ReturnStmt>(F->body()->stmts()[0].get());
+  ASSERT_NE(Ret->value()->type(), nullptr);
+  EXPECT_TRUE(Ret->value()->type()->isInt());
+}
+
+} // namespace

@@ -1,0 +1,248 @@
+//===--- test_sim.cpp - Simulated-parallelism executor tests -------------------===//
+//
+// Part of the lockin project: lock inference for atomic sections.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/SimWorkloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace lockin;
+using namespace lockin::rt;
+using namespace lockin::workloads;
+using namespace lockin::workloads::sim;
+
+namespace {
+
+SimOp makeOp(std::vector<LockDescriptor> Locks, uint64_t Duration,
+             uint64_t Think = 0) {
+  SimOp O;
+  O.Locks = std::move(Locks);
+  O.Duration = Duration;
+  O.Think = Think;
+  return O;
+}
+
+TEST(SimConflicts, DescriptorConflictSemantics) {
+  auto G = LockDescriptor::global();
+  auto C0w = LockDescriptor::coarse(0, true);
+  auto C0r = LockDescriptor::coarse(0, false);
+  auto C1w = LockDescriptor::coarse(1, true);
+  auto F0aW = LockDescriptor::fine(0, 10, true);
+  auto F0bW = LockDescriptor::fine(0, 11, true);
+  auto F0aR = LockDescriptor::fine(0, 10, false);
+
+  EXPECT_TRUE(descriptorsConflict(G, C0r));
+  EXPECT_FALSE(descriptorsConflict(C0r, C0r)) << "readers share";
+  EXPECT_TRUE(descriptorsConflict(C0w, C0r));
+  EXPECT_FALSE(descriptorsConflict(C0w, C1w)) << "regions are disjoint";
+  EXPECT_TRUE(descriptorsConflict(C0w, F0aR)) << "coarse covers fine";
+  EXPECT_FALSE(descriptorsConflict(F0aW, F0bW)) << "different addresses";
+  EXPECT_TRUE(descriptorsConflict(F0aW, F0aR)) << "same address, writer";
+  EXPECT_FALSE(descriptorsConflict(F0aR, F0aR));
+}
+
+TEST(SimLocks, SerializationMatchesHandComputation) {
+  // 4 threads, each 10 exclusive sections of 100 cycles on one region:
+  // fully serialized => makespan == 4 * 10 * (100 + entry + 2 nodes).
+  SimParams P;
+  P.Config = LockConfig::Coarse;
+  P.Threads = 4;
+  P.OpsPerThread = 10;
+  OpSource Source = [](unsigned, uint64_t, SimOp &O) {
+    O = SimOp();
+    O.Locks = {LockDescriptor::coarse(0, true)};
+    O.Duration = 100;
+    O.Think = 0;
+    return true;
+  };
+  SimOutcome O = simulate(P, Source);
+  uint64_t PerSection = 100 + P.LockEntryCost + 2 * P.LockNodeCost;
+  EXPECT_EQ(O.Makespan, 4 * 10 * PerSection);
+  EXPECT_EQ(O.Commits, 40u);
+}
+
+TEST(SimLocks, ReadersRunInParallel) {
+  SimParams P;
+  P.Config = LockConfig::Coarse;
+  P.Threads = 8;
+  P.OpsPerThread = 10;
+  OpSource Source = [](unsigned, uint64_t, SimOp &O) {
+    O = SimOp();
+    O.Locks = {LockDescriptor::coarse(0, false)};
+    O.Duration = 100;
+    O.Think = 0;
+    return true;
+  };
+  SimOutcome O = simulate(P, Source);
+  uint64_t PerSection = 100 + P.LockEntryCost + 2 * P.LockNodeCost;
+  EXPECT_EQ(O.Makespan, 10 * PerSection) << "8 readers fully overlap";
+  EXPECT_EQ(O.BlockedCycles, 0u);
+}
+
+TEST(SimLocks, DisjointRegionsRunInParallel) {
+  SimParams P;
+  P.Config = LockConfig::Coarse;
+  P.Threads = 4;
+  P.OpsPerThread = 5;
+  OpSource Source = [](unsigned T, uint64_t, SimOp &O) {
+    O = makeOp({LockDescriptor::coarse(T, true)}, 100);
+    return true;
+  };
+  SimOutcome O = simulate(P, Source);
+  uint64_t PerSection = 100 + P.LockEntryCost + 2 * P.LockNodeCost;
+  EXPECT_EQ(O.Makespan, 5 * PerSection);
+}
+
+TEST(SimLocks, GlobalConfigSerializesEverything) {
+  SimParams P;
+  P.Config = LockConfig::Global;
+  P.Threads = 8;
+  P.OpsPerThread = 4;
+  OpSource Source = [](unsigned, uint64_t, SimOp &O) {
+    O = makeOp({LockDescriptor::global()}, 50);
+    return true;
+  };
+  SimOutcome O = simulate(P, Source);
+  uint64_t PerSection = 50 + P.LockEntryCost + P.LockNodeCost;
+  EXPECT_EQ(O.Makespan, 8 * 4 * PerSection);
+  EXPECT_GT(O.BlockedCycles, 0u);
+}
+
+TEST(SimStm, DisjointTransactionsAllCommitWithoutAborts) {
+  SimParams P;
+  P.Config = LockConfig::Stm;
+  P.Threads = 8;
+  P.OpsPerThread = 20;
+  OpSource Source = [](unsigned T, uint64_t I, SimOp &O) {
+    O = SimOp();
+    O.Footprint = {{T * 1000 + I, true}};
+    O.Duration = 100;
+    O.Think = 0;
+    return true;
+  };
+  SimOutcome O = simulate(P, Source);
+  EXPECT_EQ(O.Commits, 8u * 20u);
+  EXPECT_EQ(O.Aborts, 0u);
+}
+
+TEST(SimStm, HotWordCausesAborts) {
+  SimParams P;
+  P.Config = LockConfig::Stm;
+  P.Threads = 8;
+  P.OpsPerThread = 50;
+  OpSource Source = [](unsigned, uint64_t, SimOp &O) {
+    O = SimOp();
+    O.Footprint = {{42, true}};
+    O.Duration = 200;
+    O.Think = 0;
+    return true;
+  };
+  SimOutcome O = simulate(P, Source);
+  EXPECT_EQ(O.Commits, 8u * 50u) << "retries must preserve every op";
+  // Exponential backoff thins the collisions over time; a substantial
+  // abort rate (more than half the commits) is the expected signature.
+  EXPECT_GT(O.Aborts, O.Commits / 2) << "everyone collides on one word";
+}
+
+TEST(SimStm, ReadersDoNotAbortEachOther) {
+  SimParams P;
+  P.Config = LockConfig::Stm;
+  P.Threads = 8;
+  P.OpsPerThread = 50;
+  OpSource Source = [](unsigned, uint64_t, SimOp &O) {
+    O = SimOp();
+    O.Footprint = {{42, false}};
+    O.Duration = 100;
+    O.Think = 0;
+    return true;
+  };
+  SimOutcome O = simulate(P, Source);
+  EXPECT_EQ(O.Aborts, 0u);
+}
+
+TEST(SimWorkloads, DeterministicAcrossRuns) {
+  SimOutcome A = runMicroSim(MicroKind::RbTree, LockConfig::Coarse, 8,
+                             /*High=*/false, /*Seed=*/7);
+  SimOutcome B = runMicroSim(MicroKind::RbTree, LockConfig::Coarse, 8,
+                             /*High=*/false, /*Seed=*/7);
+  EXPECT_EQ(A.Makespan, B.Makespan);
+  EXPECT_EQ(A.Commits, B.Commits);
+}
+
+TEST(SimWorkloads, PaperShapesHold) {
+  // The relative results of Table 2 / Figure 8 the reproduction targets.
+  // rbtree-low: read/write coarse locks beat the global lock by ~2x.
+  uint64_t G = runMicroSim(MicroKind::RbTree, LockConfig::Global, 8,
+                           false).Makespan;
+  uint64_t C = runMicroSim(MicroKind::RbTree, LockConfig::Coarse, 8,
+                           false).Makespan;
+  EXPECT_GT(G, C + C / 2) << "coarse ro locks must recover parallelism";
+
+  // rbtree-high: no read parallelism to recover; coarse ≈ global.
+  uint64_t Gh = runMicroSim(MicroKind::RbTree, LockConfig::Global, 8,
+                            true).Makespan;
+  uint64_t Ch = runMicroSim(MicroKind::RbTree, LockConfig::Coarse, 8,
+                            true).Makespan;
+  EXPECT_LT(Gh, Ch + Ch / 2);
+  EXPECT_GT(Gh + Gh / 2, Ch);
+
+  // hashtable-2-high: the fine bucket lock roughly halves coarse.
+  uint64_t H2c = runMicroSim(MicroKind::Hashtable2, LockConfig::Coarse, 8,
+                             true).Makespan;
+  uint64_t H2f = runMicroSim(MicroKind::Hashtable2, LockConfig::Fine, 8,
+                             true).Makespan;
+  EXPECT_GT(H2c, H2f + H2f / 2);
+
+  // TH: disjoint structures let coarse beat global.
+  uint64_t THg = runMicroSim(MicroKind::TH, LockConfig::Global, 8,
+                             false).Makespan;
+  uint64_t THc = runMicroSim(MicroKind::TH, LockConfig::Coarse, 8,
+                             false).Makespan;
+  EXPECT_GT(THg, 2 * THc);
+
+  // vacation: the hot row makes TL2 lose to every lock configuration.
+  uint64_t Vg = runStampSim(StampKind::Vacation, LockConfig::Global,
+                            8).Makespan;
+  uint64_t Vs = runStampSim(StampKind::Vacation, LockConfig::Stm,
+                            8).Makespan;
+  EXPECT_GT(Vs, Vg);
+
+  // labyrinth: disjoint routes are TL2's winning case.
+  uint64_t Lg = runStampSim(StampKind::Labyrinth, LockConfig::Global,
+                            8).Makespan;
+  uint64_t Ls = runStampSim(StampKind::Labyrinth, LockConfig::Stm,
+                            8).Makespan;
+  EXPECT_GT(Lg, Ls);
+
+  // kmeans: global ≤ coarse ≤ fine ≤ STM (Table 2's ordering).
+  uint64_t Kg = runStampSim(StampKind::Kmeans, LockConfig::Global,
+                            8).Makespan;
+  uint64_t Kc = runStampSim(StampKind::Kmeans, LockConfig::Coarse,
+                            8).Makespan;
+  uint64_t Kf = runStampSim(StampKind::Kmeans, LockConfig::Fine,
+                            8).Makespan;
+  uint64_t Ks = runStampSim(StampKind::Kmeans, LockConfig::Stm,
+                            8).Makespan;
+  EXPECT_LE(Kg, Kc);
+  EXPECT_LE(Kc, Kf);
+  EXPECT_LT(Kf, Ks);
+}
+
+TEST(SimWorkloads, ScalabilityDirections) {
+  // Figure 8: with per-thread work fixed, the global lock's makespan
+  // grows ~linearly in threads while STM stays nearly flat on rbtree-low.
+  uint64_t G1 = runMicroSim(MicroKind::RbTree, LockConfig::Global, 1,
+                            false).Makespan;
+  uint64_t G8 = runMicroSim(MicroKind::RbTree, LockConfig::Global, 8,
+                            false).Makespan;
+  EXPECT_GT(G8, 4 * G1);
+  uint64_t S1 = runMicroSim(MicroKind::RbTree, LockConfig::Stm, 1,
+                            false).Makespan;
+  uint64_t S8 = runMicroSim(MicroKind::RbTree, LockConfig::Stm, 8,
+                            false).Makespan;
+  EXPECT_LT(S8, 2 * S1);
+}
+
+} // namespace

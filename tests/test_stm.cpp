@@ -1,0 +1,219 @@
+//===--- test_stm.cpp - TL2 STM tests ------------------------------------------===//
+//
+// Part of the lockin project: lock inference for atomic sections.
+//
+//===----------------------------------------------------------------------===//
+
+#include "stm/Tl2.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+using namespace lockin;
+using namespace lockin::stm;
+
+namespace {
+
+TEST(Stm, ReadAfterWriteSeesOwnWrite) {
+  Stm S;
+  int64_t X = 10;
+  S.atomically([&](Transaction &Tx) {
+    Tx.write(&X, int64_t{42});
+    EXPECT_EQ(Tx.read(&X), 42);
+  });
+  EXPECT_EQ(X, 42);
+}
+
+TEST(Stm, ReadOnlyTransactionCommits) {
+  Stm S;
+  int64_t X = 5;
+  int64_t Seen = 0;
+  S.atomically([&](Transaction &Tx) { Seen = Tx.read(&X); });
+  EXPECT_EQ(Seen, 5);
+  EXPECT_EQ(S.stats().Commits.load(), 1u);
+  EXPECT_EQ(S.stats().Aborts.load(), 0u);
+}
+
+TEST(Stm, PointerValuesRoundTrip) {
+  Stm S;
+  int64_t A = 1, B = 2;
+  int64_t *P = &A;
+  S.atomically([&](Transaction &Tx) { Tx.write(&P, &B); });
+  EXPECT_EQ(P, &B);
+  int64_t *Seen = nullptr;
+  S.atomically([&](Transaction &Tx) { Seen = Tx.read(&P); });
+  EXPECT_EQ(Seen, &B);
+}
+
+TEST(Stm, ConcurrentCountersAreAtomic) {
+  Stm S;
+  int64_t Counter = 0;
+  constexpr unsigned NumThreads = 8;
+  constexpr unsigned PerThread = 5000;
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T < NumThreads; ++T) {
+    Threads.emplace_back([&] {
+      for (unsigned I = 0; I < PerThread; ++I) {
+        S.atomically([&](Transaction &Tx) {
+          Tx.write(&Counter, Tx.read(&Counter) + 1);
+        });
+      }
+    });
+  }
+  for (std::thread &T : Threads)
+    T.join();
+  EXPECT_EQ(Counter, int64_t(NumThreads) * PerThread);
+  // Contended counters must have caused some aborts (that is the point of
+  // the optimistic baseline).
+  EXPECT_EQ(S.stats().Commits.load(), uint64_t(NumThreads) * PerThread);
+}
+
+TEST(Stm, InvariantAcrossTwoCells) {
+  // Transfer between two accounts; total must be conserved under any
+  // interleaving, and no transaction may observe a torn total.
+  Stm S;
+  int64_t AccountA = 1000, AccountB = 1000;
+  std::atomic<bool> Torn{false};
+  auto Mover = [&](unsigned Seed) {
+    for (unsigned I = 0; I < 4000; ++I) {
+      int64_t Amount = (Seed + I) % 7;
+      S.atomically([&](Transaction &Tx) {
+        Tx.write(&AccountA, Tx.read(&AccountA) - Amount);
+        Tx.write(&AccountB, Tx.read(&AccountB) + Amount);
+      });
+    }
+  };
+  auto Auditor = [&] {
+    for (unsigned I = 0; I < 4000; ++I) {
+      S.atomically([&](Transaction &Tx) {
+        if (Tx.read(&AccountA) + Tx.read(&AccountB) != 2000)
+          Torn.store(true);
+      });
+    }
+  };
+  std::thread M1(Mover, 1), M2(Mover, 2), A1(Auditor), A2(Auditor);
+  M1.join();
+  M2.join();
+  A1.join();
+  A2.join();
+  EXPECT_FALSE(Torn.load());
+  EXPECT_EQ(AccountA + AccountB, 2000);
+}
+
+TEST(Stm, LinkedStackPushPop) {
+  // Transactional Treiber-style stack: pushes and pops from many threads
+  // must neither lose nor duplicate nodes.
+  struct Node {
+    int64_t Value;
+    Node *Next;
+  };
+  Stm S;
+  Node *Head = nullptr;
+  constexpr unsigned NumThreads = 4;
+  constexpr unsigned PerThread = 2000;
+  std::vector<std::vector<Node>> Storage(NumThreads);
+  std::atomic<int64_t> PopSum{0};
+  std::atomic<uint64_t> Pops{0};
+
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T < NumThreads; ++T) {
+    Storage[T].resize(PerThread);
+    Threads.emplace_back([&, T] {
+      for (unsigned I = 0; I < PerThread; ++I) {
+        Node *N = &Storage[T][I];
+        N->Value = 1;
+        S.atomically([&](Transaction &Tx) {
+          Tx.write(&N->Next, Tx.read(&Head));
+          Tx.write(&Head, N);
+        });
+        // Pop one node half of the time.
+        if (I % 2 == 0) {
+          Node *Popped = nullptr;
+          S.atomically([&](Transaction &Tx) {
+            Popped = Tx.read(&Head);
+            if (Popped)
+              Tx.write(&Head, Tx.read(&Popped->Next));
+          });
+          if (Popped) {
+            PopSum.fetch_add(Popped->Value);
+            Pops.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  for (std::thread &T : Threads)
+    T.join();
+
+  // Count what's left on the stack.
+  uint64_t Remaining = 0;
+  for (Node *N = Head; N; N = N->Next)
+    ++Remaining;
+  EXPECT_EQ(Remaining + Pops.load(), uint64_t(NumThreads) * PerThread);
+  EXPECT_EQ(PopSum.load(), int64_t(Pops.load()));
+}
+
+TEST(Stm, ConflictingCommitInvalidatesReader) {
+  // Deterministic conflict: T1 reads x, T2 commits a write to x, T1's
+  // commit (a read-write transaction) must fail. Works on any core count.
+  Stm S;
+  int64_t X = 0, Y = 0;
+  Transaction T1(S);
+  int64_t Seen = T1.read(&X);
+  (void)Seen;
+  T1.write(&Y, int64_t{1});
+  // Interleaved writer commits to X.
+  {
+    Transaction T2(S);
+    T2.write(&X, int64_t{7});
+    ASSERT_TRUE(T2.commit());
+  }
+  EXPECT_FALSE(T1.commit()) << "stale read must abort the commit";
+  EXPECT_EQ(Y, 0) << "aborted transaction leaked a write";
+}
+
+TEST(Stm, StaleReadThrowsDuringTransaction) {
+  // A read after a conflicting commit (version > RV) must abort eagerly,
+  // preserving opacity.
+  Stm S;
+  int64_t X = 0;
+  Transaction T1(S);
+  {
+    Transaction T2(S);
+    T2.write(&X, int64_t{5});
+    ASSERT_TRUE(T2.commit());
+  }
+  EXPECT_THROW((void)T1.read(&X), TxAbort);
+}
+
+TEST(Stm, ReadOnlyCommitSucceedsDespiteLaterWriters) {
+  Stm S;
+  int64_t X = 0;
+  Transaction T1(S);
+  int64_t V = T1.read(&X);
+  EXPECT_EQ(V, 0);
+  EXPECT_TRUE(T1.commit()) << "read-only tx validated at read time";
+}
+
+TEST(Stm, DisjointWritesDoNotConflict) {
+  Stm S;
+  // Spread the cells so they do not share versioned-lock entries.
+  alignas(64) int64_t Cells[8][8] = {};
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T < 8; ++T) {
+    Threads.emplace_back([&, T] {
+      for (unsigned I = 0; I < 5000; ++I)
+        S.atomically([&](Transaction &Tx) {
+          Tx.write(&Cells[T][0], Tx.read(&Cells[T][0]) + 1);
+        });
+    });
+  }
+  for (std::thread &T : Threads)
+    T.join();
+  for (unsigned T = 0; T < 8; ++T)
+    EXPECT_EQ(Cells[T][0], 5000);
+}
+
+} // namespace

@@ -1,0 +1,296 @@
+//===--- test_workloads.cpp - Native workload tests ----------------------------===//
+//
+// Part of the lockin project: lock inference for atomic sections.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/DataStructures.h"
+#include "workloads/MicroBench.h"
+#include "workloads/Stamp.h"
+
+#include <gtest/gtest.h>
+
+using namespace lockin;
+using namespace lockin::workloads;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Data structure correctness (single-threaded, DirectMem)
+//===----------------------------------------------------------------------===//
+
+TEST(DataStructures, ListSortedSemantics) {
+  ListCore List;
+  DirectMem M;
+  EXPECT_TRUE(List.insert(M, 5));
+  EXPECT_TRUE(List.insert(M, 1));
+  EXPECT_TRUE(List.insert(M, 9));
+  EXPECT_FALSE(List.insert(M, 5)) << "duplicate";
+  EXPECT_TRUE(List.lookup(M, 1));
+  EXPECT_TRUE(List.lookup(M, 9));
+  EXPECT_FALSE(List.lookup(M, 7));
+  EXPECT_EQ(List.size(M), 3);
+  EXPECT_TRUE(List.remove(M, 5));
+  EXPECT_FALSE(List.remove(M, 5));
+  EXPECT_FALSE(List.lookup(M, 5));
+  EXPECT_EQ(List.size(M), 2);
+}
+
+TEST(DataStructures, HashtableResizes) {
+  HashtableCore Table(4);
+  DirectMem M;
+  for (int64_t K = 0; K < 300; ++K)
+    EXPECT_TRUE(Table.put(M, K, K * 10));
+  EXPECT_EQ(Table.size(M), 300);
+  for (int64_t K = 0; K < 300; ++K) {
+    int64_t Out = -1;
+    ASSERT_TRUE(Table.get(M, K, Out)) << K;
+    EXPECT_EQ(Out, K * 10);
+  }
+  // Update in place.
+  EXPECT_FALSE(Table.put(M, 7, 777));
+  int64_t Out = 0;
+  EXPECT_TRUE(Table.get(M, 7, Out));
+  EXPECT_EQ(Out, 777);
+  // Removal.
+  EXPECT_TRUE(Table.remove(M, 7));
+  EXPECT_FALSE(Table.get(M, 7, Out));
+  EXPECT_EQ(Table.size(M), 299);
+}
+
+TEST(DataStructures, Hashtable2PrependsAndRemoves) {
+  Hashtable2Core Table(8);
+  DirectMem M;
+  Table.put(M, 1, 10);
+  Table.put(M, 9, 90); // may collide with 1 depending on hashing
+  Table.put(M, 1, 11); // duplicate key: newest wins on get
+  int64_t Out = 0;
+  EXPECT_TRUE(Table.get(M, 1, Out));
+  EXPECT_EQ(Out, 11);
+  EXPECT_TRUE(Table.get(M, 9, Out));
+  EXPECT_EQ(Out, 90);
+  EXPECT_TRUE(Table.remove(M, 1)); // removes the newest entry
+  EXPECT_TRUE(Table.get(M, 1, Out));
+  EXPECT_EQ(Out, 10);
+  EXPECT_TRUE(Table.remove(M, 1));
+  EXPECT_FALSE(Table.get(M, 1, Out));
+}
+
+TEST(DataStructures, RbTreeInvariantsHoldUnderInsertions) {
+  RbTreeCore Tree;
+  DirectMem M;
+  // Adversarial (sorted) insertion order: forces rotations.
+  for (int64_t K = 0; K < 512; ++K)
+    ASSERT_TRUE(Tree.insert(M, K, K));
+  EXPECT_TRUE(Tree.checkInvariants());
+  EXPECT_EQ(Tree.liveCount(), 512);
+  for (int64_t K = 0; K < 512; ++K) {
+    int64_t Out = -1;
+    ASSERT_TRUE(Tree.get(M, K, Out));
+    EXPECT_EQ(Out, K);
+  }
+  // Reverse order into the same tree.
+  for (int64_t K = 1023; K >= 512; --K)
+    ASSERT_TRUE(Tree.insert(M, K, K));
+  EXPECT_TRUE(Tree.checkInvariants());
+  EXPECT_EQ(Tree.liveCount(), 1024);
+}
+
+TEST(DataStructures, RbTreeTombstoneRemove) {
+  RbTreeCore Tree;
+  DirectMem M;
+  for (int64_t K = 0; K < 64; ++K)
+    Tree.insert(M, K, K);
+  EXPECT_TRUE(Tree.remove(M, 10));
+  EXPECT_FALSE(Tree.remove(M, 10)) << "double remove";
+  int64_t Out;
+  EXPECT_FALSE(Tree.get(M, 10, Out));
+  EXPECT_EQ(Tree.liveCount(), 63);
+  // Reinsert revives the tombstone.
+  EXPECT_TRUE(Tree.insert(M, 10, 100));
+  EXPECT_TRUE(Tree.get(M, 10, Out));
+  EXPECT_EQ(Out, 100);
+  EXPECT_TRUE(Tree.checkInvariants());
+}
+
+TEST(DataStructures, StmVariantMatchesDirect) {
+  // The same operation sequence through TxMem must produce the same
+  // structure as through DirectMem.
+  stm::Stm S;
+  ListCore Direct, Transactional;
+  DirectMem M;
+  for (int64_t K : {5, 3, 9, 1, 7, 3, 9}) {
+    Direct.insert(M, K);
+    S.atomically([&](stm::Transaction &Tx) {
+      TxMem TM{Tx};
+      Transactional.insert(TM, K);
+    });
+  }
+  Direct.remove(M, 5);
+  S.atomically([&](stm::Transaction &Tx) {
+    TxMem TM{Tx};
+    Transactional.remove(TM, 5);
+  });
+  EXPECT_EQ(Direct.size(M), Transactional.size(M));
+  for (int64_t K = 0; K < 10; ++K)
+    EXPECT_EQ(Direct.lookup(M, K), Transactional.lookup(M, K)) << K;
+}
+
+//===----------------------------------------------------------------------===//
+// Micro-benchmark harness
+//===----------------------------------------------------------------------===//
+
+class MicroHarnessTest
+    : public ::testing::TestWithParam<std::tuple<MicroKind, LockConfig>> {};
+
+TEST_P(MicroHarnessTest, CompletesAndCountsOps) {
+  MicroParams P;
+  P.Kind = std::get<0>(GetParam());
+  P.Config = std::get<1>(GetParam());
+  P.Threads = 4;
+  P.OpsPerThread = 800;
+  P.SectionNops = 8;
+  P.KeySpace = 256;
+  MicroResult R = runMicro(P);
+  EXPECT_EQ(R.Ops, 4u * 800u);
+  EXPECT_GT(R.Seconds, 0.0);
+  if (P.Config == LockConfig::Stm)
+    EXPECT_GE(R.StmCommits, R.Ops) << "every op commits exactly once";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKindsAllConfigs, MicroHarnessTest,
+    ::testing::Combine(
+        ::testing::Values(MicroKind::List, MicroKind::Hashtable,
+                          MicroKind::Hashtable2, MicroKind::RbTree,
+                          MicroKind::TH),
+        ::testing::Values(LockConfig::Global, LockConfig::Coarse,
+                          LockConfig::Fine, LockConfig::Stm)),
+    [](const auto &Info) {
+      std::string Name = microKindName(std::get<0>(Info.param));
+      Name += "_";
+      Name += lockConfigName(std::get<1>(Info.param));
+      std::string Clean;
+      for (char C : Name)
+        if (std::isalnum(static_cast<unsigned char>(C)))
+          Clean += C;
+      return Clean;
+    });
+
+TEST(MicroHarness, SingleThreadChecksumsAgreeAcrossConfigs) {
+  // With one thread the workload is deterministic in the seed, so every
+  // configuration must build exactly the same structure.
+  for (MicroKind Kind : {MicroKind::List, MicroKind::Hashtable,
+                         MicroKind::Hashtable2, MicroKind::RbTree,
+                         MicroKind::TH}) {
+    int64_t Expected = -1;
+    for (LockConfig Config : {LockConfig::Global, LockConfig::Coarse,
+                              LockConfig::Fine, LockConfig::Stm}) {
+      MicroParams P;
+      P.Kind = Kind;
+      P.Config = Config;
+      P.Threads = 1;
+      P.OpsPerThread = 2000;
+      P.SectionNops = 0;
+      P.Seed = 11;
+      MicroResult R = runMicro(P);
+      if (Expected < 0)
+        Expected = R.Checksum;
+      EXPECT_EQ(R.Checksum, Expected)
+          << microKindName(Kind) << " under " << lockConfigName(Config);
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// STAMP miniatures
+//===----------------------------------------------------------------------===//
+
+class StampTest
+    : public ::testing::TestWithParam<std::tuple<StampKind, LockConfig>> {};
+
+TEST_P(StampTest, Completes) {
+  StampParams P;
+  P.Kind = std::get<0>(GetParam());
+  P.Config = std::get<1>(GetParam());
+  P.Threads = 4;
+  P.Scale = 1;
+  StampResult R = runStamp(P);
+  EXPECT_GT(R.Seconds, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKindsAllConfigs, StampTest,
+    ::testing::Combine(
+        ::testing::Values(StampKind::Genome, StampKind::Vacation,
+                          StampKind::Kmeans, StampKind::Bayes,
+                          StampKind::Labyrinth),
+        ::testing::Values(LockConfig::Global, LockConfig::Coarse,
+                          LockConfig::Stm)),
+    [](const auto &Info) {
+      std::string Name = stampKindName(std::get<0>(Info.param));
+      Name += "_";
+      Name += lockConfigName(std::get<1>(Info.param));
+      std::string Clean;
+      for (char C : Name)
+        if (std::isalnum(static_cast<unsigned char>(C)))
+          Clean += C;
+      return Clean;
+    });
+
+TEST(Stamp, KmeansChecksumIsPointCount) {
+  // The per-cluster counters must account for every point regardless of
+  // configuration (an atomicity violation would lose updates).
+  for (LockConfig Config :
+       {LockConfig::Global, LockConfig::Coarse, LockConfig::Stm}) {
+    StampParams P;
+    P.Kind = StampKind::Kmeans;
+    P.Config = Config;
+    P.Threads = 4;
+    P.Scale = 1;
+    StampResult R = runStamp(P);
+    EXPECT_EQ(R.Checksum, int64_t(4) * 20000)
+        << lockConfigName(Config) << " lost cluster updates";
+  }
+}
+
+TEST(Stamp, VacationRevisionCountsEveryTransaction) {
+  for (LockConfig Config :
+       {LockConfig::Global, LockConfig::Coarse, LockConfig::Stm}) {
+    StampParams P;
+    P.Kind = StampKind::Vacation;
+    P.Config = Config;
+    P.Threads = 4;
+    StampResult R = runStamp(P);
+    EXPECT_EQ(R.Checksum, int64_t(4) * 1500) << lockConfigName(Config);
+  }
+}
+
+TEST(Stamp, VacationStmCommitsEveryTransaction) {
+  // Abort COUNTS depend on physical parallelism (this host may be a
+  // single core, where short transactions rarely overlap); the abort-rate
+  // reproduction lives in the simulated-parallelism benches. Here we only
+  // require that retries never lose or duplicate a commit.
+  StampParams P;
+  P.Kind = StampKind::Vacation;
+  P.Config = LockConfig::Stm;
+  P.Threads = 4;
+  StampResult R = runStamp(P);
+  EXPECT_EQ(R.StmCommits, uint64_t(4) * 1500);
+}
+
+TEST(Stamp, LabyrinthClaimsAreConsistent) {
+  for (LockConfig Config : {LockConfig::Global, LockConfig::Stm}) {
+    StampParams P;
+    P.Kind = StampKind::Labyrinth;
+    P.Config = Config;
+    P.Threads = 4;
+    StampResult R = runStamp(P);
+    // Every claimed route is 23 cells; the claimed total must be a
+    // multiple (routes never overlap if exclusion works).
+    EXPECT_EQ(R.Checksum % 23, 0)
+        << lockConfigName(Config) << " produced torn routes";
+  }
+}
+
+} // namespace
