@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_figure8.cpp" "bench/CMakeFiles/bench_figure8.dir/bench_figure8.cpp.o" "gcc" "bench/CMakeFiles/bench_figure8.dir/bench_figure8.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/driver/CMakeFiles/lockin_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/lockin_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/lockin_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/infer/CMakeFiles/lockin_infer.dir/DependInfo.cmake"
+  "/root/repo/build/src/locks/CMakeFiles/lockin_locks.dir/DependInfo.cmake"
+  "/root/repo/build/src/pointsto/CMakeFiles/lockin_pointsto.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/lockin_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/lockin_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/lockin_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/stm/CMakeFiles/lockin_stm.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/lockin_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

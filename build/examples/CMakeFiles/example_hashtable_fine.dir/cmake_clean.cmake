@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_hashtable_fine.dir/hashtable_fine.cpp.o"
+  "CMakeFiles/example_hashtable_fine.dir/hashtable_fine.cpp.o.d"
+  "example_hashtable_fine"
+  "example_hashtable_fine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_hashtable_fine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

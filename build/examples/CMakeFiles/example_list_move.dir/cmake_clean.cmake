@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_list_move.dir/list_move.cpp.o"
+  "CMakeFiles/example_list_move.dir/list_move.cpp.o.d"
+  "example_list_move"
+  "example_list_move.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_list_move.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

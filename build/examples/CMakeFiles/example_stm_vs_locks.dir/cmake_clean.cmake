@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_stm_vs_locks.dir/stm_vs_locks.cpp.o"
+  "CMakeFiles/example_stm_vs_locks.dir/stm_vs_locks.cpp.o.d"
+  "example_stm_vs_locks"
+  "example_stm_vs_locks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_stm_vs_locks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

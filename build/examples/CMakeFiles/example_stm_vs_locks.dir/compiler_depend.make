@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for example_stm_vs_locks.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_stm_vs_locks.
+# This may be replaced when dependencies are built.

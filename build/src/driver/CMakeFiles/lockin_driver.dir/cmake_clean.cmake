@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lockin_driver.dir/Compiler.cpp.o"
+  "CMakeFiles/lockin_driver.dir/Compiler.cpp.o.d"
+  "liblockin_driver.a"
+  "liblockin_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lockin_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lockinfer.dir/LockInferTool.cpp.o"
+  "CMakeFiles/lockinfer.dir/LockInferTool.cpp.o.d"
+  "lockinfer"
+  "lockinfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lockinfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

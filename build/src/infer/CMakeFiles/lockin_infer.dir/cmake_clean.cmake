@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lockin_infer.dir/Inference.cpp.o"
+  "CMakeFiles/lockin_infer.dir/Inference.cpp.o.d"
+  "CMakeFiles/lockin_infer.dir/LockSet.cpp.o"
+  "CMakeFiles/lockin_infer.dir/LockSet.cpp.o.d"
+  "CMakeFiles/lockin_infer.dir/Transfer.cpp.o"
+  "CMakeFiles/lockin_infer.dir/Transfer.cpp.o.d"
+  "liblockin_infer.a"
+  "liblockin_infer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lockin_infer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

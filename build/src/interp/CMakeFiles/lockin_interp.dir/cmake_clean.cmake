@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lockin_interp.dir/Interp.cpp.o"
+  "CMakeFiles/lockin_interp.dir/Interp.cpp.o.d"
+  "liblockin_interp.a"
+  "liblockin_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lockin_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/IrPrinter.cpp" "src/ir/CMakeFiles/lockin_ir.dir/IrPrinter.cpp.o" "gcc" "src/ir/CMakeFiles/lockin_ir.dir/IrPrinter.cpp.o.d"
+  "/root/repo/src/ir/Lowering.cpp" "src/ir/CMakeFiles/lockin_ir.dir/Lowering.cpp.o" "gcc" "src/ir/CMakeFiles/lockin_ir.dir/Lowering.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lang/CMakeFiles/lockin_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/lockin_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

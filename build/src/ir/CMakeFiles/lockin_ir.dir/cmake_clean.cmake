@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lockin_ir.dir/IrPrinter.cpp.o"
+  "CMakeFiles/lockin_ir.dir/IrPrinter.cpp.o.d"
+  "CMakeFiles/lockin_ir.dir/Lowering.cpp.o"
+  "CMakeFiles/lockin_ir.dir/Lowering.cpp.o.d"
+  "liblockin_ir.a"
+  "liblockin_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lockin_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

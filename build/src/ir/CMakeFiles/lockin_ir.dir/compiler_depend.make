@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for lockin_ir.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lockin_lang.dir/AstPrinter.cpp.o"
+  "CMakeFiles/lockin_lang.dir/AstPrinter.cpp.o.d"
+  "CMakeFiles/lockin_lang.dir/Lexer.cpp.o"
+  "CMakeFiles/lockin_lang.dir/Lexer.cpp.o.d"
+  "CMakeFiles/lockin_lang.dir/Parser.cpp.o"
+  "CMakeFiles/lockin_lang.dir/Parser.cpp.o.d"
+  "CMakeFiles/lockin_lang.dir/Sema.cpp.o"
+  "CMakeFiles/lockin_lang.dir/Sema.cpp.o.d"
+  "CMakeFiles/lockin_lang.dir/Type.cpp.o"
+  "CMakeFiles/lockin_lang.dir/Type.cpp.o.d"
+  "liblockin_lang.a"
+  "liblockin_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lockin_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/locks/ConcreteLock.cpp" "src/locks/CMakeFiles/lockin_locks.dir/ConcreteLock.cpp.o" "gcc" "src/locks/CMakeFiles/lockin_locks.dir/ConcreteLock.cpp.o.d"
+  "/root/repo/src/locks/LockExpr.cpp" "src/locks/CMakeFiles/lockin_locks.dir/LockExpr.cpp.o" "gcc" "src/locks/CMakeFiles/lockin_locks.dir/LockExpr.cpp.o.d"
+  "/root/repo/src/locks/LockName.cpp" "src/locks/CMakeFiles/lockin_locks.dir/LockName.cpp.o" "gcc" "src/locks/CMakeFiles/lockin_locks.dir/LockName.cpp.o.d"
+  "/root/repo/src/locks/Scheme.cpp" "src/locks/CMakeFiles/lockin_locks.dir/Scheme.cpp.o" "gcc" "src/locks/CMakeFiles/lockin_locks.dir/Scheme.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/lockin_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/pointsto/CMakeFiles/lockin_pointsto.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/lockin_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/lockin_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

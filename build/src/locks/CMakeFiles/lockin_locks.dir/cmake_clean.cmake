@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lockin_locks.dir/ConcreteLock.cpp.o"
+  "CMakeFiles/lockin_locks.dir/ConcreteLock.cpp.o.d"
+  "CMakeFiles/lockin_locks.dir/LockExpr.cpp.o"
+  "CMakeFiles/lockin_locks.dir/LockExpr.cpp.o.d"
+  "CMakeFiles/lockin_locks.dir/LockName.cpp.o"
+  "CMakeFiles/lockin_locks.dir/LockName.cpp.o.d"
+  "CMakeFiles/lockin_locks.dir/Scheme.cpp.o"
+  "CMakeFiles/lockin_locks.dir/Scheme.cpp.o.d"
+  "liblockin_locks.a"
+  "liblockin_locks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lockin_locks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

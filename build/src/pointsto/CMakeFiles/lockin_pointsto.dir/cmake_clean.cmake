@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lockin_pointsto.dir/Steensgaard.cpp.o"
+  "CMakeFiles/lockin_pointsto.dir/Steensgaard.cpp.o.d"
+  "liblockin_pointsto.a"
+  "liblockin_pointsto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lockin_pointsto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for lockin_pointsto.
+# This may be replaced when dependencies are built.

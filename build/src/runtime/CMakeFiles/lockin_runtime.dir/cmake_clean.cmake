@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lockin_runtime.dir/LockRuntime.cpp.o"
+  "CMakeFiles/lockin_runtime.dir/LockRuntime.cpp.o.d"
+  "liblockin_runtime.a"
+  "liblockin_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lockin_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

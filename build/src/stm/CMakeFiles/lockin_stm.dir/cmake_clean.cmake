@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lockin_stm.dir/Tl2.cpp.o"
+  "CMakeFiles/lockin_stm.dir/Tl2.cpp.o.d"
+  "liblockin_stm.a"
+  "liblockin_stm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lockin_stm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lockin_support.dir/Diagnostics.cpp.o"
+  "CMakeFiles/lockin_support.dir/Diagnostics.cpp.o.d"
+  "liblockin_support.a"
+  "liblockin_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lockin_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

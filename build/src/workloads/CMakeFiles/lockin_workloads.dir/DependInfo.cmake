@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/MicroBench.cpp" "src/workloads/CMakeFiles/lockin_workloads.dir/MicroBench.cpp.o" "gcc" "src/workloads/CMakeFiles/lockin_workloads.dir/MicroBench.cpp.o.d"
+  "/root/repo/src/workloads/SimExec.cpp" "src/workloads/CMakeFiles/lockin_workloads.dir/SimExec.cpp.o" "gcc" "src/workloads/CMakeFiles/lockin_workloads.dir/SimExec.cpp.o.d"
+  "/root/repo/src/workloads/SimWorkloads.cpp" "src/workloads/CMakeFiles/lockin_workloads.dir/SimWorkloads.cpp.o" "gcc" "src/workloads/CMakeFiles/lockin_workloads.dir/SimWorkloads.cpp.o.d"
+  "/root/repo/src/workloads/Stamp.cpp" "src/workloads/CMakeFiles/lockin_workloads.dir/Stamp.cpp.o" "gcc" "src/workloads/CMakeFiles/lockin_workloads.dir/Stamp.cpp.o.d"
+  "/root/repo/src/workloads/ToyPrograms.cpp" "src/workloads/CMakeFiles/lockin_workloads.dir/ToyPrograms.cpp.o" "gcc" "src/workloads/CMakeFiles/lockin_workloads.dir/ToyPrograms.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/lockin_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/stm/CMakeFiles/lockin_stm.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/lockin_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lockin_workloads.dir/MicroBench.cpp.o"
+  "CMakeFiles/lockin_workloads.dir/MicroBench.cpp.o.d"
+  "CMakeFiles/lockin_workloads.dir/SimExec.cpp.o"
+  "CMakeFiles/lockin_workloads.dir/SimExec.cpp.o.d"
+  "CMakeFiles/lockin_workloads.dir/SimWorkloads.cpp.o"
+  "CMakeFiles/lockin_workloads.dir/SimWorkloads.cpp.o.d"
+  "CMakeFiles/lockin_workloads.dir/Stamp.cpp.o"
+  "CMakeFiles/lockin_workloads.dir/Stamp.cpp.o.d"
+  "CMakeFiles/lockin_workloads.dir/ToyPrograms.cpp.o"
+  "CMakeFiles/lockin_workloads.dir/ToyPrograms.cpp.o.d"
+  "liblockin_workloads.a"
+  "liblockin_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lockin_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

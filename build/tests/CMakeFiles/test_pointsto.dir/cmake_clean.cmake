@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pointsto.dir/test_pointsto.cpp.o"
+  "CMakeFiles/test_pointsto.dir/test_pointsto.cpp.o.d"
+  "test_pointsto"
+  "test_pointsto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pointsto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_soundness.dir/test_soundness.cpp.o"
+  "CMakeFiles/test_soundness.dir/test_soundness.cpp.o.d"
+  "test_soundness"
+  "test_soundness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_soundness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
