@@ -1,0 +1,245 @@
+//===--- bench_runtime.cpp - Lock runtime microbenchmark -----------------------===//
+//
+// Part of the lockin project: lock inference for atomic sections.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Measures the §5 runtime itself, independent of any workload data
+/// structure: raw LockNode acquire/release cycles (the fast path the
+/// atomic-word rewrite targets) and full acquireAll/releaseAll sections
+/// across thread counts and access mixes. Emits machine-readable JSON
+/// (default `BENCH_runtime.json`) so the performance trajectory of the
+/// runtime is tracked from PR to PR.
+///
+/// Scenarios:
+///   uncontended_node_{S,X}  one thread, one LockNode, acquire+release
+///   uncontended_section     one thread, one fine rw lock per section
+///   read_mostly             90% fine ro / 10% fine rw, 256 addresses
+///   write_heavy             30% fine ro / 70% fine rw, 256 addresses
+///   mixed_grain             60% fine, 30% coarse ro, 10% coarse rw
+///
+/// Each multi-threaded scenario runs at 1, 4, and 16 threads and reports
+/// throughput (sections/s) plus p50/p99 per-section latency.
+///
+//===----------------------------------------------------------------------===//
+
+#include "runtime/LockRuntime.h"
+#include "support/Rng.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace lockin;
+using namespace lockin::rt;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct Result {
+  std::string Scenario;
+  unsigned Threads = 1;
+  uint64_t Ops = 0;
+  double ThroughputOpsPerSec = 0;
+  uint64_t P50Ns = 0;
+  uint64_t P99Ns = 0;
+};
+
+uint64_t percentile(std::vector<uint64_t> &Samples, double P) {
+  if (Samples.empty())
+    return 0;
+  size_t Idx = static_cast<size_t>(P * static_cast<double>(Samples.size() - 1));
+  std::nth_element(Samples.begin(), Samples.begin() + Idx, Samples.end());
+  return Samples[Idx];
+}
+
+/// Raw single-node acquire/release pairs: the uncontended fast path.
+Result benchUncontendedNode(Mode M, const char *Name, uint64_t Ops) {
+  LockNode Node;
+  // Warm up.
+  for (unsigned I = 0; I < 1000; ++I) {
+    Node.acquire(M);
+    Node.release(M);
+  }
+  auto Start = Clock::now();
+  for (uint64_t I = 0; I < Ops; ++I) {
+    Node.acquire(M);
+    Node.release(M);
+  }
+  auto End = Clock::now();
+  double Secs = std::chrono::duration<double>(End - Start).count();
+  Result R;
+  R.Scenario = Name;
+  R.Ops = Ops;
+  R.ThroughputOpsPerSec = static_cast<double>(Ops) / Secs;
+  uint64_t AvgNs = static_cast<uint64_t>(Secs * 1e9 / static_cast<double>(Ops));
+  R.P50Ns = R.P99Ns = AvgNs; // per-pair timing would dominate; report mean
+  return R;
+}
+
+/// One full section (toAcquire + acquireAll + releaseAll) per op.
+/// Mix: percentage split between fine ro / fine rw / coarse ro / coarse rw.
+struct Mix {
+  unsigned FineRo = 0, FineRw = 0, CoarseRo = 0, CoarseRw = 0; // sums to 100
+};
+
+Result benchSections(const char *Name, unsigned NumThreads, Mix M,
+                     uint64_t OpsPerThread, unsigned NumAddrs = 256) {
+  constexpr unsigned NumRegions = 4;
+  constexpr uint64_t LatSampleEvery = 16; // power of two
+  LockRuntime RT(NumRegions);
+  std::vector<std::vector<uint64_t>> Lat(NumThreads);
+
+  // Pregenerate each thread's descriptor stream so the timed loop
+  // measures the runtime, not the RNG.
+  std::vector<std::vector<LockDescriptor>> Streams(NumThreads);
+  for (unsigned T = 0; T < NumThreads; ++T) {
+    Rng R(0xbead + T);
+    std::vector<LockDescriptor> &S = Streams[T];
+    S.reserve(OpsPerThread);
+    for (uint64_t I = 0; I < OpsPerThread; ++I) {
+      uint64_t Addr = 0x1000 + R.below(NumAddrs) * 8;
+      uint32_t Region = static_cast<uint32_t>(Addr / 8 % NumRegions);
+      unsigned Roll = static_cast<unsigned>(R.below(100));
+      if (Roll < M.FineRo)
+        S.push_back(LockDescriptor::fine(Region, Addr, false));
+      else if (Roll < M.FineRo + M.FineRw)
+        S.push_back(LockDescriptor::fine(Region, Addr, true));
+      else if (Roll < M.FineRo + M.FineRw + M.CoarseRo)
+        S.push_back(LockDescriptor::coarse(Region, false));
+      else
+        S.push_back(LockDescriptor::coarse(Region, true));
+    }
+  }
+
+  std::vector<std::thread> Threads;
+  auto Start = Clock::now();
+  for (unsigned T = 0; T < NumThreads; ++T) {
+    Threads.emplace_back([&, T] {
+      ThreadLockContext Ctx(RT);
+      const std::vector<LockDescriptor> &S = Streams[T];
+      std::vector<uint64_t> &MyLat = Lat[T];
+      MyLat.reserve(OpsPerThread / LatSampleEvery + 1);
+      for (uint64_t I = 0; I < OpsPerThread; ++I) {
+        // Sample latency sparsely so the clock reads don't dominate the
+        // throughput measurement (a clock_gettime pair costs more than
+        // an uncontended section).
+        bool Sample = (I & (LatSampleEvery - 1)) == 0;
+        Clock::time_point T0;
+        if (Sample)
+          T0 = Clock::now();
+        Ctx.toAcquire(S[I]);
+        Ctx.acquireAll();
+        Ctx.releaseAll();
+        if (Sample)
+          MyLat.push_back(static_cast<uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  Clock::now() - T0)
+                  .count()));
+      }
+    });
+  }
+  for (std::thread &T : Threads)
+    T.join();
+  auto End = Clock::now();
+  double Secs = std::chrono::duration<double>(End - Start).count();
+
+  std::vector<uint64_t> All;
+  All.reserve(NumThreads * (OpsPerThread / LatSampleEvery + 1));
+  for (std::vector<uint64_t> &L : Lat)
+    All.insert(All.end(), L.begin(), L.end());
+  Result R;
+  R.Scenario = Name;
+  R.Threads = NumThreads;
+  R.Ops = static_cast<uint64_t>(NumThreads) * OpsPerThread;
+  R.ThroughputOpsPerSec = static_cast<double>(R.Ops) / Secs;
+  R.P50Ns = percentile(All, 0.50);
+  R.P99Ns = percentile(All, 0.99);
+  return R;
+}
+
+bool emitJson(const std::vector<Result> &Results, const std::string &Path) {
+  FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F) {
+    std::perror("bench_runtime: open output");
+    return false;
+  }
+  std::fprintf(F, "{\n  \"bench\": \"runtime\",\n  \"schema\": 1,\n"
+                  "  \"results\": [\n");
+  for (size_t I = 0; I < Results.size(); ++I) {
+    const Result &R = Results[I];
+    std::fprintf(F,
+                 "    {\"scenario\": \"%s\", \"threads\": %u, \"ops\": %llu, "
+                 "\"throughput_ops_per_sec\": %.0f, \"p50_ns\": %llu, "
+                 "\"p99_ns\": %llu}%s\n",
+                 R.Scenario.c_str(), R.Threads,
+                 static_cast<unsigned long long>(R.Ops), R.ThroughputOpsPerSec,
+                 static_cast<unsigned long long>(R.P50Ns),
+                 static_cast<unsigned long long>(R.P99Ns),
+                 I + 1 < Results.size() ? "," : "");
+  }
+  std::fprintf(F, "  ]\n}\n");
+  std::fclose(F);
+  return true;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string OutPath = "BENCH_runtime.json";
+  uint64_t Scale = 1; // divide op counts, for smoke runs
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--out") == 0) {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "bench_runtime: --out requires a path\n");
+        return 2;
+      }
+      OutPath = Argv[++I];
+    } else if (std::strcmp(Argv[I], "--quick") == 0) {
+      Scale = 20;
+    } else {
+      std::fprintf(stderr, "bench_runtime: unknown option '%s'\n", Argv[I]);
+      std::fprintf(stderr, "usage: bench_runtime [--quick] [--out <path>]\n");
+      return 2;
+    }
+  }
+
+  std::vector<Result> Results;
+  std::printf("%-24s %8s %12s %16s %10s %10s\n", "scenario", "threads", "ops",
+              "ops/sec", "p50(ns)", "p99(ns)");
+  auto Report = [&](Result R) {
+    std::printf("%-24s %8u %12llu %16.0f %10llu %10llu\n", R.Scenario.c_str(),
+                R.Threads, static_cast<unsigned long long>(R.Ops),
+                R.ThroughputOpsPerSec, static_cast<unsigned long long>(R.P50Ns),
+                static_cast<unsigned long long>(R.P99Ns));
+    Results.push_back(std::move(R));
+  };
+
+  Report(benchUncontendedNode(Mode::S, "uncontended_node_S", 2000000 / Scale));
+  Report(benchUncontendedNode(Mode::X, "uncontended_node_X", 2000000 / Scale));
+  // A 16-address hot set: the steady-state repeat-section case the
+  // per-thread leaf cache targets.
+  Report(benchSections("uncontended_section", 1, Mix{0, 100, 0, 0},
+                       400000 / Scale, 16));
+
+  const Mix ReadMostly{90, 10, 0, 0};
+  const Mix WriteHeavy{30, 70, 0, 0};
+  const Mix MixedGrain{40, 20, 30, 10};
+  for (unsigned Threads : {1u, 4u, 16u}) {
+    uint64_t PerThread = 200000 / Threads / Scale;
+    Report(benchSections("read_mostly", Threads, ReadMostly, PerThread));
+    Report(benchSections("write_heavy", Threads, WriteHeavy, PerThread));
+    Report(benchSections("mixed_grain", Threads, MixedGrain, PerThread));
+  }
+
+  if (!emitJson(Results, OutPath))
+    return 1;
+  std::printf("wrote %s\n", OutPath.c_str());
+  return 0;
+}

@@ -9,6 +9,8 @@
 
 #include "runtime/Mode.h"
 
+#include <atomic>
+#include <cassert>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -17,57 +19,177 @@
 namespace lockin {
 namespace rt {
 
+namespace detail {
+inline void cpuRelax() {
+#if defined(__x86_64__) || defined(__i386__)
+  asm volatile("pause");
+#elif defined(__aarch64__)
+  asm volatile("yield");
+#endif
+}
+} // namespace detail
+
 /// A blocking multi-mode lock: one node of the tree hierarchy
 /// (root ⊤ → region → address). Requests are granted FIFO — a request
 /// waits until it is at the head of the queue and compatible with every
 /// currently granted mode — which prevents writer starvation while still
 /// letting compatible holders (e.g. many S readers) overlap.
+///
+/// The whole grant state lives in one atomic word: a 12-bit grant count
+/// per mode (IS, IX, S, SIX, X) plus a has-waiters bit. Uncontended
+/// acquire is a single CAS (compatibility is one AND against a
+/// precomputed conflict mask) and uncontended release a single fetch_sub;
+/// neither touches the mutex or the condition variable. A request that
+/// observes a conflict — or the waiter bit, which means barging would
+/// overtake parked threads — spins briefly and then parks on the FIFO
+/// ticket queue of the original design. Releases notify only when the
+/// waiter bit was set, so uncontended sections never pay a wakeup.
 class LockNode {
 public:
   /// Blocks until the node is granted in \p M.
   void acquire(Mode M) {
-    std::unique_lock<std::mutex> Lock(Mu);
-    uint64_t Ticket = NextTicket++;
-    Waiters.push_back({Ticket, M});
-    CV.wait(Lock, [&] {
-      return Waiters.front().Ticket == Ticket && compatibleWithGranted(M);
-    });
-    Waiters.pop_front();
-    ++Granted[static_cast<unsigned>(M)];
-    // The next waiter may also be compatible (e.g. another reader).
-    CV.notify_all();
+    if (fastAcquire(M))
+      return;
+    slowAcquire(M);
   }
 
   /// Releases one grant of \p M.
   void release(Mode M) {
-    {
+    uint64_t Prev = Word.fetch_sub(grantOne(M), std::memory_order_acq_rel);
+    assert((Prev & grantMask(M)) != 0 && "release without matching grant");
+    if (Prev & WaiterBit) {
+      // Taking the mutex before notifying closes the race with a waiter
+      // that evaluated its predicate (pre-decrement) but has not yet
+      // blocked: it still holds the mutex at that point.
       std::lock_guard<std::mutex> Lock(Mu);
-      --Granted[static_cast<unsigned>(M)];
+      CV.notify_all();
     }
-    CV.notify_all();
   }
 
-  /// Non-blocking variant; used by tests.
+  /// Non-blocking variant; fails when the node is incompatible or any
+  /// thread is parked (queue-jumping would break FIFO).
   bool tryAcquire(Mode M) {
-    std::lock_guard<std::mutex> Lock(Mu);
-    if (!Waiters.empty() || !compatibleWithGranted(M))
-      return false;
-    ++Granted[static_cast<unsigned>(M)];
-    return true;
+    uint64_t W = Word.load(std::memory_order_relaxed);
+    while (!(W & (WaiterBit | conflictMask(M)))) {
+      if (Word.compare_exchange_weak(W, W + grantOne(M),
+                                     std::memory_order_acquire,
+                                     std::memory_order_relaxed))
+        return true;
+    }
+    return false;
   }
 
   /// Number of current grants of \p M (diagnostics/tests only).
-  unsigned grantedCount(Mode M) {
-    std::lock_guard<std::mutex> Lock(Mu);
-    return Granted[static_cast<unsigned>(M)];
+  unsigned grantedCount(Mode M) const {
+    uint64_t W = Word.load(std::memory_order_acquire);
+    return static_cast<unsigned>((W >> countShift(M)) & CountMask);
   }
 
 private:
-  bool compatibleWithGranted(Mode M) const {
+  // Word layout: five 12-bit grant counts (mode i at bits [12i, 12i+12))
+  // and the has-waiters bit above them. 12 bits bound concurrent holders
+  // per mode at 4095, far above any realistic thread count.
+  static constexpr unsigned BitsPerMode = 12;
+  static constexpr uint64_t CountMask = (1ull << BitsPerMode) - 1;
+  static constexpr uint64_t WaiterBit = 1ull << (BitsPerMode * NumModes);
+  static constexpr unsigned SpinLimit = 48;
+
+  static constexpr unsigned countShift(Mode M) {
+    return static_cast<unsigned>(M) * BitsPerMode;
+  }
+  static constexpr uint64_t grantOne(Mode M) { return 1ull << countShift(M); }
+  static constexpr uint64_t grantMask(Mode M) {
+    return CountMask << countShift(M);
+  }
+
+  /// All-ones across the count fields of every mode incompatible with
+  /// \p M: `word & conflictMask(M) == 0` ⇔ M is compatible with every
+  /// currently granted mode.
+  static constexpr uint64_t conflictMaskFor(Mode M) {
+    uint64_t Mask = 0;
+    uint8_t Bits = modeConflictSet(M);
     for (unsigned I = 0; I < NumModes; ++I)
-      if (Granted[I] != 0 && !modesCompatible(M, static_cast<Mode>(I)))
+      if (Bits & (1u << I))
+        Mask |= CountMask << (I * BitsPerMode);
+    return Mask;
+  }
+  static uint64_t conflictMask(Mode M) {
+    static constexpr uint64_t Table[NumModes] = {
+        conflictMaskFor(Mode::IS), conflictMaskFor(Mode::IX),
+        conflictMaskFor(Mode::S), conflictMaskFor(Mode::SIX),
+        conflictMaskFor(Mode::X)};
+    return Table[static_cast<unsigned>(M)];
+  }
+
+  bool fastAcquire(Mode M) {
+    const uint64_t Conflicts = conflictMask(M);
+    const uint64_t One = grantOne(M);
+    unsigned Budget = SpinLimit;
+    for (;;) {
+      // Optimistic: add the grant first and validate against the
+      // *pre-add* value, so the uncontended acquire is one fetch_add
+      // rather than load + CAS. The RMW order totally orders racing
+      // optimists — the first one sees a clean word and keeps its grant,
+      // later incompatible ones see the winner and undo, so there is no
+      // mutual kill. A transient optimistic grant can only make a
+      // concurrent compatibility check conservatively fail, never
+      // wrongly succeed.
+      uint64_t W = Word.fetch_add(One, std::memory_order_acquire);
+      assert((W & grantMask(M)) != grantMask(M) && "grant count overflow");
+      if (!(W & (Conflicts | WaiterBit)))
+        return true;
+      uint64_t Prev = Word.fetch_sub(One, std::memory_order_acq_rel);
+      if (Prev & WaiterBit) {
+        // Our phantom grant may have made the queue head's own grant
+        // attempt fail; re-notify so it retries.
+        std::lock_guard<std::mutex> Lock(Mu);
+        CV.notify_all();
+      }
+      if (W & WaiterBit)
+        return false; // parked waiters have priority: join the queue
+      // Conflict: spin on plain loads until it clears, then retry the
+      // optimistic add; park once the budget runs out.
+      for (;;) {
+        if (Budget-- == 0)
+          return false;
+        W = Word.load(std::memory_order_relaxed);
+        if (W & WaiterBit)
+          return false;
+        if (!(W & Conflicts))
+          break;
+        detail::cpuRelax();
+      }
+    }
+  }
+
+  void slowAcquire(Mode M) {
+    const uint64_t Conflicts = conflictMask(M);
+    const uint64_t One = grantOne(M);
+    std::unique_lock<std::mutex> Lock(Mu);
+    uint64_t Ticket = NextTicket++;
+    Waiters.push_back({Ticket, M});
+    // RMW, not store: fast-path CASes concurrently mutate the counts.
+    Word.fetch_or(WaiterBit, std::memory_order_relaxed);
+    CV.wait(Lock, [&] {
+      if (Waiters.front().Ticket != Ticket)
         return false;
-    return true;
+      // Head of the queue: claim the grant with the same CAS the fast
+      // path uses, so the check and the grant are one atomic step even
+      // against fast-path acquirers on other threads.
+      uint64_t W = Word.load(std::memory_order_relaxed);
+      while (!(W & Conflicts)) {
+        if (Word.compare_exchange_weak(W, W + One, std::memory_order_acquire,
+                                       std::memory_order_relaxed))
+          return true;
+        detail::cpuRelax();
+      }
+      return false;
+    });
+    Waiters.pop_front();
+    if (Waiters.empty())
+      Word.fetch_and(~WaiterBit, std::memory_order_relaxed);
+    // The next waiter may also be compatible (e.g. another reader).
+    CV.notify_all();
   }
 
   struct Waiter {
@@ -75,10 +197,10 @@ private:
     Mode M;
   };
 
-  std::mutex Mu;
+  std::atomic<uint64_t> Word{0};
+  std::mutex Mu;                // guards Waiters/NextTicket + CV protocol
   std::condition_variable CV;
   std::deque<Waiter> Waiters;
-  unsigned Granted[NumModes] = {0, 0, 0, 0, 0};
   uint64_t NextTicket = 0;
 };
 

@@ -8,7 +8,6 @@
 
 #include <algorithm>
 #include <cassert>
-#include <map>
 
 using namespace lockin;
 using namespace lockin::rt;
@@ -25,9 +24,10 @@ LockNode &LockRuntime::regionNode(uint32_t Region) {
 }
 
 LockNode &LockRuntime::leafNode(uint32_t Region, uint64_t Address) {
-  Shard &S = Shards[(Address ^ Region) % NumShards];
+  LeafKey Key{Region, Address};
+  Shard &S = Shards[LeafKeyHash{}(Key) & (NumShards - 1)];
   std::lock_guard<std::mutex> Lock(S.Mu);
-  std::unique_ptr<LockNode> &Slot = S.Leaves[LeafKey{Region, Address}];
+  std::unique_ptr<LockNode> &Slot = S.Leaves[Key];
   if (!Slot)
     Slot = std::make_unique<LockNode>();
   return *Slot;
@@ -35,35 +35,21 @@ LockNode &LockRuntime::leafNode(uint32_t Region, uint64_t Address) {
 
 ThreadLockContext::~ThreadLockContext() {
   assert(HeldNodes.empty() && "thread exited while holding locks");
+  flushStats();
 }
 
-void ThreadLockContext::toAcquire(const LockDescriptor &D) {
-  if (NLevel > 0)
-    return; // inner section: the outer section's locks already protect it
-  Pending.push_back(D);
-}
-
-void ThreadLockContext::acquireAll() {
-  if (NLevel++ > 0) {
-    RT.stats().NestedSkips.fetch_add(1, std::memory_order_relaxed);
-    Pending.clear();
-    return;
-  }
-  RT.stats().AcquireAllCalls.fetch_add(1, std::memory_order_relaxed);
-
+// The general multi-descriptor path; the single-descriptor fast path
+// lives inline in the header.
+void ThreadLockContext::acquireAllSlow() {
   // Phase 1: fold the pending descriptors into the required mode at every
-  // node of the hierarchy.
+  // node of the hierarchy, on reusable scratch vectors (no allocation
+  // once their capacity has grown to the section's working-set size).
   bool NeedRootX = false;
   Mode RootMode = Mode::IS;
   bool RootUsed = false;
-  std::map<uint32_t, Mode> RegionModes;             // ascending region id
-  std::map<std::pair<uint32_t, uint64_t>, Mode> LeafModes; // (region, addr)
+  RegionScratch.clear();
+  LeafScratch.clear();
 
-  auto FoldRegion = [&](uint32_t Region, Mode M) {
-    auto [It, Inserted] = RegionModes.try_emplace(Region, M);
-    if (!Inserted)
-      It->second = combineModes(It->second, M);
-  };
   auto FoldRoot = [&](Mode M) {
     RootMode = RootUsed ? combineModes(RootMode, M) : M;
     RootUsed = true;
@@ -76,52 +62,115 @@ void ThreadLockContext::acquireAll() {
       break;
     case LockDescriptor::Kind::Coarse:
       FoldRoot(D.Write ? Mode::IX : Mode::IS);
-      FoldRegion(D.Region, D.Write ? Mode::X : Mode::S);
+      RegionScratch.push_back({D.Region, D.Write ? Mode::X : Mode::S});
       break;
-    case LockDescriptor::Kind::Fine: {
+    case LockDescriptor::Kind::Fine:
       FoldRoot(D.Write ? Mode::IX : Mode::IS);
-      FoldRegion(D.Region, D.Write ? Mode::IX : Mode::IS);
-      auto Key = std::make_pair(D.Region, D.Address);
-      Mode M = D.Write ? Mode::X : Mode::S;
-      auto [It, Inserted] = LeafModes.try_emplace(Key, M);
-      if (!Inserted)
-        It->second = combineModes(It->second, M);
+      RegionScratch.push_back({D.Region, D.Write ? Mode::IX : Mode::IS});
+      LeafScratch.push_back(
+          {D.Region, D.Address, D.Write ? Mode::X : Mode::S});
       break;
-    }
     }
   }
   if (NeedRootX) {
     RootMode = Mode::X;
     RootUsed = true;
     // Root X subsumes every descendant; no other node is needed.
-    RegionModes.clear();
-    LeafModes.clear();
+    RegionScratch.clear();
+    LeafScratch.clear();
+  } else {
+    // Sort into the global acquisition order, then merge duplicate keys
+    // in place with the mode join.
+    std::sort(RegionScratch.begin(), RegionScratch.end(),
+              [](const RegionReq &A, const RegionReq &B) {
+                return A.Region < B.Region;
+              });
+    size_t Out = 0;
+    for (size_t I = 0; I < RegionScratch.size(); ++I) {
+      if (Out > 0 && RegionScratch[Out - 1].Region == RegionScratch[I].Region)
+        RegionScratch[Out - 1].M =
+            combineModes(RegionScratch[Out - 1].M, RegionScratch[I].M);
+      else
+        RegionScratch[Out++] = RegionScratch[I];
+    }
+    RegionScratch.resize(Out);
+
+    std::sort(LeafScratch.begin(), LeafScratch.end(),
+              [](const LeafReq &A, const LeafReq &B) {
+                return A.Region != B.Region ? A.Region < B.Region
+                                            : A.Address < B.Address;
+              });
+    Out = 0;
+    for (size_t I = 0; I < LeafScratch.size(); ++I) {
+      if (Out > 0 && LeafScratch[Out - 1].Region == LeafScratch[I].Region &&
+          LeafScratch[Out - 1].Address == LeafScratch[I].Address)
+        LeafScratch[Out - 1].M =
+            combineModes(LeafScratch[Out - 1].M, LeafScratch[I].M);
+      else
+        LeafScratch[Out++] = LeafScratch[I];
+    }
+    LeafScratch.resize(Out);
   }
 
   // Phase 2: acquire top-down in the global total order.
-  auto Grab = [&](LockNode &Node, Mode M) {
-    Node.acquire(M);
-    HeldNodes.push_back({&Node, M});
-    RT.stats().NodeAcquisitions.fetch_add(1, std::memory_order_relaxed);
-  };
   if (RootUsed)
-    Grab(RT.root(), RootMode);
-  for (const auto &[Region, M] : RegionModes)
-    Grab(RT.regionNode(Region), M);
-  for (const auto &[Key, M] : LeafModes)
-    Grab(RT.leafNode(Key.first, Key.second), M);
+    grab(RT.root(), RootMode);
+  for (const RegionReq &R : RegionScratch)
+    grab(RT.regionNode(R.Region), R.M);
+  for (const LeafReq &L : LeafScratch)
+    grab(cachedLeaf(L.Region, L.Address), L.M);
+  statAdd(LStats.NodeAcquisitions, HeldNodes.size());
 
-  HeldDescriptors = std::move(Pending);
+  // Swap, not move: the old HeldDescriptors buffer becomes the next
+  // section's Pending buffer, so neither side reallocates in steady
+  // state.
+  std::swap(HeldDescriptors, Pending);
   Pending.clear();
+  buildCoverIndex();
 }
 
-void ThreadLockContext::releaseAll() {
-  assert(NLevel > 0 && "releaseAll without matching acquireAll");
-  if (--NLevel > 0)
-    return;
-  // Bottom-up release: reverse acquisition order.
-  for (size_t I = HeldNodes.size(); I-- > 0;)
-    HeldNodes[I].Node->release(HeldNodes[I].M);
-  HeldNodes.clear();
-  HeldDescriptors.clear();
+void ThreadLockContext::buildCoverIndex() {
+  HasGlobal = false;
+  HasGlobalWrite = false;
+  CoarseIndex.clear();
+  FineIndex.clear();
+  for (const LockDescriptor &D : HeldDescriptors) {
+    switch (D.K) {
+    case LockDescriptor::Kind::Global:
+      HasGlobal = true;
+      HasGlobalWrite |= D.Write;
+      break;
+    case LockDescriptor::Kind::Coarse:
+      CoarseIndex.push_back({D.Region, D.Write});
+      break;
+    case LockDescriptor::Kind::Fine:
+      FineIndex.push_back({D.Address, D.Write});
+      break;
+    }
+  }
+  std::sort(CoarseIndex.begin(), CoarseIndex.end(),
+            [](const CoarseCover &A, const CoarseCover &B) {
+              return A.Region < B.Region;
+            });
+  size_t Out = 0;
+  for (size_t I = 0; I < CoarseIndex.size(); ++I) {
+    if (Out > 0 && CoarseIndex[Out - 1].Region == CoarseIndex[I].Region)
+      CoarseIndex[Out - 1].Write |= CoarseIndex[I].Write;
+    else
+      CoarseIndex[Out++] = CoarseIndex[I];
+  }
+  CoarseIndex.resize(Out);
+
+  std::sort(FineIndex.begin(), FineIndex.end(),
+            [](const FineCover &A, const FineCover &B) {
+              return A.Address < B.Address;
+            });
+  Out = 0;
+  for (size_t I = 0; I < FineIndex.size(); ++I) {
+    if (Out > 0 && FineIndex[Out - 1].Address == FineIndex[I].Address)
+      FineIndex[Out - 1].Write |= FineIndex[I].Write;
+    else
+      FineIndex[Out++] = FineIndex[I];
+  }
+  FineIndex.resize(Out);
 }

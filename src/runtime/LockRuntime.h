@@ -17,6 +17,12 @@
 /// Locks are released bottom-up at release-all. Nested sections are
 /// handled with the per-thread nesting counter of §5.3.
 ///
+/// Fast path (see DESIGN.md "Runtime fast path"): the per-call mode
+/// folding runs on reusable per-context scratch vectors (steady-state
+/// acquire-all performs zero heap allocations), repeat leaf lookups hit a
+/// per-thread direct-mapped cache instead of the sharded table, and the
+/// per-access cover check is a binary search over a sorted index.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef LOCKIN_RUNTIME_LOCKRUNTIME_H
@@ -24,6 +30,8 @@
 
 #include "runtime/LockNode.h"
 
+#include <algorithm>
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <memory>
@@ -68,11 +76,18 @@ struct LockDescriptor {
   }
 };
 
-/// Aggregate protocol statistics (for the ablation benchmark).
+/// Aggregate protocol statistics (for the ablation benchmark). Contexts
+/// buffer counts in plain per-thread cells and flush them here on
+/// destruction (or an explicit flushStats()), so the steady-state fast
+/// path performs no shared atomic RMWs at all. Recording is compiled out
+/// entirely when the LOCKIN_RUNTIME_STATS CMake option is OFF; the
+/// struct itself stays so callers compile either way.
 struct LockRuntimeStats {
   std::atomic<uint64_t> AcquireAllCalls{0};
   std::atomic<uint64_t> NodeAcquisitions{0};
   std::atomic<uint64_t> NestedSkips{0};
+  std::atomic<uint64_t> LeafCacheHits{0};
+  std::atomic<uint64_t> LeafCacheMisses{0};
 };
 
 /// Shared lock table for one program run. Threads interact through
@@ -86,8 +101,9 @@ public:
   LockNode &regionNode(uint32_t Region);
   /// The leaf node for \p Address under \p Region, created on first use
   /// (never freed; leaf count is bounded by the number of distinct locked
-  /// addresses). Leaves are children of their region node, so the pair is
-  /// the identity.
+  /// addresses — which is what makes per-thread pointer caching sound).
+  /// Leaves are children of their region node, so the pair is the
+  /// identity.
   LockNode &leafNode(uint32_t Region, uint64_t Address);
 
   unsigned numRegions() const {
@@ -96,10 +112,6 @@ public:
 
   LockRuntimeStats &stats() { return Stats; }
 
-private:
-  LockNode Root;
-  std::vector<std::unique_ptr<LockNode>> Regions;
-
   struct LeafKey {
     uint32_t Region;
     uint64_t Address;
@@ -107,11 +119,22 @@ private:
   };
   struct LeafKeyHash {
     size_t operator()(const LeafKey &Key) const {
-      return (Key.Address * 0x9e3779b97f4a7c15ULL) ^ Key.Region;
+      // Fibonacci-multiply then fold the high bits down: the shard index
+      // takes the LOW bits, and for aligned addresses the low product
+      // bits barely vary, so fold before masking.
+      uint64_t H = (Key.Address + 0x9e3779b97f4a7c15ULL * (Key.Region + 1)) *
+                   0x9e3779b97f4a7c15ULL;
+      return static_cast<size_t>(H ^ (H >> 32));
     }
   };
 
+private:
+  LockNode Root;
+  std::vector<std::unique_ptr<LockNode>> Regions;
+
   static constexpr unsigned NumShards = 64;
+  static_assert((NumShards & (NumShards - 1)) == 0,
+                "shard index uses a power-of-two mask");
   struct Shard {
     std::mutex Mu;
     std::unordered_map<LeafKey, std::unique_ptr<LockNode>, LeafKeyHash>
@@ -133,15 +156,67 @@ public:
   ThreadLockContext &operator=(const ThreadLockContext &) = delete;
 
   /// Adds \p D to the pending list (the *to-acquire* call).
-  void toAcquire(const LockDescriptor &D);
+  void toAcquire(const LockDescriptor &D) {
+    if (NLevel > 0)
+      return; // inner section: the outer section's locks already protect it
+    Pending.push_back(D);
+  }
 
   /// Acquires every pending lock using the multi-grain protocol. Nested
-  /// calls (nesting level > 0) acquire nothing (§5.3).
-  void acquireAll();
+  /// calls (nesting level > 0) acquire nothing (§5.3). Single-descriptor
+  /// sections — the overwhelmingly common case, one inferred lock per
+  /// section — inline into a fixed two/three-node walk; everything else
+  /// goes through the general fold in acquireAllSlow.
+  void acquireAll() {
+    if (NLevel++ > 0) {
+      statInc(LStats.NestedSkips);
+      Pending.clear();
+      return;
+    }
+    statInc(LStats.AcquireAllCalls);
+    // The cover index and HeldNodes are invariably empty here: the
+    // outermost acquireAll always follows a full releaseAll (or a fresh
+    // context), so nothing needs clearing on this path.
+    if (Pending.size() == 1 &&
+        Pending[0].K != LockDescriptor::Kind::Global) {
+      const LockDescriptor &D = Pending[0];
+      if (D.K == LockDescriptor::Kind::Coarse) {
+        grab(RT.root(), D.Write ? Mode::IX : Mode::IS);
+        grab(RT.regionNode(D.Region), D.Write ? Mode::X : Mode::S);
+        CoarseIndex.push_back({D.Region, D.Write});
+      } else {
+        grab(RT.root(), D.Write ? Mode::IX : Mode::IS);
+        grab(RT.regionNode(D.Region), D.Write ? Mode::IX : Mode::IS);
+        grab(cachedLeaf(D.Region, D.Address), D.Write ? Mode::X : Mode::S);
+        FineIndex.push_back({D.Address, D.Write});
+      }
+      statAdd(LStats.NodeAcquisitions, HeldNodes.size());
+      // Swap, not move: the old HeldDescriptors buffer becomes the next
+      // section's Pending buffer, so neither side reallocates in steady
+      // state.
+      std::swap(HeldDescriptors, Pending);
+      Pending.clear();
+      return;
+    }
+    acquireAllSlow();
+  }
 
   /// Releases all locks held by this thread, bottom-up. Inner nested
   /// sections only decrement the nesting counter.
-  void releaseAll();
+  void releaseAll() {
+    assert(NLevel > 0 && "releaseAll without matching acquireAll");
+    if (--NLevel > 0)
+      return;
+    // Bottom-up release: reverse acquisition order.
+    for (size_t I = HeldNodes.size(); I-- > 0;)
+      HeldNodes[I].Node->release(HeldNodes[I].M);
+    HeldNodes.clear();
+    HeldDescriptors.clear();
+    HasGlobal = false;
+    HasGlobalWrite = false;
+    CoarseIndex.clear();
+    FineIndex.clear();
+  }
 
   /// Descriptors currently protected (outermost section), for the
   /// checking interpreter.
@@ -150,27 +225,145 @@ public:
   }
 
   /// True if the held set permits the access (checking semantics, §4.2).
+  /// Binary search over the cover index built at acquireAll — this runs
+  /// once per memory access in the checking interpreter.
   bool coversAccess(uint64_t Addr, uint32_t Region, bool IsWrite) const {
-    for (const LockDescriptor &D : HeldDescriptors)
-      if (D.covers(Addr, Region, IsWrite))
-        return true;
-    return false;
+    if (HasGlobalWrite || (HasGlobal && !IsWrite))
+      return true;
+    auto C = std::lower_bound(
+        CoarseIndex.begin(), CoarseIndex.end(), Region,
+        [](const CoarseCover &E, uint32_t R) { return E.Region < R; });
+    if (C != CoarseIndex.end() && C->Region == Region &&
+        (C->Write || !IsWrite))
+      return true;
+    auto F = std::lower_bound(
+        FineIndex.begin(), FineIndex.end(), Addr,
+        [](const FineCover &E, uint64_t A) { return E.Address < A; });
+    return F != FineIndex.end() && F->Address == Addr &&
+           (F->Write || !IsWrite);
   }
 
   int nestingLevel() const { return NLevel; }
   bool insideAtomic() const { return NLevel > 0; }
+
+  /// Adds this context's buffered statistics to the shared
+  /// LockRuntimeStats aggregate. Called automatically on destruction;
+  /// call explicitly to observe exact counts while the context lives.
+  void flushStats() {
+#if defined(LOCKIN_RUNTIME_STATS) && LOCKIN_RUNTIME_STATS
+    LockRuntimeStats &S = RT.stats();
+    S.AcquireAllCalls.fetch_add(LStats.AcquireAllCalls,
+                                std::memory_order_relaxed);
+    S.NodeAcquisitions.fetch_add(LStats.NodeAcquisitions,
+                                 std::memory_order_relaxed);
+    S.NestedSkips.fetch_add(LStats.NestedSkips, std::memory_order_relaxed);
+    S.LeafCacheHits.fetch_add(LStats.LeafCacheHits,
+                              std::memory_order_relaxed);
+    S.LeafCacheMisses.fetch_add(LStats.LeafCacheMisses,
+                                std::memory_order_relaxed);
+    LStats = {};
+#endif
+  }
 
 private:
   struct HeldNode {
     LockNode *Node;
     Mode M;
   };
+  /// Scratch entries for the per-call mode fold; the vectors keep their
+  /// capacity across sections, so steady-state acquireAll is
+  /// allocation-free.
+  struct RegionReq {
+    uint32_t Region;
+    Mode M;
+  };
+  struct LeafReq {
+    uint32_t Region;
+    uint64_t Address;
+    Mode M;
+  };
+  /// Cover-index entries (write flag is the OR of the merged
+  /// descriptors: a rw lock also covers reads).
+  struct CoarseCover {
+    uint32_t Region;
+    bool Write;
+  };
+  struct FineCover {
+    uint64_t Address;
+    bool Write;
+  };
+
+  /// Per-context stat cells: plain increments here, one batched atomic
+  /// flush per context lifetime (see flushStats). Mirrors
+  /// LockRuntimeStats field for field.
+  struct LocalStats {
+    uint64_t AcquireAllCalls = 0;
+    uint64_t NodeAcquisitions = 0;
+    uint64_t NestedSkips = 0;
+    uint64_t LeafCacheHits = 0;
+    uint64_t LeafCacheMisses = 0;
+  };
+  static void statInc(uint64_t &Cell) {
+#if defined(LOCKIN_RUNTIME_STATS) && LOCKIN_RUNTIME_STATS
+    ++Cell;
+#else
+    (void)Cell;
+#endif
+  }
+  static void statAdd(uint64_t &Cell, uint64_t N) {
+#if defined(LOCKIN_RUNTIME_STATS) && LOCKIN_RUNTIME_STATS
+    Cell += N;
+#else
+    (void)Cell;
+    (void)N;
+#endif
+  }
+
+  void grab(LockNode &Node, Mode M) {
+    Node.acquire(M);
+    HeldNodes.push_back({&Node, M});
+  }
+  LockNode &cachedLeaf(uint32_t Region, uint64_t Address) {
+    size_t Idx = LockRuntime::LeafKeyHash{}(
+                     LockRuntime::LeafKey{Region, Address}) &
+                 (LeafCacheSize - 1);
+    LeafCacheEntry &E = LeafCache[Idx];
+    if (E.Node && E.Address == Address && E.Region == Region) {
+      statInc(LStats.LeafCacheHits);
+      return *E.Node;
+    }
+    statInc(LStats.LeafCacheMisses);
+    LockNode &N = RT.leafNode(Region, Address);
+    E = {Address, Region, &N};
+    return N;
+  }
+  void acquireAllSlow();
+  void buildCoverIndex();
 
   LockRuntime &RT;
   std::vector<LockDescriptor> Pending;
   std::vector<LockDescriptor> HeldDescriptors;
   std::vector<HeldNode> HeldNodes; // in acquisition order
+  std::vector<RegionReq> RegionScratch;
+  std::vector<LeafReq> LeafScratch;
+  std::vector<CoarseCover> CoarseIndex; // sorted by Region
+  std::vector<FineCover> FineIndex;     // sorted by Address
+  bool HasGlobal = false;
+  bool HasGlobalWrite = false;
   int NLevel = 0;
+  LocalStats LStats;
+
+  /// Direct-mapped (region, address) → leaf cache; leaves are never
+  /// freed, so hits stay valid for the lifetime of the runtime.
+  struct LeafCacheEntry {
+    uint64_t Address = 0;
+    uint32_t Region = 0;
+    LockNode *Node = nullptr;
+  };
+  static constexpr unsigned LeafCacheSize = 256;
+  static_assert((LeafCacheSize & (LeafCacheSize - 1)) == 0,
+                "cache index uses a power-of-two mask");
+  std::array<LeafCacheEntry, LeafCacheSize> LeafCache{};
 };
 
 } // namespace rt

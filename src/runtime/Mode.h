@@ -61,6 +61,17 @@ constexpr Mode combineModes(Mode A, Mode B) {
   return Table[static_cast<unsigned>(A)][static_cast<unsigned>(B)];
 }
 
+/// Bitmap (bit i set ⇔ mode i conflicts) of the modes incompatible with
+/// \p M — the complement row of Fig. 6(b). Lock implementations expand
+/// this into word-level masks so a compatibility check is one AND.
+constexpr uint8_t modeConflictSet(Mode M) {
+  uint8_t Bits = 0;
+  for (unsigned I = 0; I < NumModes; ++I)
+    if (!modesCompatible(M, static_cast<Mode>(I)))
+      Bits |= static_cast<uint8_t>(1u << I);
+  return Bits;
+}
+
 constexpr const char *modeName(Mode M) {
   switch (M) {
   case Mode::IS:

@@ -9,12 +9,33 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <new>
 #include <thread>
 #include <vector>
 
 using namespace lockin;
 using namespace lockin::rt;
+
+// Count every global allocation on this thread so the steady-state test
+// below can assert the acquireAll fast path allocates nothing. Replacing
+// only the scalar operator new is enough: the array and nothrow forms
+// default to calling it.
+namespace {
+thread_local uint64_t GThreadAllocs = 0;
+} // namespace
+
+void *operator new(std::size_t Size) {
+  ++GThreadAllocs;
+  if (void *P = std::malloc(Size))
+    return P;
+  throw std::bad_alloc();
+}
+void operator delete(void *P) noexcept { std::free(P); }
+void operator delete(void *P, std::size_t) noexcept { std::free(P); }
 
 namespace {
 
@@ -132,6 +153,77 @@ TEST(LockNode, WriterNotStarvedByReaders) {
   Node.release(Mode::S);
 }
 
+TEST(LockNode, MixedModeStressCompatibilityInvariant) {
+  // 8 threads hammer one node with all five modes. Each thread bumps its
+  // mode's holder count after acquiring and drops it before releasing, so
+  // while any thread holds the node every incompatible count must read
+  // zero — any overlap the compatibility matrix forbids is caught in the
+  // window where both holders have their counts up.
+  LockNode Node;
+  std::array<std::atomic<unsigned>, NumModes> Held{};
+  std::atomic<bool> Bad{false};
+  constexpr unsigned NumThreads = 8;
+  constexpr unsigned Rounds = 3000;
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T < NumThreads; ++T) {
+    Threads.emplace_back([&, T] {
+      Rng R(77 + T);
+      for (unsigned I = 0; I < Rounds; ++I) {
+        Mode M = static_cast<Mode>(R.below(NumModes));
+        Node.acquire(M);
+        Held[static_cast<unsigned>(M)].fetch_add(1);
+        for (unsigned O = 0; O < NumModes; ++O) {
+          // For a self-incompatible mode (X, SIX) the holder sees its own
+          // count: one grant is this thread, a second is a violation.
+          unsigned Self = O == static_cast<unsigned>(M) ? 1u : 0u;
+          if (!modesCompatible(M, static_cast<Mode>(O)) &&
+              Held[O].load() > Self)
+            Bad.store(true);
+        }
+        Held[static_cast<unsigned>(M)].fetch_sub(1);
+        Node.release(M);
+      }
+    });
+  }
+  for (std::thread &T : Threads)
+    T.join();
+  EXPECT_FALSE(Bad.load()) << "incompatible modes held concurrently";
+  for (unsigned M = 0; M < NumModes; ++M)
+    EXPECT_EQ(Node.grantedCount(static_cast<Mode>(M)), 0u);
+}
+
+TEST(LockNode, WriterBoundedWaitUnderReaderChurn) {
+  // FIFO anti-starvation: with readers continuously cycling S, a writer
+  // that queues must still be granted in bounded time — arrivals after it
+  // queue behind it instead of barging.
+  LockNode Node;
+  std::atomic<bool> Stop{false};
+  std::vector<std::thread> Readers;
+  for (unsigned I = 0; I < 4; ++I) {
+    Readers.emplace_back([&] {
+      while (!Stop.load(std::memory_order_relaxed)) {
+        Node.acquire(Mode::S);
+        for (unsigned Spin = 0; Spin < 16; ++Spin)
+          detail::cpuRelax();
+        Node.release(Mode::S);
+      }
+    });
+  }
+  // Let the reader churn establish itself.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  auto T0 = std::chrono::steady_clock::now();
+  Node.acquire(Mode::X);
+  auto Waited = std::chrono::steady_clock::now() - T0;
+  Stop.store(true);
+  Node.release(Mode::X);
+  for (std::thread &T : Readers)
+    T.join();
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(Waited)
+                .count(),
+            2000)
+      << "writer starved by reader churn";
+}
+
 //===----------------------------------------------------------------------===//
 // Protocol
 //===----------------------------------------------------------------------===//
@@ -246,12 +338,20 @@ TEST(Protocol, NestedSectionsAcquireNothing) {
   T.toAcquire(LockDescriptor::coarse(0, true));
   T.acquireAll();
   EXPECT_EQ(T.nestingLevel(), 1);
-  uint64_t Before = RT.stats().NodeAcquisitions.load();
   T.toAcquire(LockDescriptor::coarse(1, true)); // ignored: nested
   T.acquireAll();
   EXPECT_EQ(T.nestingLevel(), 2);
-  EXPECT_EQ(RT.stats().NodeAcquisitions.load(), Before);
+  // The inner section took no lock: region 1 is untouched.
+  EXPECT_EQ(RT.regionNode(1).grantedCount(Mode::X), 0u);
+  EXPECT_TRUE(RT.regionNode(1).tryAcquire(Mode::X));
+  RT.regionNode(1).release(Mode::X);
+#if defined(LOCKIN_RUNTIME_STATS) && LOCKIN_RUNTIME_STATS
+  // Stats are buffered per context; flush before reading the aggregate.
+  T.flushStats();
+  EXPECT_EQ(RT.stats().AcquireAllCalls.load(), 1u);
   EXPECT_EQ(RT.stats().NestedSkips.load(), 1u);
+  EXPECT_EQ(RT.stats().NodeAcquisitions.load(), 2u); // root IX + region X
+#endif
   T.releaseAll();
   EXPECT_EQ(T.nestingLevel(), 1);
   // Still holding the outer locks.
@@ -363,6 +463,31 @@ TEST(Protocol, ReadersWritersCounterWithCoarseLocks) {
   R2.join();
   EXPECT_FALSE(Bad.load()) << "reader saw a torn update";
   EXPECT_EQ(Value, 2 * 2 * 5000);
+}
+
+TEST(Protocol, SteadyStateAcquireAllIsAllocationFree) {
+  // After a warm-up that grows the context's scratch buffers and creates
+  // the leaf nodes, repeated sections must not touch the heap at all —
+  // single- and multi-descriptor paths alike.
+  LockRuntime RT(4);
+  ThreadLockContext Ctx(RT);
+  auto Section = [&](unsigned I) {
+    uint32_t Region = I % 4;
+    Ctx.toAcquire(LockDescriptor::fine(Region, 0x1000 + (I % 8) * 8, true));
+    if (I % 3 == 0)
+      Ctx.toAcquire(LockDescriptor::fine(Region, 0x2000 + (I % 4) * 8, false));
+    if (I % 5 == 0)
+      Ctx.toAcquire(LockDescriptor::coarse((Region + 1) % 4, false));
+    Ctx.acquireAll();
+    Ctx.releaseAll();
+  };
+  for (unsigned I = 0; I < 64; ++I)
+    Section(I);
+  uint64_t Before = GThreadAllocs;
+  for (unsigned I = 0; I < 2048; ++I)
+    Section(I);
+  EXPECT_EQ(GThreadAllocs, Before)
+      << "steady-state acquireAll/releaseAll allocated";
 }
 
 } // namespace
