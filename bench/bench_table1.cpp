@@ -10,11 +10,17 @@
 /// of the same size (see DESIGN.md); the STAMP-like and micro rows use
 /// the toy-language benchmark implementations.
 ///
-/// Set LOCKIN_TABLE1_SCALE (e.g. 0.2) to shrink the synthetic programs
-/// for a quick run.
+/// Each program is parsed/lowered once; the timed region is the analysis
+/// proper (call graph + points-to + SCC-scheduled inference), measured at
+/// --jobs 1/2/4/8 to show the parallel schedule.
+///
+/// Environment:
+///   LOCKIN_TABLE1_SCALE  shrink the synthetic programs (e.g. 0.2)
+///   LOCKIN_TABLE1_JSON   also write the measurements as JSON to this path
 ///
 //===----------------------------------------------------------------------===//
 
+#include "analysis/CallGraph.h"
 #include "driver/Compiler.h"
 #include "ir/Lowering.h"
 #include "lang/Parser.h"
@@ -24,12 +30,17 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
+#include <vector>
 
 using namespace lockin;
 using namespace lockin::workloads;
 
 namespace {
+
+constexpr unsigned JobCounts[] = {1, 2, 4, 8};
+constexpr unsigned KValues[] = {0, 9};
 
 double kloc(const std::string &Source) {
   size_t Lines = 1;
@@ -39,30 +50,87 @@ double kloc(const std::string &Source) {
   return static_cast<double>(Lines) / 1000.0;
 }
 
-/// Parse+sema+lower once, then time points-to + inference at \p K
-/// (matching the paper's "analysis time", which excludes parsing).
-double analysisSeconds(const std::string &Source, unsigned K,
-                       unsigned &SectionsOut) {
+struct Prepared {
+  std::unique_ptr<Program> Ast;
+  std::unique_ptr<ir::IrModule> Module;
+};
+
+/// Parse+sema+lower once per row; the timed analysis runs on the module.
+Prepared prepare(const std::string &Source) {
+  Prepared Out;
   DiagnosticEngine Diags;
   Parser P(Source, Diags);
-  auto Prog = P.parseProgram();
-  if (!Prog || !runSema(*Prog, Diags)) {
+  Out.Ast = P.parseProgram();
+  if (!Out.Ast || !runSema(*Out.Ast, Diags)) {
     std::fprintf(stderr, "internal error: benchmark program invalid:\n%s\n",
                  Diags.str().c_str());
     std::exit(1);
   }
-  auto Module = lowerProgram(*Prog, Diags);
-  SectionsOut = Module->numAtomicSections();
+  Out.Module = lowerProgram(*Out.Ast, Diags);
+  if (!Out.Module || Diags.hasErrors()) {
+    std::fprintf(stderr, "internal error: lowering failed:\n%s\n",
+                 Diags.str().c_str());
+    std::exit(1);
+  }
+  return Out;
+}
 
-  auto Start = std::chrono::steady_clock::now();
-  PointsToAnalysis PT(*Module);
-  InferenceOptions Options;
-  Options.K = K;
-  LockInference Inference(*Module, PT, Options);
-  InferenceResult Result = Inference.run();
-  auto End = std::chrono::steady_clock::now();
-  (void)Result;
-  return std::chrono::duration<double>(End - Start).count();
+/// The paper's "analysis time": everything after parsing — call graph,
+/// points-to, and the lock inference itself. Best of three runs, to damp
+/// scheduler noise.
+double analysisSeconds(const ir::IrModule &Module, unsigned K,
+                       unsigned Jobs) {
+  double Best = 0;
+  for (int Rep = 0; Rep < 3; ++Rep) {
+    auto Start = std::chrono::steady_clock::now();
+    analysis::CallGraph CG(Module);
+    PointsToAnalysis PT(Module);
+    InferenceOptions Options;
+    Options.K = K;
+    Options.Jobs = Jobs;
+    LockInference Inference(Module, PT, CG, Options);
+    InferenceResult Result = Inference.run();
+    auto End = std::chrono::steady_clock::now();
+    (void)Result;
+    double Seconds = std::chrono::duration<double>(End - Start).count();
+    if (Rep == 0 || Seconds < Best)
+      Best = Seconds;
+  }
+  return Best;
+}
+
+struct Measurement {
+  std::string Name;
+  double Kloc = 0;
+  unsigned Sections = 0;
+  // Seconds[k index][jobs index].
+  double Seconds[2][4] = {};
+};
+
+void writeJson(const char *Path, double Scale,
+               const std::vector<Measurement> &Rows) {
+  std::FILE *Out = std::fopen(Path, "w");
+  if (!Out) {
+    std::fprintf(stderr, "warning: cannot write %s\n", Path);
+    return;
+  }
+  std::fprintf(Out, "{\n  \"scale\": %g,\n  \"rows\": [\n", Scale);
+  for (size_t I = 0; I < Rows.size(); ++I) {
+    const Measurement &R = Rows[I];
+    std::fprintf(Out,
+                 "    {\"name\": \"%s\", \"kloc\": %.1f, \"sections\": %u",
+                 R.Name.c_str(), R.Kloc, R.Sections);
+    for (size_t KI = 0; KI < 2; ++KI) {
+      std::fprintf(Out, ",\n     \"k%u\": {", KValues[KI]);
+      for (size_t JI = 0; JI < 4; ++JI)
+        std::fprintf(Out, "%s\"jobs%u\": %.4f", JI ? ", " : "",
+                     JobCounts[JI], R.Seconds[KI][JI]);
+      std::fprintf(Out, "}");
+    }
+    std::fprintf(Out, "}%s\n", I + 1 < Rows.size() ? "," : "");
+  }
+  std::fprintf(Out, "  ]\n}\n");
+  std::fclose(Out);
 }
 
 struct Row {
@@ -105,17 +173,32 @@ int main() {
   std::printf("(SPEC rows are synthetic stand-ins at %.0f%% scale; see "
               "DESIGN.md)\n\n",
               Scale * 100.0);
-  std::printf("%-12s %8s %8s %12s %12s\n", "Program", "Size", "Atomic",
-              "k=0 (s)", "k=9 (s)");
-  std::printf("%-12s %8s %8s %12s %12s\n", "", "(Kloc)", "sections", "",
-              "");
+  std::printf("%-12s %8s %8s | %10s %10s %10s | %10s %10s %10s\n",
+              "Program", "Size", "Atomic", "k=0 j=1", "k=0 j=4",
+              "k=0 j=8", "k=9 j=1", "k=9 j=4", "k=9 j=8");
+  std::printf("%-12s %8s %8s |\n", "", "(Kloc)", "sections");
+
+  std::vector<Measurement> Results;
   for (const Row &R : Rows) {
-    unsigned Sections = 0;
-    double T0 = analysisSeconds(R.Source, 0, Sections);
-    double T9 = analysisSeconds(R.Source, 9, Sections);
-    std::printf("%-12s %8.1f %8u %12.3f %12.3f\n", R.Name.c_str(),
-                kloc(R.Source), Sections, T0, T9);
+    Prepared P = prepare(R.Source);
+    Measurement M;
+    M.Name = R.Name;
+    M.Kloc = kloc(R.Source);
+    M.Sections = P.Module->numAtomicSections();
+    for (size_t KI = 0; KI < 2; ++KI)
+      for (size_t JI = 0; JI < 4; ++JI)
+        M.Seconds[KI][JI] =
+            analysisSeconds(*P.Module, KValues[KI], JobCounts[JI]);
+    std::printf("%-12s %8.1f %8u | %10.3f %10.3f %10.3f | %10.3f %10.3f "
+                "%10.3f\n",
+                M.Name.c_str(), M.Kloc, M.Sections, M.Seconds[0][0],
+                M.Seconds[0][2], M.Seconds[0][3], M.Seconds[1][0],
+                M.Seconds[1][2], M.Seconds[1][3]);
     std::fflush(stdout);
+    Results.push_back(std::move(M));
   }
+
+  if (const char *JsonPath = std::getenv("LOCKIN_TABLE1_JSON"))
+    writeJson(JsonPath, Scale, Results);
   return 0;
 }

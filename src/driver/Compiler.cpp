@@ -14,10 +14,38 @@
 using namespace lockin;
 
 std::string Compilation::transformedText() const {
+  if (!Transformed.empty() || !Module)
+    return Transformed;
+  // Failure paths skip the transform pass; print on demand.
   const InferenceResult *Result = Inference.get();
   return ir::printIrModule(*Module, [Result](uint32_t SectionId) {
     return Result ? Result->annotate(SectionId) : std::string();
   });
+}
+
+std::string Compilation::report() const {
+  std::string Out = transformedText();
+  if (!Inference)
+    return Out;
+  char Line[64];
+  for (const auto &Section : Inference->sections()) {
+    Out += "; section #";
+    std::snprintf(Line, sizeof(Line), "%u", Section.SectionId);
+    Out += Line;
+    Out += " in ";
+    Out += Section.Function ? Section.Function->name() : std::string("?");
+    Out += ": ";
+    Out += Section.Locks.str();
+    Out += "\n";
+  }
+  LockCensus Census = Inference->census();
+  std::snprintf(Line, sizeof(Line),
+                "fine-ro=%u fine-rw=%u coarse-ro=%u coarse-rw=%u\n",
+                Census.FineRO, Census.FineRW, Census.CoarseRO,
+                Census.CoarseRW);
+  Out += "; locks: ";
+  Out += Line;
+  return Out;
 }
 
 InterpResult Compilation::run(const InterpOptions &Options,
@@ -28,28 +56,57 @@ InterpResult Compilation::run(const InterpOptions &Options,
 std::unique_ptr<Compilation> lockin::compile(std::string_view Source,
                                              const CompileOptions &Options) {
   auto C = std::make_unique<Compilation>();
+  PassManager PM;
 
-  Parser P(Source, C->Diags);
-  C->Ast = P.parseProgram();
-  if (!C->Ast || C->Diags.hasErrors())
+  C->Ast = PM.run("parse", [&] {
+    Parser P(Source, C->Diags);
+    return P.parseProgram();
+  });
+  if (!C->Ast || C->Diags.hasErrors()) {
+    C->Stats.Passes = PM.timings();
     return C;
+  }
 
-  if (!runSema(*C->Ast, C->Diags))
+  bool SemaOk = PM.run("sema", [&] { return runSema(*C->Ast, C->Diags); });
+  if (!SemaOk) {
+    C->Stats.Passes = PM.timings();
     return C;
+  }
 
-  C->Module = lowerProgram(*C->Ast, C->Diags);
-  if (!C->Module || C->Diags.hasErrors())
+  C->Module = PM.run("lower", [&] { return lowerProgram(*C->Ast, C->Diags); });
+  if (!C->Module || C->Diags.hasErrors()) {
+    C->Stats.Passes = PM.timings();
     return C;
+  }
 
-  C->PT = std::make_unique<PointsToAnalysis>(*C->Module);
+  C->CG = PM.run("callgraph", [&] {
+    return std::make_unique<analysis::CallGraph>(*C->Module);
+  });
+
+  C->PT = PM.run("points-to", [&] {
+    return std::make_unique<PointsToAnalysis>(*C->Module);
+  });
 
   if (Options.InferLocks) {
     InferenceOptions InferOpts;
     InferOpts.K = Options.K;
-    LockInference Inference(*C->Module, *C->PT, InferOpts);
-    C->Inference = std::make_unique<InferenceResult>(Inference.run());
+    InferOpts.Jobs = Options.Jobs;
+    LockInference Inference(*C->Module, *C->PT, *C->CG, InferOpts);
+    C->Inference = PM.run("infer", [&] {
+      return std::make_unique<InferenceResult>(Inference.run());
+    });
+    C->Stats.Inference = Inference.stats();
+    C->Stats.HasInference = true;
   }
 
+  C->Transformed = PM.run("transform", [&] {
+    const InferenceResult *Result = C->Inference.get();
+    return ir::printIrModule(*C->Module, [Result](uint32_t SectionId) {
+      return Result ? Result->annotate(SectionId) : std::string();
+    });
+  });
+
   C->Ok = true;
+  C->Stats.Passes = PM.timings();
   return C;
 }

@@ -5,15 +5,19 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// One-call façade over the whole pipeline: parse → sema → lower →
-/// points-to → lock inference. This is the public entry point examples,
-/// tools, tests, and benchmarks use.
+/// One-call façade over the whole pipeline, run as named PassManager
+/// passes: parse → sema → lower → callgraph → points-to → infer →
+/// transform. This is the public entry point examples, tools, tests, and
+/// benchmarks use; per-pass wall times and analysis counters are exposed
+/// through pipelineStats().
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef LOCKIN_DRIVER_COMPILER_H
 #define LOCKIN_DRIVER_COMPILER_H
 
+#include "analysis/CallGraph.h"
+#include "driver/PassManager.h"
 #include "infer/Inference.h"
 #include "interp/Interp.h"
 #include "ir/Ir.h"
@@ -32,6 +36,9 @@ struct CompileOptions {
   unsigned K = 3;
   /// Skip the lock inference (parse/lower/points-to only).
   bool InferLocks = true;
+  /// Worker threads for the inference; 0 = hardware concurrency, 1 =
+  /// fully serial. Parallel and serial runs produce identical lock sets.
+  unsigned Jobs = 0;
 };
 
 /// The result of compiling one program. Owns every phase's output; check
@@ -43,12 +50,21 @@ public:
 
   Program &ast() { return *Ast; }
   ir::IrModule &module() { return *Module; }
+  const analysis::CallGraph &callGraph() const { return *CG; }
   const PointsToAnalysis &pointsTo() const { return *PT; }
   const InferenceResult &inference() const { return *Inference; }
+
+  /// Per-pass wall times and analysis counters of this compilation.
+  const PipelineStats &pipelineStats() const { return Stats; }
 
   /// The transformed output program: atomic sections shown as
   /// acquireAll({...}) / releaseAll() pairs.
   std::string transformedText() const;
+
+  /// The tool's standard report: the transformed program followed by one
+  /// "; section #N in F: {...}" line per atomic section and the census
+  /// line. Golden-file tests compare against exactly this text.
+  std::string report() const;
 
   /// Runs the program in the concurrent interpreter.
   InterpResult run(const InterpOptions &Options,
@@ -61,8 +77,11 @@ private:
   DiagnosticEngine Diags;
   std::unique_ptr<Program> Ast;
   std::unique_ptr<ir::IrModule> Module;
+  std::unique_ptr<analysis::CallGraph> CG;
   std::unique_ptr<PointsToAnalysis> PT;
   std::unique_ptr<InferenceResult> Inference;
+  std::string Transformed;
+  PipelineStats Stats;
 };
 
 /// Compiles \p Source; never returns null. On failure the result's

@@ -9,7 +9,12 @@
 /// the transformed program and per-section lock sets, and optionally runs
 /// it in the checking interpreter.
 ///
-///   lockinfer [-k N] [--run] [--global-lock] [--quiet] file.atom
+///   lockinfer [options] file.atom
+///
+/// Options are described by a single table (spec, value arity, help
+/// text); the parser and the usage text are both generated from it, and
+/// malformed invocations (unknown flags, missing or non-numeric values,
+/// several input files) are rejected with a diagnostic.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -20,46 +25,145 @@
 #include <cstring>
 #include <fstream>
 #include <sstream>
+#include <string>
 
 using namespace lockin;
 
-static void usage() {
-  std::fprintf(stderr,
-               "usage: lockinfer [-k N] [--run] [--global-lock] [--quiet] "
-               "file.atom\n");
-}
+namespace {
 
-int main(int Argc, char **Argv) {
+struct CliOptions {
   unsigned K = 3;
+  unsigned Jobs = 0;
   bool Run = false;
   bool GlobalLock = false;
   bool Quiet = false;
-  const char *Path = nullptr;
+  bool TimePasses = false;
+  bool Stats = false;
+  bool Help = false;
+  std::string Path;
+};
 
+bool parseUnsigned(const char *Text, unsigned &Out) {
+  if (!Text || !*Text)
+    return false;
+  char *End = nullptr;
+  unsigned long Value = std::strtoul(Text, &End, 10);
+  if (End == Text || *End != '\0' || Value > 0xffffffffUL)
+    return false;
+  Out = static_cast<unsigned>(Value);
+  return true;
+}
+
+struct OptionSpec {
+  const char *Short;      ///< e.g. "-k", or nullptr
+  const char *Long;       ///< e.g. "--jobs", or nullptr
+  const char *ValueName;  ///< non-null iff the option takes a value
+  const char *Help;
+  bool (*Apply)(CliOptions &, const char *Value);
+};
+
+const OptionSpec Options[] = {
+    {"-k", nullptr, "N", "expression-lock depth limit (default 3)",
+     [](CliOptions &O, const char *V) { return parseUnsigned(V, O.K); }},
+    {"-j", "--jobs", "N",
+     "analysis worker threads; 0 = hardware concurrency (default), 1 = "
+     "serial",
+     [](CliOptions &O, const char *V) { return parseUnsigned(V, O.Jobs); }},
+    {nullptr, "--run", nullptr, "execute the program in the interpreter",
+     [](CliOptions &O, const char *) { return O.Run = true; }},
+    {nullptr, "--global-lock", nullptr,
+     "run with one global lock instead of the inferred locks",
+     [](CliOptions &O, const char *) { return O.GlobalLock = true; }},
+    {nullptr, "--quiet", nullptr, "suppress the transformed-program report",
+     [](CliOptions &O, const char *) { return O.Quiet = true; }},
+    {nullptr, "--time-passes", nullptr,
+     "print per-pass wall times after compiling",
+     [](CliOptions &O, const char *) { return O.TimePasses = true; }},
+    {nullptr, "--stats", nullptr,
+     "print analysis counters (SCCs, summaries, caches)",
+     [](CliOptions &O, const char *) { return O.Stats = true; }},
+    {nullptr, "--help", nullptr, "show this help",
+     [](CliOptions &O, const char *) { return O.Help = true; }},
+};
+
+void usage(std::FILE *To) {
+  std::fputs("usage: lockinfer [options] file.atom\noptions:\n", To);
+  for (const OptionSpec &Spec : Options) {
+    char Flags[48];
+    std::snprintf(Flags, sizeof(Flags), "%s%s%s %s",
+                  Spec.Short ? Spec.Short : "",
+                  Spec.Short && Spec.Long ? ", " : "",
+                  Spec.Long ? Spec.Long : "",
+                  Spec.ValueName ? Spec.ValueName : "");
+    std::fprintf(To, "  %-22s %s\n", Flags, Spec.Help);
+  }
+}
+
+const OptionSpec *findOption(const char *Arg) {
+  for (const OptionSpec &Spec : Options)
+    if ((Spec.Short && std::strcmp(Arg, Spec.Short) == 0) ||
+        (Spec.Long && std::strcmp(Arg, Spec.Long) == 0))
+      return &Spec;
+  return nullptr;
+}
+
+/// Returns true on success; on failure prints a diagnostic and usage.
+bool parseArgs(int Argc, char **Argv, CliOptions &Out) {
   for (int I = 1; I < Argc; ++I) {
-    if (std::strcmp(Argv[I], "-k") == 0 && I + 1 < Argc) {
-      K = static_cast<unsigned>(std::atoi(Argv[++I]));
-    } else if (std::strcmp(Argv[I], "--run") == 0) {
-      Run = true;
-    } else if (std::strcmp(Argv[I], "--global-lock") == 0) {
-      GlobalLock = true;
-    } else if (std::strcmp(Argv[I], "--quiet") == 0) {
-      Quiet = true;
-    } else if (Argv[I][0] == '-') {
-      usage();
-      return 2;
-    } else {
-      Path = Argv[I];
+    const char *Arg = Argv[I];
+    if (Arg[0] != '-') {
+      if (!Out.Path.empty()) {
+        std::fprintf(stderr, "error: multiple input files ('%s' and '%s')\n",
+                     Out.Path.c_str(), Arg);
+        return false;
+      }
+      Out.Path = Arg;
+      continue;
+    }
+    const OptionSpec *Spec = findOption(Arg);
+    if (!Spec) {
+      std::fprintf(stderr, "error: unknown option '%s'\n", Arg);
+      return false;
+    }
+    const char *Value = nullptr;
+    if (Spec->ValueName) {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "error: option '%s' requires a value\n", Arg);
+        return false;
+      }
+      Value = Argv[++I];
+    }
+    if (!Spec->Apply(Out, Value)) {
+      std::fprintf(stderr, "error: invalid value '%s' for option '%s'\n",
+                   Value ? Value : "", Arg);
+      return false;
     }
   }
-  if (!Path) {
-    usage();
+  if (Out.Help)
+    return true;
+  if (Out.Path.empty()) {
+    std::fprintf(stderr, "error: no input file\n");
+    return false;
+  }
+  return true;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  CliOptions Cli;
+  if (!parseArgs(Argc, Argv, Cli)) {
+    usage(stderr);
     return 2;
   }
+  if (Cli.Help) {
+    usage(stdout);
+    return 0;
+  }
 
-  std::ifstream In(Path);
+  std::ifstream In(Cli.Path);
   if (!In) {
-    std::fprintf(stderr, "error: cannot open %s\n", Path);
+    std::fprintf(stderr, "error: cannot open %s\n", Cli.Path.c_str());
     return 1;
   }
   std::stringstream Buffer;
@@ -67,30 +171,25 @@ int main(int Argc, char **Argv) {
   std::string Source = Buffer.str();
 
   CompileOptions Options;
-  Options.K = K;
+  Options.K = Cli.K;
+  Options.Jobs = Cli.Jobs;
   std::unique_ptr<Compilation> C = compile(Source, Options);
   if (!C->ok()) {
     std::fputs(C->diagnostics().str().c_str(), stderr);
     return 1;
   }
 
-  if (!Quiet) {
-    std::printf("%s", C->transformedText().c_str());
-    for (const auto &Section : C->inference().sections()) {
-      std::printf("; section #%u in %s: %s\n", Section.SectionId,
-                  Section.Function ? Section.Function->name().c_str() : "?",
-                  Section.Locks.str().c_str());
-    }
-    LockCensus Census = C->inference().census();
-    std::printf("; locks: fine-ro=%u fine-rw=%u coarse-ro=%u coarse-rw=%u\n",
-                Census.FineRO, Census.FineRW, Census.CoarseRO,
-                Census.CoarseRW);
-  }
+  if (!Cli.Quiet)
+    std::fputs(C->report().c_str(), stdout);
+  if (Cli.TimePasses)
+    std::fputs(C->pipelineStats().renderTimings().c_str(), stdout);
+  if (Cli.Stats)
+    std::fputs(C->pipelineStats().renderStats().c_str(), stdout);
 
-  if (Run) {
+  if (Cli.Run) {
     InterpOptions RunOptions;
-    RunOptions.Mode = GlobalLock ? AtomicMode::GlobalLock
-                                 : AtomicMode::Inferred;
+    RunOptions.Mode = Cli.GlobalLock ? AtomicMode::GlobalLock
+                                     : AtomicMode::Inferred;
     InterpResult Result = C->run(RunOptions);
     if (!Result.Ok) {
       std::fprintf(stderr, "run failed: %s\n", Result.Error.c_str());

@@ -1,0 +1,78 @@
+//===--- PassManager.cpp - Named pipeline passes and their stats ---------------===//
+//
+// Part of the lockin project: lock inference for atomic sections.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/PassManager.h"
+
+#include <cstdio>
+
+using namespace lockin;
+
+void PassManager::record(std::string Name,
+                         std::chrono::steady_clock::time_point Start) {
+  auto End = std::chrono::steady_clock::now();
+  double Seconds = std::chrono::duration<double>(End - Start).count();
+  Timings.push_back(PassTiming{std::move(Name), Seconds});
+}
+
+double PipelineStats::totalSeconds() const {
+  double Total = 0;
+  for (const PassTiming &P : Passes)
+    Total += P.Seconds;
+  return Total;
+}
+
+double PipelineStats::passSeconds(std::string_view Name) const {
+  for (const PassTiming &P : Passes)
+    if (P.Name == Name)
+      return P.Seconds;
+  return 0;
+}
+
+std::string PipelineStats::renderTimings() const {
+  std::string Out = "; pass timings:\n";
+  char Line[128];
+  for (const PassTiming &P : Passes) {
+    std::snprintf(Line, sizeof(Line), ";   %-10s %10.6fs\n",
+                  P.Name.c_str(), P.Seconds);
+    Out += Line;
+  }
+  std::snprintf(Line, sizeof(Line), ";   %-10s %10.6fs\n", "total",
+                totalSeconds());
+  Out += Line;
+  return Out;
+}
+
+std::string PipelineStats::renderStats() const {
+  if (!HasInference)
+    return std::string();
+  const InferenceStats &S = Inference;
+  char Line[256];
+  std::string Out;
+  std::snprintf(Line, sizeof(Line),
+                "; stats: functions=%u reachable=%u sccs=%u "
+                "recursive-sccs=%u depth=%u sections=%u jobs=%u\n",
+                S.Functions, S.ReachableFunctions, S.Sccs, S.RecursiveSccs,
+                S.CondensationDepth, S.Sections, S.JobsUsed);
+  Out += Line;
+  std::snprintf(Line, sizeof(Line),
+                "; summaries: entries=%llu evaluations=%llu "
+                "fixpoint-rounds=%llu final-hits=%llu peak-locks=%llu\n",
+                static_cast<unsigned long long>(S.Summaries.Entries),
+                static_cast<unsigned long long>(S.Summaries.Evaluations),
+                static_cast<unsigned long long>(S.Summaries.SccFixpointRounds),
+                static_cast<unsigned long long>(S.Summaries.FinalHits),
+                static_cast<unsigned long long>(S.Summaries.PeakEntryLocks));
+  Out += Line;
+  std::snprintf(Line, sizeof(Line),
+                "; transfer-cache: hits=%llu misses=%llu gen-hits=%llu "
+                "gen-misses=%llu\n",
+                static_cast<unsigned long long>(S.TransferCacheHits),
+                static_cast<unsigned long long>(S.TransferCacheMisses),
+                static_cast<unsigned long long>(S.GenCacheHits),
+                static_cast<unsigned long long>(S.GenCacheMisses));
+  Out += Line;
+  return Out;
+}

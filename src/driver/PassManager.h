@@ -1,0 +1,78 @@
+//===--- PassManager.h - Named pipeline passes and their stats --*- C++ -*-===//
+//
+// Part of the lockin project: lock inference for atomic sections.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The driver's pipeline is a sequence of named passes
+/// (parse → sema → lower → callgraph → points-to → infer → transform).
+/// PassManager runs each pass and records its wall time; PipelineStats is
+/// the machine-readable record the tool's --time-passes/--stats flags and
+/// the benchmarks consume.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LOCKIN_DRIVER_PASSMANAGER_H
+#define LOCKIN_DRIVER_PASSMANAGER_H
+
+#include "infer/Inference.h"
+
+#include <chrono>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace lockin {
+
+struct PassTiming {
+  std::string Name;
+  double Seconds = 0;
+};
+
+/// Everything the pipeline can report about one compilation: per-pass wall
+/// times plus the inference engine's counters when the infer pass ran.
+struct PipelineStats {
+  std::vector<PassTiming> Passes;
+  InferenceStats Inference;
+  bool HasInference = false;
+
+  double totalSeconds() const;
+  /// Seconds of the named pass, or 0 if it did not run.
+  double passSeconds(std::string_view Name) const;
+
+  /// "; pass timings:" block for --time-passes.
+  std::string renderTimings() const;
+  /// "; stats:" block for --stats (empty if no inference ran).
+  std::string renderStats() const;
+};
+
+/// Runs passes and accumulates their timings, in execution order.
+class PassManager {
+public:
+  template <typename Fn> auto run(std::string Name, Fn &&Body) {
+    auto Start = std::chrono::steady_clock::now();
+    if constexpr (std::is_void_v<decltype(Body())>) {
+      Body();
+      record(std::move(Name), Start);
+    } else {
+      auto Result = Body();
+      record(std::move(Name), Start);
+      return Result;
+    }
+  }
+
+  const std::vector<PassTiming> &timings() const { return Timings; }
+
+private:
+  void record(std::string Name,
+              std::chrono::steady_clock::time_point Start);
+
+  std::vector<PassTiming> Timings;
+};
+
+} // namespace lockin
+
+#endif // LOCKIN_DRIVER_PASSMANAGER_H

@@ -6,7 +6,11 @@
 
 #include "infer/Inference.h"
 
+#include <atomic>
 #include <cassert>
+#include <condition_variable>
+#include <deque>
+#include <thread>
 
 using namespace lockin;
 using namespace lockin::ir;
@@ -35,7 +39,17 @@ LockCensus InferenceResult::census() const {
 LockInference::LockInference(const IrModule &Module,
                              const PointsToAnalysis &PT,
                              InferenceOptions Options)
-    : Module(Module), Ctx{Module, PT, Options.K}, Options(Options) {}
+    : Module(Module), Ctx{Module, PT, Options.K}, Options(Options),
+      OwnedCG(std::make_unique<analysis::CallGraph>(Module)), CG(*OwnedCG),
+      Summaries(Module, CG, Ctx, *this, Options.MaxSummaryRounds) {}
+
+LockInference::LockInference(const IrModule &Module,
+                             const PointsToAnalysis &PT,
+                             const analysis::CallGraph &ExtCG,
+                             InferenceOptions Options)
+    : Module(Module), Ctx{Module, PT, Options.K}, Options(Options),
+      CG(ExtCG), Summaries(Module, CG, Ctx, *this, Options.MaxSummaryRounds) {
+}
 
 namespace {
 
@@ -93,135 +107,32 @@ bool pathMentionsVar(const LockExpr &Path, const Variable *V) {
   return false;
 }
 
-/// True if \p Path is rooted in (or indexes through) a variable owned by
-/// \p F; such paths are not expressible in the caller.
-bool pathRootedIn(const LockExpr &Path, const IrFunction *F) {
-  if (Path.base()->owner() == F)
-    return true;
-  for (const LockOp &Op : Path.ops()) {
-    if (Op.K != LockOp::Kind::Index)
-      continue;
-    std::vector<const IdxExpr *> Work = {Op.Idx.get()};
-    while (!Work.empty()) {
-      const IdxExpr *E = Work.back();
-      Work.pop_back();
-      if (E->kind() == IdxExpr::Kind::VarVal && E->var()->owner() == F)
-        return true;
-      if (E->kind() == IdxExpr::Kind::Bin) {
-        Work.push_back(E->lhs().get());
-        Work.push_back(E->rhs().get());
-      }
-    }
-  }
-  return false;
-}
+/// The per-worker transfer memo; analyze() runs deep in call stacks that
+/// also pass through FunctionSummaries, so the cache travels as
+/// thread-local state instead of a parameter.
+thread_local TransferCache *ActiveCache = nullptr;
 
-/// Collects the regions directly written by statements of \p S into
-/// \p Writes and the direct callees into \p Callees.
-void collectDirectWrites(const IrStmt *S, const PointsToAnalysis &PT,
-                         std::set<RegionId> &Writes,
-                         std::set<const IrFunction *> &Callees) {
-  switch (S->kind()) {
-  case IrStmt::Kind::Store: {
-    const auto *St = cast<StoreStmt>(S);
-    RegionId R = PT.derefRegion(PT.regionOfVarCell(St->addr()));
-    if (R != InvalidRegion)
-      Writes.insert(R);
-    return;
+/// The memo is consulted only while HotDepth > 0 — inside loop-fixpoint
+/// re-iterations and recursive-SCC evaluations, where the same
+/// (statement, lock) transfers repeat. Straight-line code analyzed once
+/// would pay the miss bookkeeping for nothing (measured ~5% hit rate on
+/// the DAG-shaped synthetic programs).
+thread_local unsigned HotDepth = 0;
+
+struct CacheScope {
+  TransferCache *Prev;
+  explicit CacheScope(TransferCache *C) : Prev(ActiveCache) {
+    ActiveCache = C;
   }
-  case IrStmt::Kind::Call:
-    Callees.insert(cast<CallStmt>(S)->callee());
-    break;
-  case IrStmt::Kind::Seq:
-    for (const IrStmtPtr &Child : cast<SeqStmt>(S)->stmts())
-      collectDirectWrites(Child.get(), PT, Writes, Callees);
-    return;
-  case IrStmt::Kind::If: {
-    const auto *I = cast<IfIrStmt>(S);
-    collectDirectWrites(I->thenStmt(), PT, Writes, Callees);
-    if (I->elseStmt())
-      collectDirectWrites(I->elseStmt(), PT, Writes, Callees);
-    return;
-  }
-  case IrStmt::Kind::While: {
-    const auto *W = cast<WhileIrStmt>(S);
-    collectDirectWrites(W->prelude(), PT, Writes, Callees);
-    collectDirectWrites(W->body(), PT, Writes, Callees);
-    return;
-  }
-  case IrStmt::Kind::Atomic:
-    collectDirectWrites(cast<AtomicIrStmt>(S)->body(), PT, Writes, Callees);
-    return;
-  default:
-    break;
-  }
-  // Definitions of shared variables write their cells.
-  if (const auto *Inst = dyn_cast<InstStmt>(S)) {
-    const Variable *Def = Inst->def();
-    if (Def && (Def->isGlobal() || Def->isAddressTaken())) {
-      RegionId R = PT.regionOfVarCell(Def);
-      if (R != InvalidRegion)
-        Writes.insert(R);
-    }
-  }
-}
+  ~CacheScope() { ActiveCache = Prev; }
+};
+
+struct HotScope {
+  HotScope() { ++HotDepth; }
+  ~HotScope() { --HotDepth; }
+};
 
 } // namespace
-
-const std::set<RegionId> &
-LockInference::writeRegions(const IrFunction *F) {
-  if (!WriteRegionsCache.empty())
-    return WriteRegionsCache[F];
-
-  // Compute for all functions at once: direct writes, then transitive
-  // closure over the call graph.
-  std::unordered_map<const IrFunction *, std::set<const IrFunction *>>
-      Callees;
-  for (const auto &Fn : Module.functions()) {
-    std::set<RegionId> Writes;
-    std::set<const IrFunction *> Direct;
-    if (Fn->body())
-      collectDirectWrites(Fn->body(), Ctx.PT, Writes, Direct);
-    WriteRegionsCache[Fn.get()] = std::move(Writes);
-    Callees[Fn.get()] = std::move(Direct);
-  }
-  bool Changed = true;
-  while (Changed) {
-    Changed = false;
-    for (const auto &Fn : Module.functions()) {
-      std::set<RegionId> &Mine = WriteRegionsCache[Fn.get()];
-      size_t Before = Mine.size();
-      for (const IrFunction *Callee : Callees[Fn.get()]) {
-        const std::set<RegionId> &Theirs = WriteRegionsCache[Callee];
-        Mine.insert(Theirs.begin(), Theirs.end());
-      }
-      Changed |= Mine.size() != Before;
-    }
-  }
-  return WriteRegionsCache[F];
-}
-
-void LockInference::unmapLock(const LockName &L, const CallStmt *Call,
-                              LockSet &Out) {
-  const IrFunction *F = Call->callee();
-  LockSet Cur;
-  Cur.insert(L);
-  // Reverse of the parameter bindings p_i = a_i.
-  for (size_t I = Call->args().size(); I-- > 0;) {
-    CopyStmt Binding(F->param(static_cast<unsigned>(I)), Call->args()[I],
-                     Call->loc());
-    LockSet Next;
-    for (const LockName &Lock : Cur)
-      transferLock(Lock, &Binding, Ctx, Next);
-    Cur = std::move(Next);
-  }
-  for (const LockName &Lock : Cur) {
-    if (Lock.isFine() && pathRootedIn(Lock.path(), F))
-      Out.insert(Ctx.coarsen(Lock));
-    else
-      Out.insert(Lock);
-  }
-}
 
 LockSet LockInference::transferCall(const CallStmt *St,
                                     const LockSet &After) {
@@ -235,15 +146,15 @@ LockSet LockInference::transferCall(const CallStmt *St,
                                  Effect::RW));
 
   // The locks for the callee's own (transitive) accesses, expressed at
-  // the call site: copy because unmapLock may recurse into summaries and
-  // grow the cache under us.
+  // the call site: copy because the store may grow under recursive
+  // demands while we unmap.
   {
-    LockSet CalleeOwn = ownLocks(F);
+    LockSet CalleeOwn = Summaries.ownLocks(F);
     for (const LockName &E : CalleeOwn)
-      unmapLock(E, St, Result);
+      Summaries.unmapLock(E, St, Result);
   }
 
-  const std::set<RegionId> &Writes = writeRegions(F);
+  const std::set<RegionId> &Writes = Summaries.writeRegions(F);
   auto Unaffected = [&](const LockName &L) {
     if (pathMentionsVar(L.path(), St->def()))
       return false;
@@ -280,71 +191,35 @@ LockSet LockInference::transferCall(const CallStmt *St,
       }
       // A mapped lock that is unaffected by the body and not rooted in the
       // callee skips the summary entirely.
-      if (!pathRootedIn(M.path(), F) && Unaffected(M)) {
+      if (!lockPathRootedIn(M.path(), F) && Unaffected(M)) {
         Result.insert(M);
         continue;
       }
-      const LockSet &EntryLocks = summary(F, M);
+      const LockSet &EntryLocks = Summaries.summary(F, M);
       for (const LockName &E : EntryLocks)
-        unmapLock(E, St, Result);
+        Summaries.unmapLock(E, St, Result);
     }
   }
   return Result;
 }
 
-const LockSet &LockInference::ownLocks(const IrFunction *F) {
-  SummaryEntry &E = OwnLocksCache[F];
-  if (E.InProgress || E.Round == CurrentRound)
-    return E.Entry;
-  E.Round = CurrentRound;
-  E.InProgress = true;
-
-  LockSet Empty;
-  const IrFunction *PrevFn = CurFn;
-  CurFn = F;
-  LockSet Before = analyze(F->body(), Empty, Empty);
-  CurFn = PrevFn;
-
-  E.InProgress = false;
-  if (E.Entry.merge(Before))
-    SummariesChanged = true;
-  return E.Entry;
-}
-
-const LockSet &LockInference::summary(const IrFunction *F,
-                                      const LockName &L) {
-  SummaryKey Key{F, L};
-  SummaryEntry &E = Summaries[Key];
-  if (E.InProgress || E.Round == CurrentRound)
-    return E.Entry;
-  E.Round = CurrentRound;
-  E.InProgress = true;
-
-  LockSet ExitSet;
-  ExitSet.insert(L);
-  const IrFunction *PrevFn = CurFn;
-  CurFn = F;
-  LockSet Before = analyze(F->body(), ExitSet, ExitSet);
-  CurFn = PrevFn;
-
-  // References into std::unordered_map are stable across inserts done by
-  // recursive summary queries, so E is still valid here.
-  E.InProgress = false;
-  if (E.Entry.merge(Before))
-    SummariesChanged = true;
-  return E.Entry;
-}
-
 LockSet LockInference::transferInst(const InstStmt *St,
                                     const LockSet &After) {
   LockSet Out;
-  genLocks(St, Ctx, Out);
-  for (const LockName &L : After)
-    transferLock(L, St, Ctx, Out);
+  if (TransferCache *Cache = HotDepth > 0 ? ActiveCache : nullptr) {
+    Cache->gen(St, Ctx, Out);
+    for (const LockName &L : After)
+      Cache->apply(L, St, Ctx, Out);
+  } else {
+    genLocks(St, Ctx, Out);
+    for (const LockName &L : After)
+      transferLock(L, St, Ctx, Out);
+  }
   return Out;
 }
 
-LockSet LockInference::analyze(const IrStmt *S, const LockSet &After,
+LockSet LockInference::analyze(const IrFunction *CurFn, const IrStmt *S,
+                               const LockSet &After,
                                const LockSet &ExitSet) {
   switch (S->kind()) {
   case IrStmt::Kind::Call:
@@ -365,14 +240,14 @@ LockSet LockInference::analyze(const IrStmt *S, const LockSet &After,
     const auto &Stmts = cast<SeqStmt>(S)->stmts();
     LockSet Cur = After;
     for (size_t I = Stmts.size(); I-- > 0;)
-      Cur = analyze(Stmts[I].get(), Cur, ExitSet);
+      Cur = analyze(CurFn, Stmts[I].get(), Cur, ExitSet);
     return Cur;
   }
   case IrStmt::Kind::If: {
     const auto *I = cast<IfIrStmt>(S);
-    LockSet Merged = analyze(I->thenStmt(), After, ExitSet);
+    LockSet Merged = analyze(CurFn, I->thenStmt(), After, ExitSet);
     if (I->elseStmt())
-      Merged.merge(analyze(I->elseStmt(), After, ExitSet));
+      Merged.merge(analyze(CurFn, I->elseStmt(), After, ExitSet));
     else
       Merged.merge(After);
     genVarRead(I->condVar(), Ctx, Merged);
@@ -384,7 +259,8 @@ LockSet LockInference::analyze(const IrStmt *S, const LockSet &After,
     LockSet Base = After;
     genVarRead(W->condVar(), Ctx, Base);
     // Backward fixpoint: X approximates the locks at the loop head.
-    LockSet X = analyze(W->prelude(), Base, ExitSet);
+    LockSet X = analyze(CurFn, W->prelude(), Base, ExitSet);
+    HotScope Hot; // iterations repeat the same transfers: memoize them
     for (unsigned Iter = 0;; ++Iter) {
       if (Iter >= Options.MaxLoopIterations) {
         // Sound fallback; with a bounded k this should be unreachable.
@@ -392,8 +268,8 @@ LockSet LockInference::analyze(const IrStmt *S, const LockSet &After,
         break;
       }
       LockSet AfterPrelude = Base;
-      AfterPrelude.merge(analyze(W->body(), X, ExitSet));
-      LockSet NewX = analyze(W->prelude(), AfterPrelude, ExitSet);
+      AfterPrelude.merge(analyze(CurFn, W->body(), X, ExitSet));
+      LockSet NewX = analyze(CurFn, W->prelude(), AfterPrelude, ExitSet);
       if (!X.merge(NewX))
         break;
     }
@@ -402,7 +278,7 @@ LockSet LockInference::analyze(const IrStmt *S, const LockSet &After,
   case IrStmt::Kind::Atomic:
     // Nested sections acquire nothing at runtime (§5.3); the outer
     // section's locks must cover the body, so locks flow through.
-    return analyze(cast<AtomicIrStmt>(S)->body(), After, ExitSet);
+    return analyze(CurFn, cast<AtomicIrStmt>(S)->body(), After, ExitSet);
   case IrStmt::Kind::Return: {
     const auto *R = cast<ReturnIrStmt>(S);
     // Control leaves the function: the incoming After is unreachable;
@@ -435,26 +311,164 @@ LockSet LockInference::analyze(const IrStmt *S, const LockSet &After,
   return After;
 }
 
+LockSet LockInference::evaluateEntry(const IrFunction *F,
+                                     const LockSet &Exit, bool Hot) {
+  if (!Hot)
+    return analyze(F, F->body(), Exit, Exit);
+  HotScope Scope;
+  return analyze(F, F->body(), Exit, Exit);
+}
+
+void LockInference::analyzeSection(InferenceResult &Result,
+                                   const AtomicIrStmt *A,
+                                   const IrFunction *F) {
+  LockSet Empty;
+  InferenceResult::Section &Section = Result.Sections[A->sectionId()];
+  Section.SectionId = A->sectionId();
+  Section.Function = F;
+  Section.Locks = analyze(F, A->body(), Empty, Empty);
+}
+
+void LockInference::foldCacheStats(const TransferCache &Cache) {
+  std::lock_guard<std::mutex> Guard(StatsMutex);
+  Stats.TransferCacheHits += Cache.Hits;
+  Stats.TransferCacheMisses += Cache.Misses;
+  Stats.GenCacheHits += Cache.GenHits;
+  Stats.GenCacheMisses += Cache.GenMisses;
+}
+
+void LockInference::runSerial(const std::vector<char> &WantScc,
+                              InferenceResult &Result) {
+  TransferCache Cache;
+  CacheScope Scope(&Cache);
+  // Iterating SCC ids in order IS the bottom-up schedule: every callee
+  // SCC is fully summarized (final) before its callers are evaluated, so
+  // non-recursive functions are summarized exactly once.
+  for (unsigned Scc = 0; Scc < CG.numSccs(); ++Scc)
+    if (WantScc[Scc])
+      Summaries.prewarmScc(Scc);
+  for (const SectionTask &T : SectionTasks)
+    if (T.Stmt)
+      analyzeSection(Result, T.Stmt, T.Function);
+  foldCacheStats(Cache);
+}
+
+void LockInference::runParallel(unsigned Jobs,
+                                const std::vector<char> &WantScc,
+                                InferenceResult &Result) {
+  // Phase 1 schedules the prewarm over the condensation DAG by dependency
+  // counting: an SCC becomes ready when its last callee SCC finishes, so
+  // SCCs at the same condensation depth (pairwise unreachable) run
+  // concurrently. Phase 2 fans the independent sections out over the same
+  // workers. Determinism: every summary a section can read is final (the
+  // phase-1 barrier), final entries are immutable, and final values are
+  // least fixpoints of monotone equations — unique regardless of
+  // interleaving — so the inferred lock sets match the serial run.
+  unsigned NumSccs = CG.numSccs();
+  std::mutex QueueMutex;
+  std::condition_variable QueueCV;
+  std::deque<unsigned> Ready;
+  std::vector<unsigned> DepsLeft(NumSccs);
+  unsigned RemainingSccs = NumSccs;
+  for (unsigned Scc = 0; Scc < NumSccs; ++Scc) {
+    DepsLeft[Scc] = static_cast<unsigned>(CG.sccCallees(Scc).size());
+    if (DepsLeft[Scc] == 0)
+      Ready.push_back(Scc);
+  }
+  std::atomic<size_t> NextSection{0};
+
+  auto Worker = [&]() {
+    TransferCache Cache;
+    CacheScope Scope(&Cache);
+    while (true) {
+      unsigned Scc;
+      {
+        std::unique_lock<std::mutex> Lock(QueueMutex);
+        QueueCV.wait(Lock,
+                     [&] { return !Ready.empty() || RemainingSccs == 0; });
+        if (Ready.empty())
+          break; // RemainingSccs == 0: every prewarm has completed
+        Scc = Ready.front();
+        Ready.pop_front();
+      }
+      if (WantScc[Scc])
+        Summaries.prewarmScc(Scc);
+      {
+        std::lock_guard<std::mutex> Lock(QueueMutex);
+        --RemainingSccs;
+        for (unsigned Caller : CG.sccCallers(Scc))
+          if (--DepsLeft[Caller] == 0)
+            Ready.push_back(Caller);
+        QueueCV.notify_all();
+      }
+    }
+    // Sections write disjoint Result slots, claimed via the atomic
+    // ticket.
+    size_t I;
+    while ((I = NextSection.fetch_add(1)) < SectionTasks.size()) {
+      const SectionTask &T = SectionTasks[I];
+      if (T.Stmt)
+        analyzeSection(Result, T.Stmt, T.Function);
+    }
+    foldCacheStats(Cache);
+  };
+
+  std::vector<std::thread> Threads;
+  Threads.reserve(Jobs);
+  for (unsigned J = 0; J < Jobs; ++J)
+    Threads.emplace_back(Worker);
+  for (std::thread &T : Threads)
+    T.join();
+}
+
 InferenceResult LockInference::run() {
   InferenceResult Result;
   Result.Sections.resize(Module.numAtomicSections());
+  SectionTasks.assign(Module.numAtomicSections(), SectionTask{});
 
-  for (unsigned Round = 1; Round <= Options.MaxSummaryRounds; ++Round) {
-    CurrentRound = Round;
-    SummariesChanged = false;
-    for (const auto &F : Module.functions()) {
-      CurFn = F.get();
-      for (const AtomicIrStmt *A : F->atomicSections()) {
-        LockSet Empty;
-        InferenceResult::Section &Section =
-            Result.Sections[A->sectionId()];
-        Section.SectionId = A->sectionId();
-        Section.Function = F.get();
-        Section.Locks = analyze(A->body(), Empty, Empty);
-      }
+  // Only SCCs reachable from some atomic section need summaries.
+  std::vector<const IrFunction *> Roots;
+  for (const auto &F : Module.functions()) {
+    for (const AtomicIrStmt *A : F->atomicSections()) {
+      SectionTasks[A->sectionId()] = SectionTask{A, F.get()};
+      std::vector<const IrFunction *> Direct =
+          analysis::CallGraph::directCallees(A->body());
+      Roots.insert(Roots.end(), Direct.begin(), Direct.end());
     }
-    if (!SummariesChanged)
-      break;
   }
+  std::vector<bool> Reach = CG.reachableClosure(Roots);
+  std::vector<char> WantScc(CG.numSccs(), 0);
+  unsigned ReachableFns = 0;
+  for (unsigned I = 0; I < CG.numFunctions(); ++I) {
+    if (Reach[I]) {
+      ++ReachableFns;
+      WantScc[CG.sccOf(I)] = 1;
+    }
+  }
+
+  Stats = InferenceStats{};
+  Stats.Functions = CG.numFunctions();
+  Stats.ReachableFunctions = ReachableFns;
+  Stats.Sccs = CG.numSccs();
+  for (unsigned Scc = 0; Scc < CG.numSccs(); ++Scc)
+    if (CG.isRecursive(Scc))
+      ++Stats.RecursiveSccs;
+  Stats.CondensationDepth = CG.maxDepth();
+  Stats.Sections = Module.numAtomicSections();
+
+  unsigned Jobs = Options.Jobs;
+  if (Jobs == 0) {
+    Jobs = std::thread::hardware_concurrency();
+    if (Jobs == 0)
+      Jobs = 1;
+  }
+  Stats.JobsUsed = Jobs;
+
+  if (Jobs <= 1)
+    runSerial(WantScc, Result);
+  else
+    runParallel(Jobs, WantScc, Result);
+
+  Stats.Summaries = Summaries.stats();
   return Result;
 }

@@ -15,16 +15,28 @@
 /// fixpoint (the k-limited lock domain is finite), and calls are handled
 /// with function summaries using the map/unmap discipline of §4.3.
 ///
+/// Interprocedurally the analysis is scheduled by the call graph's SCC
+/// condensation (see infer/Summaries.h): callee SCCs are summarized
+/// bottom-up before their callers, non-recursive functions exactly once,
+/// and independent SCCs concurrently when InferenceOptions::Jobs > 1.
+/// Serial and parallel runs produce identical lock sets: every published
+/// summary is the least fixpoint of a monotone equation system, which is
+/// unique regardless of evaluation order.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef LOCKIN_INFER_INFERENCE_H
 #define LOCKIN_INFER_INFERENCE_H
 
+#include "analysis/CallGraph.h"
 #include "infer/LockSet.h"
+#include "infer/Summaries.h"
 #include "infer/Transfer.h"
 #include "ir/Ir.h"
 #include "pointsto/Steensgaard.h"
 
+#include <memory>
+#include <mutex>
 #include <set>
 #include <unordered_map>
 #include <vector>
@@ -38,7 +50,30 @@ struct InferenceOptions {
   unsigned K = 3;
   /// Safety caps; on overflow the analysis falls back to ⊤ (sound).
   unsigned MaxLoopIterations = 64;
+  /// Cap on the per-SCC summary fixpoint rounds (the seed's
+  /// MaxSummaryRounds applied per SCC instead of globally).
   unsigned MaxSummaryRounds = 16;
+  /// Worker threads for the SCC-scheduled analysis; 0 means
+  /// std::thread::hardware_concurrency(). 1 runs fully inline.
+  unsigned Jobs = 0;
+};
+
+/// Counters for --stats and the benchmarks; filled by run().
+struct InferenceStats {
+  SummaryStats Summaries;
+  uint64_t TransferCacheHits = 0;
+  uint64_t TransferCacheMisses = 0;
+  uint64_t GenCacheHits = 0;
+  uint64_t GenCacheMisses = 0;
+  unsigned Functions = 0;
+  /// Functions transitively callable from some atomic section (the set
+  /// the bottom-up prewarm summarizes).
+  unsigned ReachableFunctions = 0;
+  unsigned Sccs = 0;
+  unsigned RecursiveSccs = 0;
+  unsigned CondensationDepth = 0;
+  unsigned Sections = 0;
+  unsigned JobsUsed = 0;
 };
 
 /// Census of inferred locks in the four categories of Figure 7. ⊤ counts
@@ -87,76 +122,63 @@ private:
   std::vector<Section> Sections;
 };
 
-class LockInference {
+class LockInference : public SummaryBodyEvaluator {
 public:
+  /// Builds (and owns) a fresh call graph for \p Module.
   LockInference(const ir::IrModule &Module, const PointsToAnalysis &PT,
+                InferenceOptions Options = {});
+  /// Reuses an externally built call graph (the driver's callgraph pass).
+  LockInference(const ir::IrModule &Module, const PointsToAnalysis &PT,
+                const analysis::CallGraph &CG,
                 InferenceOptions Options = {});
 
   /// Runs the analysis for every atomic section in the module.
   InferenceResult run();
 
+  /// Counters of the last run().
+  const InferenceStats &stats() const { return Stats; }
+
   /// Exposed for unit tests: locks needed before \p S given locks \p After
   /// needed after it, with an empty exit set.
   LockSet analyzeForTest(const ir::IrStmt *S, const LockSet &After) {
     LockSet Exit;
-    return analyze(S, After, Exit);
+    return analyze(nullptr, S, After, Exit);
   }
 
+  /// SummaryBodyEvaluator: locks at \p F's entry given \p Exit at its
+  /// exit. Called by the summary store, possibly from worker threads.
+  LockSet evaluateEntry(const ir::IrFunction *F, const LockSet &Exit,
+                        bool Hot) override;
+
 private:
-  LockSet analyze(const ir::IrStmt *S, const LockSet &After,
-                  const LockSet &ExitSet);
+  LockSet analyze(const ir::IrFunction *CurFn, const ir::IrStmt *S,
+                  const LockSet &After, const LockSet &ExitSet);
   LockSet transferInst(const ir::InstStmt *St, const LockSet &After);
   LockSet transferCall(const ir::CallStmt *St, const LockSet &After);
 
-  /// Pushes one lock through the body of \p F: result is the locks needed
-  /// at F's entry (in F's naming) to cover L at F's exit. Cached; grows
-  /// monotonically across rounds until the global fixpoint.
-  const LockSet &summary(const ir::IrFunction *F, const LockName &L);
-
-  /// Locks needed at F's entry to protect every access F (and its
-  /// callees) perform — the G-set part of the call transfer, cached like
-  /// summaries.
-  const LockSet &ownLocks(const ir::IrFunction *F);
-
-  /// Regions possibly written by stores in \p F or its (transitive)
-  /// callees; used to skip the summary push-through for unaffected locks.
-  const std::set<RegionId> &writeRegions(const ir::IrFunction *F);
-
-  /// Rewrites \p L backward through the parameter bindings p_i = a_i and
-  /// coarsens locks still rooted in callee-local state.
-  void unmapLock(const LockName &L, const ir::CallStmt *Call, LockSet &Out);
-
-  struct SummaryKey {
-    const ir::IrFunction *F;
-    LockName L;
-    bool operator==(const SummaryKey &Other) const {
-      return F == Other.F && L == Other.L;
-    }
-  };
-  struct SummaryKeyHash {
-    size_t operator()(const SummaryKey &Key) const {
-      return reinterpret_cast<size_t>(Key.F) ^ Key.L.hash();
-    }
-  };
-  struct SummaryEntry {
-    LockSet Entry;
-    uint32_t Round = ~0u;
-    bool InProgress = false;
-  };
+  void analyzeSection(InferenceResult &Result, const ir::AtomicIrStmt *A,
+                      const ir::IrFunction *F);
+  void runSerial(const std::vector<char> &WantScc, InferenceResult &Result);
+  void runParallel(unsigned Jobs, const std::vector<char> &WantScc,
+                   InferenceResult &Result);
+  void foldCacheStats(const TransferCache &Cache);
 
   const ir::IrModule &Module;
   TransferContext Ctx;
   InferenceOptions Options;
-  /// Function whose body is currently being analyzed (for ret_f rewriting
-  /// at Return statements).
-  const ir::IrFunction *CurFn = nullptr;
+  std::unique_ptr<analysis::CallGraph> OwnedCG;
+  const analysis::CallGraph &CG;
+  FunctionSummaries Summaries;
 
-  std::unordered_map<SummaryKey, SummaryEntry, SummaryKeyHash> Summaries;
-  std::unordered_map<const ir::IrFunction *, SummaryEntry> OwnLocksCache;
-  std::unordered_map<const ir::IrFunction *, std::set<RegionId>>
-      WriteRegionsCache;
-  uint32_t CurrentRound = 0;
-  bool SummariesChanged = false;
+  /// Section list in section-id order, filled by run().
+  struct SectionTask {
+    const ir::AtomicIrStmt *Stmt = nullptr;
+    const ir::IrFunction *Function = nullptr;
+  };
+  std::vector<SectionTask> SectionTasks;
+
+  InferenceStats Stats;
+  std::mutex StatsMutex;
 };
 
 } // namespace lockin

@@ -1,0 +1,256 @@
+//===--- Summaries.cpp - Function summaries and the SCC fixpoint ---------------===//
+//
+// Part of the lockin project: lock inference for atomic sections.
+//
+//===----------------------------------------------------------------------===//
+
+#include "infer/Summaries.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace lockin;
+using namespace lockin::ir;
+
+//===----------------------------------------------------------------------===//
+// Path/expressibility helpers
+//===----------------------------------------------------------------------===//
+
+bool lockin::lockPathRootedIn(const LockExpr &Path, const IrFunction *F) {
+  if (Path.base()->owner() == F)
+    return true;
+  for (const LockOp &Op : Path.ops()) {
+    if (Op.K != LockOp::Kind::Index)
+      continue;
+    std::vector<const IdxExpr *> Work = {Op.Idx.get()};
+    while (!Work.empty()) {
+      const IdxExpr *E = Work.back();
+      Work.pop_back();
+      if (E->kind() == IdxExpr::Kind::VarVal && E->var()->owner() == F)
+        return true;
+      if (E->kind() == IdxExpr::Kind::Bin) {
+        Work.push_back(E->lhs().get());
+        Work.push_back(E->rhs().get());
+      }
+    }
+  }
+  return false;
+}
+
+//===----------------------------------------------------------------------===//
+// Transitive write regions (eager, bottom-up over the condensation)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Collects the regions directly written by statements of \p S into
+/// \p Writes.
+void collectDirectWrites(const IrStmt *S, const PointsToAnalysis &PT,
+                         std::set<RegionId> &Writes) {
+  switch (S->kind()) {
+  case IrStmt::Kind::Store: {
+    const auto *St = cast<StoreStmt>(S);
+    RegionId R = PT.derefRegion(PT.regionOfVarCell(St->addr()));
+    if (R != InvalidRegion)
+      Writes.insert(R);
+    return;
+  }
+  case IrStmt::Kind::Seq:
+    for (const IrStmtPtr &Child : cast<SeqStmt>(S)->stmts())
+      collectDirectWrites(Child.get(), PT, Writes);
+    return;
+  case IrStmt::Kind::If: {
+    const auto *I = cast<IfIrStmt>(S);
+    collectDirectWrites(I->thenStmt(), PT, Writes);
+    if (I->elseStmt())
+      collectDirectWrites(I->elseStmt(), PT, Writes);
+    return;
+  }
+  case IrStmt::Kind::While: {
+    const auto *W = cast<WhileIrStmt>(S);
+    collectDirectWrites(W->prelude(), PT, Writes);
+    collectDirectWrites(W->body(), PT, Writes);
+    return;
+  }
+  case IrStmt::Kind::Atomic:
+    collectDirectWrites(cast<AtomicIrStmt>(S)->body(), PT, Writes);
+    return;
+  default:
+    break;
+  }
+  // Definitions of shared variables write their cells.
+  if (const auto *Inst = dyn_cast<InstStmt>(S)) {
+    const Variable *Def = Inst->def();
+    if (Def && (Def->isGlobal() || Def->isAddressTaken())) {
+      RegionId R = PT.regionOfVarCell(Def);
+      if (R != InvalidRegion)
+        Writes.insert(R);
+    }
+  }
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// FunctionSummaries
+//===----------------------------------------------------------------------===//
+
+FunctionSummaries::FunctionSummaries(const IrModule &M,
+                                     const analysis::CallGraph &CG,
+                                     const TransferContext &Ctx,
+                                     SummaryBodyEvaluator &Eval,
+                                     unsigned MaxSccRounds)
+    : Module(M), CG(CG), Ctx(Ctx), Eval(Eval), MaxSccRounds(MaxSccRounds) {
+  Sccs.resize(CG.numSccs());
+  for (auto &S : Sccs)
+    S = std::make_unique<SccState>();
+
+  // Transitive write regions in one bottom-up pass: members of one SCC all
+  // reach each other, so they share one set — the union of the members'
+  // direct writes and the (already computed) callee-SCC sets.
+  for (unsigned Scc = 0; Scc < CG.numSccs(); ++Scc) {
+    std::set<RegionId> SccWrites;
+    for (unsigned FnIdx : CG.sccMembers(Scc)) {
+      const IrFunction *F = CG.function(FnIdx);
+      if (F->body())
+        collectDirectWrites(F->body(), Ctx.PT, SccWrites);
+    }
+    for (unsigned CScc : CG.sccCallees(Scc)) {
+      const std::set<RegionId> &Theirs =
+          WriteRegions[CG.function(CG.sccMembers(CScc).front())];
+      SccWrites.insert(Theirs.begin(), Theirs.end());
+    }
+    for (unsigned FnIdx : CG.sccMembers(Scc))
+      WriteRegions[CG.function(FnIdx)] = SccWrites;
+  }
+}
+
+const std::set<RegionId> &
+FunctionSummaries::writeRegions(const IrFunction *F) const {
+  return WriteRegions.at(F);
+}
+
+void FunctionSummaries::unmapLock(const LockName &L, const CallStmt *Call,
+                                  LockSet &Out) const {
+  const IrFunction *F = Call->callee();
+  LockSet Cur;
+  Cur.insert(L);
+  // Reverse of the parameter bindings p_i = a_i.
+  for (size_t I = Call->args().size(); I-- > 0;) {
+    CopyStmt Binding(F->param(static_cast<unsigned>(I)), Call->args()[I],
+                     Call->loc());
+    LockSet Next;
+    for (const LockName &Lock : Cur)
+      transferLock(Lock, &Binding, Ctx, Next);
+    Cur = std::move(Next);
+  }
+  for (const LockName &Lock : Cur) {
+    if (Lock.isFine() && lockPathRootedIn(Lock.path(), F))
+      Out.insert(Ctx.coarsen(Lock));
+    else
+      Out.insert(Lock);
+  }
+}
+
+const LockSet &FunctionSummaries::summary(const IrFunction *F,
+                                          const LockName &L) {
+  return query(Key{F, /*Own=*/false, L});
+}
+
+const LockSet &FunctionSummaries::ownLocks(const IrFunction *F) {
+  return query(Key{F, /*Own=*/true, LockName::top()});
+}
+
+void FunctionSummaries::prewarmScc(unsigned Scc) {
+  for (unsigned FnIdx : CG.sccMembers(Scc))
+    ownLocks(CG.function(FnIdx));
+}
+
+LockSet FunctionSummaries::evaluate(SccState &S, const Key &K, bool Hot) {
+  ++S.Evaluations;
+  LockSet Exit;
+  if (!K.Own)
+    Exit.insert(K.L);
+  return Eval.evaluateEntry(K.F, Exit, Hot);
+}
+
+const LockSet &FunctionSummaries::query(Key K) {
+  unsigned SccIdx = CG.sccOfFunction(K.F);
+  SccState &S = *Sccs[SccIdx];
+  std::lock_guard<std::recursive_mutex> Guard(S.M);
+
+  auto [It, Inserted] = S.Entries.try_emplace(std::move(K));
+  Entry &E = It->second; // value references are stable across inserts
+  const Key &StoredKey = It->first;
+  if (E.Final) {
+    ++S.FinalHits;
+    return E.Locks;
+  }
+  if (!Inserted) {
+    // A recursive demand (the entry is being evaluated higher in this
+    // thread's stack) or a mid-fixpoint read: return the current partial
+    // value; the SCC-local fixpoint re-evaluates until it is stable.
+    return E.Locks;
+  }
+
+  bool Recursive = CG.isRecursive(SccIdx);
+  ++S.EvalDepth;
+  E.InProgress = true;
+  LockSet First = evaluate(S, StoredKey, Recursive);
+  E.InProgress = false;
+  E.Locks.merge(First);
+  S.PeakEntryLocks = std::max<uint64_t>(S.PeakEntryLocks, E.Locks.size());
+  --S.EvalDepth;
+
+  if (!Recursive) {
+    // Every callee lies in a lower, already-final SCC: the very first
+    // evaluation is exact. Non-recursive functions are summarized once.
+    E.Final = true;
+    return E.Locks;
+  }
+
+  S.Pending.push_back(StoredKey);
+  if (S.EvalDepth == 0 && !S.InFixpoint) {
+    // Outermost demand on this SCC: run the local worklist fixpoint over
+    // every entry demanded so far (the list may grow while we iterate),
+    // then publish all of them as final.
+    S.InFixpoint = true;
+    for (unsigned Round = 0; Round < MaxSccRounds; ++Round) {
+      ++S.FixpointRounds;
+      bool Changed = false;
+      for (size_t I = 0; I < S.Pending.size(); ++I) {
+        Key Cur = S.Pending[I]; // copy: Pending may reallocate
+        Entry &PE = S.Entries.find(Cur)->second;
+        PE.InProgress = true;
+        LockSet Next = evaluate(S, Cur, /*Hot=*/true);
+        PE.InProgress = false;
+        Changed |= PE.Locks.merge(Next);
+        S.PeakEntryLocks =
+            std::max<uint64_t>(S.PeakEntryLocks, PE.Locks.size());
+      }
+      if (!Changed)
+        break;
+      // On round overflow we stop like the seed's MaxSummaryRounds cap
+      // did; the k-limited domain is finite, so this is unreachable in
+      // practice.
+    }
+    for (const Key &PK : S.Pending)
+      S.Entries.find(PK)->second.Final = true;
+    S.Pending.clear();
+    S.InFixpoint = false;
+  }
+  return E.Locks;
+}
+
+SummaryStats FunctionSummaries::stats() const {
+  SummaryStats Out;
+  for (const auto &S : Sccs) {
+    std::lock_guard<std::recursive_mutex> Guard(S->M);
+    Out.Entries += S->Entries.size();
+    Out.Evaluations += S->Evaluations;
+    Out.SccFixpointRounds += S->FixpointRounds;
+    Out.FinalHits += S->FinalHits;
+    Out.PeakEntryLocks = std::max(Out.PeakEntryLocks, S->PeakEntryLocks);
+  }
+  return Out;
+}

@@ -382,3 +382,46 @@ void lockin::genLocks(const InstStmt *St, const TransferContext &Ctx,
     return;
   }
 }
+
+//===----------------------------------------------------------------------===//
+// TransferCache
+//===----------------------------------------------------------------------===//
+
+void TransferCache::apply(const LockName &L, const InstStmt *St,
+                          const TransferContext &Ctx, LockSet &Out) {
+  if (St->stmtId() == IrStmt::InvalidStmtId) {
+    transferLock(L, St, Ctx, Out);
+    return;
+  }
+  Key K{St->stmtId(), L};
+  auto It = Xfer.find(K);
+  if (It == Xfer.end()) {
+    ++Misses;
+    LockSet Result;
+    transferLock(L, St, Ctx, Result);
+    It = Xfer.emplace(std::move(K), std::move(Result)).first;
+  } else {
+    ++Hits;
+  }
+  for (const LockName &R : It->second)
+    Out.insert(R);
+}
+
+void TransferCache::gen(const InstStmt *St, const TransferContext &Ctx,
+                        LockSet &Out) {
+  if (St->stmtId() == IrStmt::InvalidStmtId) {
+    genLocks(St, Ctx, Out);
+    return;
+  }
+  auto It = Gen.find(St->stmtId());
+  if (It == Gen.end()) {
+    ++GenMisses;
+    LockSet Result;
+    genLocks(St, Ctx, Result);
+    It = Gen.emplace(St->stmtId(), std::move(Result)).first;
+  } else {
+    ++GenHits;
+  }
+  for (const LockName &R : It->second)
+    Out.insert(R);
+}

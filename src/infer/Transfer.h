@@ -34,6 +34,9 @@
 #include "locks/LockName.h"
 #include "pointsto/Steensgaard.h"
 
+#include <cstdint>
+#include <unordered_map>
+
 namespace lockin {
 
 /// Shared, immutable context for transfer computations.
@@ -73,6 +76,44 @@ void genLocks(const ir::InstStmt *St, const TransferContext &Ctx,
 /// arguments, returned values).
 void genVarRead(const ir::Variable *V, const TransferContext &Ctx,
                 LockSet &Out);
+
+/// Memo for the per-statement transfer results, keyed on (statement id,
+/// incoming lock). Loop fixpoints and SCC summary rounds re-apply the
+/// same S/Q/closure rewrites to the same locks many times; the memo turns
+/// the repeats into hash hits. transferLock/genLocks are pure in
+/// (statement, lock, context), so caching is exact. One instance per
+/// worker thread (not shared), so no synchronization is needed.
+class TransferCache {
+public:
+  /// transferLock with memoization; falls through uncached for statements
+  /// without an id (the map/unmap binding copies built on the side).
+  void apply(const LockName &L, const ir::InstStmt *St,
+             const TransferContext &Ctx, LockSet &Out);
+
+  /// genLocks with memoization, keyed on the statement id alone.
+  void gen(const ir::InstStmt *St, const TransferContext &Ctx, LockSet &Out);
+
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+  uint64_t GenHits = 0;
+  uint64_t GenMisses = 0;
+
+private:
+  struct Key {
+    uint32_t Stmt;
+    LockName L;
+    bool operator==(const Key &O) const {
+      return Stmt == O.Stmt && L == O.L;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key &K) const {
+      return K.L.hash() * 1099511628211u ^ K.Stmt;
+    }
+  };
+  std::unordered_map<Key, LockSet, KeyHash> Xfer;
+  std::unordered_map<uint32_t, LockSet> Gen;
+};
 
 } // namespace lockin
 

@@ -125,12 +125,21 @@ public:
   Kind kind() const { return K; }
   SourceLoc loc() const { return Loc; }
 
+  /// Module-unique statement number, assigned by lowering; the inference
+  /// uses it to memoize per-statement transfer results. Statements built
+  /// on the side (the map/unmap parameter-binding copies) keep
+  /// InvalidStmtId and bypass the cache.
+  static constexpr uint32_t InvalidStmtId = ~0u;
+  uint32_t stmtId() const { return Id; }
+  void setStmtId(uint32_t NewId) { Id = NewId; }
+
 protected:
   IrStmt(Kind K, SourceLoc Loc) : K(K), Loc(Loc) {}
 
 private:
   Kind K;
   SourceLoc Loc;
+  uint32_t Id = InvalidStmtId;
 };
 
 using IrStmtPtr = std::unique_ptr<IrStmt>;

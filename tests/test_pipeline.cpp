@@ -1,0 +1,177 @@
+//===--- test_pipeline.cpp - Pipeline golden-oracle and determinism tests ------===//
+//
+// Part of the lockin project: lock inference for atomic sections.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// End-to-end checks of the SCC-scheduled pipeline:
+///
+///  - Golden oracles: tests/golden/*.golden hold the full lockinfer report
+///    produced by the pre-refactor (global re-iteration) engine for
+///    interprocedural corner programs — 2- and 3-cycle mutual recursion,
+///    self-recursion, call chains through pointer fields, and functions
+///    unreachable from main. The SCC engine must reproduce them byte for
+///    byte.
+///  - Determinism: --jobs 1, 2, and 8 (and repeated runs) must produce
+///    identical lock sets and identical transformed text on the largest
+///    synthetic Table-1 program.
+///  - Stats plumbing: pass timings and analysis counters are populated.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+#include "workloads/ToyPrograms.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+using namespace lockin;
+using namespace lockin::test;
+
+namespace {
+
+std::string readFile(const std::string &Path) {
+  std::ifstream In(Path);
+  EXPECT_TRUE(In.good()) << "cannot open " << Path;
+  std::stringstream Buffer;
+  Buffer << In.rdbuf();
+  return Buffer.str();
+}
+
+std::string goldenDir() { return std::string(LOCKIN_TEST_DIR) + "/golden/"; }
+
+void checkGolden(const std::string &Name, unsigned Jobs) {
+  std::string Source = readFile(goldenDir() + Name + ".atom");
+  std::string Expected = readFile(goldenDir() + Name + ".golden");
+  CompileOptions Options;
+  Options.Jobs = Jobs;
+  std::unique_ptr<Compilation> C = compile(Source, Options);
+  ASSERT_TRUE(C->ok()) << C->diagnostics().str();
+  EXPECT_EQ(C->report(), Expected) << Name << " with jobs=" << Jobs;
+}
+
+const char *GoldenNames[] = {"mutual2", "mutual3", "selfrec", "ptrchain",
+                             "unreachable"};
+
+TEST(PipelineGolden, SerialMatchesPreRefactorOracle) {
+  for (const char *Name : GoldenNames)
+    checkGolden(Name, /*Jobs=*/1);
+}
+
+TEST(PipelineGolden, ParallelMatchesPreRefactorOracle) {
+  for (const char *Name : GoldenNames)
+    checkGolden(Name, /*Jobs=*/8);
+}
+
+/// All sections rendered to one string, plus the transformed program.
+std::string fingerprint(Compilation &C) {
+  std::string Out = C.transformedText();
+  for (const auto &Section : C.inference().sections()) {
+    Out += Section.Locks.str();
+    Out += "\n";
+  }
+  return Out;
+}
+
+TEST(PipelineDeterminism, JobsDoNotChangeTheResult) {
+  // The largest synthetic Table-1 stand-in exercises thousands of
+  // functions and sections.
+  std::string Source = workloads::generateSyntheticSpec(20, 7);
+  std::string Baseline;
+  for (unsigned Jobs : {1u, 2u, 8u}) {
+    CompileOptions Options;
+    Options.Jobs = Jobs;
+    std::unique_ptr<Compilation> C = compile(Source, Options);
+    ASSERT_TRUE(C->ok()) << C->diagnostics().str();
+    std::string Fp = fingerprint(*C);
+    if (Baseline.empty())
+      Baseline = std::move(Fp);
+    else
+      EXPECT_EQ(Fp, Baseline) << "jobs=" << Jobs;
+  }
+}
+
+TEST(PipelineDeterminism, ToyProgramsAgreeAcrossJobs) {
+  for (const workloads::ToyProgram &P :
+       workloads::concurrentToyPrograms()) {
+    std::string Baseline;
+    for (unsigned Jobs : {1u, 8u}) {
+      CompileOptions Options;
+      Options.Jobs = Jobs;
+      std::unique_ptr<Compilation> C = compile(P.Source, Options);
+      ASSERT_TRUE(C->ok()) << P.Name << ": " << C->diagnostics().str();
+      std::string Fp = fingerprint(*C);
+      if (Baseline.empty())
+        Baseline = std::move(Fp);
+      else
+        EXPECT_EQ(Fp, Baseline) << P.Name << " jobs=" << Jobs;
+    }
+  }
+}
+
+TEST(PipelineDeterminism, RepeatedParallelRunsAgree) {
+  std::string Source = workloads::generateSyntheticSpec(10, 11);
+  std::string Baseline;
+  for (int Round = 0; Round < 3; ++Round) {
+    CompileOptions Options;
+    Options.Jobs = 4;
+    std::unique_ptr<Compilation> C = compile(Source, Options);
+    ASSERT_TRUE(C->ok()) << C->diagnostics().str();
+    std::string Fp = fingerprint(*C);
+    if (Baseline.empty())
+      Baseline = std::move(Fp);
+    else
+      EXPECT_EQ(Fp, Baseline) << "round " << Round;
+  }
+}
+
+TEST(PipelineStats, PassesAndCountersArePopulated) {
+  std::string Source = readFile(goldenDir() + "mutual3.atom");
+  CompileOptions Options;
+  Options.Jobs = 1;
+  std::unique_ptr<Compilation> C = compile(Source, Options);
+  ASSERT_TRUE(C->ok()) << C->diagnostics().str();
+
+  const PipelineStats &Stats = C->pipelineStats();
+  const char *Expected[] = {"parse",     "sema",  "lower",    "callgraph",
+                            "points-to", "infer", "transform"};
+  ASSERT_EQ(Stats.Passes.size(), 7u);
+  for (size_t I = 0; I < 7; ++I)
+    EXPECT_EQ(Stats.Passes[I].Name, Expected[I]);
+  EXPECT_GT(Stats.totalSeconds(), 0.0);
+  EXPECT_GT(Stats.passSeconds("infer"), 0.0);
+
+  ASSERT_TRUE(Stats.HasInference);
+  const InferenceStats &Inf = Stats.Inference;
+  // phaseA/phaseB/phaseC form one recursive SCC; main is its own.
+  EXPECT_EQ(Inf.Functions, 4u);
+  EXPECT_EQ(Inf.Sccs, 2u);
+  EXPECT_EQ(Inf.RecursiveSccs, 1u);
+  EXPECT_EQ(Inf.ReachableFunctions, 3u);
+  EXPECT_EQ(Inf.Sections, 2u);
+  EXPECT_EQ(Inf.JobsUsed, 1u);
+  EXPECT_GT(Inf.Summaries.Entries, 0u);
+  EXPECT_GT(Inf.Summaries.Evaluations, 0u);
+  EXPECT_GT(Inf.Summaries.SccFixpointRounds, 0u);
+  EXPECT_GT(Inf.TransferCacheHits + Inf.TransferCacheMisses, 0u);
+  EXPECT_EQ(C->inference().sections().size(), 2u);
+}
+
+TEST(PipelineStats, UnreachableFunctionIsNotSummarized) {
+  std::string Source = readFile(goldenDir() + "unreachable.atom");
+  CompileOptions Options;
+  Options.Jobs = 1;
+  std::unique_ptr<Compilation> C = compile(Source, Options);
+  ASSERT_TRUE(C->ok()) << C->diagnostics().str();
+  const InferenceStats &Inf = C->pipelineStats().Inference;
+  // Neither section calls a function, so no summary is ever demanded —
+  // including for `never`, which main never calls.
+  EXPECT_LT(Inf.ReachableFunctions, Inf.Functions);
+  EXPECT_EQ(Inf.Summaries.Evaluations, 0u);
+}
+
+} // namespace
