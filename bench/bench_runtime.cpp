@@ -24,6 +24,9 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "obs/LockProfiler.h"
+#include "obs/Metrics.h"
+#include "obs/Obs.h"
 #include "runtime/LockRuntime.h"
 #include "support/Rng.h"
 
@@ -90,10 +93,18 @@ struct Mix {
 };
 
 Result benchSections(const char *Name, unsigned NumThreads, Mix M,
-                     uint64_t OpsPerThread, unsigned NumAddrs = 256) {
+                     uint64_t OpsPerThread, unsigned NumAddrs = 256,
+                     bool ObsOn = false) {
   constexpr unsigned NumRegions = 4;
   constexpr uint64_t LatSampleEvery = 16; // power of two
-  LockRuntime RT(NumRegions);
+  // Inject a local registry + profiler so both the obs-off and obs-on
+  // variants run the same code path (dormant-profiler check included)
+  // and the measurement doesn't pollute the process-global registry.
+  obs::MetricsRegistry Reg;
+  obs::LockProfiler Prof;
+  if (ObsOn)
+    Prof.setEnabled(true);
+  LockRuntime RT(NumRegions, &Reg, &Prof);
   std::vector<std::vector<uint64_t>> Lat(NumThreads);
 
   // Pregenerate each thread's descriptor stream so the timed loop
@@ -164,14 +175,63 @@ Result benchSections(const char *Name, unsigned NumThreads, Mix M,
   return R;
 }
 
-bool emitJson(const std::vector<Result> &Results, const std::string &Path) {
+/// Instrumentation overhead on one scenario: the same workload run with
+/// the lock profiler dormant vs armed, best-of-N to damp scheduler noise.
+struct ObsOverhead {
+  std::string Scenario;
+  double NsPerOpOff = 0;
+  double NsPerOpOn = 0;
+  double OverheadPct = 0;
+};
+
+ObsOverhead measureObsOverhead(const char *Name, unsigned NumThreads, Mix M,
+                               uint64_t OpsPerThread, unsigned NumAddrs) {
+  // Paired reps: each rep runs one off and one on leg back to back
+  // (order alternating), and the overhead is the median of the per-rep
+  // on/off ratios. Pairing cancels slow drift — turbo, thermal, a
+  // background task — and the median discards the odd preempted rep,
+  // which min-of-N per leg would let bias one side.
+  constexpr int Reps = 7;
+  std::vector<double> OffNs, OnNs, Ratios;
+  for (int Rep = 0; Rep < Reps; ++Rep) {
+    bool OnFirst = Rep & 1;
+    double Pair[2]; // ns/op: [0] = off, [1] = on
+    for (int Leg = 0; Leg < 2; ++Leg) {
+      bool On = (Leg == 0) == OnFirst;
+      Result R =
+          benchSections(Name, NumThreads, M, OpsPerThread, NumAddrs, On);
+      Pair[On] = 1e9 / R.ThroughputOpsPerSec;
+    }
+    OffNs.push_back(Pair[0]);
+    OnNs.push_back(Pair[1]);
+    Ratios.push_back(Pair[1] / Pair[0]);
+  }
+  auto Median = [](std::vector<double> &V) {
+    std::nth_element(V.begin(), V.begin() + V.size() / 2, V.end());
+    return V[V.size() / 2];
+  };
+  ObsOverhead O;
+  O.Scenario = Name;
+  O.NsPerOpOff = Median(OffNs);
+  O.NsPerOpOn = Median(OnNs);
+  O.OverheadPct = (Median(Ratios) - 1.0) * 100.0;
+  return O;
+}
+
+bool emitJson(const std::vector<Result> &Results,
+              const std::vector<ObsOverhead> &Overheads,
+              const std::string &Path) {
   FILE *F = std::fopen(Path.c_str(), "w");
   if (!F) {
     std::perror("bench_runtime: open output");
     return false;
   }
-  std::fprintf(F, "{\n  \"bench\": \"runtime\",\n  \"schema\": 1,\n"
-                  "  \"results\": [\n");
+  std::fprintf(F,
+               "{\n  \"bench\": \"runtime\",\n  \"schema\": 1,\n"
+               "  \"note\": \"RelWithDebInfo, single-core container "
+               "(multi-thread rows oversubscribed); obs_overhead = lock "
+               "profiler armed vs dormant, median of paired reps\",\n"
+               "  \"results\": [\n");
   for (size_t I = 0; I < Results.size(); ++I) {
     const Result &R = Results[I];
     std::fprintf(F,
@@ -184,7 +244,21 @@ bool emitJson(const std::vector<Result> &Results, const std::string &Path) {
                  static_cast<unsigned long long>(R.P99Ns),
                  I + 1 < Results.size() ? "," : "");
   }
-  std::fprintf(F, "  ]\n}\n");
+  std::fprintf(F, "  ]%s\n", Overheads.empty() ? "" : ",");
+  if (!Overheads.empty()) {
+    std::fprintf(F, "  \"obs_enabled\": %s,\n  \"obs_overhead\": [\n",
+                 obs::kEnabled ? "true" : "false");
+    for (size_t I = 0; I < Overheads.size(); ++I) {
+      const ObsOverhead &O = Overheads[I];
+      std::fprintf(F,
+                   "    {\"scenario\": \"%s\", \"ns_per_op_off\": %.1f, "
+                   "\"ns_per_op_on\": %.1f, \"overhead_pct\": %.2f}%s\n",
+                   O.Scenario.c_str(), O.NsPerOpOff, O.NsPerOpOn,
+                   O.OverheadPct, I + 1 < Overheads.size() ? "," : "");
+    }
+    std::fprintf(F, "  ]\n");
+  }
+  std::fprintf(F, "}\n");
   std::fclose(F);
   return true;
 }
@@ -193,7 +267,8 @@ bool emitJson(const std::vector<Result> &Results, const std::string &Path) {
 
 int main(int Argc, char **Argv) {
   std::string OutPath = "BENCH_runtime.json";
-  uint64_t Scale = 1; // divide op counts, for smoke runs
+  uint64_t Scale = 1;   // divide op counts, for smoke runs
+  bool WithObs = false; // also measure instrumentation overhead
   for (int I = 1; I < Argc; ++I) {
     if (std::strcmp(Argv[I], "--out") == 0) {
       if (I + 1 >= Argc) {
@@ -203,9 +278,13 @@ int main(int Argc, char **Argv) {
       OutPath = Argv[++I];
     } else if (std::strcmp(Argv[I], "--quick") == 0) {
       Scale = 20;
+    } else if (std::strcmp(Argv[I], "--with-obs") == 0) {
+      WithObs = true;
     } else {
       std::fprintf(stderr, "bench_runtime: unknown option '%s'\n", Argv[I]);
-      std::fprintf(stderr, "usage: bench_runtime [--quick] [--out <path>]\n");
+      std::fprintf(stderr,
+                   "usage: bench_runtime [--quick] [--with-obs] [--out "
+                   "<path>]\n");
       return 2;
     }
   }
@@ -238,7 +317,25 @@ int main(int Argc, char **Argv) {
     Report(benchSections("mixed_grain", Threads, MixedGrain, PerThread));
   }
 
-  if (!emitJson(Results, OutPath))
+  std::vector<ObsOverhead> Overheads;
+  if (WithObs) {
+    if (!obs::kEnabled)
+      std::fprintf(stderr, "bench_runtime: note: built with LOCKIN_OBS=OFF; "
+                           "--with-obs measures the compiled-out stubs\n");
+    std::printf("\n%-24s %14s %14s %10s\n", "obs overhead", "off(ns/op)",
+                "on(ns/op)", "pct");
+    auto ReportObs = [&](ObsOverhead O) {
+      std::printf("%-24s %14.1f %14.1f %+9.2f%%\n", O.Scenario.c_str(),
+                  O.NsPerOpOff, O.NsPerOpOn, O.OverheadPct);
+      Overheads.push_back(std::move(O));
+    };
+    ReportObs(measureObsOverhead("uncontended_section", 1, Mix{0, 100, 0, 0},
+                                 400000 / Scale, 16));
+    ReportObs(measureObsOverhead("read_mostly", 4, ReadMostly,
+                                 50000 / Scale, 256));
+  }
+
+  if (!emitJson(Results, Overheads, OutPath))
     return 1;
   std::printf("wrote %s\n", OutPath.c_str());
   return 0;

@@ -25,11 +25,14 @@
 #include "ir/Lowering.h"
 #include "lang/Parser.h"
 #include "lang/Sema.h"
+#include "obs/Obs.h"
+#include "obs/Trace.h"
 #include "workloads/ToyPrograms.h"
 
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <vector>
@@ -107,8 +110,17 @@ struct Measurement {
   double Seconds[2][4] = {};
 };
 
+struct ObsOverhead {
+  bool Measured = false;
+  std::string Program;
+  double SecondsOff = 0;
+  double SecondsOn = 0;
+  double OverheadPct = 0;
+};
+
 void writeJson(const char *Path, double Scale,
-               const std::vector<Measurement> &Rows) {
+               const std::vector<Measurement> &Rows,
+               const ObsOverhead &Obs) {
   std::FILE *Out = std::fopen(Path, "w");
   if (!Out) {
     std::fprintf(stderr, "warning: cannot write %s\n", Path);
@@ -129,7 +141,15 @@ void writeJson(const char *Path, double Scale,
     }
     std::fprintf(Out, "}%s\n", I + 1 < Rows.size() ? "," : "");
   }
-  std::fprintf(Out, "  ]\n}\n");
+  std::fprintf(Out, "  ]%s\n", Obs.Measured ? "," : "");
+  if (Obs.Measured)
+    std::fprintf(Out,
+                 "  \"obs_overhead\": {\"program\": \"%s\", "
+                 "\"seconds_off\": %.4f, \"seconds_on\": %.4f, "
+                 "\"overhead_pct\": %.2f}\n",
+                 Obs.Program.c_str(), Obs.SecondsOff, Obs.SecondsOn,
+                 Obs.OverheadPct);
+  std::fprintf(Out, "}\n");
   std::fclose(Out);
 }
 
@@ -138,9 +158,43 @@ struct Row {
   std::string Source;
 };
 
+/// Whole-pipeline (parse..inference) wall time with the event tracer
+/// armed or dormant; best of three. Used by --with-obs to report the
+/// observability layer's overhead on the compile path.
+double compileSeconds(const std::string &Source, bool ObsOn) {
+  obs::tracer().setEnabled(ObsOn);
+  double Best = 0;
+  for (int Rep = 0; Rep < 3; ++Rep) {
+    auto Start = std::chrono::steady_clock::now();
+    std::unique_ptr<Compilation> C = compile(Source, CompileOptions());
+    auto End = std::chrono::steady_clock::now();
+    if (!C->ok()) {
+      std::fprintf(stderr, "internal error: benchmark program invalid\n");
+      std::exit(1);
+    }
+    double Seconds = std::chrono::duration<double>(End - Start).count();
+    if (Rep == 0 || Seconds < Best)
+      Best = Seconds;
+  }
+  obs::tracer().setEnabled(false);
+  obs::tracer().clear();
+  return Best;
+}
+
 } // namespace
 
-int main() {
+int main(int Argc, char **Argv) {
+  bool WithObs = false;
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--with-obs") == 0) {
+      WithObs = true;
+    } else {
+      std::fprintf(stderr, "bench_table1: unknown option '%s'\n", Argv[I]);
+      std::fprintf(stderr, "usage: bench_table1 [--with-obs]\n");
+      return 2;
+    }
+  }
+
   double Scale = 1.0;
   if (const char *Env = std::getenv("LOCKIN_TABLE1_SCALE"))
     Scale = std::atof(Env);
@@ -198,7 +252,24 @@ int main() {
     Results.push_back(std::move(M));
   }
 
+  ObsOverhead Obs;
+  if (WithObs) {
+    // Pipeline overhead of the tracer: the largest toy program through
+    // the full compile (parse..inference) with the tracer armed vs off.
+    const Row &Target = Rows.back();
+    Obs.Measured = true;
+    Obs.Program = Target.Name;
+    Obs.SecondsOff = compileSeconds(Target.Source, false);
+    Obs.SecondsOn = compileSeconds(Target.Source, true);
+    Obs.OverheadPct = (Obs.SecondsOn / Obs.SecondsOff - 1.0) * 100.0;
+    std::printf("\nobs overhead (%s, full compile): off %.4fs, on %.4fs "
+                "(%+.2f%%)%s\n",
+                Obs.Program.c_str(), Obs.SecondsOff, Obs.SecondsOn,
+                Obs.OverheadPct,
+                obs::kEnabled ? "" : " [built with LOCKIN_OBS=OFF]");
+  }
+
   if (const char *JsonPath = std::getenv("LOCKIN_TABLE1_JSON"))
-    writeJson(JsonPath, Scale, Results);
+    writeJson(JsonPath, Scale, Results, Obs);
   return 0;
 }

@@ -14,9 +14,12 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "obs/Trace.h"
 #include "workloads/SimWorkloads.h"
 
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 
 using namespace lockin::workloads;
 using namespace lockin::workloads::sim;
@@ -33,7 +36,22 @@ void printRow(const char *Name, SimOutcome G, SimOutcome C, SimOutcome F,
 
 } // namespace
 
-int main() {
+int main(int Argc, char **Argv) {
+  // --trace-out=FILE drains the simulated op/wait/abort spans into a
+  // Chrome trace (pid 2, timestamps in abstract cycles).
+  const char *TracePath = nullptr;
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strncmp(Argv[I], "--trace-out=", 12) == 0 && Argv[I][12]) {
+      TracePath = Argv[I] + 12;
+    } else {
+      std::fprintf(stderr, "bench_table2: unknown option '%s'\n", Argv[I]);
+      std::fprintf(stderr, "usage: bench_table2 [--trace-out=FILE]\n");
+      return 2;
+    }
+  }
+  if (TracePath)
+    lockin::obs::tracer().setEnabled(true);
+
   constexpr unsigned Threads = 8;
   std::printf("Table 2: simulated execution time with %u threads "
               "(millions of cycles)\n\n", Threads);
@@ -71,5 +89,15 @@ int main() {
               "Global on the -low micro rows; fine locks halve "
               "hashtable-2-high; TH's disjoint\nregions give Coarse a "
               "2-4x win over Global.\n");
+
+  if (TracePath) {
+    std::ofstream Out(TracePath);
+    if (!Out) {
+      std::fprintf(stderr, "bench_table2: cannot write %s\n", TracePath);
+      return 1;
+    }
+    lockin::obs::tracer().writeChromeJson(Out);
+    std::printf("wrote %s\n", TracePath);
+  }
   return 0;
 }

@@ -1,0 +1,54 @@
+//===--- Cli.h - lockinfer command-line parsing -----------------*- C++ -*-===//
+//
+// Part of the lockin project: lock inference for atomic sections.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Command-line parsing for the lockinfer tool, split out of main() so
+/// tests can drive it. Options are described by a single table (spec,
+/// value arity, help text); the parser and the usage text are both
+/// generated from it. Values are accepted as either a separate argument
+/// ("--jobs 4") or attached with '=' ("--jobs=4").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LOCKIN_DRIVER_CLI_H
+#define LOCKIN_DRIVER_CLI_H
+
+#include <cstdio>
+#include <string>
+
+namespace lockin {
+namespace cli {
+
+struct CliOptions {
+  unsigned K = 3;
+  unsigned Jobs = 0;
+  bool Run = false;
+  bool GlobalLock = false;
+  bool Quiet = false;
+  bool TimePasses = false;
+  bool Stats = false;
+  bool ProfileLocks = false;
+  bool Help = false;
+  std::string TraceOut;   ///< Chrome trace JSON path; empty = no tracing
+  std::string MetricsOut; ///< metrics JSON path; "-" = stdout, empty = off
+  std::string Path;
+};
+
+/// Strict base-10 unsigned parse; rejects empty, trailing junk, overflow.
+bool parseUnsigned(const char *Text, unsigned &Out);
+
+/// Prints the generated option table.
+void usage(std::FILE *To);
+
+/// Parses \p Argv (argv[0] is skipped) into \p Out. Returns true on
+/// success; on failure prints a diagnostic to stderr. --help short-
+/// circuits the missing-input check.
+bool parseArgs(int Argc, const char *const *Argv, CliOptions &Out);
+
+} // namespace cli
+} // namespace lockin
+
+#endif // LOCKIN_DRIVER_CLI_H

@@ -11,155 +11,52 @@
 ///
 ///   lockinfer [options] file.atom
 ///
-/// Options are described by a single table (spec, value arity, help
-/// text); the parser and the usage text are both generated from it, and
-/// malformed invocations (unknown flags, missing or non-numeric values,
-/// several input files) are rejected with a diagnostic.
+/// Reports (--time-passes, --stats) go to stderr so stdout stays the
+/// machine-readable program output; --metrics-out=- explicitly routes the
+/// metrics JSON to stdout. --trace-out and --profile-locks arm the
+/// observability layer before the pipeline runs and drain it at exit.
 ///
 //===----------------------------------------------------------------------===//
 
+#include "driver/Cli.h"
 #include "driver/Compiler.h"
+#include "obs/LockProfiler.h"
+#include "obs/Metrics.h"
+#include "obs/Obs.h"
+#include "obs/Trace.h"
 
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <fstream>
+#include <iostream>
 #include <sstream>
 #include <string>
 
 using namespace lockin;
 
-namespace {
-
-struct CliOptions {
-  unsigned K = 3;
-  unsigned Jobs = 0;
-  bool Run = false;
-  bool GlobalLock = false;
-  bool Quiet = false;
-  bool TimePasses = false;
-  bool Stats = false;
-  bool Help = false;
-  std::string Path;
-};
-
-bool parseUnsigned(const char *Text, unsigned &Out) {
-  if (!Text || !*Text)
-    return false;
-  char *End = nullptr;
-  unsigned long Value = std::strtoul(Text, &End, 10);
-  if (End == Text || *End != '\0' || Value > 0xffffffffUL)
-    return false;
-  Out = static_cast<unsigned>(Value);
-  return true;
-}
-
-struct OptionSpec {
-  const char *Short;      ///< e.g. "-k", or nullptr
-  const char *Long;       ///< e.g. "--jobs", or nullptr
-  const char *ValueName;  ///< non-null iff the option takes a value
-  const char *Help;
-  bool (*Apply)(CliOptions &, const char *Value);
-};
-
-const OptionSpec Options[] = {
-    {"-k", nullptr, "N", "expression-lock depth limit (default 3)",
-     [](CliOptions &O, const char *V) { return parseUnsigned(V, O.K); }},
-    {"-j", "--jobs", "N",
-     "analysis worker threads; 0 = hardware concurrency (default), 1 = "
-     "serial",
-     [](CliOptions &O, const char *V) { return parseUnsigned(V, O.Jobs); }},
-    {nullptr, "--run", nullptr, "execute the program in the interpreter",
-     [](CliOptions &O, const char *) { return O.Run = true; }},
-    {nullptr, "--global-lock", nullptr,
-     "run with one global lock instead of the inferred locks",
-     [](CliOptions &O, const char *) { return O.GlobalLock = true; }},
-    {nullptr, "--quiet", nullptr, "suppress the transformed-program report",
-     [](CliOptions &O, const char *) { return O.Quiet = true; }},
-    {nullptr, "--time-passes", nullptr,
-     "print per-pass wall times after compiling",
-     [](CliOptions &O, const char *) { return O.TimePasses = true; }},
-    {nullptr, "--stats", nullptr,
-     "print analysis counters (SCCs, summaries, caches)",
-     [](CliOptions &O, const char *) { return O.Stats = true; }},
-    {nullptr, "--help", nullptr, "show this help",
-     [](CliOptions &O, const char *) { return O.Help = true; }},
-};
-
-void usage(std::FILE *To) {
-  std::fputs("usage: lockinfer [options] file.atom\noptions:\n", To);
-  for (const OptionSpec &Spec : Options) {
-    char Flags[48];
-    std::snprintf(Flags, sizeof(Flags), "%s%s%s %s",
-                  Spec.Short ? Spec.Short : "",
-                  Spec.Short && Spec.Long ? ", " : "",
-                  Spec.Long ? Spec.Long : "",
-                  Spec.ValueName ? Spec.ValueName : "");
-    std::fprintf(To, "  %-22s %s\n", Flags, Spec.Help);
-  }
-}
-
-const OptionSpec *findOption(const char *Arg) {
-  for (const OptionSpec &Spec : Options)
-    if ((Spec.Short && std::strcmp(Arg, Spec.Short) == 0) ||
-        (Spec.Long && std::strcmp(Arg, Spec.Long) == 0))
-      return &Spec;
-  return nullptr;
-}
-
-/// Returns true on success; on failure prints a diagnostic and usage.
-bool parseArgs(int Argc, char **Argv, CliOptions &Out) {
-  for (int I = 1; I < Argc; ++I) {
-    const char *Arg = Argv[I];
-    if (Arg[0] != '-') {
-      if (!Out.Path.empty()) {
-        std::fprintf(stderr, "error: multiple input files ('%s' and '%s')\n",
-                     Out.Path.c_str(), Arg);
-        return false;
-      }
-      Out.Path = Arg;
-      continue;
-    }
-    const OptionSpec *Spec = findOption(Arg);
-    if (!Spec) {
-      std::fprintf(stderr, "error: unknown option '%s'\n", Arg);
-      return false;
-    }
-    const char *Value = nullptr;
-    if (Spec->ValueName) {
-      if (I + 1 >= Argc) {
-        std::fprintf(stderr, "error: option '%s' requires a value\n", Arg);
-        return false;
-      }
-      Value = Argv[++I];
-    }
-    if (!Spec->Apply(Out, Value)) {
-      std::fprintf(stderr, "error: invalid value '%s' for option '%s'\n",
-                   Value ? Value : "", Arg);
-      return false;
-    }
-  }
-  if (Out.Help)
-    return true;
-  if (Out.Path.empty()) {
-    std::fprintf(stderr, "error: no input file\n");
-    return false;
-  }
-  return true;
-}
-
-} // namespace
-
 int main(int Argc, char **Argv) {
-  CliOptions Cli;
-  if (!parseArgs(Argc, Argv, Cli)) {
-    usage(stderr);
+  cli::CliOptions Cli;
+  if (!cli::parseArgs(Argc, Argv, Cli)) {
+    cli::usage(stderr);
     return 2;
   }
   if (Cli.Help) {
-    usage(stdout);
+    cli::usage(stdout);
     return 0;
   }
+
+  bool WantObs =
+      !Cli.TraceOut.empty() || !Cli.MetricsOut.empty() || Cli.ProfileLocks;
+  if (WantObs && !obs::kEnabled)
+    std::fprintf(stderr,
+                 "warning: built with LOCKIN_OBS=OFF; instrumentation "
+                 "sites are compiled out and observability output will "
+                 "be empty\n");
+  // Arm before compiling so pass spans and the run are both captured.
+  // Tracing implies the profiler (the per-node wait spans come from it).
+  if (!Cli.TraceOut.empty())
+    obs::tracer().setEnabled(true);
+  if (Cli.ProfileLocks || !Cli.TraceOut.empty())
+    obs::lockProfiler().setEnabled(true);
 
   std::ifstream In(Cli.Path);
   if (!In) {
@@ -182,9 +79,9 @@ int main(int Argc, char **Argv) {
   if (!Cli.Quiet)
     std::fputs(C->report().c_str(), stdout);
   if (Cli.TimePasses)
-    std::fputs(C->pipelineStats().renderTimings().c_str(), stdout);
+    std::fputs(C->pipelineStats().renderTimings().c_str(), stderr);
   if (Cli.Stats)
-    std::fputs(C->pipelineStats().renderStats().c_str(), stdout);
+    std::fputs(C->pipelineStats().renderStats().c_str(), stderr);
 
   if (Cli.Run) {
     InterpOptions RunOptions;
@@ -198,6 +95,34 @@ int main(int Argc, char **Argv) {
     std::printf("; run ok, main returned %lld, %llu steps\n",
                 static_cast<long long>(Result.MainResult),
                 static_cast<unsigned long long>(Result.TotalSteps));
+  }
+
+  if (Cli.ProfileLocks)
+    std::fputs(obs::lockProfiler().renderTable().c_str(), stdout);
+  if (!Cli.MetricsOut.empty()) {
+    if (Cli.MetricsOut == "-") {
+      obs::metrics().writeJson(std::cout);
+    } else {
+      std::ofstream Out(Cli.MetricsOut);
+      if (!Out) {
+        std::fprintf(stderr, "error: cannot write %s\n",
+                     Cli.MetricsOut.c_str());
+        return 1;
+      }
+      obs::metrics().writeJson(Out);
+    }
+  }
+  if (!Cli.TraceOut.empty()) {
+    std::ofstream Out(Cli.TraceOut);
+    if (!Out) {
+      std::fprintf(stderr, "error: cannot write %s\n", Cli.TraceOut.c_str());
+      return 1;
+    }
+    obs::tracer().writeChromeJson(Out);
+    if (uint64_t Dropped = obs::tracer().totalDropped())
+      std::fprintf(stderr,
+                   "note: trace ring buffers dropped %llu oldest events\n",
+                   static_cast<unsigned long long>(Dropped));
   }
   return 0;
 }

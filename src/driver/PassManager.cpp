@@ -6,6 +6,10 @@
 
 #include "driver/PassManager.h"
 
+#include "obs/Metrics.h"
+#include "obs/Obs.h"
+#include "obs/Trace.h"
+
 #include <cstdio>
 
 using namespace lockin;
@@ -14,6 +18,20 @@ void PassManager::record(std::string Name,
                          std::chrono::steady_clock::time_point Start) {
   auto End = std::chrono::steady_clock::now();
   double Seconds = std::chrono::duration<double>(End - Start).count();
+  if constexpr (obs::kEnabled) {
+    uint64_t Ns = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(End - Start)
+            .count());
+    obs::metrics().counter("pass." + Name + ".ns").add(Ns);
+    obs::Tracer &T = obs::tracer();
+    if (T.enabled()) {
+      uint64_t EndNs = static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              End.time_since_epoch())
+              .count());
+      T.span(obs::EventKind::PassSpan, EndNs - Ns, Ns, T.internName(Name));
+    }
+  }
   Timings.push_back(PassTiming{std::move(Name), Seconds});
 }
 

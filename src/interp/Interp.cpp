@@ -6,6 +6,8 @@
 
 #include "interp/Interp.h"
 
+#include "obs/Obs.h"
+#include "obs/Trace.h"
 #include "support/Rng.h"
 
 #include <atomic>
@@ -150,6 +152,13 @@ private:
     if (++Steps > S.Options.MaxSteps) {
       S.fail("step limit exceeded (runaway loop?)");
       return false;
+    }
+    if constexpr (obs::kEnabled) {
+      // Periodic counter samples give the trace a progress track without
+      // touching the tracer on the other 65535 steps.
+      if ((Steps & 0xFFFF) == 0 && obs::tracer().enabled())
+        obs::tracer().span(obs::EventKind::StepsCount, obs::nowNs(), 0,
+                           Steps);
     }
     return true;
   }
@@ -345,6 +354,11 @@ bool ThreadExec::buildDescriptors(
 }
 
 bool ThreadExec::enterSection(const Frame &Fr, const AtomicIrStmt *A) {
+  if constexpr (obs::kEnabled) {
+    // Tag sections 1-based so tag 0 stays "untagged" in the profiler.
+    if (!LockCtx.insideAtomic())
+      LockCtx.setSectionTag(A->sectionId() + 1);
+  }
   switch (S.Options.Mode) {
   case AtomicMode::None:
     LockCtx.acquireAll(); // tracks nesting; acquires nothing
@@ -656,13 +670,24 @@ Flow ThreadExec::execStmt(const Frame &Fr, const IrStmt *St) {
   }
   case IrStmt::Kind::Atomic: {
     const auto *A = cast<AtomicIrStmt>(St);
+    uint64_t SpanT0 = 0;
+    if constexpr (obs::kEnabled) {
+      if (!LockCtx.insideAtomic() && obs::tracer().enabled())
+        SpanT0 = obs::nowNs();
+    }
     if (!enterSection(Fr, A))
       return Flow::Stopped;
     Flow F = execStmt(Fr, A->body());
     // Release on both normal exit and return; a Stopped run aborts anyway.
     LockCtx.releaseAll();
-    if (!LockCtx.insideAtomic())
+    if (!LockCtx.insideAtomic()) {
       SectionAllocs.clear();
+      if constexpr (obs::kEnabled) {
+        if (SpanT0)
+          obs::tracer().span(obs::EventKind::SectionSpan, SpanT0,
+                             obs::nowNs() - SpanT0, A->sectionId());
+      }
+    }
     return F;
   }
   case IrStmt::Kind::Return: {
@@ -806,6 +831,11 @@ InterpResult lockin::interpret(const IrModule &Module,
 
   Result.TotalSteps = S.TotalSteps.load();
   Result.ProtectionChecks = S.ProtectionChecks.load();
+  if constexpr (obs::kEnabled) {
+    obs::MetricsRegistry &Reg = S.LockRT->registry();
+    Reg.counter("interp.total_steps").add(Result.TotalSteps);
+    Reg.counter("interp.protection_checks").add(Result.ProtectionChecks);
+  }
   {
     std::lock_guard<std::mutex> Lock(S.ErrorMu);
     Result.Error = S.Error;

@@ -1,0 +1,195 @@
+//===--- LockProfiler.cpp - Per-node lock contention profiler ------------------===//
+//
+// Part of the lockin project: lock inference for atomic sections.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/LockProfiler.h"
+
+#include "runtime/Mode.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+using namespace lockin;
+using namespace lockin::obs;
+
+LockProfiler::~LockProfiler() = default;
+
+uint32_t LockProfiler::registerNode(const LockNodeInfo &Info) {
+  uint32_t Id = NextNodeId.fetch_add(1, std::memory_order_acq_rel);
+  if (Id >= ChunkedTable<NodeSlot>::MaxChunks *
+                ChunkedTable<NodeSlot>::ChunkSize)
+    return 0; // table exhausted: the node simply goes unprofiled
+  Nodes.ensure(Id, Mu);
+  Infos.ensure(Id, Mu) = Info;
+  return Id;
+}
+
+SectionSlot &LockProfiler::sectionSlot(uint32_t SectionId) {
+  uint32_t Cur = MaxSectionId.load(std::memory_order_relaxed);
+  while (SectionId > Cur &&
+         !MaxSectionId.compare_exchange_weak(Cur, SectionId,
+                                             std::memory_order_relaxed)) {
+  }
+  return Sections.ensure(SectionId, Mu);
+}
+
+LockNodeInfo LockProfiler::nodeInfo(uint32_t Id) const {
+  const LockNodeInfo *Info = Infos.get(Id);
+  return Info ? *Info : LockNodeInfo{};
+}
+
+void LockProfiler::reset() {
+  uint32_t N = NextNodeId.load(std::memory_order_acquire);
+  for (uint32_t Id = 1; Id < N; ++Id) {
+    NodeSlot *S = Nodes.get(Id);
+    if (!S)
+      continue;
+    S->Acquires.reset();
+    S->Contentions.reset();
+    for (Counter &M : S->ModeCounts)
+      M.reset();
+    S->WaitNs.reset();
+    S->HoldNs.reset();
+  }
+  uint32_t MaxSec = MaxSectionId.load(std::memory_order_relaxed);
+  for (uint32_t Id = 0; Id <= MaxSec; ++Id) {
+    SectionSlot *S = Sections.get(Id);
+    if (!S)
+      continue;
+    S->Entries.reset();
+    S->NestedSkips.reset();
+    S->Locks.reset();
+    S->Nodes.reset();
+    for (Counter &M : S->ModeCounts)
+      M.reset();
+  }
+}
+
+namespace {
+
+void describeNode(char *Buf, size_t N, const LockNodeInfo &Info) {
+  switch (Info.K) {
+  case LockNodeInfo::Kind::Root:
+    std::snprintf(Buf, N, "root");
+    break;
+  case LockNodeInfo::Kind::Region:
+    std::snprintf(Buf, N, "region %" PRIu32, Info.Region);
+    break;
+  case LockNodeInfo::Kind::Leaf:
+    std::snprintf(Buf, N, "leaf r%" PRIu32 " 0x%" PRIx64, Info.Region,
+                  Info.Address);
+    break;
+  }
+}
+
+} // namespace
+
+std::string LockProfiler::renderTable() const {
+  std::string Out = "; lock profile (timings sampled 1/";
+  char Line[256];
+  std::snprintf(Line, sizeof(Line), "%u sections unless traced):\n",
+                kSampleEvery);
+  Out += Line;
+
+  // Per-node table, worst contention first.
+  struct RankedNode {
+    uint32_t Id;
+    const NodeSlot *S;
+  };
+  std::vector<RankedNode> Ranked;
+  uint32_t N = NextNodeId.load(std::memory_order_acquire);
+  for (uint32_t Id = 1; Id < N; ++Id) {
+    const NodeSlot *S = const_cast<LockProfiler *>(this)->Nodes.get(Id);
+    if (S && (S->Acquires.value() || S->Contentions.value() ||
+              S->WaitNs.count()))
+      Ranked.push_back({Id, S});
+  }
+  std::sort(Ranked.begin(), Ranked.end(),
+            [](const RankedNode &A, const RankedNode &B) {
+              if (A.S->Contentions.value() != B.S->Contentions.value())
+                return A.S->Contentions.value() > B.S->Contentions.value();
+              if (A.S->WaitNs.sum() != B.S->WaitNs.sum())
+                return A.S->WaitNs.sum() > B.S->WaitNs.sum();
+              return A.Id < B.Id;
+            });
+  constexpr size_t MaxRows = 24;
+
+  std::snprintf(Line, sizeof(Line),
+                ";   %-20s %10s %9s %12s %12s %12s %12s\n", "node",
+                "acquires", "contend", "wait-p50ns", "wait-p99ns",
+                "hold-p50ns", "hold-p99ns");
+  Out += Line;
+  for (size_t I = 0; I < Ranked.size() && I < MaxRows; ++I) {
+    char Desc[64];
+    describeNode(Desc, sizeof(Desc), nodeInfo(Ranked[I].Id));
+    const NodeSlot &S = *Ranked[I].S;
+    std::snprintf(Line, sizeof(Line),
+                  ";   %-20s %10" PRIu64 " %9" PRIu64 " %12" PRIu64
+                  " %12" PRIu64 " %12" PRIu64 " %12" PRIu64 "\n",
+                  Desc, S.Acquires.value(), S.Contentions.value(),
+                  S.WaitNs.quantile(0.50), S.WaitNs.quantile(0.99),
+                  S.HoldNs.quantile(0.50), S.HoldNs.quantile(0.99));
+    Out += Line;
+  }
+  if (Ranked.size() > MaxRows) {
+    std::snprintf(Line, sizeof(Line), ";   ... %zu more nodes\n",
+                  Ranked.size() - MaxRows);
+    Out += Line;
+  }
+  if (Ranked.empty())
+    Out += ";   (no lock activity recorded)\n";
+
+  // Per-section rollup: the live Table-2 shape.
+  Out += "; sections:\n";
+  std::snprintf(Line, sizeof(Line),
+                ";   %-8s %10s %12s %12s %12s  %s\n", "section", "entries",
+                "locks/entry", "nodes/entry", "nested-skip",
+                "mode mix IS/IX/S/SIX/X");
+  Out += Line;
+  uint32_t MaxSec = MaxSectionId.load(std::memory_order_relaxed);
+  bool AnySection = false;
+  for (uint32_t Id = 0; Id <= MaxSec; ++Id) {
+    const SectionSlot *S = const_cast<LockProfiler *>(this)->Sections.get(Id);
+    if (!S || (S->Entries.value() == 0 && S->NestedSkips.value() == 0))
+      continue;
+    AnySection = true;
+    uint64_t E = S->Entries.value();
+    double LocksPer = E ? static_cast<double>(S->Locks.value()) /
+                              static_cast<double>(E)
+                        : 0;
+    double NodesPer = E ? static_cast<double>(S->Nodes.value()) /
+                              static_cast<double>(E)
+                        : 0;
+    uint64_t Inner = S->NestedSkips.value();
+    double SkipRate = (E + Inner)
+                          ? static_cast<double>(Inner) /
+                                static_cast<double>(E + Inner)
+                          : 0;
+    // Tags are 1-based static section ids (0 = untagged callers).
+    char SecName[16];
+    if (Id == 0)
+      std::snprintf(SecName, sizeof(SecName), "(untagged)");
+    else
+      std::snprintf(SecName, sizeof(SecName), "s%" PRIu32, Id - 1);
+    std::snprintf(Line, sizeof(Line),
+                  ";   %-8s %10" PRIu64 " %12.2f %12.2f %11.0f%%  "
+                  "%" PRIu64 "/%" PRIu64 "/%" PRIu64 "/%" PRIu64
+                  "/%" PRIu64 "\n",
+                  SecName, E, LocksPer, NodesPer, SkipRate * 100.0,
+                  S->ModeCounts[0].value(), S->ModeCounts[1].value(),
+                  S->ModeCounts[2].value(), S->ModeCounts[3].value(),
+                  S->ModeCounts[4].value());
+    Out += Line;
+  }
+  if (!AnySection)
+    Out += ";   (no tagged sections recorded)\n";
+  return Out;
+}
+
+LockProfiler &obs::lockProfiler() {
+  static LockProfiler P;
+  return P;
+}

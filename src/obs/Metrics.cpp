@@ -1,0 +1,96 @@
+//===--- Metrics.cpp - Named counters and log2 histograms ----------------------===//
+//
+// Part of the lockin project: lock inference for atomic sections.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Metrics.h"
+
+using namespace lockin;
+using namespace lockin::obs;
+
+Counter &MetricsRegistry::counter(std::string_view Name) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Counters.find(Name);
+  if (It == Counters.end())
+    It = Counters.emplace(std::string(Name), std::make_unique<Counter>())
+             .first;
+  return *It->second;
+}
+
+Histogram &MetricsRegistry::histogram(std::string_view Name) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Histograms.find(Name);
+  if (It == Histograms.end())
+    It = Histograms.emplace(std::string(Name), std::make_unique<Histogram>())
+             .first;
+  return *It->second;
+}
+
+uint64_t Histogram::quantile(double P) const {
+  uint64_t N = count();
+  if (N == 0)
+    return 0;
+  if (P < 0)
+    P = 0;
+  if (P > 1)
+    P = 1;
+  // Rank of the requested observation, 1-based.
+  uint64_t Rank = static_cast<uint64_t>(P * static_cast<double>(N - 1)) + 1;
+  uint64_t Seen = 0;
+  for (unsigned B = 0; B < NumBuckets; ++B) {
+    Seen += bucketCount(B);
+    if (Seen >= Rank) {
+      if (B <= 1)
+        return B; // exact: bucket 0 = {0}, bucket 1 = {1}
+      // Geometric midpoint of [2^(B-1), 2^B): 2^(B-1) * sqrt(2).
+      uint64_t Lo = bucketLo(B);
+      return Lo + (Lo >> 1); // ~1.5*Lo, close to sqrt(2)*Lo = 1.41*Lo
+    }
+  }
+  return bucketHi(NumBuckets - 1);
+}
+
+void MetricsRegistry::writeJson(std::ostream &OS) const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  OS << "{\n  \"counters\": {";
+  bool First = true;
+  for (const auto &[Name, C] : Counters) {
+    OS << (First ? "\n" : ",\n") << "    \"" << Name
+       << "\": " << C->value();
+    First = false;
+  }
+  OS << (First ? "" : "\n  ") << "},\n  \"histograms\": {";
+  First = true;
+  for (const auto &[Name, H] : Histograms) {
+    OS << (First ? "\n" : ",\n") << "    \"" << Name << "\": {\"count\": "
+       << H->count() << ", \"sum\": " << H->sum()
+       << ", \"p50\": " << H->quantile(0.50)
+       << ", \"p99\": " << H->quantile(0.99) << ", \"buckets\": [";
+    bool FirstBucket = true;
+    for (unsigned B = 0; B < Histogram::NumBuckets; ++B) {
+      uint64_t N = H->bucketCount(B);
+      if (N == 0)
+        continue;
+      OS << (FirstBucket ? "" : ", ") << "[" << Histogram::bucketHi(B)
+         << ", " << N << "]";
+      FirstBucket = false;
+    }
+    OS << "]}";
+    First = false;
+  }
+  OS << (First ? "" : "\n  ") << "}\n}\n";
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  for (auto &[Name, C] : Counters)
+    C->reset();
+  for (auto &[Name, H] : Histograms)
+    H->reset();
+}
+
+MetricsRegistry &obs::metrics() {
+  static MetricsRegistry Registry;
+  return Registry;
+}

@@ -1,0 +1,48 @@
+//===--- Obs.h - Observability master switch and clock ----------*- C++ -*-===//
+//
+// Part of the lockin project: lock inference for atomic sections.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The root of the `lockin_obs` observability layer (see DESIGN.md
+/// "Observability"): the compile-time master switch and the shared
+/// monotonic clock.
+///
+/// The classes in obs/ (MetricsRegistry, Tracer, LockProfiler) are always
+/// compiled — tests exercise them directly in every configuration. What
+/// the LOCKIN_OBS CMake option controls is the *instrumentation sites* in
+/// the runtime, interpreter, pass manager, and simulator: every hook is
+/// guarded by `if constexpr (obs::kEnabled)`, so an OFF build compiles
+/// them out to nothing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LOCKIN_OBS_OBS_H
+#define LOCKIN_OBS_OBS_H
+
+#include <chrono>
+#include <cstdint>
+
+namespace lockin {
+namespace obs {
+
+#if defined(LOCKIN_OBS) && LOCKIN_OBS
+inline constexpr bool kEnabled = true;
+#else
+inline constexpr bool kEnabled = false;
+#endif
+
+/// Monotonic nanoseconds since an arbitrary epoch; the timestamp base of
+/// every trace event and wait/hold measurement.
+inline uint64_t nowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+} // namespace obs
+} // namespace lockin
+
+#endif // LOCKIN_OBS_OBS_H

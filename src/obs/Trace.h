@@ -1,0 +1,174 @@
+//===--- Trace.h - Per-thread ring-buffer event tracer ----------*- C++ -*-===//
+//
+// Part of the lockin project: lock inference for atomic sections.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Event tracing for runtime + pipeline: each thread writes POD TraceEvent
+/// records into its own fixed-capacity ring buffer — plain stores plus one
+/// release store of the cursor, no locks, no allocation after the buffer
+/// exists — and the Tracer drains every buffer into Chrome trace-event
+/// JSON ("traceEvents" array of "X" complete events) at shutdown. The
+/// output loads directly in chrome://tracing and Perfetto.
+///
+/// Overflow policy: the ring wraps, overwriting the oldest events; the
+/// monotonically increasing cursor makes the number of overwritten
+/// ("dropped") events exact. The drained trace is the most recent
+/// `capacity` events per thread plus a per-thread drop count in metadata.
+///
+/// Concurrency: one writer per buffer (the owning thread). Draining is
+/// race-free once writers have quiesced — the cursor's release/acquire
+/// pair publishes every slot write — which is the shutdown situation the
+/// tool uses; the TSan test covers exactly this write-join-drain pattern.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LOCKIN_OBS_TRACE_H
+#define LOCKIN_OBS_TRACE_H
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+namespace lockin {
+namespace obs {
+
+/// What a trace event describes; determines its rendered name and which
+/// Chrome "process" row it lands on (real-time vs simulated-time).
+enum class EventKind : uint8_t {
+  SectionSpan,  ///< atomic section, A = section id
+  AcquireSpan,  ///< one acquireAll call, A = nodes acquired
+  NodeWaitSpan, ///< parked wait for one lock node, A = node id
+  PassSpan,     ///< pipeline pass, A = interned name id
+  StepsCount,   ///< interpreter steps counter sample, A = steps so far
+  SimOpSpan,    ///< simulated atomic op, A = op index, Tid = logical thread
+  SimWaitSpan,  ///< simulated blocked interval, Tid = logical thread
+  SimAbort,     ///< simulated STM abort (instant), Tid = logical thread
+};
+
+/// One POD trace record. Spans use TsNs/DurNs; instants and counters use
+/// TsNs with DurNs = 0. Tid = 0 means "the emitting thread"; simulated
+/// events carry a logical thread id instead (and TsNs in abstract cycles).
+struct TraceEvent {
+  uint64_t TsNs = 0;
+  uint64_t DurNs = 0;
+  uint64_t A = 0;
+  uint32_t Tid = 0;
+  EventKind Kind = EventKind::SectionSpan;
+  uint8_t Mode = 0; ///< lock mode for NodeWaitSpan
+};
+
+/// Fixed-capacity single-writer ring of TraceEvents.
+class ThreadTraceBuffer {
+public:
+  /// \p Capacity is rounded up to a power of two.
+  explicit ThreadTraceBuffer(size_t Capacity);
+
+  void emit(const TraceEvent &E) {
+    uint64_t C = Cursor.load(std::memory_order_relaxed);
+    Ring[C & Mask] = E;
+    // Release: a drainer that acquires the cursor sees the slot contents.
+    Cursor.store(C + 1, std::memory_order_release);
+  }
+
+  size_t capacity() const { return Ring.size(); }
+  /// Total events ever written (monotonic).
+  uint64_t written() const {
+    return Cursor.load(std::memory_order_acquire);
+  }
+  /// Events overwritten by ring wrap-around.
+  uint64_t dropped() const {
+    uint64_t W = written();
+    return W > Ring.size() ? W - Ring.size() : 0;
+  }
+  /// Events currently retained.
+  size_t size() const {
+    uint64_t W = written();
+    return W < Ring.size() ? static_cast<size_t>(W) : Ring.size();
+  }
+  /// Retained events oldest-first: I in [0, size()).
+  const TraceEvent &at(size_t I) const {
+    uint64_t W = written();
+    uint64_t Start = W > Ring.size() ? W - Ring.size() : 0;
+    return Ring[(Start + I) & Mask];
+  }
+
+  std::thread::id ownerThread() const { return Owner; }
+  uint32_t tid() const { return TidV; }
+
+private:
+  friend class Tracer;
+  std::vector<TraceEvent> Ring;
+  uint64_t Mask;
+  std::atomic<uint64_t> Cursor{0};
+  std::thread::id Owner;
+  uint32_t TidV = 0;
+};
+
+/// Owns one ThreadTraceBuffer per emitting thread (created on first use,
+/// kept until the tracer is cleared so buffers outlive their threads) and
+/// serializes them to Chrome trace JSON.
+class Tracer {
+public:
+  Tracer() = default;
+  Tracer(const Tracer &) = delete;
+  Tracer &operator=(const Tracer &) = delete;
+
+  bool enabled() const { return Enabled.load(std::memory_order_relaxed); }
+  void setEnabled(bool On) {
+    Enabled.store(On, std::memory_order_relaxed);
+  }
+
+  /// Per-thread ring capacity for buffers created after this call.
+  void setCapacity(size_t Events) { Capacity = Events; }
+
+  /// The calling thread's buffer (created on first use).
+  ThreadTraceBuffer &buffer();
+
+  /// Emit on the calling thread's buffer iff the tracer is enabled.
+  void emit(const TraceEvent &E) {
+    if (enabled())
+      buffer().emit(E);
+  }
+  void span(EventKind Kind, uint64_t TsNs, uint64_t DurNs, uint64_t A,
+            uint32_t Tid = 0, uint8_t Mode = 0) {
+    emit(TraceEvent{TsNs, DurNs, A, Tid, Kind, Mode});
+  }
+
+  /// Interns \p Name for PassSpan events; returns its id.
+  uint32_t internName(std::string_view Name);
+
+  /// Drains every buffer into one Chrome trace-event JSON document.
+  /// Call after emitting threads have quiesced (see file comment).
+  void writeChromeJson(std::ostream &OS) const;
+
+  uint64_t totalDropped() const;
+  uint64_t totalWritten() const;
+
+  /// Drops every buffer and interned name (tests).
+  void clear();
+
+private:
+  std::atomic<bool> Enabled{false};
+  size_t Capacity = 1 << 15;
+  mutable std::mutex Mu; // guards Buffers + Names
+  std::vector<std::unique_ptr<ThreadTraceBuffer>> Buffers;
+  std::vector<std::string> Names;
+  // Bumped on clear() so stale thread-local buffer caches miss.
+  std::atomic<uint64_t> Epoch{0};
+};
+
+/// The process-wide default tracer (what --trace-out drains).
+Tracer &tracer();
+
+} // namespace obs
+} // namespace lockin
+
+#endif // LOCKIN_OBS_TRACE_H

@@ -11,6 +11,7 @@
 
 #include <atomic>
 #include <cassert>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -46,11 +47,15 @@ inline void cpuRelax() {
 /// waiter bit was set, so uncontended sections never pay a wakeup.
 class LockNode {
 public:
-  /// Blocks until the node is granted in \p M.
-  void acquire(Mode M) {
+  /// Blocks until the node is granted in \p M. Returns true iff the
+  /// thread had to park (the contended slow path); when \p WaitNs is
+  /// non-null it receives the parked wait in nanoseconds (and is left
+  /// untouched on the uncontended path, which never reads the clock).
+  bool acquire(Mode M, uint64_t *WaitNs = nullptr) {
     if (fastAcquire(M))
-      return;
-    slowAcquire(M);
+      return false;
+    slowAcquire(M, WaitNs);
+    return true;
   }
 
   /// Releases one grant of \p M.
@@ -162,7 +167,15 @@ private:
     }
   }
 
-  void slowAcquire(Mode M) {
+  static uint64_t clockNs() {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+
+  void slowAcquire(Mode M, uint64_t *WaitNs) {
+    const uint64_t T0 = WaitNs ? clockNs() : 0;
     const uint64_t Conflicts = conflictMask(M);
     const uint64_t One = grantOne(M);
     std::unique_lock<std::mutex> Lock(Mu);
@@ -190,6 +203,8 @@ private:
       Word.fetch_and(~WaiterBit, std::memory_order_relaxed);
     // The next waiter may also be compatible (e.g. another reader).
     CV.notify_all();
+    if (WaitNs)
+      *WaitNs = clockNs() - T0;
   }
 
   struct Waiter {
@@ -197,6 +212,12 @@ private:
     Mode M;
   };
 
+public:
+  /// Slot id in the lock profiler's node table; 0 = unregistered. Set
+  /// once at node creation by the owning LockRuntime, read-only after.
+  uint32_t ObsId = 0;
+
+private:
   std::atomic<uint64_t> Word{0};
   std::mutex Mu;                // guards Waiters/NextTicket + CV protocol
   std::condition_variable CV;

@@ -12,10 +12,31 @@
 using namespace lockin;
 using namespace lockin::rt;
 
-LockRuntime::LockRuntime(unsigned NumRegions) {
+LockRuntime::LockRuntime(unsigned NumRegions, obs::MetricsRegistry *Registry,
+                         obs::LockProfiler *Profiler)
+    : Reg(Registry ? Registry : &obs::metrics()),
+      Prof(Profiler ? Profiler : &obs::lockProfiler()) {
   Regions.reserve(NumRegions);
   for (unsigned I = 0; I < NumRegions; ++I)
     Regions.push_back(std::make_unique<LockNode>());
+  SC.AcquireAllCalls = &Reg->counter("runtime.acquire_all_calls");
+  SC.NodeAcquisitions = &Reg->counter("runtime.node_acquisitions");
+  SC.NestedSkips = &Reg->counter("runtime.nested_skips");
+  SC.LeafCacheHits = &Reg->counter("runtime.leaf_cache_hits");
+  SC.LeafCacheMisses = &Reg->counter("runtime.leaf_cache_misses");
+  if constexpr (obs::kEnabled) {
+    Root.ObsId = Prof->registerNode(
+        {obs::LockNodeInfo::Kind::Root, 0, 0});
+    for (unsigned I = 0; I < NumRegions; ++I)
+      Regions[I]->ObsId = Prof->registerNode(
+          {obs::LockNodeInfo::Kind::Region, I, 0});
+  }
+}
+
+LockRuntimeStats LockRuntime::stats() const {
+  return {SC.AcquireAllCalls->value(), SC.NodeAcquisitions->value(),
+          SC.NestedSkips->value(), SC.LeafCacheHits->value(),
+          SC.LeafCacheMisses->value()};
 }
 
 LockNode &LockRuntime::regionNode(uint32_t Region) {
@@ -28,8 +49,12 @@ LockNode &LockRuntime::leafNode(uint32_t Region, uint64_t Address) {
   Shard &S = Shards[LeafKeyHash{}(Key) & (NumShards - 1)];
   std::lock_guard<std::mutex> Lock(S.Mu);
   std::unique_ptr<LockNode> &Slot = S.Leaves[Key];
-  if (!Slot)
+  if (!Slot) {
     Slot = std::make_unique<LockNode>();
+    if constexpr (obs::kEnabled)
+      Slot->ObsId = Prof->registerNode(
+          {obs::LockNodeInfo::Kind::Leaf, Region, Address});
+  }
   return *Slot;
 }
 
@@ -127,6 +152,58 @@ void ThreadLockContext::acquireAllSlow() {
   std::swap(HeldDescriptors, Pending);
   Pending.clear();
   buildCoverIndex();
+  if constexpr (obs::kEnabled) {
+    if (ObsActive)
+      endObsAcquire();
+  }
+}
+
+// Recording tail of an instrumented grab: the node has already been
+// acquired on the inline path; this runs only for parked (exact wait
+// recording — parking already costs microseconds, so the bookkeeping
+// vanishes in the noise) or sampled grabs, so it can afford the chunked
+// table lookup.
+void ThreadLockContext::grabObs(LockNode &Node, Mode M, bool Parked,
+                                uint64_t ParkNs) {
+  if (Node.ObsId) {
+    obs::NodeSlot &Slot = RT.Prof->nodeSlot(Node.ObsId);
+    if (Parked) {
+      Slot.Contentions.inc();
+      Slot.WaitNs.record(ParkNs);
+      obs::tracer().span(obs::EventKind::NodeWaitSpan,
+                         obs::nowNs() - ParkNs, ParkNs, Node.ObsId, 0,
+                         static_cast<uint8_t>(M));
+    }
+    if (ObsActive) {
+      Slot.Acquires.add(ObsWeight);
+      Slot.ModeCounts[static_cast<unsigned>(M)].add(ObsWeight);
+    }
+  }
+  HeldNodes.push_back({&Node, M});
+}
+
+void ThreadLockContext::endObsAcquire() {
+  AcquireEndNs = obs::nowNs();
+  obs::SectionSlot &S = RT.Prof->sectionSlot(SectionTag);
+  S.Entries.add(ObsWeight);
+  S.Locks.add(HeldDescriptors.size() * ObsWeight);
+  S.Nodes.add(HeldNodes.size() * ObsWeight);
+  for (const HeldNode &H : HeldNodes)
+    S.ModeCounts[static_cast<unsigned>(H.M)].add(ObsWeight);
+  if (AcquireStartNs) // start timestamp is only taken when tracing
+    obs::tracer().span(obs::EventKind::AcquireSpan, AcquireStartNs,
+                       AcquireEndNs - AcquireStartNs, HeldNodes.size());
+}
+
+// Hold times are approximated as end-of-acquire → release for every node
+// of the section; the per-node grant instants are at most the acquire
+// span apart, far below the microsecond scale hold histograms resolve.
+void ThreadLockContext::recordHoldTimes() {
+  uint64_t Now = obs::nowNs();
+  for (const HeldNode &H : HeldNodes)
+    if (H.Node->ObsId)
+      RT.Prof->nodeSlot(H.Node->ObsId)
+          .HoldNs.recordWeighted(Now - AcquireEndNs, ObsWeight);
 }
 
 void ThreadLockContext::buildCoverIndex() {

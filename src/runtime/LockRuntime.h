@@ -28,6 +28,9 @@
 #ifndef LOCKIN_RUNTIME_LOCKRUNTIME_H
 #define LOCKIN_RUNTIME_LOCKRUNTIME_H
 
+#include "obs/LockProfiler.h"
+#include "obs/Obs.h"
+#include "obs/Trace.h"
 #include "runtime/LockNode.h"
 
 #include <algorithm>
@@ -76,18 +79,20 @@ struct LockDescriptor {
   }
 };
 
-/// Aggregate protocol statistics (for the ablation benchmark). Contexts
-/// buffer counts in plain per-thread cells and flush them here on
-/// destruction (or an explicit flushStats()), so the steady-state fast
-/// path performs no shared atomic RMWs at all. Recording is compiled out
-/// entirely when the LOCKIN_RUNTIME_STATS CMake option is OFF; the
-/// struct itself stays so callers compile either way.
+/// Snapshot of the aggregate protocol statistics (for the ablation
+/// benchmark and --stats). The live counts are "runtime.*" counters in
+/// the runtime's metrics registry; contexts buffer counts in plain
+/// per-thread cells and flush them there on destruction (or an explicit
+/// flushStats()), so the steady-state fast path performs no shared atomic
+/// RMWs at all. Recording is compiled out entirely when the LOCKIN_OBS
+/// CMake option is OFF; the struct itself stays so callers compile
+/// either way.
 struct LockRuntimeStats {
-  std::atomic<uint64_t> AcquireAllCalls{0};
-  std::atomic<uint64_t> NodeAcquisitions{0};
-  std::atomic<uint64_t> NestedSkips{0};
-  std::atomic<uint64_t> LeafCacheHits{0};
-  std::atomic<uint64_t> LeafCacheMisses{0};
+  uint64_t AcquireAllCalls = 0;
+  uint64_t NodeAcquisitions = 0;
+  uint64_t NestedSkips = 0;
+  uint64_t LeafCacheHits = 0;
+  uint64_t LeafCacheMisses = 0;
 };
 
 /// Shared lock table for one program run. Threads interact through
@@ -95,7 +100,11 @@ struct LockRuntimeStats {
 class LockRuntime {
 public:
   /// \p NumRegions must cover every region id used in descriptors.
-  explicit LockRuntime(unsigned NumRegions);
+  /// \p Registry and \p Profiler default to the process-global instances;
+  /// tests inject fresh ones for exact, isolated counts.
+  explicit LockRuntime(unsigned NumRegions,
+                       obs::MetricsRegistry *Registry = nullptr,
+                       obs::LockProfiler *Profiler = nullptr);
 
   LockNode &root() { return Root; }
   LockNode &regionNode(uint32_t Region);
@@ -110,7 +119,12 @@ public:
     return static_cast<unsigned>(Regions.size());
   }
 
-  LockRuntimeStats &stats() { return Stats; }
+  /// Current values of the shared "runtime.*" counters (see
+  /// ThreadLockContext::flushStats for when buffered counts land).
+  LockRuntimeStats stats() const;
+
+  obs::MetricsRegistry &registry() { return *Reg; }
+  obs::LockProfiler &profiler() { return *Prof; }
 
   struct LeafKey {
     uint32_t Region;
@@ -142,14 +156,27 @@ private:
   };
   Shard Shards[NumShards];
 
-  LockRuntimeStats Stats;
+  friend class ThreadLockContext;
+  obs::MetricsRegistry *Reg;
+  obs::LockProfiler *Prof;
+  /// Registry counter handles, resolved once at construction so context
+  /// flushes are pointer chases, not name lookups.
+  struct StatCounters {
+    obs::Counter *AcquireAllCalls = nullptr;
+    obs::Counter *NodeAcquisitions = nullptr;
+    obs::Counter *NestedSkips = nullptr;
+    obs::Counter *LeafCacheHits = nullptr;
+    obs::Counter *LeafCacheMisses = nullptr;
+  };
+  StatCounters SC;
 };
 
 /// Per-thread façade implementing the §5.2 API. Not thread-safe; create
 /// one per thread.
 class ThreadLockContext {
 public:
-  explicit ThreadLockContext(LockRuntime &RT) : RT(RT) {}
+  explicit ThreadLockContext(LockRuntime &RT)
+      : RT(RT), Trc(&obs::tracer()) {}
   ~ThreadLockContext();
 
   ThreadLockContext(const ThreadLockContext &) = delete;
@@ -162,6 +189,13 @@ public:
     Pending.push_back(D);
   }
 
+  /// Tags subsequent acquireAll calls with the static id of the atomic
+  /// section being entered, keying the profiler's per-section rollups
+  /// (entries, locks/entry, mode mix). 0 = untagged; the interpreter
+  /// passes static section id + 1.
+  void setSectionTag(uint32_t SectionId) { SectionTag = SectionId; }
+  uint32_t sectionTag() const { return SectionTag; }
+
   /// Acquires every pending lock using the multi-grain protocol. Nested
   /// calls (nesting level > 0) acquire nothing (§5.3). Single-descriptor
   /// sections — the overwhelmingly common case, one inferred lock per
@@ -170,10 +204,16 @@ public:
   void acquireAll() {
     if (NLevel++ > 0) {
       statInc(LStats.NestedSkips);
+      if constexpr (obs::kEnabled) {
+        if (ObsActive)
+          RT.Prof->sectionSlot(SectionTag).NestedSkips.add(ObsWeight);
+      }
       Pending.clear();
       return;
     }
     statInc(LStats.AcquireAllCalls);
+    if constexpr (obs::kEnabled)
+      beginObsSection();
     // The cover index and HeldNodes are invariably empty here: the
     // outermost acquireAll always follows a full releaseAll (or a fresh
     // context), so nothing needs clearing on this path.
@@ -196,6 +236,10 @@ public:
       // state.
       std::swap(HeldDescriptors, Pending);
       Pending.clear();
+      if constexpr (obs::kEnabled) {
+        if (ObsActive)
+          endObsAcquire();
+      }
       return;
     }
     acquireAllSlow();
@@ -207,6 +251,10 @@ public:
     assert(NLevel > 0 && "releaseAll without matching acquireAll");
     if (--NLevel > 0)
       return;
+    if constexpr (obs::kEnabled) {
+      if (ObsActive && !HeldNodes.empty())
+        recordHoldTimes();
+    }
     // Bottom-up release: reverse acquisition order.
     for (size_t I = HeldNodes.size(); I-- > 0;)
       HeldNodes[I].Node->release(HeldNodes[I].M);
@@ -246,23 +294,18 @@ public:
   int nestingLevel() const { return NLevel; }
   bool insideAtomic() const { return NLevel > 0; }
 
-  /// Adds this context's buffered statistics to the shared
-  /// LockRuntimeStats aggregate. Called automatically on destruction;
-  /// call explicitly to observe exact counts while the context lives.
+  /// Adds this context's buffered statistics to the runtime's registry
+  /// counters. Called automatically on destruction; call explicitly to
+  /// observe exact counts while the context lives.
   void flushStats() {
-#if defined(LOCKIN_RUNTIME_STATS) && LOCKIN_RUNTIME_STATS
-    LockRuntimeStats &S = RT.stats();
-    S.AcquireAllCalls.fetch_add(LStats.AcquireAllCalls,
-                                std::memory_order_relaxed);
-    S.NodeAcquisitions.fetch_add(LStats.NodeAcquisitions,
-                                 std::memory_order_relaxed);
-    S.NestedSkips.fetch_add(LStats.NestedSkips, std::memory_order_relaxed);
-    S.LeafCacheHits.fetch_add(LStats.LeafCacheHits,
-                              std::memory_order_relaxed);
-    S.LeafCacheMisses.fetch_add(LStats.LeafCacheMisses,
-                                std::memory_order_relaxed);
-    LStats = {};
-#endif
+    if constexpr (obs::kEnabled) {
+      RT.SC.AcquireAllCalls->add(LStats.AcquireAllCalls);
+      RT.SC.NodeAcquisitions->add(LStats.NodeAcquisitions);
+      RT.SC.NestedSkips->add(LStats.NestedSkips);
+      RT.SC.LeafCacheHits->add(LStats.LeafCacheHits);
+      RT.SC.LeafCacheMisses->add(LStats.LeafCacheMisses);
+      LStats = {};
+    }
   }
 
 private:
@@ -304,25 +347,57 @@ private:
     uint64_t LeafCacheMisses = 0;
   };
   static void statInc(uint64_t &Cell) {
-#if defined(LOCKIN_RUNTIME_STATS) && LOCKIN_RUNTIME_STATS
-    ++Cell;
-#else
-    (void)Cell;
-#endif
+    if constexpr (obs::kEnabled)
+      ++Cell;
+    else
+      (void)Cell;
   }
   static void statAdd(uint64_t &Cell, uint64_t N) {
-#if defined(LOCKIN_RUNTIME_STATS) && LOCKIN_RUNTIME_STATS
-    Cell += N;
-#else
-    (void)Cell;
-    (void)N;
-#endif
+    if constexpr (obs::kEnabled)
+      Cell += N;
+    else
+      (void)Cell, (void)N;
+  }
+
+  /// Decides whether this outermost section is observed and at what
+  /// weight. Profiler dormant: one relaxed load and a branch.
+  void beginObsSection() {
+    ObsActive = false;
+    ObsOn = RT.Prof->enabled();
+    if (!ObsOn)
+      return;
+    bool Traced = Trc->enabled();
+    if (Traced || SectionSeq++ % obs::kSampleEvery == 0) {
+      ObsActive = true;
+      ObsWeight = Traced ? 1 : obs::kSampleEvery;
+      // The section-start timestamp only feeds the acquire trace span;
+      // profiling alone gets by on the end-of-acquire read.
+      AcquireStartNs = Traced ? obs::nowNs() : 0;
+    }
   }
 
   void grab(LockNode &Node, Mode M) {
+    if constexpr (obs::kEnabled) {
+      // Any enabled profiler must see parked waits exactly, so every
+      // grab checks the park flag while it is on; the common unsampled
+      // uncontended grab stays on this inline path and records nothing.
+      if (ObsOn) {
+        uint64_t ParkNs = 0;
+        bool Parked = Node.acquire(M, &ParkNs);
+        if (Parked || ObsActive) {
+          grabObs(Node, M, Parked, ParkNs);
+          return;
+        }
+        HeldNodes.push_back({&Node, M});
+        return;
+      }
+    }
     Node.acquire(M);
     HeldNodes.push_back({&Node, M});
   }
+  void grabObs(LockNode &Node, Mode M, bool Parked, uint64_t ParkNs);
+  void endObsAcquire();
+  void recordHoldTimes();
   LockNode &cachedLeaf(uint32_t Region, uint64_t Address) {
     size_t Idx = LockRuntime::LeafKeyHash{}(
                      LockRuntime::LeafKey{Region, Address}) &
@@ -352,6 +427,17 @@ private:
   bool HasGlobalWrite = false;
   int NLevel = 0;
   LocalStats LStats;
+
+  /// Observability state for the current outermost section (set by
+  /// beginObsSection, consumed through releaseAll).
+  uint32_t SectionTag = 0;
+  uint32_t SectionSeq = 0;    ///< sections seen, drives 1/kSampleEvery
+  obs::Tracer *Trc;           ///< cached singleton, hot-path enabled() check
+  bool ObsOn = false;         ///< profiler enabled at section entry
+  bool ObsActive = false;     ///< this section is sampled (or traced)
+  uint64_t ObsWeight = 1;     ///< count weight for sampled updates
+  uint64_t AcquireStartNs = 0;
+  uint64_t AcquireEndNs = 0;
 
   /// Direct-mapped (region, address) → leaf cache; leaves are never
   /// freed, so hits stay valid for the lifetime of the runtime.

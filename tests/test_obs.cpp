@@ -1,0 +1,453 @@
+//===--- test_obs.cpp - Observability layer tests ------------------------------===//
+//
+// Part of the lockin project: lock inference for atomic sections.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Covers the obs layer: ring-buffer wrap/drop accounting, log₂ histogram
+/// bucket boundaries, metrics/trace JSON well-formedness (parsed back with
+/// a minimal JSON reader), a multi-thread write-join-drain (the pattern
+/// the TSan job exercises), and a contended two-thread runtime scenario
+/// asserting the profiler sees real contention.
+///
+//===----------------------------------------------------------------------===//
+
+#include "obs/LockProfiler.h"
+#include "obs/Metrics.h"
+#include "obs/Obs.h"
+#include "obs/Trace.h"
+#include "runtime/LockRuntime.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cctype>
+#include <chrono>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace lockin;
+using namespace lockin::obs;
+using lockin::rt::LockDescriptor;
+using lockin::rt::LockRuntime;
+using lockin::rt::Mode;
+using lockin::rt::ThreadLockContext;
+
+namespace {
+
+/// Minimal JSON well-formedness checker: accepts exactly the grammar the
+/// exporters emit (objects, arrays, strings with escapes, numbers incl.
+/// floats, true/false/null). Returns true iff the whole input parses.
+class JsonChecker {
+public:
+  explicit JsonChecker(std::string_view Text) : S(Text) {}
+
+  bool valid() {
+    skipWs();
+    if (!value())
+      return false;
+    skipWs();
+    return Pos == S.size();
+  }
+
+private:
+  std::string_view S;
+  size_t Pos = 0;
+
+  void skipWs() {
+    while (Pos < S.size() && std::isspace(static_cast<unsigned char>(S[Pos])))
+      ++Pos;
+  }
+  bool eat(char C) {
+    if (Pos < S.size() && S[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+  bool literal(std::string_view L) {
+    if (S.substr(Pos, L.size()) != L)
+      return false;
+    Pos += L.size();
+    return true;
+  }
+  bool string() {
+    if (!eat('"'))
+      return false;
+    while (Pos < S.size()) {
+      char C = S[Pos++];
+      if (C == '"')
+        return true;
+      if (C == '\\') {
+        if (Pos >= S.size())
+          return false;
+        char E = S[Pos++];
+        if (E == 'u') {
+          for (int I = 0; I < 4; ++I)
+            if (Pos >= S.size() ||
+                !std::isxdigit(static_cast<unsigned char>(S[Pos++])))
+              return false;
+        }
+      }
+    }
+    return false;
+  }
+  bool number() {
+    size_t Start = Pos;
+    if (Pos < S.size() && S[Pos] == '-')
+      ++Pos;
+    while (Pos < S.size() &&
+           (std::isdigit(static_cast<unsigned char>(S[Pos])) ||
+            S[Pos] == '.' || S[Pos] == 'e' || S[Pos] == 'E' ||
+            S[Pos] == '+' || S[Pos] == '-'))
+      ++Pos;
+    return Pos > Start;
+  }
+  bool value() {
+    skipWs();
+    if (Pos >= S.size())
+      return false;
+    char C = S[Pos];
+    if (C == '{')
+      return object();
+    if (C == '[')
+      return array();
+    if (C == '"')
+      return string();
+    if (C == 't')
+      return literal("true");
+    if (C == 'f')
+      return literal("false");
+    if (C == 'n')
+      return literal("null");
+    return number();
+  }
+  bool object() {
+    eat('{');
+    skipWs();
+    if (eat('}'))
+      return true;
+    while (true) {
+      skipWs();
+      if (!string())
+        return false;
+      skipWs();
+      if (!eat(':'))
+        return false;
+      if (!value())
+        return false;
+      skipWs();
+      if (eat('}'))
+        return true;
+      if (!eat(','))
+        return false;
+    }
+  }
+  bool array() {
+    eat('[');
+    skipWs();
+    if (eat(']'))
+      return true;
+    while (true) {
+      if (!value())
+        return false;
+      skipWs();
+      if (eat(']'))
+        return true;
+      if (!eat(','))
+        return false;
+    }
+  }
+};
+
+TEST(Histogram, BucketBoundaries) {
+  // bucket 0 = {0}, bucket i = [2^(i-1), 2^i) for i >= 1.
+  EXPECT_EQ(Histogram::bucketOf(0), 0u);
+  EXPECT_EQ(Histogram::bucketOf(1), 1u);
+  EXPECT_EQ(Histogram::bucketOf(2), 2u);
+  EXPECT_EQ(Histogram::bucketOf(3), 2u);
+  EXPECT_EQ(Histogram::bucketOf(4), 3u);
+  EXPECT_EQ(Histogram::bucketOf(~0ull), 64u);
+  for (unsigned B = 0; B < Histogram::NumBuckets; ++B) {
+    EXPECT_EQ(Histogram::bucketOf(Histogram::bucketLo(B)), B == 1 ? 0u : B)
+        << "bucket " << B; // bucketLo(1) is 0, which bucket 0 admits
+    EXPECT_EQ(Histogram::bucketOf(Histogram::bucketHi(B)), B);
+    if (B >= 1) {
+      EXPECT_EQ(Histogram::bucketHi(B - 1) + 1,
+                B == 1 ? 1ull : Histogram::bucketLo(B));
+    }
+  }
+
+  Histogram H;
+  H.record(0);
+  H.record(1);
+  H.record(7);    // bucket 3
+  H.record(8);    // bucket 4
+  EXPECT_EQ(H.count(), 4u);
+  EXPECT_EQ(H.sum(), 16u);
+  EXPECT_EQ(H.bucketCount(0), 1u);
+  EXPECT_EQ(H.bucketCount(1), 1u);
+  EXPECT_EQ(H.bucketCount(3), 1u);
+  EXPECT_EQ(H.bucketCount(4), 1u);
+  EXPECT_EQ(H.bucketCount(2), 0u);
+
+  H.recordWeighted(1000, 32); // bucket 10
+  EXPECT_EQ(H.count(), 36u);
+  EXPECT_EQ(H.sum(), 16u + 32u * 1000u);
+  EXPECT_EQ(H.bucketCount(10), 32u);
+
+  H.reset();
+  EXPECT_EQ(H.count(), 0u);
+  EXPECT_EQ(H.sum(), 0u);
+}
+
+TEST(Histogram, QuantileIsWithinBucket) {
+  Histogram H;
+  for (int I = 0; I < 99; ++I)
+    H.record(100); // bucket 7: [64, 128)
+  H.record(100000);
+  uint64_t P50 = H.quantile(0.50);
+  EXPECT_GE(P50, 64u);
+  EXPECT_LT(P50, 128u);
+  // Exact buckets stay exact.
+  Histogram Z;
+  Z.record(0);
+  Z.record(1);
+  EXPECT_EQ(Z.quantile(0.0), 0u);
+  EXPECT_EQ(Z.quantile(1.0), 1u);
+}
+
+TEST(MetricsRegistry, HandlesAndJson) {
+  MetricsRegistry R;
+  Counter &C = R.counter("runtime.test_counter");
+  C.add(41);
+  C.inc();
+  EXPECT_EQ(C.value(), 42u);
+  // Same name returns the same cell.
+  EXPECT_EQ(&R.counter("runtime.test_counter"), &C);
+
+  Histogram &H = R.histogram("runtime.test_hist");
+  H.record(3);
+  H.record(300);
+
+  std::ostringstream OS;
+  R.writeJson(OS);
+  std::string Json = OS.str();
+  EXPECT_TRUE(JsonChecker(Json).valid()) << Json;
+  EXPECT_NE(Json.find("\"runtime.test_counter\": 42"), std::string::npos);
+  EXPECT_NE(Json.find("\"runtime.test_hist\""), std::string::npos);
+  EXPECT_NE(Json.find("\"buckets\""), std::string::npos);
+
+  R.reset();
+  EXPECT_EQ(C.value(), 0u);
+  EXPECT_EQ(H.count(), 0u);
+}
+
+TEST(TraceRing, WrapAndDropAccounting) {
+  ThreadTraceBuffer B(8);
+  ASSERT_EQ(B.capacity(), 8u);
+  for (uint64_t I = 0; I < 11; ++I)
+    B.emit(TraceEvent{I, 0, I, 0, EventKind::SectionSpan, 0});
+  EXPECT_EQ(B.written(), 11u);
+  EXPECT_EQ(B.dropped(), 3u); // the three oldest were overwritten
+  EXPECT_EQ(B.size(), 8u);
+  EXPECT_EQ(B.at(0).A, 3u); // oldest retained
+  EXPECT_EQ(B.at(7).A, 10u);
+
+  // Capacity rounds up to a power of two, minimum 2.
+  EXPECT_EQ(ThreadTraceBuffer(5).capacity(), 8u);
+  EXPECT_EQ(ThreadTraceBuffer(1).capacity(), 2u);
+
+  ThreadTraceBuffer Small(4);
+  Small.emit(TraceEvent{});
+  EXPECT_EQ(Small.written(), 1u);
+  EXPECT_EQ(Small.dropped(), 0u);
+  EXPECT_EQ(Small.size(), 1u);
+}
+
+TEST(Tracer, DisabledEmitsNothing) {
+  Tracer T;
+  T.span(EventKind::SectionSpan, 1, 2, 3);
+  EXPECT_EQ(T.totalWritten(), 0u);
+}
+
+TEST(Tracer, ChromeJsonParsesBack) {
+  Tracer T;
+  T.setCapacity(64);
+  T.setEnabled(true);
+  uint32_t PassName = T.internName("points-to \"quoted\"");
+  T.span(EventKind::SectionSpan, 1000, 500, 7);
+  T.span(EventKind::AcquireSpan, 1100, 50, 3);
+  T.span(EventKind::NodeWaitSpan, 1200, 90, 2, 0,
+         static_cast<uint8_t>(Mode::X));
+  T.span(EventKind::PassSpan, 2000, 300, PassName);
+  T.span(EventKind::StepsCount, 2500, 0, 12345);
+  T.span(EventKind::SimOpSpan, 10, 5, 0, 1);
+  T.span(EventKind::SimWaitSpan, 15, 3, 0, 2);
+  T.span(EventKind::SimAbort, 20, 0, 0, 2);
+
+  std::ostringstream OS;
+  T.writeChromeJson(OS);
+  std::string Json = OS.str();
+  EXPECT_TRUE(JsonChecker(Json).valid()) << Json;
+  EXPECT_NE(Json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(Json.find("\"section\""), std::string::npos);
+  EXPECT_NE(Json.find("acquireAll"), std::string::npos);
+  EXPECT_NE(Json.find("lock-wait"), std::string::npos);
+  EXPECT_NE(Json.find("points-to \\\"quoted\\\""), std::string::npos);
+  EXPECT_NE(Json.find("interp-steps"), std::string::npos);
+  EXPECT_NE(Json.find("sim-abort"), std::string::npos);
+  // Sim events land on the simulated-time process row.
+  EXPECT_NE(Json.find("\"pid\": 2"), std::string::npos);
+  EXPECT_NE(Json.find("\"droppedEvents\": 0"), std::string::npos);
+
+  T.clear();
+  EXPECT_EQ(T.totalWritten(), 0u);
+  // The thread-local buffer cache must miss after clear (fresh epoch).
+  T.span(EventKind::SectionSpan, 1, 1, 1);
+  EXPECT_EQ(T.totalWritten(), 1u);
+}
+
+TEST(Tracer, MultiThreadWriteJoinDrain) {
+  constexpr unsigned NumThreads = 4;
+  constexpr size_t Cap = 256;
+  constexpr uint64_t PerThread = 5000;
+  Tracer T;
+  T.setCapacity(Cap);
+  T.setEnabled(true);
+
+  std::vector<std::thread> Threads;
+  for (unsigned I = 0; I < NumThreads; ++I)
+    Threads.emplace_back([&T] {
+      for (uint64_t E = 0; E < PerThread; ++E)
+        T.span(EventKind::SectionSpan, E, 1, E);
+    });
+  for (std::thread &Th : Threads)
+    Th.join();
+
+  EXPECT_EQ(T.totalWritten(), NumThreads * PerThread);
+  EXPECT_EQ(T.totalDropped(), NumThreads * (PerThread - Cap));
+
+  std::ostringstream OS;
+  T.writeChromeJson(OS);
+  std::string Json = OS.str();
+  EXPECT_TRUE(JsonChecker(Json).valid());
+  std::ostringstream Expect;
+  Expect << "\"droppedEvents\": " << NumThreads * (PerThread - Cap);
+  EXPECT_NE(Json.find(Expect.str()), std::string::npos) << Expect.str();
+}
+
+TEST(LockProfilerTest, ContendedTwoThreads) {
+  if constexpr (!kEnabled)
+    GTEST_SKIP() << "built with LOCKIN_OBS=OFF";
+
+  MetricsRegistry Reg;
+  LockProfiler Prof;
+  Prof.setEnabled(true);
+  LockRuntime RT(1, &Reg, &Prof);
+
+  // Deterministic contention (looped hammering doesn't reliably overlap
+  // on a single-core machine): the holder keeps the fine write lock for
+  // a few milliseconds while the waiter attempts the same X lock, so the
+  // waiter's spin budget runs out and it parks.
+  const LockDescriptor D = LockDescriptor::fine(0, 0x1000, true);
+  std::atomic<bool> Held{false};
+  std::thread Holder([&] {
+    ThreadLockContext Ctx(RT);
+    Ctx.setSectionTag(1);
+    Ctx.toAcquire(D);
+    Ctx.acquireAll();
+    Held.store(true);
+    std::this_thread::sleep_for(std::chrono::milliseconds(3));
+    Ctx.releaseAll();
+  });
+  std::thread Waiter([&] {
+    ThreadLockContext Ctx(RT);
+    Ctx.setSectionTag(1);
+    while (!Held.load()) {
+    }
+    Ctx.toAcquire(D);
+    Ctx.acquireAll(); // blocks until the holder releases
+    Ctx.releaseAll();
+  });
+  Holder.join();
+  Waiter.join();
+
+  uint32_t LeafId = RT.leafNode(0, 0x1000).ObsId;
+  ASSERT_NE(LeafId, 0u);
+  NodeSlot &Leaf = Prof.nodeSlot(LeafId);
+  EXPECT_GT(Leaf.Contentions.value(), 0u);
+  EXPECT_GT(Leaf.WaitNs.count(), 0u);
+  EXPECT_EQ(Leaf.WaitNs.count(), Leaf.Contentions.value());
+  // The wait was a real multi-millisecond park.
+  EXPECT_GT(Leaf.WaitNs.sum(), 1000000u);
+  // Sampled acquire counts: each context's first section is sampled.
+  EXPECT_EQ(Leaf.Acquires.value(), 2u * kSampleEvery);
+  EXPECT_EQ(Leaf.ModeCounts[static_cast<unsigned>(Mode::X)].value(),
+            2u * kSampleEvery);
+
+  SectionSlot &Sec = Prof.sectionSlot(1);
+  EXPECT_EQ(Sec.Entries.value(), 2u * kSampleEvery);
+  // Fine descriptor: root IS/IX + region IX + leaf X = 3 nodes per entry.
+  EXPECT_EQ(Sec.Nodes.value(), 3u * 2u * kSampleEvery);
+
+  std::string Table = Prof.renderTable();
+  EXPECT_NE(Table.find("; lock profile"), std::string::npos);
+  EXPECT_NE(Table.find("leaf"), std::string::npos);
+}
+
+TEST(LockProfilerTest, SectionRollupAndNestedSkips) {
+  if constexpr (!kEnabled)
+    GTEST_SKIP() << "built with LOCKIN_OBS=OFF";
+
+  MetricsRegistry Reg;
+  LockProfiler Prof;
+  Prof.setEnabled(true);
+  LockRuntime RT(2, &Reg, &Prof);
+  ThreadLockContext Ctx(RT);
+
+  // One outermost section (the first section a context runs is always
+  // sampled, recorded with the sampling weight) with a nested acquireAll.
+  Ctx.setSectionTag(5);
+  Ctx.toAcquire(LockDescriptor::coarse(1, true));
+  Ctx.acquireAll();
+  Ctx.toAcquire(LockDescriptor::fine(1, 0x2000, false));
+  Ctx.acquireAll(); // nested: covered, takes nothing
+  Ctx.releaseAll();
+  Ctx.releaseAll();
+
+  SectionSlot &Sec = Prof.sectionSlot(5);
+  EXPECT_EQ(Sec.Entries.value(), kSampleEvery);
+  EXPECT_EQ(Sec.NestedSkips.value(), kSampleEvery);
+  // Coarse write: root IX + region X.
+  EXPECT_EQ(Sec.Nodes.value(), 2u * kSampleEvery);
+  EXPECT_EQ(Sec.ModeCounts[static_cast<unsigned>(Mode::IX)].value(),
+            kSampleEvery);
+  EXPECT_EQ(Sec.ModeCounts[static_cast<unsigned>(Mode::X)].value(),
+            kSampleEvery);
+}
+
+TEST(LockProfilerTest, DisabledRecordsNothing) {
+  MetricsRegistry Reg;
+  LockProfiler Prof; // disabled
+  LockRuntime RT(1, &Reg, &Prof);
+  {
+    ThreadLockContext Ctx(RT);
+    Ctx.toAcquire(LockDescriptor::fine(0, 0x40, true));
+    Ctx.acquireAll();
+    Ctx.releaseAll();
+  }
+  if constexpr (kEnabled) {
+    uint32_t LeafId = RT.leafNode(0, 0x40).ObsId;
+    ASSERT_NE(LeafId, 0u);
+    EXPECT_EQ(Prof.nodeSlot(LeafId).Acquires.value(), 0u);
+    EXPECT_EQ(Prof.nodeSlot(LeafId).Contentions.value(), 0u);
+    // The plain counters still flow into the injected registry.
+    EXPECT_EQ(RT.stats().AcquireAllCalls, 1u);
+  }
+}
+
+} // namespace

@@ -21,13 +21,16 @@
 //===----------------------------------------------------------------------===//
 
 #include "TestUtil.h"
+#include "driver/Cli.h"
 #include "workloads/ToyPrograms.h"
 
 #include <gtest/gtest.h>
 
 #include <fstream>
+#include <initializer_list>
 #include <sstream>
 #include <string>
+#include <vector>
 
 using namespace lockin;
 using namespace lockin::test;
@@ -172,6 +175,79 @@ TEST(PipelineStats, UnreachableFunctionIsNotSummarized) {
   // including for `never`, which main never calls.
   EXPECT_LT(Inf.ReachableFunctions, Inf.Functions);
   EXPECT_EQ(Inf.Summaries.Evaluations, 0u);
+}
+
+/// Drives cli::parseArgs the way main() does, without a process spawn.
+bool parse(std::initializer_list<const char *> Args, cli::CliOptions &Out) {
+  std::vector<const char *> Argv = {"lockinfer"};
+  Argv.insert(Argv.end(), Args.begin(), Args.end());
+  return cli::parseArgs(static_cast<int>(Argv.size()), Argv.data(), Out);
+}
+
+TEST(CliParsing, DefaultsAndBasicFlags) {
+  cli::CliOptions O;
+  ASSERT_TRUE(parse({"prog.atom"}, O));
+  EXPECT_EQ(O.K, 3u);
+  EXPECT_EQ(O.Jobs, 0u);
+  EXPECT_FALSE(O.Run);
+  EXPECT_TRUE(O.TraceOut.empty());
+  EXPECT_TRUE(O.MetricsOut.empty());
+  EXPECT_EQ(O.Path, "prog.atom");
+
+  cli::CliOptions O2;
+  ASSERT_TRUE(parse({"--run", "--quiet", "--global-lock", "--time-passes",
+                     "--stats", "--profile-locks", "-k", "5", "-j", "2",
+                     "p.atom"},
+                    O2));
+  EXPECT_TRUE(O2.Run);
+  EXPECT_TRUE(O2.Quiet);
+  EXPECT_TRUE(O2.GlobalLock);
+  EXPECT_TRUE(O2.TimePasses);
+  EXPECT_TRUE(O2.Stats);
+  EXPECT_TRUE(O2.ProfileLocks);
+  EXPECT_EQ(O2.K, 5u);
+  EXPECT_EQ(O2.Jobs, 2u);
+}
+
+TEST(CliParsing, ValueAttachmentForms) {
+  // "--opt value" and "--opt=value" are equivalent; '-' means stdout for
+  // the metrics export.
+  cli::CliOptions O;
+  ASSERT_TRUE(parse({"--trace-out", "t.json", "--metrics-out=-", "--jobs=4",
+                     "p.atom"},
+                    O));
+  EXPECT_EQ(O.TraceOut, "t.json");
+  EXPECT_EQ(O.MetricsOut, "-");
+  EXPECT_EQ(O.Jobs, 4u);
+
+  cli::CliOptions O2;
+  ASSERT_TRUE(parse({"--trace-out=t2.json", "--metrics-out", "m.json",
+                     "p.atom"},
+                    O2));
+  EXPECT_EQ(O2.TraceOut, "t2.json");
+  EXPECT_EQ(O2.MetricsOut, "m.json");
+}
+
+TEST(CliParsing, Rejections) {
+  // A fresh CliOptions per case: parseArgs mutates its output as it goes,
+  // so state from a failed parse must not leak into the next.
+  auto Rejects = [](std::initializer_list<const char *> Args) {
+    cli::CliOptions O;
+    return !parse(Args, O);
+  };
+  EXPECT_TRUE(Rejects({"--no-such-flag", "p.atom"})); // unknown option
+  EXPECT_TRUE(Rejects({"p.atom", "--trace-out"}));    // missing value
+  EXPECT_TRUE(Rejects({"--metrics-out=", "p.atom"})); // empty value
+  EXPECT_TRUE(Rejects({"--run=yes", "p.atom"}));      // flag takes none
+  EXPECT_TRUE(Rejects({"-k", "abc", "p.atom"}));      // non-numeric
+  EXPECT_TRUE(Rejects({"a.atom", "b.atom"}));         // two inputs
+  EXPECT_TRUE(Rejects({}));                           // no input
+}
+
+TEST(CliParsing, HelpNeedsNoInput) {
+  cli::CliOptions O;
+  ASSERT_TRUE(parse({"--help"}, O));
+  EXPECT_TRUE(O.Help);
 }
 
 } // namespace

@@ -333,7 +333,10 @@ TEST(Protocol, GlobalLockExcludesEverything) {
 }
 
 TEST(Protocol, NestedSectionsAcquireNothing) {
-  LockRuntime RT(2);
+  // A private registry isolates the counter assertions below from every
+  // other runtime in the process.
+  lockin::obs::MetricsRegistry Reg;
+  LockRuntime RT(2, &Reg);
   ThreadLockContext T(RT);
   T.toAcquire(LockDescriptor::coarse(0, true));
   T.acquireAll();
@@ -345,13 +348,13 @@ TEST(Protocol, NestedSectionsAcquireNothing) {
   EXPECT_EQ(RT.regionNode(1).grantedCount(Mode::X), 0u);
   EXPECT_TRUE(RT.regionNode(1).tryAcquire(Mode::X));
   RT.regionNode(1).release(Mode::X);
-#if defined(LOCKIN_RUNTIME_STATS) && LOCKIN_RUNTIME_STATS
-  // Stats are buffered per context; flush before reading the aggregate.
-  T.flushStats();
-  EXPECT_EQ(RT.stats().AcquireAllCalls.load(), 1u);
-  EXPECT_EQ(RT.stats().NestedSkips.load(), 1u);
-  EXPECT_EQ(RT.stats().NodeAcquisitions.load(), 2u); // root IX + region X
-#endif
+  if constexpr (lockin::obs::kEnabled) {
+    // Stats are buffered per context; flush before reading the aggregate.
+    T.flushStats();
+    EXPECT_EQ(RT.stats().AcquireAllCalls, 1u);
+    EXPECT_EQ(RT.stats().NestedSkips, 1u);
+    EXPECT_EQ(RT.stats().NodeAcquisitions, 2u); // root IX + region X
+  }
   T.releaseAll();
   EXPECT_EQ(T.nestingLevel(), 1);
   // Still holding the outer locks.
