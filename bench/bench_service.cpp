@@ -1,0 +1,345 @@
+//===--- bench_service.cpp - Daemon cold/warm load benchmark -------------------===//
+//
+// Part of the lockin project: lock inference for atomic sections.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Closed-loop load generator for the analysis daemon. Boots an
+/// in-process Server on a unix socket, drives it with concurrent client
+/// threads (one outstanding request per client), and measures the
+/// `analyze` latency distribution in three phases:
+///
+///   cold  — every request carries force=true, so the full inference
+///           runs each time (the exact code path of a cache miss);
+///   warm  — normal requests against the primed cache: every section is
+///           served from its content-hashed summary;
+///   edit  — one request whose source flips a constant in one worker,
+///           re-analyzing only the dirty SCC cone.
+///
+/// The workload is built to be inference-dominated (many sections whose
+/// bodies loop over shared pointer chains and a mutually recursive
+/// helper pair), because that is the regime the cache targets: the
+/// irreducible warm cost is the front half (parse → points-to) plus
+/// fingerprinting.
+///
+/// Emits BENCH_service.json with p50/p99/mean latency, throughput, the
+/// cold/warm speedup, and whether warm output stayed byte-identical to
+/// cold — the acceptance gate is speedup >= 5 with identical=true.
+///
+/// Usage: bench_service [--quick] [--out PATH]
+///
+//===----------------------------------------------------------------------===//
+
+#include "service/Client.h"
+#include "service/Json.h"
+#include "service/Server.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+using namespace lockin;
+using namespace lockin::service;
+
+namespace {
+
+/// Inference-heavy synthetic program: \p Workers worker functions of
+/// \p SectionsPer atomic sections each; every section loops \p Depth
+/// times over \p Chains shared list heads, calling an iterative walker
+/// and a mutually recursive helper pair. \p Salt lands in one worker's
+/// body so edits dirty exactly that function.
+std::string generate(unsigned Workers, unsigned SectionsPer, unsigned Chains,
+                     unsigned Depth, int Salt) {
+  std::string S = "struct node { node* next; int val; int aux; };\n";
+  for (unsigned C = 0; C < Chains; ++C)
+    S += "node* head" + std::to_string(C) + ";\n";
+  S += "int gsum;\n"
+       "int walk(node* p, int n) {\n"
+       "  int s = 0;\n"
+       "  while (p != null) { s = s + p->val; p->aux = s; p = p->next; }\n"
+       "  return s + n;\n"
+       "}\n"
+       "int recB(node* p, int n) { if (n <= 0) { return 0; } "
+       "if (p == null) { return n; } p->val = n; "
+       "return recA(p->next, n - 1); }\n"
+       "int recA(node* p, int n) { if (n <= 0) { return 0; } "
+       "if (p == null) { return n; } gsum = gsum + p->val; "
+       "return recB(p->next, n - 1); }\n";
+  for (unsigned W = 0; W < Workers; ++W) {
+    S += "void worker" + std::to_string(W) + "() {\n";
+    for (unsigned M = 0; M < SectionsPer; ++M) {
+      // Nested loops force extra abstract-interpretation fixpoint rounds
+      // per section at constant statement count: the inference cost per
+      // section rises while the front half (parse → points-to), which
+      // scales with source bytes, stays put — this is what makes the
+      // workload inference-dominated.
+      S += "  atomic {\n    int t = " +
+           std::to_string(W == 0 && M == 0 ? Salt : 0) +
+           ";\n    int i = 0;\n    while (i < " + std::to_string(Depth) +
+           ") {\n      int j = 0;\n      while (j < " +
+           std::to_string(Depth) + ") {\n        int q = 0;\n"
+           "        while (q < " + std::to_string(Depth) + ") {\n"
+           "          int r = 0;\n          while (r < " +
+           std::to_string(Depth) + ") {\n";
+      for (unsigned C = 0; C < Chains; ++C) {
+        std::string H = "head" + std::to_string((C + W + M) % Chains);
+        S += "            t = t + walk(" + H + ", r);\n";
+        S += "            t = t + recA(" + H + ", 3);\n";
+        S += "            if (" + H + " != null) { " + H + "->val = t; " + H +
+             "->next->aux = t; }\n";
+      }
+      S += "            r = r + 1;\n          }\n          q = q + 1;\n"
+           "        }\n        j = j + 1;\n      }\n"
+           "      i = i + 1;\n    }\n    gsum = gsum + t;\n  }\n";
+    }
+    S += "}\n";
+  }
+  S += "int main() {\n";
+  for (unsigned C = 0; C < Chains; ++C) {
+    std::string H = "head" + std::to_string(C);
+    S += "  " + H + " = new node;\n  " + H + "->next = new node;\n";
+  }
+  for (unsigned W = 0; W < Workers; ++W)
+    S += "  spawn worker" + std::to_string(W) + "();\n";
+  S += "  return 0;\n}\n";
+  return S;
+}
+
+struct PhaseStats {
+  std::vector<double> LatenciesMs;
+  double WallSeconds = 0;
+  unsigned Errors = 0;
+  std::string Report; // one representative report for identity checks
+
+  double quantile(double Q) const {
+    if (LatenciesMs.empty())
+      return 0;
+    std::vector<double> Sorted = LatenciesMs;
+    std::sort(Sorted.begin(), Sorted.end());
+    size_t Idx = static_cast<size_t>(Q * (Sorted.size() - 1) + 0.5);
+    return Sorted[Idx];
+  }
+  double mean() const {
+    if (LatenciesMs.empty())
+      return 0;
+    double Sum = 0;
+    for (double L : LatenciesMs)
+      Sum += L;
+    return Sum / LatenciesMs.size();
+  }
+  double throughput() const {
+    return WallSeconds > 0 ? LatenciesMs.size() / WallSeconds : 0;
+  }
+};
+
+/// Closed loop: \p Clients threads, each sending \p PerClient analyze
+/// requests for \p Source (same unit — that is the daemon's real usage
+/// pattern) and recording each round-trip latency.
+PhaseStats runPhase(const std::string &SocketPath, const std::string &Source,
+                    unsigned Clients, unsigned PerClient, bool Force) {
+  PhaseStats Stats;
+  std::mutex Mu;
+  auto Wall0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T < Clients; ++T) {
+    Threads.emplace_back([&] {
+      Client Conn;
+      std::string Err;
+      if (!Conn.connectUnix(SocketPath, Err)) {
+        std::lock_guard<std::mutex> Lock(Mu);
+        ++Stats.Errors;
+        return;
+      }
+      for (unsigned I = 0; I < PerClient; ++I) {
+        Json Request = Json::object();
+        Request.set("op", Json::string("analyze"));
+        Request.set("unit", Json::string("bench.atom"));
+        Request.set("source", Json::string(Source));
+        Request.set("jobs", Json::integer(1));
+        if (Force)
+          Request.set("force", Json::boolean(true));
+        Json Response;
+        auto T0 = std::chrono::steady_clock::now();
+        bool CallOk = Conn.call(Request, Response, Err);
+        double Ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - T0)
+                        .count();
+        std::lock_guard<std::mutex> Lock(Mu);
+        if (!CallOk || !Response.getBool("ok", false)) {
+          ++Stats.Errors;
+          continue;
+        }
+        Stats.LatenciesMs.push_back(Ms);
+        if (Stats.Report.empty())
+          Stats.Report = Response.getString("report", "");
+      }
+    });
+  }
+  for (std::thread &T : Threads)
+    T.join();
+  Stats.WallSeconds = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - Wall0)
+                          .count();
+  return Stats;
+}
+
+Json phaseJson(const PhaseStats &Stats) {
+  Json O = Json::object();
+  O.set("requests", Json::integer(Stats.LatenciesMs.size()));
+  O.set("errors", Json::integer(Stats.Errors));
+  O.set("p50_ms", Json::number(Stats.quantile(0.5)));
+  O.set("p99_ms", Json::number(Stats.quantile(0.99)));
+  O.set("mean_ms", Json::number(Stats.mean()));
+  O.set("throughput_rps", Json::number(Stats.throughput()));
+  return O;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  bool Quick = false;
+  std::string OutPath = "BENCH_service.json";
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--quick") == 0) {
+      Quick = true;
+    } else if (std::strcmp(Argv[I], "--out") == 0 && I + 1 < Argc) {
+      OutPath = Argv[++I];
+    } else {
+      std::fprintf(stderr, "usage: bench_service [--quick] [--out PATH]\n");
+      return 2;
+    }
+  }
+
+  const unsigned Workers = Quick ? 8 : 24;
+  const unsigned SectionsPer = Quick ? 8 : 12;
+  const unsigned Chains = Quick ? 6 : 10;
+  const unsigned Depth = 8;
+  // The cold/warm latency phases run a single client so latency is pure
+  // service time (no queue wait, no cross-request cache/allocator
+  // contention); a separate concurrent phase measures throughput.
+  const unsigned Clients = 2;
+  const unsigned ColdRequests = Quick ? 4 : 8;
+  const unsigned WarmRequests = Quick ? 20 : 40;
+  std::string Source = generate(Workers, SectionsPer, Chains, Depth, 0);
+  std::string Edited = generate(Workers, SectionsPer, Chains, Depth, 1);
+
+  ServerOptions Opts;
+  Opts.UnixSocketPath =
+      "/tmp/lockin_bench_" + std::to_string(::getpid()) + ".sock";
+  Opts.Workers = 2;
+  Opts.QueueDepth = Clients * 2;
+  Server Daemon(Opts);
+  std::string Err;
+  if (!Daemon.start(Err)) {
+    std::fprintf(stderr, "bench_service: %s\n", Err.c_str());
+    return 1;
+  }
+  std::thread Runner([&Daemon] { Daemon.run(); });
+
+  std::printf("bench_service: %u workers x %u sections, %u chains, "
+              "depth %u (%zu source bytes)\n",
+              Workers, SectionsPer, Chains, Depth, Source.size());
+
+  // Cold: forced full inference on every request.
+  PhaseStats Cold = runPhase(Opts.UnixSocketPath, Source, /*Clients=*/1,
+                             ColdRequests, /*Force=*/true);
+  std::printf("cold: %zu requests, p50 %.1f ms, p99 %.1f ms, %.1f req/s\n",
+              Cold.LatenciesMs.size(), Cold.quantile(0.5),
+              Cold.quantile(0.99), Cold.throughput());
+
+  // Warm: the cold phase primed every section summary.
+  PhaseStats Warm = runPhase(Opts.UnixSocketPath, Source, /*Clients=*/1,
+                             WarmRequests, /*Force=*/false);
+  std::printf("warm: %zu requests, p50 %.1f ms, p99 %.1f ms, %.1f req/s\n",
+              Warm.LatenciesMs.size(), Warm.quantile(0.5),
+              Warm.quantile(0.99), Warm.throughput());
+
+  // Concurrent warm: closed loop with as many clients as daemon workers.
+  PhaseStats WarmConc = runPhase(Opts.UnixSocketPath, Source, Clients,
+                                 WarmRequests / Clients, /*Force=*/false);
+  std::printf("warm x%u clients: %zu requests, p50 %.1f ms, %.1f req/s\n",
+              Clients, WarmConc.LatenciesMs.size(), WarmConc.quantile(0.5),
+              WarmConc.throughput());
+
+  // Edit: one constant flipped in worker0 — only its SCC cone re-runs.
+  Json EditResponse;
+  double EditMs = 0;
+  {
+    Client Conn;
+    if (!Conn.connectUnix(Opts.UnixSocketPath, Err)) {
+      std::fprintf(stderr, "bench_service: %s\n", Err.c_str());
+      return 1;
+    }
+    auto T0 = std::chrono::steady_clock::now();
+    if (!Conn.analyze("bench.atom", Edited, EditResponse, Err)) {
+      std::fprintf(stderr, "bench_service: edit analyze: %s\n", Err.c_str());
+      return 1;
+    }
+    EditMs = std::chrono::duration<double, std::milli>(
+                 std::chrono::steady_clock::now() - T0)
+                 .count();
+  }
+  std::printf("edit: %.1f ms, %llu dirty functions, hits %llu, misses %llu\n",
+              EditMs,
+              static_cast<unsigned long long>(
+                  EditResponse.getUint("dirtyFunctions", 0)),
+              static_cast<unsigned long long>(
+                  EditResponse.getUint("cacheHits", 0)),
+              static_cast<unsigned long long>(
+                  EditResponse.getUint("cacheMisses", 0)));
+
+  Daemon.requestShutdown();
+  Runner.join();
+
+  bool Identical = !Cold.Report.empty() && Cold.Report == Warm.Report;
+  double Speedup = Warm.mean() > 0 ? Cold.mean() / Warm.mean() : 0;
+  std::printf("speedup (mean cold / mean warm): %.1fx, identical: %s\n",
+              Speedup, Identical ? "true" : "false");
+
+  Json Root = Json::object();
+  Json Config = Json::object();
+  Config.set("quick", Json::boolean(Quick));
+  Config.set("workers", Json::integer(Workers));
+  Config.set("sections_per_worker", Json::integer(SectionsPer));
+  Config.set("chains", Json::integer(Chains));
+  Config.set("depth", Json::integer(Depth));
+  Config.set("clients", Json::integer(Clients));
+  Config.set("source_bytes", Json::integer(Source.size()));
+  Config.set("daemon_workers", Json::integer(Opts.Workers));
+  Root.set("config", std::move(Config));
+  Root.set("cold", phaseJson(Cold));
+  Root.set("warm", phaseJson(Warm));
+  Root.set("warm_concurrent", phaseJson(WarmConc));
+  Json Edit = Json::object();
+  Edit.set("latency_ms", Json::number(EditMs));
+  Edit.set("dirty_functions",
+           Json::integer(EditResponse.getUint("dirtyFunctions", 0)));
+  Edit.set("cache_hits", Json::integer(EditResponse.getUint("cacheHits", 0)));
+  Edit.set("cache_misses",
+           Json::integer(EditResponse.getUint("cacheMisses", 0)));
+  Root.set("edit", std::move(Edit));
+  Root.set("speedup", Json::number(Speedup));
+  Root.set("identical", Json::boolean(Identical));
+
+  std::ofstream Out(OutPath);
+  Out << Root.str() << "\n";
+  if (!Out) {
+    std::fprintf(stderr, "bench_service: cannot write %s\n", OutPath.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", OutPath.c_str());
+
+  if (Cold.Errors || Warm.Errors || WarmConc.Errors || !Identical) {
+    std::fprintf(stderr, "bench_service: FAILED (errors or divergence)\n");
+    return 1;
+  }
+  return 0;
+}

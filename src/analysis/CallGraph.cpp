@@ -233,6 +233,29 @@ bool CallGraph::mayCall(const IrFunction *F, const IrFunction *G) const {
   return Reach[ToScc];
 }
 
+std::vector<char> CallGraph::upwardClosure(
+    const std::vector<unsigned> &SeedSccs) const {
+  std::vector<char> Dirty(numSccs(), 0);
+  std::vector<unsigned> Work;
+  for (unsigned Scc : SeedSccs) {
+    if (Scc < numSccs() && !Dirty[Scc]) {
+      Dirty[Scc] = 1;
+      Work.push_back(Scc);
+    }
+  }
+  while (!Work.empty()) {
+    unsigned Scc = Work.back();
+    Work.pop_back();
+    for (unsigned Caller : SccCallerSccs[Scc]) {
+      if (!Dirty[Caller]) {
+        Dirty[Caller] = 1;
+        Work.push_back(Caller);
+      }
+    }
+  }
+  return Dirty;
+}
+
 std::vector<bool> CallGraph::reachableClosure(
     const std::vector<const IrFunction *> &Roots) const {
   std::vector<bool> Reach(numFunctions(), false);

@@ -107,6 +107,12 @@ public:
   std::vector<bool>
   reachableClosure(const std::vector<const ir::IrFunction *> &Roots) const;
 
+  /// Dirty-SCC propagation for incremental re-analysis: the SCCs in
+  /// \p SeedSccs plus everything that (transitively) calls into them —
+  /// the upward cone whose summaries may change when a seed function's
+  /// body changes. Returned as a bitmap indexed by SCC id.
+  std::vector<char> upwardClosure(const std::vector<unsigned> &SeedSccs) const;
+
   /// Direct callees of a statement subtree (call and spawn sites), in
   /// first-occurrence order, duplicates included. Used to seed
   /// reachability from atomic-section bodies.

@@ -71,6 +71,48 @@ const OptionSpec Options[] = {
     {nullptr, "--profile-locks", nullptr,
      "profile lock contention during --run and print the table",
      [](CliOptions &O, const char *) { return O.ProfileLocks = true; }},
+    {nullptr, "--inject-yields", nullptr,
+     "inject seeded scheduler yields at shared accesses during --run",
+     [](CliOptions &O, const char *) { return O.InjectYields = true; }},
+    {nullptr, "--yield-seed", "N",
+     "seed for --inject-yields scheduling (default 1)",
+     [](CliOptions &O, const char *V) {
+       return parseUnsigned(V, O.YieldSeed);
+     }},
+    {nullptr, "--serve", nullptr,
+     "run as the analysis daemon (needs --socket and/or --port)",
+     [](CliOptions &O, const char *) { return O.Serve = true; }},
+    {nullptr, "--socket", "PATH", "unix socket path for --serve",
+     [](CliOptions &O, const char *V) { return setString(O.Socket, V); }},
+    {nullptr, "--port", "N",
+     "loopback TCP port for --serve (0 = ephemeral, printed on stdout)",
+     [](CliOptions &O, const char *V) {
+       unsigned P;
+       if (!parseUnsigned(V, P) || P > 65535)
+         return false;
+       O.Port = static_cast<int>(P);
+       return true;
+     }},
+    {nullptr, "--service-workers", "N",
+     "analyze worker threads for --serve (default 2)",
+     [](CliOptions &O, const char *V) {
+       return parseUnsigned(V, O.ServiceWorkers) && O.ServiceWorkers > 0;
+     }},
+    {nullptr, "--queue-depth", "N",
+     "bounded analyze queue for --serve; full = overloaded (default 32)",
+     [](CliOptions &O, const char *V) {
+       return parseUnsigned(V, O.QueueDepth) && O.QueueDepth > 0;
+     }},
+    {nullptr, "--request-timeout-ms", "N",
+     "per-request deadline for --serve; 0 = none (default)",
+     [](CliOptions &O, const char *V) {
+       return parseUnsigned(V, O.RequestTimeoutMs);
+     }},
+    {nullptr, "--cache-capacity", "N",
+     "summary-cache entries for --serve; 0 disables (default 65536)",
+     [](CliOptions &O, const char *V) {
+       return parseUnsigned(V, O.CacheCapacity);
+     }},
     {nullptr, "--help", nullptr, "show this help",
      [](CliOptions &O, const char *) { return O.Help = true; }},
 };
@@ -145,6 +187,18 @@ bool cli::parseArgs(int Argc, const char *const *Argv, CliOptions &Out) {
   }
   if (Out.Help)
     return true;
+  if (Out.Serve) {
+    if (Out.Socket.empty() && Out.Port < 0) {
+      std::fprintf(stderr,
+                   "error: --serve needs --socket PATH and/or --port N\n");
+      return false;
+    }
+    if (!Out.Path.empty()) {
+      std::fprintf(stderr, "error: --serve takes no input file\n");
+      return false;
+    }
+    return true;
+  }
   if (Out.Path.empty()) {
     std::fprintf(stderr, "error: no input file\n");
     return false;

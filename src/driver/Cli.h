@@ -32,9 +32,23 @@ struct CliOptions {
   bool Stats = false;
   bool ProfileLocks = false;
   bool Help = false;
+  /// Deterministic-scheduling knobs forwarded to the interpreter during
+  /// --run (InterpOptions::InjectYields / YieldSeed).
+  bool InjectYields = false;
+  unsigned YieldSeed = 1;
   std::string TraceOut;   ///< Chrome trace JSON path; empty = no tracing
   std::string MetricsOut; ///< metrics JSON path; "-" = stdout, empty = off
   std::string Path;
+
+  /// Daemon mode (--serve): listen instead of compiling a file. The
+  /// missing-input-file check is skipped when set.
+  bool Serve = false;
+  std::string Socket;              ///< unix socket path for --serve
+  int Port = -1;                   ///< loopback TCP port; -1 = no TCP
+  unsigned ServiceWorkers = 2;     ///< analyze worker threads
+  unsigned QueueDepth = 32;        ///< bounded analyze queue
+  unsigned RequestTimeoutMs = 0;   ///< per-request deadline; 0 = none
+  unsigned CacheCapacity = 65536;  ///< summary-cache entries; 0 disables
 };
 
 /// Strict base-10 unsigned parse; rejects empty, trailing junk, overflow.

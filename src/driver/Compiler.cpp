@@ -56,7 +56,7 @@ InterpResult Compilation::run(const InterpOptions &Options,
 std::unique_ptr<Compilation> lockin::compile(std::string_view Source,
                                              const CompileOptions &Options) {
   auto C = std::make_unique<Compilation>();
-  PassManager PM;
+  PassManager PM(Options.Metrics, Options.Trace);
 
   C->Ast = PM.run("parse", [&] {
     Parser P(Source, C->Diags);

@@ -39,6 +39,12 @@ struct CompileOptions {
   /// Worker threads for the inference; 0 = hardware concurrency, 1 =
   /// fully serial. Parallel and serial runs produce identical lock sets.
   unsigned Jobs = 0;
+  /// Explicit observability context for the pipeline's pass counters and
+  /// spans; null = the process-wide singletons. Concurrent compilations
+  /// (the daemon's workers, the re-entrancy test) pass their own so runs
+  /// never share mutable tool state.
+  obs::MetricsRegistry *Metrics = nullptr;
+  obs::Tracer *Trace = nullptr;
 };
 
 /// The result of compiling one program. Owns every phase's output; check

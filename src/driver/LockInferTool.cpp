@@ -7,19 +7,25 @@
 /// \file
 /// CLI driver: reads a program with atomic sections, infers locks, prints
 /// the transformed program and per-section lock sets, and optionally runs
-/// it in the checking interpreter.
+/// it in the checking interpreter — or, with --serve, becomes the
+/// analysis daemon (see DESIGN.md "Service & incremental analysis").
 ///
 ///   lockinfer [options] file.atom
+///   lockinfer --serve --socket /tmp/lockin.sock [--port N] [options]
 ///
 /// Reports (--time-passes, --stats) go to stderr so stdout stays the
 /// machine-readable program output; --metrics-out=- explicitly routes the
 /// metrics JSON to stdout. --trace-out and --profile-locks arm the
 /// observability layer before the pipeline runs and drain it at exit.
 ///
+/// The actual analysis run lives in driver/Tool.h (runAnalysis), which is
+/// re-entrant over an explicit context; this file is only the process
+/// shell around it.
+///
 //===----------------------------------------------------------------------===//
 
 #include "driver/Cli.h"
-#include "driver/Compiler.h"
+#include "driver/Tool.h"
 #include "obs/LockProfiler.h"
 #include "obs/Metrics.h"
 #include "obs/Obs.h"
@@ -58,43 +64,24 @@ int main(int Argc, char **Argv) {
   if (Cli.ProfileLocks || !Cli.TraceOut.empty())
     obs::lockProfiler().setEnabled(true);
 
-  std::ifstream In(Cli.Path);
-  if (!In) {
-    std::fprintf(stderr, "error: cannot open %s\n", Cli.Path.c_str());
-    return 1;
-  }
-  std::stringstream Buffer;
-  Buffer << In.rdbuf();
-  std::string Source = Buffer.str();
-
-  CompileOptions Options;
-  Options.K = Cli.K;
-  Options.Jobs = Cli.Jobs;
-  std::unique_ptr<Compilation> C = compile(Source, Options);
-  if (!C->ok()) {
-    std::fputs(C->diagnostics().str().c_str(), stderr);
-    return 1;
-  }
-
-  if (!Cli.Quiet)
-    std::fputs(C->report().c_str(), stdout);
-  if (Cli.TimePasses)
-    std::fputs(C->pipelineStats().renderTimings().c_str(), stderr);
-  if (Cli.Stats)
-    std::fputs(C->pipelineStats().renderStats().c_str(), stderr);
-
-  if (Cli.Run) {
-    InterpOptions RunOptions;
-    RunOptions.Mode = Cli.GlobalLock ? AtomicMode::GlobalLock
-                                     : AtomicMode::Inferred;
-    InterpResult Result = C->run(RunOptions);
-    if (!Result.Ok) {
-      std::fprintf(stderr, "run failed: %s\n", Result.Error.c_str());
+  int Rc;
+  if (Cli.Serve) {
+    Rc = tool::runServe(Cli);
+  } else {
+    std::ifstream In(Cli.Path);
+    if (!In) {
+      std::fprintf(stderr, "error: cannot open %s\n", Cli.Path.c_str());
       return 1;
     }
-    std::printf("; run ok, main returned %lld, %llu steps\n",
-                static_cast<long long>(Result.MainResult),
-                static_cast<unsigned long long>(Result.TotalSteps));
+    std::stringstream Buffer;
+    Buffer << In.rdbuf();
+
+    tool::ToolContext Ctx; // null obs = the process-wide singletons
+    Rc = tool::runAnalysis(Cli, Buffer.str(), Ctx);
+    std::fputs(Ctx.Out.c_str(), stdout);
+    std::fputs(Ctx.Log.c_str(), stderr);
+    if (Rc != 0)
+      return Rc;
   }
 
   if (Cli.ProfileLocks)
@@ -124,5 +111,5 @@ int main(int Argc, char **Argv) {
                    "note: trace ring buffers dropped %llu oldest events\n",
                    static_cast<unsigned long long>(Dropped));
   }
-  return 0;
+  return Rc;
 }

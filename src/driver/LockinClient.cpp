@@ -1,0 +1,184 @@
+//===--- LockinClient.cpp - The lockin-client command-line tool ----------------===//
+//
+// Part of the lockin project: lock inference for atomic sections.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Thin client for the lockin daemon:
+///
+///   lockin-client (--socket PATH | --port N) COMMAND [args]
+///
+///   analyze FILE [--unit NAME] [-k N] [--jobs N] [--force] [--run]
+///       Send FILE for analysis; prints the report to stdout and the
+///       cache accounting to stderr. --unit defaults to FILE's path —
+///       re-analyzing the same unit after an edit is what exercises the
+///       incremental path.
+///   invalidate [UNIT]   drop one unit's cached summaries, or everything
+///   stats               print the daemon's stats JSON
+///   ping                liveness check
+///   shutdown            ask the daemon to drain and exit
+///
+/// Exit codes: 0 ok, 1 daemon-reported failure, 2 usage/transport error.
+///
+//===----------------------------------------------------------------------===//
+
+#include "service/Client.h"
+#include "service/Json.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace lockin;
+using namespace lockin::service;
+
+namespace {
+
+void usage(std::FILE *To) {
+  std::fputs(
+      "usage: lockin-client (--socket PATH | --port N) COMMAND [args]\n"
+      "commands:\n"
+      "  analyze FILE [--unit NAME] [-k N] [--jobs N] [--force] [--run]\n"
+      "  invalidate [UNIT]\n"
+      "  stats\n"
+      "  ping\n"
+      "  shutdown\n",
+      To);
+}
+
+bool parseUnsignedArg(const char *Text, unsigned &Out) {
+  if (!Text || !*Text)
+    return false;
+  char *End = nullptr;
+  unsigned long V = std::strtoul(Text, &End, 10);
+  if (End == Text || *End != '\0' || V > 0xffffffffUL)
+    return false;
+  Out = static_cast<unsigned>(V);
+  return true;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string Socket;
+  int Port = -1;
+  std::vector<const char *> Rest;
+  for (int I = 1; I < Argc; ++I) {
+    const char *Arg = Argv[I];
+    if (std::strcmp(Arg, "--socket") == 0 && I + 1 < Argc) {
+      Socket = Argv[++I];
+    } else if (std::strcmp(Arg, "--port") == 0 && I + 1 < Argc) {
+      unsigned P;
+      if (!parseUnsignedArg(Argv[++I], P) || P > 65535) {
+        std::fprintf(stderr, "error: bad port '%s'\n", Argv[I]);
+        return 2;
+      }
+      Port = static_cast<int>(P);
+    } else if (std::strcmp(Arg, "--help") == 0) {
+      usage(stdout);
+      return 0;
+    } else {
+      Rest.push_back(Arg);
+    }
+  }
+  if ((Socket.empty() && Port < 0) || Rest.empty()) {
+    usage(stderr);
+    return 2;
+  }
+
+  Client Conn;
+  std::string Err;
+  bool Connected = Socket.empty() ? Conn.connectTcp(Port, Err)
+                                  : Conn.connectUnix(Socket, Err);
+  if (!Connected) {
+    std::fprintf(stderr, "error: %s\n", Err.c_str());
+    return 2;
+  }
+
+  std::string Command = Rest[0];
+  Json Request = Json::object();
+  bool PrintReport = false;
+  if (Command == "analyze") {
+    if (Rest.size() < 2) {
+      std::fprintf(stderr, "error: analyze needs a FILE\n");
+      return 2;
+    }
+    std::string Path = Rest[1];
+    std::ifstream In(Path);
+    if (!In) {
+      std::fprintf(stderr, "error: cannot open %s\n", Path.c_str());
+      return 2;
+    }
+    std::stringstream Buffer;
+    Buffer << In.rdbuf();
+
+    Request.set("op", Json::string("analyze"));
+    Request.set("unit", Json::string(Path));
+    Request.set("source", Json::string(Buffer.str()));
+    for (size_t I = 2; I < Rest.size(); ++I) {
+      const char *Arg = Rest[I];
+      auto NextValue = [&](unsigned &Out) {
+        return I + 1 < Rest.size() && parseUnsignedArg(Rest[++I], Out);
+      };
+      unsigned V;
+      if (std::strcmp(Arg, "--unit") == 0 && I + 1 < Rest.size()) {
+        Request.set("unit", Json::string(Rest[++I]));
+      } else if (std::strcmp(Arg, "-k") == 0 && NextValue(V)) {
+        Request.set("k", Json::integer(V));
+      } else if (std::strcmp(Arg, "--jobs") == 0 && NextValue(V)) {
+        Request.set("jobs", Json::integer(V));
+      } else if (std::strcmp(Arg, "--force") == 0) {
+        Request.set("force", Json::boolean(true));
+      } else if (std::strcmp(Arg, "--run") == 0) {
+        Request.set("run", Json::boolean(true));
+      } else {
+        std::fprintf(stderr, "error: bad analyze argument '%s'\n", Arg);
+        return 2;
+      }
+    }
+    PrintReport = true;
+  } else if (Command == "invalidate") {
+    Request.set("op", Json::string("invalidate"));
+    if (Rest.size() > 1)
+      Request.set("unit", Json::string(Rest[1]));
+  } else if (Command == "stats" || Command == "ping" ||
+             Command == "shutdown") {
+    Request.set("op", Json::string(Command));
+  } else {
+    std::fprintf(stderr, "error: unknown command '%s'\n", Command.c_str());
+    usage(stderr);
+    return 2;
+  }
+
+  Json Response;
+  if (!Conn.call(Request, Response, Err)) {
+    std::fprintf(stderr, "error: %s\n", Err.c_str());
+    return 2;
+  }
+  if (!Response.getBool("ok", false)) {
+    std::fprintf(stderr, "error: %s\n",
+                 Response.getString("error", "request failed").c_str());
+    return 1;
+  }
+  if (PrintReport) {
+    std::fputs(Response.getString("report", "").c_str(), stdout);
+    std::fprintf(
+        stderr, "; cache: hits=%llu misses=%llu sections=%llu\n",
+        static_cast<unsigned long long>(Response.getUint("cacheHits", 0)),
+        static_cast<unsigned long long>(Response.getUint("cacheMisses", 0)),
+        static_cast<unsigned long long>(Response.getUint("sections", 0)));
+    if (Response.getBool("runOk", false))
+      std::fprintf(
+          stderr, "; run ok, main returned %lld, %llu steps\n",
+          static_cast<long long>(Response.getInt("mainResult", 0)),
+          static_cast<unsigned long long>(Response.getUint("totalSteps", 0)));
+  } else {
+    std::fputs(Response.str().c_str(), stdout);
+    std::fputc('\n', stdout);
+  }
+  return 0;
+}

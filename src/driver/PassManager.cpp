@@ -22,8 +22,9 @@ void PassManager::record(std::string Name,
     uint64_t Ns = static_cast<uint64_t>(
         std::chrono::duration_cast<std::chrono::nanoseconds>(End - Start)
             .count());
-    obs::metrics().counter("pass." + Name + ".ns").add(Ns);
-    obs::Tracer &T = obs::tracer();
+    obs::MetricsRegistry &Reg = Metrics ? *Metrics : obs::metrics();
+    Reg.counter("pass." + Name + ".ns").add(Ns);
+    obs::Tracer &T = Trace ? *Trace : obs::tracer();
     if (T.enabled()) {
       uint64_t EndNs = static_cast<uint64_t>(
           std::chrono::duration_cast<std::chrono::nanoseconds>(

@@ -27,6 +27,11 @@
 
 namespace lockin {
 
+namespace obs {
+class MetricsRegistry;
+class Tracer;
+} // namespace obs
+
 struct PassTiming {
   std::string Name;
   double Seconds = 0;
@@ -50,8 +55,17 @@ struct PipelineStats {
 };
 
 /// Runs passes and accumulates their timings, in execution order.
+///
+/// Observability is an explicit context: pass a registry/tracer to keep a
+/// run's counters and spans private (concurrent compilations in the
+/// daemon, the re-entrancy test), or default to the process-wide
+/// singletons (the CLI tool's behavior).
 class PassManager {
 public:
+  PassManager() = default;
+  PassManager(obs::MetricsRegistry *Metrics, obs::Tracer *Trace)
+      : Metrics(Metrics), Trace(Trace) {}
+
   template <typename Fn> auto run(std::string Name, Fn &&Body) {
     auto Start = std::chrono::steady_clock::now();
     if constexpr (std::is_void_v<decltype(Body())>) {
@@ -70,6 +84,8 @@ private:
   void record(std::string Name,
               std::chrono::steady_clock::time_point Start);
 
+  obs::MetricsRegistry *Metrics = nullptr; ///< null = obs::metrics()
+  obs::Tracer *Trace = nullptr;            ///< null = obs::tracer()
   std::vector<PassTiming> Timings;
 };
 

@@ -1,0 +1,61 @@
+//===--- Tool.cpp - Re-entrant lockinfer tool runs ------------------------------===//
+//
+// Part of the lockin project: lock inference for atomic sections.
+//
+//===----------------------------------------------------------------------===//
+//
+// runAnalysis only; runServe lives in src/service/ServeTool.cpp so the
+// driver library does not depend on the service library (which depends on
+// the driver).
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Tool.h"
+
+#include "driver/Compiler.h"
+
+#include <cstdio>
+
+using namespace lockin;
+using namespace lockin::tool;
+
+int tool::runAnalysis(const cli::CliOptions &Opts, const std::string &Source,
+                      ToolContext &Ctx) {
+  CompileOptions Options;
+  Options.K = Opts.K;
+  Options.Jobs = Opts.Jobs;
+  Options.Metrics = Ctx.Metrics;
+  Options.Trace = Ctx.Trace;
+  std::unique_ptr<Compilation> C = compile(Source, Options);
+  if (!C->ok()) {
+    Ctx.Log += C->diagnostics().str();
+    return 1;
+  }
+
+  if (!Opts.Quiet)
+    Ctx.Out += C->report();
+  if (Opts.TimePasses)
+    Ctx.Log += C->pipelineStats().renderTimings();
+  if (Opts.Stats)
+    Ctx.Log += C->pipelineStats().renderStats();
+
+  if (Opts.Run) {
+    InterpOptions RunOptions;
+    RunOptions.Mode =
+        Opts.GlobalLock ? AtomicMode::GlobalLock : AtomicMode::Inferred;
+    RunOptions.InjectYields = Opts.InjectYields;
+    RunOptions.YieldSeed = Opts.YieldSeed;
+    InterpResult Result = C->run(RunOptions);
+    if (!Result.Ok) {
+      Ctx.Log += "run failed: " + Result.Error + "\n";
+      return 1;
+    }
+    char Line[96];
+    std::snprintf(Line, sizeof(Line),
+                  "; run ok, main returned %lld, %llu steps\n",
+                  static_cast<long long>(Result.MainResult),
+                  static_cast<unsigned long long>(Result.TotalSteps));
+    Ctx.Out += Line;
+  }
+  return 0;
+}

@@ -1,0 +1,59 @@
+//===--- Tool.h - Re-entrant lockinfer tool runs ----------------*- C++ -*-===//
+//
+// Part of the lockin project: lock inference for atomic sections.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The tool's one-shot analysis run, factored out of main() over an
+/// explicit context: every output the run produces (stdout payload,
+/// stderr payload, metrics, trace spans) goes through the ToolContext
+/// instead of process globals, so concurrent runs with distinct contexts
+/// share nothing mutable. The TSan re-entrancy test drives two
+/// runAnalysis calls from two threads; the daemon's workers rely on the
+/// same property through service/Incremental.h.
+///
+/// main() stays a thin shell: parse arguments, read the file, pick
+/// runAnalysis or runServe, print the context.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LOCKIN_DRIVER_TOOL_H
+#define LOCKIN_DRIVER_TOOL_H
+
+#include "driver/Cli.h"
+
+#include <string>
+
+namespace lockin {
+
+namespace obs {
+class MetricsRegistry;
+class Tracer;
+} // namespace obs
+
+namespace tool {
+
+/// Everything one analysis run reads from and writes to. Null obs
+/// pointers fall back to the process-wide singletons (what the CLI tool
+/// wants); pass private instances for isolated concurrent runs.
+struct ToolContext {
+  std::string Out; ///< stdout payload (report, run result line)
+  std::string Log; ///< stderr payload (diagnostics, timings, stats)
+  obs::MetricsRegistry *Metrics = nullptr;
+  obs::Tracer *Trace = nullptr;
+};
+
+/// Compiles (and with Opts.Run executes) \p Source. Returns the process
+/// exit code; all text lands in \p Ctx. Re-entrant.
+int runAnalysis(const cli::CliOptions &Opts, const std::string &Source,
+                ToolContext &Ctx);
+
+/// Daemon mode (--serve): listens, serves, drains on SIGTERM/SIGINT or a
+/// shutdown request, then returns the exit code.
+int runServe(const cli::CliOptions &Opts);
+
+} // namespace tool
+} // namespace lockin
+
+#endif // LOCKIN_DRIVER_TOOL_H

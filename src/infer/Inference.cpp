@@ -15,24 +15,29 @@
 using namespace lockin;
 using namespace lockin::ir;
 
-LockCensus InferenceResult::census() const {
+LockCensus lockin::censusOf(const LockSet &Locks) {
   LockCensus Census;
-  for (const Section &S : Sections) {
-    for (const LockName &L : S.Locks) {
-      bool RW = L.effect() == Effect::RW || L.isTop();
-      if (L.isFine()) {
-        if (RW)
-          ++Census.FineRW;
-        else
-          ++Census.FineRO;
-      } else {
-        if (RW)
-          ++Census.CoarseRW;
-        else
-          ++Census.CoarseRO;
-      }
+  for (const LockName &L : Locks) {
+    bool RW = L.effect() == Effect::RW || L.isTop();
+    if (L.isFine()) {
+      if (RW)
+        ++Census.FineRW;
+      else
+        ++Census.FineRO;
+    } else {
+      if (RW)
+        ++Census.CoarseRW;
+      else
+        ++Census.CoarseRO;
     }
   }
+  return Census;
+}
+
+LockCensus InferenceResult::census() const {
+  LockCensus Census;
+  for (const Section &S : Sections)
+    Census += censusOf(S.Locks);
   return Census;
 }
 
@@ -426,10 +431,22 @@ InferenceResult LockInference::run() {
   Result.Sections.resize(Module.numAtomicSections());
   SectionTasks.assign(Module.numAtomicSections(), SectionTask{});
 
-  // Only SCCs reachable from some atomic section need summaries.
+  // Restrict to the requested sections (incremental re-analysis); empty
+  // means all.
+  std::vector<char> Selected;
+  if (!Options.OnlySections.empty()) {
+    Selected.assign(Module.numAtomicSections(), 0);
+    for (uint32_t Id : Options.OnlySections)
+      if (Id < Selected.size())
+        Selected[Id] = 1;
+  }
+
+  // Only SCCs reachable from some selected atomic section need summaries.
   std::vector<const IrFunction *> Roots;
   for (const auto &F : Module.functions()) {
     for (const AtomicIrStmt *A : F->atomicSections()) {
+      if (!Selected.empty() && !Selected[A->sectionId()])
+        continue;
       SectionTasks[A->sectionId()] = SectionTask{A, F.get()};
       std::vector<const IrFunction *> Direct =
           analysis::CallGraph::directCallees(A->body());

@@ -56,6 +56,11 @@ struct InferenceOptions {
   /// Worker threads for the SCC-scheduled analysis; 0 means
   /// std::thread::hardware_concurrency(). 1 runs fully inline.
   unsigned Jobs = 0;
+  /// When non-empty, only these atomic-section ids are analyzed; other
+  /// result slots stay default-constructed (null Function, empty Locks).
+  /// The incremental service uses this to re-analyze exactly the cache
+  /// misses while serving every hit from the content-hashed cache.
+  std::vector<uint32_t> OnlySections;
 };
 
 /// Counters for --stats and the benchmarks; filled by run().
@@ -85,6 +90,10 @@ struct LockCensus {
   unsigned CoarseRW = 0;
 
   unsigned total() const { return FineRO + FineRW + CoarseRO + CoarseRW; }
+  bool operator==(const LockCensus &Other) const {
+    return FineRO == Other.FineRO && FineRW == Other.FineRW &&
+           CoarseRO == Other.CoarseRO && CoarseRW == Other.CoarseRW;
+  }
   LockCensus &operator+=(const LockCensus &Other) {
     FineRO += Other.FineRO;
     FineRW += Other.FineRW;
@@ -93,6 +102,11 @@ struct LockCensus {
     return *this;
   }
 };
+
+/// Figure 7 census of one lock set (shared by InferenceResult::census and
+/// the incremental summary cache, which stores the census per section so
+/// warm responses reproduce the report's census line byte for byte).
+LockCensus censusOf(const LockSet &Locks);
 
 /// The per-program analysis output: one lock set per atomic section.
 class InferenceResult {
@@ -132,8 +146,18 @@ public:
                 const analysis::CallGraph &CG,
                 InferenceOptions Options = {});
 
-  /// Runs the analysis for every atomic section in the module.
+  /// Runs the analysis for every atomic section in the module (or the
+  /// subset in InferenceOptions::OnlySections).
   InferenceResult run();
+
+  /// Runs the analysis for exactly \p OnlySections (empty = all). May be
+  /// called repeatedly on one instance: the summary store persists across
+  /// calls, so later batches reuse summaries computed by earlier ones —
+  /// the incremental service's batched re-analysis path.
+  InferenceResult run(std::vector<uint32_t> OnlySections) {
+    Options.OnlySections = std::move(OnlySections);
+    return run();
+  }
 
   /// Counters of the last run().
   const InferenceStats &stats() const { return Stats; }

@@ -1,0 +1,67 @@
+//===--- SummaryCache.cpp - Content-hashed per-section summary cache ------------===//
+//
+// Part of the lockin project: lock inference for atomic sections.
+//
+//===----------------------------------------------------------------------===//
+
+#include "infer/SummaryCache.h"
+
+using namespace lockin;
+
+bool SummaryCache::lookup(uint64_t Key, SectionSummary &Out) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Index.find(Key);
+  if (It == Index.end()) {
+    ++Counters.Misses;
+    return false;
+  }
+  ++Counters.Hits;
+  Lru.splice(Lru.begin(), Lru, It->second);
+  Out = It->second->Value;
+  return true;
+}
+
+void SummaryCache::insert(uint64_t Key, SectionSummary Value) {
+  if (Capacity == 0)
+    return;
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Index.find(Key);
+  if (It != Index.end()) {
+    It->second->Value = std::move(Value);
+    Lru.splice(Lru.begin(), Lru, It->second);
+    return;
+  }
+  Lru.push_front(EntryT{Key, std::move(Value)});
+  Index[Key] = Lru.begin();
+  ++Counters.Insertions;
+  while (Index.size() > Capacity) {
+    Index.erase(Lru.back().Key);
+    Lru.pop_back();
+    ++Counters.Evictions;
+  }
+}
+
+void SummaryCache::erase(uint64_t Key) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Index.find(Key);
+  if (It == Index.end())
+    return;
+  Lru.erase(It->second);
+  Index.erase(It);
+  ++Counters.Invalidations;
+}
+
+void SummaryCache::clear() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Counters.Invalidations += Index.size();
+  Index.clear();
+  Lru.clear();
+}
+
+SummaryCache::Stats SummaryCache::stats() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Stats Out = Counters;
+  Out.Entries = Index.size();
+  Out.Capacity = Capacity;
+  return Out;
+}

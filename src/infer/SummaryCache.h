@@ -1,0 +1,97 @@
+//===--- SummaryCache.h - Content-hashed per-section summary cache -*- C++ -*-===//
+//
+// Part of the lockin project: lock inference for atomic sections.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The incremental layer's persistent store: rendered per-section lock
+/// summaries keyed by a 64-bit content hash. A key captures everything the
+/// section's inferred lock set depends on — the normalized IR of its
+/// enclosing function, the normalized IR of every function transitively
+/// callable from that function's SCC (via the condensation closure hash),
+/// the canonicalized points-to region signature of that closure, and k —
+/// so a hit may be served without re-running the analysis and is
+/// guaranteed byte-identical to a cold run (see service/Fingerprint.h for
+/// the key construction, DESIGN.md "Service & incremental analysis" for
+/// the argument).
+///
+/// The cache is bounded: least-recently-used entries are evicted once
+/// capacity is reached, so a long-lived daemon's memory stays flat under
+/// edit storms. All operations are thread-safe (one mutex; entries are
+/// small rendered strings, not IR, so the critical sections are short).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LOCKIN_INFER_SUMMARYCACHE_H
+#define LOCKIN_INFER_SUMMARYCACHE_H
+
+#include "infer/Inference.h"
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace lockin {
+
+/// The cached value: everything needed to reproduce one section's share
+/// of the tool report without an InferenceResult.
+struct SectionSummary {
+  /// LockSet::str() of the inferred set — the acquireAll(...) annotation
+  /// and the "; section #N in F: ..." line body.
+  std::string LocksText;
+  /// Figure-7 census contribution of the set (for the census line).
+  LockCensus Census;
+};
+
+/// Bounded, thread-safe, LRU-evicting map from content-hash keys to
+/// rendered section summaries.
+class SummaryCache {
+public:
+  /// \p Capacity = max resident entries; 0 disables caching entirely
+  /// (every lookup misses, inserts are dropped).
+  explicit SummaryCache(size_t Capacity) : Capacity(Capacity) {}
+
+  struct Stats {
+    uint64_t Hits = 0;
+    uint64_t Misses = 0;
+    uint64_t Insertions = 0;
+    uint64_t Evictions = 0;
+    uint64_t Invalidations = 0; ///< explicit erase/clear removals
+    size_t Entries = 0;
+    size_t Capacity = 0;
+  };
+
+  /// True and fills \p Out on a hit (refreshing recency); counts the
+  /// outcome either way.
+  bool lookup(uint64_t Key, SectionSummary &Out);
+
+  /// Inserts or refreshes \p Key, evicting the LRU tail past capacity.
+  void insert(uint64_t Key, SectionSummary Value);
+
+  /// Drops \p Key if resident (explicit invalidation).
+  void erase(uint64_t Key);
+
+  /// Drops everything (the protocol's whole-cache invalidate).
+  void clear();
+
+  Stats stats() const;
+
+private:
+  struct EntryT {
+    uint64_t Key;
+    SectionSummary Value;
+  };
+
+  mutable std::mutex Mu;
+  size_t Capacity;
+  std::list<EntryT> Lru; // front = most recent
+  std::unordered_map<uint64_t, std::list<EntryT>::iterator> Index;
+  Stats Counters;
+};
+
+} // namespace lockin
+
+#endif // LOCKIN_INFER_SUMMARYCACHE_H

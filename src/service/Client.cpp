@@ -1,0 +1,98 @@
+//===--- Client.cpp - Daemon client connection ----------------------------------===//
+//
+// Part of the lockin project: lock inference for atomic sections.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Client.h"
+
+#include "service/Protocol.h"
+
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace lockin;
+using namespace lockin::service;
+
+bool Client::connectUnix(const std::string &Path, std::string &Err) {
+  close();
+  sockaddr_un Addr{};
+  Addr.sun_family = AF_UNIX;
+  if (Path.size() >= sizeof(Addr.sun_path)) {
+    Err = "socket path too long: " + Path;
+    return false;
+  }
+  std::strncpy(Addr.sun_path, Path.c_str(), sizeof(Addr.sun_path) - 1);
+  Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    Err = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) !=
+      0) {
+    Err = "connect " + Path + ": " + std::strerror(errno);
+    close();
+    return false;
+  }
+  return true;
+}
+
+bool Client::connectTcp(int Port, std::string &Err) {
+  close();
+  Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    Err = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  Addr.sin_port = htons(static_cast<uint16_t>(Port));
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) !=
+      0) {
+    Err = "connect port " + std::to_string(Port) + ": " +
+          std::strerror(errno);
+    close();
+    return false;
+  }
+  return true;
+}
+
+void Client::close() {
+  if (Fd >= 0) {
+    ::close(Fd);
+    Fd = -1;
+  }
+}
+
+bool Client::call(const Json &Request, Json &Response, std::string &Err) {
+  if (Fd < 0) {
+    Err = "not connected";
+    return false;
+  }
+  if (!writeJson(Fd, Request, Err))
+    return false;
+  int Rc = readJson(Fd, Response, Err);
+  if (Rc == 0) {
+    Err = "connection closed by daemon";
+    return false;
+  }
+  return Rc > 0;
+}
+
+bool Client::analyze(const std::string &Unit, const std::string &Source,
+                     Json &Response, std::string &Err, unsigned K,
+                     bool Force) {
+  Json Request = Json::object();
+  Request.set("op", Json::string("analyze"));
+  Request.set("unit", Json::string(Unit));
+  Request.set("source", Json::string(Source));
+  Request.set("k", Json::integer(K));
+  if (Force)
+    Request.set("force", Json::boolean(true));
+  return call(Request, Response, Err);
+}

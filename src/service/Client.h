@@ -1,0 +1,65 @@
+//===--- Client.h - Daemon client connection --------------------*- C++ -*-===//
+//
+// Part of the lockin project: lock inference for atomic sections.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A blocking client for the lockin daemon: connects over the unix
+/// socket or loopback TCP, sends one length-prefixed JSON request at a
+/// time, and returns the daemon's response. Shared by the lockin-client
+/// subcommand, the service tests, and bench_service's load generator.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LOCKIN_SERVICE_CLIENT_H
+#define LOCKIN_SERVICE_CLIENT_H
+
+#include "service/Json.h"
+
+#include <string>
+
+namespace lockin {
+namespace service {
+
+class Client {
+public:
+  Client() = default;
+  ~Client() { close(); }
+  Client(const Client &) = delete;
+  Client &operator=(const Client &) = delete;
+  Client(Client &&Other) noexcept : Fd(Other.Fd) { Other.Fd = -1; }
+  Client &operator=(Client &&Other) noexcept {
+    if (this != &Other) {
+      close();
+      Fd = Other.Fd;
+      Other.Fd = -1;
+    }
+    return *this;
+  }
+
+  /// Connects to a unix-domain socket path.
+  bool connectUnix(const std::string &Path, std::string &Err);
+  /// Connects to 127.0.0.1:port.
+  bool connectTcp(int Port, std::string &Err);
+
+  bool connected() const { return Fd >= 0; }
+  void close();
+
+  /// One request/response round trip. False + Err on transport or parse
+  /// failure (protocol-level failures come back as Response.ok=false).
+  bool call(const Json &Request, Json &Response, std::string &Err);
+
+  /// Convenience wrapper: builds and sends an analyze request.
+  bool analyze(const std::string &Unit, const std::string &Source,
+               Json &Response, std::string &Err, unsigned K = 3,
+               bool Force = false);
+
+private:
+  int Fd = -1;
+};
+
+} // namespace service
+} // namespace lockin
+
+#endif // LOCKIN_SERVICE_CLIENT_H

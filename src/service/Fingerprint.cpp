@@ -1,0 +1,131 @@
+//===--- Fingerprint.cpp - Content hashes for incremental analysis --------------===//
+//
+// Part of the lockin project: lock inference for atomic sections.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Fingerprint.h"
+
+#include "ir/IrPrinter.h"
+#include "service/Hash.h"
+
+#include <algorithm>
+#include <set>
+
+using namespace lockin;
+using namespace lockin::service;
+
+namespace {
+
+/// Bump when the key derivation changes so stale daemon caches cannot
+/// serve entries computed under an older scheme.
+constexpr uint64_t KeyFormatVersion = 1;
+
+} // namespace
+
+ModuleFingerprint::ModuleFingerprint(const ir::IrModule &M,
+                                     const analysis::CallGraph &CG,
+                                     const PointsToAnalysis &PT)
+    : M(M), CG(CG), PT(PT) {
+  FnHash.resize(CG.numFunctions());
+  for (unsigned I = 0; I < CG.numFunctions(); ++I) {
+    const ir::IrFunction *F = CG.function(I);
+    Fnv1a H;
+    H.str(F->name());
+    // Normalized IR, not raw source: whitespace and comment edits keep
+    // the hash; temp numbering is deterministic per function body.
+    H.str(ir::printIrFunction(*F));
+    FnHash[I] = H.get();
+  }
+  // SCC ids ascend bottom-up, so every callee SCC's hash is final before
+  // its callers combine it.
+  SccHash.resize(CG.numSccs());
+  for (unsigned Scc = 0; Scc < CG.numSccs(); ++Scc) {
+    Fnv1a H;
+    for (unsigned FnIdx : CG.sccMembers(Scc))
+      H.u64(FnHash[FnIdx]);
+    for (unsigned Callee : CG.sccCallees(Scc))
+      H.u64(SccHash[Callee]);
+    SccHash[Scc] = H.get();
+  }
+}
+
+const std::vector<unsigned> &
+ModuleFingerprint::closureFunctions(unsigned Scc) {
+  auto It = ClosureMemo.find(Scc);
+  if (It != ClosureMemo.end())
+    return It->second;
+  std::vector<char> SeenScc(CG.numSccs(), 0);
+  std::vector<unsigned> Work{Scc};
+  SeenScc[Scc] = 1;
+  std::vector<unsigned> Fns;
+  while (!Work.empty()) {
+    unsigned Cur = Work.back();
+    Work.pop_back();
+    for (unsigned FnIdx : CG.sccMembers(Cur))
+      Fns.push_back(FnIdx);
+    for (unsigned Callee : CG.sccCallees(Cur)) {
+      if (!SeenScc[Callee]) {
+        SeenScc[Callee] = 1;
+        Work.push_back(Callee);
+      }
+    }
+  }
+  std::sort(Fns.begin(), Fns.end());
+  return ClosureMemo.emplace(Scc, std::move(Fns)).first->second;
+}
+
+uint64_t ModuleFingerprint::regionSignature(unsigned Scc) {
+  auto It = RegionSigMemo.find(Scc);
+  if (It != RegionSigMemo.end())
+    return It->second;
+
+  const std::vector<unsigned> &Fns = closureFunctions(Scc);
+  Fnv1a H;
+  std::set<RegionId> Chased;
+  // Emit a region id and everything reachable from it by deref; the
+  // deref chain stops at the first region already chased (its own chain
+  // was emitted when it was first seen) or at InvalidRegion.
+  auto Chase = [&](RegionId R) {
+    while (true) {
+      H.u32(R == InvalidRegion ? ~0u : R);
+      if (R == InvalidRegion || !Chased.insert(R).second)
+        return;
+      R = PT.derefRegion(R);
+    }
+  };
+
+  for (unsigned FnIdx : Fns) {
+    const ir::IrFunction *F = CG.function(FnIdx);
+    for (const auto &V : F->variables())
+      Chase(PT.regionOfVarCell(V.get()));
+  }
+  // Globals are visible to every function; closure bodies may reach any
+  // of them.
+  for (const auto &G : M.globals())
+    Chase(PT.regionOfVarCell(G.get()));
+  // Allocation sites lexically inside closure functions.
+  std::set<std::string> ClosureNames;
+  for (unsigned FnIdx : Fns)
+    ClosureNames.insert(CG.function(FnIdx)->name());
+  for (const ir::AllocSite &Site : M.allocSites())
+    if (ClosureNames.count(Site.InFunction))
+      Chase(PT.regionOfAllocSite(Site.Id));
+
+  uint64_t Sig = H.get();
+  RegionSigMemo.emplace(Scc, Sig);
+  return Sig;
+}
+
+uint64_t ModuleFingerprint::sectionKey(const ir::IrFunction *F,
+                                       unsigned Ordinal, unsigned K) {
+  unsigned Scc = CG.sccOfFunction(F);
+  Fnv1a H;
+  H.u64(KeyFormatVersion);
+  H.u32(K);
+  H.u64(functionHashOf(F));
+  H.u32(Ordinal);
+  H.u64(SccHash[Scc]);
+  H.u64(regionSignature(Scc));
+  return H.get();
+}

@@ -1,0 +1,87 @@
+//===--- Fingerprint.h - Content hashes for incremental analysis -*- C++ -*-===//
+//
+// Part of the lockin project: lock inference for atomic sections.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Builds the content-hash components of a summary-cache key for one
+/// compiled module:
+///
+///  - functionHash: FNV-1a over the function's normalized IR text (the
+///    same canonical form the golden tests compare), so formatting-only
+///    source edits hash identically and any semantic edit does not.
+///  - sccClosureHash: per condensation SCC, the hash of every member's
+///    functionHash combined with the closure hashes of all callee SCCs —
+///    i.e. a digest of the normalized bodies of *every function the SCC
+///    can transitively call*. A section's inferred locks depend on
+///    exactly that set of bodies.
+///  - regionSignature: per SCC, a digest of the points-to environment
+///    the closure observes: the raw region id of every variable cell in
+///    closure functions and of every global and closure allocation site,
+///    plus the deref-edge structure between those regions. Raw ids (not
+///    an isomorphism-canonical renaming) are deliberate: the rendered
+///    lock text embeds region numbers ("region#1:rw"), so a cache hit is
+///    only byte-identical to a cold run when the numbering also matches.
+///    Renumbering caused by unrelated edits therefore (conservatively)
+///    misses instead of serving stale text.
+///
+/// sectionKey() combines these with the section's lexical ordinal in its
+/// function and the analysis k into the final 64-bit cache key.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LOCKIN_SERVICE_FINGERPRINT_H
+#define LOCKIN_SERVICE_FINGERPRINT_H
+
+#include "analysis/CallGraph.h"
+#include "ir/Ir.h"
+#include "pointsto/Steensgaard.h"
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace lockin {
+namespace service {
+
+class ModuleFingerprint {
+public:
+  /// Function hashes and SCC closure hashes are computed eagerly (one
+  /// pass over the module); region signatures lazily per queried SCC.
+  ModuleFingerprint(const ir::IrModule &M, const analysis::CallGraph &CG,
+                    const PointsToAnalysis &PT);
+
+  uint64_t functionHash(unsigned FnIdx) const { return FnHash[FnIdx]; }
+  uint64_t functionHashOf(const ir::IrFunction *F) const {
+    return FnHash[CG.indexOf(F)];
+  }
+  uint64_t sccClosureHash(unsigned Scc) const { return SccHash[Scc]; }
+
+  /// Memoized; see file comment for what the signature covers.
+  uint64_t regionSignature(unsigned Scc);
+
+  /// The summary-cache key for the \p Ordinal-th atomic section of \p F
+  /// at expression-lock depth \p K.
+  uint64_t sectionKey(const ir::IrFunction *F, unsigned Ordinal,
+                      unsigned K);
+
+private:
+  /// Function indices transitively callable from \p Scc (including its
+  /// own members), ascending; memoized.
+  const std::vector<unsigned> &closureFunctions(unsigned Scc);
+
+  const ir::IrModule &M;
+  const analysis::CallGraph &CG;
+  const PointsToAnalysis &PT;
+
+  std::vector<uint64_t> FnHash;  // by CG function index
+  std::vector<uint64_t> SccHash; // by SCC id
+  std::unordered_map<unsigned, std::vector<unsigned>> ClosureMemo;
+  std::unordered_map<unsigned, uint64_t> RegionSigMemo;
+};
+
+} // namespace service
+} // namespace lockin
+
+#endif // LOCKIN_SERVICE_FINGERPRINT_H

@@ -1,0 +1,63 @@
+//===--- Hash.h - Stable content hashing for cache keys ---------*- C++ -*-===//
+//
+// Part of the lockin project: lock inference for atomic sections.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// FNV-1a 64-bit hashing used for the incremental summary cache keys.
+/// The hashes are stable across processes and runs (they depend only on
+/// the bytes fed in), which is what makes content-addressed cache keys
+/// meaningful for a long-lived daemon.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LOCKIN_SERVICE_HASH_H
+#define LOCKIN_SERVICE_HASH_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace lockin {
+namespace service {
+
+/// Incremental FNV-1a 64-bit hasher.
+class Fnv1a {
+public:
+  static constexpr uint64_t Offset = 1469598103934665603ull;
+  static constexpr uint64_t Prime = 1099511628211ull;
+
+  void bytes(const void *Data, size_t Len) {
+    const auto *P = static_cast<const unsigned char *>(Data);
+    uint64_t Hash = H;
+    for (size_t I = 0; I < Len; ++I) {
+      Hash ^= P[I];
+      Hash *= Prime;
+    }
+    H = Hash;
+  }
+  void str(std::string_view S) {
+    // Length-prefix so ("ab","c") and ("a","bc") hash differently.
+    u64(S.size());
+    bytes(S.data(), S.size());
+  }
+  void u64(uint64_t V) { bytes(&V, sizeof(V)); }
+  void u32(uint32_t V) { bytes(&V, sizeof(V)); }
+
+  uint64_t get() const { return H; }
+
+private:
+  uint64_t H = Offset;
+};
+
+inline uint64_t hashString(std::string_view S) {
+  Fnv1a H;
+  H.bytes(S.data(), S.size());
+  return H.get();
+}
+
+} // namespace service
+} // namespace lockin
+
+#endif // LOCKIN_SERVICE_HASH_H

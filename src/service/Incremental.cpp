@@ -1,0 +1,243 @@
+//===--- Incremental.cpp - Cache-backed incremental analysis --------------------===//
+//
+// Part of the lockin project: lock inference for atomic sections.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Incremental.h"
+
+#include "driver/Compiler.h"
+#include "ir/IrPrinter.h"
+#include "service/Fingerprint.h"
+
+#include <algorithm>
+#include <cstdio>
+
+using namespace lockin;
+using namespace lockin::service;
+
+namespace {
+
+/// Re-analysis batch size: small enough that deadline checks between
+/// batches give real cancellation granularity, large enough that the
+/// per-run() scheduling overhead (reachable-closure scan) stays noise.
+constexpr size_t ReanalyzeBatch = 16;
+
+bool pastDeadline(const AnalyzeParams &P) {
+  return P.Deadline != std::chrono::steady_clock::time_point{} &&
+         std::chrono::steady_clock::now() > P.Deadline;
+}
+
+AnalyzeOutcome timedOut() {
+  AnalyzeOutcome Out;
+  Out.TimedOut = true;
+  Out.Error = "timeout";
+  return Out;
+}
+
+/// One section's identity within this compilation.
+struct SectionInfo {
+  const ir::IrFunction *Function = nullptr;
+  uint64_t Key = 0;
+};
+
+} // namespace
+
+AnalyzeOutcome IncrementalAnalyzer::analyze(const std::string &Unit,
+                                            const std::string &Source,
+                                            const AnalyzeParams &Params) {
+  // Front half of the pipeline: always runs (content hashing needs the
+  // normalized IR, the region signature needs points-to).
+  CompileOptions Options;
+  Options.K = Params.K;
+  Options.Jobs = Params.Jobs;
+  Options.InferLocks = false;
+  std::unique_ptr<Compilation> C = compile(Source, Options);
+  if (!C->ok()) {
+    AnalyzeOutcome Out;
+    Out.Error = C->diagnostics().str();
+    if (Out.Error.empty())
+      Out.Error = "compilation failed";
+    return Out;
+  }
+  if (pastDeadline(Params))
+    return timedOut();
+
+  const ir::IrModule &Module = C->module();
+  const analysis::CallGraph &CG = C->callGraph();
+  ModuleFingerprint FP(Module, CG, C->pointsTo());
+
+  uint32_t NumSections = Module.numAtomicSections();
+  std::vector<SectionInfo> Sections(NumSections);
+  for (const auto &F : Module.functions()) {
+    const auto &Atomics = F->atomicSections();
+    for (unsigned Ord = 0; Ord < Atomics.size(); ++Ord) {
+      SectionInfo &Info = Sections[Atomics[Ord]->sectionId()];
+      Info.Function = F.get();
+      Info.Key = FP.sectionKey(F.get(), Ord, Params.K);
+    }
+  }
+
+  AnalyzeOutcome Out;
+  Out.Sections = NumSections;
+
+  // Dirty-SCC accounting against the unit's previous snapshot.
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    auto It = Snapshots.find(Unit);
+    if (It != Snapshots.end()) {
+      Out.HadSnapshot = true;
+      std::vector<unsigned> Seeds;
+      for (unsigned I = 0; I < CG.numFunctions(); ++I) {
+        const ir::IrFunction *F = CG.function(I);
+        auto Old = It->second.FunctionHashes.find(F->name());
+        if (Old == It->second.FunctionHashes.end() ||
+            Old->second != FP.functionHash(I)) {
+          ++Out.DirtyFunctions;
+          Seeds.push_back(CG.sccOf(I));
+        }
+      }
+      std::vector<char> Cone = CG.upwardClosure(Seeds);
+      for (char InCone : Cone)
+        if (InCone)
+          ++Out.DirtySccs;
+      for (uint32_t Id = 0; Id < NumSections; ++Id)
+        if (Cone[CG.sccOfFunction(Sections[Id].Function)])
+          Out.DirtyConeSections.push_back(Id);
+    }
+  }
+
+  // Cache pass: a run request needs live LockSets for the interpreter,
+  // so it always takes the uncached path (and refreshes the cache).
+  bool BypassLookups = Params.Force || Params.Run;
+  std::vector<std::string> LocksText(NumSections);
+  std::vector<LockCensus> Censuses(NumSections);
+  std::vector<uint32_t> Misses;
+  for (uint32_t Id = 0; Id < NumSections; ++Id) {
+    SectionSummary Hit;
+    if (!BypassLookups && Cache.lookup(Sections[Id].Key, Hit)) {
+      LocksText[Id] = std::move(Hit.LocksText);
+      Censuses[Id] = Hit.Census;
+      ++Out.CacheHits;
+    } else {
+      Misses.push_back(Id);
+      ++Out.CacheMisses;
+    }
+  }
+
+  InferenceOptions InferOpts;
+  InferOpts.K = Params.K;
+  InferOpts.Jobs = Params.Jobs;
+  LockInference Inference(Module, C->pointsTo(), CG, InferOpts);
+
+  auto Harvest = [&](const InferenceResult &Result,
+                     const std::vector<uint32_t> &Ids) {
+    for (uint32_t Id : Ids) {
+      const LockSet &Locks = Result.sectionLocks(Id);
+      SectionSummary Summary{Locks.str(), censusOf(Locks)};
+      LocksText[Id] = Summary.LocksText;
+      Censuses[Id] = Summary.Census;
+      Cache.insert(Sections[Id].Key, std::move(Summary));
+      Out.Reanalyzed.push_back(Id);
+    }
+  };
+
+  if (Params.Run) {
+    // Full inference in one shot, then execute.
+    if (pastDeadline(Params))
+      return timedOut();
+    InferenceResult Result = Inference.run();
+    std::vector<uint32_t> All(NumSections);
+    for (uint32_t Id = 0; Id < NumSections; ++Id)
+      All[Id] = Id;
+    Harvest(Result, All);
+
+    InterpOptions RunOpts;
+    RunOpts.Mode = Params.RunMode;
+    RunOpts.InjectYields = Params.InjectYields;
+    RunOpts.YieldSeed = Params.YieldSeed;
+    InterpResult R =
+        interpret(Module, C->pointsTo(), &Result, RunOpts, "main");
+    Out.RanProgram = true;
+    Out.RunOk = R.Ok;
+    Out.RunError = R.Error;
+    Out.MainResult = R.MainResult;
+    Out.TotalSteps = R.TotalSteps;
+  } else {
+    // Re-analyze only the misses, in batches with deadline checks. The
+    // LockInference instance is reused so summaries computed for one
+    // batch warm the next.
+    for (size_t Begin = 0; Begin < Misses.size(); Begin += ReanalyzeBatch) {
+      if (pastDeadline(Params))
+        return timedOut();
+      size_t End = std::min(Misses.size(), Begin + ReanalyzeBatch);
+      std::vector<uint32_t> Batch(Misses.begin() + Begin,
+                                  Misses.begin() + End);
+      InferenceResult Result = Inference.run(Batch);
+      Harvest(Result, Batch);
+    }
+  }
+
+  // Assemble the report — the exact shape of Compilation::report().
+  Out.Report = ir::printIrModule(Module, [&](uint32_t SectionId) {
+    return LocksText[SectionId];
+  });
+  char Line[64];
+  LockCensus Census;
+  for (uint32_t Id = 0; Id < NumSections; ++Id) {
+    Out.Report += "; section #";
+    std::snprintf(Line, sizeof(Line), "%u", Id);
+    Out.Report += Line;
+    Out.Report += " in ";
+    Out.Report += Sections[Id].Function
+                      ? Sections[Id].Function->name()
+                      : std::string("?");
+    Out.Report += ": ";
+    Out.Report += LocksText[Id];
+    Out.Report += "\n";
+    Census += Censuses[Id];
+  }
+  std::snprintf(Line, sizeof(Line),
+                "fine-ro=%u fine-rw=%u coarse-ro=%u coarse-rw=%u\n",
+                Census.FineRO, Census.FineRW, Census.CoarseRO,
+                Census.CoarseRW);
+  Out.Report += "; locks: ";
+  Out.Report += Line;
+
+  // Publish the new snapshot.
+  {
+    Snapshot Snap;
+    for (unsigned I = 0; I < CG.numFunctions(); ++I)
+      Snap.FunctionHashes[CG.function(I)->name()] = FP.functionHash(I);
+    Snap.SectionKeys.reserve(NumSections);
+    for (const SectionInfo &Info : Sections)
+      Snap.SectionKeys.push_back(Info.Key);
+    std::lock_guard<std::mutex> Lock(Mu);
+    Snapshots[Unit] = std::move(Snap);
+  }
+
+  Out.Ok = true;
+  return Out;
+}
+
+bool IncrementalAnalyzer::invalidateUnit(const std::string &Unit) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Snapshots.find(Unit);
+  if (It == Snapshots.end())
+    return false;
+  for (uint64_t Key : It->second.SectionKeys)
+    Cache.erase(Key);
+  Snapshots.erase(It);
+  return true;
+}
+
+void IncrementalAnalyzer::invalidateAll() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Snapshots.clear();
+  Cache.clear();
+}
+
+size_t IncrementalAnalyzer::numUnits() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Snapshots.size();
+}

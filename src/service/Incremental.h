@@ -1,0 +1,127 @@
+//===--- Incremental.h - Cache-backed incremental analysis ------*- C++ -*-===//
+//
+// Part of the lockin project: lock inference for atomic sections.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The service's analysis engine: each `analyze` request re-runs the
+/// cheap front half of the pipeline (parse → sema → lower → call graph →
+/// points-to), fingerprints the module (service/Fingerprint.h), and then
+/// serves every atomic section whose content-hash key is resident in the
+/// SummaryCache without re-running the lock inference. Only cache misses
+/// are re-analyzed, batched through InferenceOptions::OnlySections so one
+/// summary store is shared across the batch.
+///
+/// Per-unit snapshots (function-name → body hash from the previous
+/// analyze of that unit) drive the dirty-SCC accounting: a changed
+/// function seeds its SCC, CallGraph::upwardClosure expands to every
+/// caller SCC, and the sections inside that cone are exactly the expected
+/// re-analysis set — surfaced in the outcome so tests and clients can
+/// verify the invalidation rule.
+///
+/// Everything here is re-entrant; one analyzer may serve concurrent
+/// requests from the daemon's worker pool.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LOCKIN_SERVICE_INCREMENTAL_H
+#define LOCKIN_SERVICE_INCREMENTAL_H
+
+#include "infer/SummaryCache.h"
+#include "interp/Interp.h"
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace lockin {
+namespace service {
+
+struct AnalyzeParams {
+  unsigned K = 3;
+  unsigned Jobs = 1;
+  /// Skip cache lookups (still refreshes entries) — a client-forced cold
+  /// run.
+  bool Force = false;
+  /// Execute the transformed program after analysis. Runs force a full
+  /// (uncached) inference: the interpreter needs live LockSets, which
+  /// cache entries (rendered text) cannot provide.
+  bool Run = false;
+  AtomicMode RunMode = AtomicMode::Inferred;
+  /// Deterministic scheduling knobs forwarded to the checked interpreter
+  /// (mirrors the tool's --inject-yields / --yield-seed).
+  bool InjectYields = false;
+  uint64_t YieldSeed = 1;
+  /// Cooperative cancellation: checked between pipeline phases and
+  /// between re-analysis batches. Zero time_point = no deadline.
+  std::chrono::steady_clock::time_point Deadline{};
+};
+
+struct AnalyzeOutcome {
+  bool Ok = false;
+  bool TimedOut = false;
+  std::string Error;
+
+  /// Byte-identical to Compilation::report() of a cold run.
+  std::string Report;
+
+  unsigned Sections = 0;
+  unsigned CacheHits = 0;
+  unsigned CacheMisses = 0;
+  /// Section ids actually re-analyzed this request (== misses).
+  std::vector<uint32_t> Reanalyzed;
+
+  /// Dirty-SCC accounting vs the unit's previous snapshot.
+  bool HadSnapshot = false;
+  unsigned DirtyFunctions = 0;
+  unsigned DirtySccs = 0;
+  /// Sections whose SCC lies in the dirty cone — the predicted
+  /// re-analysis set under the invalidation rule.
+  std::vector<uint32_t> DirtyConeSections;
+
+  /// Interpreter results when AnalyzeParams::Run was set.
+  bool RanProgram = false;
+  bool RunOk = false;
+  std::string RunError;
+  int64_t MainResult = 0;
+  uint64_t TotalSteps = 0;
+};
+
+/// See file comment. Owns the per-unit snapshots; shares (does not own)
+/// the summary cache.
+class IncrementalAnalyzer {
+public:
+  explicit IncrementalAnalyzer(SummaryCache &Cache) : Cache(Cache) {}
+
+  AnalyzeOutcome analyze(const std::string &Unit, const std::string &Source,
+                         const AnalyzeParams &Params);
+
+  /// Drops the unit's snapshot and evicts its cached section summaries.
+  /// Returns true if the unit was known.
+  bool invalidateUnit(const std::string &Unit);
+
+  /// Drops every snapshot and the whole cache.
+  void invalidateAll();
+
+  size_t numUnits() const;
+  SummaryCache &cache() { return Cache; }
+
+private:
+  struct Snapshot {
+    std::unordered_map<std::string, uint64_t> FunctionHashes;
+    std::vector<uint64_t> SectionKeys;
+  };
+
+  SummaryCache &Cache;
+  mutable std::mutex Mu; // guards Snapshots
+  std::unordered_map<std::string, Snapshot> Snapshots;
+};
+
+} // namespace service
+} // namespace lockin
+
+#endif // LOCKIN_SERVICE_INCREMENTAL_H

@@ -1,0 +1,122 @@
+//===--- Protocol.cpp - Length-prefixed JSON wire protocol ----------------------===//
+//
+// Part of the lockin project: lock inference for atomic sections.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Protocol.h"
+
+#include <cerrno>
+#include <cstring>
+#include <unistd.h>
+
+using namespace lockin;
+using namespace lockin::service;
+
+namespace {
+
+/// Reads exactly \p Len bytes. Returns 1 on success, 0 on EOF before the
+/// first byte, -1 on error or EOF mid-buffer.
+int readExact(int Fd, char *Buf, size_t Len, std::string &Err) {
+  size_t Done = 0;
+  while (Done < Len) {
+    ssize_t N = ::read(Fd, Buf + Done, Len - Done);
+    if (N > 0) {
+      Done += static_cast<size_t>(N);
+      continue;
+    }
+    if (N == 0) {
+      if (Done == 0)
+        return 0;
+      Err = "unexpected EOF mid-frame";
+      return -1;
+    }
+    if (errno == EINTR)
+      continue;
+    Err = std::strerror(errno);
+    return -1;
+  }
+  return 1;
+}
+
+bool writeExact(int Fd, const char *Buf, size_t Len, std::string &Err) {
+  size_t Done = 0;
+  while (Done < Len) {
+    ssize_t N = ::write(Fd, Buf + Done, Len - Done);
+    if (N >= 0) {
+      Done += static_cast<size_t>(N);
+      continue;
+    }
+    if (errno == EINTR)
+      continue;
+    Err = std::strerror(errno);
+    return false;
+  }
+  return true;
+}
+
+} // namespace
+
+int lockin::service::readFrame(int Fd, std::string &Out, std::string &Err) {
+  unsigned char Header[4];
+  int Rc = readExact(Fd, reinterpret_cast<char *>(Header), 4, Err);
+  if (Rc <= 0)
+    return Rc;
+  uint32_t Len = (uint32_t(Header[0]) << 24) | (uint32_t(Header[1]) << 16) |
+                 (uint32_t(Header[2]) << 8) | uint32_t(Header[3]);
+  if (Len > MaxFrameBytes) {
+    Err = "frame too large (" + std::to_string(Len) + " bytes)";
+    return -1;
+  }
+  Out.resize(Len);
+  if (Len == 0)
+    return 1;
+  Rc = readExact(Fd, Out.data(), Len, Err);
+  if (Rc == 0) {
+    Err = "unexpected EOF mid-frame";
+    return -1;
+  }
+  return Rc;
+}
+
+bool lockin::service::writeFrame(int Fd, std::string_view Payload,
+                                 std::string &Err) {
+  if (Payload.size() > MaxFrameBytes) {
+    Err = "frame too large";
+    return false;
+  }
+  uint32_t Len = static_cast<uint32_t>(Payload.size());
+  // One buffer, one stream of writes: no interleaving hazard when two
+  // threads would share a socket (they must not, but keep frames atomic
+  // at this layer anyway for short messages).
+  std::string Buf;
+  Buf.reserve(4 + Payload.size());
+  Buf.push_back(static_cast<char>((Len >> 24) & 0xff));
+  Buf.push_back(static_cast<char>((Len >> 16) & 0xff));
+  Buf.push_back(static_cast<char>((Len >> 8) & 0xff));
+  Buf.push_back(static_cast<char>(Len & 0xff));
+  Buf.append(Payload);
+  return writeExact(Fd, Buf.data(), Buf.size(), Err);
+}
+
+int lockin::service::readJson(int Fd, Json &Out, std::string &Err) {
+  std::string Payload;
+  int Rc = readFrame(Fd, Payload, Err);
+  if (Rc <= 0)
+    return Rc;
+  if (!Json::parse(Payload, Out, Err))
+    return -1;
+  return 1;
+}
+
+bool lockin::service::writeJson(int Fd, const Json &Message,
+                                std::string &Err) {
+  return writeFrame(Fd, Message.str(), Err);
+}
+
+Json lockin::service::errorResponse(std::string_view Message) {
+  Json R = Json::object();
+  R.set("ok", Json::boolean(false));
+  R.set("error", Json::string(std::string(Message)));
+  return R;
+}

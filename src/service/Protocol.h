@@ -1,0 +1,65 @@
+//===--- Protocol.h - Length-prefixed JSON wire protocol --------*- C++ -*-===//
+//
+// Part of the lockin project: lock inference for atomic sections.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The daemon's wire format: each message is a 4-byte big-endian length
+/// followed by that many bytes of UTF-8 JSON. Requests are flat objects
+/// with an "op" member:
+///
+///   {"op":"ping"}
+///   {"op":"analyze","unit":"U","source":"...","k":3,"jobs":1,
+///    "force":false,"run":false,"mode":"inferred",
+///    "injectYields":false,"yieldSeed":1}
+///   {"op":"invalidate"}            (whole cache)
+///   {"op":"invalidate","unit":"U"} (one unit)
+///   {"op":"stats"}
+///   {"op":"shutdown"}
+///
+/// Responses always carry "ok"; failures add "error". See DESIGN.md
+/// "Service & incremental analysis" for the full response schemas.
+///
+/// Framing helpers below loop over partial reads/writes and retry EINTR;
+/// oversized frames are rejected before any allocation so a malformed
+/// peer cannot balloon the daemon.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LOCKIN_SERVICE_PROTOCOL_H
+#define LOCKIN_SERVICE_PROTOCOL_H
+
+#include "service/Json.h"
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace lockin {
+namespace service {
+
+/// Hard cap on one frame (source files are the large payloads).
+constexpr uint32_t MaxFrameBytes = 64u << 20;
+
+/// Reads one length-prefixed frame from \p Fd into \p Out. Returns 1 on
+/// success, 0 on clean EOF at a frame boundary, -1 on error (Err filled;
+/// EOF mid-frame is an error).
+int readFrame(int Fd, std::string &Out, std::string &Err);
+
+/// Writes \p Payload as one frame. False + Err on failure.
+bool writeFrame(int Fd, std::string_view Payload, std::string &Err);
+
+/// readFrame + JSON parse. Same return convention as readFrame.
+int readJson(int Fd, Json &Out, std::string &Err);
+
+/// Serialize + writeFrame.
+bool writeJson(int Fd, const Json &Message, std::string &Err);
+
+/// Canonical error response body.
+Json errorResponse(std::string_view Message);
+
+} // namespace service
+} // namespace lockin
+
+#endif // LOCKIN_SERVICE_PROTOCOL_H

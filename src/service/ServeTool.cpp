@@ -1,0 +1,52 @@
+//===--- ServeTool.cpp - lockinfer --serve entry point --------------------------===//
+//
+// Part of the lockin project: lock inference for atomic sections.
+//
+//===----------------------------------------------------------------------===//
+//
+// tool::runServe, declared in driver/Tool.h but defined here: the daemon
+// pulls in the service library, which the driver library must not depend
+// on (the dependency runs the other way).
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Tool.h"
+#include "service/Server.h"
+
+#include <cstdio>
+
+using namespace lockin;
+
+int tool::runServe(const cli::CliOptions &Opts) {
+  service::ServerOptions SO;
+  SO.UnixSocketPath = Opts.Socket;
+  SO.TcpPort = Opts.Port;
+  SO.Workers = Opts.ServiceWorkers;
+  SO.QueueDepth = Opts.QueueDepth;
+  SO.RequestTimeoutMs = Opts.RequestTimeoutMs;
+  SO.CacheCapacity = Opts.CacheCapacity;
+  SO.DefaultK = Opts.K;
+  SO.DefaultJobs = Opts.Jobs ? Opts.Jobs : 1;
+
+  service::Server Server(SO);
+  std::string Err;
+  if (!Server.start(Err)) {
+    std::fprintf(stderr, "error: %s\n", Err.c_str());
+    return 1;
+  }
+  Server.installSignalHandlers();
+
+  // Readiness line for scripts: printed (and flushed) only once the
+  // listeners are bound, with the resolved ephemeral port.
+  if (!Opts.Socket.empty())
+    std::printf("lockin-serve: listening on %s\n", Opts.Socket.c_str());
+  if (Opts.Port >= 0)
+    std::printf("lockin-serve: listening on 127.0.0.1:%d\n", Server.port());
+  std::fflush(stdout);
+
+  Server.run();
+  std::printf("lockin-serve: drained after %llu requests\n",
+              static_cast<unsigned long long>(Server.requestsServed()));
+  std::fflush(stdout);
+  return 0;
+}

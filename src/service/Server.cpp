@@ -1,0 +1,478 @@
+//===--- Server.cpp - Analysis-as-a-service daemon ------------------------------===//
+//
+// Part of the lockin project: lock inference for atomic sections.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Server.h"
+
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace lockin;
+using namespace lockin::service;
+
+namespace {
+
+/// Self-pipe write end for the signal handler; the handler may only do
+/// async-signal-safe work, so it writes a single byte and returns.
+std::atomic<int> GSignalFd{-1};
+
+void onTermSignal(int) {
+  int Fd = GSignalFd.load(std::memory_order_relaxed);
+  if (Fd >= 0) {
+    char B = 1;
+    // Best effort; a full pipe already means a wakeup is pending.
+    (void)!::write(Fd, &B, 1);
+  }
+}
+
+void closeFd(int &Fd) {
+  if (Fd >= 0) {
+    ::close(Fd);
+    Fd = -1;
+  }
+}
+
+uint64_t nowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+} // namespace
+
+bool lockin::service::parseAtomicMode(std::string_view Text,
+                                      AtomicMode &Mode) {
+  if (Text == "none")
+    Mode = AtomicMode::None;
+  else if (Text == "global")
+    Mode = AtomicMode::GlobalLock;
+  else if (Text == "inferred")
+    Mode = AtomicMode::Inferred;
+  else
+    return false;
+  return true;
+}
+
+Server::Server(ServerOptions Opts)
+    : Opts(std::move(Opts)), Cache(this->Opts.CacheCapacity),
+      Analyzer(Cache) {}
+
+Server::~Server() {
+  if (GSignalFd.load(std::memory_order_relaxed) == WakePipe[1] &&
+      WakePipe[1] >= 0)
+    GSignalFd.store(-1, std::memory_order_relaxed);
+  closeFd(UnixFd);
+  closeFd(TcpFd);
+  closeFd(WakePipe[0]);
+  closeFd(WakePipe[1]);
+  if (!Opts.UnixSocketPath.empty())
+    ::unlink(Opts.UnixSocketPath.c_str());
+}
+
+bool Server::start(std::string &Err) {
+  if (Opts.UnixSocketPath.empty() && Opts.TcpPort < 0) {
+    Err = "no listener configured (need a socket path or a TCP port)";
+    return false;
+  }
+  if (::pipe(WakePipe) != 0) {
+    Err = std::string("pipe: ") + std::strerror(errno);
+    return false;
+  }
+  for (int End : WakePipe)
+    ::fcntl(End, F_SETFL, O_NONBLOCK);
+
+  if (!Opts.UnixSocketPath.empty()) {
+    sockaddr_un Addr{};
+    Addr.sun_family = AF_UNIX;
+    if (Opts.UnixSocketPath.size() >= sizeof(Addr.sun_path)) {
+      Err = "socket path too long: " + Opts.UnixSocketPath;
+      return false;
+    }
+    std::strncpy(Addr.sun_path, Opts.UnixSocketPath.c_str(),
+                 sizeof(Addr.sun_path) - 1);
+    UnixFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (UnixFd < 0) {
+      Err = std::string("socket: ") + std::strerror(errno);
+      return false;
+    }
+    ::unlink(Opts.UnixSocketPath.c_str());
+    if (::bind(UnixFd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) !=
+            0 ||
+        ::listen(UnixFd, 64) != 0) {
+      Err = "bind " + Opts.UnixSocketPath + ": " + std::strerror(errno);
+      return false;
+    }
+  }
+
+  if (Opts.TcpPort >= 0) {
+    TcpFd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (TcpFd < 0) {
+      Err = std::string("socket: ") + std::strerror(errno);
+      return false;
+    }
+    int One = 1;
+    ::setsockopt(TcpFd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+    sockaddr_in Addr{};
+    Addr.sin_family = AF_INET;
+    Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    Addr.sin_port = htons(static_cast<uint16_t>(Opts.TcpPort));
+    if (::bind(TcpFd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) !=
+            0 ||
+        ::listen(TcpFd, 64) != 0) {
+      Err = "bind port " + std::to_string(Opts.TcpPort) + ": " +
+            std::strerror(errno);
+      return false;
+    }
+    socklen_t Len = sizeof(Addr);
+    if (::getsockname(TcpFd, reinterpret_cast<sockaddr *>(&Addr), &Len) == 0)
+      BoundTcpPort = ntohs(Addr.sin_port);
+  }
+
+  StartTime = std::chrono::steady_clock::now();
+  unsigned NumWorkers = Opts.Workers ? Opts.Workers : 1;
+  Workers.reserve(NumWorkers);
+  for (unsigned I = 0; I < NumWorkers; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+  return true;
+}
+
+void Server::installSignalHandlers() {
+  GSignalFd.store(WakePipe[1], std::memory_order_relaxed);
+  struct sigaction SA{};
+  SA.sa_handler = onTermSignal;
+  sigemptyset(&SA.sa_mask);
+  SA.sa_flags = SA_RESTART;
+  ::sigaction(SIGTERM, &SA, nullptr);
+  ::sigaction(SIGINT, &SA, nullptr);
+  // A peer vanishing mid-write must not kill the daemon.
+  ::signal(SIGPIPE, SIG_IGN);
+}
+
+void Server::wake() {
+  char B = 1;
+  (void)!::write(WakePipe[1], &B, 1);
+}
+
+void Server::requestShutdown() {
+  beginDrain();
+  wake();
+}
+
+void Server::beginDrain() {
+  bool Expected = false;
+  if (!Draining.compare_exchange_strong(Expected, true))
+    return;
+  // Half-close every connection's read side: requests already read keep
+  // running to completion and their responses still flush through the
+  // intact write side; blocked readers see EOF and wind down.
+  std::lock_guard<std::mutex> Lock(ConnMu);
+  for (int Fd : ConnFds)
+    ::shutdown(Fd, SHUT_RD);
+}
+
+void Server::run() {
+  acceptLoop();
+
+  // Drain phase 1: every connection thread finishes its in-flight
+  // request (workers are still running) and flushes the response.
+  {
+    std::vector<std::thread> Threads;
+    {
+      std::lock_guard<std::mutex> Lock(ConnMu);
+      Threads.swap(ConnThreads);
+    }
+    for (std::thread &T : Threads)
+      T.join();
+  }
+
+  // Drain phase 2: the queue is necessarily empty now (every enqueued
+  // job had a connection thread blocked on its future), so the workers
+  // can stop.
+  {
+    std::lock_guard<std::mutex> Lock(QueueMu);
+    StopWorkers = true;
+  }
+  QueueCv.notify_all();
+  for (std::thread &T : Workers)
+    T.join();
+  Workers.clear();
+
+  closeFd(UnixFd);
+  closeFd(TcpFd);
+  if (!Opts.UnixSocketPath.empty())
+    ::unlink(Opts.UnixSocketPath.c_str());
+}
+
+void Server::acceptLoop() {
+  while (!Draining.load(std::memory_order_acquire)) {
+    pollfd Fds[3];
+    nfds_t N = 0;
+    Fds[N++] = pollfd{WakePipe[0], POLLIN, 0};
+    int UnixSlot = -1, TcpSlot = -1;
+    if (UnixFd >= 0) {
+      UnixSlot = static_cast<int>(N);
+      Fds[N++] = pollfd{UnixFd, POLLIN, 0};
+    }
+    if (TcpFd >= 0) {
+      TcpSlot = static_cast<int>(N);
+      Fds[N++] = pollfd{TcpFd, POLLIN, 0};
+    }
+    int Rc = ::poll(Fds, N, -1);
+    if (Rc < 0) {
+      if (errno == EINTR)
+        continue;
+      break;
+    }
+    if (Fds[0].revents & POLLIN) {
+      // Signal or requestShutdown: drain the pipe, start the drain.
+      char Buf[64];
+      while (::read(WakePipe[0], Buf, sizeof(Buf)) > 0)
+        ;
+      beginDrain();
+      break;
+    }
+    for (int Slot : {UnixSlot, TcpSlot}) {
+      if (Slot < 0 || !(Fds[Slot].revents & POLLIN))
+        continue;
+      int Client = ::accept(Fds[Slot].fd, nullptr, nullptr);
+      if (Client < 0)
+        continue;
+      obs::metrics().counter("service.connections").inc();
+      std::lock_guard<std::mutex> Lock(ConnMu);
+      if (Draining.load(std::memory_order_acquire)) {
+        ::close(Client);
+        continue;
+      }
+      ConnFds.push_back(Client);
+      ConnThreads.emplace_back([this, Client] { serveConnection(Client); });
+    }
+  }
+}
+
+void Server::serveConnection(int Fd) {
+  std::string Err;
+  bool IsShutdown = false;
+  while (!IsShutdown) {
+    Json Request;
+    int Rc = readJson(Fd, Request, Err);
+    if (Rc == 0)
+      break; // clean EOF (or drained SHUT_RD)
+    if (Rc < 0) {
+      // Malformed frame/JSON: answer if the peer is still there, then
+      // drop the connection — framing is unrecoverable after a bad frame.
+      std::string Ignored;
+      writeJson(Fd, errorResponse(Err), Ignored);
+      break;
+    }
+    Json Response = dispatch(Request, IsShutdown);
+    std::string WriteErr;
+    if (!writeJson(Fd, Response, WriteErr))
+      break;
+    Served.fetch_add(1, std::memory_order_relaxed);
+  }
+  ::close(Fd);
+  {
+    std::lock_guard<std::mutex> Lock(ConnMu);
+    for (size_t I = 0; I < ConnFds.size(); ++I) {
+      if (ConnFds[I] == Fd) {
+        ConnFds.erase(ConnFds.begin() + I);
+        break;
+      }
+    }
+  }
+  if (IsShutdown)
+    requestShutdown();
+}
+
+Json Server::dispatch(const Json &Request, bool &IsShutdown) {
+  std::string Op = Request.getString("op", "");
+  obs::metrics().counter("service.requests." + (Op.empty() ? "bad" : Op))
+      .inc();
+  if (Op == "ping") {
+    Json R = Json::object();
+    R.set("ok", Json::boolean(true));
+    R.set("pong", Json::boolean(true));
+    return R;
+  }
+  if (Op == "stats")
+    return handleStats();
+  if (Op == "invalidate")
+    return handleInvalidate(Request);
+  if (Op == "shutdown") {
+    IsShutdown = true;
+    Json R = Json::object();
+    R.set("ok", Json::boolean(true));
+    R.set("draining", Json::boolean(true));
+    return R;
+  }
+  if (Op == "analyze") {
+    auto Deadline = std::chrono::steady_clock::time_point{};
+    if (Opts.RequestTimeoutMs)
+      Deadline = std::chrono::steady_clock::now() +
+                 std::chrono::milliseconds(Opts.RequestTimeoutMs);
+
+    // Backpressure: a full queue answers immediately instead of queueing
+    // unbounded work behind a slow analysis.
+    std::future<Json> Future;
+    {
+      std::lock_guard<std::mutex> Lock(QueueMu);
+      if (Queue.size() >= Opts.QueueDepth) {
+        obs::metrics().counter("service.overloaded").inc();
+        return errorResponse("overloaded");
+      }
+      Job J;
+      J.Request = Request;
+      J.Deadline = Deadline;
+      Future = J.Promise.get_future();
+      Queue.push_back(std::move(J));
+    }
+    QueueCv.notify_one();
+    return Future.get();
+  }
+  return errorResponse("unknown op: " + Op);
+}
+
+void Server::workerLoop() {
+  while (true) {
+    Job J;
+    {
+      std::unique_lock<std::mutex> Lock(QueueMu);
+      QueueCv.wait(Lock, [this] { return StopWorkers || !Queue.empty(); });
+      if (Queue.empty())
+        return; // StopWorkers and drained
+      J = std::move(Queue.front());
+      Queue.pop_front();
+    }
+    uint64_t T0 = nowNs();
+    Json Response = handleAnalyze(J.Request, J.Deadline);
+    uint64_t Dur = nowNs() - T0;
+    obs::metrics().histogram("service.analyze_ns").record(Dur);
+    obs::tracer().span(obs::EventKind::PassSpan, T0, Dur,
+                       obs::tracer().internName("service.analyze"));
+    J.Promise.set_value(std::move(Response));
+  }
+}
+
+Json Server::handleAnalyze(const Json &Request,
+                           std::chrono::steady_clock::time_point Deadline) {
+  std::string Unit = Request.getString("unit", "");
+  if (Unit.empty())
+    return errorResponse("analyze: missing \"unit\"");
+  const Json *Source = Request.get("source");
+  if (!Source || Source->kind() != Json::Kind::String)
+    return errorResponse("analyze: missing \"source\"");
+
+  AnalyzeParams Params;
+  Params.K = static_cast<unsigned>(Request.getUint("k", Opts.DefaultK));
+  Params.Jobs =
+      static_cast<unsigned>(Request.getUint("jobs", Opts.DefaultJobs));
+  Params.Force = Request.getBool("force", false);
+  Params.Run = Request.getBool("run", false);
+  Params.InjectYields = Request.getBool("injectYields", false);
+  Params.YieldSeed = Request.getUint("yieldSeed", 1);
+  Params.Deadline = Deadline;
+  std::string ModeText = Request.getString("mode", "inferred");
+  if (!parseAtomicMode(ModeText, Params.RunMode))
+    return errorResponse("analyze: bad mode \"" + ModeText + "\"");
+
+  AnalyzeOutcome Out = Analyzer.analyze(Unit, Source->asString(), Params);
+
+  Json R = Json::object();
+  R.set("ok", Json::boolean(Out.Ok));
+  if (Out.TimedOut) {
+    obs::metrics().counter("service.timeouts").inc();
+    R.set("error", Json::string("timeout"));
+    R.set("timedOut", Json::boolean(true));
+    return R;
+  }
+  if (!Out.Ok) {
+    R.set("error", Json::string(Out.Error));
+    return R;
+  }
+  R.set("report", Json::string(Out.Report));
+  R.set("sections", Json::integer(Out.Sections));
+  R.set("cacheHits", Json::integer(Out.CacheHits));
+  R.set("cacheMisses", Json::integer(Out.CacheMisses));
+  Json Reanalyzed = Json::array();
+  for (uint32_t Id : Out.Reanalyzed)
+    Reanalyzed.push(Json::integer(Id));
+  R.set("reanalyzed", std::move(Reanalyzed));
+  R.set("hadSnapshot", Json::boolean(Out.HadSnapshot));
+  if (Out.HadSnapshot) {
+    R.set("dirtyFunctions", Json::integer(Out.DirtyFunctions));
+    R.set("dirtySccs", Json::integer(Out.DirtySccs));
+    Json Cone = Json::array();
+    for (uint32_t Id : Out.DirtyConeSections)
+      Cone.push(Json::integer(Id));
+    R.set("dirtyConeSections", std::move(Cone));
+  }
+  if (Out.RanProgram) {
+    R.set("runOk", Json::boolean(Out.RunOk));
+    if (!Out.RunOk)
+      R.set("runError", Json::string(Out.RunError));
+    R.set("mainResult", Json::integer(Out.MainResult));
+    R.set("totalSteps", Json::integer(static_cast<int64_t>(Out.TotalSteps)));
+  }
+  obs::metrics().counter("service.sections_served").add(Out.Sections);
+  obs::metrics().counter("service.sections_reanalyzed")
+      .add(Out.Reanalyzed.size());
+  return R;
+}
+
+Json Server::handleStats() {
+  SummaryCache::Stats S = Cache.stats();
+  Json CacheJson = Json::object();
+  CacheJson.set("hits", Json::integer(static_cast<int64_t>(S.Hits)));
+  CacheJson.set("misses", Json::integer(static_cast<int64_t>(S.Misses)));
+  CacheJson.set("insertions",
+                Json::integer(static_cast<int64_t>(S.Insertions)));
+  CacheJson.set("evictions",
+                Json::integer(static_cast<int64_t>(S.Evictions)));
+  CacheJson.set("invalidations",
+                Json::integer(static_cast<int64_t>(S.Invalidations)));
+  CacheJson.set("entries", Json::integer(static_cast<int64_t>(S.Entries)));
+  CacheJson.set("capacity", Json::integer(static_cast<int64_t>(S.Capacity)));
+
+  Json R = Json::object();
+  R.set("ok", Json::boolean(true));
+  R.set("cache", std::move(CacheJson));
+  R.set("units", Json::integer(static_cast<int64_t>(Analyzer.numUnits())));
+  R.set("requestsServed",
+        Json::integer(static_cast<int64_t>(requestsServed())));
+  R.set("workers", Json::integer(Opts.Workers));
+  R.set("queueDepth", Json::integer(Opts.QueueDepth));
+  auto Uptime = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - StartTime);
+  R.set("uptimeMs", Json::integer(Uptime.count()));
+  return R;
+}
+
+Json Server::handleInvalidate(const Json &Request) {
+  Json R = Json::object();
+  obs::metrics().counter("service.invalidations").inc();
+  std::string Unit = Request.getString("unit", "");
+  if (Unit.empty()) {
+    Analyzer.invalidateAll();
+    R.set("ok", Json::boolean(true));
+    R.set("scope", Json::string("all"));
+    return R;
+  }
+  bool Known = Analyzer.invalidateUnit(Unit);
+  R.set("ok", Json::boolean(true));
+  R.set("scope", Json::string("unit"));
+  R.set("known", Json::boolean(Known));
+  return R;
+}

@@ -1,0 +1,156 @@
+//===--- Server.h - Analysis-as-a-service daemon ----------------*- C++ -*-===//
+//
+// Part of the lockin project: lock inference for atomic sections.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The lockin daemon: accepts connections on a unix socket and/or a
+/// loopback TCP port, speaks the length-prefixed JSON protocol of
+/// service/Protocol.h, and serves `analyze` requests from a shared
+/// IncrementalAnalyzer backed by the content-hashed SummaryCache.
+///
+/// Threading model: one accept thread (the caller of run()), one thread
+/// per connection reading frames in order, and a fixed worker pool that
+/// executes `analyze` jobs pulled from a bounded queue. A connection
+/// thread that cannot enqueue (queue at capacity) answers immediately
+/// with `{"ok":false,"error":"overloaded"}` — backpressure instead of
+/// unbounded buffering. Cheap ops (ping/stats/invalidate/shutdown) run
+/// inline on the connection thread.
+///
+/// Per-request timeout: the deadline is stamped when the request is
+/// read, so time spent queued counts against it; the analyzer checks it
+/// cooperatively between pipeline phases and re-analysis batches and
+/// answers `{"ok":false,"error":"timeout","timedOut":true}`.
+///
+/// Graceful drain (SIGTERM or a `shutdown` request): stop accepting,
+/// half-close every connection's read side so no new requests arrive,
+/// let every request already read finish and flush its response, then
+/// stop the workers. Zero in-flight requests are dropped — the drain
+/// test in tests/test_service.cpp asserts exactly this.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LOCKIN_SERVICE_SERVER_H
+#define LOCKIN_SERVICE_SERVER_H
+
+#include "service/Incremental.h"
+#include "service/Protocol.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace lockin {
+namespace service {
+
+struct ServerOptions {
+  /// Unix-domain socket path; empty = no unix listener.
+  std::string UnixSocketPath;
+  /// Loopback TCP port; -1 = no TCP listener, 0 = ephemeral (read the
+  /// bound port back with Server::port()).
+  int TcpPort = -1;
+  /// Analyze worker threads.
+  unsigned Workers = 2;
+  /// Bounded analyze queue; a full queue answers "overloaded".
+  unsigned QueueDepth = 32;
+  /// Per-request deadline in milliseconds; 0 disables.
+  unsigned RequestTimeoutMs = 0;
+  /// SummaryCache capacity in sections; 0 disables caching.
+  size_t CacheCapacity = 1 << 16;
+  /// Defaults applied when an analyze request omits k / jobs.
+  unsigned DefaultK = 3;
+  unsigned DefaultJobs = 1;
+};
+
+class Server {
+public:
+  explicit Server(ServerOptions Opts);
+  ~Server();
+  Server(const Server &) = delete;
+  Server &operator=(const Server &) = delete;
+
+  /// Binds the listeners and starts the worker pool. False + Err on
+  /// failure (nothing keeps running).
+  bool start(std::string &Err);
+
+  /// Accept loop; returns only after a full drain (SIGTERM, shutdown
+  /// request, or requestShutdown()) has completed: every in-flight
+  /// request answered, every thread joined.
+  void run();
+
+  /// Triggers the drain from another thread (tests, embedders).
+  void requestShutdown();
+
+  /// Installs SIGTERM + SIGINT handlers that trigger this server's drain
+  /// through the self-pipe (async-signal-safe: the handler only writes
+  /// one byte). At most one server per process may install handlers.
+  void installSignalHandlers();
+
+  /// The bound TCP port (after start(); 0 if no TCP listener).
+  int port() const { return BoundTcpPort; }
+
+  IncrementalAnalyzer &analyzer() { return Analyzer; }
+  SummaryCache &cache() { return Cache; }
+
+  /// Requests fully answered (response flushed), across all ops.
+  uint64_t requestsServed() const {
+    return Served.load(std::memory_order_relaxed);
+  }
+
+private:
+  struct Job {
+    Json Request;
+    std::chrono::steady_clock::time_point Deadline{};
+    std::promise<Json> Promise;
+  };
+
+  void acceptLoop();
+  void serveConnection(int Fd);
+  Json dispatch(const Json &Request, bool &IsShutdown);
+  Json handleAnalyze(const Json &Request,
+                     std::chrono::steady_clock::time_point Deadline);
+  Json handleStats();
+  Json handleInvalidate(const Json &Request);
+  void workerLoop();
+  void beginDrain();
+  void wake();
+
+  ServerOptions Opts;
+  SummaryCache Cache;
+  IncrementalAnalyzer Analyzer;
+
+  int UnixFd = -1;
+  int TcpFd = -1;
+  int BoundTcpPort = 0;
+  int WakePipe[2] = {-1, -1};
+
+  std::atomic<bool> Draining{false};
+  std::atomic<uint64_t> Served{0};
+
+  std::mutex QueueMu;
+  std::condition_variable QueueCv;
+  std::deque<Job> Queue;
+  bool StopWorkers = false;
+  std::vector<std::thread> Workers;
+
+  std::mutex ConnMu;
+  std::vector<int> ConnFds;
+  std::vector<std::thread> ConnThreads;
+
+  std::chrono::steady_clock::time_point StartTime;
+};
+
+/// Parses "none" / "global" / "inferred"; false on anything else.
+bool parseAtomicMode(std::string_view Text, AtomicMode &Mode);
+
+} // namespace service
+} // namespace lockin
+
+#endif // LOCKIN_SERVICE_SERVER_H

@@ -1,0 +1,30 @@
+# Smoke-run driver: executes the real lockinfer binary over one .atom
+# input and, when a golden report is provided, diffs stdout against it
+# byte-for-byte. Catches driver/main() regressions that the in-process
+# unit tests (which call compile() directly) cannot see.
+#
+# Usage: cmake -DTOOL=<lockinfer> -DINPUT=<file.atom> [-DGOLDEN=<file.golden>]
+#              -P RunSmoke.cmake
+
+if(NOT TOOL OR NOT INPUT)
+  message(FATAL_ERROR "RunSmoke.cmake needs -DTOOL= and -DINPUT=")
+endif()
+
+execute_process(
+  COMMAND ${TOOL} --jobs 1 ${INPUT}
+  OUTPUT_VARIABLE SmokeOut
+  ERROR_VARIABLE SmokeErr
+  RESULT_VARIABLE SmokeRc)
+
+if(NOT SmokeRc EQUAL 0)
+  message(FATAL_ERROR
+    "lockinfer exited with ${SmokeRc} on ${INPUT}:\n${SmokeErr}")
+endif()
+
+if(GOLDEN)
+  file(READ ${GOLDEN} Expected)
+  if(NOT SmokeOut STREQUAL Expected)
+    message(FATAL_ERROR
+      "report for ${INPUT} diverges from ${GOLDEN}; got:\n${SmokeOut}")
+  endif()
+endif()

@@ -250,4 +250,49 @@ TEST(CliParsing, HelpNeedsNoInput) {
   EXPECT_TRUE(O.Help);
 }
 
+TEST(CliParsing, YieldInjectionFlags) {
+  cli::CliOptions O;
+  ASSERT_TRUE(parse({"--run", "--inject-yields", "--yield-seed", "1234",
+                     "p.atom"},
+                    O));
+  EXPECT_TRUE(O.InjectYields);
+  EXPECT_EQ(O.YieldSeed, 1234u);
+
+  cli::CliOptions O2;
+  ASSERT_TRUE(parse({"p.atom"}, O2));
+  EXPECT_FALSE(O2.InjectYields);
+  EXPECT_EQ(O2.YieldSeed, 1u);
+
+  cli::CliOptions O3;
+  EXPECT_FALSE(parse({"--yield-seed", "nope", "p.atom"}, O3));
+}
+
+TEST(CliParsing, ServeFlags) {
+  cli::CliOptions O;
+  ASSERT_TRUE(parse({"--serve", "--socket", "/tmp/s.sock", "--port=0",
+                     "--service-workers", "4", "--queue-depth=8",
+                     "--request-timeout-ms", "250", "--cache-capacity",
+                     "1024"},
+                    O));
+  EXPECT_TRUE(O.Serve);
+  EXPECT_EQ(O.Socket, "/tmp/s.sock");
+  EXPECT_EQ(O.Port, 0);
+  EXPECT_EQ(O.ServiceWorkers, 4u);
+  EXPECT_EQ(O.QueueDepth, 8u);
+  EXPECT_EQ(O.RequestTimeoutMs, 250u);
+  EXPECT_EQ(O.CacheCapacity, 1024u);
+
+  // --serve lifts the input-file requirement but still needs a listener,
+  // rejects an input file, and validates numeric ranges.
+  auto Rejects = [](std::initializer_list<const char *> Args) {
+    cli::CliOptions O;
+    return !parse(Args, O);
+  };
+  EXPECT_TRUE(Rejects({"--serve"}));
+  EXPECT_TRUE(Rejects({"--serve", "--socket", "/tmp/s.sock", "p.atom"}));
+  EXPECT_TRUE(Rejects({"--serve", "--port", "70000"}));
+  EXPECT_TRUE(Rejects({"--serve", "--port=0", "--service-workers", "0"}));
+  EXPECT_TRUE(Rejects({"--serve", "--port=0", "--queue-depth=0"}));
+}
+
 } // namespace

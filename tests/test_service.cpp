@@ -1,0 +1,732 @@
+//===--- test_service.cpp - Analysis service and incremental cache tests -------===//
+//
+// Part of the lockin project: lock inference for atomic sections.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The service stack, bottom up:
+///
+///  - Json: round trips, escape handling, strict parse errors.
+///  - Protocol: frame round trips over a socketpair, oversized-frame and
+///    mid-frame-EOF rejection.
+///  - SummaryCache: LRU eviction, recency refresh, invalidation
+///    accounting, the capacity-0 kill switch.
+///  - IncrementalAnalyzer: warm output byte-identical to a cold
+///    Compilation::report(); a single-function edit re-analyzes exactly
+///    the dirty SCC cone (the edited function's SCC plus upward-reachable
+///    callers) while untouched sections stay cached; whitespace/comment
+///    edits hit fully; invalidation and force paths.
+///  - Server: end-to-end request/response over a unix socket, cold/warm
+///    accounting, backpressure under a full queue, per-request timeouts,
+///    and the SIGTERM drain completing every in-flight request.
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/Compiler.h"
+#include "infer/SummaryCache.h"
+#include "service/Client.h"
+#include "service/Incremental.h"
+#include "service/Json.h"
+#include "service/Protocol.h"
+#include "service/Server.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <csignal>
+#include <string>
+#include <sys/socket.h>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+using namespace lockin;
+using namespace lockin::service;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Json
+//===----------------------------------------------------------------------===//
+
+Json parseOk(const std::string &Text) {
+  Json Out;
+  std::string Err;
+  EXPECT_TRUE(Json::parse(Text, Out, Err)) << Text << ": " << Err;
+  return Out;
+}
+
+bool parseFails(const std::string &Text) {
+  Json Out;
+  std::string Err;
+  return !Json::parse(Text, Out, Err);
+}
+
+TEST(Json, RoundTripsScalarsAndContainers) {
+  Json O = Json::object();
+  O.set("op", Json::string("analyze"));
+  O.set("k", Json::integer(3));
+  O.set("force", Json::boolean(false));
+  O.set("ratio", Json::number(0.5));
+  O.set("nothing", Json::null());
+  Json Arr = Json::array();
+  Arr.push(Json::integer(1));
+  Arr.push(Json::integer(2));
+  O.set("ids", std::move(Arr));
+
+  std::string Text = O.str();
+  // Insertion order is preserved, so serialization is deterministic.
+  EXPECT_EQ(Text.find("\"op\""), 1u);
+  Json Back = parseOk(Text);
+  EXPECT_EQ(Back.getString("op", ""), "analyze");
+  EXPECT_EQ(Back.getInt("k", 0), 3);
+  EXPECT_FALSE(Back.getBool("force", true));
+  EXPECT_DOUBLE_EQ(Back.get("ratio")->asDouble(), 0.5);
+  EXPECT_TRUE(Back.get("nothing")->isNull());
+  ASSERT_EQ(Back.get("ids")->items().size(), 2u);
+  EXPECT_EQ(Back.get("ids")->items()[1].asInt(), 2);
+  // Second round trip is a fixpoint.
+  EXPECT_EQ(parseOk(Text).str(), Text);
+}
+
+TEST(Json, EscapesRoundTrip) {
+  std::string Nasty = "line1\nline2\ttab \"quoted\" back\\slash \x01 end";
+  Json O = Json::object();
+  O.set("s", Json::string(Nasty));
+  EXPECT_EQ(parseOk(O.str()).getString("s", ""), Nasty);
+
+  // Unicode escapes, including a surrogate pair (U+1F600).
+  EXPECT_EQ(parseOk("\"\\u0041\\u00e9\"").asString(), "A\xc3\xa9");
+  EXPECT_EQ(parseOk("\"\\ud83d\\ude00\"").asString(), "\xf0\x9f\x98\x80");
+}
+
+TEST(Json, NumbersKeepIntegerExactness) {
+  EXPECT_EQ(parseOk("9007199254740993").asInt(), 9007199254740993ll);
+  EXPECT_EQ(parseOk("-42").asInt(), -42);
+  Json D = parseOk("2.5e1");
+  EXPECT_TRUE(D.kind() == Json::Kind::Double);
+  EXPECT_DOUBLE_EQ(D.asDouble(), 25.0);
+}
+
+TEST(Json, StrictParseRejections) {
+  EXPECT_TRUE(parseFails(""));
+  EXPECT_TRUE(parseFails("{"));
+  EXPECT_TRUE(parseFails("{\"a\":1,}"));
+  EXPECT_TRUE(parseFails("{} trailing"));
+  EXPECT_TRUE(parseFails("'single'"));
+  EXPECT_TRUE(parseFails("{\"a\" 1}"));
+  EXPECT_TRUE(parseFails("\"\\x41\""));
+  // Depth bomb: past the parser's MaxDepth.
+  std::string Deep(100, '[');
+  Deep += std::string(100, ']');
+  EXPECT_TRUE(parseFails(Deep));
+}
+
+//===----------------------------------------------------------------------===//
+// Protocol framing
+//===----------------------------------------------------------------------===//
+
+struct SocketPair {
+  int Fd[2];
+  SocketPair() { EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, Fd), 0); }
+  ~SocketPair() {
+    ::close(Fd[0]);
+    ::close(Fd[1]);
+  }
+};
+
+TEST(Protocol, FrameRoundTrip) {
+  SocketPair SP;
+  // Payloads larger than the kernel socket buffer must be written from a
+  // separate thread or the single-threaded write would block forever.
+  std::string Big(1 << 20, 'x');
+  for (const std::string &Payload : {std::string("{\"op\":\"ping\"}"),
+                                     std::string(""), Big}) {
+    std::thread Writer([&] {
+      std::string WErr;
+      EXPECT_TRUE(writeFrame(SP.Fd[0], Payload, WErr)) << WErr;
+    });
+    std::string Got, Err;
+    EXPECT_EQ(readFrame(SP.Fd[1], Got, Err), 1) << Err;
+    EXPECT_EQ(Got, Payload);
+    Writer.join();
+  }
+}
+
+TEST(Protocol, JsonRoundTripAndCleanEof) {
+  SocketPair SP;
+  std::string Err;
+  Json Msg = Json::object();
+  Msg.set("op", Json::string("stats"));
+  ASSERT_TRUE(writeJson(SP.Fd[0], Msg, Err)) << Err;
+  Json Got;
+  ASSERT_EQ(readJson(SP.Fd[1], Got, Err), 1) << Err;
+  EXPECT_EQ(Got.getString("op", ""), "stats");
+
+  ::shutdown(SP.Fd[0], SHUT_WR);
+  EXPECT_EQ(readJson(SP.Fd[1], Got, Err), 0); // EOF at a frame boundary
+}
+
+TEST(Protocol, RejectsOversizedFrame) {
+  SocketPair SP;
+  // Hand-crafted header claiming 1 GiB.
+  unsigned char Header[4] = {0x40, 0x00, 0x00, 0x00};
+  ASSERT_EQ(::write(SP.Fd[0], Header, 4), 4);
+  std::string Got, Err;
+  EXPECT_EQ(readFrame(SP.Fd[1], Got, Err), -1);
+  EXPECT_NE(Err.find("too large"), std::string::npos);
+}
+
+TEST(Protocol, EofMidFrameIsAnError) {
+  SocketPair SP;
+  unsigned char Header[4] = {0, 0, 0, 10}; // promises 10 bytes
+  ASSERT_EQ(::write(SP.Fd[0], Header, 4), 4);
+  ASSERT_EQ(::write(SP.Fd[0], "abc", 3), 3); // delivers 3
+  ::shutdown(SP.Fd[0], SHUT_WR);
+  std::string Got, Err;
+  EXPECT_EQ(readFrame(SP.Fd[1], Got, Err), -1);
+}
+
+//===----------------------------------------------------------------------===//
+// SummaryCache
+//===----------------------------------------------------------------------===//
+
+SectionSummary summary(const std::string &Text) {
+  SectionSummary S;
+  S.LocksText = Text;
+  S.Census.FineRW = 1;
+  return S;
+}
+
+TEST(SummaryCache, LruEvictionAndRecencyRefresh) {
+  SummaryCache Cache(2);
+  Cache.insert(1, summary("one"));
+  Cache.insert(2, summary("two"));
+
+  // Touch 1 so 2 becomes the LRU victim.
+  SectionSummary Out;
+  ASSERT_TRUE(Cache.lookup(1, Out));
+  EXPECT_EQ(Out.LocksText, "one");
+  Cache.insert(3, summary("three"));
+
+  EXPECT_TRUE(Cache.lookup(1, Out));
+  EXPECT_FALSE(Cache.lookup(2, Out));
+  EXPECT_TRUE(Cache.lookup(3, Out));
+
+  SummaryCache::Stats S = Cache.stats();
+  EXPECT_EQ(S.Insertions, 3u);
+  EXPECT_EQ(S.Evictions, 1u);
+  EXPECT_EQ(S.Entries, 2u);
+  EXPECT_EQ(S.Hits, 3u);
+  EXPECT_EQ(S.Misses, 1u);
+}
+
+TEST(SummaryCache, EraseAndClearCountAsInvalidations) {
+  SummaryCache Cache(8);
+  Cache.insert(1, summary("a"));
+  Cache.insert(2, summary("b"));
+  Cache.erase(1);
+  Cache.erase(1); // absent: no double count
+  SectionSummary Out;
+  EXPECT_FALSE(Cache.lookup(1, Out));
+  Cache.clear();
+  EXPECT_FALSE(Cache.lookup(2, Out));
+  SummaryCache::Stats S = Cache.stats();
+  EXPECT_EQ(S.Invalidations, 2u);
+  EXPECT_EQ(S.Entries, 0u);
+}
+
+TEST(SummaryCache, CapacityZeroDisables) {
+  SummaryCache Cache(0);
+  Cache.insert(1, summary("a"));
+  SectionSummary Out;
+  EXPECT_FALSE(Cache.lookup(1, Out));
+  EXPECT_EQ(Cache.stats().Entries, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// IncrementalAnalyzer
+//===----------------------------------------------------------------------===//
+
+/// Two independent worker sections plus a helper chain under the first:
+/// main spawns wa (section #0, reaching fa → fb) and wd (section #1,
+/// touching its own structure only).
+std::string coneProgram(int FbConstant) {
+  std::string S = R"(struct node { node* next; int val; };
+node* ha;
+node* hd;
+
+int fb(node* p) {
+  if (p == null) { return 0; }
+  p->val = p->val + )" + std::to_string(FbConstant) +
+                  R"(;
+  return fb(p->next);
+}
+
+int fa(node* p) {
+  int r = fb(p);
+  return r + 1;
+}
+
+void wa() {
+  atomic { fa(ha); }
+}
+
+void wd() {
+  atomic { hd->val = hd->val + 1; }
+}
+
+int main() {
+  ha = new node;
+  hd = new node;
+  spawn wa();
+  spawn wd();
+  return 0;
+}
+)";
+  return S;
+}
+
+std::string oneShotReport(const std::string &Source) {
+  CompileOptions Options;
+  Options.Jobs = 1;
+  std::unique_ptr<Compilation> C = compile(Source, Options);
+  EXPECT_TRUE(C->ok()) << C->diagnostics().str();
+  return C->report();
+}
+
+TEST(Incremental, WarmOutputByteIdenticalToCold) {
+  SummaryCache Cache(1024);
+  IncrementalAnalyzer An(Cache);
+  AnalyzeParams P;
+  P.Jobs = 1;
+  std::string Source = coneProgram(1);
+
+  AnalyzeOutcome Cold = An.analyze("u", Source, P);
+  ASSERT_TRUE(Cold.Ok) << Cold.Error;
+  EXPECT_EQ(Cold.CacheHits, 0u);
+  EXPECT_EQ(Cold.CacheMisses, 2u);
+  EXPECT_FALSE(Cold.HadSnapshot);
+  EXPECT_EQ(Cold.Report, oneShotReport(Source));
+
+  AnalyzeOutcome Warm = An.analyze("u", Source, P);
+  ASSERT_TRUE(Warm.Ok) << Warm.Error;
+  EXPECT_EQ(Warm.CacheHits, 2u);
+  EXPECT_EQ(Warm.CacheMisses, 0u);
+  EXPECT_TRUE(Warm.Reanalyzed.empty());
+  EXPECT_TRUE(Warm.HadSnapshot);
+  EXPECT_EQ(Warm.DirtyFunctions, 0u);
+  EXPECT_EQ(Warm.Report, Cold.Report);
+}
+
+TEST(Incremental, EditReanalyzesExactlyTheDirtyCone) {
+  SummaryCache Cache(1024);
+  IncrementalAnalyzer An(Cache);
+  AnalyzeParams P;
+  P.Jobs = 1;
+
+  AnalyzeOutcome First = An.analyze("u", coneProgram(1), P);
+  ASSERT_TRUE(First.Ok) << First.Error;
+  ASSERT_EQ(First.Sections, 2u);
+
+  // Change fb's increment: only fb's body hash moves, so the dirty cone
+  // is fb's SCC plus its upward closure (fa, wa, main) — section #0.
+  // wd's section is outside the cone and must be served from cache.
+  std::string Edited = coneProgram(2);
+  AnalyzeOutcome Second = An.analyze("u", Edited, P);
+  ASSERT_TRUE(Second.Ok) << Second.Error;
+  EXPECT_TRUE(Second.HadSnapshot);
+  EXPECT_EQ(Second.DirtyFunctions, 1u);
+  EXPECT_EQ(Second.CacheHits, 1u);
+  EXPECT_EQ(Second.CacheMisses, 1u);
+  ASSERT_EQ(Second.Reanalyzed.size(), 1u);
+  EXPECT_EQ(Second.Reanalyzed[0], 0u);
+  // The predicted re-analysis set (call-graph invalidation rule) matches
+  // what the cache actually missed.
+  EXPECT_EQ(Second.DirtyConeSections, Second.Reanalyzed);
+  // And the mixed hit/miss report is still byte-identical to cold.
+  EXPECT_EQ(Second.Report, oneShotReport(Edited));
+}
+
+TEST(Incremental, WhitespaceAndCommentEditsHitFully) {
+  SummaryCache Cache(1024);
+  IncrementalAnalyzer An(Cache);
+  AnalyzeParams P;
+  P.Jobs = 1;
+  ASSERT_TRUE(An.analyze("u", coneProgram(1), P).Ok);
+
+  // Same program modulo trivia: normalized-IR hashing must not miss.
+  std::string Trivia = "// a comment\n\n" + coneProgram(1) + "\n   \n";
+  AnalyzeOutcome Out = An.analyze("u", Trivia, P);
+  ASSERT_TRUE(Out.Ok) << Out.Error;
+  EXPECT_EQ(Out.DirtyFunctions, 0u);
+  EXPECT_EQ(Out.CacheHits, 2u);
+  EXPECT_EQ(Out.CacheMisses, 0u);
+}
+
+TEST(Incremental, InvalidateUnitDropsItsSections) {
+  SummaryCache Cache(1024);
+  IncrementalAnalyzer An(Cache);
+  AnalyzeParams P;
+  P.Jobs = 1;
+  ASSERT_TRUE(An.analyze("u", coneProgram(1), P).Ok);
+  ASSERT_EQ(An.numUnits(), 1u);
+
+  EXPECT_TRUE(An.invalidateUnit("u"));
+  EXPECT_FALSE(An.invalidateUnit("u")); // already gone
+  EXPECT_EQ(An.numUnits(), 0u);
+
+  AnalyzeOutcome Out = An.analyze("u", coneProgram(1), P);
+  ASSERT_TRUE(Out.Ok);
+  EXPECT_EQ(Out.CacheHits, 0u);
+  EXPECT_EQ(Out.CacheMisses, 2u);
+}
+
+TEST(Incremental, ForceBypassesLookups) {
+  SummaryCache Cache(1024);
+  IncrementalAnalyzer An(Cache);
+  AnalyzeParams P;
+  P.Jobs = 1;
+  ASSERT_TRUE(An.analyze("u", coneProgram(1), P).Ok);
+
+  AnalyzeParams Forced = P;
+  Forced.Force = true;
+  AnalyzeOutcome Out = An.analyze("u", coneProgram(1), Forced);
+  ASSERT_TRUE(Out.Ok);
+  EXPECT_EQ(Out.CacheHits, 0u);
+  EXPECT_EQ(Out.CacheMisses, 2u);
+  EXPECT_EQ(Out.Report, oneShotReport(coneProgram(1)));
+}
+
+TEST(Incremental, RunExecutesTheProgram) {
+  SummaryCache Cache(1024);
+  IncrementalAnalyzer An(Cache);
+  AnalyzeParams P;
+  P.Jobs = 1;
+  P.Run = true;
+  P.InjectYields = true;
+  P.YieldSeed = 7;
+  AnalyzeOutcome Out = An.analyze("u", coneProgram(1), P);
+  ASSERT_TRUE(Out.Ok) << Out.Error;
+  ASSERT_TRUE(Out.RanProgram);
+  EXPECT_TRUE(Out.RunOk) << Out.RunError;
+  EXPECT_EQ(Out.MainResult, 0);
+  EXPECT_GT(Out.TotalSteps, 0u);
+}
+
+TEST(Incremental, CompileErrorsAreReported) {
+  SummaryCache Cache(16);
+  IncrementalAnalyzer An(Cache);
+  AnalyzeParams P;
+  AnalyzeOutcome Out = An.analyze("u", "int main( { return 0; }", P);
+  EXPECT_FALSE(Out.Ok);
+  EXPECT_FALSE(Out.Error.empty());
+  EXPECT_EQ(An.numUnits(), 0u); // failed runs publish no snapshot
+}
+
+//===----------------------------------------------------------------------===//
+// Server
+//===----------------------------------------------------------------------===//
+
+std::string testSocketPath(const std::string &Tag) {
+  return "/tmp/lockin_test_" + std::to_string(::getpid()) + "_" + Tag +
+         ".sock";
+}
+
+/// A big, inference-heavy program (many sections over shared helpers) so
+/// requests take long enough to observe queue and drain behavior.
+std::string slowProgram(unsigned Workers, unsigned SectionsPer) {
+  std::string S = "struct node { node* next; int val; int aux; };\n"
+                  "node* h0;\nnode* h1;\nnode* h2;\nnode* h3;\nint gsum;\n"
+                  "int walk(node* p, int n) {\n"
+                  "  int s = 0;\n"
+                  "  while (p != null) { s = s + p->val; p->aux = s; "
+                  "p = p->next; }\n"
+                  "  return s + n;\n"
+                  "}\n";
+  const char *Heads[4] = {"h0", "h1", "h2", "h3"};
+  for (unsigned W = 0; W < Workers; ++W) {
+    S += "void worker" + std::to_string(W) + "() {\n";
+    for (unsigned M = 0; M < SectionsPer; ++M) {
+      S += "  atomic {\n    int t = 0;\n    int i = 0;\n"
+           "    while (i < 6) {\n";
+      for (unsigned C = 0; C < 4; ++C) {
+        const char *H = Heads[(C + W + M) % 4];
+        S += std::string("      t = t + walk(") + H + ", i);\n";
+        S += std::string("      if (") + H + " != null) { " + H +
+             "->val = t; }\n";
+      }
+      S += "      i = i + 1;\n    }\n    gsum = gsum + t;\n  }\n";
+    }
+    S += "}\n";
+  }
+  S += "int main() {\n  h0 = new node;\n  h1 = new node;\n"
+       "  h2 = new node;\n  h3 = new node;\n";
+  for (unsigned W = 0; W < Workers; ++W)
+    S += "  spawn worker" + std::to_string(W) + "();\n";
+  S += "  return 0;\n}\n";
+  return S;
+}
+
+struct RunningServer {
+  Server S;
+  std::thread Thread;
+
+  explicit RunningServer(ServerOptions Opts) : S(std::move(Opts)) {
+    std::string Err;
+    Started = S.start(Err);
+    EXPECT_TRUE(Started) << Err;
+    if (Started)
+      Thread = std::thread([this] { S.run(); });
+  }
+  ~RunningServer() {
+    if (Started) {
+      S.requestShutdown();
+      Thread.join();
+    }
+  }
+  bool Started = false;
+};
+
+Json analyzeRequest(const std::string &Unit, const std::string &Source) {
+  Json R = Json::object();
+  R.set("op", Json::string("analyze"));
+  R.set("unit", Json::string(Unit));
+  R.set("source", Json::string(Source));
+  R.set("jobs", Json::integer(1));
+  return R;
+}
+
+Json opRequest(const char *Op) {
+  Json R = Json::object();
+  R.set("op", Json::string(Op));
+  return R;
+}
+
+TEST(Server, EndToEndColdWarmInvalidate) {
+  std::string Path = testSocketPath("e2e");
+  ServerOptions Opts;
+  Opts.UnixSocketPath = Path;
+  Opts.Workers = 2;
+  RunningServer RS(Opts);
+  ASSERT_TRUE(RS.Started);
+
+  Client C;
+  std::string Err;
+  ASSERT_TRUE(C.connectUnix(Path, Err)) << Err;
+
+  Json Resp;
+  ASSERT_TRUE(C.call(opRequest("ping"), Resp, Err)) << Err;
+  EXPECT_TRUE(Resp.getBool("ok", false));
+  EXPECT_TRUE(Resp.getBool("pong", false));
+
+  std::string Source = coneProgram(1);
+  ASSERT_TRUE(C.call(analyzeRequest("u.atom", Source), Resp, Err)) << Err;
+  ASSERT_TRUE(Resp.getBool("ok", false))
+      << Resp.getString("error", "");
+  EXPECT_EQ(Resp.getUint("cacheHits", 99), 0u);
+  EXPECT_EQ(Resp.getUint("cacheMisses", 99), 2u);
+  std::string ColdReport = Resp.getString("report", "");
+  EXPECT_EQ(ColdReport, oneShotReport(Source));
+
+  // Warm: same unit, same bytes — all hits, byte-identical.
+  ASSERT_TRUE(C.call(analyzeRequest("u.atom", Source), Resp, Err)) << Err;
+  ASSERT_TRUE(Resp.getBool("ok", false));
+  EXPECT_EQ(Resp.getUint("cacheHits", 99), 2u);
+  EXPECT_EQ(Resp.getUint("cacheMisses", 99), 0u);
+  EXPECT_EQ(Resp.getString("report", ""), ColdReport);
+
+  ASSERT_TRUE(C.call(opRequest("stats"), Resp, Err)) << Err;
+  ASSERT_TRUE(Resp.getBool("ok", false));
+  const Json *CacheStats = Resp.get("cache");
+  ASSERT_NE(CacheStats, nullptr);
+  EXPECT_EQ(CacheStats->getUint("hits", 0), 2u);
+  EXPECT_EQ(CacheStats->getUint("entries", 0), 2u);
+  EXPECT_EQ(Resp.getUint("units", 0), 1u);
+
+  // Invalidate the unit; the next analyze is cold again.
+  Json Inval = opRequest("invalidate");
+  Inval.set("unit", Json::string("u.atom"));
+  ASSERT_TRUE(C.call(Inval, Resp, Err)) << Err;
+  EXPECT_TRUE(Resp.getBool("ok", false));
+  EXPECT_TRUE(Resp.getBool("known", false));
+
+  ASSERT_TRUE(C.call(analyzeRequest("u.atom", Source), Resp, Err)) << Err;
+  ASSERT_TRUE(Resp.getBool("ok", false));
+  EXPECT_EQ(Resp.getUint("cacheHits", 99), 0u);
+  EXPECT_EQ(Resp.getUint("cacheMisses", 99), 2u);
+
+  // Unknown op gets a structured error, and the connection survives.
+  ASSERT_TRUE(C.call(opRequest("frobnicate"), Resp, Err)) << Err;
+  EXPECT_FALSE(Resp.getBool("ok", true));
+  ASSERT_TRUE(C.call(opRequest("ping"), Resp, Err)) << Err;
+  EXPECT_TRUE(Resp.getBool("ok", false));
+}
+
+TEST(Server, ShutdownRequestDrains) {
+  std::string Path = testSocketPath("shutdown");
+  ServerOptions Opts;
+  Opts.UnixSocketPath = Path;
+  Server S(Opts);
+  std::string Err;
+  ASSERT_TRUE(S.start(Err)) << Err;
+  std::thread Runner([&S] { S.run(); });
+
+  Client C;
+  ASSERT_TRUE(C.connectUnix(Path, Err)) << Err;
+  Json Resp;
+  ASSERT_TRUE(C.call(opRequest("shutdown"), Resp, Err)) << Err;
+  EXPECT_TRUE(Resp.getBool("ok", false));
+  EXPECT_TRUE(Resp.getBool("draining", false));
+  Runner.join(); // run() returns — the drain completed
+  EXPECT_EQ(S.requestsServed(), 1u);
+}
+
+TEST(Server, MalformedFrameGetsErrorResponse) {
+  std::string Path = testSocketPath("badjson");
+  ServerOptions Opts;
+  Opts.UnixSocketPath = Path;
+  RunningServer RS(Opts);
+  ASSERT_TRUE(RS.Started);
+
+  Client C;
+  std::string Err;
+  ASSERT_TRUE(C.connectUnix(Path, Err)) << Err;
+  // Raw frame holding junk: the daemon answers with an error and then
+  // closes (framing is unrecoverable after a malformed payload).
+  Json Resp;
+  ASSERT_TRUE(C.call(Json::string("not an object }{"), Resp, Err)) << Err;
+  EXPECT_FALSE(Resp.getBool("ok", true));
+
+  // Analyze with a missing field is a per-request error; the connection
+  // stays usable because the frame itself was well-formed.
+  Client C2;
+  ASSERT_TRUE(C2.connectUnix(Path, Err)) << Err;
+  Json NoSource = Json::object();
+  NoSource.set("op", Json::string("analyze"));
+  NoSource.set("unit", Json::string("u"));
+  ASSERT_TRUE(C2.call(NoSource, Resp, Err)) << Err;
+  EXPECT_FALSE(Resp.getBool("ok", true));
+  ASSERT_TRUE(C2.call(opRequest("ping"), Resp, Err)) << Err;
+  EXPECT_TRUE(Resp.getBool("ok", false));
+}
+
+TEST(Server, BackpressureAnswersOverloaded) {
+  std::string Path = testSocketPath("backpressure");
+  ServerOptions Opts;
+  Opts.UnixSocketPath = Path;
+  Opts.Workers = 1;
+  Opts.QueueDepth = 1;
+  RunningServer RS(Opts);
+  ASSERT_TRUE(RS.Started);
+
+  std::string Slow = slowProgram(8, 8);
+  std::atomic<unsigned> OkCount{0}, OverloadedCount{0};
+  std::vector<std::thread> Clients;
+  // First client occupies the worker, the rest race for one queue slot:
+  // at least one must be told "overloaded", and nobody hangs.
+  for (unsigned I = 0; I < 4; ++I) {
+    Clients.emplace_back([&, I] {
+      if (I > 0)
+        std::this_thread::sleep_for(std::chrono::milliseconds(30 + I));
+      Client C;
+      std::string Err;
+      ASSERT_TRUE(C.connectUnix(Path, Err)) << Err;
+      Json Resp;
+      ASSERT_TRUE(C.call(
+          analyzeRequest("slow" + std::to_string(I) + ".atom", Slow), Resp,
+          Err))
+          << Err;
+      if (Resp.getBool("ok", false))
+        OkCount.fetch_add(1);
+      else if (Resp.getString("error", "") == "overloaded")
+        OverloadedCount.fetch_add(1);
+    });
+  }
+  for (std::thread &T : Clients)
+    T.join();
+  EXPECT_GE(OkCount.load(), 1u);
+  EXPECT_GE(OverloadedCount.load(), 1u);
+  EXPECT_EQ(OkCount.load() + OverloadedCount.load(), 4u);
+}
+
+TEST(Server, RequestTimeoutCancelsSlowAnalyze) {
+  std::string Path = testSocketPath("timeout");
+  ServerOptions Opts;
+  Opts.UnixSocketPath = Path;
+  Opts.RequestTimeoutMs = 1;
+  RunningServer RS(Opts);
+  ASSERT_TRUE(RS.Started);
+
+  Client C;
+  std::string Err;
+  ASSERT_TRUE(C.connectUnix(Path, Err)) << Err;
+  Json Resp;
+  ASSERT_TRUE(C.call(analyzeRequest("slow.atom", slowProgram(8, 8)), Resp,
+                     Err))
+      << Err;
+  EXPECT_FALSE(Resp.getBool("ok", true));
+  EXPECT_TRUE(Resp.getBool("timedOut", false));
+  EXPECT_EQ(Resp.getString("error", ""), "timeout");
+}
+
+TEST(Server, SigtermDrainsWithZeroDroppedRequests) {
+  std::string Path = testSocketPath("sigterm");
+  ServerOptions Opts;
+  Opts.UnixSocketPath = Path;
+  Opts.Workers = 2;
+  Opts.QueueDepth = 16;
+  Server S(Opts);
+  std::string Err;
+  ASSERT_TRUE(S.start(Err)) << Err;
+  S.installSignalHandlers();
+  std::thread Runner([&S] { S.run(); });
+
+  // Four in-flight analyzes, then SIGTERM mid-processing. Every one must
+  // still receive its full response — the drain completes in-flight work
+  // before the daemon exits.
+  std::string Slow = slowProgram(6, 6);
+  std::atomic<unsigned> Answered{0};
+  std::vector<std::thread> Clients;
+  for (unsigned I = 0; I < 4; ++I) {
+    Clients.emplace_back([&, I] {
+      Client C;
+      std::string CErr;
+      ASSERT_TRUE(C.connectUnix(Path, CErr)) << CErr;
+      Json Resp;
+      ASSERT_TRUE(C.call(
+          analyzeRequest("s" + std::to_string(I) + ".atom", Slow), Resp,
+          CErr))
+          << CErr;
+      EXPECT_TRUE(Resp.getBool("ok", false))
+          << Resp.getString("error", "");
+      EXPECT_FALSE(Resp.getString("report", "").empty());
+      Answered.fetch_add(1);
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  ASSERT_EQ(std::raise(SIGTERM), 0);
+  for (std::thread &T : Clients)
+    T.join();
+  Runner.join();
+  EXPECT_EQ(Answered.load(), 4u);
+  EXPECT_EQ(S.requestsServed(), 4u);
+}
+
+TEST(Server, TcpListenerWorks) {
+  ServerOptions Opts;
+  Opts.TcpPort = 0; // ephemeral
+  RunningServer RS(Opts);
+  ASSERT_TRUE(RS.Started);
+  ASSERT_GT(RS.S.port(), 0);
+
+  Client C;
+  std::string Err;
+  ASSERT_TRUE(C.connectTcp(RS.S.port(), Err)) << Err;
+  Json Resp;
+  ASSERT_TRUE(C.call(opRequest("ping"), Resp, Err)) << Err;
+  EXPECT_TRUE(Resp.getBool("ok", false));
+}
+
+} // namespace
