@@ -1,0 +1,192 @@
+//===--- LockinFuzz.cpp - Differential fuzzing driver ---------------------===//
+//
+// Part of the lockin project: lock inference for atomic sections.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The `lockin-fuzz` executable: a thin argv shell over
+/// fuzz::runCampaign. Every failure the campaign prints carries a
+/// one-line invocation of this binary that reproduces it.
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/Cli.h"
+#include "fuzz/Fuzzer.h"
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+using namespace lockin;
+
+namespace {
+
+void usage(std::FILE *To) {
+  std::fprintf(To, R"(usage: lockin-fuzz [options]
+
+Differential fuzzer for the lock-inference pipeline: generates random
+well-typed programs with atomic sections and cross-checks analysis
+reports and execution backends against each other.
+
+  --mode=M         diff | syntax | replay | all        (default: diff)
+  --family=F       seq | commute | stress | all        (default: all)
+  --seeds N        number of programs to generate      (default: 100)
+  --seed S         run exactly one seed (sets --seeds 1)
+  --seed-start S   first seed of the range             (default: 1)
+  --budget-ms M    wall-clock budget; with no explicit --seeds the seed
+                   range becomes unbounded and the budget is the only stop
+  --corpus DIR     write failing reproducers to DIR
+  --replay DIR     replay a corpus directory (sets --mode=replay)
+  --syntax-seeds DIR  extra *.atom / *.cpp seed inputs for --mode=syntax
+  --minimize       delta-debug failures before persisting them
+  --strip-locks    fault injection: execute with inferred locks stripped
+                   (the oracles must catch it; validates the fuzzer)
+  --k K            primary k for execution oracles     (default: 3)
+  --jobs J         narrow the report --jobs sweep to {1, J}
+  --yield-seed Y   narrow the yield-schedule sweep to {Y}
+  --timeout-ms T   per-run hang watchdog               (default: 20000)
+  --verbose        log passing programs too
+  --help           this text
+)");
+}
+
+struct Args {
+  fuzz::CampaignOptions Options;
+  bool SeedsGiven = false;
+  bool BudgetGiven = false;
+  bool Help = false;
+  bool Error = false;
+};
+
+/// Accepts "--flag value" and "--flag=value".
+bool takeValue(int Argc, const char *const *Argv, int &I,
+               const char *Flag, std::string &Out) {
+  size_t FlagLen = std::strlen(Flag);
+  if (std::strncmp(Argv[I], Flag, FlagLen) != 0)
+    return false;
+  if (Argv[I][FlagLen] == '=') {
+    Out = Argv[I] + FlagLen + 1;
+    return true;
+  }
+  if (Argv[I][FlagLen] == '\0' && I + 1 < Argc) {
+    Out = Argv[++I];
+    return true;
+  }
+  return false;
+}
+
+bool parseU64(const std::string &Text, uint64_t &Out) {
+  if (Text.empty())
+    return false;
+  uint64_t V = 0;
+  for (char Ch : Text) {
+    if (Ch < '0' || Ch > '9')
+      return false;
+    uint64_t Next = V * 10 + static_cast<uint64_t>(Ch - '0');
+    if (Next < V)
+      return false;
+    V = Next;
+  }
+  Out = V;
+  return true;
+}
+
+Args parseArgs(int Argc, const char *const *Argv) {
+  Args A;
+  auto Fail = [&](const std::string &Message) {
+    std::fprintf(stderr, "lockin-fuzz: %s\n", Message.c_str());
+    A.Error = true;
+  };
+  for (int I = 1; I < Argc && !A.Error; ++I) {
+    std::string Value;
+    if (std::strcmp(Argv[I], "--help") == 0) {
+      A.Help = true;
+    } else if (std::strcmp(Argv[I], "--minimize") == 0) {
+      A.Options.Minimize = true;
+    } else if (std::strcmp(Argv[I], "--strip-locks") == 0) {
+      A.Options.StripLocks = true;
+    } else if (std::strcmp(Argv[I], "--verbose") == 0) {
+      A.Options.Verbose = true;
+    } else if (takeValue(Argc, Argv, I, "--mode", Value)) {
+      if (Value != "diff" && Value != "syntax" && Value != "replay" &&
+          Value != "all")
+        Fail("unknown --mode '" + Value + "'");
+      A.Options.Mode = Value;
+    } else if (takeValue(Argc, Argv, I, "--family", Value)) {
+      fuzz::Family F;
+      if (Value != "all" && !fuzz::familyFromName(Value, F))
+        Fail("unknown --family '" + Value + "'");
+      A.Options.FamilyFilter = Value;
+    } else if (takeValue(Argc, Argv, I, "--seeds", Value)) {
+      if (!parseU64(Value, A.Options.Seeds))
+        Fail("bad --seeds '" + Value + "'");
+      A.SeedsGiven = true;
+    } else if (takeValue(Argc, Argv, I, "--seed-start", Value)) {
+      if (!parseU64(Value, A.Options.SeedStart))
+        Fail("bad --seed-start '" + Value + "'");
+    } else if (takeValue(Argc, Argv, I, "--seed", Value)) {
+      if (!parseU64(Value, A.Options.SeedStart))
+        Fail("bad --seed '" + Value + "'");
+      A.Options.Seeds = 1;
+      A.SeedsGiven = true;
+    } else if (takeValue(Argc, Argv, I, "--budget-ms", Value)) {
+      if (!parseU64(Value, A.Options.BudgetMs))
+        Fail("bad --budget-ms '" + Value + "'");
+      A.BudgetGiven = true;
+    } else if (takeValue(Argc, Argv, I, "--corpus", Value)) {
+      A.Options.CorpusDir = Value;
+    } else if (takeValue(Argc, Argv, I, "--replay", Value)) {
+      A.Options.ReplayDir = Value;
+      A.Options.Mode = "replay";
+    } else if (takeValue(Argc, Argv, I, "--syntax-seeds", Value)) {
+      A.Options.SyntaxSeedDir = Value;
+    } else if (takeValue(Argc, Argv, I, "--k", Value)) {
+      unsigned K;
+      if (!cli::parseUnsigned(Value.c_str(), K) || K > 9)
+        Fail("bad --k '" + Value + "' (expected 0..9)");
+      else
+        A.Options.K = K;
+    } else if (takeValue(Argc, Argv, I, "--jobs", Value)) {
+      unsigned Jobs;
+      if (!cli::parseUnsigned(Value.c_str(), Jobs))
+        Fail("bad --jobs '" + Value + "'");
+      else
+        A.Options.Jobs = Jobs;
+    } else if (takeValue(Argc, Argv, I, "--yield-seed", Value)) {
+      if (!parseU64(Value, A.Options.YieldSeed))
+        Fail("bad --yield-seed '" + Value + "'");
+    } else if (takeValue(Argc, Argv, I, "--timeout-ms", Value)) {
+      if (!parseU64(Value, A.Options.TimeoutMs))
+        Fail("bad --timeout-ms '" + Value + "'");
+    } else {
+      Fail("unknown argument '" + std::string(Argv[I]) + "'");
+    }
+  }
+  // A budget with no explicit seed count means "fuzz until the clock
+  // runs out".
+  if (A.BudgetGiven && !A.SeedsGiven)
+    A.Options.Seeds = UINT64_MAX;
+  if (A.Options.Mode == "replay" && A.Options.ReplayDir.empty()) {
+    std::fprintf(stderr, "lockin-fuzz: --mode=replay needs --replay DIR\n");
+    A.Error = true;
+  }
+  return A;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  Args A = parseArgs(Argc, Argv);
+  if (A.Help) {
+    usage(stdout);
+    return 0;
+  }
+  if (A.Error) {
+    usage(stderr);
+    return 2;
+  }
+  fuzz::CampaignResult R = fuzz::runCampaign(A.Options, std::cout);
+  return fuzz::campaignExitCode(R);
+}

@@ -1,0 +1,119 @@
+//===--- Corpus.cpp - Reproducer persistence and replay -------------------===//
+//
+// Part of the lockin project: lock inference for atomic sections.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Corpus.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+using namespace lockin;
+using namespace lockin::fuzz;
+
+namespace fs = std::filesystem;
+
+std::string fuzz::renderHeader(const OracleFailure &F, const FuzzConfig &C) {
+  std::ostringstream H;
+  H << "// lockin-fuzz reproducer\n";
+  H << "// oracle: " << F.Oracle << "\n";
+  H << "// config: family=" << familyName(C.F) << " seed=" << C.Seed
+    << " k=" << C.K << " strip-locks=" << (C.StripLocks ? 1 : 0) << "\n";
+  H << "// reproduce: " << F.ReproCmd << "\n";
+  // Multi-line details stay inside the comment block.
+  std::istringstream Detail(F.Detail);
+  std::string Line;
+  while (std::getline(Detail, Line))
+    H << "// detail: " << Line << "\n";
+  return H.str();
+}
+
+std::string fuzz::saveReproducer(const std::string &Dir,
+                                 const std::string &Name,
+                                 const std::string &Header,
+                                 const std::string &Source,
+                                 std::string &Error) {
+  std::error_code Ec;
+  fs::create_directories(Dir, Ec);
+  if (Ec) {
+    Error = "cannot create corpus directory '" + Dir + "': " + Ec.message();
+    return {};
+  }
+  fs::path Path = fs::path(Dir) / (Name + ".atom");
+  std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+  if (!Out) {
+    Error = "cannot open '" + Path.string() + "' for writing";
+    return {};
+  }
+  Out << Header << Source;
+  if (!Source.empty() && Source.back() != '\n')
+    Out << '\n';
+  Out.close();
+  if (!Out) {
+    Error = "short write to '" + Path.string() + "'";
+    return {};
+  }
+  return Path.string();
+}
+
+std::vector<CorpusEntry> fuzz::loadCorpus(const std::string &Dir) {
+  std::vector<CorpusEntry> Entries;
+  std::error_code Ec;
+  fs::directory_iterator It(Dir, Ec), End;
+  if (Ec)
+    return Entries;
+  for (; It != End; It.increment(Ec)) {
+    if (Ec)
+      break;
+    if (!It->is_regular_file() || It->path().extension() != ".atom")
+      continue;
+    std::ifstream In(It->path(), std::ios::binary);
+    if (!In)
+      continue;
+    std::ostringstream Buf;
+    Buf << In.rdbuf();
+    Entries.push_back({It->path().string(), Buf.str()});
+  }
+  std::sort(Entries.begin(), Entries.end(),
+            [](const CorpusEntry &A, const CorpusEntry &B) {
+              return A.Path < B.Path;
+            });
+  return Entries;
+}
+
+FuzzConfig fuzz::configFromHeader(const std::string &Source) {
+  FuzzConfig C;
+  std::istringstream In(Source);
+  std::string Line;
+  while (std::getline(In, Line)) {
+    if (Line.rfind("//", 0) != 0)
+      break; // header block ended
+    size_t Tag = Line.find("config:");
+    if (Tag == std::string::npos)
+      continue;
+    std::istringstream Fields(Line.substr(Tag + 7));
+    std::string Field;
+    while (Fields >> Field) {
+      size_t Eq = Field.find('=');
+      if (Eq == std::string::npos)
+        continue;
+      std::string Key = Field.substr(0, Eq);
+      std::string Val = Field.substr(Eq + 1);
+      if (Key == "family") {
+        Family F;
+        if (familyFromName(Val, F))
+          C.F = F;
+      } else if (Key == "seed") {
+        C.Seed = std::strtoull(Val.c_str(), nullptr, 10);
+      } else if (Key == "k") {
+        C.K = static_cast<unsigned>(std::strtoul(Val.c_str(), nullptr, 10));
+      }
+    }
+    break;
+  }
+  C.StripLocks = false; // see header comment
+  return C;
+}

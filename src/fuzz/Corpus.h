@@ -1,0 +1,62 @@
+//===--- Corpus.h - Reproducer persistence and replay -----------*- C++ -*-===//
+//
+// Part of the lockin project: lock inference for atomic sections.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Failing inputs are persisted as `.atom` files whose leading `//`
+/// comment block stamps what failed and how to reproduce it:
+///
+///   // lockin-fuzz reproducer
+///   // oracle: exec
+///   // config: family=commute seed=42 k=3 strip-locks=1
+///   // reproduce: lockin-fuzz --family=commute --seed=42 --k=3 ...
+///   // detail: variant 'stm yields=7' diverges ...
+///
+/// The lexer treats comments as trivia, so reproducers replay through the
+/// normal pipeline unmodified. `tests/fuzz-corpus/` holds the checked-in
+/// regression corpus: minimized once-failing inputs that the replay ctest
+/// target re-runs through every oracle (with fault injection disabled) on
+/// every build.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LOCKIN_FUZZ_CORPUS_H
+#define LOCKIN_FUZZ_CORPUS_H
+
+#include "fuzz/Oracles.h"
+
+#include <string>
+#include <vector>
+
+namespace lockin {
+namespace fuzz {
+
+struct CorpusEntry {
+  std::string Path;
+  std::string Source; ///< full file contents, header included
+};
+
+/// Renders the header comment block for a failing input.
+std::string renderHeader(const OracleFailure &F, const FuzzConfig &C);
+
+/// Writes Header+Source to Dir/Name.atom (Dir is created if needed).
+/// Returns the written path, or "" with \p Error filled on I/O failure.
+std::string saveReproducer(const std::string &Dir, const std::string &Name,
+                           const std::string &Header,
+                           const std::string &Source, std::string &Error);
+
+/// Loads every `*.atom` under \p Dir (sorted by filename).
+std::vector<CorpusEntry> loadCorpus(const std::string &Dir);
+
+/// Reconstructs the oracle configuration stamped in an entry's
+/// `// config:` line; defaults when absent. StripLocks is always reset to
+/// false: replay asserts the corpus passes on the current code, and fault
+/// injection would trivially re-fail.
+FuzzConfig configFromHeader(const std::string &Source);
+
+} // namespace fuzz
+} // namespace lockin
+
+#endif // LOCKIN_FUZZ_CORPUS_H

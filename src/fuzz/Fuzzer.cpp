@@ -1,0 +1,330 @@
+//===--- Fuzzer.cpp - Fuzzing campaign driver -----------------------------===//
+//
+// Part of the lockin project: lock inference for atomic sections.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Fuzzer.h"
+
+#include "driver/Compiler.h"
+#include "fuzz/Corpus.h"
+#include "fuzz/Generator.h"
+#include "fuzz/Minimizer.h"
+#include "fuzz/Mutator.h"
+#include "workloads/ToyPrograms.h"
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+using namespace lockin;
+using namespace lockin::fuzz;
+
+namespace fs = std::filesystem;
+
+FuzzConfig fuzz::configFor(const CampaignOptions &Options, Family F,
+                           uint64_t Seed) {
+  FuzzConfig C;
+  C.F = F;
+  C.Seed = Seed;
+  C.K = Options.K;
+  C.StripLocks = Options.StripLocks;
+  C.TimeoutMs = Options.TimeoutMs;
+  if (Options.YieldSeed != 0)
+    C.YieldSeeds = {Options.YieldSeed};
+  if (Options.Jobs != 0)
+    C.JobsSweep = {1, Options.Jobs};
+  return C;
+}
+
+namespace {
+
+/// Re-runs exactly one oracle by name; true when it fails and \p Out is
+/// filled. Used by the minimization predicate so shrinking only pays for
+/// the oracle that originally fired.
+bool runOneOracle(const std::string &Source, const FuzzConfig &C,
+                  const std::string &Oracle, OracleFailure &Out) {
+  if (Oracle == "frontend") {
+    CompileOptions CO;
+    CO.K = C.K;
+    CO.Jobs = 1;
+    auto Comp = compile(Source, CO);
+    if (Comp->ok())
+      return false;
+    Out.Oracle = "frontend";
+    Out.Kind = "rejected";
+    Out.Detail = Comp->diagnostics().str();
+    Out.ReproCmd = reproCommand(C);
+    return true;
+  }
+  if (Oracle == "report")
+    return !checkReportDeterminism(Source, C, Out);
+  if (Oracle == "exec")
+    return !checkExecEquivalence(Source, C, Out);
+  if (Oracle == "soundness")
+    return !checkSoundness(Source, C, Out);
+  return !checkProgram(Source, C, Out);
+}
+
+struct Budget {
+  std::chrono::steady_clock::time_point Start =
+      std::chrono::steady_clock::now();
+  uint64_t LimitMs;
+  explicit Budget(uint64_t LimitMs) : LimitMs(LimitMs) {}
+  bool expired() const {
+    if (LimitMs == 0)
+      return false;
+    auto Elapsed = std::chrono::steady_clock::now() - Start;
+    return std::chrono::duration_cast<std::chrono::milliseconds>(Elapsed)
+               .count() >= static_cast<int64_t>(LimitMs);
+  }
+};
+
+void reportFailure(std::ostream &Log, const OracleFailure &F,
+                   const std::string &Where) {
+  Log << "FAIL " << Where << " oracle=" << F.Oracle << "\n";
+  std::istringstream Detail(F.Detail);
+  std::string Line;
+  while (std::getline(Detail, Line))
+    Log << "  " << Line << "\n";
+  Log << "  reproduce: " << F.ReproCmd << "\n";
+}
+
+void persistFailure(const CampaignOptions &Options, const FuzzConfig &C,
+                    const OracleFailure &F, const std::string &Source,
+                    const std::string &Name, CampaignResult &R,
+                    std::ostream &Log) {
+  if (Options.CorpusDir.empty())
+    return;
+  std::string Error;
+  std::string Path = saveReproducer(Options.CorpusDir, Name,
+                                    renderHeader(F, C), Source, Error);
+  if (Path.empty()) {
+    Log << "  (corpus write failed: " << Error << ")\n";
+    return;
+  }
+  R.SavedPaths.push_back(Path);
+  Log << "  saved: " << Path << "\n";
+}
+
+std::vector<Family> familiesFor(const std::string &Filter) {
+  Family F;
+  if (familyFromName(Filter, F))
+    return {F};
+  return {Family::Seq, Family::Commute, Family::Stress};
+}
+
+void runDiffCampaign(const CampaignOptions &Options, const Budget &B,
+                     CampaignResult &R, std::ostream &Log) {
+  std::vector<Family> Families = familiesFor(Options.FamilyFilter);
+  for (uint64_t I = 0; I < Options.Seeds && !B.expired(); ++I) {
+    uint64_t Seed = Options.SeedStart + I;
+    Family F = Families[Seed % Families.size()];
+    FuzzConfig C = configFor(Options, F, Seed);
+    std::string Source = generateProgram({F, Seed});
+    ++R.Programs;
+    OracleFailure Failure;
+    if (checkProgram(Source, C, Failure)) {
+      if (Options.Verbose)
+        Log << "ok   family=" << familyName(F) << " seed=" << Seed << "\n";
+      continue;
+    }
+    ++R.Failures;
+    reportFailure(Log, Failure,
+                  "family=" + std::string(familyName(F)) +
+                      " seed=" + std::to_string(Seed));
+    std::string ToSave = Source;
+    if (Options.Minimize) {
+      ToSave = minimizeFailure(Source, C, Failure);
+      Log << "  minimized: " << ToSave.size() << " bytes\n";
+    }
+    persistFailure(Options, C, Failure, ToSave,
+                   Failure.Oracle + "-" + familyName(F) + "-seed" +
+                       std::to_string(Seed),
+                   R, Log);
+    R.FailureList.push_back(Failure);
+  }
+}
+
+std::vector<std::string> syntaxSeedCorpus(const CampaignOptions &Options) {
+  std::vector<std::string> Bases = workloads::syntaxSeedSources();
+  if (!Options.SyntaxSeedDir.empty()) {
+    std::error_code Ec;
+    fs::directory_iterator It(Options.SyntaxSeedDir, Ec), End;
+    std::vector<fs::path> Paths;
+    for (; !Ec && It != End; It.increment(Ec)) {
+      if (!It->is_regular_file())
+        continue;
+      fs::path P = It->path();
+      if (P.extension() == ".atom" || P.extension() == ".cpp")
+        Paths.push_back(P);
+    }
+    std::sort(Paths.begin(), Paths.end());
+    for (const fs::path &P : Paths) {
+      std::ifstream In(P, std::ios::binary);
+      if (!In)
+        continue;
+      std::ostringstream Buf;
+      Buf << In.rdbuf();
+      Bases.push_back(Buf.str());
+    }
+  }
+  return Bases;
+}
+
+void runSyntaxCampaign(const CampaignOptions &Options, const Budget &B,
+                       CampaignResult &R, std::ostream &Log) {
+  std::vector<std::string> Bases = syntaxSeedCorpus(Options);
+  if (Bases.empty()) {
+    Log << "syntax mode: no seed programs found\n";
+    return;
+  }
+  for (uint64_t I = 0; I < Options.Seeds && !B.expired(); ++I) {
+    uint64_t Seed = Options.SeedStart + I;
+    const std::string &Base = Bases[Seed % Bases.size()];
+    std::string Mutant = mutateTokens(Base, Seed);
+    ++R.Programs;
+    // The oracle: the frontend terminates, and rejection is always
+    // accompanied by a diagnostic. A crash here kills the fuzzer itself,
+    // which is exactly the signal CI watches for.
+    CompileOptions CO;
+    CO.K = Options.K;
+    CO.Jobs = 1;
+    auto Comp = compile(Mutant, CO);
+    if (Comp->ok() || Comp->diagnostics().hasErrors()) {
+      if (Options.Verbose)
+        Log << "ok   syntax seed=" << Seed << "\n";
+      continue;
+    }
+    ++R.Failures;
+    OracleFailure F;
+    F.Oracle = "syntax";
+    F.Detail = "frontend rejected the input without emitting a diagnostic";
+    F.ReproCmd = "lockin-fuzz --mode=syntax --seed=" + std::to_string(Seed) +
+                 (Options.SyntaxSeedDir.empty()
+                      ? std::string()
+                      : " --syntax-seeds=" + Options.SyntaxSeedDir);
+    reportFailure(Log, F, "syntax seed=" + std::to_string(Seed));
+    FuzzConfig C;
+    C.Seed = Seed;
+    C.K = Options.K;
+    persistFailure(Options, C, F, Mutant,
+                   "syntax-seed" + std::to_string(Seed), R, Log);
+    R.FailureList.push_back(F);
+  }
+}
+
+void runReplay(const CampaignOptions &Options, CampaignResult &R,
+               std::ostream &Log) {
+  std::vector<CorpusEntry> Entries = loadCorpus(Options.ReplayDir);
+  if (Entries.empty())
+    Log << "replay: no .atom entries under '" << Options.ReplayDir << "'\n";
+  for (const CorpusEntry &E : Entries) {
+    ++R.Programs;
+    FuzzConfig C = configFromHeader(E.Source);
+    C.TimeoutMs = Options.TimeoutMs;
+    CompileOptions CO;
+    CO.K = C.K;
+    CO.Jobs = 1;
+    auto Comp = compile(E.Source, CO);
+    if (!Comp->ok()) {
+      // Syntax-corpus entries are ill-formed by design; rejection must
+      // come with a diagnostic (diagnose-or-accept).
+      if (Comp->diagnostics().hasErrors()) {
+        if (Options.Verbose)
+          Log << "ok   " << E.Path << " (diagnosed)\n";
+        continue;
+      }
+      ++R.Failures;
+      OracleFailure F;
+      F.Oracle = "syntax";
+      F.Detail = "corpus entry rejected without a diagnostic";
+      F.ReproCmd = "lockin-fuzz --replay=" + Options.ReplayDir;
+      reportFailure(Log, F, E.Path);
+      R.FailureList.push_back(F);
+      continue;
+    }
+    OracleFailure Failure;
+    if (checkProgram(E.Source, C, Failure)) {
+      if (Options.Verbose)
+        Log << "ok   " << E.Path << "\n";
+      continue;
+    }
+    ++R.Failures;
+    Failure.Detail = "corpus regression (" + E.Path + ")\n" + Failure.Detail;
+    reportFailure(Log, Failure, E.Path);
+    R.FailureList.push_back(Failure);
+  }
+}
+
+} // namespace
+
+std::string fuzz::minimizeFailure(const std::string &Source,
+                                  const FuzzConfig &C,
+                                  const OracleFailure &Original,
+                                  unsigned MaxTests) {
+  FuzzConfig Quick = C;
+  // Shrinking runs the oracle hundreds of times; narrow the sweeps to
+  // the essentials and tighten the watchdog so hung candidates don't
+  // stall the reduction.
+  if (Quick.YieldSeeds.size() > 1)
+    Quick.YieldSeeds = {Quick.YieldSeeds.front()};
+  if (Quick.Ks.size() > 1)
+    Quick.Ks = {Quick.K};
+  if (Quick.TimeoutMs > 2000)
+    Quick.TimeoutMs = 2000;
+  // Candidates routinely acquire runaway loops (a deleted loop-counter
+  // increment); a tight step budget fails them in milliseconds rather
+  // than leaving each one to the watchdog. Generated programs finish in
+  // well under a million steps.
+  if (Quick.MaxSteps == 0 || Quick.MaxSteps > 2'000'000)
+    Quick.MaxSteps = 2'000'000;
+  std::string Oracle = Original.Oracle;
+  std::string Kind = Original.Kind;
+  auto SameFailure = [Oracle, Kind](const FuzzConfig &Config,
+                                    const std::string &Candidate) {
+    OracleFailure F;
+    return runOneOracle(Candidate, Config, Oracle, F) &&
+           F.Oracle == Oracle && F.Kind == Kind;
+  };
+  auto StillFails = [&Quick, &SameFailure](const std::string &Candidate) {
+    return SameFailure(Quick, Candidate);
+  };
+  // The narrowed config must still reproduce, else shrink with the
+  // original one.
+  if (!StillFails(Source))
+    return minimize(
+        Source,
+        [&C, &SameFailure](const std::string &Candidate) {
+          return SameFailure(C, Candidate);
+        },
+        MaxTests);
+  return minimize(Source, StillFails, MaxTests);
+}
+
+CampaignResult fuzz::runCampaign(const CampaignOptions &Options,
+                                 std::ostream &Log) {
+  CampaignResult R;
+  Budget B(Options.BudgetMs);
+  if (Options.Mode == "replay") {
+    runReplay(Options, R, Log);
+  } else if (Options.Mode == "syntax") {
+    runSyntaxCampaign(Options, B, R, Log);
+  } else if (Options.Mode == "diff") {
+    runDiffCampaign(Options, B, R, Log);
+  } else { // "all"
+    runDiffCampaign(Options, B, R, Log);
+    runSyntaxCampaign(Options, B, R, Log);
+  }
+  Log << "lockin-fuzz: " << R.Programs << " programs, " << R.Failures
+      << " failures";
+  if (B.expired())
+    Log << " (budget exhausted)";
+  Log << "\n";
+  return R;
+}
+
+int fuzz::campaignExitCode(const CampaignResult &R) {
+  return R.Failures == 0 ? 0 : 1;
+}

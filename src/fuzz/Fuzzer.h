@@ -1,0 +1,94 @@
+//===--- Fuzzer.h - Fuzzing campaign driver ---------------------*- C++ -*-===//
+//
+// Part of the lockin project: lock inference for atomic sections.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The campaign loop behind the `lockin-fuzz` executable. Modes:
+///
+///  - diff:   generate (Generator.h), check every oracle (Oracles.h),
+///            minimize failures (Minimizer.h), persist them (Corpus.h).
+///  - syntax: token-mutate valid seed programs (Mutator.h) and assert the
+///            frontend diagnoses-or-accepts without crashing.
+///  - replay: re-run a corpus directory through the oracles (the
+///            regression-corpus ctest target).
+///  - all:    diff then syntax.
+///
+/// The loop stops at --seeds programs or when --budget-ms elapses,
+/// whichever comes first. Every failure prints a one-line reproducer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LOCKIN_FUZZ_FUZZER_H
+#define LOCKIN_FUZZ_FUZZER_H
+
+#include "fuzz/Oracles.h"
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace lockin {
+namespace fuzz {
+
+struct CampaignOptions {
+  std::string Mode = "diff"; ///< diff | syntax | replay | all
+  /// Grammar family filter; "all" rotates seq/commute/stress per seed.
+  std::string FamilyFilter = "all";
+  uint64_t SeedStart = 1;
+  uint64_t Seeds = 100;
+  /// Wall-clock budget; 0 = unbounded (the seed count is the only limit).
+  uint64_t BudgetMs = 0;
+  /// Where failing reproducers are written ("" = don't persist).
+  std::string CorpusDir;
+  /// Corpus directory for --mode=replay.
+  std::string ReplayDir;
+  /// Extra directory of seed programs (*.atom, *.cpp) for --mode=syntax,
+  /// on top of the built-in workload sources.
+  std::string SyntaxSeedDir;
+  bool Minimize = false;
+  /// Fault injection (see FuzzConfig::StripLocks).
+  bool StripLocks = false;
+  unsigned K = 3;
+  /// 0 = the default yield-schedule sweep; nonzero narrows to one seed
+  /// (reproducer mode).
+  uint64_t YieldSeed = 0;
+  /// 0 = the default --jobs sweep; nonzero narrows it (reproducer mode).
+  unsigned Jobs = 0;
+  /// Per-interpreter-run hang watchdog.
+  uint64_t TimeoutMs = 20'000;
+  bool Verbose = false;
+};
+
+struct CampaignResult {
+  uint64_t Programs = 0;
+  uint64_t Failures = 0;
+  std::vector<OracleFailure> FailureList;
+  /// Reproducer files written this campaign.
+  std::vector<std::string> SavedPaths;
+};
+
+/// Runs the campaign, streaming progress and failures to \p Log.
+CampaignResult runCampaign(const CampaignOptions &Options, std::ostream &Log);
+
+/// 0 when the campaign found nothing, 1 otherwise.
+int campaignExitCode(const CampaignResult &R);
+
+/// The oracle configuration the campaign uses for (family, seed) under
+/// \p Options — also what reproducer commands re-create. Exposed for
+/// tests.
+FuzzConfig configFor(const CampaignOptions &Options, Family F, uint64_t Seed);
+
+/// Minimizes \p Source w.r.t. the oracle named by \p Original (the
+/// failure observed on it): the predicate re-runs just that oracle and
+/// requires the same oracle to fail again. Exposed for tests.
+std::string minimizeFailure(const std::string &Source, const FuzzConfig &C,
+                            const OracleFailure &Original,
+                            unsigned MaxTests = 2000);
+
+} // namespace fuzz
+} // namespace lockin
+
+#endif // LOCKIN_FUZZ_FUZZER_H

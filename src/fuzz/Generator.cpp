@@ -1,0 +1,477 @@
+//===--- Generator.cpp - Grammar-based program generator ------------------------===//
+//
+// Part of the lockin project: lock inference for atomic sections.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Generator.h"
+
+#include "support/Rng.h"
+
+#include <cassert>
+
+using namespace lockin;
+using namespace lockin::fuzz;
+
+const char *fuzz::familyName(Family F) {
+  switch (F) {
+  case Family::Seq:
+    return "seq";
+  case Family::Commute:
+    return "commute";
+  case Family::Stress:
+    return "stress";
+  case Family::LegacySeq:
+    return "legacy-seq";
+  case Family::LegacyConc:
+    return "legacy-conc";
+  }
+  return "?";
+}
+
+bool fuzz::familyFromName(const std::string &Name, Family &Out) {
+  if (Name == "seq") {
+    Out = Family::Seq;
+    return true;
+  }
+  if (Name == "commute") {
+    Out = Family::Commute;
+    return true;
+  }
+  if (Name == "stress") {
+    Out = Family::Stress;
+    return true;
+  }
+  if (Name == "legacy-seq") {
+    Out = Family::LegacySeq;
+    return true;
+  }
+  if (Name == "legacy-conc") {
+    Out = Family::LegacyConc;
+    return true;
+  }
+  return false;
+}
+
+//===----------------------------------------------------------------------===//
+// Legacy generators (seed-stable; moved verbatim from the test suite)
+//===----------------------------------------------------------------------===//
+
+std::string fuzz::generateSequentialProgram(uint64_t Seed) {
+  Rng R(Seed);
+  std::string Out = R"(
+struct cell { cell* next; int* data; int v; };
+cell* g;
+int gsum;
+cell* mk(int v) {
+  cell* c = new cell;
+  c->v = v;
+  c->data = new int[4];
+  return c;
+}
+int tally(cell* c) {
+  int s = 0;
+  while (c != null) { s = s + c->v; c = c->next; }
+  return s;
+}
+)";
+  Out += "int main() {\n";
+  Out += "  g = mk(1);\n";
+  Out += "  g->next = mk(2);\n";
+  Out += "  int acc = 0;\n";
+  Out += "  atomic {\n";
+  unsigned Stmts = 3 + static_cast<unsigned>(R.below(5));
+  for (unsigned I = 0; I < Stmts; ++I) {
+    switch (R.below(7)) {
+    case 0:
+      Out += "    g->v = g->v + " + std::to_string(R.below(9)) + ";\n";
+      break;
+    case 1:
+      Out += "    { cell* t = g->next; if (t != null) { t->v = " +
+             std::to_string(R.below(9)) + "; } }\n";
+      break;
+    case 2:
+      Out += "    gsum = gsum + tally(g);\n";
+      break;
+    case 3:
+      Out += "    { cell* f = mk(" + std::to_string(R.below(9)) +
+             "); f->next = g; g = f; }\n";
+      break;
+    case 4:
+      Out += "    g->data[" + std::to_string(R.below(4)) + "] = " +
+             std::to_string(R.below(99)) + ";\n";
+      break;
+    case 5:
+      Out += "    { int i = 0; while (i < " + std::to_string(1 + R.below(4)) +
+             ") { gsum = gsum + 1; i = i + 1; } }\n";
+      break;
+    default:
+      Out += "    if (gsum % 2 == 0) { g->v = 0; } else { gsum = gsum + "
+             "g->v; }\n";
+      break;
+    }
+  }
+  Out += "  }\n";
+  Out += "  acc = gsum + tally(g);\n";
+  Out += "  return acc;\n";
+  Out += "}\n";
+  return Out;
+}
+
+std::string fuzz::generateConcurrentProgram(uint64_t Seed) {
+  Rng R(Seed);
+  std::string Out = R"(
+struct node { node* next; int* slot; int v; };
+struct bag { node* head; int* arr; int n; };
+bag* B0;
+bag* B1;
+int G0;
+int G1;
+int helperBump(bag* b, int d) {
+  atomic { b->n = b->n + d; }
+  return d;
+}
+node* helperFind(bag* b, int key) {
+  node* cur = b->head;
+  while (cur != null && cur->v != key) cur = cur->next;
+  return cur;
+}
+)";
+
+  // A pool of statement templates; %B is a random bag, %K a random
+  // constant, %G a random int global.
+  const char *Templates[] = {
+      "    %B->n = %B->n + %K;\n",
+      "    node* f = new node; f->v = %K; f->next = %B->head; "
+      "%B->head = f;\n",
+      "    node* c = %B->head; while (c != null) { c->v = c->v + 1; "
+      "c = c->next; }\n",
+      "    node* c = helperFind(%B, %K); if (c != null) { c->v = 0; }\n",
+      "    %G = %G + %K;\n",
+      "    if (%G > 10) { %B->arr[%G % 8] = %K; } else { %G = %G + 1; }\n",
+      "    %B->arr[%K % 8] = %B->arr[(%K + 1) % 8] + 1;\n",
+      "    int t = helperBump(%B, 1); %G = %G + t;\n",
+      "    node* c = %B->head; if (c != null && c->next != null) "
+      "{ c->next->v = %K; }\n",
+      "    int* s = %B->arr; s[%K % 8] = s[%K % 8] + 1;\n",
+  };
+  constexpr unsigned NumTemplates = sizeof(Templates) / sizeof(*Templates);
+
+  auto Instantiate = [&](const char *Template) {
+    std::string Text = Template;
+    auto ReplaceAll = [&](const std::string &From, const std::string &To) {
+      size_t Pos = 0;
+      while ((Pos = Text.find(From, Pos)) != std::string::npos) {
+        Text.replace(Pos, From.size(), To);
+        Pos += To.size();
+      }
+    };
+    ReplaceAll("%B", R.chance(1, 2) ? "B0" : "B1");
+    ReplaceAll("%G", R.chance(1, 2) ? "G0" : "G1");
+    ReplaceAll("%K", std::to_string(R.below(16)));
+    return Text;
+  };
+
+  // Two worker functions with 2-3 atomic sections each.
+  for (unsigned W = 0; W < 2; ++W) {
+    Out += "void worker" + std::to_string(W) + "() {\n";
+    Out += "  int round = 0;\n";
+    Out += "  while (round < 12) {\n";
+    unsigned Sections = 2 + static_cast<unsigned>(R.below(2));
+    for (unsigned S = 0; S < Sections; ++S) {
+      Out += "  atomic {\n";
+      unsigned Stmts = 1 + static_cast<unsigned>(R.below(3));
+      for (unsigned I = 0; I < Stmts; ++I) {
+        // Each template in its own block: local names stay independent.
+        Out += "    {\n";
+        Out += Instantiate(Templates[R.below(NumTemplates)]);
+        Out += "    }\n";
+      }
+      Out += "  }\n";
+    }
+    Out += "    round = round + 1;\n";
+    Out += "  }\n";
+    Out += "}\n";
+  }
+
+  Out += R"(
+int main() {
+  B0 = new bag;
+  B0->arr = new int[8];
+  B1 = new bag;
+  B1->arr = new int[8];
+  node* seed0 = new node; seed0->v = 1; B0->head = seed0;
+  node* seed1 = new node; seed1->v = 2; B1->head = seed1;
+  spawn worker0();
+  spawn worker1();
+  return 0;
+}
+)";
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// The fuzzer's grammar
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Declarations shared by all three families: two struct shapes forming a
+/// pointer graph (chains with cross links, int arrays at both levels),
+/// builders, a read-only traversal, a positional lookup, and an atomic
+/// helper so call summaries participate in every generated program.
+const char *Preamble = R"(
+struct item { item* next; item* peer; int* vals; int a; int b; };
+struct hub { item* first; item* second; int* slots; int total; int spare; };
+hub* H0;
+hub* H1;
+int C0;
+int C1;
+int C2;
+item* mkChain(int n, int v) {
+  item* head = null;
+  int i = 0;
+  while (i < n) {
+    item* e = new item;
+    e->a = v + i;
+    e->b = i;
+    e->vals = new int[4];
+    e->next = head;
+    head = e;
+    i = i + 1;
+  }
+  return head;
+}
+int sumChain(item* it) {
+  int s = 0;
+  while (it != null) { s = s + it->a + it->b; it = it->next; }
+  return s;
+}
+item* nth(item* it, int n) {
+  int i = 0;
+  while (it != null && i < n) { it = it->next; i = i + 1; }
+  return it;
+}
+hub* mkHub(int n, int v) {
+  hub* h = new hub;
+  h->first = mkChain(n, v);
+  h->second = mkChain(n, v + 3);
+  h->slots = new int[6];
+  return h;
+}
+void addTotal(hub* h, int d) {
+  atomic { h->total = h->total + d; }
+}
+)";
+
+std::string num(uint64_t N) { return std::to_string(N); }
+
+/// One statement of the deterministic (Seq) pool. Everything is
+/// null-guarded and in-bounds, indices are constants or provably
+/// non-negative, and there is no division: a generated Seq program never
+/// faults, so every backend must finish and agree.
+std::string seqStmt(Rng &R) {
+  std::string B = R.chance(1, 2) ? "H0" : "H1";
+  uint64_t K = 1 + R.below(9);
+  switch (R.below(10)) {
+  case 0:
+    return "    " + B + "->total = " + B + "->total + sumChain(" + B +
+           "->first);\n";
+  case 1:
+    return "    { item* t = nth(" + B + "->first, " + num(R.below(4)) +
+           "); if (t != null) { t->b = t->b + " + num(K) + "; } }\n";
+  case 2:
+    return "    " + B + "->slots[" + num(R.below(6)) + "] = " + B +
+           "->slots[" + num(R.below(6)) + "] + " + num(K) + ";\n";
+  case 3:
+    return "    { item* e = new item; e->a = " + num(K) +
+           "; e->vals = new int[4]; e->next = " + B + "->first; " + B +
+           "->first = e; }\n";
+  case 4:
+    return "    { int i = 0; while (i < " + num(1 + R.below(4)) +
+           ") { C0 = C0 + 2; i = i + 1; } }\n";
+  case 5:
+    return "    if (C0 % 2 == 0) { " + B + "->total = " + B +
+           "->total + 1; } else { C1 = C1 + " + B + "->total; }\n";
+  case 6:
+    return "    addTotal(" + B + ", " + num(K) + ");\n";
+  case 7:
+    return "    { item* p = " + B +
+           "->first; if (p != null && p->next != null) { p->peer = "
+           "p->next->next; } }\n";
+  case 8:
+    return "    { item* t = nth(" + B + "->second, " + num(R.below(3)) +
+           "); if (t != null) { t->vals[" + num(R.below(4)) +
+           "] = t->vals[" + num(R.below(4)) + "] + " + num(K) + "; } }\n";
+  default:
+    return "    C2 = C2 + " + B + "->slots[" + num(R.below(6)) + "];\n";
+  }
+}
+
+/// One statement of the Commute pool: commutative constant-adds to the
+/// fixed shared graph, plus read-only traversals whose results are sunk
+/// into branches that provably never fire (the reads still exercise read
+/// locks and STM read-set validation). The final reachable heap is
+/// therefore identical under every schedule and backend.
+std::string commuteStmt(Rng &R) {
+  std::string B = R.chance(1, 2) ? "H0" : "H1";
+  uint64_t K = 1 + R.below(9);
+  switch (R.below(8)) {
+  case 0:
+    return "    " + B + "->total = " + B + "->total + " + num(K) + ";\n";
+  case 1: {
+    std::string J = num(R.below(6));
+    return "    " + B + "->slots[" + J + "] = " + B + "->slots[" + J +
+           "] + " + num(K) + ";\n";
+  }
+  case 2:
+    return "    { item* t = nth(" + B + "->first, " + num(R.below(4)) +
+           "); if (t != null) { t->a = t->a + " + num(K) + "; } }\n";
+  case 3:
+    return "    addTotal(" + B + ", " + num(K) + ");\n";
+  case 4:
+    return "    { int t = sumChain(" + B +
+           "->first); if (t < 0) { C2 = C2 + 0; } }\n";
+  case 5:
+    return "    { int t = " + B + "->slots[" + num(R.below(6)) +
+           "]; if (t < 0) { C2 = C2 + 0; } }\n";
+  case 6:
+    return "    C0 = C0 + " + num(K) + ";\n";
+  default:
+    return "    { int i = 0; while (i < " + num(1 + R.below(3)) + ") { " +
+           B + "->spare = " + B + "->spare + 1; i = i + 1; } }\n";
+  }
+}
+
+/// One statement of the Stress pool: structural pushes, traversal
+/// writes, cross-links, and branches on shared state. Final heaps are
+/// schedule-dependent; only the stuckness oracle applies.
+std::string stressStmt(Rng &R) {
+  std::string B = R.chance(1, 2) ? "H0" : "H1";
+  uint64_t K = 1 + R.below(9);
+  switch (R.below(11)) {
+  case 0:
+    return "    { item* e = new item; e->a = " + num(K) +
+           "; e->vals = new int[4]; e->next = " + B + "->first; " + B +
+           "->first = e; }\n";
+  case 1:
+    return "    { item* c = " + B +
+           "->first; while (c != null) { c->b = c->b + 1; c = c->next; } "
+           "}\n";
+  case 2:
+    return "    { item* t = nth(" + B + "->first, " + num(R.below(5)) +
+           "); if (t != null) { t->peer = " + B + "->second; } }\n";
+  case 3:
+    return "    " + B + "->slots[C0 % 6] = " + num(K) + ";\n";
+  case 4:
+    return "    { int t = sumChain(" + B + "->second); C1 = C1 + t; }\n";
+  case 5:
+    return "    if (" + B + "->total > 8) { " + B + "->first = " + B +
+           "->second; } else { " + B + "->total = " + B + "->total + 2; "
+           "}\n";
+  case 6:
+    return "    addTotal(" + B + ", " + num(K) + ");\n";
+  case 7:
+    return "    { item* t = " + B +
+           "->first; if (t != null && t->next != null) { t->next->a = " +
+           num(K) + "; } }\n";
+  case 8:
+    return "    { int i = 0; while (i < " + num(1 + R.below(3)) + ") { " +
+           B + "->spare = " + B + "->spare + 1; i = i + 1; } }\n";
+  case 9:
+    return "    " + B + "->slots[" + num(R.below(6)) + "] = " + B +
+           "->slots[" + num(R.below(6)) + "] + 1;\n";
+  default:
+    return "    C0 = C0 + " + num(K) + ";\n";
+  }
+}
+
+std::string workerBody(Rng &R, std::string (*Stmt)(Rng &),
+                       unsigned Rounds) {
+  std::string Out;
+  Out += "  int round = 0;\n";
+  Out += "  while (round < " + num(Rounds) + ") {\n";
+  unsigned Sections = 1 + static_cast<unsigned>(R.below(3));
+  for (unsigned S = 0; S < Sections; ++S) {
+    Out += "  atomic {\n";
+    unsigned Stmts = 1 + static_cast<unsigned>(R.below(3));
+    for (unsigned I = 0; I < Stmts; ++I) {
+      Out += "    {\n";
+      Out += Stmt(R);
+      Out += "    }\n";
+    }
+    Out += "  }\n";
+  }
+  Out += "    round = round + 1;\n";
+  Out += "  }\n";
+  return Out;
+}
+
+std::string generateSeq(Rng &R) {
+  std::string Out = Preamble;
+  Out += "int main() {\n";
+  Out += "  H0 = mkHub(" + num(2 + R.below(3)) + ", " + num(R.below(5)) +
+         ");\n";
+  Out += "  H1 = mkHub(" + num(1 + R.below(3)) + ", " + num(R.below(5)) +
+         ");\n";
+  unsigned Sections = 1 + static_cast<unsigned>(R.below(3));
+  for (unsigned S = 0; S < Sections; ++S) {
+    Out += "  atomic {\n";
+    unsigned Stmts = 3 + static_cast<unsigned>(R.below(5));
+    for (unsigned I = 0; I < Stmts; ++I) {
+      Out += "    {\n";
+      Out += seqStmt(R);
+      Out += "    }\n";
+    }
+    Out += "  }\n";
+    if (R.chance(1, 2))
+      Out += "  C1 = C1 + sumChain(H0->first);\n";
+  }
+  Out += "  return C0 + C1 + C2 + H0->total + H1->total + "
+         "sumChain(H0->first) + sumChain(H1->second);\n";
+  Out += "}\n";
+  return Out;
+}
+
+std::string generateWorkers(Rng &R, std::string (*Stmt)(Rng &),
+                            unsigned MinRounds) {
+  std::string Out = Preamble;
+  unsigned Workers = 2 + static_cast<unsigned>(R.below(2));
+  unsigned Rounds = MinRounds + static_cast<unsigned>(R.below(5));
+  for (unsigned W = 0; W < Workers; ++W) {
+    Out += "void worker" + num(W) + "() {\n";
+    Out += workerBody(R, Stmt, Rounds);
+    Out += "}\n";
+  }
+  Out += "int main() {\n";
+  Out += "  H0 = mkHub(" + num(2 + R.below(3)) + ", " + num(R.below(5)) +
+         ");\n";
+  Out += "  H1 = mkHub(" + num(1 + R.below(3)) + ", " + num(R.below(5)) +
+         ");\n";
+  for (unsigned W = 0; W < Workers; ++W)
+    Out += "  spawn worker" + num(W) + "();\n";
+  Out += "  return 0;\n";
+  Out += "}\n";
+  return Out;
+}
+
+} // namespace
+
+std::string fuzz::generateProgram(const GenOptions &Options) {
+  Rng R(Options.Seed * 0x9e3779b97f4a7c15ULL + Options.Seed +
+        static_cast<uint64_t>(Options.F));
+  switch (Options.F) {
+  case Family::Seq:
+    return generateSeq(R);
+  case Family::Commute:
+    return generateWorkers(R, commuteStmt, /*MinRounds=*/4);
+  case Family::Stress:
+    return generateWorkers(R, stressStmt, /*MinRounds=*/6);
+  case Family::LegacySeq:
+    return generateSequentialProgram(Options.Seed);
+  case Family::LegacyConc:
+    return generateConcurrentProgram(Options.Seed);
+  }
+  assert(false && "unknown family");
+  return {};
+}

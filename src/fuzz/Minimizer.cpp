@@ -1,0 +1,152 @@
+//===--- Minimizer.cpp - Delta-debugging test-case reduction --------------===//
+//
+// Part of the lockin project: lock inference for atomic sections.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Minimizer.h"
+
+#include <algorithm>
+#include <vector>
+
+using namespace lockin;
+using namespace lockin::fuzz;
+
+namespace {
+
+std::vector<std::string> splitLines(const std::string &Source) {
+  std::vector<std::string> Lines;
+  size_t Start = 0;
+  while (Start <= Source.size()) {
+    size_t End = Source.find('\n', Start);
+    if (End == std::string::npos) {
+      if (Start < Source.size())
+        Lines.push_back(Source.substr(Start));
+      break;
+    }
+    Lines.push_back(Source.substr(Start, End - Start));
+    Start = End + 1;
+  }
+  return Lines;
+}
+
+std::string joinLines(const std::vector<std::string> &Lines) {
+  std::string Out;
+  for (const std::string &L : Lines) {
+    Out += L;
+    Out += '\n';
+  }
+  return Out;
+}
+
+/// Drops empty/whitespace-only lines — free shrinkage, no predicate calls.
+std::vector<std::string> dropBlank(const std::vector<std::string> &Lines) {
+  std::vector<std::string> Out;
+  for (const std::string &L : Lines)
+    if (L.find_first_not_of(" \t\r") != std::string::npos)
+      Out.push_back(L);
+  return Out;
+}
+
+} // namespace
+
+std::string fuzz::minimize(const std::string &Source,
+                           const FailurePredicate &StillFails,
+                           unsigned MaxTests, MinimizeStats *Stats) {
+  std::vector<std::string> Best = splitLines(Source);
+  unsigned Tests = 0;
+  if (Stats) {
+    Stats->InitialLines = static_cast<unsigned>(Best.size());
+    Stats->PredicateCalls = 0;
+  }
+
+  auto Try = [&](const std::vector<std::string> &Candidate) {
+    if (Tests >= MaxTests)
+      return false;
+    ++Tests;
+    return StillFails(joinLines(Candidate));
+  };
+
+  // Deletes [Start, Start+Len) when the predicate still holds.
+  auto TryErase = [&](size_t Start, size_t Len) {
+    if (Start + Len > Best.size() || Len >= Best.size())
+      return false;
+    std::vector<std::string> Candidate;
+    Candidate.reserve(Best.size() - Len);
+    Candidate.insert(Candidate.end(), Best.begin(),
+                     Best.begin() + static_cast<long>(Start));
+    Candidate.insert(Candidate.end(),
+                     Best.begin() + static_cast<long>(Start + Len),
+                     Best.end());
+    if (!Try(Candidate))
+      return false;
+    Best = std::move(Candidate);
+    return true;
+  };
+
+  {
+    std::vector<std::string> NoBlank = dropBlank(Best);
+    if (NoBlank.size() < Best.size() && Try(NoBlank))
+      Best = std::move(NoBlank);
+  }
+
+  // Classic ddmin: try removing complements of an n-way partition,
+  // doubling granularity when nothing sticks.
+  auto DdminPass = [&] {
+    bool Any = false;
+    size_t N = 2;
+    while (Best.size() >= 2 && Tests < MaxTests) {
+      bool Reduced = false;
+      size_t Chunk = std::max<size_t>(1, Best.size() / N);
+      for (size_t Start = 0; Start < Best.size() && Tests < MaxTests;
+           Start += Chunk) {
+        if (TryErase(Start, std::min(Chunk, Best.size() - Start))) {
+          N = std::max<size_t>(2, N - 1);
+          Reduced = Any = true;
+          break;
+        }
+      }
+      if (!Reduced) {
+        if (Chunk <= 1)
+          break; // 1-minimal w.r.t. the partition — done
+        N = std::min(Best.size(), N * 2);
+      }
+    }
+    return Any;
+  };
+
+  // Aligned chunks miss multi-line syntactic units (a whole function, a
+  // while/brace pair), so also slide windows of a few sizes over every
+  // offset; single-line deletion is the Size==1 case.
+  auto WindowPass = [&] {
+    bool Any = false;
+    for (size_t Size : {16, 8, 4, 3, 2, 1}) {
+      bool Changed = true;
+      while (Changed && Tests < MaxTests) {
+        Changed = false;
+        for (size_t I = 0; I + Size <= Best.size() && Tests < MaxTests;) {
+          if (Best.size() > Size && TryErase(I, Size))
+            Changed = Any = true;
+          else
+            ++I;
+        }
+      }
+    }
+    return Any;
+  };
+
+  // Alternate the passes to a global fixpoint: windows expose new ddmin
+  // opportunities and vice versa.
+  while (Tests < MaxTests) {
+    bool Any = DdminPass();
+    Any |= WindowPass();
+    if (!Any)
+      break;
+  }
+
+  if (Stats) {
+    Stats->PredicateCalls = Tests;
+    Stats->FinalLines = static_cast<unsigned>(Best.size());
+  }
+  return joinLines(Best);
+}

@@ -1,0 +1,52 @@
+//===--- Minimizer.h - Delta-debugging test-case reduction ------*- C++ -*-===//
+//
+// Part of the lockin project: lock inference for atomic sections.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Line-based delta debugging (Zeller's ddmin) over program text: the
+/// minimizer repeatedly deletes chunks of lines and keeps any candidate
+/// the predicate still flags as failing, converging on a 1-line-minimal
+/// reproducer. Candidates that no longer compile are naturally rejected
+/// because the original oracle failure cannot reproduce on them — the
+/// predicate encodes that, not the minimizer.
+///
+/// The AST is immutable after parsing (lang/Ast.h), so reduction works on
+/// text lines rather than tree nodes; generated programs are one
+/// statement per line, which makes line granularity effectively
+/// statement granularity.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LOCKIN_FUZZ_MINIMIZER_H
+#define LOCKIN_FUZZ_MINIMIZER_H
+
+#include <functional>
+#include <string>
+
+namespace lockin {
+namespace fuzz {
+
+/// Returns true when \p Candidate still exhibits the original failure.
+using FailurePredicate = std::function<bool(const std::string &Candidate)>;
+
+struct MinimizeStats {
+  unsigned PredicateCalls = 0;
+  unsigned InitialLines = 0;
+  unsigned FinalLines = 0;
+};
+
+/// Shrinks \p Source to a smaller program for which \p StillFails holds.
+/// \p Source itself must satisfy the predicate. At most \p MaxTests
+/// predicate evaluations are spent; the best candidate so far is returned
+/// when the budget runs out.
+std::string minimize(const std::string &Source,
+                     const FailurePredicate &StillFails,
+                     unsigned MaxTests = 2500,
+                     MinimizeStats *Stats = nullptr);
+
+} // namespace fuzz
+} // namespace lockin
+
+#endif // LOCKIN_FUZZ_MINIMIZER_H

@@ -1,0 +1,135 @@
+//===--- Mutator.cpp - Token-level mutation for syntax fuzzing ------------===//
+//
+// Part of the lockin project: lock inference for atomic sections.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Mutator.h"
+
+#include "support/Rng.h"
+
+#include <cctype>
+
+using namespace lockin;
+using namespace lockin::fuzz;
+
+std::vector<std::string> fuzz::tokenize(const std::string &Source) {
+  std::vector<std::string> Tokens;
+  size_t I = 0, N = Source.size();
+  auto At = [&](size_t Off) {
+    return I + Off < N ? Source[I + Off] : '\0';
+  };
+  while (I < N) {
+    char Ch = Source[I];
+    if (std::isspace(static_cast<unsigned char>(Ch))) {
+      ++I;
+      continue;
+    }
+    if (Ch == '/' && At(1) == '/') {
+      while (I < N && Source[I] != '\n')
+        ++I;
+      continue;
+    }
+    if (Ch == '/' && At(1) == '*') {
+      I += 2;
+      while (I < N && !(Source[I] == '*' && At(1) == '/'))
+        ++I;
+      I = I < N ? I + 2 : N;
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(Ch)) || Ch == '_') {
+      size_t Start = I;
+      while (I < N && (std::isalnum(static_cast<unsigned char>(Source[I])) ||
+                       Source[I] == '_'))
+        ++I;
+      Tokens.push_back(Source.substr(Start, I - Start));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(Ch))) {
+      size_t Start = I;
+      while (I < N && std::isdigit(static_cast<unsigned char>(Source[I])))
+        ++I;
+      Tokens.push_back(Source.substr(Start, I - Start));
+      continue;
+    }
+    // Multi-character operators the language knows.
+    static const char *Wide[] = {"->", "==", "!=", "<=", ">=", "&&", "||"};
+    bool Matched = false;
+    for (const char *Op : Wide) {
+      if (Ch == Op[0] && At(1) == Op[1]) {
+        Tokens.emplace_back(Op);
+        I += 2;
+        Matched = true;
+        break;
+      }
+    }
+    if (!Matched) {
+      Tokens.push_back(std::string(1, Ch));
+      ++I;
+    }
+  }
+  return Tokens;
+}
+
+std::string fuzz::mutateTokens(const std::string &Source, uint64_t Seed) {
+  Rng R(Seed);
+  std::vector<std::string> Tokens = tokenize(Source);
+  if (Tokens.empty())
+    return "atomic"; // something for the frontend to chew on
+
+  // Tokens worth injecting: every structural keyword and separator the
+  // parser dispatches on, so edits land in interesting grammar states.
+  static const char *Pool[] = {
+      "atomic", "spawn", "struct", "while", "if",  "else", "return", "new",
+      "int",    "null",  "assert", "{",     "}",   "(",    ")",      "[",
+      "]",      ";",     ",",      "*",     "->",  "=",    "==",     "!=",
+      "+",      "-",     "<",      "&&",    "999", "x",
+  };
+  constexpr uint64_t PoolSize = sizeof(Pool) / sizeof(*Pool);
+
+  unsigned Edits = 1 + static_cast<unsigned>(R.below(4));
+  for (unsigned E = 0; E < Edits && !Tokens.empty(); ++E) {
+    uint64_t At = R.below(Tokens.size());
+    switch (R.below(7)) {
+    case 0: // delete
+      Tokens.erase(Tokens.begin() + static_cast<long>(At));
+      break;
+    case 1: // duplicate
+      Tokens.insert(Tokens.begin() + static_cast<long>(At), Tokens[At]);
+      break;
+    case 2: // swap with neighbour
+      if (At + 1 < Tokens.size())
+        std::swap(Tokens[At], Tokens[At + 1]);
+      break;
+    case 3: // replace with another token from the program
+      Tokens[At] = Tokens[R.below(Tokens.size())];
+      break;
+    case 4: // insert from the pool
+      Tokens.insert(Tokens.begin() + static_cast<long>(At),
+                    Pool[R.below(PoolSize)]);
+      break;
+    case 5: // truncate
+      if (At > 0)
+        Tokens.resize(At);
+      break;
+    default: { // splice: drop a middle window
+      uint64_t To = At + R.below(Tokens.size() - At) + 1;
+      Tokens.erase(Tokens.begin() + static_cast<long>(At),
+                   Tokens.begin() + static_cast<long>(
+                                        std::min<uint64_t>(To, Tokens.size())));
+      break;
+    }
+    }
+  }
+  if (Tokens.empty())
+    return ";";
+
+  std::string Out;
+  for (size_t I = 0; I < Tokens.size(); ++I) {
+    if (I)
+      Out += ' ';
+    Out += Tokens[I];
+  }
+  Out += '\n';
+  return Out;
+}

@@ -1,0 +1,42 @@
+//===--- Mutator.h - Token-level mutation for syntax fuzzing ----*- C++ -*-===//
+//
+// Part of the lockin project: lock inference for atomic sections.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The `--mode=syntax` mutator: seeded token-level edits applied to valid
+/// programs (delete / duplicate / swap / replace / insert / truncate /
+/// splice). The output is usually ill-formed on purpose — the oracle is
+/// only that the frontend terminates with diagnose-or-accept semantics:
+/// compile() returns, and a rejected program carries at least one
+/// diagnostic. Crashes, hangs, and silent rejection are the bugs hunted.
+///
+/// A tiny standalone scanner (not lang/Lexer) produces the token spans so
+/// mutation works even on inputs the real lexer would reject.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LOCKIN_FUZZ_MUTATOR_H
+#define LOCKIN_FUZZ_MUTATOR_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lockin {
+namespace fuzz {
+
+/// Splits \p Source into lexical atoms (identifiers, numbers, multi-char
+/// operators, single punctuation), dropping whitespace and comments.
+std::vector<std::string> tokenize(const std::string &Source);
+
+/// Applies 1-4 seeded token-level edits to \p Source and renders the
+/// result (space-separated; the language is whitespace-insensitive).
+/// Deterministic in (Source, Seed).
+std::string mutateTokens(const std::string &Source, uint64_t Seed);
+
+} // namespace fuzz
+} // namespace lockin
+
+#endif // LOCKIN_FUZZ_MUTATOR_H

@@ -10,12 +10,14 @@
 #include "obs/Trace.h"
 #include "support/Rng.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cassert>
-#include <deque>
+#include <array>
 #include <mutex>
 #include <optional>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 using namespace lockin;
@@ -81,6 +83,74 @@ struct HeapObject {
   }
 };
 
+/// Shared state of the STM backend (AtomicMode::Stm): a TL2-style global
+/// version clock and a hashed table of versioned entries, one per
+/// location bucket. Entry layout: bit 0 = latched, bits 63..1 = version.
+/// Every cell access inside a transaction holds the location's latch for
+/// the duration of the (single-cell) access, so concurrent transactions
+/// synchronize through the atomics and the run is TSan-clean; conflicts
+/// are still detected optimistically through the versions.
+struct TxTable {
+  static constexpr unsigned Bits = 16;
+  struct alignas(64) Entry {
+    std::atomic<uint64_t> V{0};
+  };
+  std::vector<Entry> Entries{size_t(1) << Bits};
+  std::atomic<uint64_t> Clock{0};
+
+  std::atomic<uint64_t> &entryFor(uint64_t Packed) {
+    return Entries[(Packed * 0x9e3779b97f4a7c15ULL) >> (64 - Bits)].V;
+  }
+};
+
+/// Append-only object table with lock-free reads: a fixed top-level
+/// array of atomically published fixed-size chunks. References are
+/// stable and operator[] takes no lock, so interpreter threads can
+/// access disjoint objects while another thread allocates. (A deque
+/// cannot do this: its operator[] walks the internal map that push_back
+/// reallocates — a C++-level data race under exactly that pattern, even
+/// when the interpreted program is properly locked.)
+class ObjectTable {
+public:
+  static constexpr uint32_t ChunkBits = 13;
+  static constexpr uint32_t ChunkSize = 1u << ChunkBits;
+  static constexpr uint32_t MaxChunks = 1u << 13;
+
+  ~ObjectTable() {
+    for (std::atomic<HeapObject *> &C : Chunks)
+      delete[] C.load(std::memory_order_relaxed);
+  }
+
+  uint32_t size() const { return Count.load(std::memory_order_acquire); }
+
+  HeapObject &operator[](uint32_t Id) {
+    return Chunks[Id >> ChunkBits].load(
+        std::memory_order_acquire)[Id & (ChunkSize - 1)];
+  }
+
+  /// Appends \p Object; UINT32_MAX when the table is full.
+  uint32_t push(HeapObject &&Object) {
+    std::lock_guard<std::mutex> Lock(Mu);
+    uint32_t Id = Count.load(std::memory_order_relaxed);
+    uint32_t C = Id >> ChunkBits;
+    if (C >= MaxChunks)
+      return UINT32_MAX;
+    HeapObject *Chunk = Chunks[C].load(std::memory_order_relaxed);
+    if (!Chunk) {
+      Chunk = new HeapObject[ChunkSize];
+      Chunks[C].store(Chunk, std::memory_order_release);
+    }
+    Chunk[Id & (ChunkSize - 1)] = std::move(Object);
+    Count.store(Id + 1, std::memory_order_release);
+    return Id;
+  }
+
+private:
+  std::mutex Mu;
+  std::atomic<uint32_t> Count{0};
+  std::array<std::atomic<HeapObject *>, MaxChunks> Chunks{};
+};
+
 struct Shared {
   const IrModule &Module;
   const PointsToAnalysis &PT;
@@ -88,10 +158,23 @@ struct Shared {
   const InterpOptions &Options;
 
   std::unique_ptr<rt::LockRuntime> LockRT;
+  std::unique_ptr<TxTable> Tx; ///< non-null iff Mode == Stm
+  std::atomic<uint64_t> StmCommits{0};
+  std::atomic<uint64_t> StmAborts{0};
 
-  // Object table. deque: stable references under push_back.
-  std::mutex HeapMu;
-  std::deque<HeapObject> Objects;
+  ObjectTable Objects;
+
+  /// Striped guards for physical accesses to shared cells. The VM reads
+  /// lock-path cells before acquiring their locks (the
+  /// evaluate-then-acquire window, closed semantically by revalidation)
+  /// and deliberately runs unprotected programs (AtomicMode::None); both
+  /// race at the interpreted level, which is the §4.2 checker's to
+  /// report. The stripes keep the C++ level race-free, so a
+  /// ThreadSanitizer report on the interpreter is always a real VM bug.
+  std::array<std::mutex, 256> CellStripes;
+  std::mutex &stripeFor(uint64_t Packed) {
+    return CellStripes[(Packed * 0x9e3779b97f4a7c15ULL) >> 56];
+  }
 
   // First error wins; all threads stop.
   std::atomic<bool> Stop{false};
@@ -115,9 +198,10 @@ struct Shared {
   }
 
   uint32_t allocate(HeapObject Object) {
-    std::lock_guard<std::mutex> Lock(HeapMu);
-    Objects.push_back(std::move(Object));
-    return static_cast<uint32_t>(Objects.size() - 1);
+    uint32_t Id = Objects.push(std::move(Object));
+    if (Id == UINT32_MAX)
+      fail("heap exhausted: object table is full");
+    return Id;
   }
 
   HeapObject &object(uint32_t Id) { return Objects[Id]; }
@@ -151,6 +235,11 @@ private:
       return false;
     if (++Steps > S.Options.MaxSteps) {
       S.fail("step limit exceeded (runaway loop?)");
+      return false;
+    }
+    if ((Steps & 0xFFF) == 0 && S.Options.CancelFlag &&
+        S.Options.CancelFlag->load(std::memory_order_acquire)) {
+      S.fail("canceled");
       return false;
     }
     if constexpr (obs::kEnabled) {
@@ -206,9 +295,14 @@ private:
       S.fail("out-of-bounds read");
       return std::nullopt;
     }
+    if (InTx && !txLocal(L.Object))
+      return txRead(L, Obj);
     if (Check && !checkAccess(L, /*IsWrite=*/false))
       return std::nullopt;
     maybeYield();
+    if (!Obj.checkable(L.Offset))
+      return Obj.Cells[L.Offset]; // thread-private frame cell
+    std::lock_guard<std::mutex> Guard(S.stripeFor(L.packed()));
     return Obj.Cells[L.Offset];
   }
 
@@ -218,11 +312,190 @@ private:
       S.fail("out-of-bounds write");
       return false;
     }
+    if (InTx && !txLocal(L.Object)) {
+      maybeYield();
+      TxWrites[L.packed()] = V;
+      return true;
+    }
     if (Check && !checkAccess(L, /*IsWrite=*/true))
       return false;
     maybeYield();
+    if (!Obj.checkable(L.Offset)) {
+      Obj.Cells[L.Offset] = V; // thread-private frame cell
+      return true;
+    }
+    std::lock_guard<std::mutex> Guard(S.stripeFor(L.packed()));
     Obj.Cells[L.Offset] = V;
     return true;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // STM backend (AtomicMode::Stm)
+  //===--------------------------------------------------------------------===//
+
+  bool txLocal(uint32_t Object) const {
+    for (uint32_t Id : TxAllocs)
+      if (Id == Object)
+        return true;
+    return false;
+  }
+
+  /// Spins until \p E is latched by this thread; \p V receives the
+  /// pre-latch (even) word. Fails only on a global stop.
+  bool latchEntry(std::atomic<uint64_t> &E, uint64_t &V) {
+    for (uint64_t Spin = 0;; ++Spin) {
+      V = E.load(std::memory_order_acquire);
+      if ((V & 1) == 0 &&
+          E.compare_exchange_weak(V, V | 1, std::memory_order_acq_rel))
+        return true;
+      if ((Spin & 0x3FF) == 0 &&
+          S.Stop.load(std::memory_order_acquire))
+        return false;
+      std::this_thread::yield();
+    }
+  }
+
+  /// Transactional load: read-own-writes, then a latched validated read.
+  /// Aborts (TxFailed) when the location changed after this
+  /// transaction's read version — the TL2 opacity rule, so every
+  /// snapshot the body observes is consistent.
+  std::optional<Value> txRead(Loc L, HeapObject &Obj) {
+    if (auto It = TxWrites.find(L.packed()); It != TxWrites.end())
+      return It->second;
+    std::atomic<uint64_t> &E = S.Tx->entryFor(L.packed());
+    uint64_t V;
+    if (!latchEntry(E, V))
+      return std::nullopt; // stopping; propagate as Stopped
+    if ((V >> 1) > TxRV) {
+      E.store(V, std::memory_order_release);
+      TxFailed = true;
+      return std::nullopt;
+    }
+    maybeYield();
+    Value Val;
+    {
+      std::lock_guard<std::mutex> Guard(S.stripeFor(L.packed()));
+      Val = Obj.Cells[L.Offset];
+    }
+    E.store(V, std::memory_order_release);
+    TxReadLog.emplace_back(&E, V);
+    return Val;
+  }
+
+  void txBegin() {
+    InTx = true;
+    TxFailed = false;
+    TxWrites.clear();
+    TxReadLog.clear();
+    TxAllocs.clear();
+    TxRV = S.Tx->Clock.load(std::memory_order_acquire);
+  }
+
+  void txReset() {
+    InTx = false;
+    TxFailed = false;
+    TxWrites.clear();
+    TxReadLog.clear();
+    TxAllocs.clear();
+  }
+
+  /// Commit-time locking and validation: latch the write set's entries
+  /// in a canonical order, re-validate every logged read, then apply the
+  /// buffered writes and publish a fresh version.
+  bool txCommit() {
+    if (TxWrites.empty())
+      return true; // per-read validation suffices for read-only bodies
+    std::vector<std::atomic<uint64_t> *> ToLatch;
+    ToLatch.reserve(TxWrites.size());
+    for (const auto &[Packed, Val] : TxWrites) {
+      std::atomic<uint64_t> *E = &S.Tx->entryFor(Packed);
+      if (std::find(ToLatch.begin(), ToLatch.end(), E) == ToLatch.end())
+        ToLatch.push_back(E);
+    }
+    std::sort(ToLatch.begin(), ToLatch.end());
+    std::vector<uint64_t> PreVersions(ToLatch.size());
+    auto UnlatchAll = [&](size_t Count) {
+      for (size_t I = 0; I < Count; ++I)
+        ToLatch[I]->store(PreVersions[I], std::memory_order_release);
+    };
+    for (size_t I = 0; I < ToLatch.size(); ++I) {
+      // Bounded try-latch: a busy entry means a concurrent commit or
+      // reader; give it a moment, then abort rather than risk deadlock.
+      bool Latched = false;
+      for (unsigned Spin = 0; Spin < 4096; ++Spin) {
+        uint64_t V = ToLatch[I]->load(std::memory_order_acquire);
+        if ((V & 1) == 0 && ToLatch[I]->compare_exchange_weak(
+                                V, V | 1, std::memory_order_acq_rel)) {
+          PreVersions[I] = V;
+          Latched = true;
+          break;
+        }
+        std::this_thread::yield();
+      }
+      if (!Latched) {
+        UnlatchAll(I);
+        return false;
+      }
+    }
+    // Validate the read log. Entries we latched ourselves compare by
+    // version; foreign entries must be unlatched and unchanged.
+    for (const auto &[E, Seen] : TxReadLog) {
+      auto It = std::find(ToLatch.begin(), ToLatch.end(), E);
+      bool Ok = false;
+      if (It != ToLatch.end()) {
+        Ok = PreVersions[static_cast<size_t>(It - ToLatch.begin())] == Seen;
+      } else {
+        for (unsigned Spin = 0; Spin < 4096 && !Ok; ++Spin) {
+          uint64_t Cur = E->load(std::memory_order_acquire);
+          if ((Cur & 1) == 0) {
+            Ok = Cur == Seen;
+            break;
+          }
+          std::this_thread::yield();
+        }
+      }
+      if (!Ok) {
+        UnlatchAll(ToLatch.size());
+        return false;
+      }
+    }
+    uint64_t WV = S.Tx->Clock.fetch_add(1, std::memory_order_acq_rel) + 1;
+    for (const auto &[Packed, Val] : TxWrites) {
+      Loc L{static_cast<uint32_t>(Packed >> 32),
+            static_cast<uint32_t>(Packed)};
+      std::lock_guard<std::mutex> Guard(S.stripeFor(Packed));
+      S.object(L.Object).Cells[L.Offset] = Val;
+    }
+    for (std::atomic<uint64_t> *E : ToLatch)
+      E->store(WV << 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Runs \p A as a closed transaction: speculative execution of the
+  /// body with buffered writes, retried until a commit succeeds.
+  Flow execAtomicStm(const Frame &Fr, const AtomicIrStmt *A) {
+    if (InTx) // flattened nesting: the outer transaction covers it
+      return execStmt(Fr, A->body());
+    for (unsigned Attempt = 0; Attempt < 100'000; ++Attempt) {
+      txBegin();
+      Flow F = execStmt(Fr, A->body());
+      if (TxFailed || (F != Flow::Stopped && !txCommit())) {
+        txReset();
+        S.StmAborts.fetch_add(1, std::memory_order_relaxed);
+        if (S.Stop.load(std::memory_order_acquire))
+          return Flow::Stopped;
+        for (unsigned Spin = 0;
+             Spin < (1u << (Attempt > 10 ? 10 : Attempt)); ++Spin)
+          std::this_thread::yield();
+        continue;
+      }
+      txReset();
+      if (F != Flow::Stopped)
+        S.StmCommits.fetch_add(1, std::memory_order_relaxed);
+      return F;
+    }
+    S.fail("stm livelock: section never committed");
+    return Flow::Stopped;
   }
 
   std::optional<Value> readVar(const Frame &Fr, const Variable *V) {
@@ -256,6 +529,16 @@ private:
   /// Objects allocated by this thread inside the current outermost
   /// section; cleared at releaseAll.
   std::vector<uint32_t> SectionAllocs;
+
+  // STM transaction state (AtomicMode::Stm).
+  bool InTx = false;
+  bool TxFailed = false;
+  uint64_t TxRV = 0;
+  std::unordered_map<uint64_t, Value> TxWrites;
+  std::vector<std::pair<std::atomic<uint64_t> *, uint64_t>> TxReadLog;
+  /// Objects (including frames) created by the running transaction:
+  /// invisible to other threads, accessed directly.
+  std::vector<uint32_t> TxAllocs;
 };
 
 std::optional<int64_t> ThreadExec::evalIdx(const Frame &Fr,
@@ -366,6 +649,9 @@ bool ThreadExec::enterSection(const Frame &Fr, const AtomicIrStmt *A) {
   case AtomicMode::GlobalLock:
     LockCtx.toAcquire(rt::LockDescriptor::global());
     LockCtx.acquireAll();
+    return true;
+  case AtomicMode::Stm:
+    assert(false && "STM sections are handled by execAtomicStm");
     return true;
   case AtomicMode::Inferred:
     break;
@@ -521,8 +807,12 @@ Flow ThreadExec::execInst(const Frame &Fr, const InstStmt *St) {
       Obj.Cells[I] = IntCell ? Value::ofInt(0) : Value::null();
     }
     uint32_t Id = S.allocate(std::move(Obj));
+    if (Id == UINT32_MAX)
+      return Flow::Stopped;
     if (LockCtx.insideAtomic())
       SectionAllocs.push_back(Id);
+    if (InTx)
+      TxAllocs.push_back(Id);
     return Put(A->def(), Value::ofLoc(Loc{Id, 0})) ? Flow::Normal
                                                    : Flow::Stopped;
   }
@@ -670,6 +960,8 @@ Flow ThreadExec::execStmt(const Frame &Fr, const IrStmt *St) {
   }
   case IrStmt::Kind::Atomic: {
     const auto *A = cast<AtomicIrStmt>(St);
+    if (S.Options.Mode == AtomicMode::Stm)
+      return execAtomicStm(Fr, A);
     uint64_t SpanT0 = 0;
     if constexpr (obs::kEnabled) {
       if (!LockCtx.insideAtomic() && obs::tracer().enabled())
@@ -704,6 +996,11 @@ Flow ThreadExec::execStmt(const Frame &Fr, const IrStmt *St) {
   }
   case IrStmt::Kind::Spawn: {
     const auto *Sp = cast<SpawnIrStmt>(St);
+    if (InTx) {
+      // Thread creation cannot be rolled back on abort.
+      S.fail("spawn reached inside a transactional section");
+      return Flow::Stopped;
+    }
     std::vector<Value> Args;
     for (const Variable *Arg : Sp->args()) {
       std::optional<Value> V = readVar(Fr, Arg);
@@ -752,6 +1049,10 @@ Flow ThreadExec::callFunction(const IrFunction *F,
         V->type()->isInt() ? Value::ofInt(0) : Value::null();
   }
   Frame Fr{F, S.allocate(std::move(FrameObj))};
+  if (Fr.ObjectId == UINT32_MAX)
+    return Flow::Stopped;
+  if (InTx)
+    TxAllocs.push_back(Fr.ObjectId);
   for (size_t I = 0; I < Args.size(); ++I)
     S.object(Fr.ObjectId).Cells[F->param(static_cast<unsigned>(I))->id()] =
         Args[I];
@@ -786,6 +1087,8 @@ InterpResult lockin::interpret(const IrModule &Module,
 
   Shared S{Module, PT, Inference, Options};
   S.LockRT = std::make_unique<rt::LockRuntime>(PT.numRegions());
+  if (Options.Mode == AtomicMode::Stm)
+    S.Tx = std::make_unique<TxTable>();
 
   // Object 0: the globals block.
   HeapObject GlobalsObj;
@@ -801,7 +1104,7 @@ InterpResult lockin::interpret(const IrModule &Module,
     else
       GlobalsObj.Cells[G->id()] = Value::null();
   }
-  S.Objects.push_back(std::move(GlobalsObj));
+  S.Objects.push(std::move(GlobalsObj));
 
   {
     ThreadExec MainExec(S, Options.YieldSeed);
@@ -831,6 +1134,51 @@ InterpResult lockin::interpret(const IrModule &Module,
 
   Result.TotalSteps = S.TotalSteps.load();
   Result.ProtectionChecks = S.ProtectionChecks.load();
+  Result.StmCommits = S.StmCommits.load();
+  Result.StmAborts = S.StmAborts.load();
+
+  if (Options.FingerprintHeap && S.Error.empty()) {
+    // Canonical walk of the heap reachable from the globals block:
+    // objects are numbered in first-visit order, so the hash is
+    // independent of allocation order (and of garbage left behind by
+    // aborted transactions or dead temporaries).
+    std::vector<uint32_t> CanonId(S.Objects.size(), UINT32_MAX);
+    std::vector<uint32_t> Order;
+    CanonId[0] = 0;
+    Order.push_back(0);
+    uint64_t H = 0xcbf29ce484222325ULL;
+    auto Mix = [&H](uint64_t X) {
+      H ^= X;
+      H *= 0x100000001b3ULL;
+      H ^= H >> 29;
+    };
+    for (size_t I = 0; I < Order.size(); ++I) {
+      HeapObject &Obj = S.Objects[Order[I]];
+      Mix(Obj.Cells.size());
+      for (const Value &V : Obj.Cells) {
+        switch (V.K) {
+        case Value::Kind::Null:
+          Mix(0x6e);
+          break;
+        case Value::Kind::Int:
+          Mix(0x17);
+          Mix(static_cast<uint64_t>(V.Int));
+          break;
+        case Value::Kind::Location:
+          if (CanonId[V.L.Object] == UINT32_MAX) {
+            CanonId[V.L.Object] = static_cast<uint32_t>(Order.size());
+            Order.push_back(V.L.Object);
+          }
+          Mix(0x70);
+          Mix(CanonId[V.L.Object]);
+          Mix(V.L.Offset);
+          break;
+        }
+      }
+    }
+    Result.HeapFingerprint = H;
+    Result.HeapObjects = static_cast<uint32_t>(Order.size());
+  }
   if constexpr (obs::kEnabled) {
     obs::MetricsRegistry &Reg = S.LockRT->registry();
     Reg.counter("interp.total_steps").add(Result.TotalSteps);

@@ -32,13 +32,21 @@
 #include "pointsto/Steensgaard.h"
 #include "runtime/LockRuntime.h"
 
+#include <atomic>
 #include <memory>
 #include <string>
 
 namespace lockin {
 
 /// How atomic sections are protected during execution.
-enum class AtomicMode { None, GlobalLock, Inferred };
+///
+/// Stm runs sections as TL2-style transactions instead of lock
+/// acquisitions: reads are validated against a global version clock,
+/// writes are buffered and applied at commit under per-location
+/// versioned latches, and conflicting sections abort and retry. It is
+/// the differential fuzzer's third execution backend; the §4.2
+/// protection checking does not apply to it (there are no held locks).
+enum class AtomicMode { None, GlobalLock, Inferred, Stm };
 
 struct InterpOptions {
   AtomicMode Mode = AtomicMode::Inferred;
@@ -53,6 +61,16 @@ struct InterpOptions {
   uint64_t YieldSeed = 1;
   /// Per-thread step budget; exceeding it fails the run (runaway loop).
   uint64_t MaxSteps = 50'000'000;
+  /// Cooperative cancellation: when non-null and set, the run stops with
+  /// a "canceled" error. Watchdogs that abandon a hung run set this so
+  /// the orphaned threads wind down instead of executing to the step
+  /// limit (threads parked in a genuine lock deadlock stay parked).
+  const std::atomic<bool> *CancelFlag = nullptr;
+  /// Compute InterpResult::HeapFingerprint after the run: a canonical
+  /// hash of the heap reachable from the globals (garbage excluded, so
+  /// aborted STM attempts don't perturb it). The differential oracles
+  /// compare it across protection backends.
+  bool FingerprintHeap = false;
 };
 
 struct InterpResult {
@@ -64,6 +82,15 @@ struct InterpResult {
   int64_t MainResult = 0;
   uint64_t TotalSteps = 0;
   uint64_t ProtectionChecks = 0;
+  /// Canonical hash of the reachable final heap (with
+  /// InterpOptions::FingerprintHeap); identical programs under any sound
+  /// protection regime must agree on it.
+  uint64_t HeapFingerprint = 0;
+  /// Objects visited by the fingerprint walk.
+  uint32_t HeapObjects = 0;
+  /// STM backend counters (AtomicMode::Stm only).
+  uint64_t StmCommits = 0;
+  uint64_t StmAborts = 0;
 };
 
 /// Executes \p Module starting at \p MainFunction ("main" by default).

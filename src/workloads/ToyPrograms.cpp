@@ -981,3 +981,10 @@ std::string lockin::workloads::generateSyntheticSpec(unsigned TargetKloc,
   Out += "}\n";
   return Out;
 }
+
+std::vector<std::string> workloads::syntaxSeedSources() {
+  std::vector<std::string> Sources;
+  for (const ToyProgram &P : concurrentToyPrograms())
+    Sources.push_back(P.Source);
+  return Sources;
+}

@@ -46,6 +46,11 @@ const ToyProgram &toyProgram(const std::string &Name);
 /// paper treats the SPEC programs. Deterministic in (TargetKloc, Seed).
 std::string generateSyntheticSpec(unsigned TargetKloc, uint64_t Seed);
 
+/// Built-in valid programs seeding the syntax fuzzer's token mutator
+/// (fuzz/Mutator.h): the concurrent benchmark sources, available without
+/// any on-disk example files.
+std::vector<std::string> syntaxSeedSources();
+
 } // namespace workloads
 } // namespace lockin
 

@@ -39,6 +39,19 @@ inline std::string sectionLocks(Compilation &C, uint32_t Id) {
   return C.inference().sectionLocks(Id).str();
 }
 
+/// One-line `lockin-fuzz` command reproducing a failure on a generated
+/// program outside the test harness. Appended to failure messages of the
+/// generator-driven property tests so a red test is directly actionable.
+inline std::string fuzzRepro(const char *Family, uint64_t Seed, unsigned K,
+                             uint64_t YieldSeed = 0) {
+  std::string Cmd = "lockin-fuzz --family=" + std::string(Family) +
+                    " --seed=" + std::to_string(Seed) +
+                    " --k=" + std::to_string(K);
+  if (YieldSeed)
+    Cmd += " --yield-seed=" + std::to_string(YieldSeed);
+  return "\nreproduce: " + Cmd;
+}
+
 } // namespace test
 } // namespace lockin
 

@@ -14,9 +14,9 @@
 
 #include "TestUtil.h"
 
+#include "fuzz/Generator.h"
 #include "lang/AstPrinter.h"
 #include "lang/Parser.h"
-#include "support/Rng.h"
 #include "workloads/ToyPrograms.h"
 
 using namespace lockin;
@@ -25,71 +25,11 @@ using namespace lockin::workloads;
 
 namespace {
 
-/// A compact generator of small single-threaded programs exercising
-/// assignments, stores, loads, field/array addressing, allocation,
-/// branches, loops, and calls inside one atomic section. Distinct from
-/// the concurrent generator in test_soundness.cpp: these programs run
-/// deterministically, so results can be compared across configurations.
-std::string generateSequentialProgram(uint64_t Seed) {
-  Rng R(Seed);
-  std::string Out = R"(
-struct cell { cell* next; int* data; int v; };
-cell* g;
-int gsum;
-cell* mk(int v) {
-  cell* c = new cell;
-  c->v = v;
-  c->data = new int[4];
-  return c;
-}
-int tally(cell* c) {
-  int s = 0;
-  while (c != null) { s = s + c->v; c = c->next; }
-  return s;
-}
-)";
-  Out += "int main() {\n";
-  Out += "  g = mk(1);\n";
-  Out += "  g->next = mk(2);\n";
-  Out += "  int acc = 0;\n";
-  Out += "  atomic {\n";
-  unsigned Stmts = 3 + static_cast<unsigned>(R.below(5));
-  for (unsigned I = 0; I < Stmts; ++I) {
-    switch (R.below(7)) {
-    case 0:
-      Out += "    g->v = g->v + " + std::to_string(R.below(9)) + ";\n";
-      break;
-    case 1:
-      Out += "    { cell* t = g->next; if (t != null) { t->v = " +
-             std::to_string(R.below(9)) + "; } }\n";
-      break;
-    case 2:
-      Out += "    gsum = gsum + tally(g);\n";
-      break;
-    case 3:
-      Out += "    { cell* f = mk(" + std::to_string(R.below(9)) +
-             "); f->next = g; g = f; }\n";
-      break;
-    case 4:
-      Out += "    g->data[" + std::to_string(R.below(4)) + "] = " +
-             std::to_string(R.below(99)) + ";\n";
-      break;
-    case 5:
-      Out += "    { int i = 0; while (i < " + std::to_string(1 + R.below(4)) +
-             ") { gsum = gsum + 1; i = i + 1; } }\n";
-      break;
-    default:
-      Out += "    if (gsum % 2 == 0) { g->v = 0; } else { gsum = gsum + "
-             "g->v; }\n";
-      break;
-    }
-  }
-  Out += "  }\n";
-  Out += "  acc = gsum + tally(g);\n";
-  Out += "  return acc;\n";
-  Out += "}\n";
-  return Out;
-}
+/// The sequential program generator now lives in the shared fuzzing
+/// library (fuzz/Generator.h) so the differential fuzzer and these
+/// property sweeps draw from one grammar; byte-identical output per seed
+/// is asserted in test_fuzz.cpp, keeping this file's seed ranges stable.
+using fuzz::generateSequentialProgram;
 
 class SequentialSweep : public ::testing::TestWithParam<uint64_t> {};
 
@@ -111,7 +51,8 @@ TEST_P(SequentialSweep, ResultIndependentOfProtection) {
     InterpOptions Options;
     Options.Mode = Cfg.Mode;
     InterpResult R = C->run(Options);
-    ASSERT_TRUE(R.Ok) << "seed " << GetParam() << ": " << R.Error;
+    ASSERT_TRUE(R.Ok) << "seed " << GetParam() << ": " << R.Error
+                      << fuzzRepro("legacy-seq", GetParam(), Cfg.K);
     if (First) {
       Expected = R.MainResult;
       First = false;

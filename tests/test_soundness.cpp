@@ -16,108 +16,20 @@
 
 #include "TestUtil.h"
 
-#include "support/Rng.h"
+#include "fuzz/Generator.h"
 
 using namespace lockin;
 using namespace lockin::test;
 
 namespace {
 
-/// Generates a random concurrent program over a fixed shape: shared
-/// linked structures and counters, 2 worker threads executing randomly
-/// composed atomic sections built from a pool of statement templates that
-/// exercise copies, loads, stores, field addressing, array indexing,
-/// allocation, calls, branches, and loops.
+/// The concurrent program generator now lives in the shared fuzzing
+/// library (fuzz/Generator.h, family "legacy-conc") so the differential
+/// fuzzer and these property tests draw from one grammar; byte-identical
+/// output per seed is asserted in test_fuzz.cpp, keeping the seed ranges
+/// below stable.
 std::string generateProgram(uint64_t Seed) {
-  Rng R(Seed);
-  std::string Out = R"(
-struct node { node* next; int* slot; int v; };
-struct bag { node* head; int* arr; int n; };
-bag* B0;
-bag* B1;
-int G0;
-int G1;
-int helperBump(bag* b, int d) {
-  atomic { b->n = b->n + d; }
-  return d;
-}
-node* helperFind(bag* b, int key) {
-  node* cur = b->head;
-  while (cur != null && cur->v != key) cur = cur->next;
-  return cur;
-}
-)";
-
-  // A pool of statement templates; %B is a random bag, %K a random
-  // constant, %G a random int global.
-  const char *Templates[] = {
-      "    %B->n = %B->n + %K;\n",
-      "    node* f = new node; f->v = %K; f->next = %B->head; "
-      "%B->head = f;\n",
-      "    node* c = %B->head; while (c != null) { c->v = c->v + 1; "
-      "c = c->next; }\n",
-      "    node* c = helperFind(%B, %K); if (c != null) { c->v = 0; }\n",
-      "    %G = %G + %K;\n",
-      "    if (%G > 10) { %B->arr[%G % 8] = %K; } else { %G = %G + 1; }\n",
-      "    %B->arr[%K % 8] = %B->arr[(%K + 1) % 8] + 1;\n",
-      "    int t = helperBump(%B, 1); %G = %G + t;\n",
-      "    node* c = %B->head; if (c != null && c->next != null) "
-      "{ c->next->v = %K; }\n",
-      "    int* s = %B->arr; s[%K % 8] = s[%K % 8] + 1;\n",
-  };
-  constexpr unsigned NumTemplates = sizeof(Templates) / sizeof(*Templates);
-
-  auto Instantiate = [&](const char *Template) {
-    std::string Text = Template;
-    auto ReplaceAll = [&](const std::string &From, const std::string &To) {
-      size_t Pos = 0;
-      while ((Pos = Text.find(From, Pos)) != std::string::npos) {
-        Text.replace(Pos, From.size(), To);
-        Pos += To.size();
-      }
-    };
-    ReplaceAll("%B", R.chance(1, 2) ? "B0" : "B1");
-    ReplaceAll("%G", R.chance(1, 2) ? "G0" : "G1");
-    ReplaceAll("%K", std::to_string(R.below(16)));
-    return Text;
-  };
-
-  // Two worker functions with 2-3 atomic sections each.
-  for (unsigned W = 0; W < 2; ++W) {
-    Out += "void worker" + std::to_string(W) + "() {\n";
-    Out += "  int round = 0;\n";
-    Out += "  while (round < 12) {\n";
-    unsigned Sections = 2 + static_cast<unsigned>(R.below(2));
-    for (unsigned S = 0; S < Sections; ++S) {
-      Out += "  atomic {\n";
-      unsigned Stmts = 1 + static_cast<unsigned>(R.below(3));
-      for (unsigned I = 0; I < Stmts; ++I) {
-        // Each template in its own block: local names stay independent.
-        Out += "    {\n";
-        Out += Instantiate(Templates[R.below(NumTemplates)]);
-        Out += "    }\n";
-      }
-      Out += "  }\n";
-    }
-    Out += "    round = round + 1;\n";
-    Out += "  }\n";
-    Out += "}\n";
-  }
-
-  Out += R"(
-int main() {
-  B0 = new bag;
-  B0->arr = new int[8];
-  B1 = new bag;
-  B1->arr = new int[8];
-  node* seed0 = new node; seed0->v = 1; B0->head = seed0;
-  node* seed1 = new node; seed1->v = 2; B1->head = seed1;
-  spawn worker0();
-  spawn worker1();
-  return 0;
-}
-)";
-  return Out;
+  return fuzz::generateConcurrentProgram(Seed);
 }
 
 class SoundnessTest : public ::testing::TestWithParam<uint64_t> {};
@@ -134,7 +46,8 @@ TEST_P(SoundnessTest, TransformedProgramsNeverGetStuck) {
     InterpResult R = C->run(Options);
     EXPECT_TRUE(R.Ok) << "seed " << Seed << " k=" << K << ": " << R.Error
                       << "\nlocks: "
-                      << C->inference().sectionLocks(0).str();
+                      << C->inference().sectionLocks(0).str()
+                      << fuzzRepro("legacy-conc", Seed, K, Options.YieldSeed);
   }
 }
 
@@ -164,7 +77,8 @@ TEST(Soundness, GlobalLockAlwaysSound) {
     InterpOptions Options;
     Options.Mode = AtomicMode::GlobalLock;
     InterpResult R = C->run(Options);
-    EXPECT_TRUE(R.Ok) << "seed " << Seed << ": " << R.Error;
+    EXPECT_TRUE(R.Ok) << "seed " << Seed << ": " << R.Error
+                      << fuzzRepro("legacy-conc", Seed, 3);
   }
 }
 
