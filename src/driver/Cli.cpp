@@ -52,6 +52,15 @@ const OptionSpec Options[] = {
     {nullptr, "--global-lock", nullptr,
      "run with one global lock instead of the inferred locks",
      [](CliOptions &O, const char *) { return O.GlobalLock = true; }},
+    {nullptr, "--adaptive", nullptr,
+     "run with the contention-adaptive hybrid runtime (RW biasing, "
+     "striped escalation, STM migration)",
+     [](CliOptions &O, const char *) { return O.Adaptive = true; }},
+    {nullptr, "--adaptive-epoch-ms", "N",
+     "policy epoch period for --adaptive in ms (default 50)",
+     [](CliOptions &O, const char *V) {
+       return parseUnsigned(V, O.AdaptiveEpochMs);
+     }},
     {nullptr, "--quiet", nullptr, "suppress the transformed-program report",
      [](CliOptions &O, const char *) { return O.Quiet = true; }},
     {nullptr, "--time-passes", nullptr,

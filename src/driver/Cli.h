@@ -27,6 +27,10 @@ struct CliOptions {
   unsigned Jobs = 0;
   bool Run = false;
   bool GlobalLock = false;
+  /// Contention-adaptive hybrid runtime during --run: start on the
+  /// inferred locks, let the policy engine rebias/stripe/migrate.
+  bool Adaptive = false;
+  unsigned AdaptiveEpochMs = 50; ///< policy epoch period for --adaptive
   bool Quiet = false;
   bool TimePasses = false;
   bool Stats = false;

@@ -41,8 +41,10 @@ int tool::runAnalysis(const cli::CliOptions &Opts, const std::string &Source,
 
   if (Opts.Run) {
     InterpOptions RunOptions;
-    RunOptions.Mode =
-        Opts.GlobalLock ? AtomicMode::GlobalLock : AtomicMode::Inferred;
+    RunOptions.Mode = Opts.Adaptive  ? AtomicMode::Adaptive
+                      : Opts.GlobalLock ? AtomicMode::GlobalLock
+                                        : AtomicMode::Inferred;
+    RunOptions.AdaptiveEpochMs = Opts.Adaptive ? Opts.AdaptiveEpochMs : 0;
     RunOptions.InjectYields = Opts.InjectYields;
     RunOptions.YieldSeed = Opts.YieldSeed;
     InterpResult Result = C->run(RunOptions);

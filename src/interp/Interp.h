@@ -46,7 +46,14 @@ namespace lockin {
 /// versioned latches, and conflicting sections abort and retry. It is
 /// the differential fuzzer's third execution backend; the §4.2
 /// protection checking does not apply to it (there are no held locks).
-enum class AtomicMode { None, GlobalLock, Inferred, Stm };
+///
+/// Adaptive starts every section on the Inferred lock backend (GlobalLock
+/// when no inference is supplied) and lets the contention-adaptive policy
+/// engine migrate migration domains — groups of sections closed under
+/// potential data overlap — between the lock and STM backends at run
+/// time, through a drain gate that keeps the two regimes from ever
+/// overlapping on the same domain (see DESIGN.md "Adaptive runtime").
+enum class AtomicMode { None, GlobalLock, Inferred, Stm, Adaptive };
 
 struct InterpOptions {
   AtomicMode Mode = AtomicMode::Inferred;
@@ -71,6 +78,17 @@ struct InterpOptions {
   /// aborted STM attempts don't perturb it). The differential oracles
   /// compare it across protection backends.
   bool FingerprintHeap = false;
+  /// AtomicMode::Adaptive: per-thread sections between count-based policy
+  /// epochs (the interpreter has no wall clock worth trusting in tests;
+  /// the CLI driver layers wall-clock epochs on top via AdaptiveEpochMs).
+  uint32_t AdaptiveEveryN = 64;
+  /// AtomicMode::Adaptive: wall-clock policy epoch period in ms; 0 runs
+  /// count-based epochs only.
+  unsigned AdaptiveEpochMs = 0;
+  /// AtomicMode::Adaptive stress knob (differential fuzzer): flip every
+  /// migration domain's backend every epoch instead of following the
+  /// contention policy, maximizing mid-run migrations.
+  bool AdaptiveForceFlip = false;
 };
 
 struct InterpResult {

@@ -53,6 +53,7 @@ void LockProfiler::reset() {
       M.reset();
     S->WaitNs.reset();
     S->HoldNs.reset();
+    S->ContenderMask.store(0, std::memory_order_relaxed);
   }
   uint32_t MaxSec = MaxSectionId.load(std::memory_order_relaxed);
   for (uint32_t Id = 0; Id <= MaxSec; ++Id) {
@@ -65,6 +66,8 @@ void LockProfiler::reset() {
     S->Nodes.reset();
     for (Counter &M : S->ModeCounts)
       M.reset();
+    S->WaitNs.reset();
+    S->HoldNs.reset();
   }
 }
 
@@ -80,6 +83,10 @@ void describeNode(char *Buf, size_t N, const LockNodeInfo &Info) {
     break;
   case LockNodeInfo::Kind::Leaf:
     std::snprintf(Buf, N, "leaf r%" PRIu32 " 0x%" PRIx64, Info.Region,
+                  Info.Address);
+    break;
+  case LockNodeInfo::Kind::Stripe:
+    std::snprintf(Buf, N, "stripe r%" PRIu32 " #%" PRIu64, Info.Region,
                   Info.Address);
     break;
   }

@@ -42,9 +42,11 @@ namespace obs {
 /// 1-in-N section sampling for timed instrumentation (see file comment).
 inline constexpr unsigned kSampleEvery = 128;
 
-/// What a registered lock node is, for rendering.
+/// What a registered lock node is, for rendering. Stripe nodes are the
+/// cache-line-padded shards of an escalated region (Address = stripe
+/// index, not a memory address).
 struct LockNodeInfo {
-  enum class Kind : uint8_t { Root, Region, Leaf };
+  enum class Kind : uint8_t { Root, Region, Leaf, Stripe };
   Kind K = Kind::Root;
   uint32_t Region = 0;
   uint64_t Address = 0;
@@ -56,6 +58,10 @@ struct NodeSlot {
   Counter ModeCounts[5];   ///< sampled grant mode mix, weight-corrected
   Histogram WaitNs;        ///< parked waits, exact
   Histogram HoldNs;        ///< sampled acquire-to-release times
+  /// Hashed-thread-id bitmap of parked waiters; popcount estimates the
+  /// distinct contender count (the adaptive engine sizes stripe tables
+  /// from it, and clears it after reading).
+  std::atomic<uint64_t> ContenderMask{0};
 };
 
 struct SectionSlot {
@@ -64,6 +70,8 @@ struct SectionSlot {
   Counter Locks;         ///< descriptors protected, summed over entries
   Counter Nodes;         ///< hierarchy nodes acquired, summed over entries
   Counter ModeCounts[5]; ///< grant mode mix, summed over entries
+  Counter WaitNs;        ///< parked ns summed over entries, exact
+  Counter HoldNs;        ///< section hold ns, sampled weight-corrected
 };
 
 class LockProfiler {

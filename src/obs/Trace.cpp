@@ -209,6 +209,19 @@ void Tracer::writeChromeJson(std::ostream &OS) const {
         Name = "sim-abort";
         Args = "{}";
         break;
+      case EventKind::PolicyEvent: {
+        // Mirrors rt::adaptive::PolicyAction (obs cannot include the
+        // runtime's adaptive header without a dependency cycle).
+        static const char *const Actions[] = {
+            "bias-set",     "bias-clear", "escalate", "deescalate",
+            "migrate-stm",  "migrate-lock"};
+        unsigned A = E.Mode < 6 ? E.Mode : 0;
+        Name = "policy:";
+        Name += Actions[A];
+        std::snprintf(Buf, sizeof(Buf), "{\"target\": %" PRIu64 "}", E.A);
+        Args = Buf;
+        break;
+      }
       }
       std::string Out = "{\"name\": \"";
       Out += Name;
@@ -219,7 +232,8 @@ void Tracer::writeChromeJson(std::ostream &OS) const {
                       ", \"args\": {\"steps\": %" PRIu64 "}}",
                       Ts, Pid, Tid, E.A);
         Out += Buf;
-      } else if (E.Kind == EventKind::SimAbort) {
+      } else if (E.Kind == EventKind::SimAbort ||
+                 E.Kind == EventKind::PolicyEvent) {
         std::snprintf(Buf, sizeof(Buf),
                       "i\", \"s\": \"t\", \"ts\": %.3f, \"pid\": %u, "
                       "\"tid\": %" PRIu32 ", \"args\": %s}",

@@ -51,6 +51,8 @@ enum class EventKind : uint8_t {
   SimOpSpan,    ///< simulated atomic op, A = op index, Tid = logical thread
   SimWaitSpan,  ///< simulated blocked interval, Tid = logical thread
   SimAbort,     ///< simulated STM abort (instant), Tid = logical thread
+  PolicyEvent,  ///< adaptive-runtime transition (instant), A = target id,
+                ///< Mode = adaptive::PolicyAction
 };
 
 /// One POD trace record. Spans use TsNs/DurNs; instants and counters use

@@ -90,6 +90,23 @@ public:
     return static_cast<unsigned>((W >> countShift(M)) & CountMask);
   }
 
+  /// Reader-preference bias (set by the adaptive engine on persistently
+  /// read-mostly nodes): while on, an IS/S request that is compatible
+  /// with every granted mode may keep its optimistic grant even though
+  /// waiters are parked, spending one barge credit per overtake. The
+  /// credit refills whenever a queued waiter is granted, so a parked
+  /// writer is overtaken by at most \p Credit readers per queue grant —
+  /// a bounded-bypass valve, not an unfair lock.
+  void setReaderBias(bool On, uint32_t Credit = 256) {
+    BargeRefill.store(On ? Credit : 0, std::memory_order_relaxed);
+    BargeCredit.store(On ? static_cast<int32_t>(Credit) : 0,
+                      std::memory_order_relaxed);
+    Bias.store(On ? 1 : 0, std::memory_order_relaxed);
+  }
+  bool readerBias() const {
+    return Bias.load(std::memory_order_relaxed) != 0;
+  }
+
 private:
   // Word layout: five 12-bit grant counts (mode i at bits [12i, 12i+12))
   // and the has-waiters bit above them. 12 bits bound concurrent holders
@@ -142,6 +159,13 @@ private:
       uint64_t W = Word.fetch_add(One, std::memory_order_acquire);
       assert((W & grantMask(M)) != grantMask(M) && "grant count overflow");
       if (!(W & (Conflicts | WaiterBit)))
+        return true;
+      // Reader barge: compatible with everything granted, blocked only
+      // by the waiter bit. With bias on and credit left, keep the grant
+      // instead of queueing behind the parked (writer) waiters.
+      if (!(W & Conflicts) && (M == Mode::IS || M == Mode::S) &&
+          Bias.load(std::memory_order_relaxed) &&
+          BargeCredit.fetch_sub(1, std::memory_order_relaxed) > 0)
         return true;
       uint64_t Prev = Word.fetch_sub(One, std::memory_order_acq_rel);
       if (Prev & WaiterBit) {
@@ -199,6 +223,10 @@ private:
       return false;
     });
     Waiters.pop_front();
+    // A queued waiter got through: replenish the reader barge allowance
+    // (the anti-starvation half of the bias valve).
+    if (uint32_t R = BargeRefill.load(std::memory_order_relaxed))
+      BargeCredit.store(static_cast<int32_t>(R), std::memory_order_relaxed);
     if (Waiters.empty())
       Word.fetch_and(~WaiterBit, std::memory_order_relaxed);
     // The next waiter may also be compatible (e.g. another reader).
@@ -223,6 +251,12 @@ private:
   std::condition_variable CV;
   std::deque<Waiter> Waiters;
   uint64_t NextTicket = 0;
+  // Reader-bias valve (see setReaderBias). Credit may transiently drift
+  // below zero under concurrent failed barges; refills store the
+  // absolute allowance, so the drift never accumulates.
+  std::atomic<uint8_t> Bias{0};
+  std::atomic<int32_t> BargeCredit{0};
+  std::atomic<uint32_t> BargeRefill{0};
 };
 
 } // namespace rt

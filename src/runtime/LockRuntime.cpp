@@ -19,6 +19,7 @@ LockRuntime::LockRuntime(unsigned NumRegions, obs::MetricsRegistry *Registry,
   Regions.reserve(NumRegions);
   for (unsigned I = 0; I < NumRegions; ++I)
     Regions.push_back(std::make_unique<LockNode>());
+  Dyn = std::make_unique<RegionDyn[]>(NumRegions ? NumRegions : 1);
   SC.AcquireAllCalls = &Reg->counter("runtime.acquire_all_calls");
   SC.NodeAcquisitions = &Reg->counter("runtime.node_acquisitions");
   SC.NestedSkips = &Reg->counter("runtime.nested_skips");
@@ -54,8 +55,49 @@ LockNode &LockRuntime::leafNode(uint32_t Region, uint64_t Address) {
     if constexpr (obs::kEnabled)
       Slot->ObsId = Prof->registerNode(
           {obs::LockNodeInfo::Kind::Leaf, Region, Address});
+    Dyn[Region].LeafCount.fetch_add(1, std::memory_order_relaxed);
   }
   return *Slot;
+}
+
+bool LockRuntime::escalateRegion(uint32_t Region, unsigned Stripes) {
+  assert(Region < Regions.size() && "region id out of range");
+  if (Dyn[Region].Layout.load(std::memory_order_acquire))
+    return false; // already striped; resize = deescalate + escalate
+  unsigned N = 2;
+  while (N < Stripes && N < 1024)
+    N <<= 1;
+  auto Table = std::make_unique<StripeTable>(N);
+  if constexpr (obs::kEnabled)
+    for (unsigned I = 0; I < N; ++I)
+      Table->stripe(I).ObsId =
+          Prof->registerNode({obs::LockNodeInfo::Kind::Stripe, Region, I});
+  StripeTable *T = Table.get();
+  {
+    std::lock_guard<std::mutex> Lock(TablesMu);
+    StripeTables.push_back(std::move(Table));
+  }
+  // X on the region node drains every holder (their grants pin the old
+  // layout) and queues new entrants until the swap is published; the
+  // engine holds no other node, so no acquisition cycle can form.
+  LockNode &R = *Regions[Region];
+  R.acquire(Mode::X);
+  Dyn[Region].Layout.store(T, std::memory_order_release);
+  R.release(Mode::X);
+  return true;
+}
+
+bool LockRuntime::deescalateRegion(uint32_t Region) {
+  assert(Region < Regions.size() && "region id out of range");
+  if (!Dyn[Region].Layout.load(std::memory_order_acquire))
+    return false;
+  LockNode &R = *Regions[Region];
+  R.acquire(Mode::X);
+  Dyn[Region].Layout.store(nullptr, std::memory_order_release);
+  R.release(Mode::X);
+  // The retired table stays in StripeTables: profiler ids and late
+  // readers that pinned it remain valid until the runtime dies.
+  return true;
 }
 
 ThreadLockContext::~ThreadLockContext() {
@@ -142,8 +184,43 @@ void ThreadLockContext::acquireAllSlow() {
     grab(RT.root(), RootMode);
   for (const RegionReq &R : RegionScratch)
     grab(RT.regionNode(R.Region), R.M);
-  for (const LeafReq &L : LeafScratch)
-    grab(cachedLeaf(L.Region, L.Address), L.M);
+  // Leaf phase, one run per region (LeafScratch is sorted by region).
+  // Each region's grant — taken above — pins its layout, so the read
+  // here is stable for the whole section. A striped run re-sorts by
+  // stripe index and merges duplicates: every thread sees the same
+  // layout, hence the same order, preserving deadlock freedom.
+  for (size_t I = 0; I < LeafScratch.size();) {
+    uint32_t Region = LeafScratch[I].Region;
+    size_t End = I + 1;
+    while (End < LeafScratch.size() && LeafScratch[End].Region == Region)
+      ++End;
+    if (StripeTable *T = RT.regionLayout(Region)) {
+      StripeScratch.clear();
+      for (size_t J = I; J < End; ++J)
+        StripeScratch.push_back(
+            {T->indexFor(LeafScratch[J].Address), LeafScratch[J].M});
+      std::sort(StripeScratch.begin(), StripeScratch.end(),
+                [](const StripeReq &A, const StripeReq &B) {
+                  return A.Index < B.Index;
+                });
+      size_t SOut = 0;
+      for (size_t J = 0; J < StripeScratch.size(); ++J) {
+        if (SOut > 0 &&
+            StripeScratch[SOut - 1].Index == StripeScratch[J].Index)
+          StripeScratch[SOut - 1].M =
+              combineModes(StripeScratch[SOut - 1].M, StripeScratch[J].M);
+        else
+          StripeScratch[SOut++] = StripeScratch[J];
+      }
+      StripeScratch.resize(SOut);
+      for (const StripeReq &SR : StripeScratch)
+        grab(T->stripe(SR.Index), SR.M);
+    } else {
+      for (size_t J = I; J < End; ++J)
+        grab(cachedLeaf(Region, LeafScratch[J].Address), LeafScratch[J].M);
+    }
+    I = End;
+  }
   statAdd(LStats.NodeAcquisitions, HeldNodes.size());
 
   // Swap, not move: the old HeldDescriptors buffer becomes the next
@@ -170,6 +247,8 @@ void ThreadLockContext::grabObs(LockNode &Node, Mode M, bool Parked,
     if (Parked) {
       Slot.Contentions.inc();
       Slot.WaitNs.record(ParkNs);
+      Slot.ContenderMask.fetch_or(TidBit, std::memory_order_relaxed);
+      SectionParkNs += ParkNs;
       obs::tracer().span(obs::EventKind::NodeWaitSpan,
                          obs::nowNs() - ParkNs, ParkNs, Node.ObsId, 0,
                          static_cast<uint8_t>(M));
@@ -204,6 +283,10 @@ void ThreadLockContext::recordHoldTimes() {
     if (H.Node->ObsId)
       RT.Prof->nodeSlot(H.Node->ObsId)
           .HoldNs.recordWeighted(Now - AcquireEndNs, ObsWeight);
+  // Section-level hold sum (the denominator of the adaptive engine's
+  // wait/hold migration ratio), weight-corrected like the entries.
+  RT.Prof->sectionSlot(SectionTag)
+      .HoldNs.add((Now - AcquireEndNs) * ObsWeight);
 }
 
 void ThreadLockContext::buildCoverIndex() {

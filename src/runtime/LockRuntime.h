@@ -95,6 +95,32 @@ struct LockRuntimeStats {
   uint64_t LeafCacheMisses = 0;
 };
 
+/// A cache-line-padded striped lock table: the escalated layout of one
+/// hot region. Fine requests hash their address to a stripe instead of
+/// taking a per-address leaf — shorter path (no shard map, no leaf
+/// cache) at the cost of false conflicts between addresses sharing a
+/// stripe, which is why escalation is a policy decision, not the
+/// default. Stripe count is a power of two, sized from the observed
+/// contender count by the adaptive engine.
+struct StripeTable {
+  struct alignas(64) PaddedNode {
+    LockNode Node;
+  };
+
+  explicit StripeTable(unsigned CountPow2)
+      : Count(CountPow2), Stripes(new PaddedNode[CountPow2]) {}
+
+  unsigned indexFor(uint64_t Address) const {
+    // Word-align then Fibonacci-spread; take high product bits.
+    uint64_t H = (Address >> 3) * 0x9e3779b97f4a7c15ULL;
+    return static_cast<unsigned>(H >> 32) & (Count - 1);
+  }
+  LockNode &stripe(unsigned Idx) { return Stripes[Idx].Node; }
+
+  const unsigned Count; ///< power of two
+  std::unique_ptr<PaddedNode[]> Stripes;
+};
+
 /// Shared lock table for one program run. Threads interact through
 /// ThreadLockContext instances bound to this runtime.
 class LockRuntime {
@@ -119,9 +145,68 @@ public:
     return static_cast<unsigned>(Regions.size());
   }
 
+  /// The striped layout installed for \p Region, or null for the flat
+  /// per-address leaves. Only meaningful while the caller holds a grant
+  /// on the region node: any granted mode conflicts with the X the
+  /// escalation protocol takes, so the layout read after the grant is
+  /// pinned until release.
+  StripeTable *regionLayout(uint32_t Region) const {
+    return Dyn[Region].Layout.load(std::memory_order_acquire);
+  }
+
+  /// Distinct leaf nodes ever created under \p Region (the adaptive
+  /// engine's leaf-pressure escalation signal).
+  uint32_t regionLeafCount(uint32_t Region) const {
+    return Dyn[Region].LeafCount.load(std::memory_order_relaxed);
+  }
+
+  /// Installs a striped layout of ~\p Stripes stripes (rounded up to a
+  /// power of two, clamped to [2, 1024]) for \p Region, or removes it.
+  /// Both take the region node in X, which drains every current holder
+  /// — a holder's region grant pins the layout it read — and block new
+  /// entrants until the swap is published; the sorted acquisition order
+  /// is unchanged, so deadlock freedom is preserved across the swap.
+  /// Returns false when already in the requested state. Retired tables
+  /// stay owned (and profiler-registered) until runtime destruction, so
+  /// no node ever dangles.
+  bool escalateRegion(uint32_t Region, unsigned Stripes);
+  bool deescalateRegion(uint32_t Region);
+
+  /// Visits every lock node: root, regions, stripes of installed
+  /// layouts, then leaves (briefly locking each shard). \p F is called
+  /// as F(LockNode &, const obs::LockNodeInfo &). Nodes created
+  /// concurrently may be missed; the adaptive engine re-scans each
+  /// epoch.
+  template <typename Fn> void forEachNode(Fn &&F) {
+    F(Root, obs::LockNodeInfo{obs::LockNodeInfo::Kind::Root, 0, 0});
+    for (uint32_t R = 0; R < Regions.size(); ++R) {
+      F(*Regions[R], obs::LockNodeInfo{obs::LockNodeInfo::Kind::Region, R, 0});
+      if (StripeTable *T = regionLayout(R))
+        for (unsigned I = 0; I < T->Count; ++I)
+          F(T->stripe(I),
+            obs::LockNodeInfo{obs::LockNodeInfo::Kind::Stripe, R, I});
+    }
+    for (Shard &S : Shards) {
+      std::lock_guard<std::mutex> Lock(S.Mu);
+      for (auto &[Key, Node] : S.Leaves)
+        F(*Node, obs::LockNodeInfo{obs::LockNodeInfo::Kind::Leaf, Key.Region,
+                                   Key.Address});
+    }
+  }
+
   /// Current values of the shared "runtime.*" counters (see
   /// ThreadLockContext::flushStats for when buffered counts land).
   LockRuntimeStats stats() const;
+
+  /// Live count of parked acquisitions, maintained even while the
+  /// profiler is dormant (a park costs microseconds; one relaxed RMW on
+  /// that path is noise). The adaptive engine reads the per-epoch delta
+  /// as its always-on contention alarm: parking appearing during a
+  /// quiet spell re-arms the profiler immediately instead of waiting
+  /// out the duty-cycle backoff.
+  uint64_t parkEvents() const {
+    return ParkEvents.load(std::memory_order_relaxed);
+  }
 
   obs::MetricsRegistry &registry() { return *Reg; }
   obs::LockProfiler &profiler() { return *Prof; }
@@ -146,6 +231,18 @@ private:
   LockNode Root;
   std::vector<std::unique_ptr<LockNode>> Regions;
 
+  /// Per-region dynamic-layout state.
+  struct RegionDyn {
+    std::atomic<StripeTable *> Layout{nullptr};
+    std::atomic<uint32_t> LeafCount{0};
+  };
+  std::unique_ptr<RegionDyn[]> Dyn;
+  /// Owns every stripe table ever installed (active and retired): a
+  /// de-escalated table may still be referenced by profiler slot ids,
+  /// so tables live until the runtime dies.
+  std::mutex TablesMu;
+  std::vector<std::unique_ptr<StripeTable>> StripeTables;
+
   static constexpr unsigned NumShards = 64;
   static_assert((NumShards & (NumShards - 1)) == 0,
                 "shard index uses a power-of-two mask");
@@ -157,6 +254,7 @@ private:
   Shard Shards[NumShards];
 
   friend class ThreadLockContext;
+  std::atomic<uint64_t> ParkEvents{0};
   obs::MetricsRegistry *Reg;
   obs::LockProfiler *Prof;
   /// Registry counter handles, resolved once at construction so context
@@ -176,7 +274,11 @@ private:
 class ThreadLockContext {
 public:
   explicit ThreadLockContext(LockRuntime &RT)
-      : RT(RT), Trc(&obs::tracer()) {}
+      : RT(RT), Trc(&obs::tracer()) {
+    // One stable pseudo-random bit per context for NodeSlot::ContenderMask.
+    uint64_t H = reinterpret_cast<uintptr_t>(this) * 0x9e3779b97f4a7c15ULL;
+    TidBit = 1ull << (H >> 58);
+  }
   ~ThreadLockContext();
 
   ThreadLockContext(const ThreadLockContext &) = delete;
@@ -227,7 +329,15 @@ public:
       } else {
         grab(RT.root(), D.Write ? Mode::IX : Mode::IS);
         grab(RT.regionNode(D.Region), D.Write ? Mode::IX : Mode::IS);
-        grab(cachedLeaf(D.Region, D.Address), D.Write ? Mode::X : Mode::S);
+        // Layout is read *after* the region grant, which pins it (see
+        // LockRuntime::regionLayout): on the flat layout this is one
+        // extra acquire load; on a striped region the stripe replaces
+        // the leaf — a hash instead of the cache/shard-map lookup.
+        if (StripeTable *T = RT.regionLayout(D.Region))
+          grab(T->stripe(T->indexFor(D.Address)),
+               D.Write ? Mode::X : Mode::S);
+        else
+          grab(cachedLeaf(D.Region, D.Address), D.Write ? Mode::X : Mode::S);
         FineIndex.push_back({D.Address, D.Write});
       }
       statAdd(LStats.NodeAcquisitions, HeldNodes.size());
@@ -254,6 +364,12 @@ public:
     if constexpr (obs::kEnabled) {
       if (ObsActive && !HeldNodes.empty())
         recordHoldTimes();
+      // Parked time is recorded exactly per section (the adaptive
+      // engine's wait/hold migration signal), sampled or not.
+      if (SectionParkNs) {
+        RT.Prof->sectionSlot(SectionTag).WaitNs.add(SectionParkNs);
+        SectionParkNs = 0;
+      }
     }
     // Bottom-up release: reverse acquisition order.
     for (size_t I = HeldNodes.size(); I-- > 0;)
@@ -325,6 +441,10 @@ private:
     uint64_t Address;
     Mode M;
   };
+  struct StripeReq {
+    unsigned Index;
+    Mode M;
+  };
   /// Cover-index entries (write flag is the OR of the merged
   /// descriptors: a rw lock also covers reads).
   struct CoarseCover {
@@ -360,19 +480,30 @@ private:
   }
 
   /// Decides whether this outermost section is observed and at what
-  /// weight. Profiler dormant: one relaxed load and a branch.
+  /// weight. Profiler dormant: one relaxed load and a branch. Armed,
+  /// the unsampled path is the counter bump and two predictable
+  /// branches: the tracer state is cached and refreshed once per
+  /// sample period instead of loaded per section (so arming the tracer
+  /// takes effect within kSampleEvery sections), which is what brought
+  /// the armed overhead back under the ≤5% budget.
   void beginObsSection() {
+    static_assert((obs::kSampleEvery & (obs::kSampleEvery - 1)) == 0,
+                  "sampling uses a power-of-two mask");
     ObsActive = false;
     ObsOn = RT.Prof->enabled();
     if (!ObsOn)
       return;
-    bool Traced = Trc->enabled();
-    if (Traced || SectionSeq++ % obs::kSampleEvery == 0) {
+    if ((SectionSeq++ & (obs::kSampleEvery - 1)) == 0) {
+      TrcArmed = Trc->enabled();
       ObsActive = true;
-      ObsWeight = Traced ? 1 : obs::kSampleEvery;
+      ObsWeight = TrcArmed ? 1 : obs::kSampleEvery;
       // The section-start timestamp only feeds the acquire trace span;
       // profiling alone gets by on the end-of-acquire read.
-      AcquireStartNs = Traced ? obs::nowNs() : 0;
+      AcquireStartNs = TrcArmed ? obs::nowNs() : 0;
+    } else if (TrcArmed) {
+      ObsActive = true;
+      ObsWeight = 1;
+      AcquireStartNs = obs::nowNs();
     }
   }
 
@@ -384,7 +515,12 @@ private:
       if (ObsOn) {
         uint64_t ParkNs = 0;
         bool Parked = Node.acquire(M, &ParkNs);
-        if (Parked || ObsActive) {
+        if (Parked) {
+          RT.ParkEvents.fetch_add(1, std::memory_order_relaxed);
+          grabObs(Node, M, Parked, ParkNs);
+          return;
+        }
+        if (ObsActive) {
           grabObs(Node, M, Parked, ParkNs);
           return;
         }
@@ -392,7 +528,8 @@ private:
         return;
       }
     }
-    Node.acquire(M);
+    if (Node.acquire(M))
+      RT.ParkEvents.fetch_add(1, std::memory_order_relaxed);
     HeldNodes.push_back({&Node, M});
   }
   void grabObs(LockNode &Node, Mode M, bool Parked, uint64_t ParkNs);
@@ -421,6 +558,7 @@ private:
   std::vector<HeldNode> HeldNodes; // in acquisition order
   std::vector<RegionReq> RegionScratch;
   std::vector<LeafReq> LeafScratch;
+  std::vector<StripeReq> StripeScratch;
   std::vector<CoarseCover> CoarseIndex; // sorted by Region
   std::vector<FineCover> FineIndex;     // sorted by Address
   bool HasGlobal = false;
@@ -432,12 +570,15 @@ private:
   /// beginObsSection, consumed through releaseAll).
   uint32_t SectionTag = 0;
   uint32_t SectionSeq = 0;    ///< sections seen, drives 1/kSampleEvery
-  obs::Tracer *Trc;           ///< cached singleton, hot-path enabled() check
+  obs::Tracer *Trc;           ///< cached singleton
+  bool TrcArmed = false;      ///< tracer state, refreshed 1/kSampleEvery
   bool ObsOn = false;         ///< profiler enabled at section entry
   bool ObsActive = false;     ///< this section is sampled (or traced)
   uint64_t ObsWeight = 1;     ///< count weight for sampled updates
   uint64_t AcquireStartNs = 0;
   uint64_t AcquireEndNs = 0;
+  uint64_t SectionParkNs = 0; ///< parked ns in this section, exact
+  uint64_t TidBit = 0;        ///< hashed-thread bit for ContenderMask
 
   /// Direct-mapped (region, address) → leaf cache; leaves are never
   /// freed, so hits stay valid for the lifetime of the runtime.

@@ -26,6 +26,7 @@
 #include <atomic>
 #include <cassert>
 #include <cstdint>
+#include <thread>
 #include <type_traits>
 #include <unordered_map>
 #include <vector>
@@ -59,7 +60,9 @@ public:
 
   /// Runs \p Body transactionally until it commits. Body receives a
   /// Transaction reference and must route every shared access through it.
-  template <typename F> void atomically(F &&Body);
+  /// Returns the number of aborted attempts before the commit (the
+  /// adaptive runtime's abort-storm fallback signal).
+  template <typename F> unsigned atomically(F &&Body);
 
 private:
   static constexpr unsigned TableBits = 20;
@@ -135,7 +138,7 @@ private:
   std::vector<std::atomic<uint64_t> *> ReadSet;
 };
 
-template <typename F> void Stm::atomically(F &&Body) {
+template <typename F> unsigned Stm::atomically(F &&Body) {
   for (unsigned Attempt = 0;; ++Attempt) {
     Transaction Tx(*this);
     bool Ok = false;
@@ -147,13 +150,20 @@ template <typename F> void Stm::atomically(F &&Body) {
     }
     if (Ok) {
       Stats.Commits.fetch_add(1, std::memory_order_relaxed);
-      return;
+      return Attempt;
     }
     Stats.Aborts.fetch_add(1, std::memory_order_relaxed);
     // Brief exponential backoff bounds livelock under heavy conflicts.
-    for (unsigned Spin = 0; Spin < (1u << (Attempt > 10 ? 10 : Attempt));
-         ++Spin)
-      __builtin_ia32_pause();
+    // Past a few retries the conflict is almost certainly a committer
+    // that lost its timeslice while holding version locks (commit never
+    // blocks, so every retry against it aborts): donate the quantum
+    // instead of burning it, or an oversubscribed core spends entire
+    // scheduling periods in abort-retry loops.
+    if (Attempt < 6)
+      for (unsigned Spin = 0; Spin < (1u << Attempt); ++Spin)
+        __builtin_ia32_pause();
+    else
+      std::this_thread::yield();
   }
 }
 
