@@ -1,0 +1,307 @@
+//===--- bench_mega.cpp - Megaprogram interning/dedup benchmark ----------------===//
+//
+// Part of the lockin project: lock inference for atomic sections.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Measures what the interned-lock-path representation buys on
+/// megaprograms. Generates the fuzzer's `mega` family (a layered call
+/// DAG over global hubs with one atomic section per function) at 1e5
+/// and 1e6 source lines and runs the full analysis in three
+/// configurations, each in its own subprocess so peak RSS is honest:
+///
+///   baseline — front end only (parse → points-to), no lock inference;
+///              subtracted from the other two so the ratios measure the
+///              analysis-attributable cost, not the shared AST/IR.
+///   legacy   — InternSharing=false, DedupSummaries=false: one node per
+///              lock construction, deep hashing and equality, one
+///              LockSet copy per published summary (the pre-interner
+///              representation; the toggle lives only in
+///              InferenceOptions and this bench).
+///   interned — the default configuration.
+///
+/// Emits BENCH_mega.json: per size, each configuration's analysis wall
+/// time, peak RSS (VmHWM), interner hit rate and dedup counters, plus
+/// the legacy/interned ratios the acceptance gate reads. `--quick` runs
+/// the 1e5-line size only (the CI mega-smoke step).
+///
+/// Usage: bench_mega [--quick] [--out PATH]
+///        bench_mega --child CONFIG --lines N   (internal)
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/CallGraph.h"
+#include "fuzz/Generator.h"
+#include "infer/Inference.h"
+#include "ir/Lowering.h"
+#include "lang/Parser.h"
+#include "lang/Sema.h"
+#include "pointsto/Steensgaard.h"
+#include "support/Diagnostics.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <unistd.h>
+#include <vector>
+
+using namespace lockin;
+
+namespace {
+
+/// Peak resident set (VmHWM) of this process in KiB, from
+/// /proc/self/status; 0 if unavailable.
+uint64_t peakRssKb() {
+  std::ifstream In("/proc/self/status");
+  std::string Line;
+  while (std::getline(In, Line)) {
+    if (Line.rfind("VmHWM:", 0) != 0)
+      continue;
+    uint64_t Kb = 0;
+    std::sscanf(Line.c_str(), "VmHWM: %llu",
+                reinterpret_cast<unsigned long long *>(&Kb));
+    return Kb;
+  }
+  return 0;
+}
+
+struct ChildResult {
+  bool Ok = false;
+  uint64_t Lines = 0;
+  uint64_t Sections = 0;
+  double AnalyzeSeconds = 0;
+  double TotalSeconds = 0;
+  uint64_t PeakRssKb = 0;
+  uint64_t InternerNodes = 0;
+  uint64_t InternerHits = 0;
+  uint64_t Deduped = 0;
+  uint64_t ArenaBytes = 0;
+};
+
+/// Child mode: one configuration at one size, results as key=value
+/// lines on stdout (the parent parses them; errors go to stderr).
+int runChild(const std::string &Config, unsigned Lines) {
+  fuzz::GenOptions Gen;
+  Gen.F = fuzz::Family::Mega;
+  Gen.Seed = 42;
+  Gen.MegaLines = Lines;
+  std::string Source = fuzz::generateProgram(Gen);
+
+  auto T0 = std::chrono::steady_clock::now();
+  DiagnosticEngine Diags;
+  Parser P(Source, Diags);
+  auto Ast = P.parseProgram();
+  if (!Ast || Diags.hasErrors() || !runSema(*Ast, Diags)) {
+    std::fprintf(stderr, "bench_mega: generated program failed sema\n");
+    return 1;
+  }
+  auto Module = lowerProgram(*Ast, Diags);
+  if (!Module || Diags.hasErrors()) {
+    std::fprintf(stderr, "bench_mega: generated program failed lowering\n");
+    return 1;
+  }
+  analysis::CallGraph CG(*Module);
+  PointsToAnalysis PT(*Module);
+
+  double AnalyzeSeconds = 0;
+  uint64_t Sections = 0;
+  InferenceStats Stats;
+  if (Config != "baseline") {
+    InferenceOptions Opts;
+    Opts.Jobs = 1;
+    // Megaprograms are where the higher-precision k settings matter, and
+    // longer paths are exactly what the representation change targets;
+    // both configurations analyze at the same k.
+    Opts.K = 6;
+    Opts.InternSharing = Config == "interned";
+    Opts.DedupSummaries = Config == "interned";
+    LockInference Inference(*Module, PT, CG, Opts);
+    auto A0 = std::chrono::steady_clock::now();
+    InferenceResult Result = Inference.run();
+    AnalyzeSeconds = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - A0)
+                         .count();
+    Sections = Result.sections().size();
+    Stats = Inference.stats();
+  }
+  double TotalSeconds = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - T0)
+                            .count();
+
+  size_t SrcLines = 0;
+  for (char C : Source)
+    SrcLines += C == '\n';
+  std::printf("ok=1\n");
+  std::printf("lines=%zu\n", SrcLines);
+  std::printf("sections=%llu\n", static_cast<unsigned long long>(Sections));
+  std::printf("analyze_seconds=%.6f\n", AnalyzeSeconds);
+  std::printf("total_seconds=%.6f\n", TotalSeconds);
+  std::printf("peak_rss_kb=%llu\n",
+              static_cast<unsigned long long>(peakRssKb()));
+  std::printf("interner_nodes=%llu\n",
+              static_cast<unsigned long long>(Stats.InternerNodes));
+  std::printf("interner_hits=%llu\n",
+              static_cast<unsigned long long>(Stats.InternerHits));
+  std::printf("summaries_deduped=%llu\n",
+              static_cast<unsigned long long>(Stats.Summaries.Deduped));
+  std::printf("arena_bytes=%llu\n",
+              static_cast<unsigned long long>(Stats.ArenaBytes));
+  return 0;
+}
+
+bool runConfig(const std::string &Config, unsigned Lines, ChildResult &Out) {
+  // popen's shell would resolve /proc/self/exe to itself; resolve the
+  // real binary path here instead.
+  char Exe[4096];
+  ssize_t N = readlink("/proc/self/exe", Exe, sizeof(Exe) - 1);
+  if (N <= 0)
+    return false;
+  Exe[N] = '\0';
+  std::string Cmd = std::string("'") + Exe + "' --child " + Config +
+                    " --lines " + std::to_string(Lines);
+  FILE *Pipe = popen(Cmd.c_str(), "r");
+  if (!Pipe)
+    return false;
+  char Line[256];
+  while (std::fgets(Line, sizeof(Line), Pipe)) {
+    unsigned long long V = 0;
+    double D = 0;
+    if (std::sscanf(Line, "ok=%llu", &V) == 1)
+      Out.Ok = V != 0;
+    else if (std::sscanf(Line, "lines=%llu", &V) == 1)
+      Out.Lines = V;
+    else if (std::sscanf(Line, "sections=%llu", &V) == 1)
+      Out.Sections = V;
+    else if (std::sscanf(Line, "analyze_seconds=%lf", &D) == 1)
+      Out.AnalyzeSeconds = D;
+    else if (std::sscanf(Line, "total_seconds=%lf", &D) == 1)
+      Out.TotalSeconds = D;
+    else if (std::sscanf(Line, "peak_rss_kb=%llu", &V) == 1)
+      Out.PeakRssKb = V;
+    else if (std::sscanf(Line, "interner_nodes=%llu", &V) == 1)
+      Out.InternerNodes = V;
+    else if (std::sscanf(Line, "interner_hits=%llu", &V) == 1)
+      Out.InternerHits = V;
+    else if (std::sscanf(Line, "summaries_deduped=%llu", &V) == 1)
+      Out.Deduped = V;
+    else if (std::sscanf(Line, "arena_bytes=%llu", &V) == 1)
+      Out.ArenaBytes = V;
+  }
+  int Status = pclose(Pipe);
+  return Out.Ok && Status == 0;
+}
+
+void emitConfig(std::ostream &O, const char *Name, const ChildResult &R,
+                const ChildResult &Baseline) {
+  double OverKb = R.PeakRssKb > Baseline.PeakRssKb
+                      ? static_cast<double>(R.PeakRssKb - Baseline.PeakRssKb)
+                      : 0;
+  O << "    \"" << Name << "\": {\n";
+  O << "      \"sections\": " << R.Sections << ",\n";
+  O << "      \"analyze_seconds\": " << R.AnalyzeSeconds << ",\n";
+  O << "      \"total_seconds\": " << R.TotalSeconds << ",\n";
+  O << "      \"peak_rss_kb\": " << R.PeakRssKb << ",\n";
+  O << "      \"analysis_rss_kb\": " << OverKb << ",\n";
+  O << "      \"interner_nodes\": " << R.InternerNodes << ",\n";
+  O << "      \"interner_hits\": " << R.InternerHits << ",\n";
+  O << "      \"summaries_deduped\": " << R.Deduped << ",\n";
+  O << "      \"arena_bytes\": " << R.ArenaBytes << "\n";
+  O << "    }";
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  bool Quick = false;
+  std::string OutPath = "BENCH_mega.json";
+  std::string ChildConfig;
+  unsigned ChildLines = 0;
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--quick") == 0) {
+      Quick = true;
+    } else if (std::strcmp(Argv[I], "--out") == 0 && I + 1 < Argc) {
+      OutPath = Argv[++I];
+    } else if (std::strcmp(Argv[I], "--child") == 0 && I + 1 < Argc) {
+      ChildConfig = Argv[++I];
+    } else if (std::strcmp(Argv[I], "--lines") == 0 && I + 1 < Argc) {
+      ChildLines = static_cast<unsigned>(std::strtoul(Argv[++I], nullptr, 10));
+    } else {
+      std::fprintf(stderr, "usage: bench_mega [--quick] [--out PATH]\n");
+      return 2;
+    }
+  }
+  if (!ChildConfig.empty())
+    return runChild(ChildConfig, ChildLines);
+
+  std::vector<unsigned> Sizes = Quick ? std::vector<unsigned>{100000}
+                                      : std::vector<unsigned>{100000, 1000000};
+  std::ostringstream O;
+  O << "{\n  \"bench\": \"mega\",\n  \"quick\": " << (Quick ? "true" : "false")
+    << ",\n  \"sizes\": [\n";
+  bool FirstSize = true;
+  bool AllOk = true;
+  for (unsigned Lines : Sizes) {
+    std::printf("bench_mega: %u lines...\n", Lines);
+    ChildResult Baseline, Legacy, Interned;
+    if (!runConfig("baseline", Lines, Baseline) ||
+        !runConfig("legacy", Lines, Legacy) ||
+        !runConfig("interned", Lines, Interned)) {
+      std::fprintf(stderr, "bench_mega: child failed at %u lines\n", Lines);
+      AllOk = false;
+      break;
+    }
+    double Speedup = Interned.AnalyzeSeconds > 0
+                         ? Legacy.AnalyzeSeconds / Interned.AnalyzeSeconds
+                         : 0;
+    double LegacyOver =
+        static_cast<double>(Legacy.PeakRssKb > Baseline.PeakRssKb
+                                ? Legacy.PeakRssKb - Baseline.PeakRssKb
+                                : 0);
+    double InternedOver =
+        static_cast<double>(Interned.PeakRssKb > Baseline.PeakRssKb
+                                ? Interned.PeakRssKb - Baseline.PeakRssKb
+                                : 1);
+    double RssRatio = InternedOver > 0 ? LegacyOver / InternedOver : 0;
+    double HitRate =
+        Interned.InternerNodes + Interned.InternerHits > 0
+            ? static_cast<double>(Interned.InternerHits) /
+                  static_cast<double>(Interned.InternerNodes +
+                                      Interned.InternerHits)
+            : 0;
+    std::printf("  legacy:   %7.2fs analyze, %8llu KiB peak\n",
+                Legacy.AnalyzeSeconds,
+                static_cast<unsigned long long>(Legacy.PeakRssKb));
+    std::printf("  interned: %7.2fs analyze, %8llu KiB peak "
+                "(speedup %.2fx, rss ratio %.2fx, hit rate %.3f, "
+                "deduped %llu)\n",
+                Interned.AnalyzeSeconds,
+                static_cast<unsigned long long>(Interned.PeakRssKb), Speedup,
+                RssRatio, HitRate,
+                static_cast<unsigned long long>(Interned.Deduped));
+
+    if (!FirstSize)
+      O << ",\n";
+    FirstSize = false;
+    O << "    {\n      \"lines\": " << Baseline.Lines << ",\n";
+    emitConfig(O, "baseline", Baseline, Baseline);
+    O << ",\n";
+    emitConfig(O, "legacy", Legacy, Baseline);
+    O << ",\n";
+    emitConfig(O, "interned", Interned, Baseline);
+    O << ",\n      \"analyze_speedup\": " << Speedup
+      << ",\n      \"analysis_rss_ratio\": " << RssRatio
+      << ",\n      \"interner_hit_rate\": " << HitRate << "\n    }";
+  }
+  O << "\n  ]\n}\n";
+
+  if (!AllOk)
+    return 1;
+  std::ofstream Out(OutPath);
+  Out << O.str();
+  std::printf("bench_mega: wrote %s\n", OutPath.c_str());
+  return 0;
+}

@@ -10,6 +10,8 @@
 #include "ir/Lowering.h"
 #include "lang/Parser.h"
 #include "lang/Sema.h"
+#include "obs/Metrics.h"
+#include "obs/Obs.h"
 
 using namespace lockin;
 
@@ -97,6 +99,15 @@ std::unique_ptr<Compilation> lockin::compile(std::string_view Source,
     });
     C->Stats.Inference = Inference.stats();
     C->Stats.HasInference = true;
+    if constexpr (obs::kEnabled) {
+      const InferenceStats &S = C->Stats.Inference;
+      obs::MetricsRegistry &Reg =
+          Options.Metrics ? *Options.Metrics : obs::metrics();
+      Reg.counter("interner.nodes").add(S.InternerNodes);
+      Reg.counter("interner.hits").add(S.InternerHits);
+      Reg.counter("summaries.deduped").add(S.Summaries.Deduped);
+      Reg.counter("arena.bytes").add(S.ArenaBytes + C->Module->arenaBytes());
+    }
   }
 
   C->Transformed = PM.run("transform", [&] {

@@ -93,5 +93,13 @@ std::string PipelineStats::renderStats() const {
                 static_cast<unsigned long long>(S.GenCacheHits),
                 static_cast<unsigned long long>(S.GenCacheMisses));
   Out += Line;
+  std::snprintf(Line, sizeof(Line),
+                "; interner: nodes=%llu hits=%llu deduped=%llu "
+                "arena-bytes=%llu\n",
+                static_cast<unsigned long long>(S.InternerNodes),
+                static_cast<unsigned long long>(S.InternerHits),
+                static_cast<unsigned long long>(S.Summaries.Deduped),
+                static_cast<unsigned long long>(S.ArenaBytes));
+  Out += Line;
   return Out;
 }

@@ -25,6 +25,8 @@ const char *fuzz::familyName(Family F) {
     return "legacy-seq";
   case Family::LegacyConc:
     return "legacy-conc";
+  case Family::Mega:
+    return "mega";
   }
   return "?";
 }
@@ -48,6 +50,10 @@ bool fuzz::familyFromName(const std::string &Name, Family &Out) {
   }
   if (Name == "legacy-conc") {
     Out = Family::LegacyConc;
+    return true;
+  }
+  if (Name == "mega") {
+    Out = Family::Mega;
     return true;
   }
   return false;
@@ -455,6 +461,110 @@ std::string generateWorkers(Rng &R, std::string (*Stmt)(Rng &),
   return Out;
 }
 
+/// One statement of the Mega pool over global hub \p B. Deliberately a
+/// small pool over few shapes: distinct functions frequently infer
+/// structurally identical lock sets (constants never enter a lock path),
+/// which is what the summary deduplication layer is built to exploit.
+std::string megaStmt(Rng &R, const std::string &B) {
+  uint64_t K = 1 + R.below(7);
+  // Heavy statements (half the pool) build the long lock paths and index
+  // expression trees the k-limit admits; light statements keep region
+  // diversity. Sections stay small so per-lock representation costs
+  // (hashing, equality, node construction) dominate over set-size
+  // effects.
+  switch (R.below(10)) {
+  case 0:
+    return "    " + B + "->total = " + B + "->total + " + num(K) + ";\n";
+  case 1: {
+    std::string J = num(R.below(6));
+    return "    " + B + "->slots[" + J + "] = " + B + "->slots[" + J +
+           "] + " + num(K) + ";\n";
+  }
+  case 2:
+    return "    { item* t = nth(" + B + "->first, " + num(R.below(3)) +
+           "); if (t != null) { t->a = t->a + " + num(K) + "; } }\n";
+  case 3:
+    return "    addTotal(" + B + ", " + num(K) + ");\n";
+  case 4:
+    return "    C" + num(R.below(3)) + " = C" + num(R.below(3)) + " + " +
+           num(K) + ";\n";
+  case 5:
+  case 6:
+    // Traversal write: backward substitution of c -> c->next builds the
+    // longest paths the k-limit admits (first->next->...->a).
+    return "    { item* c = " + B +
+           "->first; while (c != null) { c->a = c->a + " + num(K) +
+           "; c = c->next; } }\n";
+  case 7:
+    // Peer-hop traversal: same shape through the second chain.
+    return "    { item* c = " + B +
+           "->second; while (c != null) { c->b = c->b + " + num(K) +
+           "; c = c->next; } }\n";
+  default:
+    // Loop-indexed slot write: substitution of i -> i + 1 grows index
+    // expression trees, the worst case for deep hashing and equality.
+    return "    { int i = 0; while (i < " + num(3 + R.below(3)) + ") { " +
+           B + "->slots[i] = " + B + "->slots[i] + " + num(K) +
+           "; i = i + 1; } }\n";
+  }
+}
+
+/// The scale family: \p TargetLines of deterministic single-threaded
+/// code shaped as a layered, non-recursive call DAG. Every generated
+/// function holds one atomic section over one of six global hubs and
+/// (above layer 0) calls 2-3 functions of the layer below, so the
+/// analysis sees deep summary chains, thousands of sections, and heavy
+/// path reuse — the megaprogram profile bench_mega measures.
+std::string generateMega(Rng &R, unsigned TargetLines) {
+  static const char *HubNames[] = {"H0", "H1", "M0", "M1", "M2", "M3"};
+  std::string Out = Preamble;
+  Out += "hub* M0;\nhub* M1;\nhub* M2;\nhub* M3;\n";
+
+  constexpr unsigned Layers = 8;
+  // ~13 lines per generated function (header, atomic wrapper, statements,
+  // downward calls); clamp so every layer exists even for tiny targets.
+  unsigned NumFuncs = TargetLines > 13 * Layers ? TargetLines / 13 : Layers;
+  unsigned Width = NumFuncs / Layers > 0 ? NumFuncs / Layers : 1;
+
+  for (unsigned L = 0; L < Layers; ++L) {
+    for (unsigned I = 0; I < Width; ++I) {
+      Out += "void m" + num(L) + "_" + num(I) + "() {\n";
+      // Two hubs per section: sections hold locks over several regions
+      // and many distinct paths, so the per-lock representation cost is
+      // multiplied by realistic set sizes.
+      const std::string B1 = HubNames[R.below(6)];
+      const std::string B2 = HubNames[R.below(6)];
+      // Calls live inside the section: the backward analysis must pull
+      // each callee's summary through the call (map/unmap of §4.3), so
+      // the whole DAG below a section participates in its lock set.
+      Out += "  atomic {\n";
+      unsigned Stmts = 3 + static_cast<unsigned>(R.below(4));
+      for (unsigned S = 0; S < Stmts; ++S)
+        Out += megaStmt(R, S % 2 ? B2 : B1);
+      if (L > 0) {
+        unsigned Calls = 2 + static_cast<unsigned>(R.below(2));
+        for (unsigned C = 0; C < Calls; ++C)
+          Out += "    m" + num(L - 1) + "_" + num(R.below(Width)) + "();\n";
+      }
+      Out += "  }\n";
+      Out += "}\n";
+    }
+  }
+
+  Out += "int main() {\n";
+  Out += "  H0 = mkHub(3, 1);\n";
+  Out += "  H1 = mkHub(2, 2);\n";
+  Out += "  M0 = mkHub(2, 3);\n";
+  Out += "  M1 = mkHub(3, 4);\n";
+  Out += "  M2 = mkHub(2, 5);\n";
+  Out += "  M3 = mkHub(3, 6);\n";
+  for (unsigned I = 0; I < Width; ++I)
+    Out += "  m" + num(Layers - 1) + "_" + num(I) + "();\n";
+  Out += "  return C0 + C1 + C2 + H0->total + M3->total;\n";
+  Out += "}\n";
+  return Out;
+}
+
 } // namespace
 
 std::string fuzz::generateProgram(const GenOptions &Options) {
@@ -471,6 +581,8 @@ std::string fuzz::generateProgram(const GenOptions &Options) {
     return generateSequentialProgram(Options.Seed);
   case Family::LegacyConc:
     return generateConcurrentProgram(Options.Seed);
+  case Family::Mega:
+    return generateMega(R, Options.MegaLines);
   }
   assert(false && "unknown family");
   return {};

@@ -42,10 +42,19 @@ namespace fuzz {
 /// verbatim test-suite generators through the same entry point, so
 /// property-test failures can print `lockin-fuzz --family=legacy-...`
 /// reproducer commands that actually replay.
-enum class Family { Seq, Commute, Stress, LegacySeq, LegacyConc };
+///
+/// Mega is the scale family: a deterministic single-threaded program with
+/// a deep layered call DAG over global hubs, one atomic section per
+/// generated function (thousands of sections at full size), sized by
+/// GenOptions::MegaLines. It exists to exercise megaprogram analysis
+/// costs (bench_mega, the mega-smoke CI step); its statements are drawn
+/// from a small template pool so many functions infer structurally
+/// identical lock sets — the summary-dedup happy path. It is never part
+/// of the default campaign rotation.
+enum class Family { Seq, Commute, Stress, LegacySeq, LegacyConc, Mega };
 
 /// CLI spelling of \p F ("seq", "commute", "stress", "legacy-seq",
-/// "legacy-conc").
+/// "legacy-conc", "mega").
 const char *familyName(Family F);
 
 /// Parses a CLI spelling; returns false on unknown names.
@@ -54,6 +63,10 @@ bool familyFromName(const std::string &Name, Family &Out);
 struct GenOptions {
   Family F = Family::Seq;
   uint64_t Seed = 1;
+  /// Approximate source-line target for Family::Mega (ignored by every
+  /// other family). The default keeps an explicit `--family=mega` fuzz
+  /// run tractable; bench_mega passes 1e5-1e6.
+  unsigned MegaLines = 4000;
 };
 
 /// Generates one well-typed program of the requested family.

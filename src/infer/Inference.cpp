@@ -6,6 +6,8 @@
 
 #include "infer/Inference.h"
 
+#include "locks/Interner.h"
+
 #include <atomic>
 #include <cassert>
 #include <condition_variable>
@@ -44,17 +46,24 @@ LockCensus InferenceResult::census() const {
 LockInference::LockInference(const IrModule &Module,
                              const PointsToAnalysis &PT,
                              InferenceOptions Options)
-    : Module(Module), Ctx{Module, PT, Options.K}, Options(Options),
+    : Module(Module),
+      Interner(std::make_shared<LockInterner>(Options.InternSharing)),
+      Ctx{Module, PT, Options.K, *Interner, Options.InternSharing},
+      Options(Options),
       OwnedCG(std::make_unique<analysis::CallGraph>(Module)), CG(*OwnedCG),
-      Summaries(Module, CG, Ctx, *this, Options.MaxSummaryRounds) {}
+      Summaries(Module, CG, Ctx, *this, Options.MaxSummaryRounds,
+                Options.DedupSummaries) {}
 
 LockInference::LockInference(const IrModule &Module,
                              const PointsToAnalysis &PT,
                              const analysis::CallGraph &ExtCG,
                              InferenceOptions Options)
-    : Module(Module), Ctx{Module, PT, Options.K}, Options(Options),
-      CG(ExtCG), Summaries(Module, CG, Ctx, *this, Options.MaxSummaryRounds) {
-}
+    : Module(Module),
+      Interner(std::make_shared<LockInterner>(Options.InternSharing)),
+      Ctx{Module, PT, Options.K, *Interner, Options.InternSharing},
+      Options(Options), CG(ExtCG),
+      Summaries(Module, CG, Ctx, *this, Options.MaxSummaryRounds,
+                Options.DedupSummaries) {}
 
 namespace {
 
@@ -75,7 +84,7 @@ bool collectPathCellRegions(const LockExpr &Path, const PointsToAnalysis &PT,
     case LockOp::Kind::Field:
       break;
     case LockOp::Kind::Index: {
-      std::vector<const IdxExpr *> Work = {Op.Idx.get()};
+      std::vector<const IdxExpr *> Work = {Op.Idx};
       while (!Work.empty()) {
         const IdxExpr *E = Work.back();
         Work.pop_back();
@@ -90,8 +99,8 @@ bool collectPathCellRegions(const LockExpr &Path, const PointsToAnalysis &PT,
           break;
         }
         case IdxExpr::Kind::Bin:
-          Work.push_back(E->lhs().get());
-          Work.push_back(E->rhs().get());
+          Work.push_back(E->lhs());
+          Work.push_back(E->rhs());
           break;
         }
       }
@@ -148,7 +157,7 @@ LockSet LockInference::transferCall(const CallStmt *St,
   if (St->def() && Ctx.isLockableVar(St->def()))
     Result.insert(LockName::fine(LockExpr(St->def()),
                                  Ctx.PT.regionOfVarCell(St->def()),
-                                 Effect::RW));
+                                 Effect::RW, Ctx.Interner));
 
   // The locks for the callee's own (transitive) accesses, expressed at
   // the call site: copy because the store may grow under recursive
@@ -210,8 +219,22 @@ LockSet LockInference::transferCall(const CallStmt *St,
 
 LockSet LockInference::transferInst(const InstStmt *St,
                                     const LockSet &After) {
+  TransferCache *Cache = HotDepth > 0 ? ActiveCache : nullptr;
+  // Whole-set memo first: fixpoint iterations re-apply the same
+  // (statement, after-set) pair until convergence, and transferInst is
+  // pure in it, so a hit replaces the entire per-lock loop below with one
+  // flat copy of the cached result.
+  bool Memoable =
+      Ctx.FastPaths && Cache && St->stmtId() != IrStmt::InvalidStmtId;
+  if (Memoable) {
+    if (const LockSet *Memo = Cache->findSet(St->stmtId(), After)) {
+      ++Cache->SetHits;
+      return *Memo;
+    }
+    ++Cache->SetMisses;
+  }
   LockSet Out;
-  if (TransferCache *Cache = HotDepth > 0 ? ActiveCache : nullptr) {
+  if (Cache) {
     Cache->gen(St, Ctx, Out);
     for (const LockName &L : After)
       Cache->apply(L, St, Ctx, Out);
@@ -220,6 +243,8 @@ LockSet LockInference::transferInst(const InstStmt *St,
     for (const LockName &L : After)
       transferLock(L, St, Ctx, Out);
   }
+  if (Memoable)
+    Cache->storeSet(St->stmtId(), After, Out);
   return Out;
 }
 
@@ -487,5 +512,10 @@ InferenceResult LockInference::run() {
     runParallel(Jobs, WantScc, Result);
 
   Stats.Summaries = Summaries.stats();
+  LockInterner::Stats IS = Interner->stats();
+  Stats.InternerNodes = IS.nodes();
+  Stats.InternerHits = IS.hits();
+  Stats.ArenaBytes = IS.ArenaBytes;
+  Result.Interner = Interner;
   return Result;
 }

@@ -61,6 +61,14 @@ struct InferenceOptions {
   /// The incremental service uses this to re-analyze exactly the cache
   /// misses while serving every hit from the content-hashed cache.
   std::vector<uint32_t> OnlySections;
+  /// Hash-cons lock paths and index expressions (flyweight sharing).
+  /// Off restores the pre-interner costs — one node per construction,
+  /// deep hashing/equality — and exists only for bench_mega's
+  /// before/after comparison; reports are identical either way.
+  bool InternSharing = true;
+  /// Share storage of structurally identical final summaries (see
+  /// FunctionSummaries); value-neutral, also benchmarked via bench_mega.
+  bool DedupSummaries = true;
 };
 
 /// Counters for --stats and the benchmarks; filled by run().
@@ -79,6 +87,11 @@ struct InferenceStats {
   unsigned CondensationDepth = 0;
   unsigned Sections = 0;
   unsigned JobsUsed = 0;
+  /// Interner counters (see LockInterner::Stats): distinct nodes created,
+  /// constructions answered by an existing node, and arena payload bytes.
+  uint64_t InternerNodes = 0;
+  uint64_t InternerHits = 0;
+  uint64_t ArenaBytes = 0;
 };
 
 /// Census of inferred locks in the four categories of Figure 7. ⊤ counts
@@ -134,6 +147,10 @@ public:
 private:
   friend class LockInference;
   std::vector<Section> Sections;
+  /// Keeps the interner (and with it every LockPathNode the lock sets
+  /// point into) alive for as long as the result is held, even after the
+  /// LockInference that produced it is gone.
+  std::shared_ptr<LockInterner> Interner;
 };
 
 class LockInference : public SummaryBodyEvaluator {
@@ -188,6 +205,8 @@ private:
   void foldCacheStats(const TransferCache &Cache);
 
   const ir::IrModule &Module;
+  /// Declared before Ctx: the context holds a reference into it.
+  std::shared_ptr<LockInterner> Interner;
   TransferContext Ctx;
   InferenceOptions Options;
   std::unique_ptr<analysis::CallGraph> OwnedCG;

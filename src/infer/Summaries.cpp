@@ -22,15 +22,15 @@ bool lockin::lockPathRootedIn(const LockExpr &Path, const IrFunction *F) {
   for (const LockOp &Op : Path.ops()) {
     if (Op.K != LockOp::Kind::Index)
       continue;
-    std::vector<const IdxExpr *> Work = {Op.Idx.get()};
+    std::vector<const IdxExpr *> Work = {Op.Idx};
     while (!Work.empty()) {
       const IdxExpr *E = Work.back();
       Work.pop_back();
       if (E->kind() == IdxExpr::Kind::VarVal && E->var()->owner() == F)
         return true;
       if (E->kind() == IdxExpr::Kind::Bin) {
-        Work.push_back(E->lhs().get());
-        Work.push_back(E->rhs().get());
+        Work.push_back(E->lhs());
+        Work.push_back(E->rhs());
       }
     }
   }
@@ -99,8 +99,10 @@ FunctionSummaries::FunctionSummaries(const IrModule &M,
                                      const analysis::CallGraph &CG,
                                      const TransferContext &Ctx,
                                      SummaryBodyEvaluator &Eval,
-                                     unsigned MaxSccRounds)
-    : Module(M), CG(CG), Ctx(Ctx), Eval(Eval), MaxSccRounds(MaxSccRounds) {
+                                     unsigned MaxSccRounds,
+                                     bool DedupSummaries)
+    : Module(M), CG(CG), Ctx(Ctx), Eval(Eval), MaxSccRounds(MaxSccRounds),
+      Dedup(DedupSummaries) {
   Sccs.resize(CG.numSccs());
   for (auto &S : Sccs)
     S = std::make_unique<SccState>();
@@ -120,8 +122,11 @@ FunctionSummaries::FunctionSummaries(const IrModule &M,
           WriteRegions[CG.function(CG.sccMembers(CScc).front())];
       SccWrites.insert(Theirs.begin(), Theirs.end());
     }
-    for (unsigned FnIdx : CG.sccMembers(Scc))
-      WriteRegions[CG.function(FnIdx)] = SccWrites;
+    const auto &Members = CG.sccMembers(Scc);
+    for (size_t I = 0; I + 1 < Members.size(); ++I)
+      WriteRegions[CG.function(Members[I])] = SccWrites;
+    if (!Members.empty())
+      WriteRegions[CG.function(Members.back())] = std::move(SccWrites);
   }
 }
 
@@ -174,6 +179,32 @@ LockSet FunctionSummaries::evaluate(SccState &S, const Key &K, bool Hot) {
   return Eval.evaluateEntry(K.F, Exit, Hot);
 }
 
+void FunctionSummaries::publish(Entry &E) {
+  if (Dedup) {
+    size_t H = E.Locks.contentHash();
+    std::lock_guard<std::mutex> Guard(DedupMu);
+    auto &Bucket = DedupTable[H];
+    for (const auto &Shared : Bucket)
+      if (Shared->sameSequence(E.Locks)) {
+        // An identical set was already published: share it and free the
+        // local copy. The shared object is element-wise equal, so every
+        // reader sees the same value it would have seen.
+        E.Published = Shared;
+        E.Locks = LockSet();
+        E.Final = true;
+        ++DedupHits;
+        return;
+      }
+    auto Shared = std::make_shared<const LockSet>(std::move(E.Locks));
+    Bucket.push_back(Shared);
+    E.Published = std::move(Shared);
+  } else {
+    E.Published = std::make_shared<const LockSet>(std::move(E.Locks));
+  }
+  E.Locks = LockSet();
+  E.Final = true;
+}
+
 const LockSet &FunctionSummaries::query(Key K) {
   unsigned SccIdx = CG.sccOfFunction(K.F);
   SccState &S = *Sccs[SccIdx];
@@ -184,7 +215,7 @@ const LockSet &FunctionSummaries::query(Key K) {
   const Key &StoredKey = It->first;
   if (E.Final) {
     ++S.FinalHits;
-    return E.Locks;
+    return *E.Published;
   }
   if (!Inserted) {
     // A recursive demand (the entry is being evaluated higher in this
@@ -205,8 +236,8 @@ const LockSet &FunctionSummaries::query(Key K) {
   if (!Recursive) {
     // Every callee lies in a lower, already-final SCC: the very first
     // evaluation is exact. Non-recursive functions are summarized once.
-    E.Final = true;
-    return E.Locks;
+    publish(E);
+    return *E.Published;
   }
 
   S.Pending.push_back(StoredKey);
@@ -235,11 +266,11 @@ const LockSet &FunctionSummaries::query(Key K) {
       // practice.
     }
     for (const Key &PK : S.Pending)
-      S.Entries.find(PK)->second.Final = true;
+      publish(S.Entries.find(PK)->second);
     S.Pending.clear();
     S.InFixpoint = false;
   }
-  return E.Locks;
+  return E.Final ? *E.Published : E.Locks;
 }
 
 SummaryStats FunctionSummaries::stats() const {
@@ -251,6 +282,10 @@ SummaryStats FunctionSummaries::stats() const {
     Out.SccFixpointRounds += S->FixpointRounds;
     Out.FinalHits += S->FinalHits;
     Out.PeakEntryLocks = std::max(Out.PeakEntryLocks, S->PeakEntryLocks);
+  }
+  {
+    std::lock_guard<std::mutex> Guard(DedupMu);
+    Out.Deduped = DedupHits;
   }
   return Out;
 }

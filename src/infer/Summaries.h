@@ -78,6 +78,7 @@ struct SummaryStats {
   uint64_t SccFixpointRounds = 0;///< re-evaluation rounds in recursive SCCs
   uint64_t FinalHits = 0;        ///< queries answered by a final entry
   uint64_t PeakEntryLocks = 0;   ///< largest summary lock set seen
+  uint64_t Deduped = 0;          ///< final entries sharing another's lock set
 };
 
 /// Whole-program summary store, scheduled by the SCC condensation.
@@ -85,9 +86,14 @@ struct SummaryStats {
 /// discipline above.
 class FunctionSummaries {
 public:
+  /// \p DedupSummaries shares the lock-set storage of structurally
+  /// identical final entries behind a content hash. Sharing never changes
+  /// a returned set's value (the shared object is element-wise equal to
+  /// the one it replaces), so reports stay byte-identical with the flag
+  /// either way; it only drops duplicate storage.
   FunctionSummaries(const ir::IrModule &M, const analysis::CallGraph &CG,
                     const TransferContext &Ctx, SummaryBodyEvaluator &Eval,
-                    unsigned MaxSccRounds);
+                    unsigned MaxSccRounds, bool DedupSummaries = true);
 
   /// Locks needed at F's entry (in F's naming) to cover \p L at F's exit.
   /// The returned set is final and immutable unless the query is re-entered
@@ -131,7 +137,12 @@ private:
     }
   };
   struct Entry {
+    /// Working value while the entry is being computed. Cleared at
+    /// publication when the final value is shared with another entry.
     LockSet Locks;
+    /// The published, immutable value; non-null exactly when Final. May
+    /// point at another entry's identical set (dedup).
+    std::shared_ptr<const LockSet> Published;
     bool Final = false;
     bool InProgress = false;
   };
@@ -158,16 +169,29 @@ private:
 
   const LockSet &query(Key K);
   LockSet evaluate(SccState &S, const Key &K, bool Hot);
+  /// Marks \p E final, moving its locks into shared storage (reusing an
+  /// identical published set when deduplication is on).
+  void publish(Entry &E);
 
   const ir::IrModule &Module;
   const analysis::CallGraph &CG;
   const TransferContext &Ctx;
   SummaryBodyEvaluator &Eval;
   const unsigned MaxSccRounds;
+  const bool Dedup;
 
   std::vector<std::unique_ptr<SccState>> Sccs; // indexed by SCC id
   std::unordered_map<const ir::IrFunction *, std::set<RegionId>>
       WriteRegions;
+
+  /// Published-set dedup table, keyed by an order-sensitive content hash
+  /// (identical cones produce their locks in identical order, so ordered
+  /// equality is enough and cheap). Guarded by its own mutex; always
+  /// acquired after an SCC mutex, never the other way around.
+  mutable std::mutex DedupMu;
+  std::unordered_map<size_t, std::vector<std::shared_ptr<const LockSet>>>
+      DedupTable;
+  uint64_t DedupHits = 0;
 };
 
 } // namespace lockin

@@ -21,10 +21,34 @@ bool SummaryCache::lookup(uint64_t Key, SectionSummary &Out) {
   return true;
 }
 
+std::shared_ptr<const std::string>
+SummaryCache::internText(std::shared_ptr<const std::string> Text) {
+  if (!Text)
+    return Text;
+  size_t H = std::hash<std::string>{}(*Text);
+  auto &Bucket = TextPool[H];
+  for (size_t I = 0; I < Bucket.size();) {
+    std::shared_ptr<const std::string> Live = Bucket[I].lock();
+    if (!Live) {
+      Bucket[I] = Bucket.back();
+      Bucket.pop_back();
+      continue;
+    }
+    if (*Live == *Text) {
+      ++Counters.TextPoolHits;
+      return Live;
+    }
+    ++I;
+  }
+  Bucket.push_back(Text);
+  return Text;
+}
+
 void SummaryCache::insert(uint64_t Key, SectionSummary Value) {
   if (Capacity == 0)
     return;
   std::lock_guard<std::mutex> Lock(Mu);
+  Value.LocksText = internText(std::move(Value.LocksText));
   auto It = Index.find(Key);
   if (It != Index.end()) {
     It->second->Value = std::move(Value);
@@ -56,6 +80,7 @@ void SummaryCache::clear() {
   Counters.Invalidations += Index.size();
   Index.clear();
   Lru.clear();
+  TextPool.clear();
 }
 
 SummaryCache::Stats SummaryCache::stats() const {

@@ -30,9 +30,11 @@
 
 #include <cstdint>
 #include <list>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 namespace lockin {
 
@@ -40,10 +42,21 @@ namespace lockin {
 /// of the tool report without an InferenceResult.
 struct SectionSummary {
   /// LockSet::str() of the inferred set — the acquireAll(...) annotation
-  /// and the "; section #N in F: ..." line body.
-  std::string LocksText;
+  /// and the "; section #N in F: ..." line body. Shared and immutable:
+  /// the cache pools identical texts, so the thousands of sections of a
+  /// megaprogram that infer the same lock set cost one string between
+  /// them instead of one per entry.
+  std::shared_ptr<const std::string> LocksText;
   /// Figure-7 census contribution of the set (for the census line).
   LockCensus Census;
+
+  const std::string &text() const {
+    static const std::string Empty;
+    return LocksText ? *LocksText : Empty;
+  }
+  void setText(std::string S) {
+    LocksText = std::make_shared<const std::string>(std::move(S));
+  }
 };
 
 /// Bounded, thread-safe, LRU-evicting map from content-hash keys to
@@ -60,6 +73,7 @@ public:
     uint64_t Insertions = 0;
     uint64_t Evictions = 0;
     uint64_t Invalidations = 0; ///< explicit erase/clear removals
+    uint64_t TextPoolHits = 0;  ///< inserts served by an existing text
     size_t Entries = 0;
     size_t Capacity = 0;
   };
@@ -85,10 +99,19 @@ private:
     SectionSummary Value;
   };
 
+  /// Returns the pooled copy of \p Text (caller holds Mu). Dead pool
+  /// slots (all owners evicted) are pruned lazily while scanning.
+  std::shared_ptr<const std::string>
+  internText(std::shared_ptr<const std::string> Text);
+
   mutable std::mutex Mu;
   size_t Capacity;
   std::list<EntryT> Lru; // front = most recent
   std::unordered_map<uint64_t, std::list<EntryT>::iterator> Index;
+  /// Text pool: string hash -> live texts with that hash. Weak refs so
+  /// eviction actually frees the text once the last entry drops it.
+  std::unordered_map<size_t, std::vector<std::weak_ptr<const std::string>>>
+      TextPool;
   Stats Counters;
 };
 

@@ -6,7 +6,10 @@
 
 #include "infer/Transfer.h"
 
+#include "locks/Interner.h"
+
 #include <cassert>
+#include <optional>
 
 using namespace lockin;
 using namespace lockin::ir;
@@ -18,7 +21,7 @@ LockName TransferContext::finalize(LockExpr Path, RegionId Region,
       return LockName::top();
     return LockName::coarse(Region, Eff);
   }
-  return LockName::fine(std::move(Path), Region, Eff);
+  return LockName::fine(Path, Region, Eff, Interner);
 }
 
 LockName TransferContext::coarsen(const LockName &L) const {
@@ -39,8 +42,8 @@ struct IdxSubst {
 /// statement \p St (which assigns X). Returns a null Expr with
 /// Dropped=false when the definition cannot be traced (load, call,
 /// address); the caller coarsens.
-IdxSubst substIdx(const IdxExpr::Ptr &E, const Variable *X,
-                  const InstStmt *St) {
+IdxSubst substIdx(IdxExpr::Ptr E, const Variable *X, const InstStmt *St,
+                  LockInterner &IN) {
   if (!E->mentionsVar(X))
     return {E, false};
   switch (E->kind()) {
@@ -50,13 +53,12 @@ IdxSubst substIdx(const IdxExpr::Ptr &E, const Variable *X,
     assert(E->var() == X && "mentionsVar mismatch");
     switch (St->kind()) {
     case IrStmt::Kind::Copy:
-      return {IdxExpr::makeVar(cast<CopyStmt>(St)->src()), false};
+      return {IN.idxVar(cast<CopyStmt>(St)->src()), false};
     case IrStmt::Kind::ConstInt:
-      return {IdxExpr::makeConst(cast<ConstIntStmt>(St)->value()), false};
+      return {IN.idxConst(cast<ConstIntStmt>(St)->value()), false};
     case IrStmt::Kind::IntBin: {
       const auto *B = cast<IntBinStmt>(St);
-      return {IdxExpr::makeBin(B->op(), IdxExpr::makeVar(B->lhs()),
-                               IdxExpr::makeVar(B->rhs())),
+      return {IN.idxBin(B->op(), IN.idxVar(B->lhs()), IN.idxVar(B->rhs())),
               false};
     }
     case IrStmt::Kind::ConstNull:
@@ -70,13 +72,13 @@ IdxSubst substIdx(const IdxExpr::Ptr &E, const Variable *X,
     }
   }
   case IdxExpr::Kind::Bin: {
-    IdxSubst L = substIdx(E->lhs(), X, St);
+    IdxSubst L = substIdx(E->lhs(), X, St, IN);
     if (!L.Expr)
       return L;
-    IdxSubst R = substIdx(E->rhs(), X, St);
+    IdxSubst R = substIdx(E->rhs(), X, St, IN);
     if (!R.Expr)
       return R;
-    return {IdxExpr::makeBin(E->op(), L.Expr, R.Expr), false};
+    return {IN.idxBin(E->op(), L.Expr, R.Expr), false};
   }
   }
   return {nullptr, false};
@@ -90,7 +92,7 @@ struct PathSubst {
 };
 
 PathSubst substPathIdx(const LockExpr &P, const Variable *X,
-                       const InstStmt *St) {
+                       const InstStmt *St, LockInterner &IN) {
   std::vector<LockOp> NewOps;
   NewOps.reserve(P.ops().size());
   for (const LockOp &Op : P.ops()) {
@@ -98,7 +100,7 @@ PathSubst substPathIdx(const LockExpr &P, const Variable *X,
       NewOps.push_back(Op);
       continue;
     }
-    IdxSubst S = substIdx(Op.Idx, X, St);
+    IdxSubst S = substIdx(Op.Idx, X, St, IN);
     if (!S.Expr)
       return {std::nullopt, S.Dropped};
     NewOps.push_back(LockOp::index(S.Expr));
@@ -116,7 +118,7 @@ bool pathIdxReadsRegion(const LockExpr &P, RegionId Region,
     if (Op.K != LockOp::Kind::Index)
       continue;
     // Walk the index expression's variables.
-    std::vector<const IdxExpr *> Work = {Op.Idx.get()};
+    std::vector<const IdxExpr *> Work = {Op.Idx};
     while (!Work.empty()) {
       const IdxExpr *E = Work.back();
       Work.pop_back();
@@ -128,8 +130,8 @@ bool pathIdxReadsRegion(const LockExpr &P, RegionId Region,
           return true;
         break;
       case IdxExpr::Kind::Bin:
-        Work.push_back(E->lhs().get());
-        Work.push_back(E->rhs().get());
+        Work.push_back(E->lhs());
+        Work.push_back(E->rhs());
         break;
       }
     }
@@ -151,7 +153,7 @@ struct HeadRewrite {
   static HeadRewrite coarsen() { return {Kind::Coarsen, LockExpr(nullptr)}; }
 };
 
-HeadRewrite headRewriteFor(const InstStmt *St) {
+HeadRewrite headRewriteFor(const InstStmt *St, LockInterner &IN) {
   switch (St->kind()) {
   case IrStmt::Kind::Copy:
     // S_{x=y}: *x̄ -> *ȳ
@@ -170,7 +172,7 @@ HeadRewrite headRewriteFor(const InstStmt *St) {
     // x = y @ i: *x̄ -> *ȳ @ value(i)
     const auto *Ix = cast<IndexAddrStmt>(St);
     return HeadRewrite::replace(LockExpr(Ix->base()).plusDeref().plusIndex(
-        IdxExpr::makeVar(Ix->index())));
+        IN.idxVar(Ix->index())));
   }
   case IrStmt::Kind::Load: {
     // S_{x=*y}: *x̄ -> *(*ȳ)
@@ -267,13 +269,23 @@ void lockin::transferLock(const LockName &L, const InstStmt *St,
 
   const Variable *X = St->def();
   assert(X && "non-store primitive statements define a variable");
+
+  // Mask fast path: if the path certainly does not read X, both rewrite
+  // steps below are the identity, and re-finalizing would rebuild the
+  // same lock. (No false negatives: the mask covers the base and every
+  // index leaf.)
+  if (Ctx.FastPaths && !L.pathMayMention(X)) {
+    Out.insert(L);
+    return;
+  }
+
   const LockExpr &P = L.path();
 
   // Step 1: rewrite the pointer head if the path depends on the value of
   // the assigned variable.
   std::optional<LockExpr> Rewritten;
   if (P.base() == X && P.startsWithDeref()) {
-    HeadRewrite HR = headRewriteFor(St);
+    HeadRewrite HR = headRewriteFor(St, Ctx.Interner);
     switch (HR.K) {
     case HeadRewrite::Kind::Drop:
       return;
@@ -289,7 +301,7 @@ void lockin::transferLock(const LockName &L, const InstStmt *St,
   }
 
   // Step 2: substitute the assigned variable in index components.
-  PathSubst Sub = substPathIdx(*Rewritten, X, St);
+  PathSubst Sub = substPathIdx(*Rewritten, X, St, Ctx.Interner);
   if (!Sub.Path) {
     if (!Sub.Dropped)
       Out.insert(Ctx.coarsen(L));
@@ -304,7 +316,7 @@ void lockin::genVarRead(const Variable *V, const TransferContext &Ctx,
   if (!Ctx.isLockableVar(V))
     return;
   Out.insert(LockName::fine(LockExpr(V), Ctx.PT.regionOfVarCell(V),
-                            Effect::RO));
+                            Effect::RO, Ctx.Interner));
 }
 
 static void genVarWrite(const Variable *V, const TransferContext &Ctx,
@@ -312,7 +324,7 @@ static void genVarWrite(const Variable *V, const TransferContext &Ctx,
   if (!V || !Ctx.isLockableVar(V))
     return;
   Out.insert(LockName::fine(LockExpr(V), Ctx.PT.regionOfVarCell(V),
-                            Effect::RW));
+                            Effect::RW, Ctx.Interner));
 }
 
 void lockin::genLocks(const InstStmt *St, const TransferContext &Ctx,
@@ -389,6 +401,20 @@ void lockin::genLocks(const InstStmt *St, const TransferContext &Ctx,
 
 void TransferCache::apply(const LockName &L, const InstStmt *St,
                           const TransferContext &Ctx, LockSet &Out) {
+  // Identity transfers skip the memo: coarse/⊤ locks are flow-insensitive,
+  // and a fine lock whose path cannot read the defined variable passes
+  // through any non-store statement unchanged. Caching them would only
+  // grow the table (these are the overwhelmingly common cases).
+  if (Ctx.FastPaths) {
+    if (!L.isFine()) {
+      Out.insert(L);
+      return;
+    }
+    if (St->kind() != IrStmt::Kind::Store && !L.pathMayMention(St->def())) {
+      Out.insert(L);
+      return;
+    }
+  }
   if (St->stmtId() == IrStmt::InvalidStmtId) {
     transferLock(L, St, Ctx, Out);
     return;
@@ -424,4 +450,25 @@ void TransferCache::gen(const InstStmt *St, const TransferContext &Ctx,
   }
   for (const LockName &R : It->second)
     Out.insert(R);
+}
+
+/// Key for the whole-set memo: statement id folded into the
+/// order-sensitive set content hash.
+static uint64_t setKey(uint32_t Stmt, const LockSet &After) {
+  return static_cast<uint64_t>(After.contentHash()) * 1099511628211u ^ Stmt;
+}
+
+const LockSet *TransferCache::findSet(uint32_t Stmt,
+                                      const LockSet &After) const {
+  auto It = Sets.find(setKey(Stmt, After));
+  if (It != Sets.end())
+    for (const SetEntry &E : It->second)
+      if (E.After.sameSequence(After))
+        return &E.Result;
+  return nullptr;
+}
+
+void TransferCache::storeSet(uint32_t Stmt, const LockSet &After,
+                             const LockSet &Result) {
+  Sets[setKey(Stmt, After)].push_back(SetEntry{After, Result});
 }

@@ -46,6 +46,17 @@ struct TransferContext {
   /// Expression-length bound of the Σ_k component; longer paths collapse
   /// to the coarse lock of their region.
   unsigned K;
+  /// Interner every lock path and index expression is built through; the
+  /// substitution rewrites hash-cons their results so repeated fixpoint
+  /// rounds reuse one node per distinct path. Thread-safe, shared by all
+  /// workers of one inference run.
+  LockInterner &Interner;
+  /// Enables the representation-era fast paths (variable-mask identity
+  /// skip, whole-set memo). bench_mega's legacy toggle turns them off
+  /// together with node sharing so the legacy configuration reproduces
+  /// the pre-refactor analysis, not just its node layout; everywhere else
+  /// this is true.
+  bool FastPaths = true;
 
   /// True if accesses to the cell &V need a lock: globals and
   /// address-taken locals may be shared between threads.
@@ -93,10 +104,25 @@ public:
   /// genLocks with memoization, keyed on the statement id alone.
   void gen(const ir::InstStmt *St, const TransferContext &Ctx, LockSet &Out);
 
+  /// Whole-set memo over the per-statement transfer: the cached result of
+  /// gen(St) + apply(L, St) for every L of \p After, in order. Backward
+  /// fixpoints re-apply identical (statement, set) pairs until
+  /// convergence; a hit replaces the entire per-lock loop with one flat
+  /// set copy. Keys hash the full after-set, which the interned
+  /// representation answers with a field read per lock — the pre-refactor
+  /// representation pays a structural hash per path, which is why this
+  /// memo only became profitable with hash-consed nodes.
+  /// Returns null on miss; entries are verified element-wise
+  /// (sameSequence), so a hit is exact, never hash-trusting.
+  const LockSet *findSet(uint32_t Stmt, const LockSet &After) const;
+  void storeSet(uint32_t Stmt, const LockSet &After, const LockSet &Result);
+
   uint64_t Hits = 0;
   uint64_t Misses = 0;
   uint64_t GenHits = 0;
   uint64_t GenMisses = 0;
+  uint64_t SetHits = 0;
+  uint64_t SetMisses = 0;
 
 private:
   struct Key {
@@ -111,8 +137,16 @@ private:
       return K.L.hash() * 1099511628211u ^ K.Stmt;
     }
   };
+  /// One (after-set, result) pair; more than one per key slot only on a
+  /// content-hash collision.
+  struct SetEntry {
+    LockSet After;
+    LockSet Result;
+  };
+
   std::unordered_map<Key, LockSet, KeyHash> Xfer;
   std::unordered_map<uint32_t, LockSet> Gen;
+  std::unordered_map<uint64_t, std::vector<SetEntry>> Sets;
 };
 
 } // namespace lockin

@@ -19,10 +19,12 @@
 #define LOCKIN_IR_IR_H
 
 #include "lang/Ast.h"
+#include "support/Arena.h"
 #include "support/Casting.h"
 
 #include <memory>
 #include <string>
+#include <type_traits>
 #include <unordered_map>
 #include <vector>
 
@@ -142,7 +144,19 @@ private:
   uint32_t Id = InvalidStmtId;
 };
 
-using IrStmtPtr = std::unique_ptr<IrStmt>;
+/// Destroy-only deleter for statements owned by the module's bump arena:
+/// unique_ptr ownership (and the `.get()`-shaped call sites) stay exactly
+/// as before, but destruction only runs the destructor — the memory is
+/// released in bulk when the module's arena dies.
+template <typename T> struct ArenaDelete {
+  ArenaDelete() = default;
+  template <typename U,
+            typename = std::enable_if_t<std::is_convertible_v<U *, T *>>>
+  ArenaDelete(const ArenaDelete<U> &) {}
+  void operator()(T *P) const { P->~T(); }
+};
+
+using IrStmtPtr = std::unique_ptr<IrStmt, ArenaDelete<IrStmt>>;
 
 /// Base for the primitive (non-structured) statements; Def is the assigned
 /// variable (null only for void calls).
@@ -491,6 +505,21 @@ public:
 
   Program &sourceProgram() const { return *Source; }
 
+  /// Allocates a statement in the module's arena. The returned unique_ptr
+  /// runs only the destructor; the memory outlives it (until the module
+  /// dies), which is what keeps statement pointers stable for the
+  /// analysis' memo keys. Not thread-safe; lowering is single-threaded.
+  template <typename T, typename... Args>
+  std::unique_ptr<T, ArenaDelete<T>> create(Args &&...As) {
+    static_assert(std::is_base_of_v<IrStmt, T>,
+                  "arena creation is for IR statements");
+    return std::unique_ptr<T, ArenaDelete<T>>(
+        Arena.createUnowned<T>(std::forward<Args>(As)...));
+  }
+
+  /// Payload bytes of arena-allocated IR statements.
+  size_t arenaBytes() const { return Arena.bytesAllocated(); }
+
   Variable *addGlobal(std::string Name, Type *Ty) {
     auto Var = std::make_unique<Variable>(
         std::move(Name), Ty, static_cast<uint32_t>(Globals.size()),
@@ -543,6 +572,10 @@ public:
 
 private:
   Program *Source;
+  /// Declared before Functions: function bodies' statement destructors
+  /// (run when Functions is destroyed) touch arena memory, so the arena
+  /// must die last.
+  support::BumpArena Arena;
   std::vector<std::unique_ptr<Variable>> Globals;
   std::vector<std::unique_ptr<IrFunction>> Functions;
   std::vector<AllocSite> AllocSites;

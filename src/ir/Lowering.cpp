@@ -28,7 +28,7 @@ private:
   IrStmtPtr popBlock(SourceLoc Loc) {
     std::vector<IrStmtPtr> Stmts = std::move(Blocks.back());
     Blocks.pop_back();
-    return std::make_unique<SeqStmt>(std::move(Stmts), Loc);
+    return Module->create<SeqStmt>(std::move(Stmts), Loc);
   }
 
   Variable *newTemp(Type *Ty) {
@@ -74,7 +74,7 @@ Variable *Lowerer::lowerCall(const CallExpr *C) {
   Variable *Def = nullptr;
   if (!C->callee()->returnType()->isVoid())
     Def = newTemp(C->callee()->returnType());
-  emit(std::make_unique<CallStmt>(Def, Callee, std::move(Args), C->loc()));
+  emit(Module->create<CallStmt>(Def, Callee, std::move(Args), C->loc()));
   return Def;
 }
 
@@ -85,7 +85,7 @@ Variable *Lowerer::lowerAddr(const Expr *E) {
     Variable *Var = varFor(cast<VarRefExpr>(E)->decl());
     Var->setAddressTaken();
     Variable *T = newTemp(Prog.types().getPointer(Var->type()));
-    emit(std::make_unique<AddrOfStmt>(T, Var, E->loc()));
+    emit(Module->create<AddrOfStmt>(T, Var, E->loc()));
     return T;
   }
   case Expr::Kind::Unary: {
@@ -98,7 +98,7 @@ Variable *Lowerer::lowerAddr(const Expr *E) {
     Variable *Base = lowerExpr(A->base());
     Variable *T = newTemp(Prog.types().getPointer(E->type()));
     StructDecl *SD = A->base()->type()->pointee()->structDecl();
-    emit(std::make_unique<FieldAddrStmt>(T, Base, SD, A->fieldIndex(),
+    emit(Module->create<FieldAddrStmt>(T, Base, SD, A->fieldIndex(),
                                          E->loc()));
     return T;
   }
@@ -107,7 +107,7 @@ Variable *Lowerer::lowerAddr(const Expr *E) {
     Variable *Base = lowerExpr(Ix->base());
     Variable *Idx = lowerExpr(Ix->index());
     Variable *T = newTemp(Prog.types().getPointer(E->type()));
-    emit(std::make_unique<IndexAddrStmt>(T, Base, Idx, E->loc()));
+    emit(Module->create<IndexAddrStmt>(T, Base, Idx, E->loc()));
     return T;
   }
   default:
@@ -120,7 +120,7 @@ Variable *Lowerer::lowerExpr(const Expr *E) {
   switch (E->kind()) {
   case Expr::Kind::IntLit: {
     Variable *T = newTemp(Prog.types().getInt());
-    emit(std::make_unique<ConstIntStmt>(T, cast<IntLitExpr>(E)->value(),
+    emit(Module->create<ConstIntStmt>(T, cast<IntLitExpr>(E)->value(),
                                         E->loc()));
     return T;
   }
@@ -128,7 +128,7 @@ Variable *Lowerer::lowerExpr(const Expr *E) {
     // Null literals get the type of their context in sema; for IR purposes
     // a generic pointer temp suffices.
     Variable *T = newTemp(E->type());
-    emit(std::make_unique<ConstNullStmt>(T, E->loc()));
+    emit(Module->create<ConstNullStmt>(T, E->loc()));
     return T;
   }
   case Expr::Kind::VarRef:
@@ -139,17 +139,17 @@ Variable *Lowerer::lowerExpr(const Expr *E) {
     case UnaryOp::Deref: {
       Variable *Addr = lowerExpr(U->sub());
       Variable *T = newTemp(E->type());
-      emit(std::make_unique<LoadStmt>(T, Addr, E->loc()));
+      emit(Module->create<LoadStmt>(T, Addr, E->loc()));
       return T;
     }
     case UnaryOp::AddrOf:
       return lowerAddr(U->sub());
     case UnaryOp::Neg: {
       Variable *Zero = newTemp(Prog.types().getInt());
-      emit(std::make_unique<ConstIntStmt>(Zero, 0, E->loc()));
+      emit(Module->create<ConstIntStmt>(Zero, 0, E->loc()));
       Variable *Sub = lowerExpr(U->sub());
       Variable *T = newTemp(Prog.types().getInt());
-      emit(std::make_unique<IntBinStmt>(T, IntBinOp::Sub, Zero, Sub,
+      emit(Module->create<IntBinStmt>(T, IntBinOp::Sub, Zero, Sub,
                                         E->loc()));
       return T;
     }
@@ -184,14 +184,14 @@ Variable *Lowerer::lowerExpr(const Expr *E) {
     Variable *Lhs = lowerExpr(B->lhs());
     Variable *Rhs = lowerExpr(B->rhs());
     Variable *T = newTemp(Prog.types().getInt());
-    emit(std::make_unique<IntBinStmt>(T, Op, Lhs, Rhs, E->loc()));
+    emit(Module->create<IntBinStmt>(T, Op, Lhs, Rhs, E->loc()));
     return T;
   }
   case Expr::Kind::Arrow:
   case Expr::Kind::Index: {
     Variable *Addr = lowerAddr(E);
     Variable *T = newTemp(E->type());
-    emit(std::make_unique<LoadStmt>(T, Addr, E->loc()));
+    emit(Module->create<LoadStmt>(T, Addr, E->loc()));
     return T;
   }
   case Expr::Kind::Call:
@@ -209,7 +209,7 @@ Variable *Lowerer::lowerExpr(const Expr *E) {
     Site.Loc = E->loc();
     uint32_t SiteId = Module->addAllocSite(Site);
     Variable *T = newTemp(E->type());
-    emit(std::make_unique<AllocStmt>(T, SiteId, SizeVar, E->loc()));
+    emit(Module->create<AllocStmt>(T, SiteId, SizeVar, E->loc()));
     return T;
   }
   }
@@ -242,7 +242,7 @@ void Lowerer::lowerCond(const Expr *E, Variable *Out) {
       pushBlock();
       lowerCond(B->rhs(), Out);
       IrStmtPtr Rhs = popBlock(E->loc());
-      emit(std::make_unique<IfIrStmt>(Out, std::move(Rhs), nullptr,
+      emit(Module->create<IfIrStmt>(Out, std::move(Rhs), nullptr,
                                       E->loc()));
       return;
     }
@@ -253,14 +253,14 @@ void Lowerer::lowerCond(const Expr *E, Variable *Out) {
       IrStmtPtr Rhs = popBlock(E->loc());
       pushBlock();
       IrStmtPtr Empty = popBlock(E->loc());
-      emit(std::make_unique<IfIrStmt>(Out, std::move(Empty), std::move(Rhs),
+      emit(Module->create<IfIrStmt>(Out, std::move(Empty), std::move(Rhs),
                                       E->loc()));
       return;
     }
     assert(isComparisonOp(B->op()) && "unexpected boolean operator");
     Variable *Lhs = lowerExpr(B->lhs());
     Variable *Rhs = lowerExpr(B->rhs());
-    emit(std::make_unique<CmpStmt>(Out, cmpOpFor(B->op()), Lhs, Rhs,
+    emit(Module->create<CmpStmt>(Out, cmpOpFor(B->op()), Lhs, Rhs,
                                    E->loc()));
     return;
   }
@@ -268,8 +268,8 @@ void Lowerer::lowerCond(const Expr *E, Variable *Out) {
   assert(U->op() == UnaryOp::Not && "unexpected boolean expression");
   lowerCond(U->sub(), Out);
   Variable *Zero = newTemp(Prog.types().getInt());
-  emit(std::make_unique<ConstIntStmt>(Zero, 0, E->loc()));
-  emit(std::make_unique<CmpStmt>(Out, CmpOp::Eq, Out, Zero, E->loc()));
+  emit(Module->create<ConstIntStmt>(Zero, 0, E->loc()));
+  emit(Module->create<CmpStmt>(Out, CmpOp::Eq, Out, Zero, E->loc()));
 }
 
 void Lowerer::lowerStmt(const Stmt *S) {
@@ -286,7 +286,7 @@ void Lowerer::lowerStmt(const Stmt *S) {
     LocalMap[D->var()] = Var;
     if (D->init()) {
       Variable *Init = lowerExpr(D->init());
-      emit(std::make_unique<CopyStmt>(Var, Init, S->loc()));
+      emit(Module->create<CopyStmt>(Var, Init, S->loc()));
     }
     return;
   }
@@ -294,12 +294,12 @@ void Lowerer::lowerStmt(const Stmt *S) {
     const auto *A = cast<AssignStmt>(S);
     if (const auto *VR = dyn_cast<VarRefExpr>(A->lhs())) {
       Variable *Rhs = lowerExpr(A->rhs());
-      emit(std::make_unique<CopyStmt>(varFor(VR->decl()), Rhs, S->loc()));
+      emit(Module->create<CopyStmt>(varFor(VR->decl()), Rhs, S->loc()));
       return;
     }
     Variable *Addr = lowerAddr(A->lhs());
     Variable *Rhs = lowerExpr(A->rhs());
-    emit(std::make_unique<StoreStmt>(Addr, Rhs, S->loc()));
+    emit(Module->create<StoreStmt>(Addr, Rhs, S->loc()));
     return;
   }
   case Stmt::Kind::ExprStmt:
@@ -318,7 +318,7 @@ void Lowerer::lowerStmt(const Stmt *S) {
       lowerStmt(I->elseStmt());
       Else = popBlock(S->loc());
     }
-    emit(std::make_unique<IfIrStmt>(Cond, std::move(Then), std::move(Else),
+    emit(Module->create<IfIrStmt>(Cond, std::move(Then), std::move(Else),
                                     S->loc()));
     return;
   }
@@ -331,7 +331,7 @@ void Lowerer::lowerStmt(const Stmt *S) {
     pushBlock();
     lowerStmt(W->body());
     IrStmtPtr Body = popBlock(S->loc());
-    emit(std::make_unique<WhileIrStmt>(std::move(Prelude), Cond,
+    emit(Module->create<WhileIrStmt>(std::move(Prelude), Cond,
                                        std::move(Body), S->loc()));
     return;
   }
@@ -340,7 +340,7 @@ void Lowerer::lowerStmt(const Stmt *S) {
     Variable *Value = nullptr;
     if (R->value())
       Value = lowerExpr(R->value());
-    emit(std::make_unique<ReturnIrStmt>(Value, S->loc()));
+    emit(Module->create<ReturnIrStmt>(Value, S->loc()));
     return;
   }
   case Stmt::Kind::Atomic: {
@@ -348,7 +348,7 @@ void Lowerer::lowerStmt(const Stmt *S) {
     pushBlock();
     lowerStmt(A->body());
     IrStmtPtr Body = popBlock(S->loc());
-    auto Atomic = std::make_unique<AtomicIrStmt>(
+    auto Atomic = Module->create<AtomicIrStmt>(
         Module->takeAtomicSectionId(), std::move(Body), S->loc());
     CurFunction->noteAtomicSection(Atomic.get());
     emit(std::move(Atomic));
@@ -361,14 +361,14 @@ void Lowerer::lowerStmt(const Stmt *S) {
       Args.push_back(lowerExpr(Arg.get()));
     IrFunction *Callee = Module->findFunction(Sp->calleeName());
     assert(Callee && "spawn callee not pre-registered");
-    emit(std::make_unique<SpawnIrStmt>(Callee, std::move(Args), S->loc()));
+    emit(Module->create<SpawnIrStmt>(Callee, std::move(Args), S->loc()));
     return;
   }
   case Stmt::Kind::Assert: {
     const auto *As = cast<AssertStmt>(S);
     Variable *Cond = newTemp(Prog.types().getInt());
     lowerCond(As->cond(), Cond);
-    emit(std::make_unique<AssertIrStmt>(Cond, S->loc()));
+    emit(Module->create<AssertIrStmt>(Cond, S->loc()));
     return;
   }
   }

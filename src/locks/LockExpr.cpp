@@ -15,43 +15,11 @@ using namespace lockin::ir;
 // IdxExpr
 //===----------------------------------------------------------------------===//
 
-IdxExpr::Ptr IdxExpr::makeConst(int64_t Value) {
-  auto E = std::make_shared<IdxExpr>();
-  E->K = Kind::Const;
-  E->Value = Value;
-  return E;
-}
-
-IdxExpr::Ptr IdxExpr::makeVar(const Variable *Var) {
-  assert(Var && "null index variable");
-  auto E = std::make_shared<IdxExpr>();
-  E->K = Kind::VarVal;
-  E->Var = Var;
-  return E;
-}
-
-IdxExpr::Ptr IdxExpr::makeBin(IntBinOp Op, Ptr Lhs, Ptr Rhs) {
-  assert(Lhs && Rhs && "null index operand");
-  auto E = std::make_shared<IdxExpr>();
-  E->K = Kind::Bin;
-  E->Op = Op;
-  E->Lhs = std::move(Lhs);
-  E->Rhs = std::move(Rhs);
-  return E;
-}
-
-unsigned IdxExpr::size() const {
-  switch (K) {
-  case Kind::Const:
-  case Kind::VarVal:
-    return 1;
-  case Kind::Bin:
-    return 1 + Lhs->size() + Rhs->size();
-  }
-  return 1;
-}
-
 bool IdxExpr::equals(const IdxExpr &Other) const {
+  // Canonical nodes of one interner are unique per structure, so equal
+  // structures arrive here as the same pointer.
+  if (this == &Other)
+    return true;
   if (K != Other.K)
     return false;
   switch (K) {
@@ -111,7 +79,7 @@ static size_t hashCombine(size_t Seed, size_t Value) {
   return Seed ^ (Value + 0x9e3779b97f4a7c15ULL + (Seed << 6) + (Seed >> 2));
 }
 
-size_t IdxExpr::hash() const {
+size_t IdxExpr::deepHash() const {
   size_t H = static_cast<size_t>(K);
   switch (K) {
   case Kind::Const:
@@ -148,6 +116,7 @@ LockExpr LockExpr::withPrefix(const LockExpr &NewPrefix,
                               size_t PrefixLen) const {
   assert(PrefixLen <= Ops.size() && "prefix longer than path");
   LockExpr Result = NewPrefix;
+  Result.Ops.reserve(Result.Ops.size() + (Ops.size() - PrefixLen));
   Result.Ops.insert(Result.Ops.end(), Ops.begin() + PrefixLen, Ops.end());
   return Result;
 }

@@ -17,6 +17,14 @@
 /// k-limit size, and index variables are rewritten by the same backward
 /// transfer machinery as pointer components.
 ///
+/// Representation: IdxExpr nodes are immutable and created only by a
+/// LockInterner (locks/Interner.h), which hash-conses them into an arena —
+/// structurally equal index trees are one node, so equality is usually a
+/// pointer compare and hash() reads a precomputed field. Whole paths are
+/// likewise interned into LockPathNode flyweights identified by a 32-bit
+/// LockId; LockName holds a pointer to the canonical node instead of an
+/// inline copy of the path.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef LOCKIN_LOCKS_LOCKEXPR_H
@@ -24,57 +32,80 @@
 
 #include "ir/Ir.h"
 
-#include <memory>
+#include <cstdint>
 #include <string>
 #include <vector>
 
 namespace lockin {
+
+class LockInterner;
+
+/// Bloom bit of one program variable in a path's 64-bit variable mask.
+/// The transfer functions test the mask to skip locks a statement cannot
+/// affect; false positives only cost the precise re-check, never
+/// correctness.
+inline uint64_t varBit(const ir::Variable *V) {
+  return 1ull << ((reinterpret_cast<uintptr_t>(V) >> 4) & 63);
+}
 
 //===----------------------------------------------------------------------===//
 // Index expressions
 //===----------------------------------------------------------------------===//
 
 /// Immutable integer expression tree used in array-offset lock components.
-/// Shared by pointer; all combinators return shared nodes.
+/// Nodes live in a LockInterner's arena and are shared by plain pointer;
+/// within one interner in sharing mode, structural equality coincides with
+/// pointer equality.
 class IdxExpr {
 public:
   enum class Kind { Const, VarVal, Bin };
-  using Ptr = std::shared_ptr<const IdxExpr>;
-
-  static Ptr makeConst(int64_t Value);
-  /// The runtime value of \p Var (an int variable) at evaluation time.
-  static Ptr makeVar(const ir::Variable *Var);
-  static Ptr makeBin(ir::IntBinOp Op, Ptr Lhs, Ptr Rhs);
+  using Ptr = const IdxExpr *;
 
   Kind kind() const { return K; }
   int64_t constValue() const { return Value; }
   const ir::Variable *var() const { return Var; }
   ir::IntBinOp op() const { return Op; }
-  const Ptr &lhs() const { return Lhs; }
-  const Ptr &rhs() const { return Rhs; }
+  Ptr lhs() const { return Lhs; }
+  Ptr rhs() const { return Rhs; }
 
-  /// Number of nodes; contributes to the k-limit.
-  unsigned size() const;
+  /// Number of nodes; contributes to the k-limit. Precomputed.
+  unsigned size() const { return Sz; }
   bool equals(const IdxExpr &Other) const;
   /// True if \p V appears as a VarVal leaf.
   bool mentionsVar(const ir::Variable *V) const;
   std::string str() const;
-  size_t hash() const;
+  /// O(1) for hash-consed nodes; the bench's legacy (non-sharing) mode
+  /// recomputes the structural hash on every call, as the pre-interner
+  /// representation did.
+  size_t hash() const { return Shared ? H : deepHash(); }
+  /// Bloom mask over the VarVal leaves (union of the children's masks,
+  /// folded at construction).
+  uint64_t varMask() const { return VarMask; }
 
 private:
-  Kind K;
+  friend class LockInterner;
+  IdxExpr() = default;
+
+  size_t deepHash() const;
+
+  Kind K = Kind::Const;
+  bool Shared = false; ///< canonical (hash-consed) node: H is valid
+  unsigned Sz = 1;
+  size_t H = 0;
+  uint64_t VarMask = 0;
   int64_t Value = 0;
   const ir::Variable *Var = nullptr;
   ir::IntBinOp Op = ir::IntBinOp::Add;
-  Ptr Lhs;
-  Ptr Rhs;
+  Ptr Lhs = nullptr;
+  Ptr Rhs = nullptr;
 };
 
 //===----------------------------------------------------------------------===//
 // Lock path expressions
 //===----------------------------------------------------------------------===//
 
-/// One step of a lock path.
+/// One step of a lock path. Trivially copyable: the index expression is a
+/// pointer into the interner's arena.
 struct LockOp {
   enum class Kind { Deref, Field, Index };
 
@@ -83,14 +114,14 @@ struct LockOp {
   const StructDecl *Struct = nullptr;
   int FieldIdx = -1;
   // Index: the offset expression.
-  IdxExpr::Ptr Idx;
+  IdxExpr::Ptr Idx = nullptr;
 
   static LockOp deref() { return {Kind::Deref, nullptr, -1, nullptr}; }
   static LockOp field(const StructDecl *SD, int Idx) {
     return {Kind::Field, SD, Idx, nullptr};
   }
   static LockOp index(IdxExpr::Ptr Idx) {
-    return {Kind::Index, nullptr, -1, std::move(Idx)};
+    return {Kind::Index, nullptr, -1, Idx};
   }
 
   bool operator==(const LockOp &Other) const;
@@ -120,7 +151,7 @@ public:
   }
   LockExpr plusIndex(IdxExpr::Ptr Idx) const {
     LockExpr E = *this;
-    E.Ops.push_back(LockOp::index(std::move(Idx)));
+    E.Ops.push_back(LockOp::index(Idx));
     return E;
   }
 
@@ -141,6 +172,17 @@ public:
   bool operator==(const LockExpr &Other) const;
   size_t hash() const;
 
+  /// Bloom mask over every variable the path reads: the base plus all
+  /// index-expression leaves. O(#ops): index subtrees carry precomputed
+  /// masks.
+  uint64_t varMask() const {
+    uint64_t M = varBit(Base);
+    for (const LockOp &Op : Ops)
+      if (Op.K == LockOp::Kind::Index && Op.Idx)
+        M |= Op.Idx->varMask();
+    return M;
+  }
+
   /// Source-ish rendering, e.g. "*((*t) + .buckets @ (key % 16))".
   std::string str() const;
 
@@ -148,6 +190,48 @@ private:
   const ir::Variable *Base;
   std::vector<LockOp> Ops;
 };
+
+//===----------------------------------------------------------------------===//
+// Interned path flyweight
+//===----------------------------------------------------------------------===//
+
+/// Dense identity of an interned lock path, unique within one interner
+/// while sharing is on.
+using LockId = uint32_t;
+
+/// A lock path interned into a LockInterner's arena. In sharing mode there
+/// is one canonical node per distinct path, so LockName equality over
+/// paths is a pointer compare and Hash is read, not recomputed. In the
+/// bench's legacy mode every construction gets a fresh node with
+/// Shared=false, restoring the pre-refactor deep-compare/deep-hash costs.
+struct LockPathNode {
+  LockExpr Path;
+  LockId Id = 0;
+  size_t Hash = 0; ///< == Path.hash(); valid only when Shared
+  /// Bloom mask of the variables the path reads; one fold per canonical
+  /// node in sharing mode, one per construction in legacy mode (as the
+  /// pre-refactor representation paid per check).
+  uint64_t VarMask = 0;
+  bool Shared = false;
+
+  LockPathNode(LockExpr P, LockId Id, size_t Hash, bool Shared)
+      : Path(std::move(P)), Id(Id), Hash(Hash), VarMask(Path.varMask()),
+        Shared(Shared) {}
+
+  size_t hash() const { return Shared ? Hash : Path.hash(); }
+};
+
+/// True if the two nodes denote the same path. Pointer equality settles it
+/// for canonical nodes; otherwise falls back to structural comparison.
+inline bool samePath(const LockPathNode *A, const LockPathNode *B) {
+  if (A == B)
+    return true;
+  if (!A || !B)
+    return false;
+  if (A->Shared && B->Shared && A->Hash != B->Hash)
+    return false;
+  return A->Path == B->Path;
+}
 
 } // namespace lockin
 

@@ -6,7 +6,16 @@
 
 #include "locks/LockName.h"
 
+#include "locks/Interner.h"
+
 using namespace lockin;
+
+LockName LockName::fine(const LockExpr &Path, RegionId Region, Effect Eff,
+                        LockInterner &Interner) {
+  LockName L(Kind::Fine, Region, Eff);
+  L.Node = Interner.intern(Path);
+  return L;
+}
 
 bool LockName::leq(const LockName &Other) const {
   if (Other.K == Kind::Top)
@@ -18,7 +27,8 @@ bool LockName::leq(const LockName &Other) const {
   if (Other.K == Kind::Coarse)
     return Region != InvalidRegion && Region == Other.Region;
   // Other is fine: only a fine lock over the identical path is below it.
-  return K == Kind::Fine && Region == Other.Region && *Path == *Other.Path;
+  return K == Kind::Fine && Region == Other.Region &&
+         samePath(Node, Other.Node);
 }
 
 bool LockName::sameLockIgnoringEffect(const LockName &Other) const {
@@ -30,7 +40,7 @@ bool LockName::sameLockIgnoringEffect(const LockName &Other) const {
   case Kind::Coarse:
     return Region == Other.Region;
   case Kind::Fine:
-    return Region == Other.Region && *Path == *Other.Path;
+    return Region == Other.Region && samePath(Node, Other.Node);
   }
   return false;
 }
@@ -43,8 +53,16 @@ size_t LockName::hash() const {
   size_t H = static_cast<size_t>(K) * 0x9e3779b97f4a7c15ULL +
              static_cast<size_t>(Eff);
   H ^= static_cast<size_t>(Region) * 0xbf58476d1ce4e5b9ULL;
-  if (Path)
-    H ^= Path->hash();
+  if (Node)
+    H ^= Node->hash();
+  return H;
+}
+
+size_t LockName::classHash() const {
+  size_t H = static_cast<size_t>(K) * 0x9e3779b97f4a7c15ULL;
+  H ^= static_cast<size_t>(Region) * 0xbf58476d1ce4e5b9ULL;
+  if (Node)
+    H ^= Node->hash();
   return H;
 }
 
@@ -55,7 +73,7 @@ std::string LockName::str() const {
   case Kind::Coarse:
     return "region#" + std::to_string(Region) + ":" + effectName(Eff);
   case Kind::Fine:
-    return Path->str() + "@region#" + std::to_string(Region) + ":" +
+    return Node->Path.str() + "@region#" + std::to_string(Region) + ":" +
            effectName(Eff);
   }
   return "?";

@@ -26,11 +26,14 @@
 #include "locks/LockExpr.h"
 #include "pointsto/Steensgaard.h"
 
-#include <optional>
 #include <string>
 
 namespace lockin {
 
+/// A lock name is a small trivially-copyable value: kind, region, effect,
+/// and (for fine locks) a pointer to the interned path flyweight. With the
+/// interner in sharing mode path equality is a pointer compare and the
+/// path hash is a field read, so LockName equality/hash are O(1).
 class LockName {
 public:
   enum class Kind { Top, Coarse, Fine };
@@ -40,11 +43,10 @@ public:
   static LockName coarse(RegionId Region, Effect Eff) {
     return LockName(Kind::Coarse, Region, Eff);
   }
-  static LockName fine(LockExpr Path, RegionId Region, Effect Eff) {
-    LockName L(Kind::Fine, Region, Eff);
-    L.Path = std::move(Path);
-    return L;
-  }
+  /// Fine lock over \p Path; the path is interned through \p Interner,
+  /// which must outlive every LockName built from it.
+  static LockName fine(const LockExpr &Path, RegionId Region, Effect Eff,
+                       LockInterner &Interner);
 
   Kind kind() const { return K; }
   bool isTop() const { return K == Kind::Top; }
@@ -53,7 +55,18 @@ public:
 
   RegionId region() const { return Region; }
   Effect effect() const { return Eff; }
-  const LockExpr &path() const { return *Path; }
+  const LockExpr &path() const { return Node->Path; }
+  /// Dense interned-path identity (unique per distinct path within one
+  /// interner in sharing mode).
+  LockId pathId() const { return Node->Id; }
+
+  /// Conservative O(1) test: false means the path certainly does not read
+  /// \p V, so any transfer that only rewrites occurrences of V is the
+  /// identity on this lock. True may be a bloom false positive; callers
+  /// fall through to the precise rewrite. Fine locks only.
+  bool pathMayMention(const ir::Variable *V) const {
+    return (Node->VarMask & varBit(V)) != 0;
+  }
 
   /// The coarser-than partial order: this ≤ Other means Other protects at
   /// least the locations of this lock, with at least its effects.
@@ -72,6 +85,10 @@ public:
 
   bool operator==(const LockName &Other) const;
   size_t hash() const;
+  /// Hash over the effect-ignoring identity (kind, region, path): equal for
+  /// any two names where sameLockIgnoringEffect holds. O(1) with interned
+  /// paths; structural on the bench's legacy representation.
+  size_t classHash() const;
   std::string str() const;
 
 private:
@@ -81,7 +98,7 @@ private:
   Kind K;
   RegionId Region;
   Effect Eff;
-  std::optional<LockExpr> Path;
+  const LockPathNode *Node = nullptr;
 };
 
 /// Region of the location a lock path evaluates to: start at the cell of

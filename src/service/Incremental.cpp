@@ -110,7 +110,7 @@ AnalyzeOutcome IncrementalAnalyzer::analyze(const std::string &Unit,
   // Cache pass: a run request needs live LockSets for the interpreter,
   // so it always takes the uncached path (and refreshes the cache).
   bool BypassLookups = Params.Force || Params.Run;
-  std::vector<std::string> LocksText(NumSections);
+  std::vector<std::shared_ptr<const std::string>> LocksText(NumSections);
   std::vector<LockCensus> Censuses(NumSections);
   std::vector<uint32_t> Misses;
   for (uint32_t Id = 0; Id < NumSections; ++Id) {
@@ -134,7 +134,9 @@ AnalyzeOutcome IncrementalAnalyzer::analyze(const std::string &Unit,
                      const std::vector<uint32_t> &Ids) {
     for (uint32_t Id : Ids) {
       const LockSet &Locks = Result.sectionLocks(Id);
-      SectionSummary Summary{Locks.str(), censusOf(Locks)};
+      SectionSummary Summary;
+      Summary.setText(Locks.str());
+      Summary.Census = censusOf(Locks);
       LocksText[Id] = Summary.LocksText;
       Censuses[Id] = Summary.Census;
       Cache.insert(Sections[Id].Key, std::move(Summary));
@@ -180,7 +182,8 @@ AnalyzeOutcome IncrementalAnalyzer::analyze(const std::string &Unit,
 
   // Assemble the report — the exact shape of Compilation::report().
   Out.Report = ir::printIrModule(Module, [&](uint32_t SectionId) {
-    return LocksText[SectionId];
+    const auto &Text = LocksText[SectionId];
+    return Text ? *Text : std::string();
   });
   char Line[64];
   LockCensus Census;
@@ -193,7 +196,8 @@ AnalyzeOutcome IncrementalAnalyzer::analyze(const std::string &Unit,
                       ? Sections[Id].Function->name()
                       : std::string("?");
     Out.Report += ": ";
-    Out.Report += LocksText[Id];
+    if (LocksText[Id])
+      Out.Report += *LocksText[Id];
     Out.Report += "\n";
     Census += Censuses[Id];
   }

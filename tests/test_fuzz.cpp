@@ -20,6 +20,7 @@
 #include "fuzz/Mutator.h"
 #include "fuzz/Oracles.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
 
@@ -82,7 +83,7 @@ TEST(Generator, LegacyGeneratorsAreByteStable) {
 
 TEST(Generator, DeterministicAndDistinctPerSeed) {
   for (Family F : {Family::Seq, Family::Commute, Family::Stress,
-                   Family::LegacySeq, Family::LegacyConc}) {
+                   Family::LegacySeq, Family::LegacyConc, Family::Mega}) {
     EXPECT_EQ(generateProgram({F, 5}), generateProgram({F, 5}))
         << familyName(F);
     EXPECT_NE(generateProgram({F, 5}), generateProgram({F, 6}))
@@ -104,9 +105,25 @@ TEST(Generator, EveryFamilyCompiles) {
   }
 }
 
+TEST(Generator, MegaCompilesAtRequestedScale) {
+  GenOptions Options;
+  Options.F = Family::Mega;
+  Options.Seed = 3;
+  Options.MegaLines = 2000;
+  std::string Source = generateProgram(Options);
+  size_t Lines = static_cast<size_t>(
+      std::count(Source.begin(), Source.end(), '\n'));
+  EXPECT_GE(Lines, Options.MegaLines / 2);
+  std::unique_ptr<Compilation> C = compileOk(Source);
+  ASSERT_TRUE(C->ok());
+  // One section per generated DAG function: well into the hundreds even
+  // at this small test size.
+  EXPECT_GE(C->inference().sections().size(), 100u);
+}
+
 TEST(Generator, FamilyNamesRoundTrip) {
   for (Family F : {Family::Seq, Family::Commute, Family::Stress,
-                   Family::LegacySeq, Family::LegacyConc}) {
+                   Family::LegacySeq, Family::LegacyConc, Family::Mega}) {
     Family Back;
     ASSERT_TRUE(familyFromName(familyName(F), Back)) << familyName(F);
     EXPECT_EQ(Back, F);

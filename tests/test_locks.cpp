@@ -8,6 +8,7 @@
 
 #include "infer/LockSet.h"
 #include "locks/ConcreteLock.h"
+#include "locks/Interner.h"
 #include "locks/LockName.h"
 
 using namespace lockin;
@@ -36,18 +37,19 @@ protected:
   std::unique_ptr<Compilation> C;
   const IrFunction *F = nullptr;
   StructDecl *SD = nullptr;
+  LockInterner IN;
 };
 
 TEST_F(LockDomainTest, IdxExprBasics) {
-  IdxExpr::Ptr I1 = IdxExpr::makeVar(var("i"));
-  IdxExpr::Ptr I2 = IdxExpr::makeConst(16);
-  IdxExpr::Ptr Rem = IdxExpr::makeBin(IntBinOp::Rem, I1, I2);
+  IdxExpr::Ptr I1 = IN.idxVar(var("i"));
+  IdxExpr::Ptr I2 = IN.idxConst(16);
+  IdxExpr::Ptr Rem = IN.idxBin(IntBinOp::Rem, I1, I2);
   EXPECT_EQ(Rem->size(), 3u);
   EXPECT_TRUE(Rem->mentionsVar(var("i")));
   EXPECT_FALSE(Rem->mentionsVar(var("a")));
   EXPECT_EQ(Rem->str(), "(i % 16)");
-  IdxExpr::Ptr Same = IdxExpr::makeBin(IntBinOp::Rem, IdxExpr::makeVar(
-      var("i")), IdxExpr::makeConst(16));
+  IdxExpr::Ptr Same = IN.idxBin(IntBinOp::Rem, IN.idxVar(
+      var("i")), IN.idxConst(16));
   EXPECT_TRUE(Rem->equals(*Same));
   EXPECT_EQ(Rem->hash(), Same->hash());
   EXPECT_FALSE(Rem->equals(*I1));
@@ -78,9 +80,9 @@ TEST_F(LockDomainTest, LockExprWithPrefix) {
 }
 
 TEST_F(LockDomainTest, LockExprIndexSizeCountsIdxNodes) {
-  IdxExpr::Ptr Idx = IdxExpr::makeBin(IntBinOp::Rem,
-                                      IdxExpr::makeVar(var("i")),
-                                      IdxExpr::makeConst(16));
+  IdxExpr::Ptr Idx = IN.idxBin(IntBinOp::Rem,
+                                      IN.idxVar(var("i")),
+                                      IN.idxConst(16));
   LockExpr P = LockExpr(var("a")).plusDeref().plusIndex(Idx);
   EXPECT_EQ(P.size(), 4u); // 1 deref + 3 idx nodes
 }
@@ -91,8 +93,8 @@ TEST_F(LockDomainTest, LockNameOrder) {
   RegionId R = evalPathRegion(PathA, PT);
   ASSERT_NE(R, InvalidRegion);
 
-  LockName FineRO = LockName::fine(PathA, R, Effect::RO);
-  LockName FineRW = LockName::fine(PathA, R, Effect::RW);
+  LockName FineRO = LockName::fine(PathA, R, Effect::RO, IN);
+  LockName FineRW = LockName::fine(PathA, R, Effect::RW, IN);
   LockName CoarseRO = LockName::coarse(R, Effect::RO);
   LockName CoarseRW = LockName::coarse(R, Effect::RW);
   LockName Top = LockName::top();
@@ -132,20 +134,20 @@ TEST_F(LockDomainTest, LockSetInsertSubsumption) {
   RegionId R = evalPathRegion(PathA, PT);
 
   LockSet Set;
-  EXPECT_TRUE(Set.insert(LockName::fine(PathA, R, Effect::RO)));
+  EXPECT_TRUE(Set.insert(LockName::fine(PathA, R, Effect::RO, IN)));
   // Re-inserting the same lock changes nothing.
-  EXPECT_FALSE(Set.insert(LockName::fine(PathA, R, Effect::RO)));
+  EXPECT_FALSE(Set.insert(LockName::fine(PathA, R, Effect::RO, IN)));
   EXPECT_EQ(Set.size(), 1u);
   // Upgrading the effect replaces, not duplicates.
-  EXPECT_TRUE(Set.insert(LockName::fine(PathA, R, Effect::RW)));
+  EXPECT_TRUE(Set.insert(LockName::fine(PathA, R, Effect::RW, IN)));
   EXPECT_EQ(Set.size(), 1u);
-  EXPECT_TRUE(Set.covers(LockName::fine(PathA, R, Effect::RO)));
+  EXPECT_TRUE(Set.covers(LockName::fine(PathA, R, Effect::RO, IN)));
   // A coarse lock over the region swallows the fine lock.
   EXPECT_TRUE(Set.insert(LockName::coarse(R, Effect::RW)));
   EXPECT_EQ(Set.size(), 1u);
-  EXPECT_TRUE(Set.covers(LockName::fine(PathA, R, Effect::RW)));
+  EXPECT_TRUE(Set.covers(LockName::fine(PathA, R, Effect::RW, IN)));
   // Inserting the now-covered fine lock is a no-op.
-  EXPECT_FALSE(Set.insert(LockName::fine(PathA, R, Effect::RW)));
+  EXPECT_FALSE(Set.insert(LockName::fine(PathA, R, Effect::RW, IN)));
   // Top swallows everything.
   EXPECT_TRUE(Set.insert(LockName::top()));
   EXPECT_EQ(Set.size(), 1u);
@@ -159,8 +161,8 @@ TEST_F(LockDomainTest, LockSetMergeIsPaperJoin) {
   RegionId R = evalPathRegion(PathA, PT);
 
   LockSet N1, N2;
-  N1.insert(LockName::fine(PathA, R, Effect::RO));
-  N2.insert(LockName::fine(PathB, R, Effect::RW));
+  N1.insert(LockName::fine(PathA, R, Effect::RO, IN));
+  N2.insert(LockName::fine(PathB, R, Effect::RW, IN));
   N2.insert(LockName::coarse(R, Effect::RO));
   // coarse(R, ro) does NOT subsume fine(B, rw) (effect), nor vice versa.
   EXPECT_EQ(N2.size(), 2u);
@@ -168,9 +170,9 @@ TEST_F(LockDomainTest, LockSetMergeIsPaperJoin) {
   LockSet Merged = N1;
   Merged.merge(N2);
   // fine(A, ro) ≤ coarse(R, ro): dropped.
-  EXPECT_FALSE(Merged.contains(LockName::fine(PathA, R, Effect::RO)));
+  EXPECT_FALSE(Merged.contains(LockName::fine(PathA, R, Effect::RO, IN)));
   EXPECT_TRUE(Merged.contains(LockName::coarse(R, Effect::RO)));
-  EXPECT_TRUE(Merged.contains(LockName::fine(PathB, R, Effect::RW)));
+  EXPECT_TRUE(Merged.contains(LockName::fine(PathB, R, Effect::RW, IN)));
   EXPECT_EQ(Merged.size(), 2u);
   // Merge is idempotent.
   LockSet Again = Merged;
@@ -184,10 +186,10 @@ TEST_F(LockDomainTest, LockSetEqualityIsOrderInsensitive) {
   LockExpr PathB = LockExpr(var("b")).plusDeref();
   RegionId R = evalPathRegion(PathA, PT);
   LockSet S1, S2;
-  S1.insert(LockName::fine(PathA, R, Effect::RO));
-  S1.insert(LockName::fine(PathB, R, Effect::RW));
-  S2.insert(LockName::fine(PathB, R, Effect::RW));
-  S2.insert(LockName::fine(PathA, R, Effect::RO));
+  S1.insert(LockName::fine(PathA, R, Effect::RO, IN));
+  S1.insert(LockName::fine(PathB, R, Effect::RW, IN));
+  S2.insert(LockName::fine(PathB, R, Effect::RW, IN));
+  S2.insert(LockName::fine(PathA, R, Effect::RO, IN));
   EXPECT_TRUE(S1 == S2);
 }
 

@@ -194,7 +194,7 @@ TEST(Protocol, EofMidFrameIsAnError) {
 
 SectionSummary summary(const std::string &Text) {
   SectionSummary S;
-  S.LocksText = Text;
+  S.setText(Text);
   S.Census.FineRW = 1;
   return S;
 }
@@ -207,7 +207,7 @@ TEST(SummaryCache, LruEvictionAndRecencyRefresh) {
   // Touch 1 so 2 becomes the LRU victim.
   SectionSummary Out;
   ASSERT_TRUE(Cache.lookup(1, Out));
-  EXPECT_EQ(Out.LocksText, "one");
+  EXPECT_EQ(Out.text(), "one");
   Cache.insert(3, summary("three"));
 
   EXPECT_TRUE(Cache.lookup(1, Out));
@@ -235,6 +235,20 @@ TEST(SummaryCache, EraseAndClearCountAsInvalidations) {
   SummaryCache::Stats S = Cache.stats();
   EXPECT_EQ(S.Invalidations, 2u);
   EXPECT_EQ(S.Entries, 0u);
+}
+
+TEST(SummaryCache, IdenticalTextsSharePooledStorage) {
+  SummaryCache Cache(8);
+  Cache.insert(1, summary("same"));
+  Cache.insert(2, summary("same"));
+  Cache.insert(3, summary("other"));
+  SectionSummary A, B, C;
+  ASSERT_TRUE(Cache.lookup(1, A));
+  ASSERT_TRUE(Cache.lookup(2, B));
+  ASSERT_TRUE(Cache.lookup(3, C));
+  EXPECT_EQ(A.LocksText.get(), B.LocksText.get());
+  EXPECT_NE(A.LocksText.get(), C.LocksText.get());
+  EXPECT_EQ(Cache.stats().TextPoolHits, 1u);
 }
 
 TEST(SummaryCache, CapacityZeroDisables) {
