@@ -77,6 +77,18 @@ const OptionSpec Options[] = {
      [](CliOptions &O, const char *V) {
        return setString(O.MetricsOut, V);
      }},
+    {nullptr, "--log-level", "LEVEL",
+     "structured-log threshold: debug|info|warn|error|off (default info)",
+     [](CliOptions &O, const char *V) {
+       if (!V)
+         return false;
+       for (const char *L : {"debug", "info", "warn", "error", "off"})
+         if (std::strcmp(V, L) == 0) {
+           O.LogLevel = V;
+           return true;
+         }
+       return false;
+     }},
     {nullptr, "--profile-locks", nullptr,
      "profile lock contention during --run and print the table",
      [](CliOptions &O, const char *) { return O.ProfileLocks = true; }},
@@ -121,6 +133,16 @@ const OptionSpec Options[] = {
      "summary-cache entries for --serve; 0 disables (default 65536)",
      [](CliOptions &O, const char *V) {
        return parseUnsigned(V, O.CacheCapacity);
+     }},
+    {nullptr, "--flightrecord-out", "FILE",
+     "write the flight-recorder dump as JSON at drain (--serve)",
+     [](CliOptions &O, const char *V) {
+       return setString(O.FlightRecordOut, V);
+     }},
+    {nullptr, "--flightrecord-capacity", "N",
+     "completed-request summaries the flight recorder keeps (default 256)",
+     [](CliOptions &O, const char *V) {
+       return parseUnsigned(V, O.FlightCapacity) && O.FlightCapacity > 0;
      }},
     {nullptr, "--help", nullptr, "show this help",
      [](CliOptions &O, const char *) { return O.Help = true; }},

@@ -42,6 +42,8 @@ struct CliOptions {
   unsigned YieldSeed = 1;
   std::string TraceOut;   ///< Chrome trace JSON path; empty = no tracing
   std::string MetricsOut; ///< metrics JSON path; "-" = stdout, empty = off
+  /// Structured-log threshold: debug|info|warn|error|off.
+  std::string LogLevel = "info";
   std::string Path;
 
   /// Daemon mode (--serve): listen instead of compiling a file. The
@@ -53,6 +55,10 @@ struct CliOptions {
   unsigned QueueDepth = 32;        ///< bounded analyze queue
   unsigned RequestTimeoutMs = 0;   ///< per-request deadline; 0 = none
   unsigned CacheCapacity = 65536;  ///< summary-cache entries; 0 disables
+  /// Flight-recorder JSON dump path, written at drain (--serve only).
+  std::string FlightRecordOut;
+  /// Completed-request summaries the flight recorder retains.
+  unsigned FlightCapacity = 256;
 };
 
 /// Strict base-10 unsigned parse; rejects empty, trailing junk, overflow.

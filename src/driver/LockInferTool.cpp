@@ -27,13 +27,12 @@
 #include "driver/Cli.h"
 #include "driver/Tool.h"
 #include "obs/LockProfiler.h"
-#include "obs/Metrics.h"
+#include "obs/Log.h"
 #include "obs/Obs.h"
 #include "obs/Trace.h"
 
 #include <cstdio>
 #include <fstream>
-#include <iostream>
 #include <sstream>
 #include <string>
 
@@ -63,11 +62,18 @@ int main(int Argc, char **Argv) {
     obs::tracer().setEnabled(true);
   if (Cli.ProfileLocks || !Cli.TraceOut.empty())
     obs::lockProfiler().setEnabled(true);
+  obs::LogLevel Level = obs::LogLevel::Info;
+  obs::parseLogLevel(Cli.LogLevel, Level); // validated by the parser
+  obs::log().setLevel(Level);
+
+  if (Cli.Serve)
+    // runServe drains the obs outputs itself, after the SIGTERM/shutdown
+    // drain completes (the daemon never reaches the code below with a
+    // still-armed registry worth snapshotting).
+    return tool::runServe(Cli);
 
   int Rc;
-  if (Cli.Serve) {
-    Rc = tool::runServe(Cli);
-  } else {
+  {
     std::ifstream In(Cli.Path);
     if (!In) {
       std::fprintf(stderr, "error: cannot open %s\n", Cli.Path.c_str());
@@ -84,32 +90,7 @@ int main(int Argc, char **Argv) {
       return Rc;
   }
 
-  if (Cli.ProfileLocks)
-    std::fputs(obs::lockProfiler().renderTable().c_str(), stdout);
-  if (!Cli.MetricsOut.empty()) {
-    if (Cli.MetricsOut == "-") {
-      obs::metrics().writeJson(std::cout);
-    } else {
-      std::ofstream Out(Cli.MetricsOut);
-      if (!Out) {
-        std::fprintf(stderr, "error: cannot write %s\n",
-                     Cli.MetricsOut.c_str());
-        return 1;
-      }
-      obs::metrics().writeJson(Out);
-    }
-  }
-  if (!Cli.TraceOut.empty()) {
-    std::ofstream Out(Cli.TraceOut);
-    if (!Out) {
-      std::fprintf(stderr, "error: cannot write %s\n", Cli.TraceOut.c_str());
-      return 1;
-    }
-    obs::tracer().writeChromeJson(Out);
-    if (uint64_t Dropped = obs::tracer().totalDropped())
-      std::fprintf(stderr,
-                   "note: trace ring buffers dropped %llu oldest events\n",
-                   static_cast<unsigned long long>(Dropped));
-  }
+  if (int DrainRc = tool::drainObsOutputs(Cli))
+    return DrainRc;
   return Rc;
 }

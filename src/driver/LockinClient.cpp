@@ -16,6 +16,8 @@
 ///       incremental path.
 ///   invalidate [UNIT]   drop one unit's cached summaries, or everything
 ///   stats               print the daemon's stats JSON
+///   metrics             print the live metrics in Prometheus text format
+///   flightrecord        print the last-N completed-request summaries
 ///   ping                liveness check
 ///   shutdown            ask the daemon to drain and exit
 ///
@@ -45,6 +47,8 @@ void usage(std::FILE *To) {
       "  analyze FILE [--unit NAME] [-k N] [--jobs N] [--force] [--run]\n"
       "  invalidate [UNIT]\n"
       "  stats\n"
+      "  metrics\n"
+      "  flightrecord\n"
       "  ping\n"
       "  shutdown\n",
       To);
@@ -102,6 +106,7 @@ int main(int Argc, char **Argv) {
   std::string Command = Rest[0];
   Json Request = Json::object();
   bool PrintReport = false;
+  bool PrintPrometheus = false;
   if (Command == "analyze") {
     if (Rest.size() < 2) {
       std::fprintf(stderr, "error: analyze needs a FILE\n");
@@ -145,8 +150,13 @@ int main(int Argc, char **Argv) {
     Request.set("op", Json::string("invalidate"));
     if (Rest.size() > 1)
       Request.set("unit", Json::string(Rest[1]));
+  } else if (Command == "metrics") {
+    // The response carries the whole registry as Prometheus text; print
+    // that raw so the output pipes straight into promtool / a scraper.
+    Request.set("op", Json::string(Command));
+    PrintPrometheus = true;
   } else if (Command == "stats" || Command == "ping" ||
-             Command == "shutdown") {
+             Command == "shutdown" || Command == "flightrecord") {
     Request.set("op", Json::string(Command));
   } else {
     std::fprintf(stderr, "error: unknown command '%s'\n", Command.c_str());
@@ -164,7 +174,9 @@ int main(int Argc, char **Argv) {
                  Response.getString("error", "request failed").c_str());
     return 1;
   }
-  if (PrintReport) {
+  if (PrintPrometheus) {
+    std::fputs(Response.getString("prometheus", "").c_str(), stdout);
+  } else if (PrintReport) {
     std::fputs(Response.getString("report", "").c_str(), stdout);
     std::fprintf(
         stderr, "; cache: hits=%llu misses=%llu sections=%llu\n",

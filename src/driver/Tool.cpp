@@ -13,11 +13,47 @@
 #include "driver/Tool.h"
 
 #include "driver/Compiler.h"
+#include "obs/LockProfiler.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 
 #include <cstdio>
+#include <fstream>
+#include <iostream>
 
 using namespace lockin;
 using namespace lockin::tool;
+
+int tool::drainObsOutputs(const cli::CliOptions &Opts) {
+  if (Opts.ProfileLocks)
+    std::fputs(obs::lockProfiler().renderTable().c_str(), stdout);
+  if (!Opts.MetricsOut.empty()) {
+    if (Opts.MetricsOut == "-") {
+      obs::metrics().writeJson(std::cout);
+    } else {
+      std::ofstream Out(Opts.MetricsOut);
+      if (!Out) {
+        std::fprintf(stderr, "error: cannot write %s\n",
+                     Opts.MetricsOut.c_str());
+        return 1;
+      }
+      obs::metrics().writeJson(Out);
+    }
+  }
+  if (!Opts.TraceOut.empty()) {
+    std::ofstream Out(Opts.TraceOut);
+    if (!Out) {
+      std::fprintf(stderr, "error: cannot write %s\n", Opts.TraceOut.c_str());
+      return 1;
+    }
+    obs::tracer().writeChromeJson(Out);
+    if (uint64_t Dropped = obs::tracer().totalDropped())
+      std::fprintf(stderr,
+                   "note: trace ring buffers dropped %llu oldest events\n",
+                   static_cast<unsigned long long>(Dropped));
+  }
+  return 0;
+}
 
 int tool::runAnalysis(const cli::CliOptions &Opts, const std::string &Source,
                       ToolContext &Ctx) {

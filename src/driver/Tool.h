@@ -53,6 +53,14 @@ int runAnalysis(const cli::CliOptions &Opts, const std::string &Source,
 /// shutdown request, then returns the exit code.
 int runServe(const cli::CliOptions &Opts);
 
+/// Drains the armed process-wide observability outputs: the
+/// --profile-locks table to stdout, --metrics-out JSON, --trace-out
+/// Chrome JSON (with a dropped-events note on stderr). Shared by the
+/// one-shot tool at exit and by runServe after the drain completes, so a
+/// SIGTERM'd daemon still writes its snapshots. Returns 0, or 1 when an
+/// output file cannot be opened.
+int drainObsOutputs(const cli::CliOptions &Opts);
+
 } // namespace tool
 } // namespace lockin
 

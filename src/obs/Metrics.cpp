@@ -82,6 +82,47 @@ void MetricsRegistry::writeJson(std::ostream &OS) const {
   OS << (First ? "" : "\n  ") << "}\n}\n";
 }
 
+namespace {
+
+/// Prometheus metric names: [a-zA-Z_:][a-zA-Z0-9_:]*. Dotted lockin names
+/// become underscored and get a "lockin_" namespace prefix.
+std::string promName(const std::string &Name) {
+  std::string Out = "lockin_";
+  for (char C : Name) {
+    bool Ok = (C >= 'a' && C <= 'z') || (C >= 'A' && C <= 'Z') ||
+              (C >= '0' && C <= '9') || C == '_';
+    Out += Ok ? C : '_';
+  }
+  return Out;
+}
+
+} // namespace
+
+void MetricsRegistry::writePrometheus(std::ostream &OS) const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  for (const auto &[Name, C] : Counters) {
+    std::string P = promName(Name);
+    OS << "# TYPE " << P << "_total counter\n"
+       << P << "_total " << C->value() << "\n";
+  }
+  for (const auto &[Name, H] : Histograms) {
+    std::string P = promName(Name);
+    OS << "# TYPE " << P << " histogram\n";
+    uint64_t Cum = 0;
+    for (unsigned B = 0; B < Histogram::NumBuckets; ++B) {
+      uint64_t N = H->bucketCount(B);
+      if (N == 0)
+        continue;
+      Cum += N;
+      OS << P << "_bucket{le=\"" << Histogram::bucketHi(B) << "\"} " << Cum
+         << "\n";
+    }
+    OS << P << "_bucket{le=\"+Inf\"} " << Cum << "\n"
+       << P << "_sum " << H->sum() << "\n"
+       << P << "_count " << H->count() << "\n";
+  }
+}
+
 void MetricsRegistry::reset() {
   std::lock_guard<std::mutex> Lock(Mu);
   for (auto &[Name, C] : Counters)

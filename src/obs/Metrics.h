@@ -117,6 +117,14 @@ public:
   /// emitted sparsely as [le, count] pairs.
   void writeJson(std::ostream &OS) const;
 
+  /// Prometheus text exposition (format 0.0.4) of the whole registry:
+  /// counters as `lockin_<name>_total`, histograms as cumulative
+  /// `_bucket{le="..."}` series (non-empty buckets plus "+Inf") with
+  /// `_sum`/`_count`. Dotted metric names are sanitized to underscores.
+  /// This is what the daemon's `metrics` request op serves, so a running
+  /// service can be scraped without restart.
+  void writePrometheus(std::ostream &OS) const;
+
   /// Zero every registered metric (benchmarks reuse one registry across
   /// phases). Handles stay valid.
   void reset();
@@ -125,6 +133,12 @@ public:
     std::lock_guard<std::mutex> Lock(Mu);
     for (const auto &[Name, C] : Counters)
       F(Name, *C);
+  }
+
+  template <typename Fn> void forEachHistogram(Fn &&F) const {
+    std::lock_guard<std::mutex> Lock(Mu);
+    for (const auto &[Name, H] : Histograms)
+      F(Name, *H);
   }
 
 private:

@@ -6,6 +6,7 @@
 
 #include "obs/Trace.h"
 
+#include "obs/RequestTelemetry.h"
 #include "runtime/Mode.h"
 
 #include <bit>
@@ -64,6 +65,8 @@ ThreadTraceBuffer &Tracer::buffer() {
     Buffers.push_back(std::make_unique<ThreadTraceBuffer>(Capacity));
     B = Buffers.back().get();
     B->TidV = static_cast<uint32_t>(Buffers.size());
+    MetricsRegistry &Reg = Metrics ? *Metrics : obs::metrics();
+    B->DroppedCounter = &Reg.counter("trace.dropped_events");
   }
   // Shift-in LRU: slot 0 is most recent.
   for (size_t I = std::size(Cache) - 1; I > 0; --I)
@@ -144,6 +147,8 @@ void Tracer::writeChromeJson(std::ostream &OS) const {
        "\"args\": {\"name\": \"lockin\"}}");
   Emit("{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 2, "
        "\"args\": {\"name\": \"lockin-sim (ts in cycles)\"}}");
+  Emit("{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 3, "
+       "\"args\": {\"name\": \"lockin-service (per-request)\"}}");
   for (const auto &B : Buffers) {
     std::snprintf(Line, sizeof(Line),
                   "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, "
@@ -157,7 +162,11 @@ void Tracer::writeChromeJson(std::ostream &OS) const {
     size_t N = B->size();
     for (size_t I = 0; I < N; ++I) {
       const TraceEvent &E = B->at(I);
-      unsigned Pid = isSimKind(E.Kind) ? 2 : 1;
+      // pid 1 = real time, pid 2 = simulated time, pid 3 = service
+      // requests (one Chrome "thread" row per request id).
+      unsigned Pid = isSimKind(E.Kind)                      ? 2
+                     : E.Kind == EventKind::RequestPhaseSpan ? 3
+                                                             : 1;
       uint32_t Tid = E.Tid ? E.Tid : B->tid();
       // Chrome wants microseconds; simulated events pass cycles through
       // 1:1 (the sim's own time base).
@@ -167,7 +176,10 @@ void Tracer::writeChromeJson(std::ostream &OS) const {
                                      : static_cast<double>(E.DurNs) / 1000.0;
       std::string Name;
       std::string Args;
-      char Buf[96];
+      // Sized for the worst-case X-span tail: two %.3f timestamps can
+      // each run ~17 chars when the clock origin is large, plus the
+      // longest args payload.
+      char Buf[192];
       switch (E.Kind) {
       case EventKind::SectionSpan:
         Name = "section";
@@ -219,6 +231,14 @@ void Tracer::writeChromeJson(std::ostream &OS) const {
         Name = "policy:";
         Name += Actions[A];
         std::snprintf(Buf, sizeof(Buf), "{\"target\": %" PRIu64 "}", E.A);
+        Args = Buf;
+        break;
+      }
+      case EventKind::RequestPhaseSpan: {
+        unsigned P = E.Mode < kNumReqPhases ? E.Mode : 0;
+        Name = "req:";
+        Name += reqPhaseName(static_cast<ReqPhase>(P));
+        std::snprintf(Buf, sizeof(Buf), "{\"request\": %" PRIu64 "}", E.A);
         Args = Buf;
         break;
       }

@@ -27,6 +27,8 @@
 #ifndef LOCKIN_OBS_TRACE_H
 #define LOCKIN_OBS_TRACE_H
 
+#include "obs/Metrics.h"
+
 #include <atomic>
 #include <cstdint>
 #include <memory>
@@ -53,6 +55,8 @@ enum class EventKind : uint8_t {
   SimAbort,     ///< simulated STM abort (instant), Tid = logical thread
   PolicyEvent,  ///< adaptive-runtime transition (instant), A = target id,
                 ///< Mode = adaptive::PolicyAction
+  RequestPhaseSpan, ///< service request phase, A = request id,
+                    ///< Mode = obs::ReqPhase, Tid = low 32 bits of id
 };
 
 /// One POD trace record. Spans use TsNs/DurNs; instants and counters use
@@ -75,6 +79,11 @@ public:
 
   void emit(const TraceEvent &E) {
     uint64_t C = Cursor.load(std::memory_order_relaxed);
+    // A full ring means this write overwrites the oldest retained event;
+    // surface the truncation in the metrics registry instead of losing
+    // it silently (`trace.dropped_events`).
+    if (C >= Ring.size() && DroppedCounter)
+      DroppedCounter->inc();
     Ring[C & Mask] = E;
     // Release: a drainer that acquires the cursor sees the slot contents.
     Cursor.store(C + 1, std::memory_order_release);
@@ -112,6 +121,7 @@ private:
   std::atomic<uint64_t> Cursor{0};
   std::thread::id Owner;
   uint32_t TidV = 0;
+  Counter *DroppedCounter = nullptr; // set once at creation by the Tracer
 };
 
 /// Owns one ThreadTraceBuffer per emitting thread (created on first use,
@@ -130,6 +140,12 @@ public:
 
   /// Per-thread ring capacity for buffers created after this call.
   void setCapacity(size_t Events) { Capacity = Events; }
+
+  /// Registry that receives the `trace.dropped_events` overflow counter
+  /// for buffers created after this call; null (the default) means the
+  /// process-wide obs::metrics(). Tests point private tracers at private
+  /// registries.
+  void setMetrics(MetricsRegistry *Reg) { Metrics = Reg; }
 
   /// The calling thread's buffer (created on first use).
   ThreadTraceBuffer &buffer();
@@ -160,6 +176,7 @@ public:
 private:
   std::atomic<bool> Enabled{false};
   size_t Capacity = 1 << 15;
+  MetricsRegistry *Metrics = nullptr; // null = obs::metrics()
   mutable std::mutex Mu; // guards Buffers + Names
   std::vector<std::unique_ptr<ThreadTraceBuffer>> Buffers;
   std::vector<std::string> Names;

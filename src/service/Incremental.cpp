@@ -46,13 +46,19 @@ struct SectionInfo {
 AnalyzeOutcome IncrementalAnalyzer::analyze(const std::string &Unit,
                                             const std::string &Source,
                                             const AnalyzeParams &Params) {
+  obs::RequestContext *Tel = obs::kEnabled ? Params.Telemetry : nullptr;
+
   // Front half of the pipeline: always runs (content hashing needs the
   // normalized IR, the region signature needs points-to).
-  CompileOptions Options;
-  Options.K = Params.K;
-  Options.Jobs = Params.Jobs;
-  Options.InferLocks = false;
-  std::unique_ptr<Compilation> C = compile(Source, Options);
+  std::unique_ptr<Compilation> C;
+  {
+    obs::PhaseScope Scope(Tel, obs::ReqPhase::Parse);
+    CompileOptions Options;
+    Options.K = Params.K;
+    Options.Jobs = Params.Jobs;
+    Options.InferLocks = false;
+    C = compile(Source, Options);
+  }
   if (!C->ok()) {
     AnalyzeOutcome Out;
     Out.Error = C->diagnostics().str();
@@ -65,6 +71,8 @@ AnalyzeOutcome IncrementalAnalyzer::analyze(const std::string &Unit,
 
   const ir::IrModule &Module = C->module();
   const analysis::CallGraph &CG = C->callGraph();
+  if (Tel)
+    Tel->begin(obs::ReqPhase::Fingerprint);
   ModuleFingerprint FP(Module, CG, C->pointsTo());
 
   uint32_t NumSections = Module.numAtomicSections();
@@ -106,79 +114,88 @@ AnalyzeOutcome IncrementalAnalyzer::analyze(const std::string &Unit,
           Out.DirtyConeSections.push_back(Id);
     }
   }
+  if (Tel)
+    Tel->end(obs::ReqPhase::Fingerprint);
 
-  // Cache pass: a run request needs live LockSets for the interpreter,
-  // so it always takes the uncached path (and refreshes the cache).
-  bool BypassLookups = Params.Force || Params.Run;
   std::vector<std::shared_ptr<const std::string>> LocksText(NumSections);
   std::vector<LockCensus> Censuses(NumSections);
-  std::vector<uint32_t> Misses;
-  for (uint32_t Id = 0; Id < NumSections; ++Id) {
-    SectionSummary Hit;
-    if (!BypassLookups && Cache.lookup(Sections[Id].Key, Hit)) {
-      LocksText[Id] = std::move(Hit.LocksText);
-      Censuses[Id] = Hit.Census;
-      ++Out.CacheHits;
-    } else {
-      Misses.push_back(Id);
-      ++Out.CacheMisses;
+  {
+    obs::PhaseScope Scope(Tel, obs::ReqPhase::Analyze);
+
+    // Cache pass: a run request needs live LockSets for the interpreter,
+    // so it always takes the uncached path (and refreshes the cache).
+    bool BypassLookups = Params.Force || Params.Run;
+    std::vector<uint32_t> Misses;
+    for (uint32_t Id = 0; Id < NumSections; ++Id) {
+      SectionSummary Hit;
+      if (!BypassLookups && Cache.lookup(Sections[Id].Key, Hit)) {
+        LocksText[Id] = std::move(Hit.LocksText);
+        Censuses[Id] = Hit.Census;
+        ++Out.CacheHits;
+      } else {
+        Misses.push_back(Id);
+        ++Out.CacheMisses;
+      }
     }
-  }
 
-  InferenceOptions InferOpts;
-  InferOpts.K = Params.K;
-  InferOpts.Jobs = Params.Jobs;
-  LockInference Inference(Module, C->pointsTo(), CG, InferOpts);
+    InferenceOptions InferOpts;
+    InferOpts.K = Params.K;
+    InferOpts.Jobs = Params.Jobs;
+    LockInference Inference(Module, C->pointsTo(), CG, InferOpts);
 
-  auto Harvest = [&](const InferenceResult &Result,
-                     const std::vector<uint32_t> &Ids) {
-    for (uint32_t Id : Ids) {
-      const LockSet &Locks = Result.sectionLocks(Id);
-      SectionSummary Summary;
-      Summary.setText(Locks.str());
-      Summary.Census = censusOf(Locks);
-      LocksText[Id] = Summary.LocksText;
-      Censuses[Id] = Summary.Census;
-      Cache.insert(Sections[Id].Key, std::move(Summary));
-      Out.Reanalyzed.push_back(Id);
-    }
-  };
+    auto Harvest = [&](const InferenceResult &Result,
+                       const std::vector<uint32_t> &Ids) {
+      for (uint32_t Id : Ids) {
+        const LockSet &Locks = Result.sectionLocks(Id);
+        SectionSummary Summary;
+        Summary.setText(Locks.str());
+        Summary.Census = censusOf(Locks);
+        LocksText[Id] = Summary.LocksText;
+        Censuses[Id] = Summary.Census;
+        Cache.insert(Sections[Id].Key, std::move(Summary));
+        Out.Reanalyzed.push_back(Id);
+      }
+    };
 
-  if (Params.Run) {
-    // Full inference in one shot, then execute.
-    if (pastDeadline(Params))
-      return timedOut();
-    InferenceResult Result = Inference.run();
-    std::vector<uint32_t> All(NumSections);
-    for (uint32_t Id = 0; Id < NumSections; ++Id)
-      All[Id] = Id;
-    Harvest(Result, All);
-
-    InterpOptions RunOpts;
-    RunOpts.Mode = Params.RunMode;
-    RunOpts.InjectYields = Params.InjectYields;
-    RunOpts.YieldSeed = Params.YieldSeed;
-    InterpResult R =
-        interpret(Module, C->pointsTo(), &Result, RunOpts, "main");
-    Out.RanProgram = true;
-    Out.RunOk = R.Ok;
-    Out.RunError = R.Error;
-    Out.MainResult = R.MainResult;
-    Out.TotalSteps = R.TotalSteps;
-  } else {
-    // Re-analyze only the misses, in batches with deadline checks. The
-    // LockInference instance is reused so summaries computed for one
-    // batch warm the next.
-    for (size_t Begin = 0; Begin < Misses.size(); Begin += ReanalyzeBatch) {
+    if (Params.Run) {
+      // Full inference in one shot, then execute.
       if (pastDeadline(Params))
         return timedOut();
-      size_t End = std::min(Misses.size(), Begin + ReanalyzeBatch);
-      std::vector<uint32_t> Batch(Misses.begin() + Begin,
-                                  Misses.begin() + End);
-      InferenceResult Result = Inference.run(Batch);
-      Harvest(Result, Batch);
+      InferenceResult Result = Inference.run();
+      std::vector<uint32_t> All(NumSections);
+      for (uint32_t Id = 0; Id < NumSections; ++Id)
+        All[Id] = Id;
+      Harvest(Result, All);
+
+      InterpOptions RunOpts;
+      RunOpts.Mode = Params.RunMode;
+      RunOpts.InjectYields = Params.InjectYields;
+      RunOpts.YieldSeed = Params.YieldSeed;
+      InterpResult R =
+          interpret(Module, C->pointsTo(), &Result, RunOpts, "main");
+      Out.RanProgram = true;
+      Out.RunOk = R.Ok;
+      Out.RunError = R.Error;
+      Out.MainResult = R.MainResult;
+      Out.TotalSteps = R.TotalSteps;
+    } else {
+      // Re-analyze only the misses, in batches with deadline checks. The
+      // LockInference instance is reused so summaries computed for one
+      // batch warm the next.
+      for (size_t Begin = 0; Begin < Misses.size();
+           Begin += ReanalyzeBatch) {
+        if (pastDeadline(Params))
+          return timedOut();
+        size_t End = std::min(Misses.size(), Begin + ReanalyzeBatch);
+        std::vector<uint32_t> Batch(Misses.begin() + Begin,
+                                    Misses.begin() + End);
+        InferenceResult Result = Inference.run(Batch);
+        Harvest(Result, Batch);
+      }
     }
   }
+
+  obs::PhaseScope RenderScope(Tel, obs::ReqPhase::Render);
 
   // Assemble the report — the exact shape of Compilation::report().
   Out.Report = ir::printIrModule(Module, [&](uint32_t SectionId) {

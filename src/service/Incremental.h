@@ -30,6 +30,7 @@
 
 #include "infer/SummaryCache.h"
 #include "interp/Interp.h"
+#include "obs/RequestTelemetry.h"
 
 #include <chrono>
 #include <cstdint>
@@ -59,6 +60,12 @@ struct AnalyzeParams {
   /// Cooperative cancellation: checked between pipeline phases and
   /// between re-analysis batches. Zero time_point = no deadline.
   std::chrono::steady_clock::time_point Deadline{};
+  /// Request-scoped telemetry carrier (null = untelemetered). The
+  /// analyzer brackets its pipeline stages (parse, fingerprint, analyze,
+  /// render) with PhaseScopes on this context; the server rolls the
+  /// spans up when the request completes. Ignored in LOCKIN_OBS=OFF
+  /// builds — the bracketing sites compile out.
+  obs::RequestContext *Telemetry = nullptr;
 };
 
 struct AnalyzeOutcome {

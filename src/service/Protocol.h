@@ -16,6 +16,10 @@
 ///   {"op":"invalidate"}            (whole cache)
 ///   {"op":"invalidate","unit":"U"} (one unit)
 ///   {"op":"stats"}
+///   {"op":"metrics"}               (live registry: Prometheus text +
+///                                   counter/histogram summaries)
+///   {"op":"flightrecord"}          (last-N completed-request summaries;
+///                                   "debug/flightrecord" is an alias)
 ///   {"op":"shutdown"}
 ///
 /// Responses always carry "ok"; failures add "error". See DESIGN.md

@@ -11,9 +11,11 @@
 //===----------------------------------------------------------------------===//
 
 #include "driver/Tool.h"
+#include "obs/Log.h"
 #include "service/Server.h"
 
 #include <cstdio>
+#include <fstream>
 
 using namespace lockin;
 
@@ -27,11 +29,16 @@ int tool::runServe(const cli::CliOptions &Opts) {
   SO.CacheCapacity = Opts.CacheCapacity;
   SO.DefaultK = Opts.K;
   SO.DefaultJobs = Opts.Jobs ? Opts.Jobs : 1;
+  SO.FlightCapacity = Opts.FlightCapacity;
 
   service::Server Server(SO);
   std::string Err;
   if (!Server.start(Err)) {
     std::fprintf(stderr, "error: %s\n", Err.c_str());
+    if constexpr (obs::kEnabled)
+      obs::log()
+          .event(obs::LogLevel::Error, "service.start_failed")
+          .str("error", Err);
     return 1;
   }
   Server.installSignalHandlers();
@@ -43,10 +50,43 @@ int tool::runServe(const cli::CliOptions &Opts) {
   if (Opts.Port >= 0)
     std::printf("lockin-serve: listening on 127.0.0.1:%d\n", Server.port());
   std::fflush(stdout);
+  if constexpr (obs::kEnabled)
+    obs::log()
+        .event(obs::LogLevel::Info, "service.listening")
+        .str("socket", Opts.Socket)
+        .num("port", Opts.Port >= 0 ? static_cast<uint64_t>(Server.port())
+                                    : 0)
+        .num("workers", SO.Workers)
+        .num("queue_depth", SO.QueueDepth);
 
   Server.run();
+
+  // Drain-time telemetry: dump the flight recorder through the log and
+  // (optionally) to a JSON file, then write the --metrics-out /
+  // --trace-out snapshots that one-shot runs write at process exit — so
+  // a SIGTERM'd daemon is not blind (the snapshots used to be lost).
+  int Rc = 0;
+  if constexpr (obs::kEnabled) {
+    Server.flightRecorder().dump(obs::log(), "drain", /*MinGapNs=*/0);
+    obs::log()
+        .event(obs::LogLevel::Info, "service.drained")
+        .num("requests_served", Server.requestsServed());
+  }
+  if (!Opts.FlightRecordOut.empty()) {
+    std::ofstream Out(Opts.FlightRecordOut);
+    if (!Out) {
+      std::fprintf(stderr, "error: cannot write %s\n",
+                   Opts.FlightRecordOut.c_str());
+      Rc = 1;
+    } else {
+      Server.flightRecorder().writeJson(Out);
+    }
+  }
+  if (int DrainRc = drainObsOutputs(Opts))
+    Rc = DrainRc;
+
   std::printf("lockin-serve: drained after %llu requests\n",
               static_cast<unsigned long long>(Server.requestsServed()));
   std::fflush(stdout);
-  return 0;
+  return Rc;
 }

@@ -6,10 +6,12 @@
 
 #include "service/Server.h"
 
+#include "obs/Log.h"
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
 
 #include <cerrno>
+#include <sstream>
 #include <csignal>
 #include <cstring>
 #include <fcntl.h>
@@ -68,7 +70,7 @@ bool lockin::service::parseAtomicMode(std::string_view Text,
 
 Server::Server(ServerOptions Opts)
     : Opts(std::move(Opts)), Cache(this->Opts.CacheCapacity),
-      Analyzer(Cache) {}
+      Analyzer(Cache), Flight(this->Opts.FlightCapacity) {}
 
 Server::~Server() {
   if (GSignalFd.load(std::memory_order_relaxed) == WakePipe[1] &&
@@ -175,6 +177,10 @@ void Server::beginDrain() {
   bool Expected = false;
   if (!Draining.compare_exchange_strong(Expected, true))
     return;
+  if constexpr (obs::kEnabled)
+    obs::log()
+        .event(obs::LogLevel::Info, "service.drain_begin")
+        .num("requests_served", requestsServed());
   // Half-close every connection's read side: requests already read keep
   // running to completion and their responses still flush through the
   // intact write side; blocked readers see EOF and wind down.
@@ -251,18 +257,26 @@ void Server::acceptLoop() {
       if (Client < 0)
         continue;
       obs::metrics().counter("service.connections").inc();
+      std::string Peer = (Slot == UnixSlot ? "unix:" : "tcp:") +
+                         std::to_string(Client);
+      if constexpr (obs::kEnabled)
+        obs::log()
+            .event(obs::LogLevel::Debug, "service.connect")
+            .str("peer", Peer);
       std::lock_guard<std::mutex> Lock(ConnMu);
       if (Draining.load(std::memory_order_acquire)) {
         ::close(Client);
         continue;
       }
       ConnFds.push_back(Client);
-      ConnThreads.emplace_back([this, Client] { serveConnection(Client); });
+      ConnThreads.emplace_back([this, Client, Peer = std::move(Peer)]() mutable {
+        serveConnection(Client, std::move(Peer));
+      });
     }
   }
 }
 
-void Server::serveConnection(int Fd) {
+void Server::serveConnection(int Fd, std::string Peer) {
   std::string Err;
   bool IsShutdown = false;
   while (!IsShutdown) {
@@ -273,16 +287,25 @@ void Server::serveConnection(int Fd) {
     if (Rc < 0) {
       // Malformed frame/JSON: answer if the peer is still there, then
       // drop the connection — framing is unrecoverable after a bad frame.
+      if constexpr (obs::kEnabled)
+        obs::log()
+            .event(obs::LogLevel::Warn, "service.bad_frame")
+            .str("peer", Peer)
+            .str("error", Err);
       std::string Ignored;
       writeJson(Fd, errorResponse(Err), Ignored);
       break;
     }
-    Json Response = dispatch(Request, IsShutdown);
+    Json Response = dispatch(Request, IsShutdown, Peer);
     std::string WriteErr;
     if (!writeJson(Fd, Response, WriteErr))
       break;
     Served.fetch_add(1, std::memory_order_relaxed);
   }
+  if constexpr (obs::kEnabled)
+    obs::log()
+        .event(obs::LogLevel::Debug, "service.disconnect")
+        .str("peer", Peer);
   ::close(Fd);
   {
     std::lock_guard<std::mutex> Lock(ConnMu);
@@ -297,7 +320,8 @@ void Server::serveConnection(int Fd) {
     requestShutdown();
 }
 
-Json Server::dispatch(const Json &Request, bool &IsShutdown) {
+Json Server::dispatch(const Json &Request, bool &IsShutdown,
+                      const std::string &Peer) {
   std::string Op = Request.getString("op", "");
   obs::metrics().counter("service.requests." + (Op.empty() ? "bad" : Op))
       .inc();
@@ -309,6 +333,10 @@ Json Server::dispatch(const Json &Request, bool &IsShutdown) {
   }
   if (Op == "stats")
     return handleStats();
+  if (Op == "metrics")
+    return handleMetrics();
+  if (Op == "flightrecord" || Op == "debug/flightrecord")
+    return handleFlightRecord();
   if (Op == "invalidate")
     return handleInvalidate(Request);
   if (Op == "shutdown") {
@@ -324,20 +352,55 @@ Json Server::dispatch(const Json &Request, bool &IsShutdown) {
       Deadline = std::chrono::steady_clock::now() +
                  std::chrono::milliseconds(Opts.RequestTimeoutMs);
 
+    std::unique_ptr<obs::RequestContext> Ctx;
+    if (telemetryOn()) {
+      Ctx = std::make_unique<obs::RequestContext>(
+          NextRequestId.fetch_add(1, std::memory_order_relaxed), Peer, Op);
+      Ctx->Unit = Request.getString("unit", "");
+    }
+
     // Backpressure: a full queue answers immediately instead of queueing
     // unbounded work behind a slow analysis.
+    bool Overloaded = false;
     std::future<Json> Future;
     {
       std::lock_guard<std::mutex> Lock(QueueMu);
       if (Queue.size() >= Opts.QueueDepth) {
-        obs::metrics().counter("service.overloaded").inc();
-        return errorResponse("overloaded");
+        Overloaded = true;
+      } else {
+        Job J;
+        J.Request = Request;
+        J.Deadline = Deadline;
+        if (Ctx)
+          Ctx->begin(obs::ReqPhase::Queue);
+        J.Ctx = std::move(Ctx);
+        Future = J.Promise.get_future();
+        Queue.push_back(std::move(J));
       }
-      Job J;
-      J.Request = Request;
-      J.Deadline = Deadline;
-      Future = J.Promise.get_future();
-      Queue.push_back(std::move(J));
+    }
+    if (Overloaded) {
+      obs::metrics().counter("service.overloaded").inc();
+      if constexpr (obs::kEnabled) {
+        if (Ctx) {
+          // The rejection is the whole life of this request: its queue
+          // wait is the read-to-rejection interval, which the flight
+          // record and the dump below surface.
+          uint64_t Now = obs::nowNs();
+          Ctx->setSpan(obs::ReqPhase::Queue, Ctx->startNs(),
+                       Now - Ctx->startNs());
+          Ctx->Outcome = "overloaded";
+          obs::log()
+              .event(obs::LogLevel::Warn, "service.overloaded")
+              .num("req", Ctx->id())
+              .str("unit", Ctx->Unit)
+              .str("peer", Ctx->Peer)
+              .num("queue_depth", Opts.QueueDepth)
+              .num("queue_wait_ns", Ctx->phaseNs(obs::ReqPhase::Queue));
+          finishRequest(*Ctx);
+          Flight.dump(obs::log(), "overload");
+        }
+      }
+      return errorResponse("overloaded");
     }
     QueueCv.notify_one();
     return Future.get();
@@ -356,24 +419,39 @@ void Server::workerLoop() {
       J = std::move(Queue.front());
       Queue.pop_front();
     }
+    if (J.Ctx)
+      J.Ctx->end(obs::ReqPhase::Queue);
     uint64_t T0 = nowNs();
-    Json Response = handleAnalyze(J.Request, J.Deadline);
+    Json Response = handleAnalyze(J.Request, J.Deadline, J.Ctx.get());
     uint64_t Dur = nowNs() - T0;
     obs::metrics().histogram("service.analyze_ns").record(Dur);
     obs::tracer().span(obs::EventKind::PassSpan, T0, Dur,
                        obs::tracer().internName("service.analyze"));
+    if constexpr (obs::kEnabled) {
+      if (J.Ctx) {
+        finishRequest(*J.Ctx);
+        if (J.Ctx->Outcome == "timeout")
+          Flight.dump(obs::log(), "timeout");
+      }
+    }
     J.Promise.set_value(std::move(Response));
   }
 }
 
 Json Server::handleAnalyze(const Json &Request,
-                           std::chrono::steady_clock::time_point Deadline) {
+                           std::chrono::steady_clock::time_point Deadline,
+                           obs::RequestContext *Ctx) {
+  auto Fail = [&](const std::string &Msg) {
+    if (Ctx)
+      Ctx->Outcome = "error";
+    return errorResponse(Msg);
+  };
   std::string Unit = Request.getString("unit", "");
   if (Unit.empty())
-    return errorResponse("analyze: missing \"unit\"");
+    return Fail("analyze: missing \"unit\"");
   const Json *Source = Request.get("source");
   if (!Source || Source->kind() != Json::Kind::String)
-    return errorResponse("analyze: missing \"source\"");
+    return Fail("analyze: missing \"source\"");
 
   AnalyzeParams Params;
   Params.K = static_cast<unsigned>(Request.getUint("k", Opts.DefaultK));
@@ -384,21 +462,42 @@ Json Server::handleAnalyze(const Json &Request,
   Params.InjectYields = Request.getBool("injectYields", false);
   Params.YieldSeed = Request.getUint("yieldSeed", 1);
   Params.Deadline = Deadline;
+  Params.Telemetry = Ctx;
   std::string ModeText = Request.getString("mode", "inferred");
   if (!parseAtomicMode(ModeText, Params.RunMode))
-    return errorResponse("analyze: bad mode \"" + ModeText + "\"");
+    return Fail("analyze: bad mode \"" + ModeText + "\"");
 
   AnalyzeOutcome Out = Analyzer.analyze(Unit, Source->asString(), Params);
+  if (Ctx) {
+    Ctx->CacheHits = Out.CacheHits;
+    Ctx->CacheMisses = Out.CacheMisses;
+    Ctx->DirtyCone = static_cast<uint32_t>(Out.DirtyConeSections.size());
+    Ctx->Sections = Out.Sections;
+  }
 
   Json R = Json::object();
   R.set("ok", Json::boolean(Out.Ok));
   if (Out.TimedOut) {
     obs::metrics().counter("service.timeouts").inc();
+    if constexpr (obs::kEnabled) {
+      if (Ctx) {
+        Ctx->Outcome = "timeout";
+        obs::log()
+            .event(obs::LogLevel::Warn, "service.timeout")
+            .num("req", Ctx->id())
+            .str("unit", Ctx->Unit)
+            .str("peer", Ctx->Peer)
+            .num("timeout_ms", Opts.RequestTimeoutMs)
+            .num("queue_ns", Ctx->phaseNs(obs::ReqPhase::Queue));
+      }
+    }
     R.set("error", Json::string("timeout"));
     R.set("timedOut", Json::boolean(true));
     return R;
   }
   if (!Out.Ok) {
+    if (Ctx)
+      Ctx->Outcome = "error";
     R.set("error", Json::string(Out.Error));
     return R;
   }
@@ -474,5 +573,123 @@ Json Server::handleInvalidate(const Json &Request) {
   R.set("ok", Json::boolean(true));
   R.set("scope", Json::string("unit"));
   R.set("known", Json::boolean(Known));
+  return R;
+}
+
+void Server::finishRequest(obs::RequestContext &Ctx) {
+  if constexpr (!obs::kEnabled)
+    return;
+  uint64_t Total = obs::nowNs() - Ctx.startNs();
+  obs::MetricsRegistry &M = obs::metrics();
+  using obs::ReqPhase;
+  if (Ctx.span(ReqPhase::Queue).StartNs)
+    M.histogram("service.queue_ns").record(Ctx.phaseNs(ReqPhase::Queue));
+  M.histogram("service.total_ns").record(Total);
+  static const struct {
+    ReqPhase P;
+    const char *Metric;
+  } PhaseMetrics[] = {
+      {ReqPhase::Parse, "service.phase.parse_ns"},
+      {ReqPhase::Fingerprint, "service.phase.fingerprint_ns"},
+      {ReqPhase::Analyze, "service.phase.analyze_ns"},
+      {ReqPhase::Render, "service.phase.render_ns"},
+  };
+  for (const auto &PM : PhaseMetrics)
+    if (Ctx.span(PM.P).StartNs)
+      M.histogram(PM.Metric).record(Ctx.phaseNs(PM.P));
+
+  // Per-request track in the Chrome trace: one row per request id on
+  // pid 3, one span per phase that ran.
+  obs::Tracer &T = obs::tracer();
+  if (T.enabled()) {
+    for (unsigned I = 0; I < obs::kNumReqPhases; ++I) {
+      const obs::PhaseSpan &S = Ctx.span(static_cast<ReqPhase>(I));
+      if (S.StartNs)
+        T.span(obs::EventKind::RequestPhaseSpan, S.StartNs, S.DurNs,
+               Ctx.id(), static_cast<uint32_t>(Ctx.id()),
+               static_cast<uint8_t>(I));
+    }
+  }
+
+  Flight.record(Ctx, Total);
+
+  obs::Logger &L = obs::log();
+  if (L.enabled(obs::LogLevel::Debug))
+    L.event(obs::LogLevel::Debug, "service.request")
+        .num("req", Ctx.id())
+        .str("op", Ctx.Op)
+        .str("unit", Ctx.Unit)
+        .str("peer", Ctx.Peer)
+        .str("outcome", Ctx.Outcome)
+        .num("total_ns", Total)
+        .num("queue_ns", Ctx.phaseNs(ReqPhase::Queue))
+        .num("parse_ns", Ctx.phaseNs(ReqPhase::Parse))
+        .num("fingerprint_ns", Ctx.phaseNs(ReqPhase::Fingerprint))
+        .num("analyze_ns", Ctx.phaseNs(ReqPhase::Analyze))
+        .num("render_ns", Ctx.phaseNs(ReqPhase::Render))
+        .num("cache_hits", Ctx.CacheHits)
+        .num("cache_misses", Ctx.CacheMisses)
+        .num("dirty_cone", Ctx.DirtyCone)
+        .num("sections", Ctx.Sections);
+}
+
+Json Server::handleMetrics() {
+  Json R = Json::object();
+  R.set("ok", Json::boolean(true));
+  std::ostringstream Prom;
+  obs::metrics().writePrometheus(Prom);
+  R.set("prometheus", Json::string(Prom.str()));
+  Json Counters = Json::object();
+  obs::metrics().forEachCounter(
+      [&](const std::string &Name, const obs::Counter &C) {
+        Counters.set(Name, Json::integer(static_cast<int64_t>(C.value())));
+      });
+  R.set("counters", std::move(Counters));
+  // Quantile summaries so clients (bench_service, dashboards) don't have
+  // to re-derive them from the bucket series.
+  Json Hists = Json::object();
+  obs::metrics().forEachHistogram(
+      [&](const std::string &Name, const obs::Histogram &H) {
+        Json O = Json::object();
+        O.set("count", Json::integer(static_cast<int64_t>(H.count())));
+        O.set("sum", Json::integer(static_cast<int64_t>(H.sum())));
+        O.set("p50", Json::integer(static_cast<int64_t>(H.quantile(0.50))));
+        O.set("p95", Json::integer(static_cast<int64_t>(H.quantile(0.95))));
+        O.set("p99", Json::integer(static_cast<int64_t>(H.quantile(0.99))));
+        Hists.set(Name, std::move(O));
+      });
+  R.set("histograms", std::move(Hists));
+  R.set("telemetry", Json::boolean(telemetryOn()));
+  return R;
+}
+
+Json Server::handleFlightRecord() {
+  Json R = Json::object();
+  R.set("ok", Json::boolean(true));
+  R.set("telemetry", Json::boolean(telemetryOn()));
+  R.set("capacity", Json::integer(static_cast<int64_t>(Flight.capacity())));
+  R.set("recorded", Json::integer(static_cast<int64_t>(Flight.recorded())));
+  Json Records = Json::array();
+  for (const obs::FlightRecord &Rec : Flight.snapshot()) {
+    Json O = Json::object();
+    O.set("id", Json::integer(static_cast<int64_t>(Rec.Id)));
+    O.set("op", Json::string(Rec.Op));
+    O.set("unit", Json::string(Rec.Unit));
+    O.set("peer", Json::string(Rec.Peer));
+    O.set("outcome", Json::string(Rec.Outcome));
+    O.set("start_ns", Json::integer(static_cast<int64_t>(Rec.StartNs)));
+    O.set("total_ns", Json::integer(static_cast<int64_t>(Rec.TotalNs)));
+    Json Phases = Json::object();
+    for (unsigned I = 0; I < obs::kNumReqPhases; ++I)
+      Phases.set(obs::reqPhaseName(static_cast<obs::ReqPhase>(I)),
+                 Json::integer(static_cast<int64_t>(Rec.PhaseNs[I])));
+    O.set("phases_ns", std::move(Phases));
+    O.set("cache_hits", Json::integer(Rec.CacheHits));
+    O.set("cache_misses", Json::integer(Rec.CacheMisses));
+    O.set("dirty_cone", Json::integer(Rec.DirtyCone));
+    O.set("sections", Json::integer(Rec.Sections));
+    Records.push(std::move(O));
+  }
+  R.set("records", std::move(Records));
   return R;
 }

@@ -34,6 +34,7 @@
 #ifndef LOCKIN_SERVICE_SERVER_H
 #define LOCKIN_SERVICE_SERVER_H
 
+#include "obs/RequestTelemetry.h"
 #include "service/Incremental.h"
 #include "service/Protocol.h"
 
@@ -67,6 +68,13 @@ struct ServerOptions {
   /// Defaults applied when an analyze request omits k / jobs.
   unsigned DefaultK = 3;
   unsigned DefaultJobs = 1;
+  /// Arms the request-scoped telemetry (phase spans, per-request
+  /// histograms, flight records, per-request debug logs). Forced off in
+  /// LOCKIN_OBS=OFF builds; bench_service turns it off at runtime to
+  /// measure the armed-vs-dormant overhead in one binary.
+  bool Telemetry = true;
+  /// Completed-request summaries the flight recorder retains.
+  size_t FlightCapacity = 256;
 };
 
 class Server {
@@ -98,6 +106,7 @@ public:
 
   IncrementalAnalyzer &analyzer() { return Analyzer; }
   SummaryCache &cache() { return Cache; }
+  obs::FlightRecorder &flightRecorder() { return Flight; }
 
   /// Requests fully answered (response flushed), across all ops.
   uint64_t requestsServed() const {
@@ -109,18 +118,30 @@ private:
     Json Request;
     std::chrono::steady_clock::time_point Deadline{};
     std::promise<Json> Promise;
+    /// Telemetry carrier; null when telemetry is off. Travels with the
+    /// job so the queue wait is part of the request's phase record.
+    std::unique_ptr<obs::RequestContext> Ctx;
   };
 
   void acceptLoop();
-  void serveConnection(int Fd);
-  Json dispatch(const Json &Request, bool &IsShutdown);
+  void serveConnection(int Fd, std::string Peer);
+  Json dispatch(const Json &Request, bool &IsShutdown,
+                const std::string &Peer);
   Json handleAnalyze(const Json &Request,
-                     std::chrono::steady_clock::time_point Deadline);
+                     std::chrono::steady_clock::time_point Deadline,
+                     obs::RequestContext *Ctx);
   Json handleStats();
   Json handleInvalidate(const Json &Request);
+  Json handleMetrics();
+  Json handleFlightRecord();
   void workerLoop();
   void beginDrain();
   void wake();
+
+  bool telemetryOn() const { return obs::kEnabled && Opts.Telemetry; }
+  /// Rolls a finished request into histograms, the per-request trace
+  /// track, the flight recorder, and the debug log.
+  void finishRequest(obs::RequestContext &Ctx);
 
   ServerOptions Opts;
   SummaryCache Cache;
@@ -133,6 +154,8 @@ private:
 
   std::atomic<bool> Draining{false};
   std::atomic<uint64_t> Served{0};
+  std::atomic<uint64_t> NextRequestId{1};
+  obs::FlightRecorder Flight;
 
   std::mutex QueueMu;
   std::condition_variable QueueCv;

@@ -14,8 +14,10 @@
 //===----------------------------------------------------------------------===//
 
 #include "obs/LockProfiler.h"
+#include "obs/Log.h"
 #include "obs/Metrics.h"
 #include "obs/Obs.h"
+#include "obs/RequestTelemetry.h"
 #include "obs/Trace.h"
 #include "runtime/LockRuntime.h"
 
@@ -24,6 +26,7 @@
 #include <atomic>
 #include <cctype>
 #include <chrono>
+#include <cstring>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -338,6 +341,294 @@ TEST(Tracer, MultiThreadWriteJoinDrain) {
   std::ostringstream Expect;
   Expect << "\"droppedEvents\": " << NumThreads * (PerThread - Cap);
   EXPECT_NE(Json.find(Expect.str()), std::string::npos) << Expect.str();
+}
+
+TEST(Histogram, PercentileEstimates) {
+  // 90 fast (bucket 7: [64,128)), 9 slow (bucket 10: [512,1024)), one
+  // outlier (bucket 17: [65536,131072)). The estimator returns a value
+  // inside the right bucket; exactness is not promised, containment is.
+  Histogram H;
+  for (int I = 0; I < 90; ++I)
+    H.record(100);
+  for (int I = 0; I < 9; ++I)
+    H.record(1000);
+  H.record(100000);
+  ASSERT_EQ(H.count(), 100u);
+
+  uint64_t P50 = H.quantile(0.50);
+  EXPECT_GE(P50, 64u);
+  EXPECT_LT(P50, 128u);
+  uint64_t P95 = H.quantile(0.95);
+  EXPECT_GE(P95, 512u);
+  EXPECT_LT(P95, 1024u);
+  // Rank 99 of 100 still lands in the slow bucket (cumulative 99);
+  // only the max reaches the outlier.
+  uint64_t P99 = H.quantile(0.99);
+  EXPECT_GE(P99, 512u);
+  EXPECT_LT(P99, 1024u);
+  uint64_t Max = H.quantile(1.0);
+  EXPECT_GE(Max, 65536u);
+  EXPECT_LT(Max, 131072u);
+  // Quantiles are monotone in P.
+  EXPECT_LE(H.quantile(0.0), P50);
+  EXPECT_LE(P50, P95);
+  EXPECT_LE(P95, P99);
+  EXPECT_LE(P99, Max);
+}
+
+TEST(MetricsRegistry, PrometheusGoldenText) {
+  MetricsRegistry R;
+  R.counter("service.requests.analyze").add(3);
+  Histogram &H = R.histogram("service.queue_ns");
+  H.record(0);    // bucket 0, hi 0
+  H.record(1);    // bucket 1, hi 1
+  H.record(1000); // bucket 10, hi 1023
+
+  std::ostringstream OS;
+  R.writePrometheus(OS);
+  EXPECT_EQ(OS.str(),
+            "# TYPE lockin_service_requests_analyze_total counter\n"
+            "lockin_service_requests_analyze_total 3\n"
+            "# TYPE lockin_service_queue_ns histogram\n"
+            "lockin_service_queue_ns_bucket{le=\"0\"} 1\n"
+            "lockin_service_queue_ns_bucket{le=\"1\"} 2\n"
+            "lockin_service_queue_ns_bucket{le=\"1023\"} 3\n"
+            "lockin_service_queue_ns_bucket{le=\"+Inf\"} 3\n"
+            "lockin_service_queue_ns_sum 1001\n"
+            "lockin_service_queue_ns_count 3\n");
+}
+
+TEST(MetricsRegistry, PrometheusBucketsParseBackMonotone) {
+  MetricsRegistry R;
+  Histogram &H = R.histogram("service.total_ns");
+  for (uint64_t V : {0ull, 3ull, 3ull, 90ull, 4096ull, 70000ull, 70001ull})
+    H.record(V);
+  std::ostringstream OS;
+  R.writePrometheus(OS);
+
+  // Parse every _bucket line back; cumulative counts must be
+  // non-decreasing in le order and the +Inf bucket must equal _count.
+  std::istringstream In(OS.str());
+  std::string Line;
+  uint64_t PrevCum = 0, InfCum = 0, LastLe = 0;
+  unsigned Buckets = 0;
+  bool PrevLeSet = false;
+  while (std::getline(In, Line)) {
+    size_t Tag = Line.find("_bucket{le=\"");
+    if (Tag == std::string::npos)
+      continue;
+    size_t ValStart = Tag + std::strlen("_bucket{le=\"");
+    size_t ValEnd = Line.find('"', ValStart);
+    ASSERT_NE(ValEnd, std::string::npos) << Line;
+    std::string Le = Line.substr(ValStart, ValEnd - ValStart);
+    uint64_t Cum = std::stoull(Line.substr(Line.rfind(' ') + 1));
+    EXPECT_GE(Cum, PrevCum) << Line;
+    PrevCum = Cum;
+    ++Buckets;
+    if (Le == "+Inf") {
+      InfCum = Cum;
+    } else {
+      uint64_t LeV = std::stoull(Le);
+      if (PrevLeSet)
+        EXPECT_GT(LeV, LastLe) << Line;
+      LastLe = LeV;
+      PrevLeSet = true;
+    }
+  }
+  EXPECT_EQ(Buckets, 6u); // five distinct value buckets + +Inf
+  EXPECT_EQ(InfCum, H.count());
+  EXPECT_NE(OS.str().find("lockin_service_total_ns_count 7"),
+            std::string::npos);
+}
+
+TEST(Tracer, DroppedEventsCounter) {
+  MetricsRegistry Reg;
+  Tracer T;
+  T.setMetrics(&Reg);
+  T.setCapacity(8);
+  T.setEnabled(true);
+  for (uint64_t I = 0; I < 11; ++I)
+    T.span(EventKind::SectionSpan, I, 1, I);
+  // 11 events into an 8-slot ring: the three oldest were overwritten and
+  // each overwrite bumped the counter.
+  EXPECT_EQ(T.totalDropped(), 3u);
+  EXPECT_EQ(Reg.counter("trace.dropped_events").value(), 3u);
+
+  // No drops, no counts.
+  MetricsRegistry Reg2;
+  Tracer T2;
+  T2.setMetrics(&Reg2);
+  T2.setCapacity(8);
+  T2.setEnabled(true);
+  T2.span(EventKind::SectionSpan, 1, 1, 1);
+  EXPECT_EQ(Reg2.counter("trace.dropped_events").value(), 0u);
+}
+
+/// Reads everything written to a tmpfile sink so far.
+std::string readSink(std::FILE *F) {
+  std::fflush(F);
+  long Len = std::ftell(F);
+  std::string Out(static_cast<size_t>(Len), '\0');
+  std::rewind(F);
+  size_t Read = std::fread(Out.data(), 1, Out.size(), F);
+  Out.resize(Read);
+  std::fseek(F, 0, SEEK_END);
+  return Out;
+}
+
+TEST(Log, StructuredLinesAndLevels) {
+  std::FILE *Sink = std::tmpfile();
+  ASSERT_NE(Sink, nullptr);
+  Logger L;
+  L.setSink(Sink);
+
+  L.event(LogLevel::Info, "test.event")
+      .str("peer", "unix:\"7\"") // escaping
+      .num("req", 42)
+      .snum("delta", -3)
+      .flag("hit", true);
+  EXPECT_EQ(L.lines(), 1u);
+
+  std::string Text = readSink(Sink);
+  ASSERT_FALSE(Text.empty());
+  ASSERT_EQ(Text.back(), '\n');
+  EXPECT_TRUE(JsonChecker(Text.substr(0, Text.size() - 1)).valid()) << Text;
+  EXPECT_NE(Text.find("\"level\": \"info\""), std::string::npos);
+  EXPECT_NE(Text.find("\"event\": \"test.event\""), std::string::npos);
+  EXPECT_NE(Text.find("\"peer\": \"unix:\\\"7\\\"\""), std::string::npos);
+  EXPECT_NE(Text.find("\"req\": 42"), std::string::npos);
+  EXPECT_NE(Text.find("\"delta\": -3"), std::string::npos);
+  EXPECT_NE(Text.find("\"hit\": true"), std::string::npos);
+  EXPECT_NE(Text.find("\"ts_us\": "), std::string::npos);
+
+  // Below-threshold events are suppressed without formatting anything.
+  L.setLevel(LogLevel::Warn);
+  L.event(LogLevel::Info, "test.suppressed").num("x", 1);
+  EXPECT_EQ(L.lines(), 1u);
+  EXPECT_FALSE(L.enabled(LogLevel::Debug));
+  EXPECT_TRUE(L.enabled(LogLevel::Error));
+  // Off suppresses everything, including Error-level events.
+  L.setLevel(LogLevel::Off);
+  L.event(LogLevel::Error, "test.off");
+  EXPECT_EQ(L.lines(), 1u);
+  EXPECT_FALSE(L.enabled(LogLevel::Error));
+
+  L.setSink(nullptr);
+  std::fclose(Sink);
+}
+
+TEST(Log, ParseLevelNames) {
+  LogLevel L = LogLevel::Info;
+  EXPECT_TRUE(parseLogLevel("debug", L));
+  EXPECT_EQ(L, LogLevel::Debug);
+  EXPECT_TRUE(parseLogLevel("error", L));
+  EXPECT_EQ(L, LogLevel::Error);
+  EXPECT_TRUE(parseLogLevel("off", L));
+  EXPECT_EQ(L, LogLevel::Off);
+  EXPECT_FALSE(parseLogLevel("verbose", L));
+  EXPECT_EQ(L, LogLevel::Off) << "failed parse must not clobber";
+  EXPECT_STREQ(logLevelName(LogLevel::Warn), "warn");
+}
+
+TEST(RequestTelemetry, PhaseSpansAndScopes) {
+  RequestContext Ctx(7, "unix:9", "analyze");
+  EXPECT_EQ(Ctx.id(), 7u);
+  EXPECT_GT(Ctx.startNs(), 0u);
+  EXPECT_EQ(Ctx.Outcome, "ok");
+
+  { PhaseScope S(&Ctx, ReqPhase::Parse); }
+  { PhaseScope S(nullptr, ReqPhase::Analyze); } // null ctx: no-op
+  EXPECT_GT(Ctx.span(ReqPhase::Parse).StartNs, 0u);
+  EXPECT_EQ(Ctx.span(ReqPhase::Analyze).StartNs, 0u)
+      << "never-ran phase stays zeroed";
+  EXPECT_EQ(Ctx.span(ReqPhase::Render).StartNs, 0u);
+
+  // Re-entering a phase accumulates duration.
+  Ctx.begin(ReqPhase::Analyze);
+  Ctx.end(ReqPhase::Analyze);
+  uint64_t First = Ctx.phaseNs(ReqPhase::Analyze);
+  Ctx.begin(ReqPhase::Analyze);
+  Ctx.end(ReqPhase::Analyze);
+  EXPECT_GE(Ctx.phaseNs(ReqPhase::Analyze), First);
+
+  // setSpan overwrites (the overload-rejection path).
+  Ctx.setSpan(ReqPhase::Queue, 1000, 250);
+  EXPECT_EQ(Ctx.span(ReqPhase::Queue).StartNs, 1000u);
+  EXPECT_EQ(Ctx.phaseNs(ReqPhase::Queue), 250u);
+
+  EXPECT_STREQ(reqPhaseName(ReqPhase::Queue), "queue");
+  EXPECT_STREQ(reqPhaseName(ReqPhase::Render), "render");
+}
+
+FlightRecord makeRecord(uint64_t Id) {
+  FlightRecord R;
+  R.Id = Id;
+  R.StartNs = Id * 100;
+  R.TotalNs = Id * 10;
+  R.Op = "analyze";
+  R.Unit = "u.atom";
+  R.Peer = "tcp:5";
+  R.Outcome = Id % 2 ? "ok" : "timeout";
+  R.PhaseNs[0] = Id;
+  return R;
+}
+
+TEST(FlightRecorderTest, RingWrapOldestFirst) {
+  FlightRecorder FR(4);
+  EXPECT_EQ(FR.capacity(), 4u);
+  EXPECT_EQ(FR.snapshot().size(), 0u);
+  for (uint64_t I = 1; I <= 6; ++I)
+    FR.record(makeRecord(I));
+  EXPECT_EQ(FR.recorded(), 6u);
+  std::vector<FlightRecord> Snap = FR.snapshot();
+  ASSERT_EQ(Snap.size(), 4u);
+  for (size_t I = 0; I < 4; ++I)
+    EXPECT_EQ(Snap[I].Id, 3 + I) << "oldest-first after wrap";
+
+  std::ostringstream OS;
+  FR.writeJson(OS);
+  std::string Json = OS.str();
+  EXPECT_TRUE(JsonChecker(Json).valid()) << Json;
+  EXPECT_NE(Json.find("\"capacity\": 4"), std::string::npos);
+  EXPECT_NE(Json.find("\"recorded\": 6"), std::string::npos);
+  EXPECT_NE(Json.find("\"outcome\": \"timeout\""), std::string::npos);
+  EXPECT_NE(Json.find("\"phases_ns\""), std::string::npos);
+
+  FR.clear();
+  EXPECT_EQ(FR.recorded(), 0u);
+  EXPECT_EQ(FR.snapshot().size(), 0u);
+}
+
+TEST(FlightRecorderTest, DumpRateLimit) {
+  std::FILE *Sink = std::tmpfile();
+  ASSERT_NE(Sink, nullptr);
+  Logger L;
+  L.setSink(Sink);
+
+  FlightRecorder FR(8);
+  EXPECT_FALSE(FR.dump(L, "empty")) << "empty ring never dumps";
+  EXPECT_EQ(L.lines(), 0u);
+
+  FR.record(makeRecord(1));
+  FR.record(makeRecord(2));
+  EXPECT_TRUE(FR.dump(L, "overload"));
+  EXPECT_EQ(L.lines(), 3u); // one header + two records
+  // A second dump inside the rate-limit window is suppressed...
+  EXPECT_FALSE(FR.dump(L, "overload"));
+  EXPECT_EQ(L.lines(), 3u);
+  // ...but an explicit MinGapNs of 0 (the drain path) always dumps.
+  EXPECT_TRUE(FR.dump(L, "drain", /*MinGapNs=*/0));
+  EXPECT_EQ(L.lines(), 6u);
+
+  std::string Text = readSink(Sink);
+  EXPECT_NE(Text.find("\"event\": \"flightrecord.dump\""), std::string::npos);
+  EXPECT_NE(Text.find("\"reason\": \"overload\""), std::string::npos);
+  EXPECT_NE(Text.find("\"event\": \"flightrecord.record\""),
+            std::string::npos);
+  EXPECT_NE(Text.find("\"queue_ns\": 1"), std::string::npos);
+
+  L.setSink(nullptr);
+  std::fclose(Sink);
 }
 
 TEST(LockProfilerTest, ContendedTwoThreads) {

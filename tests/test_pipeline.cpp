@@ -295,4 +295,29 @@ TEST(CliParsing, ServeFlags) {
   EXPECT_TRUE(Rejects({"--serve", "--port=0", "--queue-depth=0"}));
 }
 
+TEST(CliParsing, ObservabilityFlags) {
+  cli::CliOptions O;
+  EXPECT_EQ(O.LogLevel, "info");
+  EXPECT_EQ(O.FlightCapacity, 256u);
+  ASSERT_TRUE(parse({"--serve", "--port=0", "--log-level", "debug",
+                     "--flightrecord-out=/tmp/fr.json",
+                     "--flightrecord-capacity", "64"},
+                    O));
+  EXPECT_EQ(O.LogLevel, "debug");
+  EXPECT_EQ(O.FlightRecordOut, "/tmp/fr.json");
+  EXPECT_EQ(O.FlightCapacity, 64u);
+
+  cli::CliOptions O2;
+  ASSERT_TRUE(parse({"--log-level=off", "p.atom"}, O2));
+  EXPECT_EQ(O2.LogLevel, "off");
+
+  auto Rejects = [](std::initializer_list<const char *> Args) {
+    cli::CliOptions O;
+    return !parse(Args, O);
+  };
+  EXPECT_TRUE(Rejects({"--log-level", "chatty", "p.atom"}));
+  EXPECT_TRUE(Rejects({"--log-level=", "p.atom"}));
+  EXPECT_TRUE(Rejects({"--serve", "--port=0", "--flightrecord-capacity=0"}));
+}
+
 } // namespace

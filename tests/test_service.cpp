@@ -25,6 +25,7 @@
 
 #include "driver/Compiler.h"
 #include "infer/SummaryCache.h"
+#include "obs/Obs.h"
 #include "service/Client.h"
 #include "service/Incremental.h"
 #include "service/Json.h"
@@ -663,6 +664,27 @@ TEST(Server, BackpressureAnswersOverloaded) {
   EXPECT_GE(OkCount.load(), 1u);
   EXPECT_GE(OverloadedCount.load(), 1u);
   EXPECT_EQ(OkCount.load() + OverloadedCount.load(), 4u);
+
+  if constexpr (obs::kEnabled) {
+    // Every rejection left an "overloaded" flight record carrying the
+    // read-to-rejection queue wait.
+    Client C;
+    std::string Err;
+    ASSERT_TRUE(C.connectUnix(Path, Err)) << Err;
+    Json Resp;
+    ASSERT_TRUE(C.call(opRequest("flightrecord"), Resp, Err)) << Err;
+    const Json *Records = Resp.get("records");
+    ASSERT_NE(Records, nullptr);
+    unsigned OverloadRecords = 0;
+    for (const Json &R : Records->items())
+      if (R.getString("outcome", "") == "overloaded") {
+        ++OverloadRecords;
+        const Json *Phases = R.get("phases_ns");
+        ASSERT_NE(Phases, nullptr);
+        EXPECT_GT(Phases->getUint("queue", 0), 0u);
+      }
+    EXPECT_EQ(OverloadRecords, OverloadedCount.load());
+  }
 }
 
 TEST(Server, RequestTimeoutCancelsSlowAnalyze) {
@@ -683,6 +705,16 @@ TEST(Server, RequestTimeoutCancelsSlowAnalyze) {
   EXPECT_FALSE(Resp.getBool("ok", true));
   EXPECT_TRUE(Resp.getBool("timedOut", false));
   EXPECT_EQ(Resp.getString("error", ""), "timeout");
+
+  if constexpr (obs::kEnabled) {
+    ASSERT_TRUE(C.call(opRequest("flightrecord"), Resp, Err)) << Err;
+    const Json *Records = Resp.get("records");
+    ASSERT_NE(Records, nullptr);
+    bool SawTimeout = false;
+    for (const Json &R : Records->items())
+      SawTimeout = SawTimeout || R.getString("outcome", "") == "timeout";
+    EXPECT_TRUE(SawTimeout);
+  }
 }
 
 TEST(Server, SigtermDrainsWithZeroDroppedRequests) {
@@ -726,6 +758,104 @@ TEST(Server, SigtermDrainsWithZeroDroppedRequests) {
   Runner.join();
   EXPECT_EQ(Answered.load(), 4u);
   EXPECT_EQ(S.requestsServed(), 4u);
+}
+
+TEST(Server, MetricsOpServesLivePrometheus) {
+  std::string Path = testSocketPath("metrics");
+  ServerOptions Opts;
+  Opts.UnixSocketPath = Path;
+  RunningServer RS(Opts);
+  ASSERT_TRUE(RS.Started);
+
+  Client C;
+  std::string Err;
+  ASSERT_TRUE(C.connectUnix(Path, Err)) << Err;
+  Json Resp;
+  ASSERT_TRUE(C.call(analyzeRequest("m.atom", coneProgram(1)), Resp, Err))
+      << Err;
+  ASSERT_TRUE(Resp.getBool("ok", false)) << Resp.getString("error", "");
+
+  // Scraped mid-session, no restart: the registry snapshot must already
+  // reflect the analyze that just completed.
+  ASSERT_TRUE(C.call(opRequest("metrics"), Resp, Err)) << Err;
+  ASSERT_TRUE(Resp.getBool("ok", false));
+  std::string Prom = Resp.getString("prometheus", "");
+  EXPECT_NE(
+      Prom.find("# TYPE lockin_service_requests_analyze_total counter"),
+      std::string::npos);
+  const Json *Counters = Resp.get("counters");
+  ASSERT_NE(Counters, nullptr);
+  EXPECT_GE(Counters->getUint("service.requests.analyze", 0), 1u);
+
+  if constexpr (obs::kEnabled) {
+    EXPECT_TRUE(Resp.getBool("telemetry", false));
+    // Per-request phase histograms, live after one request.
+    for (const char *Name :
+         {"lockin_service_total_ns_count", "lockin_service_queue_ns_count",
+          "lockin_service_phase_parse_ns_count",
+          "lockin_service_phase_fingerprint_ns_count",
+          "lockin_service_phase_analyze_ns_count",
+          "lockin_service_phase_render_ns_count"})
+      EXPECT_NE(Prom.find(Name), std::string::npos) << Name;
+    const Json *Hists = Resp.get("histograms");
+    ASSERT_NE(Hists, nullptr);
+    const Json *Total = Hists->get("service.total_ns");
+    ASSERT_NE(Total, nullptr);
+    EXPECT_GE(Total->getUint("count", 0), 1u);
+    EXPECT_GT(Total->getUint("p50", 0), 0u);
+    EXPECT_GE(Total->getUint("p99", 0), Total->getUint("p50", 0));
+  }
+}
+
+TEST(Server, FlightRecordOpListsCompletedRequests) {
+  std::string Path = testSocketPath("flightrec");
+  ServerOptions Opts;
+  Opts.UnixSocketPath = Path;
+  Opts.FlightCapacity = 4;
+  RunningServer RS(Opts);
+  ASSERT_TRUE(RS.Started);
+
+  Client C;
+  std::string Err;
+  ASSERT_TRUE(C.connectUnix(Path, Err)) << Err;
+  Json Resp;
+  ASSERT_TRUE(C.call(analyzeRequest("fr.atom", coneProgram(1)), Resp, Err))
+      << Err;
+  ASSERT_TRUE(Resp.getBool("ok", false));
+  ASSERT_TRUE(C.call(analyzeRequest("fr.atom", coneProgram(1)), Resp, Err))
+      << Err;
+  ASSERT_TRUE(Resp.getBool("ok", false));
+
+  ASSERT_TRUE(C.call(opRequest("flightrecord"), Resp, Err)) << Err;
+  ASSERT_TRUE(Resp.getBool("ok", false));
+  EXPECT_EQ(Resp.getUint("capacity", 0), 4u);
+  if constexpr (!obs::kEnabled) {
+    EXPECT_FALSE(Resp.getBool("telemetry", true));
+    EXPECT_EQ(Resp.getUint("recorded", 99), 0u);
+    return;
+  }
+  EXPECT_TRUE(Resp.getBool("telemetry", false));
+  EXPECT_EQ(Resp.getUint("recorded", 0), 2u);
+  const Json *Records = Resp.get("records");
+  ASSERT_NE(Records, nullptr);
+  ASSERT_EQ(Records->items().size(), 2u);
+  const Json &Warm = Records->items()[1]; // oldest-first
+  EXPECT_EQ(Warm.getString("op", ""), "analyze");
+  EXPECT_EQ(Warm.getString("unit", ""), "fr.atom");
+  EXPECT_EQ(Warm.getString("outcome", ""), "ok");
+  EXPECT_GT(Warm.getUint("id", 0),
+            Records->items()[0].getUint("id", 99));
+  EXPECT_GT(Warm.getUint("total_ns", 0), 0u);
+  EXPECT_EQ(Warm.getUint("cache_hits", 0), 2u);
+  const Json *Phases = Warm.get("phases_ns");
+  ASSERT_NE(Phases, nullptr);
+  EXPECT_GT(Phases->getUint("parse", 0), 0u);
+  EXPECT_GT(Phases->getUint("analyze", 0), 0u);
+  EXPECT_GT(Phases->getUint("render", 0), 0u);
+
+  // The debug/ alias answers too.
+  ASSERT_TRUE(C.call(opRequest("debug/flightrecord"), Resp, Err)) << Err;
+  EXPECT_TRUE(Resp.getBool("ok", false));
 }
 
 TEST(Server, TcpListenerWorks) {
