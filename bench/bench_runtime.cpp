@@ -17,6 +17,8 @@
 /// Scenarios:
 ///   uncontended_node_{S,X}  one thread, one LockNode, acquire+release
 ///   uncontended_section     one thread, one fine rw lock per section
+///   elision                 the same stream locked vs lock-elided (the
+///                           MHP never-parallel transform), paired legs
 ///   read_mostly             90% fine ro / 10% fine rw, 256 addresses
 ///   write_heavy             30% fine ro / 70% fine rw, 256 addresses
 ///   mixed_grain             60% fine, 30% coarse ro, 10% coarse rw
@@ -73,6 +75,7 @@ struct Result {
   std::string Scenario;
   unsigned Threads = 1;
   bool Adaptive = false;
+  bool Elided = false;
   bool Oversubscribed = false;
   uint64_t Ops = 0;
   double ThroughputOpsPerSec = 0;
@@ -145,7 +148,7 @@ struct Op {
 Result benchSections(const char *Name, unsigned NumThreads, Mix M,
                      uint64_t OpsPerThread, unsigned NumAddrs = 256,
                      bool Adaptive = false, bool ObsOn = false,
-                     unsigned NumRegions = 4) {
+                     unsigned NumRegions = 4, bool Elided = false) {
   constexpr uint64_t LatSampleEvery = 16; // power of two
   // Inject a local registry + profiler so both the obs-off and obs-on
   // variants run the same code path (dormant-profiler check included)
@@ -234,8 +237,12 @@ Result benchSections(const char *Name, unsigned NumThreads, Mix M,
       uint64_t Sink = 0;
 
       auto LockBody = [&](const Op &O) {
-        Ctx.toAcquire(O.D);
-        Ctx.acquireAll();
+        // An elided section is the transformed program of a
+        // never-parallel section: same body, no lock protocol.
+        if (!Elided) {
+          Ctx.toAcquire(O.D);
+          Ctx.acquireAll();
+        }
         if (O.D.K == LockDescriptor::Kind::Fine) {
           if (O.D.Write)
             ++Words[O.Idx];
@@ -247,7 +254,8 @@ Result benchSections(const char *Name, unsigned NumThreads, Mix M,
           else
             Sink += RegionWords[O.Idx];
         }
-        Ctx.releaseAll();
+        if (!Elided)
+          Ctx.releaseAll();
       };
       auto RunOne = [&](const Op &O) {
         if (!Eng) {
@@ -316,6 +324,7 @@ Result benchSections(const char *Name, unsigned NumThreads, Mix M,
   R.Scenario = Name;
   R.Threads = NumThreads;
   R.Adaptive = Adaptive;
+  R.Elided = Elided;
   R.Oversubscribed = NumThreads > hardwareThreads();
   R.Ops = static_cast<uint64_t>(NumThreads) * OpsPerThread;
   R.ThroughputOpsPerSec = static_cast<double>(R.Ops) / Secs;
@@ -383,12 +392,14 @@ bool emitJson(const std::vector<Result> &Results,
     return false;
   }
   std::fprintf(F,
-               "{\n  \"bench\": \"runtime\",\n  \"schema\": 2,\n"
+               "{\n  \"bench\": \"runtime\",\n  \"schema\": 3,\n"
                "  \"hw_concurrency\": %u,\n"
                "  \"note\": \"RelWithDebInfo; rows with oversubscribed=true "
                "ran more threads than hardware threads; adaptive rows warm "
                "up untimed until the policy converges and report the final "
-               "backend; obs_overhead = lock profiler armed vs dormant, "
+               "backend; elided=true rows run the section body with the "
+               "lock protocol removed (MHP never-parallel elision); "
+               "obs_overhead = lock profiler armed vs dormant, "
                "median of order-alternated paired reps\",\n"
                "  \"results\": [\n",
                hardwareThreads());
@@ -396,10 +407,12 @@ bool emitJson(const std::vector<Result> &Results,
     const Result &R = Results[I];
     std::fprintf(F,
                  "    {\"scenario\": \"%s\", \"threads\": %u, "
-                 "\"adaptive\": %s, \"oversubscribed\": %s, \"ops\": %llu, "
+                 "\"adaptive\": %s, \"elided\": %s, \"oversubscribed\": %s, "
+                 "\"ops\": %llu, "
                  "\"throughput_ops_per_sec\": %.0f, \"p50_ns\": %llu, "
                  "\"p99_ns\": %llu",
                  R.Scenario.c_str(), R.Threads, R.Adaptive ? "true" : "false",
+                 R.Elided ? "true" : "false",
                  R.Oversubscribed ? "true" : "false",
                  static_cast<unsigned long long>(R.Ops), R.ThroughputOpsPerSec,
                  static_cast<unsigned long long>(R.P50Ns),
@@ -464,6 +477,8 @@ int main(int Argc, char **Argv) {
                     R.FinalBackend == 1 ? "stm" : "lock", R.StripedRegions,
                     static_cast<unsigned long long>(R.StmMigrations),
                     static_cast<unsigned long long>(R.StmFallbacks));
+    else if (R.Elided)
+      std::snprintf(Policy, sizeof(Policy), "elided");
     std::printf("%-20s %8u %9s %12llu %16.0f %10llu %10llu %s\n",
                 R.Scenario.c_str(), R.Threads, R.Adaptive ? "on" : "off",
                 static_cast<unsigned long long>(R.Ops), R.ThroughputOpsPerSec,
@@ -478,6 +493,28 @@ int main(int Argc, char **Argv) {
   // per-thread leaf cache targets.
   Report(benchSections("uncontended_section", 1, Mix{0, 100, 0, 0},
                        400000 / Scale, 16));
+
+  // MHP-driven lock elision: the same single-thread section stream run
+  // with the full protocol vs with acquire/release removed — what the
+  // transform emits for a section the checker proves never parallel
+  // with any conflicting code. Paired order-alternated legs, median
+  // rep, like the adaptive rows.
+  {
+    std::vector<Result> Locked, ElidedRs;
+    for (unsigned R = 0; R < 24; ++R) {
+      bool ElidedFirst = R & 1;
+      for (int Leg = 0; Leg < 2; ++Leg) {
+        bool E = (Leg == 0) == ElidedFirst;
+        (E ? ElidedRs : Locked)
+            .push_back(benchSections("elision", 1, Mix{0, 100, 0, 0},
+                                     400000 / Scale, 16, /*Adaptive=*/false,
+                                     /*ObsOn=*/false, /*NumRegions=*/4,
+                                     /*Elided=*/E));
+      }
+    }
+    Report(medianResult(std::move(Locked)));
+    Report(medianResult(std::move(ElidedRs)));
+  }
 
   const Mix ReadMostly{90, 10, 0, 0};
   const Mix WriteHeavy{30, 70, 0, 0};

@@ -12,7 +12,9 @@
 ///
 /// Each program is parsed/lowered once; the timed region is the analysis
 /// proper (call graph + points-to + SCC-scheduled inference), measured at
-/// --jobs 1/2/4/8 to show the parallel schedule.
+/// --jobs 1/2/4/8 to show the parallel schedule. A final column times the
+/// concurrency checker (check-mhp .. check-report) at k=9 on top of a
+/// precomputed inference — the incremental cost of --check.
 ///
 /// Environment:
 ///   LOCKIN_TABLE1_SCALE  shrink the synthetic programs (e.g. 0.2)
@@ -21,6 +23,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "analysis/CallGraph.h"
+#include "check/Check.h"
 #include "driver/Compiler.h"
 #include "ir/Lowering.h"
 #include "lang/Parser.h"
@@ -108,7 +111,37 @@ struct Measurement {
   unsigned Sections = 0;
   // Seconds[k index][jobs index].
   double Seconds[2][4] = {};
+  // The concurrency checker (check-mhp .. check-report) at k=9, on top
+  // of an already-computed inference; best of three.
+  double CheckSeconds = 0;
+  unsigned CheckFindings = 0;
+  uint64_t CheckMhpPairs = 0;
 };
+
+/// Checker wall time: the analyses it consumes (call graph, points-to,
+/// inference) are computed once outside the clock, so this measures the
+/// four check passes themselves — the incremental cost of --check.
+void checkerSeconds(const ir::IrModule &Module, unsigned K,
+                    Measurement &M) {
+  analysis::CallGraph CG(Module);
+  PointsToAnalysis PT(Module);
+  InferenceOptions Options;
+  Options.K = K;
+  Options.Jobs = 1;
+  LockInference Inference(Module, PT, CG, Options);
+  InferenceResult Result = Inference.run();
+  for (int Rep = 0; Rep < 3; ++Rep) {
+    auto Start = std::chrono::steady_clock::now();
+    check::CheckReport Report =
+        check::Checker::runAll(Module, CG, PT, Result, K);
+    auto End = std::chrono::steady_clock::now();
+    double Seconds = std::chrono::duration<double>(End - Start).count();
+    if (Rep == 0 || Seconds < M.CheckSeconds)
+      M.CheckSeconds = Seconds;
+    M.CheckFindings = Report.Stats.Findings;
+    M.CheckMhpPairs = Report.Stats.MhpPairs;
+  }
+}
 
 struct ObsOverhead {
   bool Measured = false;
@@ -139,6 +172,11 @@ void writeJson(const char *Path, double Scale,
                      JobCounts[JI], R.Seconds[KI][JI]);
       std::fprintf(Out, "}");
     }
+    std::fprintf(Out,
+                 ",\n     \"check\": {\"seconds\": %.4f, \"findings\": %u, "
+                 "\"mhp_pairs\": %llu}",
+                 R.CheckSeconds, R.CheckFindings,
+                 static_cast<unsigned long long>(R.CheckMhpPairs));
     std::fprintf(Out, "}%s\n", I + 1 < Rows.size() ? "," : "");
   }
   std::fprintf(Out, "  ]%s\n", Obs.Measured ? "," : "");
@@ -227,9 +265,9 @@ int main(int Argc, char **Argv) {
   std::printf("(SPEC rows are synthetic stand-ins at %.0f%% scale; see "
               "DESIGN.md)\n\n",
               Scale * 100.0);
-  std::printf("%-12s %8s %8s | %10s %10s %10s | %10s %10s %10s\n",
+  std::printf("%-12s %8s %8s | %10s %10s %10s | %10s %10s %10s | %10s\n",
               "Program", "Size", "Atomic", "k=0 j=1", "k=0 j=4",
-              "k=0 j=8", "k=9 j=1", "k=9 j=4", "k=9 j=8");
+              "k=0 j=8", "k=9 j=1", "k=9 j=4", "k=9 j=8", "check k=9");
   std::printf("%-12s %8s %8s |\n", "", "(Kloc)", "sections");
 
   std::vector<Measurement> Results;
@@ -243,11 +281,12 @@ int main(int Argc, char **Argv) {
       for (size_t JI = 0; JI < 4; ++JI)
         M.Seconds[KI][JI] =
             analysisSeconds(*P.Module, KValues[KI], JobCounts[JI]);
+    checkerSeconds(*P.Module, KValues[1], M);
     std::printf("%-12s %8.1f %8u | %10.3f %10.3f %10.3f | %10.3f %10.3f "
-                "%10.3f\n",
+                "%10.3f | %10.4f\n",
                 M.Name.c_str(), M.Kloc, M.Sections, M.Seconds[0][0],
                 M.Seconds[0][2], M.Seconds[0][3], M.Seconds[1][0],
-                M.Seconds[1][2], M.Seconds[1][3]);
+                M.Seconds[1][2], M.Seconds[1][3], M.CheckSeconds);
     std::fflush(stdout);
     Results.push_back(std::move(M));
   }

@@ -1,0 +1,336 @@
+//===--- Check.cpp - MHP + lock-set + lock-order concurrency checker -----------===//
+//
+// Part of the lockin project: lock inference for atomic sections.
+//
+//===----------------------------------------------------------------------===//
+
+#include "check/Check.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace lockin;
+using namespace lockin::check;
+using namespace lockin::ir;
+
+namespace {
+
+/// First conflicting lock pair between two access sets, rendered as a
+/// stable signature.
+std::string conflictSig(const LockSet &A, const LockSet &B) {
+  for (const LockName &La : A.locks())
+    for (const LockName &Lb : B.locks())
+      if (locksMayConflict(La, Lb)) {
+        std::string SA = La.str(), SB = Lb.str();
+        return SA <= SB ? SA + " & " + SB : SB + " & " + SA;
+      }
+  return "";
+}
+
+bool anyWrite(const LockSet &S) {
+  for (const LockName &L : S.locks())
+    if (L.effect() == Effect::RW)
+      return true;
+  return false;
+}
+
+} // namespace
+
+Checker::Checker(const IrModule &M, const analysis::CallGraph &CG,
+                 const PointsToAnalysis &PT, const InferenceResult &Inference,
+                 unsigned K)
+    : Module(M), CG(CG), PT(PT), Inference(Inference), K(K) {}
+
+CheckReport Checker::runAll(const IrModule &M, const analysis::CallGraph &CG,
+                            const PointsToAnalysis &PT,
+                            const InferenceResult &Inference, unsigned K) {
+  Checker C(M, CG, PT, Inference, K);
+  C.runMhp();
+  C.runLockSet();
+  C.runOrder();
+  return C.finish();
+}
+
+void Checker::runMhp() {
+  Mhp = std::make_unique<analysis::MhpAnalysis>(Module, CG);
+
+  TransferContext Ctx{Module, PT, K, *Inference.interner()};
+  Bares = collectBareAccesses(Module, CG, Ctx);
+
+  // Items: sections (access = held = the inferred lock set, a Theorem-1
+  // abstraction of everything the section and its callees may touch),
+  // then bare accesses (held = ∅).
+  for (const auto &F : Module.functions()) {
+    for (const AtomicIrStmt *A : F->atomicSections()) {
+      const InferenceResult::Section &S = Inference.sections()[A->sectionId()];
+      Item I;
+      I.IsSection = true;
+      I.SectionId = A->sectionId();
+      I.Stmt = A;
+      I.Function = F.get();
+      I.Access = &S.Locks;
+      I.Held = S.Elided ? &EmptyHeld : &S.Locks;
+      Items.push_back(I);
+    }
+  }
+  std::stable_sort(Items.begin(), Items.end(),
+                   [](const Item &A, const Item &B) {
+                     return A.SectionId < B.SectionId;
+                   });
+  for (const BareAccess &B : Bares) {
+    Item I;
+    I.Stmt = B.Stmt;
+    I.Function = B.Function;
+    I.Access = &B.Accesses;
+    I.Held = &EmptyHeld;
+    Items.push_back(I);
+  }
+
+  Stats.Sections = static_cast<unsigned>(Inference.sections().size());
+  Stats.ElidedSections = Inference.elidedCount();
+  Stats.BareAccesses = static_cast<unsigned>(Bares.size());
+  Stats.SpawnSites = Mhp->numSpawnSites();
+  for (size_t I = 0; I < Items.size(); ++I)
+    for (size_t J = I; J < Items.size(); ++J)
+      if (itemsMhp(Items[I], Items[J]))
+        ++Stats.MhpPairs;
+}
+
+bool Checker::itemsMhp(const Item &A, const Item &B) const {
+  if (A.Stmt == B.Stmt)
+    return Mhp->selfParallel(A.Stmt);
+  return Mhp->mayHappenInParallel(A.Stmt, B.Stmt);
+}
+
+std::string Checker::describe(const Item &I) const {
+  if (I.IsSection)
+    return "atomic section #" + std::to_string(I.SectionId) + " in " +
+           I.Function->name();
+  return std::string(anyWrite(*I.Access) ? "unprotected write"
+                                         : "unprotected read") +
+         " in " + I.Function->name();
+}
+
+FindingSite Checker::siteOf(const Item &I, const LockSet &) const {
+  FindingSite S;
+  S.Function = I.Function->name();
+  S.Loc = I.Stmt->loc();
+  S.Role = I.IsSection
+               ? "atomic section #" + std::to_string(I.SectionId)
+               : std::string(anyWrite(*I.Access) ? "unprotected write"
+                                                 : "unprotected read");
+  return S;
+}
+
+void Checker::runLockSet() {
+  for (size_t A = 0; A < Items.size(); ++A) {
+    for (size_t B = A; B < Items.size(); ++B) {
+      const Item &IA = Items[A], &IB = Items[B];
+      if (IA.IsSection != IB.IsSection)
+        continue; // section-vs-bare pairs are the order pass's atomicity check
+      if (!lockSetsMayConflict(*IA.Access, *IB.Access))
+        continue;
+      if (!itemsMhp(IA, IB))
+        continue;
+      // Held-lock interlock: a held pair naming overlapping locations
+      // interlocks under the multi-granularity runtime (same region node
+      // in X/IX, or the same fine leaf at collision). The conflict test
+      // is exactly that predicate.
+      if (lockSetsMayConflict(*IA.Held, *IB.Held))
+        continue;
+      Finding F;
+      F.Kind = IA.IsSection ? FindingKind::LocksetRace : FindingKind::DataRace;
+      F.LockSignature = conflictSig(*IA.Access, *IB.Access);
+      F.Sites.push_back(siteOf(IA, *IB.Access));
+      if (A != B)
+        F.Sites.push_back(siteOf(IB, *IA.Access));
+      if (IA.IsSection)
+        F.Message = describe(IA) + " and " + describe(IB) +
+                    " may run in parallel and conflict on " +
+                    F.LockSignature + " with no interlocking lock held";
+      else
+        F.Message = "possible data race on " + F.LockSignature + ": " +
+                    describe(IA) + " (" + IA.Stmt->loc().str() + ")" +
+                    (A == B ? " races with itself across threads"
+                            : " vs " + describe(IB) + " (" +
+                                  IB.Stmt->loc().str() + ")");
+      Mgr.add(std::move(F));
+    }
+  }
+}
+
+void Checker::runOrder() {
+  // Atomicity violations: a bare access interleavable with a section that
+  // touches the same abstract location defeats the section's atomicity
+  // even though every lock the section holds is respected.
+  for (const Item &IS : Items) {
+    if (!IS.IsSection)
+      continue;
+    for (const Item &IB : Items) {
+      if (IB.IsSection)
+        continue;
+      if (!lockSetsMayConflict(*IS.Access, *IB.Access))
+        continue;
+      if (!itemsMhp(IS, IB))
+        continue;
+      Finding F;
+      F.Kind = FindingKind::AtomicityViolation;
+      F.LockSignature = conflictSig(*IS.Access, *IB.Access);
+      F.Sites.push_back(siteOf(IS, *IB.Access));
+      F.Sites.push_back(siteOf(IB, *IS.Access));
+      F.Message = "atomicity of " + describe(IS) + " may be violated by an " +
+                  (anyWrite(*IB.Access) ? std::string("unprotected write")
+                                        : std::string("unprotected read")) +
+                  " in " + IB.Function->name() + " (" + IB.Stmt->loc().str() +
+                  ") touching " + F.LockSignature;
+      Mgr.add(std::move(F));
+    }
+  }
+
+  // Lock-order pass: the hypothetical incremental-2PL acquisition order
+  // (locks taken one by one in the set's discovery order). The deployed
+  // acquireAll takes the whole set atomically, so a cycle here is a
+  // latent deadlock the protocol sidesteps — reported at "note" level.
+  std::map<std::string, unsigned> NodeId;
+  std::vector<std::string> NodeKey;
+  struct Edge {
+    unsigned From, To;
+    uint32_t SectionId;
+  };
+  std::vector<Edge> Edges;
+  auto nodeOf = [&](const LockName &L) {
+    std::string Key = L.withEffect(Effect::RW).str();
+    auto [It, New] = NodeId.try_emplace(Key, NodeKey.size());
+    if (New)
+      NodeKey.push_back(Key);
+    return It->second;
+  };
+  for (const Item &I : Items) {
+    if (!I.IsSection || Inference.sectionElided(I.SectionId))
+      continue;
+    const std::vector<LockName> &Ordered = I.Access->locks();
+    for (size_t A = 0; A < Ordered.size(); ++A)
+      for (size_t B = A + 1; B < Ordered.size(); ++B) {
+        unsigned NA = nodeOf(Ordered[A]), NB = nodeOf(Ordered[B]);
+        if (NA != NB)
+          Edges.push_back({NA, NB, I.SectionId});
+      }
+  }
+
+  // SCCs of the order graph (recursive Tarjan; the graph has one node
+  // per distinct lock class, which is small by construction).
+  unsigned N = static_cast<unsigned>(NodeKey.size());
+  std::vector<std::vector<unsigned>> Adj(N);
+  for (const Edge &E : Edges)
+    Adj[E.From].push_back(E.To);
+  std::vector<unsigned> Index(N, ~0u), Low(N, 0), Comp(N, ~0u);
+  std::vector<char> OnStack(N, 0);
+  std::vector<unsigned> Stack;
+  unsigned Next = 0, Comps = 0;
+  auto dfs = [&](auto &&Self, unsigned V) -> void {
+    Index[V] = Low[V] = Next++;
+    Stack.push_back(V);
+    OnStack[V] = 1;
+    for (unsigned W : Adj[V]) {
+      if (Index[W] == ~0u) {
+        Self(Self, W);
+        Low[V] = std::min(Low[V], Low[W]);
+      } else if (OnStack[W]) {
+        Low[V] = std::min(Low[V], Index[W]);
+      }
+    }
+    if (Low[V] == Index[V]) {
+      while (true) {
+        unsigned W = Stack.back();
+        Stack.pop_back();
+        OnStack[W] = 0;
+        Comp[W] = Comps;
+        if (W == V)
+          break;
+      }
+      ++Comps;
+    }
+  };
+  for (unsigned V = 0; V < N; ++V)
+    if (Index[V] == ~0u)
+      dfs(dfs, V);
+
+  std::vector<unsigned> CompSize(Comps, 0);
+  for (unsigned V = 0; V < N; ++V)
+    ++CompSize[Comp[V]];
+  for (unsigned C = 0; C < Comps; ++C) {
+    if (CompSize[C] < 2)
+      continue;
+    // Contributing sections: those with an order edge inside the cycle.
+    std::vector<uint32_t> Contributors;
+    for (const Edge &E : Edges)
+      if (Comp[E.From] == C && Comp[E.To] == C)
+        Contributors.push_back(E.SectionId);
+    std::sort(Contributors.begin(), Contributors.end());
+    Contributors.erase(std::unique(Contributors.begin(), Contributors.end()),
+                       Contributors.end());
+    // A reachable order inversion needs two of them live at once.
+    bool Parallel = false;
+    auto stmtOfSection = [&](uint32_t Id) -> const IrStmt * {
+      for (const Item &I : Items)
+        if (I.IsSection && I.SectionId == Id)
+          return I.Stmt;
+      return nullptr;
+    };
+    for (size_t A = 0; A < Contributors.size() && !Parallel; ++A)
+      for (size_t B = A + 1; B < Contributors.size() && !Parallel; ++B)
+        Parallel = Mhp->mayHappenInParallel(stmtOfSection(Contributors[A]),
+                                            stmtOfSection(Contributors[B]));
+    if (!Parallel)
+      continue;
+
+    std::vector<std::string> CycleKeys;
+    for (unsigned V = 0; V < N; ++V)
+      if (Comp[V] == C)
+        CycleKeys.push_back(NodeKey[V]);
+    std::sort(CycleKeys.begin(), CycleKeys.end());
+    std::string Sig;
+    for (const std::string &Key : CycleKeys)
+      Sig += (Sig.empty() ? "" : " <-> ") + Key;
+
+    Finding F;
+    F.Kind = FindingKind::DeadlockCycle;
+    F.LockSignature = Sig;
+    std::string Sections;
+    for (uint32_t Id : Contributors) {
+      const Item *I = nullptr;
+      for (const Item &It : Items)
+        if (It.IsSection && It.SectionId == Id)
+          I = &It;
+      if (!I)
+        continue;
+      F.Sites.push_back(siteOf(*I, *I->Access));
+      Sections += (Sections.empty() ? "#" : ", #") + std::to_string(Id) +
+                  " (" + I->Function->name() + ")";
+    }
+    F.Message = "locks " + Sig + " are needed in conflicting orders by "
+                "may-parallel sections " + Sections +
+                "; incremental acquisition could deadlock — the runtime's "
+                "all-at-once acquireAll avoids this";
+    Mgr.add(std::move(F));
+  }
+}
+
+CheckReport Checker::finish() {
+  CheckReport R;
+  R.Findings = Mgr.take();
+  Stats.Findings = static_cast<unsigned>(R.Findings.size());
+  R.Stats = Stats;
+
+  R.SectionAccessRegions.assign(PT.numRegions(), 0);
+  for (const InferenceResult::Section &S : Inference.sections()) {
+    for (const LockName &L : S.Locks.locks()) {
+      if (L.kind() == LockName::Kind::Top)
+        R.SectionsCoverAllRegions = true;
+      else if (L.region() != InvalidRegion &&
+               L.region() < R.SectionAccessRegions.size())
+        R.SectionAccessRegions[L.region()] = 1;
+    }
+  }
+  return R;
+}

@@ -1,0 +1,105 @@
+//===--- Check.h - MHP + lock-set + lock-order concurrency checker -*- C++ -*-===//
+//
+// Part of the lockin project: lock inference for atomic sections.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The lockin-check subsystem: four coordinated passes over the IR, the
+/// call-graph condensation, and the inference result, answering the dual
+/// of the paper's question — which races, deadlocks, and atomicity
+/// violations exist in the program as written, and how well the inferred
+/// locking protects it.
+///
+///   1. runMhp()      — may-happen-in-parallel analysis over spawn/fork-
+///                      join; builds the checked item set (atomic sections
+///                      abstracted by their inferred lock sets + bare
+///                      accesses abstracted by their G locks).
+///   2. runLockSet()  — lock-set pass: held-locks-at-access per item; MHP
+///                      + location conflict + no interlocking held pair
+///                      becomes a data-race (bare/bare) or lockset-race
+///                      (section/section) finding.
+///   3. runOrder()    — happens-before / lock-order pass: atomicity
+///                      violations (bare access interleavable with a
+///                      conflicting section) and cycles in the
+///                      hypothetical incremental-2PL acquisition-order
+///                      graph (latent deadlocks the runtime's atomic
+///                      acquireAll sidesteps).
+///   4. finish()      — BugReportMgr dedup + severity ranking into a
+///                      deterministic CheckReport (JSON / SARIF 2.1.0).
+///
+/// The passes are split so the driver can time each one through its
+/// PassManager; call them in order.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LOCKIN_CHECK_CHECK_H
+#define LOCKIN_CHECK_CHECK_H
+
+#include "analysis/CallGraph.h"
+#include "analysis/Mhp.h"
+#include "check/BugReport.h"
+#include "infer/Conflict.h"
+#include "infer/Inference.h"
+#include "ir/Ir.h"
+#include "pointsto/Steensgaard.h"
+
+#include <memory>
+#include <vector>
+
+namespace lockin {
+namespace check {
+
+class Checker {
+public:
+  /// \p Inference must outlive the checker (items point into its lock
+  /// sets); its interner backs the bare-access G locks so lock names
+  /// from both sides compare meaningfully.
+  Checker(const ir::IrModule &M, const analysis::CallGraph &CG,
+          const PointsToAnalysis &PT, const InferenceResult &Inference,
+          unsigned K);
+
+  void runMhp();
+  void runLockSet();
+  void runOrder();
+  CheckReport finish();
+
+  /// Convenience: all four passes back to back.
+  static CheckReport runAll(const ir::IrModule &M,
+                            const analysis::CallGraph &CG,
+                            const PointsToAnalysis &PT,
+                            const InferenceResult &Inference, unsigned K);
+
+private:
+  struct Item {
+    bool IsSection = false;
+    uint32_t SectionId = 0;
+    const ir::IrStmt *Stmt = nullptr; ///< MHP anchor
+    const ir::IrFunction *Function = nullptr;
+    const LockSet *Access = nullptr; ///< abstract locations touched
+    const LockSet *Held = nullptr;   ///< locks held at the access
+  };
+
+  bool itemsMhp(const Item &A, const Item &B) const;
+  std::string describe(const Item &I) const;
+  FindingSite siteOf(const Item &I, const LockSet &ConflictSide) const;
+
+  const ir::IrModule &Module;
+  const analysis::CallGraph &CG;
+  const PointsToAnalysis &PT;
+  const InferenceResult &Inference;
+  unsigned K;
+
+  std::unique_ptr<analysis::MhpAnalysis> Mhp;
+  std::vector<BareAccess> Bares;
+  std::vector<Item> Items;
+  LockSet EmptyHeld;
+
+  BugReportMgr Mgr;
+  CheckStats Stats;
+};
+
+} // namespace check
+} // namespace lockin
+
+#endif // LOCKIN_CHECK_CHECK_H

@@ -61,6 +61,14 @@ const OptionSpec Options[] = {
      [](CliOptions &O, const char *V) {
        return parseUnsigned(V, O.AdaptiveEpochMs);
      }},
+    {nullptr, "--check", nullptr,
+     "run the concurrency checker (races, atomicity, lock order) and "
+     "print its JSON report",
+     [](CliOptions &O, const char *) { return O.Check = true; }},
+    {nullptr, "--elide-never-parallel", nullptr,
+     "elide lock acquisition for sections whose conflicts can never run "
+     "in parallel (MHP-proven)",
+     [](CliOptions &O, const char *) { return O.ElideNeverParallel = true; }},
     {nullptr, "--quiet", nullptr, "suppress the transformed-program report",
      [](CliOptions &O, const char *) { return O.Quiet = true; }},
     {nullptr, "--time-passes", nullptr,

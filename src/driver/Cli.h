@@ -31,6 +31,11 @@ struct CliOptions {
   /// inferred locks, let the policy engine rebias/stripe/migrate.
   bool Adaptive = false;
   unsigned AdaptiveEpochMs = 50; ///< policy epoch period for --adaptive
+  /// Run the concurrency checker after inference and print its JSON
+  /// report to stdout (after the transformed-program report).
+  bool Check = false;
+  /// MHP-driven lock elision (InferenceOptions::ElideNeverParallel).
+  bool ElideNeverParallel = false;
   bool Quiet = false;
   bool TimePasses = false;
   bool Stats = false;

@@ -6,6 +6,7 @@
 
 #include "driver/Compiler.h"
 
+#include "check/Check.h"
 #include "ir/IrPrinter.h"
 #include "ir/Lowering.h"
 #include "lang/Parser.h"
@@ -93,6 +94,7 @@ std::unique_ptr<Compilation> lockin::compile(std::string_view Source,
     InferenceOptions InferOpts;
     InferOpts.K = Options.K;
     InferOpts.Jobs = Options.Jobs;
+    InferOpts.ElideNeverParallel = Options.ElideNeverParallel;
     LockInference Inference(*C->Module, *C->PT, *C->CG, InferOpts);
     C->Inference = PM.run("infer", [&] {
       return std::make_unique<InferenceResult>(Inference.run());
@@ -107,6 +109,25 @@ std::unique_ptr<Compilation> lockin::compile(std::string_view Source,
       Reg.counter("interner.hits").add(S.InternerHits);
       Reg.counter("summaries.deduped").add(S.Summaries.Deduped);
       Reg.counter("arena.bytes").add(S.ArenaBytes + C->Module->arenaBytes());
+    }
+  }
+
+  if (Options.Check && C->Inference) {
+    check::Checker Chk(*C->Module, *C->CG, *C->PT, *C->Inference, Options.K);
+    PM.run("check-mhp", [&] { Chk.runMhp(); });
+    PM.run("check-lockset", [&] { Chk.runLockSet(); });
+    PM.run("check-order", [&] { Chk.runOrder(); });
+    C->Check = PM.run("check-report", [&] {
+      return std::make_unique<check::CheckReport>(Chk.finish());
+    });
+    C->Stats.Check = C->Check->Stats;
+    C->Stats.HasCheck = true;
+    if constexpr (obs::kEnabled) {
+      obs::MetricsRegistry &Reg =
+          Options.Metrics ? *Options.Metrics : obs::metrics();
+      Reg.counter("check.reports").add(1);
+      Reg.counter("check.mhp_pairs").add(C->Check->Stats.MhpPairs);
+      Reg.counter("check.elided_sections").add(C->Check->Stats.ElidedSections);
     }
   }
 

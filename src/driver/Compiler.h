@@ -17,6 +17,7 @@
 #define LOCKIN_DRIVER_COMPILER_H
 
 #include "analysis/CallGraph.h"
+#include "check/BugReport.h"
 #include "driver/PassManager.h"
 #include "infer/Inference.h"
 #include "interp/Interp.h"
@@ -39,6 +40,14 @@ struct CompileOptions {
   /// Worker threads for the inference; 0 = hardware concurrency, 1 =
   /// fully serial. Parallel and serial runs produce identical lock sets.
   unsigned Jobs = 0;
+  /// Run the concurrency checker (check-mhp → check-lockset → check-order
+  /// → check-report passes) after inference; the report is available via
+  /// Compilation::checkReport().
+  bool Check = false;
+  /// MHP-driven lock elision: sections whose conflicts can never run in
+  /// parallel keep their inferred lock sets but skip acquisition at run
+  /// time. Default off; off is byte-identical to builds without the flag.
+  bool ElideNeverParallel = false;
   /// Explicit observability context for the pipeline's pass counters and
   /// spans; null = the process-wide singletons. Concurrent compilations
   /// (the daemon's workers, the re-entrancy test) pass their own so runs
@@ -59,6 +68,9 @@ public:
   const analysis::CallGraph &callGraph() const { return *CG; }
   const PointsToAnalysis &pointsTo() const { return *PT; }
   const InferenceResult &inference() const { return *Inference; }
+
+  /// The concurrency checker's report; null unless CompileOptions::Check.
+  const check::CheckReport *checkReport() const { return Check.get(); }
 
   /// Per-pass wall times and analysis counters of this compilation.
   const PipelineStats &pipelineStats() const { return Stats; }
@@ -86,6 +98,7 @@ private:
   std::unique_ptr<analysis::CallGraph> CG;
   std::unique_ptr<PointsToAnalysis> PT;
   std::unique_ptr<InferenceResult> Inference;
+  std::unique_ptr<check::CheckReport> Check;
   std::string Transformed;
   PipelineStats Stats;
 };

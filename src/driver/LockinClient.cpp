@@ -14,6 +14,11 @@
 ///       cache accounting to stderr. --unit defaults to FILE's path —
 ///       re-analyzing the same unit after an edit is what exercises the
 ///       incremental path.
+///   check FILE [--unit NAME] [-k N] [--jobs N] [--force]
+///         [--elide-never-parallel]
+///       Analyze + concurrency checker; prints the lockin-check JSON
+///       report to stdout. An unchanged module is served from the
+///       daemon's per-unit check cache (noted on stderr).
 ///   invalidate [UNIT]   drop one unit's cached summaries, or everything
 ///   stats               print the daemon's stats JSON
 ///   metrics             print the live metrics in Prometheus text format
@@ -45,6 +50,8 @@ void usage(std::FILE *To) {
       "usage: lockin-client (--socket PATH | --port N) COMMAND [args]\n"
       "commands:\n"
       "  analyze FILE [--unit NAME] [-k N] [--jobs N] [--force] [--run]\n"
+      "  check FILE [--unit NAME] [-k N] [--jobs N] [--force] "
+      "[--elide-never-parallel]\n"
       "  invalidate [UNIT]\n"
       "  stats\n"
       "  metrics\n"
@@ -107,9 +114,10 @@ int main(int Argc, char **Argv) {
   Json Request = Json::object();
   bool PrintReport = false;
   bool PrintPrometheus = false;
-  if (Command == "analyze") {
+  bool PrintCheck = false;
+  if (Command == "analyze" || Command == "check") {
     if (Rest.size() < 2) {
-      std::fprintf(stderr, "error: analyze needs a FILE\n");
+      std::fprintf(stderr, "error: %s needs a FILE\n", Command.c_str());
       return 2;
     }
     std::string Path = Rest[1];
@@ -121,7 +129,7 @@ int main(int Argc, char **Argv) {
     std::stringstream Buffer;
     Buffer << In.rdbuf();
 
-    Request.set("op", Json::string("analyze"));
+    Request.set("op", Json::string(Command));
     Request.set("unit", Json::string(Path));
     Request.set("source", Json::string(Buffer.str()));
     for (size_t I = 2; I < Rest.size(); ++I) {
@@ -138,14 +146,19 @@ int main(int Argc, char **Argv) {
         Request.set("jobs", Json::integer(V));
       } else if (std::strcmp(Arg, "--force") == 0) {
         Request.set("force", Json::boolean(true));
-      } else if (std::strcmp(Arg, "--run") == 0) {
+      } else if (Command == "analyze" && std::strcmp(Arg, "--run") == 0) {
         Request.set("run", Json::boolean(true));
+      } else if (Command == "check" &&
+                 std::strcmp(Arg, "--elide-never-parallel") == 0) {
+        Request.set("elideNeverParallel", Json::boolean(true));
       } else {
-        std::fprintf(stderr, "error: bad analyze argument '%s'\n", Arg);
+        std::fprintf(stderr, "error: bad %s argument '%s'\n",
+                     Command.c_str(), Arg);
         return 2;
       }
     }
-    PrintReport = true;
+    PrintReport = Command == "analyze";
+    PrintCheck = Command == "check";
   } else if (Command == "invalidate") {
     Request.set("op", Json::string("invalidate"));
     if (Rest.size() > 1)
@@ -176,6 +189,16 @@ int main(int Argc, char **Argv) {
   }
   if (PrintPrometheus) {
     std::fputs(Response.getString("prometheus", "").c_str(), stdout);
+  } else if (PrintCheck) {
+    const Json *Check = Response.get("check");
+    std::fputs(Check ? Check->str().c_str() : "{}", stdout);
+    std::fputc('\n', stdout);
+    std::fprintf(
+        stderr, "; check: cached=%s hits=%llu misses=%llu sections=%llu\n",
+        Response.getBool("checkCached", false) ? "yes" : "no",
+        static_cast<unsigned long long>(Response.getUint("cacheHits", 0)),
+        static_cast<unsigned long long>(Response.getUint("cacheMisses", 0)),
+        static_cast<unsigned long long>(Response.getUint("sections", 0)));
   } else if (PrintReport) {
     std::fputs(Response.getString("report", "").c_str(), stdout);
     std::fprintf(

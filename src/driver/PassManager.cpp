@@ -101,5 +101,15 @@ std::string PipelineStats::renderStats() const {
                 static_cast<unsigned long long>(S.Summaries.Deduped),
                 static_cast<unsigned long long>(S.ArenaBytes));
   Out += Line;
+  if (HasCheck) {
+    std::snprintf(Line, sizeof(Line),
+                  "; check: findings=%u mhp-pairs=%llu elided=%u "
+                  "bare-accesses=%u spawn-sites=%u\n",
+                  Check.Findings,
+                  static_cast<unsigned long long>(Check.MhpPairs),
+                  Check.ElidedSections, Check.BareAccesses,
+                  Check.SpawnSites);
+    Out += Line;
+  }
   return Out;
 }

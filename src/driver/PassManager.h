@@ -16,6 +16,7 @@
 #ifndef LOCKIN_DRIVER_PASSMANAGER_H
 #define LOCKIN_DRIVER_PASSMANAGER_H
 
+#include "check/BugReport.h"
 #include "infer/Inference.h"
 
 #include <chrono>
@@ -43,6 +44,8 @@ struct PipelineStats {
   std::vector<PassTiming> Passes;
   InferenceStats Inference;
   bool HasInference = false;
+  check::CheckStats Check;
+  bool HasCheck = false;
 
   double totalSeconds() const;
   /// Seconds of the named pass, or 0 if it did not run.

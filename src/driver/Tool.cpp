@@ -60,6 +60,8 @@ int tool::runAnalysis(const cli::CliOptions &Opts, const std::string &Source,
   CompileOptions Options;
   Options.K = Opts.K;
   Options.Jobs = Opts.Jobs;
+  Options.Check = Opts.Check;
+  Options.ElideNeverParallel = Opts.ElideNeverParallel;
   Options.Metrics = Ctx.Metrics;
   Options.Trace = Ctx.Trace;
   std::unique_ptr<Compilation> C = compile(Source, Options);
@@ -70,6 +72,8 @@ int tool::runAnalysis(const cli::CliOptions &Opts, const std::string &Source,
 
   if (!Opts.Quiet)
     Ctx.Out += C->report();
+  if (Opts.Check && C->checkReport())
+    Ctx.Out += C->checkReport()->json(Opts.Path) + "\n";
   if (Opts.TimePasses)
     Ctx.Log += C->pipelineStats().renderTimings();
   if (Opts.Stats)

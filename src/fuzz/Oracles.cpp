@@ -369,6 +369,123 @@ bool fuzz::checkSoundness(const std::string &Source, const FuzzConfig &C,
   return true;
 }
 
+bool fuzz::checkCheckerSoundness(const std::string &Source,
+                                 const FuzzConfig &C, bool ScheduleInvariant,
+                                 OracleFailure &Out) {
+  // Leg (a): run with the locks stripped so the checking interpreter can
+  // observe real protection violations, and demand the checker's section
+  // access model covers every faulted region.
+  CompileOptions CheckOpts;
+  CheckOpts.K = C.K;
+  CheckOpts.Jobs = 1;
+  CheckOpts.Check = true;
+  std::shared_ptr<Compilation> Checked = compile(Source, CheckOpts);
+  if (!Checked->ok() || !Checked->checkReport()) {
+    Out.Oracle = "checker";
+    Out.Kind = "rejected";
+    Out.Detail = "checker compile failed (k=" + std::to_string(C.K) + "):\n" +
+                 Checked->diagnostics().str();
+    Out.ReproCmd = reproCommand(C);
+    return false;
+  }
+  for (uint64_t Y : C.YieldSeeds) {
+    ExecVariant V{"stripped yields=" + std::to_string(Y), Checked,
+                  execOptions(C, AtomicMode::None, Y)};
+    V.Options.FingerprintHeap = false;
+    std::string Extra = "--yield-seed=" + std::to_string(Y);
+    InterpResult R;
+    if (!runVariant(V, C, "checker", Extra.c_str(), R, Out))
+      return false;
+    if (R.Ok || errorClass(R.Error) != "protection violation")
+      continue;
+    size_t Pos = R.Error.find("in region ");
+    if (Pos == std::string::npos)
+      continue; // violation without a region attribution: nothing to check
+    unsigned Region = 0;
+    {
+      const char *Digits = R.Error.c_str() + Pos + 10;
+      while (*Digits >= '0' && *Digits <= '9')
+        Region = Region * 10 + static_cast<unsigned>(*Digits++ - '0');
+    }
+    if (!Checked->checkReport()->coversRegion(Region)) {
+      Out.Oracle = "checker";
+      Out.Kind = "missed-violation";
+      Out.Detail = "interpreter observed '" + R.Error +
+                   "' but the checker's section access model does not "
+                   "cover region " +
+                   std::to_string(Region);
+      Out.ReproCmd = reproCommand(C, Extra.c_str());
+      return false;
+    }
+  }
+
+  // Leg (b): elision must be invisible to the checking semantics.
+  CompileOptions ElideOpts;
+  ElideOpts.K = C.K;
+  ElideOpts.Jobs = 1;
+  ElideOpts.ElideNeverParallel = true;
+  std::shared_ptr<Compilation> Elided = compile(Source, ElideOpts);
+  if (!Elided->ok())
+    return true; // compile failures are the frontend oracle's business
+  if (Elided->inference().elidedCount() == 0)
+    return true; // nothing elided: identical to the plain run, done above
+
+  ExecVariant Ref{"global-lock reference", Elided,
+                  execOptions(C, AtomicMode::GlobalLock, /*YieldSeed=*/0)};
+  InterpResult RefResult;
+  if (!runVariant(Ref, C, "checker", nullptr, RefResult, Out))
+    return false;
+  std::string RefClass = errorClass(RefResult.Error);
+
+  for (uint64_t Y : C.YieldSeeds) {
+    ExecVariant V{"elided yields=" + std::to_string(Y), Elided,
+                  execOptions(C, AtomicMode::Inferred, Y)};
+    std::string Extra = "--yield-seed=" + std::to_string(Y);
+    InterpResult R;
+    if (!runVariant(V, C, "checker", Extra.c_str(), R, Out))
+      return false;
+    if (!RefResult.Ok) {
+      // Deterministic program faults must stay the same fault.
+      if (R.Ok || errorClass(R.Error) != RefClass) {
+        Out.Oracle = "checker";
+        Out.Kind = "elision-fault-divergence";
+        Out.Detail = "elided run " +
+                     (R.Ok ? std::string("succeeded")
+                           : "failed with '" + R.Error + "'") +
+                     " but the global-lock reference failed with '" +
+                     RefResult.Error + "'";
+        Out.ReproCmd = reproCommand(C, Extra.c_str());
+        return false;
+      }
+      continue;
+    }
+    if (!R.Ok) {
+      Out.Oracle = "checker";
+      Out.Kind = "elision-stuck: " + errorClass(R.Error);
+      Out.Detail = "elided execution failed (yield-seed=" +
+                   std::to_string(Y) + "): " + R.Error;
+      Out.ReproCmd = reproCommand(C, Extra.c_str());
+      return false;
+    }
+    if (ScheduleInvariant &&
+        (R.MainResult != RefResult.MainResult ||
+         R.HeapFingerprint != RefResult.HeapFingerprint)) {
+      std::ostringstream D;
+      D << "elided execution diverges from global-lock reference "
+        << "(yield-seed=" << Y << "):\n  main result " << R.MainResult
+        << " vs " << RefResult.MainResult << "\n  heap fingerprint "
+        << std::hex << R.HeapFingerprint << " vs " << RefResult.HeapFingerprint
+        << std::dec;
+      Out.Oracle = "checker";
+      Out.Kind = "elision-divergence";
+      Out.Detail = D.str();
+      Out.ReproCmd = reproCommand(C, Extra.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
 bool fuzz::checkProgram(const std::string &Source, const FuzzConfig &C,
                         OracleFailure &Out) {
   // Frontend acceptance (and the analysis pipeline) first: a generated
@@ -383,5 +500,11 @@ bool fuzz::checkProgram(const std::string &Source, const FuzzConfig &C,
                            C.F == Family::LegacySeq;
   if (ScheduleInvariant && !checkExecEquivalence(Source, C, Out))
     return false;
-  return checkSoundness(Source, C, Out);
+  if (!checkSoundness(Source, C, Out))
+    return false;
+  // Fault-injected runs already execute with the locks stripped; the
+  // checker oracle's leg (a) would be redundant and leg (b) meaningless.
+  if (C.StripLocks)
+    return true;
+  return checkCheckerSoundness(Source, C, ScheduleInvariant, Out);
 }

@@ -98,6 +98,18 @@ bool checkExecEquivalence(const std::string &Source, const FuzzConfig &C,
 bool checkSoundness(const std::string &Source, const FuzzConfig &C,
                     OracleFailure &Out);
 
+/// Oracle 4: checker soundness, two legs.
+///  (a) The lockin-check access model must cover every protection
+///      violation the checking interpreter observes when the program runs
+///      with the locks stripped (AtomicMode::None): the faulted region is
+///      always part of some section's inferred lock footprint.
+///  (b) With ElideNeverParallel on, elided programs still run clean under
+///      the §4.2 checking interpreter across the yield-seed sweep, and —
+///      when \p ScheduleInvariant — finish heap-equivalent to the
+///      global-lock reference.
+bool checkCheckerSoundness(const std::string &Source, const FuzzConfig &C,
+                           bool ScheduleInvariant, OracleFailure &Out);
+
 /// Runs the oracles appropriate for C.F: frontend acceptance + report
 /// determinism always; execution equivalence for Seq/Commute; soundness
 /// for every family.

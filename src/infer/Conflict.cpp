@@ -1,0 +1,192 @@
+//===--- Conflict.cpp - Abstract-location conflict tests -----------------------===//
+//
+// Part of the lockin project: lock inference for atomic sections.
+//
+//===----------------------------------------------------------------------===//
+
+#include "infer/Conflict.h"
+
+using namespace lockin;
+using namespace lockin::ir;
+
+bool lockin::locksMayConflict(const LockName &A, const LockName &B) {
+  if (A.effect() != Effect::RW && B.effect() != Effect::RW)
+    return false; // two reads never conflict
+  if (A.kind() == LockName::Kind::Top || B.kind() == LockName::Kind::Top)
+    return true;
+  return A.region() != InvalidRegion && A.region() == B.region();
+}
+
+bool lockin::lockSetsMayConflict(const LockSet &A, const LockSet &B) {
+  for (const LockName &La : A.locks())
+    for (const LockName &Lb : B.locks())
+      if (locksMayConflict(La, Lb))
+        return true;
+  return false;
+}
+
+namespace {
+
+/// Collects call/spawn targets lexically outside atomic bodies (the edges
+/// a thread can traverse while holding no section locks), and spawn
+/// callees anywhere (a spawned thread starts outside every section even
+/// when the spawn site itself sits in one).
+void collectBareEdges(const IrStmt *S, bool InAtomic,
+                      std::vector<const IrFunction *> &BareCallees,
+                      std::vector<const IrFunction *> &SpawnCallees) {
+  switch (S->kind()) {
+  case IrStmt::Kind::Call:
+    if (!InAtomic)
+      BareCallees.push_back(cast<CallStmt>(S)->callee());
+    return;
+  case IrStmt::Kind::Spawn:
+    SpawnCallees.push_back(cast<SpawnIrStmt>(S)->callee());
+    return;
+  case IrStmt::Kind::Seq:
+    for (const IrStmtPtr &Child : cast<SeqStmt>(S)->stmts())
+      collectBareEdges(Child.get(), InAtomic, BareCallees, SpawnCallees);
+    return;
+  case IrStmt::Kind::If: {
+    const auto *I = cast<IfIrStmt>(S);
+    collectBareEdges(I->thenStmt(), InAtomic, BareCallees, SpawnCallees);
+    if (I->elseStmt())
+      collectBareEdges(I->elseStmt(), InAtomic, BareCallees, SpawnCallees);
+    return;
+  }
+  case IrStmt::Kind::While: {
+    const auto *W = cast<WhileIrStmt>(S);
+    collectBareEdges(W->prelude(), InAtomic, BareCallees, SpawnCallees);
+    collectBareEdges(W->body(), InAtomic, BareCallees, SpawnCallees);
+    return;
+  }
+  case IrStmt::Kind::Atomic:
+    collectBareEdges(cast<AtomicIrStmt>(S)->body(), /*InAtomic=*/true,
+                     BareCallees, SpawnCallees);
+    return;
+  default:
+    return;
+  }
+}
+
+void collectBareStmts(const IrStmt *S, const IrFunction *F,
+                      const TransferContext &Ctx,
+                      std::vector<BareAccess> &Out) {
+  switch (S->kind()) {
+  case IrStmt::Kind::Seq:
+    for (const IrStmtPtr &Child : cast<SeqStmt>(S)->stmts())
+      collectBareStmts(Child.get(), F, Ctx, Out);
+    return;
+  case IrStmt::Kind::If: {
+    const auto *I = cast<IfIrStmt>(S);
+    LockSet Cond;
+    genVarRead(I->condVar(), Ctx, Cond);
+    if (!Cond.empty())
+      Out.push_back({S, F, std::move(Cond)});
+    collectBareStmts(I->thenStmt(), F, Ctx, Out);
+    if (I->elseStmt())
+      collectBareStmts(I->elseStmt(), F, Ctx, Out);
+    return;
+  }
+  case IrStmt::Kind::While: {
+    const auto *W = cast<WhileIrStmt>(S);
+    LockSet Cond;
+    genVarRead(W->condVar(), Ctx, Cond);
+    if (!Cond.empty())
+      Out.push_back({S, F, std::move(Cond)});
+    collectBareStmts(W->prelude(), F, Ctx, Out);
+    collectBareStmts(W->body(), F, Ctx, Out);
+    return;
+  }
+  case IrStmt::Kind::Atomic:
+    return; // the section's own accesses are modeled by its lock set
+  case IrStmt::Kind::Return: {
+    const auto *R = cast<ReturnIrStmt>(S);
+    if (R->value()) {
+      LockSet Val;
+      genVarRead(R->value(), Ctx, Val);
+      if (!Val.empty())
+        Out.push_back({S, F, std::move(Val)});
+    }
+    return;
+  }
+  case IrStmt::Kind::Assert: {
+    LockSet Cond;
+    genVarRead(cast<AssertIrStmt>(S)->condVar(), Ctx, Cond);
+    if (!Cond.empty())
+      Out.push_back({S, F, std::move(Cond)});
+    return;
+  }
+  case IrStmt::Kind::Spawn: {
+    LockSet Args;
+    for (const ir::Variable *A : cast<SpawnIrStmt>(S)->args())
+      genVarRead(A, Ctx, Args);
+    if (!Args.empty())
+      Out.push_back({S, F, std::move(Args)});
+    return;
+  }
+  default:
+    break;
+  }
+  if (const auto *Inst = dyn_cast<InstStmt>(S)) {
+    LockSet Accesses;
+    genLocks(Inst, Ctx, Accesses);
+    if (Inst->kind() == IrStmt::Kind::Call)
+      for (const ir::Variable *A : cast<CallStmt>(Inst)->args())
+        genVarRead(A, Ctx, Accesses);
+    if (!Accesses.empty())
+      Out.push_back({S, F, std::move(Accesses)});
+  }
+}
+
+} // namespace
+
+std::vector<BareAccess>
+lockin::collectBareAccesses(const IrModule &M, const analysis::CallGraph &CG,
+                            const TransferContext &Ctx) {
+  unsigned N = CG.numFunctions();
+  std::vector<std::vector<const IrFunction *>> BareCallees(N);
+  std::vector<const IrFunction *> Roots;
+  if (const IrFunction *Main = M.findFunction("main"))
+    Roots.push_back(Main);
+  std::vector<bool> Live =
+      Roots.empty() ? std::vector<bool>(N, false) : CG.reachableClosure(Roots);
+  for (unsigned I = 0; I < N; ++I) {
+    if (!CG.function(I)->body())
+      continue;
+    std::vector<const IrFunction *> Spawned;
+    collectBareEdges(CG.function(I)->body(), /*InAtomic=*/false,
+                     BareCallees[I], Spawned);
+    // Spawn callees of any live function root new bare contexts: Live is
+    // the full call+spawn closure from main, so this covers spawners only
+    // reachable through sections or through other spawned threads.
+    if (Live[I])
+      for (const IrFunction *SF : Spawned)
+        Roots.push_back(SF);
+  }
+  std::vector<char> Bare(N, 0);
+  std::vector<unsigned> Work;
+  for (const IrFunction *R : Roots) {
+    unsigned I = CG.indexOf(R);
+    if (!Bare[I]) {
+      Bare[I] = 1;
+      Work.push_back(I);
+    }
+  }
+  while (!Work.empty()) {
+    unsigned I = Work.back();
+    Work.pop_back();
+    for (const IrFunction *Callee : BareCallees[I]) {
+      unsigned CI = CG.indexOf(Callee);
+      if (!Bare[CI]) {
+        Bare[CI] = 1;
+        Work.push_back(CI);
+      }
+    }
+  }
+
+  std::vector<BareAccess> Out;
+  for (unsigned I = 0; I < N; ++I)
+    if (Bare[I] && CG.function(I)->body())
+      collectBareStmts(CG.function(I)->body(), CG.function(I), Ctx, Out);
+  return Out;
+}

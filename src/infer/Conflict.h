@@ -1,0 +1,58 @@
+//===--- Conflict.h - Abstract-location conflict tests ----------*- C++ -*-===//
+//
+// Part of the lockin project: lock inference for atomic sections.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared helpers for the concurrency checker and MHP-driven lock
+/// elision: may-overlap tests between the abstract locations named by
+/// inferred locks, and the enumeration of *bare* accesses — shared-memory
+/// accesses a thread can perform without being inside any atomic section.
+///
+/// A lock name doubles as an access abstraction: the G locks a statement
+/// generates name exactly the shared locations it touches (Σ_k fine paths
+/// and Σ_≡ regions), so "the lock sets overlap with a write" is a sound
+/// may-conflict test between two pieces of code.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LOCKIN_INFER_CONFLICT_H
+#define LOCKIN_INFER_CONFLICT_H
+
+#include "analysis/CallGraph.h"
+#include "infer/LockSet.h"
+#include "infer/Transfer.h"
+#include "ir/Ir.h"
+
+#include <vector>
+
+namespace lockin {
+
+/// May \p A and \p B name overlapping locations with at least one write?
+/// ⊤ overlaps everything; otherwise locations overlap iff their
+/// (field-insensitive) points-to regions coincide.
+bool locksMayConflict(const LockName &A, const LockName &B);
+
+/// Any cross-pair conflict between the two sets.
+bool lockSetsMayConflict(const LockSet &A, const LockSet &B);
+
+/// One statement that may access shared memory outside every atomic
+/// section, with the G locks naming what it touches.
+struct BareAccess {
+  const ir::IrStmt *Stmt = nullptr;
+  const ir::IrFunction *Function = nullptr;
+  LockSet Accesses;
+};
+
+/// Enumerates the bare accesses of \p M: statements lexically outside
+/// atomic bodies in functions reachable from main or from a spawn callee
+/// without passing through an atomic section. Deterministic (module
+/// function order, then structural order).
+std::vector<BareAccess> collectBareAccesses(const ir::IrModule &M,
+                                            const analysis::CallGraph &CG,
+                                            const TransferContext &Ctx);
+
+} // namespace lockin
+
+#endif // LOCKIN_INFER_CONFLICT_H

@@ -1,0 +1,76 @@
+//===--- Elision.cpp - MHP-driven lock elision ---------------------------------===//
+//
+// Part of the lockin project: lock inference for atomic sections.
+//
+//===----------------------------------------------------------------------===//
+///
+/// InferenceOptions::ElideNeverParallel: a post-pass over the inference
+/// result that marks sections whose locks can be dropped entirely.
+///
+/// A section S may elide its locks when no conflicting code can run
+/// concurrently with it:
+///
+///   - for every other section T whose lock set names a location
+///     overlapping S's (with a write on either side), MHP(S, T) is false;
+///   - the same with two dynamic instances of S itself; and
+///   - for every bare access B (shared access outside all sections)
+///     overlapping S's lock set, MHP(S, B) is false.
+///
+/// Soundness: the inferred lock set of a section is, by Theorem 1, a
+/// superset abstraction of every shared location the section (and its
+/// callees) may touch. If no conflicting access can be co-scheduled with
+/// any part of S's execution, mutual exclusion is vacuous — S is atomic
+/// with or without the locks — so dropping the acquisitions preserves
+/// every observable behavior. The never-parallel proof is the MHP
+/// analysis's `false`, which is conservative.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Mhp.h"
+#include "infer/Conflict.h"
+#include "infer/Inference.h"
+
+using namespace lockin;
+using namespace lockin::ir;
+
+void LockInference::elideNeverParallel(InferenceResult &Result) {
+  analysis::MhpAnalysis Mhp(Module, CG);
+  std::vector<BareAccess> Bare = collectBareAccesses(Module, CG, Ctx);
+
+  uint64_t Pairs = 0;
+  unsigned Elided = 0;
+  for (size_t Id = 0; Id < SectionTasks.size(); ++Id) {
+    const SectionTask &T = SectionTasks[Id];
+    if (!T.Stmt)
+      continue;
+    const LockSet &Locks = Result.Sections[Id].Locks;
+    if (Locks.empty())
+      continue; // nothing acquired, nothing to elide
+
+    bool MayRace = false;
+    for (size_t Other = 0; Other < SectionTasks.size() && !MayRace; ++Other) {
+      const SectionTask &U = SectionTasks[Other];
+      if (!U.Stmt)
+        continue;
+      if (!lockSetsMayConflict(Locks, Result.Sections[Other].Locks))
+        continue;
+      ++Pairs;
+      MayRace = Other == Id ? Mhp.selfParallel(T.Stmt)
+                            : Mhp.mayHappenInParallel(T.Stmt, U.Stmt);
+    }
+    for (size_t B = 0; B < Bare.size() && !MayRace; ++B) {
+      if (!lockSetsMayConflict(Locks, Bare[B].Accesses))
+        continue;
+      ++Pairs;
+      MayRace = Mhp.mayHappenInParallel(T.Stmt, Bare[B].Stmt);
+    }
+
+    if (!MayRace) {
+      Result.Sections[Id].Elided = true;
+      ++Elided;
+    }
+  }
+
+  Stats.ElidedSections = Elided;
+  Stats.ElisionMhpPairs = Pairs;
+}

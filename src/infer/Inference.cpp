@@ -511,6 +511,9 @@ InferenceResult LockInference::run() {
   else
     runParallel(Jobs, WantScc, Result);
 
+  if (Options.ElideNeverParallel && Options.OnlySections.empty())
+    elideNeverParallel(Result);
+
   Stats.Summaries = Summaries.stats();
   LockInterner::Stats IS = Interner->stats();
   Stats.InternerNodes = IS.nodes();

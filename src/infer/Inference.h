@@ -69,6 +69,14 @@ struct InferenceOptions {
   /// Share storage of structurally identical final summaries (see
   /// FunctionSummaries); value-neutral, also benchmarked via bench_mega.
   bool DedupSummaries = true;
+  /// MHP-driven lock elision: after inference, sections proven
+  /// never-parallel with every conflicting section and bare access keep
+  /// their inferred lock sets for the record but are marked elided — the
+  /// runtime acquires nothing for them. Off by default; when off the
+  /// result (and every rendered report) is byte-identical to a build
+  /// without this option. Ignored for partial runs (OnlySections), which
+  /// lack the whole-program view the proof needs.
+  bool ElideNeverParallel = false;
 };
 
 /// Counters for --stats and the benchmarks; filled by run().
@@ -92,6 +100,10 @@ struct InferenceStats {
   uint64_t InternerNodes = 0;
   uint64_t InternerHits = 0;
   uint64_t ArenaBytes = 0;
+  /// MHP-driven elision (InferenceOptions::ElideNeverParallel): sections
+  /// whose locks were elided, and the MHP item pairs the proof examined.
+  unsigned ElidedSections = 0;
+  uint64_t ElisionMhpPairs = 0;
 };
 
 /// Census of inferred locks in the four categories of Figure 7. ⊤ counts
@@ -128,12 +140,28 @@ public:
     uint32_t SectionId = 0;
     const ir::IrFunction *Function = nullptr;
     LockSet Locks;
+    /// MHP elision proved this section never runs concurrently with any
+    /// conflicting code: the runtime acquires none of Locks for it.
+    bool Elided = false;
   };
 
   const LockSet &sectionLocks(uint32_t SectionId) const {
     return Sections.at(SectionId).Locks;
   }
+  bool sectionElided(uint32_t SectionId) const {
+    return Sections.at(SectionId).Elided;
+  }
+  unsigned elidedCount() const {
+    unsigned N = 0;
+    for (const Section &S : Sections)
+      N += S.Elided ? 1 : 0;
+    return N;
+  }
   const std::vector<Section> &sections() const { return Sections; }
+
+  /// The interner every lock name in this result points into; shared with
+  /// clients (the concurrency checker) that build comparable lock names.
+  const std::shared_ptr<LockInterner> &interner() const { return Interner; }
 
   /// Figure 7 census over all sections.
   LockCensus census() const;
@@ -141,7 +169,9 @@ public:
   /// Annotation string for the transformed-program printer
   /// (ir::SectionAnnotator).
   std::string annotate(uint32_t SectionId) const {
-    return Sections.at(SectionId).Locks.str();
+    const Section &S = Sections.at(SectionId);
+    return S.Elided ? S.Locks.str() + " [elided: never-parallel]"
+                    : S.Locks.str();
   }
 
 private:
@@ -199,6 +229,8 @@ private:
 
   void analyzeSection(InferenceResult &Result, const ir::AtomicIrStmt *A,
                       const ir::IrFunction *F);
+  /// InferenceOptions::ElideNeverParallel post-pass (Elision.cpp).
+  void elideNeverParallel(InferenceResult &Result);
   void runSerial(const std::vector<char> &WantScc, InferenceResult &Result);
   void runParallel(unsigned Jobs, const std::vector<char> &WantScc,
                    InferenceResult &Result);

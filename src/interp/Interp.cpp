@@ -285,6 +285,11 @@ private:
   bool checkAccess(Loc L, bool IsWrite) {
     if (!S.Options.Checked || !LockCtx.insideAtomic())
       return true;
+    // Inside the dynamic extent of an elided outermost section the static
+    // never-parallel proof replaces the lock-coverage proof: no lock is
+    // held by design, and no conflicting access can be co-scheduled.
+    if (InElidedSection)
+      return true;
     HeapObject &Obj = S.object(L.Object);
     if (!Obj.checkable(L.Offset))
       return true;
@@ -578,6 +583,10 @@ private:
   /// Objects allocated by this thread inside the current outermost
   /// section; cleared at releaseAll.
   std::vector<uint32_t> SectionAllocs;
+  /// True while executing the dynamic extent of an elided outermost
+  /// section (AtomicMode::Inferred with ElideNeverParallel): the §4.2
+  /// check is replaced by the static never-parallel proof.
+  bool InElidedSection = false;
 
   /// Adaptive-gate inflight slot (valid iff S.Engine).
   uint32_t GateSlot = 0;
@@ -731,6 +740,15 @@ bool ThreadExec::enterSection(const Frame &Fr, const AtomicIrStmt *A) {
     return true;
   }
 
+  // Elided outermost section: the MHP proof says nothing conflicting can
+  // run concurrently, so acquire nothing (and exempt the whole extent
+  // from the §4.2 check — see checkAccess).
+  if (S.Inference->sectionElided(A->sectionId())) {
+    InElidedSection = true;
+    LockCtx.acquireAll(); // tracks nesting; acquires nothing
+    return true;
+  }
+
   std::vector<rt::LockDescriptor> Descs;
   std::vector<std::pair<const LockExpr *, Loc>> FinePaths;
   for (unsigned Attempt = 0; Attempt < 128; ++Attempt) {
@@ -774,6 +792,7 @@ Flow ThreadExec::execAtomicLocked(const Frame &Fr, const AtomicIrStmt *A) {
   LockCtx.releaseAll();
   if (!LockCtx.insideAtomic()) {
     SectionAllocs.clear();
+    InElidedSection = false;
     if constexpr (obs::kEnabled) {
       if (SpanT0)
         obs::tracer().span(obs::EventKind::SectionSpan, SpanT0,

@@ -6,9 +6,11 @@
 
 #include "service/Incremental.h"
 
+#include "check/Check.h"
 #include "driver/Compiler.h"
 #include "ir/IrPrinter.h"
 #include "service/Fingerprint.h"
+#include "service/Hash.h"
 
 #include <algorithm>
 #include <cstdio>
@@ -114,6 +116,33 @@ AnalyzeOutcome IncrementalAnalyzer::analyze(const std::string &Unit,
           Out.DirtyConeSections.push_back(Id);
     }
   }
+  // Check-report cache: the report depends on every reachable body, the
+  // region numbering, k, and the elision flag — exactly what the module
+  // fingerprint components cover. An unchanged module serves the cached
+  // JSON without re-running inference or the checker.
+  uint64_t CheckFp = 0;
+  if (Params.Check) {
+    Fnv1a H;
+    for (unsigned I = 0; I < CG.numFunctions(); ++I)
+      H.u64(FP.functionHash(I));
+    for (unsigned Scc = 0; Scc < CG.numSccs(); ++Scc)
+      H.u64(FP.regionSignature(Scc));
+    H.u32(Params.K);
+    H.u32(Params.ElideNeverParallel ? 1 : 0);
+    CheckFp = H.get();
+    if (!Params.Force) {
+      std::lock_guard<std::mutex> Lock(Mu);
+      auto It = CheckEntries.find(Unit);
+      if (It != CheckEntries.end() && It->second.Fingerprint == CheckFp) {
+        Out.CheckCacheHit = true;
+        Out.CheckJson = It->second.Json;
+        Out.CheckFindings = It->second.Findings;
+        Out.CheckMhpPairs = It->second.MhpPairs;
+        Out.CheckElided = It->second.Elided;
+      }
+    }
+  }
+  bool NeedChecker = Params.Check && !Out.CheckCacheHit;
   if (Tel)
     Tel->end(obs::ReqPhase::Fingerprint);
 
@@ -123,8 +152,9 @@ AnalyzeOutcome IncrementalAnalyzer::analyze(const std::string &Unit,
     obs::PhaseScope Scope(Tel, obs::ReqPhase::Analyze);
 
     // Cache pass: a run request needs live LockSets for the interpreter,
-    // so it always takes the uncached path (and refreshes the cache).
-    bool BypassLookups = Params.Force || Params.Run;
+    // and an uncached check needs the live InferenceResult — both take
+    // the uncached path (and refresh the cache).
+    bool BypassLookups = Params.Force || Params.Run || NeedChecker;
     std::vector<uint32_t> Misses;
     for (uint32_t Id = 0; Id < NumSections; ++Id) {
       SectionSummary Hit;
@@ -141,6 +171,7 @@ AnalyzeOutcome IncrementalAnalyzer::analyze(const std::string &Unit,
     InferenceOptions InferOpts;
     InferOpts.K = Params.K;
     InferOpts.Jobs = Params.Jobs;
+    InferOpts.ElideNeverParallel = Params.ElideNeverParallel;
     LockInference Inference(Module, C->pointsTo(), CG, InferOpts);
 
     auto Harvest = [&](const InferenceResult &Result,
@@ -157,8 +188,8 @@ AnalyzeOutcome IncrementalAnalyzer::analyze(const std::string &Unit,
       }
     };
 
-    if (Params.Run) {
-      // Full inference in one shot, then execute.
+    if (Params.Run || NeedChecker) {
+      // Full inference in one shot, then check and/or execute.
       if (pastDeadline(Params))
         return timedOut();
       InferenceResult Result = Inference.run();
@@ -167,17 +198,33 @@ AnalyzeOutcome IncrementalAnalyzer::analyze(const std::string &Unit,
         All[Id] = Id;
       Harvest(Result, All);
 
-      InterpOptions RunOpts;
-      RunOpts.Mode = Params.RunMode;
-      RunOpts.InjectYields = Params.InjectYields;
-      RunOpts.YieldSeed = Params.YieldSeed;
-      InterpResult R =
-          interpret(Module, C->pointsTo(), &Result, RunOpts, "main");
-      Out.RanProgram = true;
-      Out.RunOk = R.Ok;
-      Out.RunError = R.Error;
-      Out.MainResult = R.MainResult;
-      Out.TotalSteps = R.TotalSteps;
+      if (NeedChecker) {
+        check::CheckReport Report = check::Checker::runAll(
+            Module, CG, C->pointsTo(), Result, Params.K);
+        Out.Checked = true;
+        Out.CheckJson = Report.json(Unit);
+        Out.CheckFindings = Report.Stats.Findings;
+        Out.CheckMhpPairs = Report.Stats.MhpPairs;
+        Out.CheckElided = Report.Stats.ElidedSections;
+        CheckEntry Entry{CheckFp, Out.CheckJson, Out.CheckFindings,
+                         Out.CheckMhpPairs, Out.CheckElided};
+        std::lock_guard<std::mutex> Lock(Mu);
+        CheckEntries[Unit] = std::move(Entry);
+      }
+
+      if (Params.Run) {
+        InterpOptions RunOpts;
+        RunOpts.Mode = Params.RunMode;
+        RunOpts.InjectYields = Params.InjectYields;
+        RunOpts.YieldSeed = Params.YieldSeed;
+        InterpResult R =
+            interpret(Module, C->pointsTo(), &Result, RunOpts, "main");
+        Out.RanProgram = true;
+        Out.RunOk = R.Ok;
+        Out.RunError = R.Error;
+        Out.MainResult = R.MainResult;
+        Out.TotalSteps = R.TotalSteps;
+      }
     } else {
       // Re-analyze only the misses, in batches with deadline checks. The
       // LockInference instance is reused so summaries computed for one
@@ -249,12 +296,14 @@ bool IncrementalAnalyzer::invalidateUnit(const std::string &Unit) {
   for (uint64_t Key : It->second.SectionKeys)
     Cache.erase(Key);
   Snapshots.erase(It);
+  CheckEntries.erase(Unit);
   return true;
 }
 
 void IncrementalAnalyzer::invalidateAll() {
   std::lock_guard<std::mutex> Lock(Mu);
   Snapshots.clear();
+  CheckEntries.clear();
   Cache.clear();
 }
 

@@ -53,6 +53,14 @@ struct AnalyzeParams {
   /// cache entries (rendered text) cannot provide.
   bool Run = false;
   AtomicMode RunMode = AtomicMode::Inferred;
+  /// Run the concurrency checker and return its JSON report. Check runs
+  /// need the live InferenceResult, so a cache-served analysis cannot
+  /// satisfy them — but the rendered report itself is cached per unit,
+  /// keyed by the module fingerprint: an unchanged module serves the
+  /// previous check verbatim (and the summary path stays warm).
+  bool Check = false;
+  /// InferenceOptions::ElideNeverParallel for check/run requests.
+  bool ElideNeverParallel = false;
   /// Deterministic scheduling knobs forwarded to the checked interpreter
   /// (mirrors the tool's --inject-yields / --yield-seed).
   bool InjectYields = false;
@@ -90,6 +98,14 @@ struct AnalyzeOutcome {
   /// re-analysis set under the invalidation rule.
   std::vector<uint32_t> DirtyConeSections;
 
+  /// Checker results when AnalyzeParams::Check was set.
+  bool Checked = false;        ///< the checker actually ran this request
+  bool CheckCacheHit = false;  ///< served from the per-unit check cache
+  std::string CheckJson;       ///< CheckReport::json(unit)
+  unsigned CheckFindings = 0;
+  uint64_t CheckMhpPairs = 0;
+  unsigned CheckElided = 0;
+
   /// Interpreter results when AnalyzeParams::Run was set.
   bool RanProgram = false;
   bool RunOk = false;
@@ -123,9 +139,21 @@ private:
     std::vector<uint64_t> SectionKeys;
   };
 
+  /// Cached check report for one unit: valid while the module fingerprint
+  /// (every function body + every SCC's region signature + k + the
+  /// elision flag) is unchanged.
+  struct CheckEntry {
+    uint64_t Fingerprint = 0;
+    std::string Json;
+    unsigned Findings = 0;
+    uint64_t MhpPairs = 0;
+    unsigned Elided = 0;
+  };
+
   SummaryCache &Cache;
-  mutable std::mutex Mu; // guards Snapshots
+  mutable std::mutex Mu; // guards Snapshots and CheckEntries
   std::unordered_map<std::string, Snapshot> Snapshots;
+  std::unordered_map<std::string, CheckEntry> CheckEntries;
 };
 
 } // namespace service

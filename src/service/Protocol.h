@@ -13,6 +13,14 @@
 ///   {"op":"analyze","unit":"U","source":"...","k":3,"jobs":1,
 ///    "force":false,"run":false,"mode":"inferred",
 ///    "injectYields":false,"yieldSeed":1}
+///   {"op":"check","unit":"U","source":"...","k":3,"jobs":1,
+///    "force":false,"elideNeverParallel":false}
+///                                  (analyze + concurrency checker; the
+///                                   response adds "check" — the
+///                                   lockin-check JSON report as an
+///                                   object — and "checkCached", true
+///                                   when the unchanged-module cache
+///                                   served the report)
 ///   {"op":"invalidate"}            (whole cache)
 ///   {"op":"invalidate","unit":"U"} (one unit)
 ///   {"op":"stats"}

@@ -346,7 +346,10 @@ Json Server::dispatch(const Json &Request, bool &IsShutdown,
     R.set("draining", Json::boolean(true));
     return R;
   }
-  if (Op == "analyze") {
+  // "check" is analyze + the concurrency checker: same queue, same
+  // worker path, same backpressure; handleAnalyze reads the op back out
+  // of the request to set AnalyzeParams::Check.
+  if (Op == "analyze" || Op == "check") {
     auto Deadline = std::chrono::steady_clock::time_point{};
     if (Opts.RequestTimeoutMs)
       Deadline = std::chrono::steady_clock::now() +
@@ -459,6 +462,9 @@ Json Server::handleAnalyze(const Json &Request,
       static_cast<unsigned>(Request.getUint("jobs", Opts.DefaultJobs));
   Params.Force = Request.getBool("force", false);
   Params.Run = Request.getBool("run", false);
+  Params.Check = Request.getString("op", "") == "check" ||
+                 Request.getBool("check", false);
+  Params.ElideNeverParallel = Request.getBool("elideNeverParallel", false);
   Params.InjectYields = Request.getBool("injectYields", false);
   Params.YieldSeed = Request.getUint("yieldSeed", 1);
   Params.Deadline = Deadline;
@@ -517,6 +523,21 @@ Json Server::handleAnalyze(const Json &Request,
     for (uint32_t Id : Out.DirtyConeSections)
       Cone.push(Json::integer(Id));
     R.set("dirtyConeSections", std::move(Cone));
+  }
+  if (Out.Checked || Out.CheckCacheHit) {
+    // The report is embedded as a JSON object (not a string) so clients
+    // consume it structurally; it was rendered by CheckReport::json and
+    // always round-trips.
+    Json CheckJson;
+    std::string ParseErr;
+    if (Json::parse(Out.CheckJson, CheckJson, ParseErr))
+      R.set("check", std::move(CheckJson));
+    else
+      R.set("check", Json::string(Out.CheckJson));
+    R.set("checkCached", Json::boolean(Out.CheckCacheHit));
+    obs::metrics().counter("check.reports").add(Out.Checked ? 1 : 0);
+    obs::metrics().counter("check.mhp_pairs").add(Out.CheckMhpPairs);
+    obs::metrics().counter("check.elided_sections").add(Out.CheckElided);
   }
   if (Out.RanProgram) {
     R.set("runOk", Json::boolean(Out.RunOk));

@@ -430,6 +430,54 @@ TEST(Incremental, RunExecutesTheProgram) {
   EXPECT_GT(Out.TotalSteps, 0u);
 }
 
+TEST(Incremental, CheckRunsColdServesWarmFromReportCache) {
+  SummaryCache Cache(1024);
+  IncrementalAnalyzer An(Cache);
+  AnalyzeParams P;
+  P.Jobs = 1;
+  P.Check = true;
+
+  // Cold: the checker actually runs and its JSON report is captured.
+  AnalyzeOutcome Cold = An.analyze("u", coneProgram(1), P);
+  ASSERT_TRUE(Cold.Ok) << Cold.Error;
+  EXPECT_TRUE(Cold.Checked);
+  EXPECT_FALSE(Cold.CheckCacheHit);
+  EXPECT_FALSE(Cold.CheckJson.empty());
+  EXPECT_GT(Cold.CheckMhpPairs, 0u);
+
+  // Warm, unchanged module: the cached report is served verbatim without
+  // re-running the checker.
+  AnalyzeOutcome Warm = An.analyze("u", coneProgram(1), P);
+  ASSERT_TRUE(Warm.Ok) << Warm.Error;
+  EXPECT_FALSE(Warm.Checked);
+  EXPECT_TRUE(Warm.CheckCacheHit);
+  EXPECT_EQ(Warm.CheckJson, Cold.CheckJson);
+  EXPECT_EQ(Warm.CheckFindings, Cold.CheckFindings);
+  EXPECT_EQ(Warm.CheckMhpPairs, Cold.CheckMhpPairs);
+
+  // An edited body moves the module fingerprint: the cache entry is
+  // stale, so the checker re-runs against the new module.
+  AnalyzeOutcome Edited = An.analyze("u", coneProgram(2), P);
+  ASSERT_TRUE(Edited.Ok) << Edited.Error;
+  EXPECT_TRUE(Edited.Checked);
+  EXPECT_FALSE(Edited.CheckCacheHit);
+
+  // Flipping the elision flag is part of the fingerprint too.
+  AnalyzeParams Elide = P;
+  Elide.ElideNeverParallel = true;
+  AnalyzeOutcome Flipped = An.analyze("u", coneProgram(2), Elide);
+  ASSERT_TRUE(Flipped.Ok) << Flipped.Error;
+  EXPECT_TRUE(Flipped.Checked);
+  EXPECT_FALSE(Flipped.CheckCacheHit);
+
+  // Invalidation drops the check entry alongside the snapshot.
+  ASSERT_TRUE(An.invalidateUnit("u"));
+  AnalyzeOutcome Fresh = An.analyze("u", coneProgram(2), Elide);
+  ASSERT_TRUE(Fresh.Ok) << Fresh.Error;
+  EXPECT_TRUE(Fresh.Checked);
+  EXPECT_FALSE(Fresh.CheckCacheHit);
+}
+
 TEST(Incremental, CompileErrorsAreReported) {
   SummaryCache Cache(16);
   IncrementalAnalyzer An(Cache);
