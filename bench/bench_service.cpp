@@ -23,16 +23,31 @@
 /// irreducible warm cost is the front half (parse → points-to) plus
 /// fingerprinting.
 ///
-/// Emits BENCH_service.json (schema 2) with p50/p95/p99/mean latency,
+/// On top of the closed-loop phases, an **open-loop sweep** drives the
+/// epoll service tier the way real load arrives: requests are fired on a
+/// fixed schedule (offered rate), pipelined over a pool of connections
+/// WITHOUT waiting for responses, and each latency is measured from the
+/// request's *scheduled* arrival time — so queueing delay is charged to
+/// the server, not silently absorbed by a blocked client (no coordinated
+/// omission). The sweep first calibrates the warm closed-loop saturation
+/// throughput, then offers fractions of it (0.25x .. 2x). The 2x leg is
+/// the graceful-degradation probe: the daemon must shed (answer
+/// "overloaded" / deadline-shed) rather than let accepted latency run
+/// away — CI gates on shed>0 and bounded accepted p99 there.
+///
+/// Emits BENCH_service.json (schema 3) with p50/p95/p99/mean latency,
 /// throughput, the cold/warm speedup, whether warm output stayed
 /// byte-identical to cold — the acceptance gate is identical=true (the
 /// speedup is recorded; it sits around 3-4x now that interning made
-/// cold inference cheaper) — plus the request-telemetry view: a
-/// per-phase (queue/parse/fingerprint/analyze/render) latency breakdown
-/// scraped from the daemon's own `metrics` op, and the telemetry
-/// overhead measured by running the warm leg against two daemons in
-/// alternating batches, one with ServerOptions::Telemetry off and one
-/// with it on (budget: <= 5%; recorded, not gated).
+/// cold inference cheaper) — the open-loop latency-vs-offered-load
+/// curve with per-rate shed counts and the speedup of the saturation
+/// rate over the thread-per-connection-era 9 rps baseline, plus the
+/// request-telemetry view: a per-phase (queue/parse/fingerprint/
+/// analyze/render) latency breakdown scraped from the daemon's own
+/// `metrics` op, and the telemetry overhead measured by running the
+/// warm leg against two daemons in alternating batches, one with
+/// ServerOptions::Telemetry off and one with it on (budget: <= 5%;
+/// recorded, not gated).
 ///
 /// Usage: bench_service [--quick] [--out PATH]
 ///
@@ -40,15 +55,20 @@
 
 #include "service/Client.h"
 #include "service/Json.h"
+#include "service/Protocol.h"
 #include "service/Server.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <mutex>
 #include <string>
+#include <sys/socket.h>
+#include <sys/un.h>
 #include <thread>
 #include <unistd.h>
 #include <vector>
@@ -252,6 +272,165 @@ Json scrapePhaseBreakdown(const std::string &SocketPath) {
   return Out;
 }
 
+//===----------------------------------------------------------------------===//
+// Open-loop load generator
+//===----------------------------------------------------------------------===//
+
+/// One connection of the open-loop pool: a writer fires frames at their
+/// scheduled times without waiting for responses (the responses come
+/// back in order on the same socket), a reader matches them up and
+/// charges each response against its request's *scheduled* time.
+struct OpenLoopConn {
+  int Fd = -1;
+  std::vector<std::chrono::steady_clock::time_point> Schedule;
+  std::vector<double> AcceptedMs; ///< latency of ok responses
+  unsigned Ok = 0, Overloaded = 0, Shed = 0, Errors = 0;
+
+  bool connect(const std::string &Path) {
+    Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (Fd < 0)
+      return false;
+    sockaddr_un Addr{};
+    Addr.sun_family = AF_UNIX;
+    std::strncpy(Addr.sun_path, Path.c_str(), sizeof(Addr.sun_path) - 1);
+    return ::connect(Fd, reinterpret_cast<sockaddr *>(&Addr),
+                     sizeof(Addr)) == 0;
+  }
+  ~OpenLoopConn() {
+    if (Fd >= 0)
+      ::close(Fd);
+  }
+
+  void writerLoop(const std::string &Wire) {
+    for (const auto &At : Schedule) {
+      std::this_thread::sleep_until(At); // past-due = fire immediately
+      size_t Off = 0;
+      while (Off < Wire.size()) {
+        ssize_t W =
+            ::send(Fd, Wire.data() + Off, Wire.size() - Off, MSG_NOSIGNAL);
+        if (W < 0) {
+          if (errno == EINTR)
+            continue;
+          return;
+        }
+        Off += static_cast<size_t>(W);
+      }
+    }
+  }
+
+  void readerLoop() {
+    for (const auto &At : Schedule) {
+      Json Resp;
+      std::string Err;
+      if (readJson(Fd, Resp, Err) != 1) {
+        ++Errors;
+        return; // transport broke; remaining responses are lost
+      }
+      double Ms = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - At)
+                      .count();
+      if (Resp.getBool("ok", false)) {
+        ++Ok;
+        AcceptedMs.push_back(Ms);
+      } else if (Resp.getString("error", "") == "overloaded") {
+        ++Overloaded;
+      } else if (Resp.getBool("shed", false) ||
+                 Resp.getBool("timedOut", false)) {
+        ++Shed;
+      } else {
+        ++Errors;
+      }
+    }
+  }
+};
+
+struct OpenLoopResult {
+  double OfferedRps = 0, Fraction = 0, WallSeconds = 0;
+  unsigned Sent = 0, Ok = 0, Overloaded = 0, Shed = 0, Errors = 0;
+  std::vector<double> AcceptedMs;
+
+  double quantile(double Q) const {
+    if (AcceptedMs.empty())
+      return 0;
+    std::vector<double> Sorted = AcceptedMs;
+    std::sort(Sorted.begin(), Sorted.end());
+    size_t Idx = static_cast<size_t>(Q * (Sorted.size() - 1) + 0.5);
+    return Sorted[Idx];
+  }
+  double mean() const {
+    double Sum = 0;
+    for (double L : AcceptedMs)
+      Sum += L;
+    return AcceptedMs.empty() ? 0 : Sum / AcceptedMs.size();
+  }
+};
+
+/// Offers \p Rps requests/second for \p Seconds (request i scheduled at
+/// i/Rps, round-robin over \p NumConns pipelined connections).
+OpenLoopResult runOpenLoop(const std::string &SocketPath,
+                           const std::string &RequestWire, double Rps,
+                           double Seconds, unsigned NumConns) {
+  OpenLoopResult R;
+  R.OfferedRps = Rps;
+  unsigned Total = std::max(1u, static_cast<unsigned>(Rps * Seconds));
+  std::vector<std::unique_ptr<OpenLoopConn>> Conns;
+  for (unsigned C = 0; C < NumConns; ++C) {
+    auto Conn = std::make_unique<OpenLoopConn>();
+    if (!Conn->connect(SocketPath)) {
+      std::fprintf(stderr, "bench_service: open-loop connect failed\n");
+      return R;
+    }
+    Conns.push_back(std::move(Conn));
+  }
+  // Start 20ms out so every writer thread is up before the first slot.
+  auto T0 = std::chrono::steady_clock::now() + std::chrono::milliseconds(20);
+  for (unsigned I = 0; I < Total; ++I)
+    Conns[I % NumConns]->Schedule.push_back(
+        T0 + std::chrono::nanoseconds(
+                 static_cast<int64_t>(I * 1e9 / Rps)));
+
+  std::vector<std::thread> Threads;
+  for (auto &Conn : Conns) {
+    Threads.emplace_back([&Conn, &RequestWire] {
+      Conn->writerLoop(RequestWire);
+    });
+    Threads.emplace_back([&Conn] { Conn->readerLoop(); });
+  }
+  for (std::thread &T : Threads)
+    T.join();
+  R.WallSeconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - T0)
+          .count();
+  R.Sent = Total;
+  for (auto &Conn : Conns) {
+    R.Ok += Conn->Ok;
+    R.Overloaded += Conn->Overloaded;
+    R.Shed += Conn->Shed;
+    R.Errors += Conn->Errors;
+    R.AcceptedMs.insert(R.AcceptedMs.end(), Conn->AcceptedMs.begin(),
+                        Conn->AcceptedMs.end());
+  }
+  return R;
+}
+
+Json openLoopRateJson(const OpenLoopResult &R) {
+  Json O = Json::object();
+  O.set("offered_rps", Json::number(R.OfferedRps));
+  O.set("fraction_of_saturation", Json::number(R.Fraction));
+  O.set("sent", Json::integer(R.Sent));
+  O.set("ok", Json::integer(R.Ok));
+  O.set("overloaded", Json::integer(R.Overloaded));
+  O.set("shed", Json::integer(R.Shed));
+  O.set("errors", Json::integer(R.Errors));
+  O.set("achieved_rps",
+        Json::number(R.WallSeconds > 0 ? R.Ok / R.WallSeconds : 0));
+  O.set("accepted_p50_ms", Json::number(R.quantile(0.5)));
+  O.set("accepted_p95_ms", Json::number(R.quantile(0.95)));
+  O.set("accepted_p99_ms", Json::number(R.quantile(0.99)));
+  O.set("accepted_mean_ms", Json::number(R.mean()));
+  return O;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -409,6 +588,65 @@ int main(int Argc, char **Argv) {
   Daemon.requestShutdown();
   Runner.join();
 
+  // ---- Open-loop sweep: latency vs offered load on a fresh daemon ----
+  // A light unit (warm hits dominated by parse + fingerprint) so the
+  // sweep probes the service tier — event loops, admission control,
+  // queue — rather than raw inference cost.
+  ServerOptions LoadOpts;
+  LoadOpts.UnixSocketPath = Opts.UnixSocketPath + ".load";
+  LoadOpts.Workers = 2;
+  LoadOpts.EventLoops = 2;
+  LoadOpts.QueueDepth = 64;
+  LoadOpts.RequestTimeoutMs = 1000; // deep-backlog requests are shed
+  Server LoadDaemon(LoadOpts);
+  if (!LoadDaemon.start(Err)) {
+    std::fprintf(stderr, "bench_service: %s\n", Err.c_str());
+    return 1;
+  }
+  std::thread LoadRunner([&LoadDaemon] { LoadDaemon.run(); });
+
+  std::string LoadSource = generate(2, 2, 2, 2, 0);
+  // Calibrate: warm closed-loop saturation with a few clients (the first
+  // requests prime the cache; their cold cost is amortized away by the
+  // request count).
+  PhaseStats Calib = runPhase(LoadOpts.UnixSocketPath, LoadSource,
+                              /*Clients=*/4, Quick ? 60 : 200,
+                              /*Force=*/false);
+  double SatRps = Calib.throughput();
+  const double BaselineRps = 9.0; // thread-per-connection-era warm rps
+  std::printf("open-loop calibration: saturation %.0f req/s "
+              "(%.0fx the %.0f rps thread-per-connection baseline)\n",
+              SatRps, SatRps / BaselineRps, BaselineRps);
+
+  Json LoadReq = Json::object();
+  LoadReq.set("op", Json::string("analyze"));
+  LoadReq.set("unit", Json::string("bench.atom"));
+  LoadReq.set("source", Json::string(LoadSource));
+  LoadReq.set("jobs", Json::integer(1));
+  std::string LoadWire;
+  appendFrame(LoadWire, LoadReq.str());
+
+  const unsigned LoadConns = 8;
+  std::vector<double> Fractions =
+      Quick ? std::vector<double>{0.5, 1.0, 2.0}
+            : std::vector<double>{0.25, 0.5, 0.75, 1.0, 1.5, 2.0};
+  std::vector<OpenLoopResult> Sweep;
+  for (double Frac : Fractions) {
+    double Rate = std::max(1.0, SatRps * Frac);
+    double Secs = std::min(Quick ? 1.0 : 2.5, 20000.0 / Rate);
+    OpenLoopResult R =
+        runOpenLoop(LoadOpts.UnixSocketPath, LoadWire, Rate, Secs,
+                    LoadConns);
+    R.Fraction = Frac;
+    std::printf("open-loop %.2fx (%.0f req/s): ok %u, overloaded %u, "
+                "shed %u, errors %u, accepted p50 %.1f ms p99 %.1f ms\n",
+                Frac, Rate, R.Ok, R.Overloaded, R.Shed, R.Errors,
+                R.quantile(0.5), R.quantile(0.99));
+    Sweep.push_back(std::move(R));
+  }
+  LoadDaemon.requestShutdown();
+  LoadRunner.join();
+
   bool Identical = !Cold.Report.empty() && Cold.Report == Warm.Report;
   double Speedup = Warm.mean() > 0 ? Cold.mean() / Warm.mean() : 0;
   std::printf("speedup (mean cold / mean warm): %.1fx, identical: %s\n",
@@ -419,7 +657,7 @@ int main(int Argc, char **Argv) {
               OverheadPct);
 
   Json Root = Json::object();
-  Root.set("schema", Json::integer(2));
+  Root.set("schema", Json::integer(3));
   Json Config = Json::object();
   Config.set("quick", Json::boolean(Quick));
   Config.set("workers", Json::integer(Workers));
@@ -441,6 +679,20 @@ int main(int Argc, char **Argv) {
   Edit.set("cache_misses",
            Json::integer(EditResponse.getUint("cacheMisses", 0)));
   Root.set("edit", std::move(Edit));
+  Json OpenLoop = Json::object();
+  OpenLoop.set("saturation_rps", Json::number(SatRps));
+  OpenLoop.set("baseline_rps", Json::number(BaselineRps));
+  OpenLoop.set("speedup_vs_baseline",
+               Json::number(BaselineRps > 0 ? SatRps / BaselineRps : 0));
+  OpenLoop.set("connections", Json::integer(LoadConns));
+  OpenLoop.set("daemon_event_loops", Json::integer(LoadOpts.EventLoops));
+  OpenLoop.set("daemon_workers", Json::integer(LoadOpts.Workers));
+  OpenLoop.set("queue_depth", Json::integer(LoadOpts.QueueDepth));
+  Json Rates = Json::array();
+  for (const OpenLoopResult &R : Sweep)
+    Rates.push(openLoopRateJson(R));
+  OpenLoop.set("rates", std::move(Rates));
+  Root.set("open_loop", std::move(OpenLoop));
   Root.set("phases", std::move(Phases));
   Json Telemetry = Json::object();
   Telemetry.set("warm_off_mean_ms", Json::number(WarmOff.mean()));

@@ -142,6 +142,43 @@ const OptionSpec Options[] = {
      [](CliOptions &O, const char *V) {
        return parseUnsigned(V, O.CacheCapacity);
      }},
+    {nullptr, "--cache-shards", "N",
+     "summary-cache mutex+LRU shards for --serve (default 16)",
+     [](CliOptions &O, const char *V) {
+       return parseUnsigned(V, O.CacheShards) && O.CacheShards > 0;
+     }},
+    {nullptr, "--event-loops", "N",
+     "epoll event-loop threads for --serve (default 2)",
+     [](CliOptions &O, const char *V) {
+       return parseUnsigned(V, O.EventLoops) && O.EventLoops > 0;
+     }},
+    {nullptr, "--max-inflight", "N",
+     "global cap on queued+running analyze jobs for --serve; 0 = only "
+     "--queue-depth caps (default)",
+     [](CliOptions &O, const char *V) {
+       return parseUnsigned(V, O.MaxInflight);
+     }},
+    {nullptr, "--tenant-quota", "N",
+     "per-tenant inflight analyze cap for --serve; 0 = unlimited (default)",
+     [](CliOptions &O, const char *V) {
+       return parseUnsigned(V, O.TenantQuota);
+     }},
+    {nullptr, "--read-timeout-ms", "N",
+     "mid-frame read deadline for --serve (slow-loris defense); 0 = none "
+     "(default)",
+     [](CliOptions &O, const char *V) {
+       return parseUnsigned(V, O.ReadTimeoutMs);
+     }},
+    {nullptr, "--service-model", "MODEL",
+     "connection model for --serve: eventloop (default) | threads",
+     [](CliOptions &O, const char *V) {
+       if (!V)
+         return false;
+       if (std::strcmp(V, "eventloop") != 0 && std::strcmp(V, "threads") != 0)
+         return false;
+       O.ServiceModel = V;
+       return true;
+     }},
     {nullptr, "--flightrecord-out", "FILE",
      "write the flight-recorder dump as JSON at drain (--serve)",
      [](CliOptions &O, const char *V) {

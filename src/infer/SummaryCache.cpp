@@ -6,23 +6,49 @@
 
 #include "infer/SummaryCache.h"
 
+#include <algorithm>
+
 using namespace lockin;
 
+SummaryCache::SummaryCache(size_t Capacity, size_t Shards)
+    : TotalCapacity(Capacity) {
+  size_t N = std::max<size_t>(1, std::min(Shards, std::max<size_t>(
+                                                      1, Capacity)));
+  ShardsV.reserve(N);
+  for (size_t I = 0; I < N; ++I) {
+    auto S = std::make_unique<ShardT>();
+    // Split capacity evenly; the first shards absorb the remainder so the
+    // shares sum exactly to the configured total.
+    S->Capacity = Capacity / N + (I < Capacity % N ? 1 : 0);
+    ShardsV.push_back(std::move(S));
+  }
+}
+
+size_t SummaryCache::shardOf(uint64_t Key) const {
+  if (ShardsV.size() == 1)
+    return 0;
+  // Fibonacci mix: the fingerprint keys are already hashes, but the
+  // multiply spreads any residual structure across the shard index bits.
+  return static_cast<size_t>((Key * 0x9e3779b97f4a7c15ull) >> 32) %
+         ShardsV.size();
+}
+
 bool SummaryCache::lookup(uint64_t Key, SectionSummary &Out) {
-  std::lock_guard<std::mutex> Lock(Mu);
-  auto It = Index.find(Key);
-  if (It == Index.end()) {
-    ++Counters.Misses;
+  ShardT &S = *ShardsV[shardOf(Key)];
+  std::lock_guard<std::mutex> Lock(S.Mu);
+  auto It = S.Index.find(Key);
+  if (It == S.Index.end()) {
+    ++S.Counters.Misses;
     return false;
   }
-  ++Counters.Hits;
-  Lru.splice(Lru.begin(), Lru, It->second);
+  ++S.Counters.Hits;
+  S.Lru.splice(S.Lru.begin(), S.Lru, It->second);
   Out = It->second->Value;
   return true;
 }
 
 std::shared_ptr<const std::string>
-SummaryCache::internText(std::shared_ptr<const std::string> Text) {
+SummaryCache::ShardT::internText(std::shared_ptr<const std::string> Text) {
   if (!Text)
     return Text;
   size_t H = std::hash<std::string>{}(*Text);
@@ -45,48 +71,72 @@ SummaryCache::internText(std::shared_ptr<const std::string> Text) {
 }
 
 void SummaryCache::insert(uint64_t Key, SectionSummary Value) {
-  if (Capacity == 0)
+  if (TotalCapacity == 0)
     return;
-  std::lock_guard<std::mutex> Lock(Mu);
-  Value.LocksText = internText(std::move(Value.LocksText));
-  auto It = Index.find(Key);
-  if (It != Index.end()) {
+  ShardT &S = *ShardsV[shardOf(Key)];
+  std::lock_guard<std::mutex> Lock(S.Mu);
+  if (S.Capacity == 0)
+    return;
+  Value.LocksText = S.internText(std::move(Value.LocksText));
+  auto It = S.Index.find(Key);
+  if (It != S.Index.end()) {
     It->second->Value = std::move(Value);
-    Lru.splice(Lru.begin(), Lru, It->second);
+    S.Lru.splice(S.Lru.begin(), S.Lru, It->second);
     return;
   }
-  Lru.push_front(EntryT{Key, std::move(Value)});
-  Index[Key] = Lru.begin();
-  ++Counters.Insertions;
-  while (Index.size() > Capacity) {
-    Index.erase(Lru.back().Key);
-    Lru.pop_back();
-    ++Counters.Evictions;
+  S.Lru.push_front(EntryT{Key, std::move(Value)});
+  S.Index[Key] = S.Lru.begin();
+  ++S.Counters.Insertions;
+  while (S.Index.size() > S.Capacity) {
+    S.Index.erase(S.Lru.back().Key);
+    S.Lru.pop_back();
+    ++S.Counters.Evictions;
   }
 }
 
 void SummaryCache::erase(uint64_t Key) {
-  std::lock_guard<std::mutex> Lock(Mu);
-  auto It = Index.find(Key);
-  if (It == Index.end())
+  ShardT &S = *ShardsV[shardOf(Key)];
+  std::lock_guard<std::mutex> Lock(S.Mu);
+  auto It = S.Index.find(Key);
+  if (It == S.Index.end())
     return;
-  Lru.erase(It->second);
-  Index.erase(It);
-  ++Counters.Invalidations;
+  S.Lru.erase(It->second);
+  S.Index.erase(It);
+  ++S.Counters.Invalidations;
 }
 
 void SummaryCache::clear() {
-  std::lock_guard<std::mutex> Lock(Mu);
-  Counters.Invalidations += Index.size();
-  Index.clear();
-  Lru.clear();
-  TextPool.clear();
+  for (auto &SP : ShardsV) {
+    ShardT &S = *SP;
+    std::lock_guard<std::mutex> Lock(S.Mu);
+    S.Counters.Invalidations += S.Index.size();
+    S.Index.clear();
+    S.Lru.clear();
+    S.TextPool.clear();
+  }
 }
 
 SummaryCache::Stats SummaryCache::stats() const {
-  std::lock_guard<std::mutex> Lock(Mu);
-  Stats Out = Counters;
-  Out.Entries = Index.size();
-  Out.Capacity = Capacity;
+  Stats Out;
+  for (size_t I = 0; I < ShardsV.size(); ++I) {
+    Stats S = shardStats(I);
+    Out.Hits += S.Hits;
+    Out.Misses += S.Misses;
+    Out.Insertions += S.Insertions;
+    Out.Evictions += S.Evictions;
+    Out.Invalidations += S.Invalidations;
+    Out.TextPoolHits += S.TextPoolHits;
+    Out.Entries += S.Entries;
+  }
+  Out.Capacity = TotalCapacity;
+  return Out;
+}
+
+SummaryCache::Stats SummaryCache::shardStats(size_t Shard) const {
+  const ShardT &S = *ShardsV[Shard];
+  std::lock_guard<std::mutex> Lock(S.Mu);
+  Stats Out = S.Counters;
+  Out.Entries = S.Index.size();
+  Out.Capacity = S.Capacity;
   return Out;
 }

@@ -18,8 +18,13 @@
 ///
 /// The cache is bounded: least-recently-used entries are evicted once
 /// capacity is reached, so a long-lived daemon's memory stays flat under
-/// edit storms. All operations are thread-safe (one mutex; entries are
-/// small rendered strings, not IR, so the critical sections are short).
+/// edit storms. All operations are thread-safe. The store is sharded by a
+/// mix of the fingerprint key — each shard owns its own mutex, LRU list,
+/// text pool, and counters — so concurrent tenants hitting the daemon's
+/// event loops do not serialize on one lock. Shards=1 (the default)
+/// reproduces the original single-LRU behavior exactly, which the unit
+/// tests and the byte-identity contract rely on; the daemon constructs
+/// the sharded variant (ServerOptions::CacheShards).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -60,12 +65,14 @@ struct SectionSummary {
 };
 
 /// Bounded, thread-safe, LRU-evicting map from content-hash keys to
-/// rendered section summaries.
+/// rendered section summaries, sharded by key hash.
 class SummaryCache {
 public:
-  /// \p Capacity = max resident entries; 0 disables caching entirely
-  /// (every lookup misses, inserts are dropped).
-  explicit SummaryCache(size_t Capacity) : Capacity(Capacity) {}
+  /// \p Capacity = max resident entries across all shards; 0 disables
+  /// caching entirely (every lookup misses, inserts are dropped).
+  /// \p Shards = independent mutex+LRU domains; clamped to [1, Capacity]
+  /// so a tiny cache never gets zero-capacity shards.
+  explicit SummaryCache(size_t Capacity, size_t Shards = 1);
 
   struct Stats {
     uint64_t Hits = 0;
@@ -82,7 +89,8 @@ public:
   /// outcome either way.
   bool lookup(uint64_t Key, SectionSummary &Out);
 
-  /// Inserts or refreshes \p Key, evicting the LRU tail past capacity.
+  /// Inserts or refreshes \p Key, evicting the shard's LRU tail past its
+  /// share of capacity.
   void insert(uint64_t Key, SectionSummary Value);
 
   /// Drops \p Key if resident (explicit invalidation).
@@ -91,7 +99,17 @@ public:
   /// Drops everything (the protocol's whole-cache invalidate).
   void clear();
 
+  /// Aggregated over all shards: Hits/Misses/... are the sums of the
+  /// per-shard counters (shardStats(i).Hits summed == stats().Hits — the
+  /// sharding invariant tests pin).
   Stats stats() const;
+
+  size_t numShards() const { return ShardsV.size(); }
+  /// One shard's counters (Capacity = that shard's share).
+  Stats shardStats(size_t Shard) const;
+
+  /// The shard \p Key lands in — exposed so tests can place keys.
+  size_t shardOf(uint64_t Key) const;
 
 private:
   struct EntryT {
@@ -99,20 +117,25 @@ private:
     SectionSummary Value;
   };
 
-  /// Returns the pooled copy of \p Text (caller holds Mu). Dead pool
-  /// slots (all owners evicted) are pruned lazily while scanning.
-  std::shared_ptr<const std::string>
-  internText(std::shared_ptr<const std::string> Text);
+  /// One mutex domain: its own LRU, index, text pool, and counters.
+  struct ShardT {
+    mutable std::mutex Mu;
+    size_t Capacity = 0;
+    std::list<EntryT> Lru; // front = most recent
+    std::unordered_map<uint64_t, std::list<EntryT>::iterator> Index;
+    /// Text pool: string hash -> live texts with that hash. Weak refs so
+    /// eviction actually frees the text once the last entry drops it.
+    std::unordered_map<size_t,
+                       std::vector<std::weak_ptr<const std::string>>>
+        TextPool;
+    Stats Counters;
 
-  mutable std::mutex Mu;
-  size_t Capacity;
-  std::list<EntryT> Lru; // front = most recent
-  std::unordered_map<uint64_t, std::list<EntryT>::iterator> Index;
-  /// Text pool: string hash -> live texts with that hash. Weak refs so
-  /// eviction actually frees the text once the last entry drops it.
-  std::unordered_map<size_t, std::vector<std::weak_ptr<const std::string>>>
-      TextPool;
-  Stats Counters;
+    std::shared_ptr<const std::string>
+    internText(std::shared_ptr<const std::string> Text);
+  };
+
+  size_t TotalCapacity;
+  std::vector<std::unique_ptr<ShardT>> ShardsV;
 };
 
 } // namespace lockin

@@ -1,0 +1,690 @@
+//===--- EventLoop.cpp - Epoll-driven connection event loop ---------------------===//
+//
+// Part of the lockin project: lock inference for atomic sections.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/EventLoop.h"
+
+#include "obs/Log.h"
+#include "obs/Metrics.h"
+#include "obs/Obs.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#if defined(__linux__)
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#define LOCKIN_HAVE_EPOLL 1
+#endif
+
+using namespace lockin;
+using namespace lockin::service;
+
+namespace {
+
+/// Poller key reserved for the wakeup fd.
+constexpr uint64_t kWakeKey = ~0ull;
+
+void setNonBlocking(int Fd) {
+  int Flags = ::fcntl(Fd, F_GETFL, 0);
+  if (Flags >= 0)
+    ::fcntl(Fd, F_SETFL, Flags | O_NONBLOCK);
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Poller
+//===----------------------------------------------------------------------===//
+
+bool EventLoop::Poller::init(bool UsePoll, std::string &Err) {
+  (void)Err;
+#if LOCKIN_HAVE_EPOLL
+  if (!UsePoll) {
+    EpollFd = ::epoll_create1(EPOLL_CLOEXEC);
+    if (EpollFd >= 0)
+      return true;
+    // Fall through to the poll() backend — epoll is an optimization, not
+    // a requirement.
+  }
+#else
+  (void)UsePoll;
+#endif
+  EpollFd = -1;
+  return true;
+}
+
+void EventLoop::Poller::close() {
+#if LOCKIN_HAVE_EPOLL
+  if (EpollFd >= 0) {
+    ::close(EpollFd);
+    EpollFd = -1;
+  }
+#endif
+  Fallback.clear();
+}
+
+void EventLoop::Poller::add(int Fd, uint64_t Key, bool WantRead,
+                            bool WantWrite, bool Et) {
+#if LOCKIN_HAVE_EPOLL
+  if (EpollFd >= 0) {
+    epoll_event Ev{};
+    Ev.events = (WantRead ? (EPOLLIN | EPOLLRDHUP) : 0u) |
+                (WantWrite ? EPOLLOUT : 0u) | (Et ? EPOLLET : 0u);
+    Ev.data.u64 = Key;
+    ::epoll_ctl(EpollFd, EPOLL_CTL_ADD, Fd, &Ev);
+    return;
+  }
+#endif
+  (void)Et;
+  Fallback[Key] = Watched{Fd, WantRead, WantWrite};
+}
+
+void EventLoop::Poller::mod(int Fd, uint64_t Key, bool WantRead,
+                            bool WantWrite, bool Et) {
+#if LOCKIN_HAVE_EPOLL
+  if (EpollFd >= 0) {
+    epoll_event Ev{};
+    Ev.events = (WantRead ? (EPOLLIN | EPOLLRDHUP) : 0u) |
+                (WantWrite ? EPOLLOUT : 0u) | (Et ? EPOLLET : 0u);
+    Ev.data.u64 = Key;
+    ::epoll_ctl(EpollFd, EPOLL_CTL_MOD, Fd, &Ev);
+    return;
+  }
+#endif
+  (void)Et;
+  Fallback[Key] = Watched{Fd, WantRead, WantWrite};
+}
+
+void EventLoop::Poller::del(int Fd, uint64_t Key) {
+#if LOCKIN_HAVE_EPOLL
+  if (EpollFd >= 0) {
+    ::epoll_ctl(EpollFd, EPOLL_CTL_DEL, Fd, nullptr);
+    return;
+  }
+#endif
+  (void)Fd;
+  Fallback.erase(Key);
+}
+
+int EventLoop::Poller::wait(std::vector<Ev> &Out, int TimeoutMs) {
+  Out.clear();
+#if LOCKIN_HAVE_EPOLL
+  if (EpollFd >= 0) {
+    epoll_event Evs[64];
+    int N = ::epoll_wait(EpollFd, Evs, 64, TimeoutMs);
+    if (N < 0)
+      return errno == EINTR ? 0 : -1;
+    for (int I = 0; I < N; ++I) {
+      uint32_t E = Evs[I].events;
+      Out.push_back(Ev{Evs[I].data.u64,
+                       (E & (EPOLLIN | EPOLLRDHUP | EPOLLHUP)) != 0,
+                       (E & EPOLLOUT) != 0, (E & EPOLLERR) != 0});
+    }
+    return N;
+  }
+#endif
+  std::vector<pollfd> Fds;
+  std::vector<uint64_t> Keys;
+  Fds.reserve(Fallback.size());
+  Keys.reserve(Fallback.size());
+  for (const auto &[Key, W] : Fallback) {
+    short Events = static_cast<short>((W.WantRead ? POLLIN : 0) |
+                                      (W.WantWrite ? POLLOUT : 0));
+    Fds.push_back(pollfd{W.Fd, Events, 0});
+    Keys.push_back(Key);
+  }
+  int N = ::poll(Fds.data(), Fds.size(), TimeoutMs);
+  if (N < 0)
+    return errno == EINTR ? 0 : -1;
+  for (size_t I = 0; I < Fds.size(); ++I) {
+    short R = Fds[I].revents;
+    if (!R)
+      continue;
+    Out.push_back(Ev{Keys[I], (R & (POLLIN | POLLHUP)) != 0,
+                     (R & POLLOUT) != 0, (R & (POLLERR | POLLNVAL)) != 0});
+  }
+  return static_cast<int>(Out.size());
+}
+
+//===----------------------------------------------------------------------===//
+// EventLoop
+//===----------------------------------------------------------------------===//
+
+EventLoop::EventLoop(Config C, EventLoopHandler &H)
+    : Cfg(std::move(C)), Handler(H) {}
+
+EventLoop::~EventLoop() {
+  if (Thread.joinable())
+    Thread.join();
+  P.close();
+  if (WakeWriteFd >= 0 && WakeWriteFd != WakeFd)
+    ::close(WakeWriteFd);
+  if (WakeFd >= 0)
+    ::close(WakeFd);
+}
+
+bool EventLoop::start(std::string &Err) {
+  if (!P.init(Cfg.UsePoll, Err))
+    return false;
+#if LOCKIN_HAVE_EPOLL
+  WakeFd = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  WakeWriteFd = WakeFd;
+#endif
+  if (WakeFd < 0) {
+    int Pipe[2];
+    if (::pipe(Pipe) != 0) {
+      Err = std::string("pipe: ") + std::strerror(errno);
+      return false;
+    }
+    setNonBlocking(Pipe[0]);
+    setNonBlocking(Pipe[1]);
+    WakeFd = Pipe[0];
+    WakeWriteFd = Pipe[1];
+  }
+  P.add(WakeFd, kWakeKey, /*WantRead=*/true, /*WantWrite=*/false,
+        /*Et=*/false);
+  Thread = std::thread([this] { run(); });
+  return true;
+}
+
+void EventLoop::join() {
+  if (Thread.joinable())
+    Thread.join();
+}
+
+void EventLoop::wake() {
+  uint64_t One = 1;
+  (void)!::write(WakeWriteFd, &One, sizeof(One));
+}
+
+void EventLoop::adoptConnection(int Fd, std::string Peer) {
+  {
+    std::lock_guard<std::mutex> Lock(ControlMu);
+    if (!Exited) {
+      NewConns.emplace_back(Fd, std::move(Peer));
+      wake();
+      return;
+    }
+  }
+  ::close(Fd); // loop already gone (late accept during drain)
+}
+
+void EventLoop::sendResponse(Response R) {
+  if (Thread.get_id() == std::this_thread::get_id()) {
+    applyResponse(std::move(R));
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> Lock(ControlMu);
+    if (!Exited) {
+      Responses.push_back(std::move(R));
+      wake();
+      return;
+    }
+  }
+  // The loop exited before this worker finished (its connection is long
+  // gone): finalize on the caller's thread so the telemetry still lands.
+  if (R.Ctx)
+    Handler.onResponseDone(std::move(R.Ctx), /*Aborted=*/true,
+                           /*Counted=*/false);
+}
+
+void EventLoop::beginDrain() {
+  {
+    std::lock_guard<std::mutex> Lock(ControlMu);
+    if (Exited)
+      return;
+    DrainRequested = true;
+  }
+  wake();
+}
+
+void EventLoop::run() {
+  std::vector<Poller::Ev> Evs;
+  while (!(Draining && Conns.empty())) {
+    int N = P.wait(Evs, pollTimeoutMs(obs::nowNs()));
+    if (N < 0) {
+      // Poller broke (can only mean corrupted fd state); bail rather
+      // than spin — the daemon's drain will still join this thread.
+      if constexpr (obs::kEnabled)
+        obs::log()
+            .event(obs::LogLevel::Error, "service.loop_failed")
+            .num("loop", Cfg.Index)
+            .str("error", std::strerror(errno));
+      break;
+    }
+    obs::metrics().counter("service.loop.wakeups").inc();
+    if (N > 0)
+      obs::metrics().counter("service.loop.events").add(
+          static_cast<uint64_t>(N));
+    // Drain the wakeup fd BEFORE consuming the control queue. The other
+    // order loses wakeups: a worker that posts a response between the
+    // queue swap and the eventfd read would have its wake swallowed here
+    // while its response stays queued — and with every thread then idle,
+    // nothing ever flushes it. Drained first, a post-swap wake leaves the
+    // eventfd readable and the next wait() returns immediately.
+    for (const Poller::Ev &Ev : Evs) {
+      if (Ev.Key == kWakeKey) {
+        char Buf[64];
+        while (::read(WakeFd, Buf, sizeof(Buf)) > 0)
+          ;
+        break;
+      }
+    }
+    drainControl();
+    for (const Poller::Ev &Ev : Evs) {
+      if (Ev.Key == kWakeKey)
+        continue;
+      auto It = Conns.find(Ev.Key);
+      if (It == Conns.end())
+        continue; // closed earlier this iteration
+      Conn &C = *It->second;
+      if (Ev.Error) {
+        abortConn(C, "socket error");
+        continue;
+      }
+      if (Ev.Writable) {
+        writeOut(C);
+        if (Conns.find(Ev.Key) == Conns.end())
+          continue; // writeOut closed it
+      }
+      if (Ev.Readable)
+        readable(C);
+    }
+    sweepReadDeadlines(obs::nowNs());
+    if (FireShutdownOp) {
+      FireShutdownOp = false;
+      Handler.onShutdownOp();
+    }
+  }
+
+  // Late worker completions for connections that died before their jobs
+  // finished would otherwise sit in the control queue forever.
+  std::vector<Response> Late;
+  {
+    std::lock_guard<std::mutex> Lock(ControlMu);
+    Exited = true;
+    Late.swap(Responses);
+  }
+  for (Response &R : Late)
+    if (R.Ctx)
+      Handler.onResponseDone(std::move(R.Ctx), /*Aborted=*/true,
+                             /*Counted=*/false);
+}
+
+int EventLoop::pollTimeoutMs(uint64_t NowNs) const {
+  if (!Cfg.ReadTimeoutMs)
+    return -1;
+  uint64_t LimitNs = uint64_t(Cfg.ReadTimeoutMs) * 1'000'000ull;
+  int64_t Best = -1;
+  for (const auto &[Id, C] : Conns) {
+    if (C->ReadClosed || !C->Asm.midFrame())
+      continue;
+    uint64_t DeadlineNs = C->LastReadNs + LimitNs;
+    int64_t RemainMs =
+        DeadlineNs > NowNs
+            ? static_cast<int64_t>((DeadlineNs - NowNs) / 1'000'000ull) + 1
+            : 0;
+    Best = Best < 0 ? RemainMs : std::min(Best, RemainMs);
+  }
+  return static_cast<int>(Best);
+}
+
+void EventLoop::drainControl() {
+  std::vector<std::pair<int, std::string>> NC;
+  std::vector<Response> Rs;
+  bool Drain = false;
+  {
+    std::lock_guard<std::mutex> Lock(ControlMu);
+    NC.swap(NewConns);
+    Rs.swap(Responses);
+    if (DrainRequested) {
+      DrainRequested = false;
+      Drain = true;
+    }
+  }
+  for (auto &[Fd, Peer] : NC)
+    addConn(Fd, std::move(Peer));
+  for (Response &R : Rs)
+    applyResponse(std::move(R));
+  if (Drain && !Draining) {
+    Draining = true;
+    // Half-close every read side: no new frames; dispatched requests
+    // complete and their responses flush before the connection closes.
+    std::vector<uint64_t> Ids;
+    Ids.reserve(Conns.size());
+    for (const auto &[Id, C] : Conns)
+      Ids.push_back(Id);
+    for (uint64_t Id : Ids) {
+      auto It = Conns.find(Id);
+      if (It == Conns.end())
+        continue;
+      Conn &C = *It->second;
+      ::shutdown(C.Fd, SHUT_RD);
+      C.ReadClosed = true;
+      updateInterest(C);
+      maybeClose(C);
+    }
+  }
+}
+
+void EventLoop::addConn(int Fd, std::string Peer) {
+  if (Draining) {
+    ::close(Fd);
+    return;
+  }
+  setNonBlocking(Fd);
+  if (Peer.compare(0, 4, "tcp:") == 0) {
+    int One = 1;
+    ::setsockopt(Fd, IPPROTO_TCP, TCP_NODELAY, &One, sizeof(One));
+  }
+  auto C = std::make_unique<Conn>();
+  C->Fd = Fd;
+  C->Id = NextConnId++;
+  C->Peer = std::move(Peer);
+  C->LastReadNs = obs::nowNs();
+  P.add(Fd, C->Id, /*WantRead=*/true, /*WantWrite=*/false,
+        Cfg.EdgeTriggered);
+  uint64_t Id = C->Id;
+  Conns.emplace(Id, std::move(C));
+  // A client may have written its first request before the adopt message
+  // reached us; with edge-triggered epoll that edge predates ADD, so probe
+  // once instead of waiting for an edge that already fired.
+  auto It = Conns.find(Id);
+  if (It != Conns.end())
+    readable(*It->second);
+}
+
+void EventLoop::applyResponse(Response R) {
+  auto It = Conns.find(R.ConnId);
+  if (It == Conns.end()) {
+    if (R.Ctx)
+      Handler.onResponseDone(std::move(R.Ctx), /*Aborted=*/true,
+                             /*Counted=*/false);
+    return;
+  }
+  Conn &C = *It->second;
+  for (Pending &Slot : C.Pendings) {
+    if (Slot.Seq != R.Seq)
+      continue;
+    Slot.Payload = std::move(R.Payload);
+    Slot.Ctx = std::move(R.Ctx);
+    Slot.Counted = R.Counted;
+    Slot.CloseAfter = R.CloseAfter;
+    Slot.ShutdownAfter = R.ShutdownAfter;
+    Slot.Ready = true;
+    flushPendings(C);
+    return;
+  }
+  // No slot (aborted connection reused nothing — ids are never reused, so
+  // this is a response for a slot dropped by abortConn).
+  if (R.Ctx)
+    Handler.onResponseDone(std::move(R.Ctx), /*Aborted=*/true,
+                           /*Counted=*/false);
+}
+
+void EventLoop::readable(Conn &C) {
+  if (C.ReadClosed) {
+    maybeClose(C);
+    return;
+  }
+  char Buf[65536];
+  std::vector<std::string> Frames;
+  std::string FrameErr;
+  bool Eof = false, Fatal = false;
+  for (;;) {
+    ssize_t N = doRead(C.Fd, Buf, sizeof(Buf));
+    if (N > 0) {
+      C.LastReadNs = obs::nowNs();
+      if (!C.Asm.feed(Buf, static_cast<size_t>(N), Frames, FrameErr)) {
+        Fatal = true;
+        break;
+      }
+      continue; // until EAGAIN — required under EPOLLET
+    }
+    if (N == 0) {
+      Eof = true;
+      break;
+    }
+    if (errno == EINTR)
+      continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK)
+      break;
+    abortConn(C, "read");
+    return;
+  }
+
+  if (!Frames.empty()) {
+    obs::metrics().counter("service.loop.frames").add(Frames.size());
+    obs::metrics().counter("service.loop.batches").inc();
+    uint64_t Id = C.Id;
+    std::string Peer = C.Peer;
+    for (std::string &F : Frames) {
+      // onFrame may answer synchronously, which can flush, fail the
+      // write, and close the connection — re-find it for every frame.
+      auto It = Conns.find(Id);
+      if (It == Conns.end())
+        return;
+      Conn &Cur = *It->second;
+      uint64_t Seq = Cur.NextSeq++;
+      Pending Slot;
+      Slot.Seq = Seq;
+      Cur.Pendings.push_back(std::move(Slot));
+      Handler.onFrame(*this, Id, Seq, std::move(F), Peer);
+    }
+    auto It = Conns.find(Id);
+    if (It == Conns.end())
+      return;
+  }
+
+  if (Fatal) {
+    // Oversized length prefix: answer exactly like the blocking path,
+    // then drop the connection — framing is unrecoverable.
+    if constexpr (obs::kEnabled)
+      obs::log()
+          .event(obs::LogLevel::Warn, "service.bad_frame")
+          .str("peer", C.Peer)
+          .str("error", FrameErr);
+    Pending Slot;
+    Slot.Seq = C.NextSeq++;
+    Slot.Ready = true;
+    Slot.Counted = false;
+    Slot.CloseAfter = true;
+    Slot.Payload = errorResponse(FrameErr).str();
+    C.Pendings.push_back(std::move(Slot));
+    ::shutdown(C.Fd, SHUT_RD);
+    C.ReadClosed = true;
+    updateInterest(C);
+    flushPendings(C);
+    return;
+  }
+  if (Eof) {
+    C.ReadClosed = true;
+    updateInterest(C);
+    maybeClose(C);
+  }
+}
+
+void EventLoop::flushPendings(Conn &C) {
+  while (!C.Pendings.empty() && C.Pendings.front().Ready) {
+    Pending Slot = std::move(C.Pendings.front());
+    C.Pendings.pop_front();
+    size_t Before = C.OutBuf.size();
+    appendFrame(C.OutBuf, Slot.Payload);
+    C.QueuedBytes += C.OutBuf.size() - Before;
+    InflightWrite W;
+    W.EndOffset = C.QueuedBytes;
+    W.Counted = Slot.Counted;
+    W.ShutdownAfter = Slot.ShutdownAfter;
+    W.Ctx = std::move(Slot.Ctx);
+    C.Flushing.push_back(std::move(W));
+    if (Slot.CloseAfter)
+      C.CloseAfterFlush = true;
+  }
+  writeOut(C);
+}
+
+void EventLoop::writeOut(Conn &C) {
+  while (C.OutOff < C.OutBuf.size()) {
+    ssize_t N =
+        doWrite(C.Fd, C.OutBuf.data() + C.OutOff, C.OutBuf.size() - C.OutOff);
+    if (N > 0) {
+      C.OutOff += static_cast<size_t>(N);
+      C.WrittenBytes += static_cast<uint64_t>(N);
+      retireFlushed(C);
+      continue;
+    }
+    if (N == 0)
+      return;
+    if (errno == EINTR)
+      continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      if (!C.WantWrite) {
+        C.WantWrite = true;
+        updateInterest(C);
+      }
+      return;
+    }
+    abortConn(C, "write");
+    return;
+  }
+  // Fully drained: reclaim the buffer and disarm EPOLLOUT.
+  C.OutBuf.clear();
+  C.OutOff = 0;
+  if (C.WantWrite) {
+    C.WantWrite = false;
+    updateInterest(C);
+  }
+  maybeClose(C);
+}
+
+void EventLoop::retireFlushed(Conn &C) {
+  while (!C.Flushing.empty() &&
+         C.Flushing.front().EndOffset <= C.WrittenBytes) {
+    InflightWrite W = std::move(C.Flushing.front());
+    C.Flushing.pop_front();
+    if (W.ShutdownAfter) {
+      FireShutdownOp = true;
+      C.CloseAfterFlush = true;
+    }
+    Handler.onResponseDone(std::move(W.Ctx), /*Aborted=*/false, W.Counted);
+  }
+}
+
+void EventLoop::maybeClose(Conn &C) {
+  bool Idle = C.Pendings.empty() && C.Flushing.empty() &&
+              C.OutOff >= C.OutBuf.size();
+  if (Idle && (C.CloseAfterFlush || C.ReadClosed))
+    closeConn(C);
+}
+
+void EventLoop::abortConn(Conn &C, const char *Reason) {
+  obs::metrics().counter("service.aborted").inc();
+  if constexpr (obs::kEnabled)
+    obs::log()
+        .event(obs::LogLevel::Warn, "service.conn_aborted")
+        .str("peer", C.Peer)
+        .str("reason", Reason)
+        .num("loop", Cfg.Index);
+  // Responses mid-write or queued-but-unflushed die with the connection;
+  // their telemetry records the abort. Slots whose job is still running
+  // finalize later, when the worker's response finds no connection.
+  for (InflightWrite &W : C.Flushing)
+    if (W.Ctx)
+      Handler.onResponseDone(std::move(W.Ctx), /*Aborted=*/true,
+                             /*Counted=*/false);
+  C.Flushing.clear();
+  for (Pending &Slot : C.Pendings)
+    if (Slot.Ctx)
+      Handler.onResponseDone(std::move(Slot.Ctx), /*Aborted=*/true,
+                             /*Counted=*/false);
+  C.Pendings.clear();
+  closeConn(C);
+}
+
+void EventLoop::closeConn(Conn &C) {
+  if constexpr (obs::kEnabled)
+    obs::log()
+        .event(obs::LogLevel::Debug, "service.disconnect")
+        .str("peer", C.Peer);
+  P.del(C.Fd, C.Id);
+  ::close(C.Fd);
+  Conns.erase(C.Id); // destroys C — callers must not touch it again
+}
+
+void EventLoop::updateInterest(Conn &C) {
+  P.mod(C.Fd, C.Id, /*WantRead=*/!C.ReadClosed, C.WantWrite,
+        Cfg.EdgeTriggered);
+}
+
+void EventLoop::sweepReadDeadlines(uint64_t NowNs) {
+  if (!Cfg.ReadTimeoutMs)
+    return;
+  uint64_t LimitNs = uint64_t(Cfg.ReadTimeoutMs) * 1'000'000ull;
+  std::vector<uint64_t> Timed;
+  for (const auto &[Id, C] : Conns)
+    if (!C->ReadClosed && C->Asm.midFrame() &&
+        NowNs - C->LastReadNs >= LimitNs)
+      Timed.push_back(Id);
+  for (uint64_t Id : Timed) {
+    auto It = Conns.find(Id);
+    if (It == Conns.end())
+      continue;
+    Conn &C = *It->second;
+    obs::metrics().counter("service.read_timeouts").inc();
+    if constexpr (obs::kEnabled)
+      obs::log()
+          .event(obs::LogLevel::Warn, "service.read_timeout")
+          .str("peer", C.Peer)
+          .num("timeout_ms", Cfg.ReadTimeoutMs)
+          .num("pending_bytes", C.Asm.pendingBytes());
+    Pending Slot;
+    Slot.Seq = C.NextSeq++;
+    Slot.Ready = true;
+    Slot.Counted = false;
+    Slot.CloseAfter = true;
+    Slot.Payload = errorResponse("read timeout").str();
+    C.Pendings.push_back(std::move(Slot));
+    ::shutdown(C.Fd, SHUT_RD);
+    C.ReadClosed = true;
+    updateInterest(C);
+    flushPendings(C);
+  }
+}
+
+ssize_t EventLoop::doRead(int Fd, char *Buf, size_t N) {
+  if (Cfg.Faults && Cfg.Faults->Fail) {
+    if (int E = Cfg.Faults->Fail("read", Fd)) {
+      errno = E;
+      return -1;
+    }
+  }
+  return ::read(Fd, Buf, N);
+}
+
+ssize_t EventLoop::doWrite(int Fd, const char *Buf, size_t N) {
+  if (Cfg.Faults) {
+    if (Cfg.Faults->Fail) {
+      if (int E = Cfg.Faults->Fail("write", Fd)) {
+        errno = E;
+        return -1;
+      }
+    }
+    if (Cfg.Faults->ShortWriteBytes)
+      N = std::min(N, Cfg.Faults->ShortWriteBytes);
+  }
+  // MSG_NOSIGNAL: a peer that resets mid-write must surface as EPIPE to
+  // abortConn, not raise SIGPIPE — the loop cannot assume the embedding
+  // process ignores it (the daemon does; tests and embedders may not).
+  return ::send(Fd, Buf, N, MSG_NOSIGNAL);
+}

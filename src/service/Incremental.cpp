@@ -93,7 +93,7 @@ AnalyzeOutcome IncrementalAnalyzer::analyze(const std::string &Unit,
 
   // Dirty-SCC accounting against the unit's previous snapshot.
   {
-    std::lock_guard<std::mutex> Lock(Mu);
+    std::lock_guard<std::mutex> Lock(SnapshotsMu);
     auto It = Snapshots.find(Unit);
     if (It != Snapshots.end()) {
       Out.HadSnapshot = true;
@@ -131,7 +131,7 @@ AnalyzeOutcome IncrementalAnalyzer::analyze(const std::string &Unit,
     H.u32(Params.ElideNeverParallel ? 1 : 0);
     CheckFp = H.get();
     if (!Params.Force) {
-      std::lock_guard<std::mutex> Lock(Mu);
+      std::lock_guard<std::mutex> Lock(CheckMu);
       auto It = CheckEntries.find(Unit);
       if (It != CheckEntries.end() && It->second.Fingerprint == CheckFp) {
         Out.CheckCacheHit = true;
@@ -208,7 +208,7 @@ AnalyzeOutcome IncrementalAnalyzer::analyze(const std::string &Unit,
         Out.CheckElided = Report.Stats.ElidedSections;
         CheckEntry Entry{CheckFp, Out.CheckJson, Out.CheckFindings,
                          Out.CheckMhpPairs, Out.CheckElided};
-        std::lock_guard<std::mutex> Lock(Mu);
+        std::lock_guard<std::mutex> Lock(CheckMu);
         CheckEntries[Unit] = std::move(Entry);
       }
 
@@ -280,7 +280,7 @@ AnalyzeOutcome IncrementalAnalyzer::analyze(const std::string &Unit,
     Snap.SectionKeys.reserve(NumSections);
     for (const SectionInfo &Info : Sections)
       Snap.SectionKeys.push_back(Info.Key);
-    std::lock_guard<std::mutex> Lock(Mu);
+    std::lock_guard<std::mutex> Lock(SnapshotsMu);
     Snapshots[Unit] = std::move(Snap);
   }
 
@@ -289,25 +289,33 @@ AnalyzeOutcome IncrementalAnalyzer::analyze(const std::string &Unit,
 }
 
 bool IncrementalAnalyzer::invalidateUnit(const std::string &Unit) {
-  std::lock_guard<std::mutex> Lock(Mu);
-  auto It = Snapshots.find(Unit);
-  if (It == Snapshots.end())
-    return false;
-  for (uint64_t Key : It->second.SectionKeys)
-    Cache.erase(Key);
-  Snapshots.erase(It);
+  {
+    std::lock_guard<std::mutex> Lock(SnapshotsMu);
+    auto It = Snapshots.find(Unit);
+    if (It == Snapshots.end())
+      return false;
+    for (uint64_t Key : It->second.SectionKeys)
+      Cache.erase(Key);
+    Snapshots.erase(It);
+  }
+  std::lock_guard<std::mutex> Lock(CheckMu);
   CheckEntries.erase(Unit);
   return true;
 }
 
 void IncrementalAnalyzer::invalidateAll() {
-  std::lock_guard<std::mutex> Lock(Mu);
-  Snapshots.clear();
-  CheckEntries.clear();
+  {
+    std::lock_guard<std::mutex> Lock(SnapshotsMu);
+    Snapshots.clear();
+  }
+  {
+    std::lock_guard<std::mutex> Lock(CheckMu);
+    CheckEntries.clear();
+  }
   Cache.clear();
 }
 
 size_t IncrementalAnalyzer::numUnits() const {
-  std::lock_guard<std::mutex> Lock(Mu);
+  std::lock_guard<std::mutex> Lock(SnapshotsMu);
   return Snapshots.size();
 }

@@ -151,7 +151,11 @@ private:
   };
 
   SummaryCache &Cache;
-  mutable std::mutex Mu; // guards Snapshots and CheckEntries
+  // Separate mutex domains: snapshot publication, check-report caching,
+  // and the (itself sharded) summary cache never serialize each other —
+  // a check-heavy tenant cannot block another tenant's snapshot reads.
+  mutable std::mutex SnapshotsMu; // guards Snapshots only
+  mutable std::mutex CheckMu;     // guards CheckEntries only
   std::unordered_map<std::string, Snapshot> Snapshots;
   std::unordered_map<std::string, CheckEntry> CheckEntries;
 };

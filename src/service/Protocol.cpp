@@ -6,6 +6,7 @@
 
 #include "service/Protocol.h"
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <unistd.h>
@@ -57,6 +58,55 @@ bool writeExact(int Fd, const char *Buf, size_t Len, std::string &Err) {
 
 } // namespace
 
+bool FrameAssembler::feed(const char *Data, size_t N,
+                          std::vector<std::string> &Frames,
+                          std::string &Err) {
+  size_t Pos = 0;
+  while (Pos < N) {
+    if (!InBody) {
+      size_t Take = std::min<size_t>(4 - HeaderGot, N - Pos);
+      std::memcpy(Header + HeaderGot, Data + Pos, Take);
+      HeaderGot += Take;
+      Pos += Take;
+      if (HeaderGot < 4)
+        return true;
+      Need = (uint32_t(Header[0]) << 24) | (uint32_t(Header[1]) << 16) |
+             (uint32_t(Header[2]) << 8) | uint32_t(Header[3]);
+      // Reject before reserving a byte of payload — a hostile header can
+      // never make the daemon allocate.
+      if (Need > MaxFrameBytes) {
+        Err = "frame too large (" + std::to_string(Need) + " bytes)";
+        return false;
+      }
+      HeaderGot = 0;
+      InBody = true;
+      Body.clear();
+    }
+    size_t Take = std::min<size_t>(Need - Body.size(), N - Pos);
+    Body.append(Data + Pos, Take);
+    Pos += Take;
+    if (Body.size() == Need) {
+      Frames.push_back(std::move(Body));
+      Body.clear();
+      Need = 0;
+      InBody = false;
+    } else {
+      return true; // body incomplete; wait for more bytes
+    }
+  }
+  return true;
+}
+
+void lockin::service::appendFrame(std::string &Out,
+                                  std::string_view Payload) {
+  uint32_t Len = static_cast<uint32_t>(Payload.size());
+  Out.push_back(static_cast<char>((Len >> 24) & 0xff));
+  Out.push_back(static_cast<char>((Len >> 16) & 0xff));
+  Out.push_back(static_cast<char>((Len >> 8) & 0xff));
+  Out.push_back(static_cast<char>(Len & 0xff));
+  Out.append(Payload);
+}
+
 int lockin::service::readFrame(int Fd, std::string &Out, std::string &Err) {
   unsigned char Header[4];
   int Rc = readExact(Fd, reinterpret_cast<char *>(Header), 4, Err);
@@ -85,17 +135,12 @@ bool lockin::service::writeFrame(int Fd, std::string_view Payload,
     Err = "frame too large";
     return false;
   }
-  uint32_t Len = static_cast<uint32_t>(Payload.size());
   // One buffer, one stream of writes: no interleaving hazard when two
   // threads would share a socket (they must not, but keep frames atomic
   // at this layer anyway for short messages).
   std::string Buf;
   Buf.reserve(4 + Payload.size());
-  Buf.push_back(static_cast<char>((Len >> 24) & 0xff));
-  Buf.push_back(static_cast<char>((Len >> 16) & 0xff));
-  Buf.push_back(static_cast<char>((Len >> 8) & 0xff));
-  Buf.push_back(static_cast<char>(Len & 0xff));
-  Buf.append(Payload);
+  appendFrame(Buf, Payload);
   return writeExact(Fd, Buf.data(), Buf.size(), Err);
 }
 

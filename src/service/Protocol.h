@@ -35,7 +35,14 @@
 ///
 /// Framing helpers below loop over partial reads/writes and retry EINTR;
 /// oversized frames are rejected before any allocation so a malformed
-/// peer cannot balloon the daemon.
+/// peer cannot balloon the daemon. The blocking helpers serve the client
+/// and the tests; the daemon's event loops use the incremental
+/// FrameAssembler, which accepts bytes as they arrive (down to one at a
+/// time) and never parks a thread waiting for the rest of a frame.
+///
+/// Overload responses add "retryAfterMs" — the daemon's estimate of when
+/// capacity frees up — and deadline-shed responses add "shed":true next
+/// to the usual "timedOut":true (see Server.h for the shedding policy).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -47,12 +54,46 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace lockin {
 namespace service {
 
 /// Hard cap on one frame (source files are the large payloads).
 constexpr uint32_t MaxFrameBytes = 64u << 20;
+
+/// Incremental length-prefix frame assembly for non-blocking sockets.
+/// Feed whatever bytes recv() produced; complete frames pop out. An
+/// oversized length prefix fails fast — before the payload buffer is
+/// allocated — with the same message the blocking readFrame produces, so
+/// both paths answer a hostile header identically.
+class FrameAssembler {
+public:
+  /// Consumes \p N bytes. Every frame completed by this chunk is appended
+  /// to \p Frames (possibly several — pipelined peers batch). Returns
+  /// false and fills \p Err on an oversized prefix; the stream is
+  /// unrecoverable afterwards and the connection must be dropped.
+  bool feed(const char *Data, size_t N, std::vector<std::string> &Frames,
+            std::string &Err);
+
+  /// True while bytes of an unfinished frame (header or body) are held —
+  /// the "mid-frame" predicate the read-deadline sweep uses.
+  bool midFrame() const { return HeaderGot > 0 || InBody; }
+
+  /// Bytes of the current unfinished frame buffered so far.
+  size_t pendingBytes() const { return HeaderGot + Body.size(); }
+
+private:
+  unsigned char Header[4];
+  size_t HeaderGot = 0;
+  bool InBody = false;
+  uint32_t Need = 0; ///< body bytes promised by the last complete header
+  std::string Body;  ///< body bytes received so far (Body.size() <= Need)
+};
+
+/// Appends the 4-byte big-endian length prefix + \p Payload to \p Out —
+/// the wire encoding writeFrame sends, reusable by buffered writers.
+void appendFrame(std::string &Out, std::string_view Payload);
 
 /// Reads one length-prefixed frame from \p Fd into \p Out. Returns 1 on
 /// success, 0 on clean EOF at a frame boundary, -1 on error (Err filled;

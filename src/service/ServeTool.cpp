@@ -27,9 +27,17 @@ int tool::runServe(const cli::CliOptions &Opts) {
   SO.QueueDepth = Opts.QueueDepth;
   SO.RequestTimeoutMs = Opts.RequestTimeoutMs;
   SO.CacheCapacity = Opts.CacheCapacity;
+  SO.CacheShards = Opts.CacheShards;
   SO.DefaultK = Opts.K;
   SO.DefaultJobs = Opts.Jobs ? Opts.Jobs : 1;
   SO.FlightCapacity = Opts.FlightCapacity;
+  SO.Model = Opts.ServiceModel == "threads"
+                 ? service::ServerOptions::ServiceModel::ThreadPerConnection
+                 : service::ServerOptions::ServiceModel::EventLoop;
+  SO.EventLoops = Opts.EventLoops;
+  SO.MaxInflight = Opts.MaxInflight;
+  SO.TenantQuota = Opts.TenantQuota;
+  SO.ReadTimeoutMs = Opts.ReadTimeoutMs;
 
   service::Server Server(SO);
   std::string Err;
@@ -57,7 +65,13 @@ int tool::runServe(const cli::CliOptions &Opts) {
         .num("port", Opts.Port >= 0 ? static_cast<uint64_t>(Server.port())
                                     : 0)
         .num("workers", SO.Workers)
-        .num("queue_depth", SO.QueueDepth);
+        .num("queue_depth", SO.QueueDepth)
+        .num("event_loops",
+             SO.Model == service::ServerOptions::ServiceModel::EventLoop
+                 ? SO.EventLoops
+                 : 0)
+        .num("max_inflight", SO.MaxInflight)
+        .num("tenant_quota", SO.TenantQuota);
 
   Server.run();
 

@@ -10,13 +10,15 @@
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
 
+#include <algorithm>
 #include <cerrno>
-#include <sstream>
+#include <cmath>
 #include <csignal>
 #include <cstring>
 #include <fcntl.h>
 #include <netinet/in.h>
 #include <poll.h>
+#include <sstream>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -53,6 +55,11 @@ uint64_t nowNs() {
           .count());
 }
 
+void countOp(const std::string &Op) {
+  obs::metrics().counter("service.requests." + (Op.empty() ? "bad" : Op))
+      .inc();
+}
+
 } // namespace
 
 bool lockin::service::parseAtomicMode(std::string_view Text,
@@ -69,10 +76,17 @@ bool lockin::service::parseAtomicMode(std::string_view Text,
 }
 
 Server::Server(ServerOptions Opts)
-    : Opts(std::move(Opts)), Cache(this->Opts.CacheCapacity),
+    : Opts(std::move(Opts)),
+      Cache(this->Opts.CacheCapacity, this->Opts.CacheShards),
       Analyzer(Cache), Flight(this->Opts.FlightCapacity) {}
 
 Server::~Server() {
+  // Event loops block in their poller; a server that was started but
+  // never drained (start() failure paths, odd test teardowns) must still
+  // destruct — beginDrain is idempotent and a no-op on exited loops.
+  for (auto &L : Loops)
+    L->beginDrain();
+  Loops.clear(); // EventLoop dtors join their threads
   if (GSignalFd.load(std::memory_order_relaxed) == WakePipe[1] &&
       WakePipe[1] >= 0)
     GSignalFd.store(-1, std::memory_order_relaxed);
@@ -113,7 +127,7 @@ bool Server::start(std::string &Err) {
     ::unlink(Opts.UnixSocketPath.c_str());
     if (::bind(UnixFd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) !=
             0 ||
-        ::listen(UnixFd, 64) != 0) {
+        ::listen(UnixFd, 256) != 0) {
       Err = "bind " + Opts.UnixSocketPath + ": " + std::strerror(errno);
       return false;
     }
@@ -133,7 +147,7 @@ bool Server::start(std::string &Err) {
     Addr.sin_port = htons(static_cast<uint16_t>(Opts.TcpPort));
     if (::bind(TcpFd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) !=
             0 ||
-        ::listen(TcpFd, 64) != 0) {
+        ::listen(TcpFd, 256) != 0) {
       Err = "bind port " + std::to_string(Opts.TcpPort) + ": " +
             std::strerror(errno);
       return false;
@@ -141,6 +155,36 @@ bool Server::start(std::string &Err) {
     socklen_t Len = sizeof(Addr);
     if (::getsockname(TcpFd, reinterpret_cast<sockaddr *>(&Addr), &Len) == 0)
       BoundTcpPort = ntohs(Addr.sin_port);
+  }
+
+  // Pre-register the service-tier counters so a metrics scrape (or the
+  // CI Prometheus checker) sees them even before the first shed/abort.
+  for (const char *Name :
+       {"service.shed", "service.overloaded", "service.aborted",
+        "service.requests_aborted", "service.read_timeouts",
+        "service.accept_throttled", "service.loop.wakeups",
+        "service.loop.events", "service.loop.frames", "service.loop.batches",
+        "service.connections", "service.timeouts"})
+    obs::metrics().counter(Name);
+
+  if (Opts.Model == ServerOptions::ServiceModel::EventLoop) {
+    unsigned NumLoops = std::max(1u, Opts.EventLoops);
+    for (unsigned I = 0; I < NumLoops; ++I) {
+      EventLoop::Config C;
+      C.Index = I;
+      C.ReadTimeoutMs = Opts.ReadTimeoutMs;
+      C.EdgeTriggered = Opts.EdgeTriggered;
+      C.UsePoll = Opts.UsePollBackend;
+      C.Faults = Opts.Faults;
+      auto L = std::make_unique<EventLoop>(std::move(C), *this);
+      if (!L->start(Err)) {
+        for (auto &Started : Loops)
+          Started->beginDrain();
+        Loops.clear();
+        return false;
+      }
+      Loops.push_back(std::move(L));
+    }
   }
 
   StartTime = std::chrono::steady_clock::now();
@@ -173,6 +217,8 @@ void Server::requestShutdown() {
   wake();
 }
 
+void Server::onShutdownOp() { requestShutdown(); }
+
 void Server::beginDrain() {
   bool Expected = false;
   if (!Draining.compare_exchange_strong(Expected, true))
@@ -181,6 +227,11 @@ void Server::beginDrain() {
     obs::log()
         .event(obs::LogLevel::Info, "service.drain_begin")
         .num("requests_served", requestsServed());
+  if (Opts.Model == ServerOptions::ServiceModel::EventLoop) {
+    for (auto &L : Loops)
+      L->beginDrain();
+    return;
+  }
   // Half-close every connection's read side: requests already read keep
   // running to completion and their responses still flush through the
   // intact write side; blocked readers see EOF and wind down.
@@ -192,9 +243,14 @@ void Server::beginDrain() {
 void Server::run() {
   acceptLoop();
 
-  // Drain phase 1: every connection thread finishes its in-flight
-  // request (workers are still running) and flushes the response.
-  {
+  // Drain phase 1: every in-flight request finishes (workers are still
+  // running) and its response flushes before the connection owners exit.
+  if (Opts.Model == ServerOptions::ServiceModel::EventLoop) {
+    for (auto &L : Loops)
+      L->beginDrain(); // idempotent; covers requestShutdown-less exits
+    for (auto &L : Loops)
+      L->join();
+  } else {
     std::vector<std::thread> Threads;
     {
       std::lock_guard<std::mutex> Lock(ConnMu);
@@ -205,8 +261,8 @@ void Server::run() {
   }
 
   // Drain phase 2: the queue is necessarily empty now (every enqueued
-  // job had a connection thread blocked on its future), so the workers
-  // can stop.
+  // job's Done ran before its connection wound down), so the workers can
+  // stop.
   {
     std::lock_guard<std::mutex> Lock(QueueMu);
     StopWorkers = true;
@@ -223,20 +279,46 @@ void Server::run() {
 }
 
 void Server::acceptLoop() {
+  // Token-bucket accept throttle: refilled at AcceptRate tokens/second
+  // up to AcceptBurst; an empty bucket parks the listeners (the backlog
+  // queues the peers) instead of accept-and-close churn.
+  double Tokens = std::max(1u, Opts.AcceptBurst);
+  auto LastRefill = std::chrono::steady_clock::now();
+
   while (!Draining.load(std::memory_order_acquire)) {
+    bool Throttled = false;
+    int Timeout = -1;
+    if (Opts.AcceptRate > 0.0) {
+      auto Now = std::chrono::steady_clock::now();
+      double Elapsed =
+          std::chrono::duration<double>(Now - LastRefill).count();
+      LastRefill = Now;
+      Tokens = std::min(Tokens + Elapsed * Opts.AcceptRate,
+                        double(std::max(1u, Opts.AcceptBurst)));
+      if (Tokens < 1.0) {
+        Throttled = true;
+        Timeout = std::max(
+            1, static_cast<int>(
+                   std::ceil((1.0 - Tokens) / Opts.AcceptRate * 1000.0)));
+        obs::metrics().counter("service.accept_throttled").inc();
+      }
+    }
+
     pollfd Fds[3];
     nfds_t N = 0;
     Fds[N++] = pollfd{WakePipe[0], POLLIN, 0};
     int UnixSlot = -1, TcpSlot = -1;
-    if (UnixFd >= 0) {
-      UnixSlot = static_cast<int>(N);
-      Fds[N++] = pollfd{UnixFd, POLLIN, 0};
+    if (!Throttled) {
+      if (UnixFd >= 0) {
+        UnixSlot = static_cast<int>(N);
+        Fds[N++] = pollfd{UnixFd, POLLIN, 0};
+      }
+      if (TcpFd >= 0) {
+        TcpSlot = static_cast<int>(N);
+        Fds[N++] = pollfd{TcpFd, POLLIN, 0};
+      }
     }
-    if (TcpFd >= 0) {
-      TcpSlot = static_cast<int>(N);
-      Fds[N++] = pollfd{TcpFd, POLLIN, 0};
-    }
-    int Rc = ::poll(Fds, N, -1);
+    int Rc = ::poll(Fds, N, Timeout);
     if (Rc < 0) {
       if (errno == EINTR)
         continue;
@@ -256,6 +338,8 @@ void Server::acceptLoop() {
       int Client = ::accept(Fds[Slot].fd, nullptr, nullptr);
       if (Client < 0)
         continue;
+      if (Opts.AcceptRate > 0.0)
+        Tokens -= 1.0;
       obs::metrics().counter("service.connections").inc();
       std::string Peer = (Slot == UnixSlot ? "unix:" : "tcp:") +
                          std::to_string(Client);
@@ -263,18 +347,89 @@ void Server::acceptLoop() {
         obs::log()
             .event(obs::LogLevel::Debug, "service.connect")
             .str("peer", Peer);
+      if (Opts.Model == ServerOptions::ServiceModel::EventLoop) {
+        Loops[NextLoopIdx++ % Loops.size()]->adoptConnection(
+            Client, std::move(Peer));
+        continue;
+      }
       std::lock_guard<std::mutex> Lock(ConnMu);
       if (Draining.load(std::memory_order_acquire)) {
         ::close(Client);
         continue;
       }
       ConnFds.push_back(Client);
-      ConnThreads.emplace_back([this, Client, Peer = std::move(Peer)]() mutable {
-        serveConnection(Client, std::move(Peer));
-      });
+      ConnThreads.emplace_back(
+          [this, Client, Peer = std::move(Peer)]() mutable {
+            serveConnection(Client, std::move(Peer));
+          });
     }
   }
 }
+
+//===----------------------------------------------------------------------===//
+// Event-loop model: frame dispatch and response retirement
+//===----------------------------------------------------------------------===//
+
+void Server::onFrame(EventLoop &Loop, uint64_t ConnId, uint64_t Seq,
+                     std::string Frame, const std::string &Peer) {
+  Json Request;
+  std::string Err;
+  if (!Json::parse(Frame, Request, Err)) {
+    // Same contract as the blocking path: answer with the parse error,
+    // then drop the connection — framing is unrecoverable after a
+    // malformed payload.
+    if constexpr (obs::kEnabled)
+      obs::log()
+          .event(obs::LogLevel::Warn, "service.bad_frame")
+          .str("peer", Peer)
+          .str("error", Err);
+    EventLoop::Response R;
+    R.ConnId = ConnId;
+    R.Seq = Seq;
+    R.Payload = errorResponse(Err).str();
+    R.Counted = false;
+    R.CloseAfter = true;
+    Loop.sendResponse(std::move(R));
+    return;
+  }
+  std::string Op = Request.getString("op", "");
+  countOp(Op);
+  if (Op == "analyze" || Op == "check") {
+    EventLoop *LP = &Loop;
+    submitAnalyze(
+        std::move(Request), Peer,
+        [LP, ConnId, Seq](Json &&Resp,
+                          std::unique_ptr<obs::RequestContext> Ctx) {
+          EventLoop::Response R;
+          R.ConnId = ConnId;
+          R.Seq = Seq;
+          R.Payload = Resp.str();
+          R.Ctx = std::move(Ctx);
+          LP->sendResponse(std::move(R));
+        });
+    return;
+  }
+  bool IsShutdown = false;
+  Json Resp = dispatchInline(Request, IsShutdown, Peer);
+  EventLoop::Response R;
+  R.ConnId = ConnId;
+  R.Seq = Seq;
+  R.Payload = Resp.str();
+  R.CloseAfter = IsShutdown;
+  R.ShutdownAfter = IsShutdown;
+  Loop.sendResponse(std::move(R));
+}
+
+void Server::onResponseDone(std::unique_ptr<obs::RequestContext> Ctx,
+                            bool Aborted, bool Counted) {
+  if (!Aborted && Counted)
+    Served.fetch_add(1, std::memory_order_relaxed);
+  finalizeRequest(std::move(Ctx), Aborted);
+}
+
+//===----------------------------------------------------------------------===//
+// Legacy thread-per-connection model
+//===----------------------------------------------------------------------===//
 
 void Server::serveConnection(int Fd, std::string Peer) {
   std::string Err;
@@ -296,9 +451,29 @@ void Server::serveConnection(int Fd, std::string Peer) {
       writeJson(Fd, errorResponse(Err), Ignored);
       break;
     }
-    Json Response = dispatch(Request, IsShutdown, Peer);
+    std::string Op = Request.getString("op", "");
+    countOp(Op);
+    Json Response;
+    std::unique_ptr<obs::RequestContext> Ctx;
+    if (Op == "analyze" || Op == "check") {
+      std::promise<std::pair<Json, std::unique_ptr<obs::RequestContext>>>
+          Prom;
+      auto Fut = Prom.get_future();
+      submitAnalyze(std::move(Request), Peer,
+                    [&Prom](Json &&R,
+                            std::unique_ptr<obs::RequestContext> C) {
+                      Prom.set_value({std::move(R), std::move(C)});
+                    });
+      auto Pair = Fut.get();
+      Response = std::move(Pair.first);
+      Ctx = std::move(Pair.second);
+    } else {
+      Response = dispatchInline(Request, IsShutdown, Peer);
+    }
     std::string WriteErr;
-    if (!writeJson(Fd, Response, WriteErr))
+    bool WroteOk = writeJson(Fd, Response, WriteErr);
+    finalizeRequest(std::move(Ctx), /*Aborted=*/!WroteOk);
+    if (!WroteOk)
       break;
     Served.fetch_add(1, std::memory_order_relaxed);
   }
@@ -320,11 +495,14 @@ void Server::serveConnection(int Fd, std::string Peer) {
     requestShutdown();
 }
 
-Json Server::dispatch(const Json &Request, bool &IsShutdown,
-                      const std::string &Peer) {
+//===----------------------------------------------------------------------===//
+// Shared dispatch: cheap inline ops, admission control, the worker pool
+//===----------------------------------------------------------------------===//
+
+Json Server::dispatchInline(const Json &Request, bool &IsShutdown,
+                            const std::string &Peer) {
+  (void)Peer;
   std::string Op = Request.getString("op", "");
-  obs::metrics().counter("service.requests." + (Op.empty() ? "bad" : Op))
-      .inc();
   if (Op == "ping") {
     Json R = Json::object();
     R.set("ok", Json::boolean(true));
@@ -346,69 +524,108 @@ Json Server::dispatch(const Json &Request, bool &IsShutdown,
     R.set("draining", Json::boolean(true));
     return R;
   }
+  return errorResponse("unknown op: " + Op);
+}
+
+unsigned Server::retryAfterMsEstimate() const {
+  uint64_t Ewma = EwmaAnalyzeNs.load(std::memory_order_relaxed);
+  unsigned W = Opts.Workers ? Opts.Workers : 1;
+  unsigned Busy = Inflight.load(std::memory_order_relaxed);
+  uint64_t PerJobMs = Ewma / 1'000'000ull;
+  if (PerJobMs == 0)
+    PerJobMs = 1;
+  uint64_t Est = PerJobMs * (uint64_t(Busy) / W + 1);
+  return static_cast<unsigned>(std::min<uint64_t>(Est, 60'000));
+}
+
+void Server::submitAnalyze(Json Request, const std::string &Peer,
+                           DoneFn Done) {
   // "check" is analyze + the concurrency checker: same queue, same
   // worker path, same backpressure; handleAnalyze reads the op back out
   // of the request to set AnalyzeParams::Check.
-  if (Op == "analyze" || Op == "check") {
-    auto Deadline = std::chrono::steady_clock::time_point{};
-    if (Opts.RequestTimeoutMs)
-      Deadline = std::chrono::steady_clock::now() +
-                 std::chrono::milliseconds(Opts.RequestTimeoutMs);
+  auto Deadline = std::chrono::steady_clock::time_point{};
+  if (Opts.RequestTimeoutMs)
+    Deadline = std::chrono::steady_clock::now() +
+               std::chrono::milliseconds(Opts.RequestTimeoutMs);
 
-    std::unique_ptr<obs::RequestContext> Ctx;
-    if (telemetryOn()) {
-      Ctx = std::make_unique<obs::RequestContext>(
-          NextRequestId.fetch_add(1, std::memory_order_relaxed), Peer, Op);
-      Ctx->Unit = Request.getString("unit", "");
-    }
-
-    // Backpressure: a full queue answers immediately instead of queueing
-    // unbounded work behind a slow analysis.
-    bool Overloaded = false;
-    std::future<Json> Future;
-    {
-      std::lock_guard<std::mutex> Lock(QueueMu);
-      if (Queue.size() >= Opts.QueueDepth) {
-        Overloaded = true;
-      } else {
-        Job J;
-        J.Request = Request;
-        J.Deadline = Deadline;
-        if (Ctx)
-          Ctx->begin(obs::ReqPhase::Queue);
-        J.Ctx = std::move(Ctx);
-        Future = J.Promise.get_future();
-        Queue.push_back(std::move(J));
-      }
-    }
-    if (Overloaded) {
-      obs::metrics().counter("service.overloaded").inc();
-      if constexpr (obs::kEnabled) {
-        if (Ctx) {
-          // The rejection is the whole life of this request: its queue
-          // wait is the read-to-rejection interval, which the flight
-          // record and the dump below surface.
-          uint64_t Now = obs::nowNs();
-          Ctx->setSpan(obs::ReqPhase::Queue, Ctx->startNs(),
-                       Now - Ctx->startNs());
-          Ctx->Outcome = "overloaded";
-          obs::log()
-              .event(obs::LogLevel::Warn, "service.overloaded")
-              .num("req", Ctx->id())
-              .str("unit", Ctx->Unit)
-              .str("peer", Ctx->Peer)
-              .num("queue_depth", Opts.QueueDepth)
-              .num("queue_wait_ns", Ctx->phaseNs(obs::ReqPhase::Queue));
-          finishRequest(*Ctx);
-          Flight.dump(obs::log(), "overload");
-        }
-      }
-      return errorResponse("overloaded");
-    }
-    QueueCv.notify_one();
-    return Future.get();
+  std::unique_ptr<obs::RequestContext> Ctx;
+  if (telemetryOn()) {
+    Ctx = std::make_unique<obs::RequestContext>(
+        NextRequestId.fetch_add(1, std::memory_order_relaxed), Peer,
+        Request.getString("op", "analyze"));
+    Ctx->Unit = Request.getString("unit", "");
   }
-  return errorResponse("unknown op: " + Op);
+  std::string Tenant = Request.getString("tenant", "");
+  if (Tenant.empty())
+    Tenant = Peer; // default: one quota bucket per connection
+
+  // Admission control, cheapest check first. Rejections answer
+  // immediately — backpressure instead of unbounded buffering.
+  const char *Reject = nullptr;
+  {
+    std::lock_guard<std::mutex> Lock(QueueMu);
+    if (Queue.size() >= Opts.QueueDepth) {
+      Reject = "queue";
+    } else if (Opts.MaxInflight &&
+               Inflight.load(std::memory_order_relaxed) >=
+                   Opts.MaxInflight) {
+      Reject = "inflight";
+    } else if (Opts.TenantQuota) {
+      auto It = TenantInflight.find(Tenant);
+      if (It != TenantInflight.end() && It->second >= Opts.TenantQuota)
+        Reject = "tenant";
+    }
+    if (!Reject) {
+      Inflight.fetch_add(1, std::memory_order_relaxed);
+      if (Opts.TenantQuota)
+        ++TenantInflight[Tenant];
+      Job J;
+      J.Request = std::move(Request);
+      J.Deadline = Deadline;
+      J.Tenant = std::move(Tenant);
+      if (Ctx)
+        Ctx->begin(obs::ReqPhase::Queue);
+      J.Ctx = std::move(Ctx);
+      J.Done = std::move(Done);
+      Queue.push_back(std::move(J));
+    }
+  }
+  if (!Reject) {
+    QueueCv.notify_one();
+    return;
+  }
+
+  obs::metrics().counter("service.overloaded").inc();
+  if (std::strcmp(Reject, "tenant") == 0)
+    obs::metrics().counter("service.overloaded.tenant").inc();
+  unsigned Retry = retryAfterMsEstimate();
+  if constexpr (obs::kEnabled) {
+    if (Ctx) {
+      // The rejection is the whole life of this request: its queue wait
+      // is the read-to-rejection interval, which the flight record and
+      // the dump below surface.
+      uint64_t Now = obs::nowNs();
+      Ctx->setSpan(obs::ReqPhase::Queue, Ctx->startNs(),
+                   std::max<uint64_t>(1, Now - Ctx->startNs()));
+      Ctx->Outcome = "overloaded";
+      obs::log()
+          .event(obs::LogLevel::Warn, "service.overloaded")
+          .num("req", Ctx->id())
+          .str("unit", Ctx->Unit)
+          .str("peer", Ctx->Peer)
+          .str("reason", Reject)
+          .num("queue_depth", Opts.QueueDepth)
+          .num("retry_after_ms", Retry)
+          .num("queue_wait_ns", Ctx->phaseNs(obs::ReqPhase::Queue));
+      finishRequest(*Ctx);
+      Flight.dump(obs::log(), "overload");
+      Ctx.reset(); // finalized here; Done gets no context
+    }
+  }
+  Json R = errorResponse("overloaded");
+  R.set("retryAfterMs", Json::integer(static_cast<int64_t>(Retry)));
+  R.set("reason", Json::string(Reject));
+  Done(std::move(R), nullptr);
 }
 
 void Server::workerLoop() {
@@ -424,20 +641,55 @@ void Server::workerLoop() {
     }
     if (J.Ctx)
       J.Ctx->end(obs::ReqPhase::Queue);
-    uint64_t T0 = nowNs();
-    Json Response = handleAnalyze(J.Request, J.Deadline, J.Ctx.get());
-    uint64_t Dur = nowNs() - T0;
-    obs::metrics().histogram("service.analyze_ns").record(Dur);
-    obs::tracer().span(obs::EventKind::PassSpan, T0, Dur,
-                       obs::tracer().internName("service.analyze"));
-    if constexpr (obs::kEnabled) {
-      if (J.Ctx) {
-        finishRequest(*J.Ctx);
-        if (J.Ctx->Outcome == "timeout")
-          Flight.dump(obs::log(), "timeout");
+
+    Json Response;
+    bool Shed =
+        J.Deadline != std::chrono::steady_clock::time_point{} &&
+        std::chrono::steady_clock::now() > J.Deadline;
+    if (Shed) {
+      // Deadline already blown while queued: shed before burning a
+      // worker on an answer the client has given up on.
+      obs::metrics().counter("service.shed").inc();
+      unsigned Retry = retryAfterMsEstimate();
+      Response = errorResponse("timeout");
+      Response.set("timedOut", Json::boolean(true));
+      Response.set("shed", Json::boolean(true));
+      Response.set("retryAfterMs",
+                   Json::integer(static_cast<int64_t>(Retry)));
+      if constexpr (obs::kEnabled) {
+        if (J.Ctx) {
+          J.Ctx->Outcome = "shed";
+          obs::log()
+              .event(obs::LogLevel::Warn, "service.shed")
+              .num("req", J.Ctx->id())
+              .str("unit", J.Ctx->Unit)
+              .str("peer", J.Ctx->Peer)
+              .num("queue_ns", J.Ctx->phaseNs(obs::ReqPhase::Queue))
+              .num("retry_after_ms", Retry);
+        }
+      }
+    } else {
+      uint64_t T0 = nowNs();
+      Response = handleAnalyze(J.Request, J.Deadline, J.Ctx.get());
+      uint64_t Dur = nowNs() - T0;
+      obs::metrics().histogram("service.analyze_ns").record(Dur);
+      obs::tracer().span(obs::EventKind::PassSpan, T0, Dur,
+                         obs::tracer().internName("service.analyze"));
+      uint64_t Prev = EwmaAnalyzeNs.load(std::memory_order_relaxed);
+      EwmaAnalyzeNs.store(Prev ? (Prev * 7 + Dur) / 8 : Dur,
+                          std::memory_order_relaxed);
+    }
+
+    {
+      std::lock_guard<std::mutex> Lock(QueueMu);
+      Inflight.fetch_sub(1, std::memory_order_relaxed);
+      if (Opts.TenantQuota) {
+        auto It = TenantInflight.find(J.Tenant);
+        if (It != TenantInflight.end() && --It->second == 0)
+          TenantInflight.erase(It);
       }
     }
-    J.Promise.set_value(std::move(Response));
+    J.Done(std::move(Response), std::move(J.Ctx));
   }
 }
 
@@ -565,6 +817,8 @@ Json Server::handleStats() {
                 Json::integer(static_cast<int64_t>(S.Invalidations)));
   CacheJson.set("entries", Json::integer(static_cast<int64_t>(S.Entries)));
   CacheJson.set("capacity", Json::integer(static_cast<int64_t>(S.Capacity)));
+  CacheJson.set("shards",
+                Json::integer(static_cast<int64_t>(Cache.numShards())));
 
   Json R = Json::object();
   R.set("ok", Json::boolean(true));
@@ -574,6 +828,12 @@ Json Server::handleStats() {
         Json::integer(static_cast<int64_t>(requestsServed())));
   R.set("workers", Json::integer(Opts.Workers));
   R.set("queueDepth", Json::integer(Opts.QueueDepth));
+  R.set("eventLoops",
+        Json::integer(static_cast<int64_t>(Loops.size())));
+  R.set("maxInflight", Json::integer(Opts.MaxInflight));
+  R.set("tenantQuota", Json::integer(Opts.TenantQuota));
+  R.set("inflight",
+        Json::integer(Inflight.load(std::memory_order_relaxed)));
   auto Uptime = std::chrono::duration_cast<std::chrono::milliseconds>(
       std::chrono::steady_clock::now() - StartTime);
   R.set("uptimeMs", Json::integer(Uptime.count()));
@@ -595,6 +855,31 @@ Json Server::handleInvalidate(const Json &Request) {
   R.set("scope", Json::string("unit"));
   R.set("known", Json::boolean(Known));
   return R;
+}
+
+void Server::finalizeRequest(std::unique_ptr<obs::RequestContext> Ctx,
+                             bool Aborted) {
+  if (!Ctx)
+    return;
+  if constexpr (!obs::kEnabled)
+    return;
+  if (Aborted) {
+    // The peer vanished before its response flushed; the analysis result
+    // is discarded but the request's telemetry still lands, marked so.
+    Ctx->Outcome = "aborted";
+    obs::metrics().counter("service.requests_aborted").inc();
+    obs::log()
+        .event(obs::LogLevel::Warn, "service.request_aborted")
+        .num("req", Ctx->id())
+        .str("unit", Ctx->Unit)
+        .str("peer", Ctx->Peer)
+        .str("op", Ctx->Op);
+  }
+  finishRequest(*Ctx);
+  if (Ctx->Outcome == "timeout" || Ctx->Outcome == "shed")
+    Flight.dump(obs::log(), "timeout");
+  else if (Aborted)
+    Flight.dump(obs::log(), "abort");
 }
 
 void Server::finishRequest(obs::RequestContext &Ctx) {

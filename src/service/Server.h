@@ -8,20 +8,34 @@
 /// The lockin daemon: accepts connections on a unix socket and/or a
 /// loopback TCP port, speaks the length-prefixed JSON protocol of
 /// service/Protocol.h, and serves `analyze` requests from a shared
-/// IncrementalAnalyzer backed by the content-hashed SummaryCache.
+/// IncrementalAnalyzer backed by the sharded content-hashed SummaryCache.
 ///
-/// Threading model: one accept thread (the caller of run()), one thread
-/// per connection reading frames in order, and a fixed worker pool that
-/// executes `analyze` jobs pulled from a bounded queue. A connection
-/// thread that cannot enqueue (queue at capacity) answers immediately
-/// with `{"ok":false,"error":"overloaded"}` — backpressure instead of
-/// unbounded buffering. Cheap ops (ping/stats/invalidate/shutdown) run
-/// inline on the connection thread.
+/// Threading model (ServiceModel::EventLoop, the default): one accept
+/// thread (the caller of run()) with a token-bucket accept throttle, N
+/// event-loop threads (service/EventLoop.h) each owning an epoll set of
+/// non-blocking connections, and a fixed worker pool executing `analyze`
+/// jobs from a bounded queue. Cheap ops (ping/stats/invalidate/metrics/
+/// flightrecord/shutdown) run inline on the loop thread. The legacy
+/// thread-per-connection model is retained (ServiceModel::
+/// ThreadPerConnection) as the reference implementation the byte-identity
+/// differential tests compare against.
 ///
-/// Per-request timeout: the deadline is stamped when the request is
-/// read, so time spent queued counts against it; the analyzer checks it
-/// cooperatively between pipeline phases and re-analysis batches and
-/// answers `{"ok":false,"error":"timeout","timedOut":true}`.
+/// Admission control, applied before a job enters the queue:
+///   - bounded queue: a full queue answers `{"ok":false,"error":
+///     "overloaded"}` immediately — backpressure instead of buffering;
+///   - MaxInflight: a global cap on queued+running analyze jobs;
+///   - TenantQuota: a per-tenant inflight cap (tenant = the request's
+///     "tenant" field, defaulting to the connection's peer label).
+/// Every overload response carries "retryAfterMs", an EWMA-based estimate
+/// of when capacity frees up, and a "reason" ("queue"/"inflight"/
+/// "tenant").
+///
+/// Deadline shedding: a job whose deadline already passed when a worker
+/// dequeues it is shed without analyzing — `{"ok":false,"error":
+/// "timeout","timedOut":true,"shed":true}` and the `service.shed`
+/// counter. Per-request timeout inside analysis is unchanged: the
+/// deadline is stamped at read time, checked cooperatively between
+/// pipeline phases, and answers `"error":"timeout"`.
 ///
 /// Graceful drain (SIGTERM or a `shutdown` request): stop accepting,
 /// half-close every connection's read side so no new requests arrive,
@@ -35,6 +49,7 @@
 #define LOCKIN_SERVICE_SERVER_H
 
 #include "obs/RequestTelemetry.h"
+#include "service/EventLoop.h"
 #include "service/Incremental.h"
 #include "service/Protocol.h"
 
@@ -42,10 +57,13 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 namespace lockin {
@@ -65,6 +83,8 @@ struct ServerOptions {
   unsigned RequestTimeoutMs = 0;
   /// SummaryCache capacity in sections; 0 disables caching.
   size_t CacheCapacity = 1 << 16;
+  /// SummaryCache mutex+LRU shards (clamped to [1, capacity]).
+  size_t CacheShards = 16;
   /// Defaults applied when an analyze request omits k / jobs.
   unsigned DefaultK = 3;
   unsigned DefaultJobs = 1;
@@ -75,17 +95,40 @@ struct ServerOptions {
   bool Telemetry = true;
   /// Completed-request summaries the flight recorder retains.
   size_t FlightCapacity = 256;
+
+  /// Connection-handling model; see the file comment.
+  enum class ServiceModel { EventLoop, ThreadPerConnection };
+  ServiceModel Model = ServiceModel::EventLoop;
+  /// Event-loop threads (EventLoop model only; min 1).
+  unsigned EventLoops = 2;
+  /// Global cap on queued+running analyze jobs; 0 = only QueueDepth caps.
+  unsigned MaxInflight = 0;
+  /// Per-tenant cap on queued+running analyze jobs; 0 = unlimited.
+  unsigned TenantQuota = 0;
+  /// Mid-frame read deadline (slow-loris defense), EventLoop model only;
+  /// 0 disables. Idle connections between frames are never timed out.
+  unsigned ReadTimeoutMs = 0;
+  /// Token-bucket accept throttle: sustained accepts/second (0 = off)
+  /// and burst size.
+  double AcceptRate = 0.0;
+  unsigned AcceptBurst = 64;
+  /// EPOLLET instead of level-triggered (EventLoop model, epoll backend).
+  bool EdgeTriggered = false;
+  /// Force the poll() fallback backend even where epoll is available.
+  bool UsePollBackend = false;
+  /// Test-only syscall fault injection for the event loops.
+  std::shared_ptr<FaultInjector> Faults;
 };
 
-class Server {
+class Server : public EventLoopHandler {
 public:
   explicit Server(ServerOptions Opts);
   ~Server();
   Server(const Server &) = delete;
   Server &operator=(const Server &) = delete;
 
-  /// Binds the listeners and starts the worker pool. False + Err on
-  /// failure (nothing keeps running).
+  /// Binds the listeners and starts the worker pool and event loops.
+  /// False + Err on failure (nothing keeps running).
   bool start(std::string &Err);
 
   /// Accept loop; returns only after a full drain (SIGTERM, shutdown
@@ -113,20 +156,37 @@ public:
     return Served.load(std::memory_order_relaxed);
   }
 
+  // EventLoopHandler (loop threads call these):
+  void onFrame(EventLoop &Loop, uint64_t ConnId, uint64_t Seq,
+               std::string Frame, const std::string &Peer) override;
+  void onResponseDone(std::unique_ptr<obs::RequestContext> Ctx, bool Aborted,
+                      bool Counted) override;
+  void onShutdownOp() override;
+
 private:
+  /// Response sink for an analyze job: invoked exactly once with the
+  /// response and the request's telemetry context (null when the request
+  /// was rejected at admission — the context was finalized there).
+  using DoneFn =
+      std::function<void(Json &&, std::unique_ptr<obs::RequestContext>)>;
+
   struct Job {
     Json Request;
     std::chrono::steady_clock::time_point Deadline{};
-    std::promise<Json> Promise;
+    std::string Tenant;
+    DoneFn Done;
     /// Telemetry carrier; null when telemetry is off. Travels with the
     /// job so the queue wait is part of the request's phase record.
     std::unique_ptr<obs::RequestContext> Ctx;
   };
 
   void acceptLoop();
-  void serveConnection(int Fd, std::string Peer);
-  Json dispatch(const Json &Request, bool &IsShutdown,
-                const std::string &Peer);
+  void serveConnection(int Fd, std::string Peer); ///< legacy model
+  /// Admission control + enqueue; rejections invoke Done synchronously.
+  void submitAnalyze(Json Request, const std::string &Peer, DoneFn Done);
+  /// Every op except analyze/check, answered on the calling thread.
+  Json dispatchInline(const Json &Request, bool &IsShutdown,
+                      const std::string &Peer);
   Json handleAnalyze(const Json &Request,
                      std::chrono::steady_clock::time_point Deadline,
                      obs::RequestContext *Ctx);
@@ -137,11 +197,18 @@ private:
   void workerLoop();
   void beginDrain();
   void wake();
+  /// "retryAfterMs" for overload/shed responses: EWMA analyze cost times
+  /// the backlog depth per worker, clamped to [1ms, 60s].
+  unsigned retryAfterMsEstimate() const;
 
   bool telemetryOn() const { return obs::kEnabled && Opts.Telemetry; }
   /// Rolls a finished request into histograms, the per-request trace
   /// track, the flight recorder, and the debug log.
   void finishRequest(obs::RequestContext &Ctx);
+  /// Terminal accounting for a request's context: outcome patch-up
+  /// (aborted writes), finishRequest, and the flight-recorder dumps.
+  void finalizeRequest(std::unique_ptr<obs::RequestContext> Ctx,
+                       bool Aborted);
 
   ServerOptions Opts;
   SummaryCache Cache;
@@ -155,6 +222,7 @@ private:
   std::atomic<bool> Draining{false};
   std::atomic<uint64_t> Served{0};
   std::atomic<uint64_t> NextRequestId{1};
+  std::atomic<uint64_t> EwmaAnalyzeNs{0};
   obs::FlightRecorder Flight;
 
   std::mutex QueueMu;
@@ -162,8 +230,15 @@ private:
   std::deque<Job> Queue;
   bool StopWorkers = false;
   std::vector<std::thread> Workers;
+  /// Queued + running analyze jobs (mutated under QueueMu; read racily
+  /// by retryAfterMsEstimate).
+  std::atomic<unsigned> Inflight{0};
+  std::unordered_map<std::string, unsigned> TenantInflight; ///< QueueMu
 
-  std::mutex ConnMu;
+  std::vector<std::unique_ptr<EventLoop>> Loops;
+  size_t NextLoopIdx = 0; ///< accept thread only
+
+  std::mutex ConnMu; ///< legacy model connection registry
   std::vector<int> ConnFds;
   std::vector<std::thread> ConnThreads;
 

@@ -687,12 +687,15 @@ TEST(Server, BackpressureAnswersOverloaded) {
   std::string Slow = slowProgram(8, 8);
   std::atomic<unsigned> OkCount{0}, OverloadedCount{0};
   std::vector<std::thread> Clients;
-  // First client occupies the worker, the rest race for one queue slot:
-  // at least one must be told "overloaded", and nobody hangs.
+  // First client warms the worker, then the rest race for one queue slot
+  // at the same instant — their dispatch skew (microseconds) is far
+  // smaller than even a fully cache-warm analyze, so one lands on the
+  // worker, one takes the queue slot, and at least one must be told
+  // "overloaded". Nobody hangs.
   for (unsigned I = 0; I < 4; ++I) {
     Clients.emplace_back([&, I] {
       if (I > 0)
-        std::this_thread::sleep_for(std::chrono::milliseconds(30 + I));
+        std::this_thread::sleep_for(std::chrono::milliseconds(30));
       Client C;
       std::string Err;
       ASSERT_TRUE(C.connectUnix(Path, Err)) << Err;
@@ -758,9 +761,14 @@ TEST(Server, RequestTimeoutCancelsSlowAnalyze) {
     ASSERT_TRUE(C.call(opRequest("flightrecord"), Resp, Err)) << Err;
     const Json *Records = Resp.get("records");
     ASSERT_NE(Records, nullptr);
+    // The deadline can fire inside analysis ("timeout") or already be
+    // blown when a worker dequeues the job ("shed") — both are the same
+    // client-visible contract.
     bool SawTimeout = false;
-    for (const Json &R : Records->items())
-      SawTimeout = SawTimeout || R.getString("outcome", "") == "timeout";
+    for (const Json &R : Records->items()) {
+      std::string Outcome = R.getString("outcome", "");
+      SawTimeout = SawTimeout || Outcome == "timeout" || Outcome == "shed";
+    }
     EXPECT_TRUE(SawTimeout);
   }
 }
